@@ -1,0 +1,216 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. **Block-skip scan optimisation on/off** (§5.5): per-row visibility
+//!    checks for every row vs tight loops between versioned positions.
+//! 2. **Snapshot trigger interval** (§2.2.3): throughput at different `n`.
+//! 3. **Page size** (§3.3): COW write cost under 4 KiB vs 64 KiB vs 2 MiB
+//!    pages.
+//! 4. **`vm_snapshot` destination recycling** (§4.1.3): fresh area per
+//!    snapshot vs recycling the dropped one.
+
+use anker_core::DbConfig;
+use anker_mvcc::{ScanStats, VersionedColumn};
+use anker_snapshot::{Snapshotter, VmSnapshotter};
+use anker_storage::{ColumnArea, LogicalType};
+use anker_tpch::driver::{run_workload, WorkloadConfig};
+use anker_tpch::gen::{self, TpchConfig};
+use anker_vmem::{Kernel, KernelConfig, MapBacking, Prot, Share};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn ablation_block_skip(c: &mut Criterion) {
+    // 64k rows, 1% versioned, scattered every 100 rows — the optimisation's
+    // WORST case: every 1024-row block contains versions, so the skip index
+    // buys nothing and its buffer+seqlock overhead shows up as a small
+    // loss. Its win case (unversioned stretches scanned tight) is the
+    // 0%-vs-10% contrast of Figure 9 and the scan unit tests.
+    let kernel = Kernel::default();
+    let space = kernel.create_space();
+    let rows: u32 = 64 * 1024;
+    let area = ColumnArea::alloc(&space, rows).unwrap();
+    area.fill((0..rows as u64).map(|i| i * 3)).unwrap();
+    let vc = VersionedColumn::new(rows, LogicalType::Int);
+    for r in (0..rows / 100).map(|i| i * 100) {
+        vc.install(&area, r, 7, 5).unwrap();
+    }
+    let mut group = c.benchmark_group("ablation_block_skip");
+    group.bench_function("with_skip_index", |b| {
+        b.iter(|| {
+            let mut stats = ScanStats::default();
+            let mut acc = 0u64;
+            vc.scan_visible(&area, 3, |_, v| acc ^= v, &mut stats).unwrap();
+            acc
+        });
+    });
+    group.bench_function("per_row_checks", |b| {
+        b.iter(|| {
+            let mut stats = ScanStats::default();
+            let mut acc = 0u64;
+            vc.scan_visible_unoptimized(&area, 3, |_, v| acc ^= v, &mut stats)
+                .unwrap();
+            acc
+        });
+    });
+    group.finish();
+}
+
+fn ablation_snapshot_interval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_snapshot_interval");
+    group.sample_size(10);
+    for every in [50u64, 500, 5_000] {
+        group.bench_with_input(BenchmarkId::new("oltp_batch", every), &every, |b, &n| {
+            b.iter(|| {
+                let t = gen::generate(
+                    DbConfig::heterogeneous_serializable()
+                        .with_snapshot_every(n)
+                        .with_gc_interval(None),
+                    &TpchConfig {
+                        scale_factor: 0.004,
+                        seed: 42,
+                    },
+                );
+                // OLAP arrivals keep materialisation happening.
+                run_workload(
+                    &t,
+                    &WorkloadConfig {
+                        oltp_txns: 3_000,
+                        olap_txns: 5,
+                        threads: 2,
+                        seed: 1,
+                        think_us: 0.0,
+                    },
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn ablation_page_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_page_size_cow");
+    for page_size in [4096usize, 65_536, 2 << 20] {
+        group.bench_with_input(
+            BenchmarkId::new("write_after_snapshot", page_size),
+            &page_size,
+            |b, &ps| {
+                let kernel = Kernel::new(KernelConfig {
+                    page_size: ps,
+                    max_phys_bytes: 1 << 30,
+                    ..Default::default()
+                });
+                let space = kernel.create_space();
+                let bytes = 16 << 20; // 16 MiB column
+                let col = space
+                    .mmap(bytes, Prot::READ_WRITE, Share::Private, MapBacking::Anon)
+                    .unwrap();
+                for off in (0..bytes).step_by(ps) {
+                    space.write_u64(col + off, 1).unwrap();
+                }
+                let mut snap = space.vm_snapshot(None, col, bytes).unwrap();
+                let mut page = 0u64;
+                let n_pages = bytes / ps as u64;
+                b.iter(|| {
+                    // One 8-byte write into a fresh COW page; re-snapshot
+                    // when the column is exhausted.
+                    space.write_u64(col + (page % n_pages) * ps as u64, page).unwrap();
+                    page += 1;
+                    if page.is_multiple_of(n_pages) {
+                        space.munmap(snap, bytes).unwrap();
+                        snap = space.vm_snapshot(None, col, bytes).unwrap();
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn ablation_recycling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_dst_recycling");
+    for recycle in [false, true] {
+        let name = if recycle { "recycled_dst" } else { "fresh_dst" };
+        group.bench_function(name, |b| {
+            let mut s = if recycle {
+                VmSnapshotter::new_recycling(1, 1024).unwrap()
+            } else {
+                VmSnapshotter::new(1, 1024).unwrap()
+            };
+            for p in 0..1024 {
+                s.write_base(0, p, 0, p).unwrap();
+            }
+            let mut prev = None;
+            b.iter(|| {
+                let id = s.snapshot_columns(1).unwrap();
+                if let Some(old) = prev.replace(id) {
+                    s.drop_snapshot(old).unwrap();
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn ablation_chain_order(c: &mut Criterion) {
+    // §2.1: newest-to-oldest ordering favours young transactions. Build a
+    // 512-version history and probe it as a young reader (the common case)
+    // and as an old one.
+    use anker_mvcc::chain_order::build_both;
+    let history: Vec<(u64, u64)> = (1..=512).map(|i| (i * 10, i)).collect();
+    let (nf, of) = build_both(&history);
+    let mut group = c.benchmark_group("ablation_chain_order");
+    for (reader, ts) in [("young_reader", 511u64), ("old_reader", 2u64)] {
+        group.bench_with_input(BenchmarkId::new("newest_first", reader), &ts, |b, &ts| {
+            b.iter(|| nf.find(ts))
+        });
+        group.bench_with_input(BenchmarkId::new("oldest_first", reader), &ts, |b, &ts| {
+            b.iter(|| of.find(ts))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_lazy_vs_eager_materialisation(c: &mut Criterion) {
+    // §2.2.2: the "trivial" eager alternative snapshots every column at
+    // every trigger; lazy materialises only on demand.
+    let mut group = c.benchmark_group("ablation_materialisation");
+    group.sample_size(10);
+    for eager in [false, true] {
+        let name = if eager { "eager" } else { "lazy" };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = DbConfig::heterogeneous_serializable()
+                    .with_snapshot_every(100)
+                    .with_gc_interval(None);
+                cfg.eager_materialization = eager;
+                let t = gen::generate(
+                    cfg,
+                    &TpchConfig {
+                        scale_factor: 0.004,
+                        seed: 42,
+                    },
+                );
+                run_workload(
+                    &t,
+                    &WorkloadConfig {
+                        oltp_txns: 2_000,
+                        olap_txns: 2,
+                        threads: 2,
+                        seed: 1,
+                        think_us: 0.0,
+                    },
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_block_skip,
+    ablation_snapshot_interval,
+    ablation_page_size,
+    ablation_recycling,
+    ablation_chain_order,
+    ablation_lazy_vs_eager_materialisation
+);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for **Figure 10**: snapshotting a single column, a whole
+//! table, or the entire database (via `fork`) — wall-clock of the
+//! simulated calls; `repro_fig10` reports calibrated virtual time.
+
+use anker_core::DbConfig;
+use anker_tpch::gen::{self, TpchConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig10(c: &mut Criterion) {
+    let t = gen::generate(
+        DbConfig::heterogeneous_serializable().with_gc_interval(None),
+        &TpchConfig {
+            scale_factor: 0.02,
+            seed: 42,
+        },
+    );
+    let mut group = c.benchmark_group("fig10_column_snapshot");
+    group.sample_size(20);
+    group.bench_function("vm_snapshot_all_lineitem_columns", |b| {
+        b.iter(|| t.db.snapshot_cost_probe(t.lineitem).unwrap());
+    });
+    group.bench_function("vm_snapshot_all_part_columns", |b| {
+        b.iter(|| t.db.snapshot_cost_probe(t.part).unwrap());
+    });
+    group.bench_function("fork_whole_process", |b| {
+        b.iter(|| t.db.fork_cost_probe().unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench for **Figure 11**: heterogeneous throughput at 1 vs 2
+//! worker threads (the host has 2 cores; `repro_fig11` sweeps 1-8).
+
+use anker_bench::args::RunScale;
+use anker_core::DbConfig;
+use anker_tpch::driver::{run_workload, WorkloadConfig};
+use anker_tpch::gen::{self, TpchConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fig11(c: &mut Criterion) {
+    let scale = RunScale::smoke();
+    let mut group = c.benchmark_group("fig11_scaling");
+    group.sample_size(10);
+    for threads in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::new("oltp_only", threads), &threads, |b, &n| {
+            b.iter(|| {
+                let t = gen::generate(
+                    DbConfig::heterogeneous_serializable()
+                        .with_snapshot_every(scale.snapshot_every)
+                        .with_gc_interval(None),
+                    &TpchConfig {
+                        scale_factor: scale.sf,
+                        seed: scale.seed,
+                    },
+                );
+                run_workload(
+                    &t,
+                    &WorkloadConfig {
+                        oltp_txns: 4_000,
+                        olap_txns: 0,
+                        threads: n,
+                        seed: scale.seed,
+                        think_us: 0.0,
+                    },
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion bench for **Figure 5**: snapshot creation (5a) and 8-byte
+//! writes into a snapshotted column (5b), rewiring vs `vm_snapshot`, at
+//! three fragmentation levels.
+
+use anker_snapshot::{RewiredSnapshotter, Snapshotter, VmSnapshotter};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const PAGES: u64 = 512;
+
+fn prepared_rewired(written: u64) -> RewiredSnapshotter {
+    let mut s = RewiredSnapshotter::new(1, PAGES).unwrap();
+    for p in 0..PAGES {
+        s.write_base(0, p, 0, p).unwrap();
+    }
+    let arm = s.snapshot_columns(1).unwrap();
+    for p in 0..written {
+        s.write_base(0, p, 0, p + 1).unwrap();
+    }
+    s.drop_snapshot(arm).unwrap();
+    s
+}
+
+fn prepared_vmsnap() -> VmSnapshotter {
+    let mut s = VmSnapshotter::new(1, PAGES).unwrap();
+    for p in 0..PAGES {
+        s.write_base(0, p, 0, p).unwrap();
+    }
+    s
+}
+
+fn bench_fig5a_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5a_snapshot_creation");
+    group.sample_size(30);
+    for written in [0u64, PAGES / 4, PAGES] {
+        group.bench_with_input(
+            BenchmarkId::new("rewiring", written),
+            &written,
+            |b, &w| {
+                let mut s = prepared_rewired(w);
+                b.iter(|| {
+                    let id = s.snapshot_columns(1).unwrap();
+                    s.drop_snapshot(id).unwrap();
+                });
+            },
+        );
+    }
+    group.bench_function("vm_snapshot", |b| {
+        let mut s = prepared_vmsnap();
+        b.iter(|| {
+            let id = s.snapshot_columns(1).unwrap();
+            s.drop_snapshot(id).unwrap();
+        });
+    });
+    group.finish();
+}
+
+fn bench_fig5b_write(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5b_write_into_snapshotted");
+    group.sample_size(30);
+    group.bench_function("rewiring_manual_cow", |b| {
+        // Re-arm before every batch so each write pays the manual COW.
+        let mut s = prepared_rewired(0);
+        let mut page = 0u64;
+        b.iter(|| {
+            let id = s.snapshot_columns(1).unwrap();
+            s.write_base(0, page % PAGES, 0, page).unwrap();
+            page += 1;
+            s.drop_snapshot(id).unwrap();
+        });
+    });
+    group.bench_function("vm_snapshot_kernel_cow", |b| {
+        let mut s = prepared_vmsnap();
+        let mut page = 0u64;
+        b.iter(|| {
+            let id = s.snapshot_columns(1).unwrap();
+            s.write_base(0, page % PAGES, 0, page).unwrap();
+            page += 1;
+            s.drop_snapshot(id).unwrap();
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5a_snapshot, bench_fig5b_write);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion bench for **Figure 7**: OLAP query latency per configuration.
+//! Criterion cannot host the full pressure-thread experiment, so this bench
+//! measures the query itself on a database pre-loaded with update history —
+//! heterogeneous runs on snapshots (tight loops), homogeneous runs on
+//! versioned columns. The `repro_fig7` binary runs the full
+//! pressure-under-load version.
+
+use anker_core::{DbConfig, TxnKind};
+use anker_tpch::gen::{self, TpchConfig};
+use anker_tpch::oltp::{run_oltp, OltpKind};
+use anker_tpch::queries::{run_olap, sample_params, OlapQuery};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn prepared(cfg: DbConfig) -> gen::TpchDb {
+    let t = gen::generate(
+        cfg,
+        &TpchConfig {
+            scale_factor: 0.01,
+            seed: 42,
+        },
+    );
+    // Update history so homogeneous scans have chains to deal with. An old
+    // pinned reader keeps GC from collecting them.
+    let mut rng = SmallRng::seed_from_u64(1);
+    for _ in 0..2_000 {
+        let _ = run_oltp(&t, OltpKind::sample(&mut rng), &mut rng);
+    }
+    t
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let configs = [
+        (
+            "hetero",
+            DbConfig::heterogeneous_serializable()
+                .with_snapshot_every(500)
+                .with_gc_interval(None),
+        ),
+        (
+            "homo_ser",
+            DbConfig::homogeneous_serializable().with_gc_interval(None),
+        ),
+        (
+            "homo_si",
+            DbConfig::homogeneous_snapshot_isolation().with_gc_interval(None),
+        ),
+    ];
+    let mut group = c.benchmark_group("fig7_olap_latency");
+    group.sample_size(10);
+    for (name, cfg) in configs {
+        let t = prepared(cfg);
+        for q in [OlapQuery::Q1, OlapQuery::Q6, OlapQuery::ScanLineitem] {
+            let mut rng = SmallRng::seed_from_u64(3);
+            let params = sample_params(q, &mut rng);
+            group.bench_with_input(BenchmarkId::new(q.name(), name), &params, |b, &params| {
+                b.iter(|| {
+                    let mut txn = t.db.begin(TxnKind::Olap);
+                    let r = run_olap(&t, &mut txn, params).unwrap();
+                    txn.commit().unwrap();
+                    r
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

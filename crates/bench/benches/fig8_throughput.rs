@@ -1,0 +1,48 @@
+//! Criterion bench for **Figure 8**: end-to-end wall time of one mixed
+//! OLTP+OLAP batch per configuration, at reduced batch size. The
+//! `repro_fig8` binary runs the full median-of-three experiment.
+
+use anker_core::DbConfig;
+use anker_tpch::driver::{run_workload, WorkloadConfig};
+use anker_tpch::gen::{self, TpchConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fig8(c: &mut Criterion) {
+    let configs = [
+        ("homo_ser", DbConfig::homogeneous_serializable()),
+        ("homo_si", DbConfig::homogeneous_snapshot_isolation()),
+        (
+            "hetero",
+            DbConfig::heterogeneous_serializable().with_snapshot_every(400),
+        ),
+    ];
+    let mut group = c.benchmark_group("fig8_throughput");
+    group.sample_size(10);
+    for (name, cfg) in configs {
+        let t = gen::generate(
+            cfg,
+            &TpchConfig {
+                scale_factor: 0.01,
+                seed: 42,
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("mixed_batch", name), &(), |b, ()| {
+            b.iter(|| {
+                run_workload(
+                    &t,
+                    &WorkloadConfig {
+                        oltp_txns: 4_000,
+                        olap_txns: 5,
+                        threads: 2,
+                        seed: 7,
+                        think_us: 0.0,
+                    },
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion bench for **Figure 9**: full-scan cost at different fractions
+//! of versioned rows, measured from a reader older than the updates.
+
+use anker_core::{DbConfig, TxnKind};
+use anker_tpch::gen::{self, TpchConfig};
+use anker_tpch::queries::{scan_table, OlapQuery};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// A LINEITEM table with `fraction` of its rows versioned and a reader old
+/// enough to need the chains.
+struct State {
+    t: gen::TpchDb,
+    reader: anker_core::Txn,
+}
+
+fn prepared(fraction: f64) -> State {
+    let t = gen::generate(
+        DbConfig::homogeneous_serializable().with_gc_interval(None),
+        &TpchConfig {
+            scale_factor: 0.01,
+            seed: 42,
+        },
+    );
+    let reader = t.db.begin(TxnKind::Olap);
+    let mut rng = SmallRng::seed_from_u64(5);
+    let rows = t.db.rows(t.lineitem);
+    let schema = t.db.schema(t.lineitem);
+    let cols: Vec<_> = schema.iter().map(|(id, _)| id).collect();
+    let selected: Vec<u32> = (0..rows)
+        .filter(|_| rng.random_range(0.0..1.0) < fraction)
+        .collect();
+    for chunk in selected.chunks(256) {
+        let mut txn = t.db.begin(TxnKind::Oltp);
+        for &row in chunk {
+            for &col in &cols {
+                let cur = txn.get(t.lineitem, col, row).unwrap();
+                txn.update(t.lineitem, col, row, cur.wrapping_add(1)).unwrap();
+            }
+        }
+        txn.commit().unwrap();
+    }
+    State { t, reader }
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_versioned_scan");
+    group.sample_size(10);
+    for fraction in [0.0, 0.25, 0.5, 1.0] {
+        let mut state = prepared(fraction);
+        group.bench_with_input(
+            BenchmarkId::new("lineitem_scan", format!("{:.0}%", fraction * 100.0)),
+            &fraction,
+            |b, _| {
+                b.iter(|| scan_table(&state.t, &mut state.reader, OlapQuery::ScanLineitem).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion bench for **Table 1**: wall-clock snapshot-creation cost of
+//! the four techniques at different fragmentation levels. (The `repro_table1`
+//! binary reports the calibrated virtual-time version.)
+
+use anker_snapshot::{
+    ForkSnapshotter, PhysicalSnapshotter, RewiredSnapshotter, Snapshotter, VmSnapshotter,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const COLS: usize = 8;
+const PAGES: u64 = 256;
+
+fn populate(s: &mut dyn Snapshotter) {
+    for c in 0..s.n_cols() {
+        for p in 0..s.pages_per_col() {
+            s.write_base(c, p, 0, p).unwrap();
+        }
+    }
+}
+
+fn fragment(s: &mut dyn Snapshotter, pages: u64) {
+    let arm = s.snapshot_columns(s.n_cols()).unwrap();
+    for c in 0..s.n_cols() {
+        for p in 0..pages {
+            s.write_base(c, p, 0, p + 1).unwrap();
+        }
+    }
+    s.drop_snapshot(arm).unwrap();
+}
+
+fn snapshot_once(s: &mut dyn Snapshotter, p: usize) {
+    let id = s.snapshot_columns(p).unwrap();
+    s.drop_snapshot(id).unwrap();
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_snapshot_creation");
+    group.sample_size(20);
+
+    for p in [1usize, COLS] {
+        group.bench_with_input(BenchmarkId::new("physical", p), &p, |b, &p| {
+            let mut s = PhysicalSnapshotter::new(COLS, PAGES).unwrap();
+            populate(&mut s);
+            b.iter(|| snapshot_once(&mut s, p));
+        });
+        group.bench_with_input(BenchmarkId::new("fork", p), &p, |b, &p| {
+            let mut s = ForkSnapshotter::new(COLS, PAGES).unwrap();
+            populate(&mut s);
+            b.iter(|| snapshot_once(&mut s, p));
+        });
+        group.bench_with_input(BenchmarkId::new("vm_snapshot", p), &p, |b, &p| {
+            let mut s = VmSnapshotter::new(COLS, PAGES).unwrap();
+            populate(&mut s);
+            b.iter(|| snapshot_once(&mut s, p));
+        });
+        for modified in [0u64, PAGES / 10, PAGES] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("rewiring_mod{modified}"), p),
+                &p,
+                |b, &p| {
+                    let mut s = RewiredSnapshotter::new(COLS, PAGES).unwrap();
+                    populate(&mut s);
+                    if modified > 0 {
+                        fragment(&mut s, modified);
+                    }
+                    b.iter(|| snapshot_once(&mut s, p));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,204 @@
+//! Run every reproduction experiment (Table 1, Figures 5, 7, 8, 9, 10, 11)
+//! at the configured scale and print all paper-style tables. This is the
+//! binary behind `EXPERIMENTS.md`.
+//!
+//! ```sh
+//! cargo run --release -p anker-bench --bin repro_all              # scaled defaults
+//! cargo run --release -p anker-bench --bin repro_all -- --smoke   # seconds
+//! cargo run --release -p anker-bench --bin repro_all -- --paper-scale
+//! ```
+
+use anker_bench::args::{write_results_file, RunScale};
+use anker_bench::experiments::{fig10_run, fig11_run, fig7_run, fig8_run, fig9_run};
+use anker_snapshot::{fig5_run, table1_run, Fig5Config, Table1Config};
+use anker_util::TableBuilder;
+
+fn banner(title: &str) {
+    println!("{}", "=".repeat(78));
+    println!("{title}");
+    println!("{}", "=".repeat(78));
+}
+
+fn main() {
+    let scale = RunScale::from_env();
+
+    // ------------------------------------------------ Table 1
+    banner("Table 1 — snapshot creation, state of the art (virtual ms)");
+    let t1cfg = Table1Config {
+        n_cols: scale.n_cols,
+        pages_per_col: scale.pages_per_col,
+        col_counts: vec![1, scale.n_cols / 2, scale.n_cols],
+        modified_pages: vec![
+            0,
+            scale.pages_per_col / 100,
+            scale.pages_per_col / 10,
+            scale.pages_per_col,
+        ],
+    };
+    let rows = table1_run(&t1cfg).expect("table1");
+    let mut table = TableBuilder::new("").header(
+        ["Method", "Modified/Col", "VMAs/Col"]
+            .into_iter()
+            .map(String::from)
+            .chain(t1cfg.col_counts.iter().map(|c| format!("{c} Col [ms]")))
+            .collect::<Vec<_>>(),
+    );
+    for r in &rows {
+        let mut cells = vec![
+            r.method.to_string(),
+            r.modified_per_col.map(|m| m.to_string()).unwrap_or_else(|| "-".into()),
+            r.vmas_per_col.to_string(),
+        ];
+        cells.extend(r.virtual_ms.iter().map(|ms| format!("{ms:.2}")));
+        table.row(cells);
+    }
+    println!("{}", table.render());
+    write_results_file("table1.csv", &table.render_csv());
+
+    // ------------------------------------------------ Figure 5
+    banner("Figure 5 — rewiring vs vm_snapshot (snapshot after every page write)");
+    let f5cfg = Fig5Config {
+        pages: scale.pages_per_col,
+        record_every: (scale.pages_per_col / 16).max(1),
+    };
+    let points = fig5_run(&f5cfg).expect("fig5");
+    let mut table = TableBuilder::new("").header([
+        "Pages written",
+        "VMAs",
+        "5a rewiring [ms]",
+        "5a vm_snapshot [ms]",
+        "5b rewiring write [us]",
+        "5b vm_snapshot write [us]",
+    ]);
+    for p in &points {
+        table.row([
+            p.pages_written.to_string(),
+            p.rewiring_vmas.to_string(),
+            format!("{:.3}", p.rewiring_snapshot_ns as f64 / 1e6),
+            format!("{:.3}", p.vmsnap_snapshot_ns as f64 / 1e6),
+            format!("{:.2}", p.rewiring_write_ns as f64 / 1e3),
+            format!("{:.2}", p.vmsnap_write_ns as f64 / 1e3),
+        ]);
+    }
+    println!("{}", table.render());
+    let last = points.last().unwrap();
+    println!(
+        "final vm_snapshot speedup: {:.1}x (paper: 68x at 51,200 pages)\n",
+        last.rewiring_snapshot_ns as f64 / last.vmsnap_snapshot_ns as f64
+    );
+    write_results_file("fig5.csv", &table.render_csv());
+
+    // ------------------------------------------------ Figure 7
+    banner("Figure 7 — OLAP latency under OLTP load (normalized to heterogeneous)");
+    let rows = fig7_run(&scale, 5);
+    let mut table = TableBuilder::new("").header([
+        "OLAP transaction",
+        "Homo/Ser [ms]",
+        "Homo/SI [ms]",
+        "Hetero [ms]",
+        "Homo/Ser (norm)",
+        "Homo/SI (norm)",
+    ]);
+    for r in &rows {
+        let (ns, si, _) = r.normalized();
+        table.row([
+            r.query.to_string(),
+            format!("{:.2}", r.homo_ser_ms),
+            format!("{:.2}", r.homo_si_ms),
+            format!("{:.2}", r.hetero_ms),
+            format!("{ns:.2}x"),
+            format!("{si:.2}x"),
+        ]);
+    }
+    println!("{}", table.render());
+    write_results_file("fig7.csv", &table.render_csv());
+
+    // ------------------------------------------------ Figure 8
+    banner("Figure 8 — transaction throughput (pure OLTP and mixed)");
+    let rows = fig8_run(&scale);
+    let mut table = TableBuilder::new("").header([
+        "Configuration",
+        "OLTP only [tps]",
+        "OLTP+10 OLAP [tps]",
+    ]);
+    for r in &rows {
+        table.row([
+            r.config.to_string(),
+            format!("{:.0}", r.oltp_only_tps),
+            format!("{:.0}", r.mixed_tps),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "mixed speedup of heterogeneous over best homogeneous: {:.2}x (paper ~2x)\n",
+        rows[2].mixed_tps / rows[0].mixed_tps.max(rows[1].mixed_tps)
+    );
+    write_results_file("fig8.csv", &table.render_csv());
+
+    // ------------------------------------------------ Figure 9
+    banner("Figure 9 — full-scan time vs fraction of versioned rows");
+    let fractions: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    let rows = fig9_run(&scale, &fractions);
+    let mut table = TableBuilder::new("").header([
+        "Versioned rows",
+        "LineItem [ms]",
+        "Orders [ms]",
+        "Part [ms]",
+    ]);
+    for &f in &fractions {
+        let find = |name: &str| {
+            rows.iter()
+                .find(|r| r.table == name && (r.fraction - f).abs() < 1e-9)
+                .map(|r| format!("{:.2}", r.scan_ms))
+                .unwrap_or_default()
+        };
+        table.row([
+            format!("{:.0}%", f * 100.0),
+            find("LineItem"),
+            find("Orders"),
+            find("Part"),
+        ]);
+    }
+    println!("{}", table.render());
+    write_results_file("fig9.csv", &table.render_csv());
+
+    // ------------------------------------------------ Figure 10
+    banner("Figure 10 — column snapshot cost vs fork (virtual ms)");
+    let r = fig10_run(&scale);
+    let mut table = TableBuilder::new("").header(["Target", "vm_snapshot [ms]"]);
+    for (tname, cols) in &r.tables {
+        let total: f64 = cols.iter().map(|(_, ms)| ms).sum();
+        table.row([format!("{tname} ({} columns)", cols.len()), format!("{total:.3}")]);
+    }
+    table.row(["All three tables".to_string(), format!("{:.3}", r.all_ms)]);
+    table.row(["fork()".to_string(), format!("{:.3}", r.fork_ms)]);
+    println!("{}", table.render());
+    write_results_file("fig10.csv", &table.render_csv());
+
+    // ------------------------------------------------ Figure 11
+    banner("Figure 11 — scaling with threads (heterogeneous, serializable)");
+    let counts = [1usize, 2, 4, 8];
+    let rows = fig11_run(&scale, &counts);
+    let base = (rows[0].oltp_only_tps, rows[0].mixed_tps);
+    let mut table = TableBuilder::new("").header([
+        "Threads",
+        "OLTP only [tps]",
+        "speedup",
+        "Mixed [tps]",
+        "speedup",
+    ]);
+    for r in &rows {
+        table.row([
+            r.threads.to_string(),
+            format!("{:.0}", r.oltp_only_tps),
+            format!("{:.2}x", r.oltp_only_tps / base.0),
+            format!("{:.0}", r.mixed_tps),
+            format!("{:.2}x", r.mixed_tps / base.1),
+        ]);
+    }
+    println!("{}", table.render());
+    write_results_file("fig11.csv", &table.render_csv());
+
+    println!("{}", "=".repeat(78));
+    println!("all experiments completed");
+}

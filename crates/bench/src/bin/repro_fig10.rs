@@ -1,0 +1,32 @@
+//! Reproduce **Figure 10**: cost of snapshotting each column of LINEITEM,
+//! ORDERS, and PART individually via `vm_snapshot`, stacked per table, vs
+//! forking the whole database process (paper §5.6).
+
+use anker_bench::args::{write_results_file, RunScale};
+use anker_bench::experiments::fig10_run;
+use anker_util::TableBuilder;
+
+fn main() {
+    let scale = RunScale::from_env();
+    println!("Figure 10 — column snapshot cost vs fork (sf={})\n", scale.sf);
+    let r = fig10_run(&scale);
+    let mut table = TableBuilder::new("").header(["Table / column", "vm_snapshot [ms]"]);
+    for (tname, cols) in &r.tables {
+        let total: f64 = cols.iter().map(|(_, ms)| ms).sum();
+        table.row([format!("{tname} (all {} columns)", cols.len()), format!("{total:.3}")]);
+        for (col, ms) in cols {
+            table.row([format!("  {col}"), format!("{ms:.3}")]);
+        }
+    }
+    table.row(["ALL three tables".to_string(), format!("{:.3}", r.all_ms)]);
+    table.row(["fork()".to_string(), format!("{:.3}", r.fork_ms)]);
+    println!("{}", table.render());
+    println!(
+        "fork / all-columns: {:.2}x; fork / single LINEITEM column: {:.1}x\n\
+         (paper: even snapshotting all columns of all three tables beats fork)",
+        r.fork_ms / r.all_ms,
+        r.fork_ms
+            / r.tables[0].1.iter().map(|(_, ms)| ms).fold(f64::INFINITY, |a, &b| a.min(b)),
+    );
+    write_results_file("fig10.csv", &table.render_csv());
+}

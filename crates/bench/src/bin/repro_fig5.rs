@@ -1,0 +1,45 @@
+//! Reproduce **Figure 5**: snapshot creation time (5a) and 8-byte write
+//! cost (5b) for rewiring vs `vm_snapshot`, as one page after another is
+//! written and re-snapshotted (paper §4.1.4).
+
+use anker_bench::args::{write_results_file, RunScale};
+use anker_snapshot::{fig5_run, Fig5Config};
+use anker_util::TableBuilder;
+
+fn main() {
+    let scale = RunScale::from_env();
+    let cfg = Fig5Config {
+        pages: scale.pages_per_col,
+        record_every: (scale.pages_per_col / 32).max(1),
+    };
+    println!(
+        "Figure 5 — rewiring vs vm_snapshot over {} pages (snapshot after every write)\n",
+        cfg.pages
+    );
+    let points = fig5_run(&cfg).expect("figure 5 experiment failed");
+    let mut table = TableBuilder::new("").header([
+        "Pages written",
+        "VMAs (rewiring)",
+        "5a rewiring snap [ms]",
+        "5a vm_snapshot snap [ms]",
+        "5b rewiring write [us]",
+        "5b vm_snapshot write [us]",
+    ]);
+    for p in &points {
+        table.row([
+            p.pages_written.to_string(),
+            p.rewiring_vmas.to_string(),
+            format!("{:.3}", p.rewiring_snapshot_ns as f64 / 1e6),
+            format!("{:.3}", p.vmsnap_snapshot_ns as f64 / 1e6),
+            format!("{:.2}", p.rewiring_write_ns as f64 / 1e3),
+            format!("{:.2}", p.vmsnap_write_ns as f64 / 1e3),
+        ]);
+    }
+    println!("{}", table.render());
+    let last = points.last().expect("at least one point");
+    println!(
+        "final speedup of vm_snapshot over rewiring: {:.1}x (paper: 68x at 51,200 pages)",
+        last.rewiring_snapshot_ns as f64 / last.vmsnap_snapshot_ns as f64
+    );
+    write_results_file("fig5.csv", &table.render_csv());
+}

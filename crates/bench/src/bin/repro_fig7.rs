@@ -1,0 +1,38 @@
+//! Reproduce **Figure 7**: latency of the 7 OLAP transactions while OLTP
+//! transactions pressure the remaining threads, under the three
+//! configurations, normalized to heterogeneous processing (paper §5.3).
+
+use anker_bench::args::{write_results_file, RunScale};
+use anker_bench::experiments::fig7_run;
+use anker_util::TableBuilder;
+
+fn main() {
+    let scale = RunScale::from_env();
+    println!(
+        "Figure 7 — OLAP latency under load (sf={}, {} threads)\n",
+        scale.sf, scale.threads
+    );
+    let rows = fig7_run(&scale, 5);
+    let mut table = TableBuilder::new("").header([
+        "OLAP transaction",
+        "Homo/Ser [ms]",
+        "Homo/SI [ms]",
+        "Hetero [ms]",
+        "Homo/Ser (norm)",
+        "Homo/SI (norm)",
+    ]);
+    for r in &rows {
+        let (ns, si, _) = r.normalized();
+        table.row([
+            r.query.to_string(),
+            format!("{:.2}", r.homo_ser_ms),
+            format!("{:.2}", r.homo_si_ms),
+            format!("{:.2}", r.hetero_ms),
+            format!("{ns:.2}x"),
+            format!("{si:.2}x"),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("(paper: homogeneous is 2x-4x slower than heterogeneous across all 7)");
+    write_results_file("fig7.csv", &table.render_csv());
+}

@@ -1,0 +1,56 @@
+//! Reproduce **Figure 9**: runtime of a full scan as the fraction of
+//! versioned rows grows from 0 % to 100 % (paper §5.5). The scanning
+//! transaction is older than the updates, so every versioned row forces a
+//! chain traversal — the homogeneous-processing situation.
+
+use anker_bench::args::{write_results_file, RunScale};
+use anker_bench::experiments::fig9_run;
+use anker_util::TableBuilder;
+
+fn main() {
+    let scale = RunScale::from_env();
+    println!("Figure 9 — scan time vs versioned fraction (sf={})\n", scale.sf);
+    let fractions: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    let rows = fig9_run(&scale, &fractions);
+    let mut table = TableBuilder::new("").header([
+        "Versioned rows",
+        "LineItem [ms]",
+        "Orders [ms]",
+        "Part [ms]",
+    ]);
+    for &f in &fractions {
+        let find = |name: &str| {
+            rows.iter()
+                .find(|r| r.table == name && (r.fraction - f).abs() < 1e-9)
+                .map(|r| format!("{:.2}", r.scan_ms))
+                .unwrap_or_default()
+        };
+        table.row([
+            format!("{:.0}%", f * 100.0),
+            find("LineItem"),
+            find("Orders"),
+            find("Part"),
+        ]);
+    }
+    println!("{}", table.render());
+    let ratio = |name: &str| {
+        let t0 = rows
+            .iter()
+            .find(|r| r.table == name && r.fraction == 0.0)
+            .unwrap()
+            .scan_ms;
+        let t1 = rows
+            .iter()
+            .find(|r| r.table == name && r.fraction == 1.0)
+            .unwrap()
+            .scan_ms;
+        t1 / t0
+    };
+    println!(
+        "fully-versioned / unversioned scan: LineItem {:.1}x, Orders {:.1}x, Part {:.1}x (paper: ~5x)",
+        ratio("LineItem"),
+        ratio("Orders"),
+        ratio("Part")
+    );
+    write_results_file("fig9.csv", &table.render_csv());
+}

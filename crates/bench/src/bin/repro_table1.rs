@@ -1,0 +1,61 @@
+//! Reproduce **Table 1**: snapshot creation cost of the state-of-the-art
+//! techniques (physical, fork-based, rewired) for 1/25/50 of 50 columns,
+//! with 0 … many pages modified per column (paper §3.3.2).
+
+use anker_bench::args::{write_results_file, RunScale};
+use anker_snapshot::{table1_run, Table1Config};
+use anker_util::TableBuilder;
+
+fn main() {
+    let scale = RunScale::from_env();
+    let cfg = Table1Config {
+        n_cols: scale.n_cols,
+        pages_per_col: scale.pages_per_col,
+        col_counts: vec![1, scale.n_cols / 2, scale.n_cols],
+        modified_pages: vec![
+            0,
+            scale.pages_per_col / 100,
+            scale.pages_per_col / 10,
+            scale.pages_per_col,
+        ],
+    };
+    println!(
+        "Table 1 — snapshot creation (virtual time). {} columns x {} pages ({} per column)\n",
+        cfg.n_cols,
+        cfg.pages_per_col,
+        anker_util::stats::fmt_bytes(cfg.pages_per_col * 4096),
+    );
+    let rows = table1_run(&cfg).expect("table 1 experiment failed");
+    let headers: Vec<String> = std::iter::once("Method".to_string())
+        .chain(std::iter::once("Pages Modified/Col".to_string()))
+        .chain(std::iter::once("VMAs/Col".to_string()))
+        .chain(cfg.col_counts.iter().map(|c| format!("{c} Col [ms]")))
+        .collect();
+    let mut table = TableBuilder::new("").header(headers);
+    for r in &rows {
+        let mut cells = vec![
+            r.method.to_string(),
+            r.modified_per_col.map(|m| m.to_string()).unwrap_or_else(|| "-".into()),
+            r.vmas_per_col.to_string(),
+        ];
+        cells.extend(r.virtual_ms.iter().map(|ms| format!("{ms:.2}")));
+        table.row(cells);
+    }
+    println!("{}", table.render());
+    println!("(wall-clock structural times of the simulator, for reference)");
+    let mut wall = TableBuilder::new("").header(
+        std::iter::once("Method".to_string())
+            .chain(cfg.col_counts.iter().map(|c| format!("{c} Col [ms]")))
+            .collect::<Vec<_>>(),
+    );
+    for r in &rows {
+        let mut cells = vec![match r.modified_per_col {
+            Some(m) => format!("{} ({m} mod)", r.method),
+            None => r.method.to_string(),
+        }];
+        cells.extend(r.wall_ms.iter().map(|ms| format!("{ms:.2}")));
+        wall.row(cells);
+    }
+    println!("{}", wall.render());
+    write_results_file("table1.csv", &table.render_csv());
+}

@@ -1,0 +1,25 @@
+//! # anker-bench — benchmark and reproduction harness
+//!
+//! One driver per table/figure of the paper's evaluation, shared between
+//! the criterion benches (`benches/`) and the `repro_*` binaries
+//! (`src/bin/`), which print paper-style tables and CSV files.
+//!
+//! | Paper artifact | Driver | Binary | Criterion bench |
+//! |---|---|---|---|
+//! | Table 1  | [`anker_snapshot::table1_run`] | `repro_table1` | `table1_snapshot_creation` |
+//! | Figure 5 | [`anker_snapshot::fig5_run`] | `repro_fig5` | `fig5_vmsnapshot_vs_rewiring` |
+//! | Figure 7 | [`experiments::fig7_run`] | `repro_fig7` | `fig7_olap_latency` |
+//! | Figure 8 | [`experiments::fig8_run`] | `repro_fig8` | `fig8_throughput` |
+//! | Figure 9 | [`experiments::fig9_run`] | `repro_fig9` | `fig9_versioned_scan` |
+//! | Figure 10 | [`experiments::fig10_run`] | `repro_fig10` | `fig10_column_snapshot` |
+//! | Figure 11 | [`experiments::fig11_run`] | `repro_fig11` | `fig11_scaling` |
+//! | Ablations | — | — | `ablations` |
+
+pub mod args;
+pub mod experiments;
+
+pub use args::RunScale;
+pub use experiments::{
+    fig10_run, fig11_run, fig7_run, fig8_run, fig9_run, Fig10Result, Fig11Row, Fig7Row, Fig8Row,
+    Fig9Row,
+};

@@ -1,0 +1,128 @@
+//! Database configuration: the three evaluated setups of §5.1 are
+//! combinations of [`ProcessingMode`] and
+//! [`anker_mvcc::IsolationLevel`].
+
+use anker_mvcc::IsolationLevel;
+use anker_vmem::KernelConfig;
+use std::time::Duration;
+
+/// Whether transactions are separated by type (§2.2) or all run on the live
+/// data (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcessingMode {
+    /// Classical MVCC: OLTP and OLAP share the live, versioned columns; a
+    /// background thread garbage-collects version chains.
+    Homogeneous,
+    /// AnKerDB's design: OLAP runs on high-frequency virtual column
+    /// snapshots; version chains are handed over and dropped with their
+    /// epoch.
+    Heterogeneous,
+}
+
+/// Configuration of an [`crate::AnkerDb`] instance.
+#[derive(Debug, Clone)]
+pub struct DbConfig {
+    /// Processing model (§5.1 configurations 1/2 vs 3).
+    pub mode: ProcessingMode,
+    /// Isolation level; `Serializable` adds commit-time read validation.
+    pub isolation: IsolationLevel,
+    /// Trigger a snapshot epoch every this many commits (paper: 10 000).
+    /// Only meaningful in heterogeneous mode.
+    pub snapshot_every_commits: u64,
+    /// Interval of the homogeneous garbage-collection thread (paper: "a
+    /// thread that makes a pass over the version chains every second").
+    /// `None` disables the background thread (tests drive GC manually).
+    pub gc_interval: Option<Duration>,
+    /// Recycle retired snapshot areas as `vm_snapshot` destinations
+    /// (§4.1.3). Ablation knob; off by default.
+    pub recycle_snapshot_areas: bool,
+    /// Materialise *every* column at trigger time instead of lazily on
+    /// first access — the "trivial way" §2.2.2 describes and rejects
+    /// ("this causes unnecessary overhead as we might access only a small
+    /// subset of the attributes"). Ablation knob; off by default.
+    pub eager_materialization: bool,
+    /// Simulated kernel parameters (page size, cost model, memory bound).
+    pub kernel: KernelConfig,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            mode: ProcessingMode::Heterogeneous,
+            isolation: IsolationLevel::Serializable,
+            snapshot_every_commits: 10_000,
+            gc_interval: Some(Duration::from_secs(1)),
+            recycle_snapshot_areas: false,
+            eager_materialization: false,
+            kernel: KernelConfig::default(),
+        }
+    }
+}
+
+impl DbConfig {
+    /// The paper's configuration 3: heterogeneous, fully serializable.
+    pub fn heterogeneous_serializable() -> DbConfig {
+        DbConfig::default()
+    }
+
+    /// The paper's configuration 1: homogeneous, fully serializable.
+    pub fn homogeneous_serializable() -> DbConfig {
+        DbConfig {
+            mode: ProcessingMode::Homogeneous,
+            ..DbConfig::default()
+        }
+    }
+
+    /// The paper's configuration 2: homogeneous, snapshot isolation.
+    pub fn homogeneous_snapshot_isolation() -> DbConfig {
+        DbConfig {
+            mode: ProcessingMode::Homogeneous,
+            isolation: IsolationLevel::SnapshotIsolation,
+            ..DbConfig::default()
+        }
+    }
+
+    /// Builder-style override of the snapshot trigger interval.
+    pub fn with_snapshot_every(mut self, commits: u64) -> DbConfig {
+        self.snapshot_every_commits = commits.max(1);
+        self
+    }
+
+    /// Builder-style override of the GC interval (`None` = no GC thread).
+    pub fn with_gc_interval(mut self, interval: Option<Duration>) -> DbConfig {
+        self.gc_interval = interval;
+        self
+    }
+
+    /// Builder-style override of the kernel configuration.
+    pub fn with_kernel(mut self, kernel: KernelConfig) -> DbConfig {
+        self.kernel = kernel;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configurations() {
+        let hetero = DbConfig::heterogeneous_serializable();
+        assert_eq!(hetero.mode, ProcessingMode::Heterogeneous);
+        assert_eq!(hetero.isolation, IsolationLevel::Serializable);
+        let homo_ser = DbConfig::homogeneous_serializable();
+        assert_eq!(homo_ser.mode, ProcessingMode::Homogeneous);
+        assert_eq!(homo_ser.isolation, IsolationLevel::Serializable);
+        let homo_si = DbConfig::homogeneous_snapshot_isolation();
+        assert_eq!(homo_si.isolation, IsolationLevel::SnapshotIsolation);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = DbConfig::default()
+            .with_snapshot_every(0)
+            .with_gc_interval(None);
+        assert_eq!(c.snapshot_every_commits, 1, "clamped to at least 1");
+        assert!(c.gc_interval.is_none());
+    }
+}

@@ -1,0 +1,409 @@
+//! The database object: tables, the MVCC engine state, the snapshot
+//! manager, and the homogeneous-mode garbage collection thread.
+
+use crate::config::{DbConfig, ProcessingMode};
+use crate::error::Result;
+use crate::snapman::SnapshotManager;
+use crate::table::{ColumnState, TableId, TableState};
+use crate::txn::{Txn, TxnKind};
+use anker_mvcc::{ActiveTxns, RecentCommits, TsOracle, VersionedColumn};
+use anker_storage::{ColumnArea, Schema};
+use anker_vmem::{Kernel, Space};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// State owned by the serialized commit section. Holding the guard is the
+/// capability to install writes, trigger epochs, and materialise snapshots.
+#[derive(Debug, Default)]
+pub struct CommitState {
+    pub(crate) commits_since_snapshot: u64,
+    pub(crate) commits_since_prune: u64,
+}
+
+/// Monotonic database statistics.
+#[derive(Debug, Default)]
+pub(crate) struct DbStats {
+    pub committed: AtomicU64,
+    pub committed_read_only: AtomicU64,
+    pub aborted_ww: AtomicU64,
+    pub aborted_validation: AtomicU64,
+    pub gc_passes: AtomicU64,
+    pub versions_collected: AtomicU64,
+}
+
+/// A point-in-time copy of the database statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DbStatsSnapshot {
+    pub committed: u64,
+    pub committed_read_only: u64,
+    pub aborted_ww: u64,
+    pub aborted_validation: u64,
+    pub gc_passes: u64,
+    pub versions_collected: u64,
+    pub epochs_triggered: u64,
+    pub epochs_retired: u64,
+    pub columns_materialized: u64,
+    pub live_epochs: u64,
+}
+
+struct GcThread {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+pub(crate) struct DbInner {
+    pub config: DbConfig,
+    pub kernel: Kernel,
+    pub space: Space,
+    pub tables: RwLock<Vec<Arc<TableState>>>,
+    pub oracle: TsOracle,
+    pub active: ActiveTxns,
+    pub recent: RecentCommits,
+    pub commit_mx: Mutex<CommitState>,
+    pub snapman: SnapshotManager,
+    pub stats: DbStats,
+    gc: Mutex<Option<GcThread>>,
+}
+
+/// AnKerDB: a main-memory, column-oriented transaction processing system
+/// with heterogeneous OLTP/OLAP processing over high-frequency virtual
+/// column snapshots.
+///
+/// ```
+/// use anker_core::{AnkerDb, DbConfig, TxnKind};
+/// use anker_storage::{ColumnDef, LogicalType, Schema};
+///
+/// let db = AnkerDb::new(DbConfig::default());
+/// let t = db.create_table(
+///     "accounts",
+///     Schema::new(vec![ColumnDef::new("balance", LogicalType::Int)]),
+///     4,
+/// );
+/// let balance = db.schema(t).col("balance");
+///
+/// // An OLTP transaction updates an account.
+/// let mut txn = db.begin(TxnKind::Oltp);
+/// txn.update(t, balance, 0, 100).unwrap();
+/// txn.commit().unwrap();
+///
+/// // An OLAP transaction sums all balances on a virtual snapshot.
+/// let mut olap = db.begin(TxnKind::Olap);
+/// let mut sum = 0i64;
+/// olap.scan(t, &[balance], |_, vals| sum += vals[0] as i64).unwrap();
+/// olap.commit().unwrap();
+/// assert_eq!(sum, 100);
+/// ```
+#[derive(Clone)]
+pub struct AnkerDb {
+    pub(crate) inner: Arc<DbInner>,
+}
+
+impl std::fmt::Debug for AnkerDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnkerDb")
+            .field("mode", &self.inner.config.mode)
+            .field("isolation", &self.inner.config.isolation)
+            .field("tables", &self.inner.tables.read().len())
+            .finish()
+    }
+}
+
+impl AnkerDb {
+    /// Boot a database with the given configuration. In homogeneous mode
+    /// with a `gc_interval`, a background garbage-collection thread starts
+    /// immediately (§5.1(1): "a thread that makes a pass over the version
+    /// chains every second").
+    pub fn new(config: DbConfig) -> AnkerDb {
+        let kernel = Kernel::new(config.kernel.clone());
+        let space = kernel.create_space();
+        let snapman = SnapshotManager::new(space.clone(), config.recycle_snapshot_areas);
+        let inner = Arc::new(DbInner {
+            kernel,
+            space,
+            tables: RwLock::new(Vec::new()),
+            oracle: TsOracle::new(),
+            active: ActiveTxns::new(),
+            recent: RecentCommits::new(),
+            commit_mx: Mutex::new(CommitState::default()),
+            snapman,
+            stats: DbStats::default(),
+            gc: Mutex::new(None),
+            config,
+        });
+        let db = AnkerDb { inner };
+        if db.inner.config.mode == ProcessingMode::Homogeneous {
+            if let Some(interval) = db.inner.config.gc_interval {
+                db.start_gc_thread(interval);
+            }
+        }
+        db
+    }
+
+    /// The simulated kernel (stats, virtual clock).
+    pub fn kernel(&self) -> &Kernel {
+        &self.inner.kernel
+    }
+
+    /// The configuration the database was booted with.
+    pub fn config(&self) -> &DbConfig {
+        &self.inner.config
+    }
+
+    /// Create a table of `rows` rows; content is zero until filled.
+    pub fn create_table(&self, name: impl Into<String>, schema: Schema, rows: u32) -> TableId {
+        let cols = schema
+            .iter()
+            .map(|(_, def)| {
+                let area = ColumnArea::alloc(&self.inner.space, rows)
+                    .expect("column allocation failed (simulated memory exhausted)");
+                ColumnState::new(VersionedColumn::new(rows, def.ty), area)
+            })
+            .collect();
+        let state = Arc::new(TableState {
+            name: name.into(),
+            schema,
+            rows,
+            cols,
+        });
+        let mut tables = self.inner.tables.write();
+        assert!(tables.len() < u16::MAX as usize, "too many tables");
+        tables.push(state);
+        TableId(tables.len() as u16 - 1)
+    }
+
+    /// Bulk-load a column (load timestamp 0; call before running
+    /// transactions).
+    pub fn fill_column(
+        &self,
+        table: TableId,
+        col: anker_storage::ColumnId,
+        values: impl IntoIterator<Item = u64>,
+    ) -> Result<u32> {
+        let t = self.table_state(table);
+        let n = t.col(col.0).current_area().fill(values)?;
+        Ok(n)
+    }
+
+    /// Table id of `name`.
+    pub fn table_id(&self, name: &str) -> Option<TableId> {
+        self.inner
+            .tables
+            .read()
+            .iter()
+            .position(|t| t.name == name)
+            .map(|i| TableId(i as u16))
+    }
+
+    /// Schema of `table` (cloned; schemas are small).
+    pub fn schema(&self, table: TableId) -> Schema {
+        self.table_state(table).schema.clone()
+    }
+
+    /// Number of rows of `table`.
+    pub fn rows(&self, table: TableId) -> u32 {
+        self.table_state(table).rows
+    }
+
+    pub(crate) fn table_state(&self, table: TableId) -> Arc<TableState> {
+        Arc::clone(&self.inner.tables.read()[table.0 as usize])
+    }
+
+    /// Begin a transaction of the given kind. The caller classifies the
+    /// transaction (§2.2: "incoming transactions are classified into being
+    /// either an OLTP or an OLAP transaction"); OLAP transactions are
+    /// read-only by contract and, in heterogeneous mode, run on the newest
+    /// snapshot epoch.
+    pub fn begin(&self, kind: TxnKind) -> Txn {
+        Txn::begin(self.clone(), kind)
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> DbStatsSnapshot {
+        let s = &self.inner.stats;
+        let o = Ordering::Relaxed;
+        DbStatsSnapshot {
+            committed: s.committed.load(o),
+            committed_read_only: s.committed_read_only.load(o),
+            aborted_ww: s.aborted_ww.load(o),
+            aborted_validation: s.aborted_validation.load(o),
+            gc_passes: s.gc_passes.load(o),
+            versions_collected: s.versions_collected.load(o),
+            epochs_triggered: self.inner.snapman.stats.epochs_triggered.load(o),
+            epochs_retired: self.inner.snapman.stats.epochs_retired.load(o),
+            columns_materialized: self.inner.snapman.stats.columns_materialized.load(o),
+            live_epochs: self.inner.snapman.live_epochs() as u64,
+        }
+    }
+
+    /// Version-chain entries currently held in one column's *current*
+    /// store (diagnostics).
+    pub fn column_versions(&self, table: TableId, col: anker_storage::ColumnId) -> u64 {
+        self.table_state(table)
+            .col(col.0)
+            .versioned
+            .current_store()
+            .version_count()
+    }
+
+    /// Total version-chain entries currently held across all tables and
+    /// epochs (diagnostics for Figure 9-style experiments).
+    pub fn total_versions(&self) -> u64 {
+        self.inner
+            .tables
+            .read()
+            .iter()
+            .flat_map(|t| t.cols.iter())
+            .map(|c| c.versioned.current_store().version_count())
+            .sum()
+    }
+
+    /// Acquire the serialized commit section, spinning briefly first: the
+    /// section is a microsecond-scale critical region, so parking the
+    /// thread (a syscall round-trip) costs more than it saves.
+    pub(crate) fn lock_commit(&self) -> parking_lot::MutexGuard<'_, CommitState> {
+        // Short spin with PAUSE (cheap on shared cores), then yield to the
+        // scheduler instead of parking: the critical section is about a
+        // microsecond, far below a park/unpark round trip.
+        for i in 0..10_000u32 {
+            if let Some(g) = self.inner.commit_mx.try_lock() {
+                return g;
+            }
+            if i % 64 == 63 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        self.inner.commit_mx.lock()
+    }
+
+    /// Experiment support (§5.6, Figure 10): measure the cost of
+    /// snapshotting each column of `table` individually with `vm_snapshot`.
+    /// Returns per-column `(name, stats-delta)`; the probe snapshots are
+    /// dropped again immediately.
+    pub fn snapshot_cost_probe(
+        &self,
+        table: TableId,
+    ) -> Result<Vec<(String, anker_vmem::KernelStats)>> {
+        let state = self.table_state(table);
+        let _cs = self.inner.commit_mx.lock();
+        let mut out = Vec::with_capacity(state.cols.len());
+        for (id, def) in state.schema.iter() {
+            let area = state.col(id.0).current_area();
+            let before = self.inner.kernel.stats();
+            let snap = self
+                .inner
+                .space
+                .vm_snapshot(None, area.addr(), area.mapped_bytes())?;
+            let delta = self.inner.kernel.stats().delta_since(&before);
+            self.inner.space.munmap(snap, area.mapped_bytes())?;
+            out.push((def.name.clone(), delta));
+        }
+        Ok(out)
+    }
+
+    /// Experiment support (§5.6, Figure 10): the cost of snapshotting via
+    /// `fork`, which duplicates the *entire* database address space —
+    /// every column of every table plus all live snapshot areas. (The
+    /// paper's process also contained indexes and version chains; ours
+    /// keeps those outside the simulated space, which only understates
+    /// fork's disadvantage.)
+    pub fn fork_cost_probe(&self) -> Result<anker_vmem::KernelStats> {
+        let _cs = self.inner.commit_mx.lock();
+        let before = self.inner.kernel.stats();
+        let child = self.inner.space.fork()?;
+        let delta = self.inner.kernel.stats().delta_since(&before);
+        drop(child);
+        Ok(delta)
+    }
+
+    /// Run one garbage-collection pass (homogeneous mode). Takes the commit
+    /// lock, exactly like the background thread — the cost the paper
+    /// attributes to classical MVCC GC.
+    pub fn run_gc_once(&self) -> u64 {
+        let _cs = self.inner.commit_mx.lock();
+        let min = self
+            .inner
+            .active
+            .min_active_or(self.inner.oracle.last_completed());
+        let mut removed = 0u64;
+        for table in self.inner.tables.read().iter() {
+            for col in &table.cols {
+                removed += col.versioned.gc(min);
+                col.versioned.release_frozen(min);
+            }
+        }
+        self.inner.recent.prune(min);
+        self.inner.snapman.graveyard.drain(min);
+        self.inner.stats.gc_passes.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .stats
+            .versions_collected
+            .fetch_add(removed, Ordering::Relaxed);
+        removed
+    }
+
+    fn start_gc_thread(&self, interval: std::time::Duration) {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        // The thread holds only a weak reference so dropping the last
+        // database handle stops it.
+        let weak = Arc::downgrade(&self.inner);
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("ankerdb-gc".into())
+            .spawn(move || loop {
+                {
+                    let (lock, cvar) = &*stop2;
+                    let mut stopped = lock.lock();
+                    if !*stopped {
+                        cvar.wait_for(&mut stopped, interval);
+                    }
+                    if *stopped {
+                        return;
+                    }
+                }
+                match weak.upgrade() {
+                    Some(inner) => {
+                        AnkerDb { inner }.run_gc_once();
+                    }
+                    None => return,
+                }
+            })
+            .expect("failed to spawn GC thread");
+        *self.inner.gc.lock() = Some(GcThread {
+            stop,
+            handle: Some(handle),
+        });
+    }
+
+    /// Stop the background GC thread (also done on drop of the last
+    /// handle).
+    pub fn shutdown(&self) {
+        if let Some(mut gc) = self.inner.gc.lock().take() {
+            {
+                let (lock, cvar) = &*gc.stop;
+                *lock.lock() = true;
+                cvar.notify_all();
+            }
+            if let Some(h) = gc.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl Drop for DbInner {
+    fn drop(&mut self) {
+        if let Some(mut gc) = self.gc.get_mut().take() {
+            {
+                let (lock, cvar) = &*gc.stop;
+                *lock.lock() = true;
+                cvar.notify_all();
+            }
+            if let Some(h) = gc.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}

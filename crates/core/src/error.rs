@@ -1,0 +1,84 @@
+//! Error and abort types of the database layer.
+
+use std::fmt;
+
+/// Why a transaction aborted. Aborts are normal outcomes under optimistic
+/// concurrency control, not failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// First-updater-wins: another transaction committed a write to the
+    /// same row after this transaction started (§2.1, "write-write
+    /// conflicts are detected at commit time").
+    WriteWriteConflict,
+    /// Precision-locking validation failed: a recently committed write
+    /// intersects this transaction's read predicates (§2.1). Carries the
+    /// offending commit timestamp.
+    ValidationFailed { conflicting_commit: u64 },
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbortReason::WriteWriteConflict => write!(f, "write-write conflict"),
+            AbortReason::ValidationFailed { conflicting_commit } => {
+                write!(f, "read-set validation failed against commit {conflicting_commit}")
+            }
+        }
+    }
+}
+
+/// Errors of the database layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// The transaction had to abort (see [`AbortReason`]).
+    Aborted(AbortReason),
+    /// A write was attempted through a read-only (OLAP) transaction.
+    ReadOnlyTransaction,
+    /// A memory error from the simulated kernel (indicates a bug or
+    /// resource exhaustion, not a recoverable condition).
+    Vm(anker_vmem::VmError),
+    /// The transaction was already finished (committed or aborted).
+    AlreadyFinished,
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Aborted(r) => write!(f, "transaction aborted: {r}"),
+            DbError::ReadOnlyTransaction => {
+                write!(f, "write attempted in a read-only (OLAP) transaction")
+            }
+            DbError::Vm(e) => write!(f, "memory subsystem error: {e}"),
+            DbError::AlreadyFinished => write!(f, "transaction already finished"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<anker_vmem::VmError> for DbError {
+    fn from(e: anker_vmem::VmError) -> DbError {
+        DbError::Vm(e)
+    }
+}
+
+/// Result alias of the database layer.
+pub type Result<T> = std::result::Result<T, DbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DbError::Aborted(AbortReason::ValidationFailed { conflicting_commit: 9 });
+        assert!(e.to_string().contains("commit 9"));
+        assert!(DbError::ReadOnlyTransaction.to_string().contains("read-only"));
+    }
+
+    #[test]
+    fn vm_errors_convert() {
+        let e: DbError = anker_vmem::VmError::OutOfMemory.into();
+        assert!(matches!(e, DbError::Vm(anker_vmem::VmError::OutOfMemory)));
+    }
+}

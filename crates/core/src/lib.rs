@@ -1,0 +1,42 @@
+//! # anker-core — AnKerDB
+//!
+//! A main-memory, column-oriented transaction processing system that
+//! reintroduces **heterogeneous processing** on top of MVCC, after the
+//! SIGMOD'18 paper *"Accelerating Analytical Processing in MVCC using
+//! Fine-Granular High-Frequency Virtual Snapshotting"*:
+//!
+//! * Short-running, modifying **OLTP** transactions run under MVCC on the
+//!   most recent representation of every column.
+//! * Long-running, read-only **OLAP** transactions run on **virtual column
+//!   snapshots** created at high frequency with the custom `vm_snapshot`
+//!   system call (simulated in [`anker_vmem`]); they scan frozen columns in
+//!   tight loops with zero timestamp or version-chain checks.
+//! * Snapshots are **column granular** and **lazy**: a trigger every *n*
+//!   commits registers only a timestamp; a column materialises on its first
+//!   post-trigger write or first OLAP access. Version chains are handed
+//!   over with the snapshot and dropped wholesale when it retires —
+//!   garbage collection for free.
+//! * The same engine runs in **homogeneous** mode (snapshots disabled, a GC
+//!   thread pruning chains) under snapshot isolation or full
+//!   serializability, reproducing the paper's three evaluated
+//!   configurations (§5.1).
+//!
+//! Start with [`AnkerDb::new`], create tables, then [`AnkerDb::begin`]
+//! transactions classified as [`TxnKind::Oltp`] or [`TxnKind::Olap`].
+
+pub mod config;
+pub mod db;
+pub mod error;
+pub mod snapman;
+pub mod table;
+pub mod txn;
+
+pub use config::{DbConfig, ProcessingMode};
+pub use db::{AnkerDb, CommitState, DbStatsSnapshot};
+pub use error::{AbortReason, DbError, Result};
+pub use table::TableId;
+pub use txn::{Txn, TxnKind};
+
+// Re-export the pieces users need to talk to the API.
+pub use anker_mvcc::{IsolationLevel, ScanStats};
+pub use anker_storage::{ColumnDef, ColumnId, Dictionary, LogicalType, Schema, Value};

@@ -1,0 +1,384 @@
+//! The snapshot manager: epoch triggering, lazy column-granular
+//! materialisation, pinning, and retirement (paper §2.2.2–§2.2.3, §5.1(3)).
+//!
+//! * A **trigger** (every *n* commits) only registers an epoch timestamp —
+//!   no snapshotting happens (§2.2.2 "only a timestamp for that snapshot is
+//!   logged").
+//! * A column is **materialised** for an epoch by the first post-trigger
+//!   *write* to it (inside the commit section, before the write installs) or
+//!   by the first OLAP *access* — whichever comes first. Either way the
+//!   column's content still equals its state at the epoch timestamp, so all
+//!   columns of an epoch are consistent with one single point in time even
+//!   though they materialise at different wall-clock moments.
+//! * Columns never touched and never read are never materialised (§2.2.2).
+//! * One `vm_snapshot` can serve several epochs: if no write happened
+//!   between two triggers, both epochs share the same frozen area.
+//! * OLAP transactions **pin** the newest epoch; an epoch that is no longer
+//!   newest and has no pins is retired, unmapping its areas — which, with
+//!   the chain hand-over in [`anker_mvcc::VersionedColumn`], is the paper's
+//!   implicit garbage collection.
+//!
+//! Locking: everything that materialises or triggers runs inside the
+//! database's serialized commit section (the `&mut CommitState` parameter
+//! is the capability token); pin/unpin only takes the epoch list mutex.
+
+use crate::db::CommitState;
+use crate::table::{ColumnState, TableState};
+use anker_storage::ColumnArea;
+use anker_util::FxHashMap;
+use anker_vmem::Space;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A materialised snapshot column. On retirement the area is *not*
+/// unmapped immediately: an OLTP reader may have acquired the area handle
+/// just before the snapshot swap and still be reading through it (such
+/// reads are correct — the per-row timestamp protocol routes it to chains
+/// for anything newer — but unmapping under it would fault). Instead the
+/// area is parked in the [`Graveyard`] tagged with its swap timestamp and
+/// unmapped once the active-transaction horizon passes it.
+pub(crate) struct SnapCol {
+    area: ColumnArea,
+    /// `last_completed` at the moment this area stopped being the current
+    /// representation; any transaction still holding a stale handle has
+    /// `start_ts <= swap_ts`.
+    swap_ts: u64,
+    graveyard: Arc<Graveyard>,
+    /// When recycling is on, retirement parks the area for reuse instead.
+    spare: Option<Arc<SpareAreas>>,
+}
+
+impl SnapCol {
+    pub fn area(&self) -> &ColumnArea {
+        &self.area
+    }
+}
+
+impl Drop for SnapCol {
+    fn drop(&mut self) {
+        if let Some(spare) = &self.spare {
+            spare.park(self.swap_ts, self.area.clone());
+        } else {
+            self.graveyard.park(self.swap_ts, self.area.clone());
+        }
+    }
+}
+
+/// Retired snapshot areas awaiting a safe point to unmap.
+#[derive(Default)]
+pub(crate) struct Graveyard {
+    pending: Mutex<Vec<(u64, ColumnArea)>>,
+}
+
+impl Graveyard {
+    fn park(&self, swap_ts: u64, area: ColumnArea) {
+        self.pending.lock().push((swap_ts, area));
+    }
+
+    /// Unmap every parked area whose swap timestamp is strictly below the
+    /// oldest active transaction's start timestamp: no live transaction can
+    /// hold a handle to it any more.
+    pub fn drain(&self, min_active_start: u64) {
+        let mut pending = self.pending.lock();
+        pending.retain(|(swap_ts, area)| {
+            if *swap_ts < min_active_start {
+                // Unmapping can only fail on address errors, which would be
+                // an internal bug; areas are never partially unmapped.
+                let _ = area.clone().unmap();
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Number of areas awaiting unmap (diagnostics).
+    #[allow(dead_code)]
+    pub fn len(&self) -> usize {
+        self.pending.lock().len()
+    }
+}
+
+/// Parking lot of still-mapped, retired snapshot areas for `vm_snapshot`
+/// destination recycling (§4.1.3), keyed by mapped size and tagged with the
+/// swap timestamp (a recycled destination is overwritten in place, which is
+/// as hazardous for stale readers as unmapping — the same horizon applies).
+#[derive(Default)]
+pub(crate) struct SpareAreas {
+    by_size: Mutex<FxHashMap<u64, Vec<(u64, ColumnArea)>>>,
+}
+
+impl SpareAreas {
+    fn park(&self, swap_ts: u64, area: ColumnArea) {
+        self.by_size
+            .lock()
+            .entry(area.mapped_bytes())
+            .or_default()
+            .push((swap_ts, area));
+    }
+
+    fn take(&self, bytes: u64, min_active_start: u64) -> Option<ColumnArea> {
+        let mut map = self.by_size.lock();
+        let pool = map.get_mut(&bytes)?;
+        let idx = pool.iter().position(|(ts, _)| *ts < min_active_start)?;
+        Some(pool.swap_remove(idx).1)
+    }
+}
+
+/// One snapshot epoch.
+pub(crate) struct Epoch {
+    /// The single point in time all of this epoch's columns represent.
+    pub ts: u64,
+    cols: Mutex<FxHashMap<(u16, u16), Arc<SnapCol>>>,
+    pins: AtomicU64,
+    /// True once any column was written *without* being materialised for
+    /// this epoch (because nobody was reading it): the epoch can no longer
+    /// guarantee a consistent multi-column view and must not be pinned.
+    damaged: std::sync::atomic::AtomicBool,
+}
+
+impl Epoch {
+    /// The materialised snapshot column for `(table, col)`, if present.
+    pub fn col(&self, key: (u16, u16)) -> Option<Arc<SnapCol>> {
+        self.cols.lock().get(&key).cloned()
+    }
+
+    /// Current pin count (OLAP transactions running on this epoch).
+    #[allow(dead_code)]
+    pub fn pins(&self) -> u64 {
+        self.pins.load(Ordering::Acquire)
+    }
+
+    /// Whether a write bypassed this epoch (see field docs).
+    pub fn is_damaged(&self) -> bool {
+        self.damaged.load(Ordering::Acquire)
+    }
+}
+
+/// Snapshot-manager statistics (all monotonic).
+#[derive(Debug, Default)]
+pub(crate) struct SnapStats {
+    pub epochs_triggered: AtomicU64,
+    pub epochs_retired: AtomicU64,
+    pub columns_materialized: AtomicU64,
+}
+
+pub(crate) struct SnapshotManager {
+    space: Space,
+    /// Live epochs in ascending timestamp order; the last one is newest.
+    epochs: Mutex<Vec<Arc<Epoch>>>,
+    /// Timestamp of the newest epoch (0 = none). Lock-free mirror for the
+    /// commit path's materialisation fast-path check.
+    pub newest_ts: AtomicU64,
+    pub graveyard: Arc<Graveyard>,
+    spare: Option<Arc<SpareAreas>>,
+    pub stats: SnapStats,
+}
+
+impl SnapshotManager {
+    pub fn new(space: Space, recycle: bool) -> SnapshotManager {
+        SnapshotManager {
+            space,
+            epochs: Mutex::new(Vec::new()),
+            newest_ts: AtomicU64::new(0),
+            graveyard: Arc::<Graveyard>::default(),
+            spare: recycle.then(Arc::<SpareAreas>::default),
+            stats: SnapStats::default(),
+        }
+    }
+
+    /// The newest epoch, if any.
+    #[allow(dead_code)]
+    pub fn newest(&self) -> Option<Arc<Epoch>> {
+        self.epochs.lock().last().cloned()
+    }
+
+    /// Register a new epoch at `ts` (commit section only) and retire
+    /// superseded, unpinned epochs.
+    pub fn trigger_epoch(&self, _cs: &mut CommitState, ts: u64) -> Arc<Epoch> {
+        let epoch = Arc::new(Epoch {
+            ts,
+            cols: Mutex::new(FxHashMap::default()),
+            pins: AtomicU64::new(0),
+            damaged: std::sync::atomic::AtomicBool::new(false),
+        });
+        let mut epochs = self.epochs.lock();
+        debug_assert!(epochs.last().map(|e| e.ts <= ts).unwrap_or(true));
+        epochs.push(Arc::clone(&epoch));
+        self.newest_ts.store(ts, Ordering::Release);
+        self.stats.epochs_triggered.fetch_add(1, Ordering::Relaxed);
+        self.retire_locked(&mut epochs);
+        epoch
+    }
+
+    /// Pin the newest epoch if it can still serve a new OLAP transaction:
+    /// it must be undamaged (no write bypassed it) and at most
+    /// `max_age_commits` commits behind `now_ts` (the paper's freshness
+    /// bound: a snapshot at least every *n* commits). Returns `None` when a
+    /// fresh epoch must be created instead.
+    ///
+    /// Pinning and damage-marking both happen under the epoch-list mutex,
+    /// so a writer either sees the pin (and materialises for the epoch) or
+    /// the reader sees the damage (and asks for a fresh epoch).
+    pub fn pin_newest_fresh(&self, now_ts: u64, max_age_commits: u64) -> Option<Arc<Epoch>> {
+        let epochs = self.epochs.lock();
+        let newest = epochs.last()?;
+        if newest.is_damaged() || now_ts.saturating_sub(newest.ts) > max_age_commits {
+            return None;
+        }
+        newest.pins.fetch_add(1, Ordering::AcqRel);
+        Some(Arc::clone(newest))
+    }
+
+    /// Pin a specific epoch (used for a just-created epoch while the
+    /// creating thread still holds the commit lock, so no write can damage
+    /// it in between).
+    pub fn pin_epoch(&self, epoch: &Arc<Epoch>) {
+        let _order = self.epochs.lock();
+        epoch.pins.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Unpin an epoch (OLAP transaction end); retires it if superseded and
+    /// now unpinned.
+    pub fn unpin(&self, epoch: &Arc<Epoch>) {
+        let prev = epoch.pins.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "unpin without pin");
+        let mut epochs = self.epochs.lock();
+        self.retire_locked(&mut epochs);
+    }
+
+    /// Drop every epoch that is superseded and unpinned. The newest epoch
+    /// always stays (it serves the next OLAP arrival).
+    fn retire_locked(&self, epochs: &mut Vec<Arc<Epoch>>) {
+        let n = epochs.len();
+        if n <= 1 {
+            return;
+        }
+        let mut retired = 0u64;
+        for i in (0..n - 1).rev() {
+            if epochs[i].pins.load(Ordering::Acquire) == 0 {
+                // Dropping the epoch drops its SnapCol arcs; the last arc
+                // unmaps (or parks) each area.
+                epochs.remove(i);
+                retired += 1;
+            }
+        }
+        if retired > 0 {
+            self.stats.epochs_retired.fetch_add(retired, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of live epochs.
+    pub fn live_epochs(&self) -> usize {
+        self.epochs.lock().len()
+    }
+
+    /// Handle an imminent write to `(table_id, col_id)` (commit section
+    /// only, *before* the write installs): every **pinned** epoch missing
+    /// the column gets it materialised now (an active reader may still ask
+    /// for it); unpinned epochs are damage-marked instead — nobody is
+    /// reading them, so paying `vm_snapshot` + copy-on-write for them would
+    /// tax pure OLTP throughput for nothing (the paper's Figure 8 shows
+    /// heterogeneous OLTP throughput matching homogeneous, which rules out
+    /// unconditional write-triggered materialisation).
+    pub fn note_write(
+        &self,
+        cs: &mut CommitState,
+        table: &TableState,
+        table_id: u16,
+        col_id: u16,
+        now_ts: u64,
+    ) -> anker_vmem::Result<()> {
+        let key = (table_id, col_id);
+        let to_materialize = {
+            let epochs = self.epochs.lock();
+            let mut need = false;
+            for e in epochs.iter() {
+                if e.cols.lock().contains_key(&key) {
+                    continue;
+                }
+                if e.pins.load(Ordering::Acquire) > 0 {
+                    need = true;
+                } else {
+                    e.damaged.store(true, Ordering::Release);
+                }
+            }
+            need
+        };
+        if to_materialize {
+            self.materialize_column(cs, table, table_id, col_id, now_ts)?;
+        }
+        // Fast-path marker: this column is settled for the current newest
+        // epoch (either materialised or the epoch is damaged).
+        table
+            .col(col_id as usize)
+            .snapshot_ts
+            .store(self.newest_ts.load(Ordering::Acquire), Ordering::Release);
+        Ok(())
+    }
+
+    /// Materialise `(table_id, col_id)` for every live epoch that misses it
+    /// and can still consistently receive it (commit section only). Called
+    /// by [`SnapshotManager::note_write`] for pinned epochs and by the OLAP
+    /// read path on first access.
+    ///
+    /// Returns the snapshot column now registered for the **newest** such
+    /// epoch.
+    pub fn materialize_column(
+        &self,
+        _cs: &mut CommitState,
+        table: &TableState,
+        table_id: u16,
+        col_id: u16,
+        now_ts: u64,
+    ) -> anker_vmem::Result<Option<Arc<SnapCol>>> {
+        let epochs: Vec<Arc<Epoch>> = self.epochs.lock().clone();
+        if epochs.is_empty() {
+            return Ok(None);
+        }
+        let key = (table_id, col_id);
+        let col: &ColumnState = table.col(col_id as usize);
+        let last_mutation = col.last_mutation();
+        // Which live epochs miss this column and may still take it? A
+        // damaged epoch is only served columns whose state still matches
+        // its timestamp (pinned readers may have started before the damage;
+        // their columns of interest must satisfy the invariant below).
+        let missing: Vec<&Arc<Epoch>> = epochs
+            .iter()
+            .filter(|e| last_mutation <= e.ts && !e.cols.lock().contains_key(&key))
+            .collect();
+        if missing.is_empty() {
+            return Ok(epochs
+                .iter()
+                .rev()
+                .find_map(|e| e.col(key)));
+        }
+        // One vm_snapshot serves all missing epochs: the column's state has
+        // not changed since before the oldest of them.
+        let cur = col.current_area();
+        let bytes = cur.mapped_bytes();
+        let dst = self.spare.as_ref().and_then(|s| s.take(bytes, now_ts));
+        let fresh_addr = self.space.vm_snapshot(dst.map(|a| a.addr()), cur.addr(), bytes)?;
+        // The duplicate becomes the new most-recent representation; the old
+        // area freezes into the snapshot (Figure 1, step 4).
+        let fresh = ColumnArea::from_raw(self.space.clone(), fresh_addr, cur.rows());
+        let old = col.swap_area(fresh);
+        // Hand the version chains over (they serve pre-epoch OLTP readers
+        // until the active horizon passes the newest epoch timestamp).
+        let newest_missing_ts = missing.iter().map(|e| e.ts).max().expect("nonempty");
+        col.versioned.freeze_epoch(newest_missing_ts);
+        let snap = Arc::new(SnapCol {
+            area: old,
+            swap_ts: now_ts,
+            graveyard: Arc::clone(&self.graveyard),
+            spare: self.spare.clone(),
+        });
+        for e in missing {
+            e.cols.lock().insert(key, Arc::clone(&snap));
+        }
+        col.snapshot_ts.store(newest_missing_ts, Ordering::Release);
+        self.stats.columns_materialized.fetch_add(1, Ordering::Relaxed);
+        Ok(Some(snap))
+    }
+}

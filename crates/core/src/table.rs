@@ -1,0 +1,70 @@
+//! Table state: schema plus per-column storage and MVCC state.
+
+use anker_mvcc::VersionedColumn;
+use anker_storage::{ColumnArea, Schema};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identifier of a table within its database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TableId(pub u16);
+
+/// Runtime state of one column: the current (OLTP) area — re-pointed on
+/// every snapshot materialisation, Figure 1 steps 4/7 — plus the column's
+/// MVCC state and the timestamp of its newest committed write.
+pub(crate) struct ColumnState {
+    pub versioned: VersionedColumn,
+    area: RwLock<ColumnArea>,
+    /// Commit timestamp of the newest write to this column; a snapshot
+    /// materialised now is valid for any epoch with `ts >=` this.
+    pub last_mutation_ts: AtomicU64,
+    /// Timestamp of the newest epoch this column is materialised for
+    /// (fast-path guard: when `>=` the newest epoch's timestamp, the write
+    /// path can skip the snapshot manager entirely).
+    pub snapshot_ts: AtomicU64,
+}
+
+impl ColumnState {
+    pub fn new(versioned: VersionedColumn, area: ColumnArea) -> ColumnState {
+        ColumnState {
+            versioned,
+            area: RwLock::new(area),
+            last_mutation_ts: AtomicU64::new(0),
+            snapshot_ts: AtomicU64::new(0),
+        }
+    }
+
+    /// A handle to the current most-recent representation. Callers must
+    /// re-acquire per operation (never cache across a potential snapshot
+    /// swap); the per-row timestamp protocol makes any interleaving safe.
+    pub fn current_area(&self) -> ColumnArea {
+        self.area.read().clone()
+    }
+
+    /// Swap in a fresh area (the `vm_snapshot` duplicate that becomes the
+    /// new most-recent representation); returns the previous area, which
+    /// becomes the read-only snapshot.
+    pub fn swap_area(&self, fresh: ColumnArea) -> ColumnArea {
+        let mut guard = self.area.write();
+        std::mem::replace(&mut *guard, fresh)
+    }
+
+    /// Newest committed write timestamp of this column.
+    pub fn last_mutation(&self) -> u64 {
+        self.last_mutation_ts.load(Ordering::Acquire)
+    }
+}
+
+/// Runtime state of one table.
+pub(crate) struct TableState {
+    pub name: String,
+    pub schema: Schema,
+    pub rows: u32,
+    pub cols: Vec<ColumnState>,
+}
+
+impl TableState {
+    pub fn col(&self, idx: usize) -> &ColumnState {
+        &self.cols[idx]
+    }
+}

@@ -1,0 +1,499 @@
+//! Transactions: classification, reads on live or snapshotted data, local
+//! writes, and the serialized commit protocol.
+
+use crate::config::ProcessingMode;
+use crate::db::AnkerDb;
+use crate::error::{AbortReason, DbError, Result};
+use crate::snapman::{Epoch, SnapCol};
+use crate::table::{TableId, TableState};
+use anker_mvcc::{
+    ColRef, CommitRecord, IsolationLevel, LocalWrite, Pred, ScanStats, Transaction, TxnId,
+    WriteRecord, PENDING,
+};
+use anker_storage::{ColumnId, Value};
+use anker_util::FxHashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Transaction classification (§2.2): modifying, short-running transactions
+/// are OLTP; long-running read-only analytics are OLAP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnKind {
+    /// Runs on the most recent representation; may write.
+    Oltp,
+    /// Read-only by contract; in heterogeneous mode it runs entirely on the
+    /// newest snapshot epoch and never checks version chains.
+    Olap,
+}
+
+/// A running transaction. Obtain with [`AnkerDb::begin`]; finish with
+/// [`Txn::commit`] or [`Txn::abort`] (dropping aborts implicitly).
+pub struct Txn {
+    db: AnkerDb,
+    inner: Transaction,
+    kind: TxnKind,
+    /// Pinned snapshot epoch (heterogeneous OLAP only).
+    epoch: Option<Arc<Epoch>>,
+    snap_cache: FxHashMap<(u16, u16), Arc<SnapCol>>,
+    /// Per-transaction cache of resolved table states: avoids re-taking the
+    /// tables RwLock on every operation (a measurable cache-line ping-pong
+    /// between cores on the OLTP hot path).
+    table_cache: Vec<Option<Arc<TableState>>>,
+    active_token: Option<anker_mvcc::ActiveToken>,
+    finished: bool,
+}
+
+impl std::fmt::Debug for Txn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Txn")
+            .field("id", &self.inner.id())
+            .field("kind", &self.kind)
+            .field("start_ts", &self.inner.start_ts())
+            .finish()
+    }
+}
+
+impl Txn {
+    pub(crate) fn begin(db: AnkerDb, kind: TxnKind) -> Txn {
+        let heterogeneous = db.inner.config.mode == ProcessingMode::Heterogeneous;
+        let epoch = if heterogeneous && kind == TxnKind::Olap {
+            Some(Self::pin_or_create_epoch(&db))
+        } else {
+            None
+        };
+        let start_ts = match &epoch {
+            Some(e) => e.ts,
+            None => db.inner.oracle.start_ts(),
+        };
+        let active_token = db.inner.active.register(start_ts);
+        static NEXT_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+        let id = TxnId(NEXT_ID.fetch_add(1, Ordering::Relaxed));
+        Txn {
+            db,
+            inner: Transaction::begin(id, start_ts),
+            kind,
+            epoch,
+            snap_cache: FxHashMap::default(),
+            table_cache: Vec::new(),
+            active_token: Some(active_token),
+            finished: false,
+        }
+    }
+
+    /// Resolve (and cache) a table's state for the rest of this
+    /// transaction. Tables are append-only registered, so the cache cannot
+    /// go stale.
+    fn table(&mut self, table: TableId) -> Arc<TableState> {
+        let idx = table.0 as usize;
+        if idx >= self.table_cache.len() {
+            self.table_cache.resize(idx + 1, None);
+        }
+        if let Some(t) = &self.table_cache[idx] {
+            return Arc::clone(t);
+        }
+        let state = self.db.table_state(table);
+        self.table_cache[idx] = Some(Arc::clone(&state));
+        state
+    }
+
+    /// Pin a snapshot epoch for an arriving OLAP transaction: the newest
+    /// epoch if it is still fresh (within the trigger interval) and
+    /// undamaged, otherwise a brand-new epoch created at a commit boundary
+    /// (Figure 1, step 4: "as no snapshot is present yet to run T3 on, the
+    /// first snapshot is taken").
+    fn pin_or_create_epoch(db: &AnkerDb) -> Arc<Epoch> {
+        let max_age = db.inner.config.snapshot_every_commits;
+        let now = db.inner.oracle.last_completed();
+        if let Some(e) = db.inner.snapman.pin_newest_fresh(now, max_age) {
+            return e;
+        }
+        let mut cs = db.lock_commit();
+        // Re-check under the commit lock (another OLAP may have raced us).
+        let now = db.inner.oracle.last_completed();
+        if let Some(e) = db.inner.snapman.pin_newest_fresh(now, max_age) {
+            return e;
+        }
+        // Pin before releasing the commit lock: once the lock drops, a
+        // concurrent commit could damage the fresh epoch.
+        let epoch = db.inner.snapman.trigger_epoch(&mut cs, now);
+        db.inner.snapman.pin_epoch(&epoch);
+        drop(cs);
+        epoch
+    }
+
+    /// The transaction's classification.
+    pub fn kind(&self) -> TxnKind {
+        self.kind
+    }
+
+    /// The snapshot timestamp all reads observe. For heterogeneous OLAP
+    /// transactions this is the epoch timestamp — slightly stale but
+    /// serializable at that point (§2.2).
+    pub fn start_ts(&self) -> u64 {
+        self.inner.start_ts()
+    }
+
+    fn colref(table: TableId, col: ColumnId) -> ColRef {
+        ColRef::new(table.0, col.0 as u16)
+    }
+
+    fn serializable_updater(&self) -> bool {
+        self.kind == TxnKind::Oltp
+            && self.db.inner.config.isolation == IsolationLevel::Serializable
+    }
+
+    /// The snapshot column for `(table, col)`, materialising it on first
+    /// access (§2.2.2 lazy materialisation).
+    fn snapshot_col(&mut self, table: TableId, col: ColumnId) -> Result<Arc<SnapCol>> {
+        let key = (table.0, col.0 as u16);
+        if let Some(sc) = self.snap_cache.get(&key) {
+            return Ok(Arc::clone(sc));
+        }
+        let epoch = self.epoch.as_ref().expect("snapshot access without epoch");
+        let sc = match epoch.col(key) {
+            Some(sc) => sc,
+            None => {
+                // First access: materialise under the commit lock.
+                let state = self.db.table_state(table);
+                let mut cs = self.db.lock_commit();
+                match epoch.col(key) {
+                    Some(sc) => sc,
+                    None => {
+                        let now = self.db.inner.oracle.last_completed();
+                        self.db
+                            .inner
+                            .snapman
+                            .materialize_column(&mut cs, &state, table.0, col.0 as u16, now)?
+                            .expect("live epoch exists");
+                        epoch.col(key).expect("column just materialised")
+                    }
+                }
+            }
+        };
+        self.snap_cache.insert(key, Arc::clone(&sc));
+        Ok(sc)
+    }
+
+    /// Read the raw word of `(table, col, row)` under this transaction's
+    /// visibility.
+    pub fn get(&mut self, table: TableId, col: ColumnId, row: u32) -> Result<u64> {
+        let cref = Self::colref(table, col);
+        if let Some(own) = self.inner.own_write(cref, row) {
+            return Ok(own);
+        }
+        if self.epoch.is_some() {
+            // Heterogeneous OLAP: read the frozen snapshot in place — no
+            // timestamps, no chains.
+            let sc = self.snapshot_col(table, col)?;
+            return Ok(sc.area().get(row)?);
+        }
+        let state = self.table(table);
+        let cs = state.col(col.0);
+        let area = cs.current_area();
+        let v = cs.versioned.read(&area, row, self.inner.start_ts())?;
+        if self.serializable_updater() {
+            self.inner.log_row_read(cref, row);
+        }
+        Ok(v)
+    }
+
+    /// Typed read.
+    pub fn get_value(&mut self, table: TableId, col: ColumnId, row: u32) -> Result<Value> {
+        let ty = self.table(table).schema.def(col).ty;
+        Ok(Value::decode(self.get(table, col, row)?, ty))
+    }
+
+    /// Buffer an update of `(table, col, row)` to `word`. Nothing shared is
+    /// touched until commit; aborts are free.
+    pub fn update(&mut self, table: TableId, col: ColumnId, row: u32, word: u64) -> Result<()> {
+        if self.kind == TxnKind::Olap {
+            return Err(DbError::ReadOnlyTransaction);
+        }
+        let cref = Self::colref(table, col);
+        if self.db.inner.config.isolation == IsolationLevel::Serializable {
+            // The update's target row is part of the read footprint.
+            self.inner.log_row_read(cref, row);
+        }
+        self.inner.write(cref, row, word);
+        Ok(())
+    }
+
+    /// Typed update.
+    pub fn update_value(
+        &mut self,
+        table: TableId,
+        col: ColumnId,
+        row: u32,
+        value: Value,
+    ) -> Result<()> {
+        self.update(table, col, row, value.encode())
+    }
+
+    /// Log a range predicate `lo <= col <= hi` this transaction filtered on
+    /// (precision locking; no-op unless a serializable updater).
+    pub fn log_range(&mut self, table: TableId, col: ColumnId, lo: f64, hi: f64) {
+        if self.serializable_updater() {
+            let ty = self.table(table).schema.def(col).ty;
+            self.inner.log_predicate(Pred::Range {
+                col: Self::colref(table, col),
+                ty,
+                lo,
+                hi,
+            });
+        }
+    }
+
+    /// Log a dictionary-equality predicate.
+    pub fn log_dict_eq(&mut self, table: TableId, col: ColumnId, code: u32) {
+        if self.serializable_updater() {
+            self.inner.log_predicate(Pred::DictEq {
+                col: Self::colref(table, col),
+                code,
+            });
+        }
+    }
+
+    /// Multi-column scan in row order: `f(row, values)` receives one raw
+    /// word per requested column.
+    ///
+    /// * Heterogeneous OLAP: tight loops over the snapshot columns — no
+    ///   version checks at all (the paper's headline fast path).
+    /// * Otherwise: versioned scan at the transaction's start timestamp
+    ///   with the 1024-row block-skip optimisation (§5.5).
+    pub fn scan(
+        &mut self,
+        table: TableId,
+        cols: &[ColumnId],
+        mut f: impl FnMut(u32, &[u64]),
+    ) -> Result<ScanStats> {
+        let rows = self.db.rows(table);
+        let mut stats = ScanStats::default();
+        if self.epoch.is_some() {
+            let areas = cols
+                .iter()
+                .map(|&c| self.snapshot_col(table, c))
+                .collect::<Result<Vec<_>>>()?;
+            let mut bufs = vec![vec![0u64; anker_mvcc::BLOCK_ROWS as usize]; cols.len()];
+            let mut vals = vec![0u64; cols.len()];
+            let mut start = 0u32;
+            while start < rows {
+                let n = anker_mvcc::BLOCK_ROWS.min(rows - start);
+                for (sc, buf) in areas.iter().zip(bufs.iter_mut()) {
+                    sc.area().read_block_into(start, n, buf)?;
+                }
+                for i in 0..n {
+                    for (ci, buf) in bufs.iter().enumerate() {
+                        vals[ci] = buf[i as usize];
+                    }
+                    f(start + i, &vals);
+                }
+                stats.tight_rows += n as u64;
+                start += n;
+            }
+            return Ok(stats);
+        }
+        // Live (versioned) scan.
+        if self.serializable_updater() {
+            for &c in cols {
+                self.inner
+                    .log_predicate(Pred::FullColumn { col: Self::colref(table, c) });
+            }
+        }
+        let state: Arc<TableState> = self.table(table);
+        let start_ts = self.inner.start_ts();
+        let col_states: Vec<_> = cols.iter().map(|&c| state.col(c.0)).collect();
+        let areas: Vec<_> = col_states.iter().map(|cs| cs.current_area()).collect();
+        let mut bufs = vec![vec![0u64; anker_mvcc::BLOCK_ROWS as usize]; cols.len()];
+        let mut vals = vec![0u64; cols.len()];
+        let mut start = 0u32;
+        while start < rows {
+            let n = anker_mvcc::BLOCK_ROWS.min(rows - start);
+            for ((cs, area), buf) in col_states.iter().zip(&areas).zip(bufs.iter_mut()) {
+                cs.versioned
+                    .gather_visible_block(area, start_ts, start, n, buf, &mut stats)?;
+            }
+            for i in 0..n {
+                for (ci, buf) in bufs.iter().enumerate() {
+                    vals[ci] = buf[i as usize];
+                }
+                f(start + i, &vals);
+            }
+            start += n;
+        }
+        Ok(stats)
+    }
+
+    /// Commit. Read-only transactions commit without validation (they are
+    /// serializable at their snapshot point); updaters go through the
+    /// serialized commit section: write-write check, read-set validation
+    /// (serializable mode), snapshot-pending materialisation, install,
+    /// epoch trigger.
+    pub fn commit(mut self) -> Result<u64> {
+        if self.finished {
+            return Err(DbError::AlreadyFinished);
+        }
+        self.finished = true;
+        let db = self.db.clone();
+        let start_ts = self.inner.start_ts();
+
+        if self.inner.writes().is_empty() {
+            self.release();
+            db.inner.stats.committed_read_only.fetch_add(1, Ordering::Relaxed);
+            return Ok(start_ts);
+        }
+
+        let writes: Vec<LocalWrite> = self.inner.writes().to_vec();
+        let mut cs = db.lock_commit();
+
+        // Write-write conflicts: first-updater-wins (§2.1).
+        for w in &writes {
+            let state = self.table(TableId(w.col.table));
+            let ts = state.col(w.col.col as usize).versioned.last_write_ts(w.row) & !PENDING;
+            if ts > start_ts {
+                drop(cs);
+                self.release();
+                db.inner.stats.aborted_ww.fetch_add(1, Ordering::Relaxed);
+                return Err(DbError::Aborted(AbortReason::WriteWriteConflict));
+            }
+        }
+        // Read-set validation via precision locking (§2.1).
+        if db.inner.config.isolation == IsolationLevel::Serializable {
+            if let Err(conflicting) = db.inner.recent.validate(start_ts, self.inner.predicates())
+            {
+                drop(cs);
+                self.release();
+                db.inner.stats.aborted_validation.fetch_add(1, Ordering::Relaxed);
+                return Err(DbError::Aborted(AbortReason::ValidationFailed {
+                    conflicting_commit: conflicting,
+                }));
+            }
+        }
+
+        let commit_ts = db.inner.oracle.begin_commit();
+        let heterogeneous = db.inner.config.mode == ProcessingMode::Heterogeneous;
+
+        // Settle the snapshot state of every column we are about to write
+        // (§2.2.2): pinned epochs missing the column get it materialised
+        // now; unpinned ones are damage-marked (see SnapshotManager).
+        if heterogeneous {
+            let mut seen: Vec<(u16, u16)> = Vec::with_capacity(writes.len());
+            for w in &writes {
+                let key = (w.col.table, w.col.col);
+                if seen.contains(&key) {
+                    continue;
+                }
+                seen.push(key);
+                let state = self.table(TableId(key.0));
+                // Fast path: the column is already settled (materialised or
+                // damage-marked) for the newest epoch.
+                let newest = db.inner.snapman.newest_ts.load(Ordering::Acquire);
+                if newest == 0
+                    || state.col(key.1 as usize).snapshot_ts.load(Ordering::Acquire) >= newest
+                {
+                    continue;
+                }
+                db.inner.snapman.note_write(&mut cs, &state, key.0, key.1, commit_ts)?;
+            }
+        }
+
+        // Install.
+        let mut records = Vec::with_capacity(writes.len());
+        for w in &writes {
+            let state = self.table(TableId(w.col.table));
+            let col = state.col(w.col.col as usize);
+            let area = col.current_area();
+            let old = col.versioned.install(&area, w.row, w.new_word, commit_ts)?;
+            col.last_mutation_ts.store(commit_ts, Ordering::Release);
+            records.push(WriteRecord {
+                col: w.col,
+                row: w.row,
+                old,
+                new: w.new_word,
+            });
+        }
+        db.inner.oracle.complete_commit(commit_ts);
+        if db.inner.config.isolation == IsolationLevel::Serializable {
+            db.inner.recent.push(CommitRecord {
+                commit_ts,
+                writes: records,
+            });
+        }
+
+        // Snapshot trigger every n commits (§5.1(3)).
+        cs.commits_since_snapshot += 1;
+        cs.commits_since_prune += 1;
+        if heterogeneous && cs.commits_since_snapshot >= db.inner.config.snapshot_every_commits {
+            cs.commits_since_snapshot = 0;
+            db.inner.snapman.trigger_epoch(&mut cs, commit_ts);
+            if db.inner.config.eager_materialization {
+                // §2.2.2's rejected eager alternative, kept as an ablation:
+                // snapshot every column of every table right away.
+                let tables: Vec<_> = db.inner.tables.read().clone();
+                for (tid, state) in tables.iter().enumerate() {
+                    for cid in 0..state.cols.len() {
+                        db.inner.snapman.materialize_column(
+                            &mut cs,
+                            state,
+                            tid as u16,
+                            cid as u16,
+                            commit_ts,
+                        )?;
+                    }
+                }
+            }
+        }
+        // Periodic housekeeping: prune the recently-committed list and
+        // retire frozen chain stores behind the active horizon. In
+        // heterogeneous mode the snapshot hand-over is the garbage
+        // collector — but an analytics-free phase takes no snapshots, so a
+        // bounded fallback keeps chains from growing without limit (a case
+        // the paper does not discuss).
+        if cs.commits_since_prune >= 128 {
+            cs.commits_since_prune = 0;
+            let min = db.inner.active.min_active_or(commit_ts);
+            db.inner.recent.prune(min);
+            db.inner.snapman.graveyard.drain(min);
+            /// Versions one column may accumulate before the fallback GC
+            /// trims its current chain store.
+            const HETERO_CHAIN_CAP: u64 = 65_536;
+            for t in db.inner.tables.read().iter() {
+                for c in &t.cols {
+                    c.versioned.release_frozen(min);
+                    if heterogeneous
+                        && c.versioned.current_store().version_count() > HETERO_CHAIN_CAP
+                    {
+                        c.versioned.gc(min);
+                    }
+                }
+            }
+        }
+        drop(cs);
+        self.release();
+        db.inner.stats.committed.fetch_add(1, Ordering::Relaxed);
+        Ok(commit_ts)
+    }
+
+    /// Abort, discarding all local writes (free by construction).
+    pub fn abort(mut self) {
+        self.finished = true;
+        self.release();
+    }
+
+    fn release(&mut self) {
+        if let Some(token) = self.active_token.take() {
+            self.db.inner.active.deregister(token);
+        }
+        if let Some(e) = self.epoch.take() {
+            self.db.inner.snapman.unpin(&e);
+        }
+    }
+}
+
+impl Drop for Txn {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.finished = true;
+            self.release();
+        }
+    }
+}

@@ -1,0 +1,448 @@
+//! Engine-level tests of AnKerDB: visibility, conflicts, serializability,
+//! heterogeneous snapshots, garbage collection, and cross-thread
+//! consistency invariants.
+
+use anker_core::{
+    AbortReason, AnkerDb, ColumnDef, DbConfig, DbError, LogicalType, Schema, TableId, TxnKind,
+};
+use anker_storage::ColumnId;
+
+fn small_db(config: DbConfig) -> (AnkerDb, TableId, ColumnId, ColumnId) {
+    let db = AnkerDb::new(config.with_gc_interval(None));
+    let t = db.create_table(
+        "t",
+        Schema::new(vec![
+            ColumnDef::new("a", LogicalType::Int),
+            ColumnDef::new("b", LogicalType::Int),
+        ]),
+        4096,
+    );
+    let schema = db.schema(t);
+    let a = schema.col("a");
+    let b = schema.col("b");
+    db.fill_column(t, a, 0..4096).unwrap();
+    db.fill_column(t, b, (0..4096).map(|i| i * 2)).unwrap();
+    (db, t, a, b)
+}
+
+#[test]
+fn commit_then_read() {
+    let (db, t, a, _) = small_db(DbConfig::heterogeneous_serializable());
+    let mut w = db.begin(TxnKind::Oltp);
+    w.update(t, a, 10, 777).unwrap();
+    // Own write visible before commit; shared state untouched.
+    assert_eq!(w.get(t, a, 10).unwrap(), 777);
+    let mut other = db.begin(TxnKind::Oltp);
+    assert_eq!(other.get(t, a, 10).unwrap(), 10);
+    other.abort();
+    w.commit().unwrap();
+    let mut r = db.begin(TxnKind::Oltp);
+    assert_eq!(r.get(t, a, 10).unwrap(), 777);
+    r.commit().unwrap();
+}
+
+#[test]
+fn snapshot_isolation_reads_are_stable() {
+    let (db, t, a, _) = small_db(DbConfig::homogeneous_snapshot_isolation());
+    let mut reader = db.begin(TxnKind::Oltp);
+    assert_eq!(reader.get(t, a, 5).unwrap(), 5);
+    // A younger transaction commits an update.
+    let mut w = db.begin(TxnKind::Oltp);
+    w.update(t, a, 5, 500).unwrap();
+    w.commit().unwrap();
+    // The old reader keeps seeing its snapshot (version chain traversal).
+    assert_eq!(reader.get(t, a, 5).unwrap(), 5);
+    reader.commit().unwrap();
+    // A fresh reader sees the update.
+    let mut r2 = db.begin(TxnKind::Oltp);
+    assert_eq!(r2.get(t, a, 5).unwrap(), 500);
+    r2.commit().unwrap();
+}
+
+#[test]
+fn write_write_conflict_aborts_second_writer() {
+    let (db, t, a, _) = small_db(DbConfig::homogeneous_snapshot_isolation());
+    let mut t1 = db.begin(TxnKind::Oltp);
+    let mut t2 = db.begin(TxnKind::Oltp);
+    t1.update(t, a, 0, 1).unwrap();
+    t2.update(t, a, 0, 2).unwrap();
+    t1.commit().unwrap();
+    let err = t2.commit().unwrap_err();
+    assert_eq!(err, DbError::Aborted(AbortReason::WriteWriteConflict));
+    assert_eq!(db.stats().aborted_ww, 1);
+}
+
+#[test]
+fn aborts_discard_local_writes() {
+    let (db, t, a, _) = small_db(DbConfig::heterogeneous_serializable());
+    let mut w = db.begin(TxnKind::Oltp);
+    w.update(t, a, 3, 999).unwrap();
+    w.abort();
+    let mut r = db.begin(TxnKind::Oltp);
+    assert_eq!(r.get(t, a, 3).unwrap(), 3);
+    r.commit().unwrap();
+    // Dropping without commit aborts too.
+    {
+        let mut w = db.begin(TxnKind::Oltp);
+        w.update(t, a, 3, 111).unwrap();
+    }
+    let mut r = db.begin(TxnKind::Oltp);
+    assert_eq!(r.get(t, a, 3).unwrap(), 3);
+    r.commit().unwrap();
+}
+
+#[test]
+fn olap_transactions_cannot_write() {
+    let (db, t, a, _) = small_db(DbConfig::heterogeneous_serializable());
+    let mut olap = db.begin(TxnKind::Olap);
+    assert_eq!(
+        olap.update(t, a, 0, 1).unwrap_err(),
+        DbError::ReadOnlyTransaction
+    );
+    olap.commit().unwrap();
+}
+
+/// Write skew: T1 reads a and writes b; T2 reads b and writes a. Under SI
+/// both commit (anomaly); under full serializability one must abort.
+fn run_write_skew(config: DbConfig) -> (Result<u64, DbError>, Result<u64, DbError>) {
+    let (db, t, a, b) = small_db(config);
+    let mut t1 = db.begin(TxnKind::Oltp);
+    let mut t2 = db.begin(TxnKind::Oltp);
+    let ra = t1.get(t, a, 0).unwrap();
+    t1.update(t, b, 0, ra + 100).unwrap();
+    let rb = t2.get(t, b, 0).unwrap();
+    t2.update(t, a, 0, rb + 100).unwrap();
+    (t1.commit(), t2.commit())
+}
+
+#[test]
+fn write_skew_allowed_under_snapshot_isolation() {
+    let (r1, r2) = run_write_skew(DbConfig::homogeneous_snapshot_isolation());
+    assert!(r1.is_ok() && r2.is_ok(), "SI permits write skew: {r1:?} {r2:?}");
+}
+
+#[test]
+fn write_skew_prevented_under_serializability() {
+    let (r1, r2) = run_write_skew(DbConfig::homogeneous_serializable());
+    assert!(r1.is_ok(), "first committer wins: {r1:?}");
+    match r2 {
+        Err(DbError::Aborted(AbortReason::ValidationFailed { .. })) => {}
+        other => panic!("expected validation abort, got {other:?}"),
+    }
+}
+
+#[test]
+fn range_predicate_validation() {
+    let (db, t, a, b) = small_db(DbConfig::homogeneous_serializable());
+    // T1 scans rows with a in [0, 50] and writes a summary into b.
+    let mut t1 = db.begin(TxnKind::Oltp);
+    t1.log_range(t, a, 0.0, 50.0);
+    let mut sum = 0u64;
+    t1.scan(t, &[a], |_, v| {
+        if v[0] <= 50 {
+            sum += v[0];
+        }
+    })
+    .unwrap();
+    // Concurrently, T2 moves a value into that range and commits.
+    let mut t2 = db.begin(TxnKind::Oltp);
+    t2.update(t, a, 3000, 25).unwrap();
+    t2.commit().unwrap();
+    // T1's result is stale -> must abort at commit.
+    t1.update(t, b, 0, sum).unwrap();
+    match t1.commit() {
+        Err(DbError::Aborted(AbortReason::ValidationFailed { .. })) => {}
+        other => panic!("expected validation abort, got {other:?}"),
+    }
+    assert_eq!(db.stats().aborted_validation, 1);
+}
+
+#[test]
+fn unrelated_writes_pass_validation() {
+    let (db, t, a, b) = small_db(DbConfig::homogeneous_serializable());
+    let mut t1 = db.begin(TxnKind::Oltp);
+    t1.log_range(t, a, 0.0, 50.0);
+    t1.update(t, b, 1, 1).unwrap();
+    // T2 writes far outside T1's predicate range.
+    let mut t2 = db.begin(TxnKind::Oltp);
+    t2.update(t, a, 3000, 999_999).unwrap();
+    t2.commit().unwrap();
+    t1.commit().expect("no predicate intersection, must commit");
+}
+
+#[test]
+fn hetero_olap_runs_on_snapshot_epoch() {
+    let (db, t, a, _) = small_db(
+        DbConfig::heterogeneous_serializable().with_snapshot_every(5),
+    );
+    // First OLAP arrival creates the first epoch (Figure 1, step 4).
+    let mut olap = db.begin(TxnKind::Olap);
+    let mut sum0 = 0u64;
+    olap.scan(t, &[a], |_, v| sum0 += v[0]).unwrap();
+    assert_eq!(sum0, (0..4096u64).sum::<u64>());
+    // Concurrent OLTP updates do not disturb the running OLAP txn.
+    for i in 0..20 {
+        let mut w = db.begin(TxnKind::Oltp);
+        w.update(t, a, i, 0).unwrap();
+        w.commit().unwrap();
+    }
+    let mut sum1 = 0u64;
+    olap.scan(t, &[a], |_, v| sum1 += v[0]).unwrap();
+    assert_eq!(sum1, sum0, "snapshot must be frozen for the OLAP txn");
+    olap.commit().unwrap();
+    // A new OLAP txn sees a fresher epoch (triggered every 5 commits).
+    let mut olap2 = db.begin(TxnKind::Olap);
+    let mut sum2 = 0u64;
+    olap2.scan(t, &[a], |_, v| sum2 += v[0]).unwrap();
+    olap2.commit().unwrap();
+    assert!(sum2 < sum0, "later epoch must reflect the zeroed rows");
+    assert!(db.stats().epochs_triggered >= 2);
+}
+
+#[test]
+fn olap_scan_is_tight_on_snapshots() {
+    let (db, t, a, _) = small_db(DbConfig::heterogeneous_serializable().with_snapshot_every(1));
+    // Build up versions.
+    for i in 0..100 {
+        let mut w = db.begin(TxnKind::Oltp);
+        w.update(t, a, i % 10, i as u64).unwrap();
+        w.commit().unwrap();
+    }
+    let mut olap = db.begin(TxnKind::Olap);
+    let stats = olap.scan(t, &[a], |_, _| {}).unwrap();
+    olap.commit().unwrap();
+    assert_eq!(stats.checked_rows, 0, "snapshot scans never check versions");
+    assert_eq!(stats.chain_walks, 0);
+    assert_eq!(stats.tight_rows, 4096);
+}
+
+#[test]
+fn homogeneous_olap_pays_version_checks() {
+    let (db, t, a, _) = small_db(DbConfig::homogeneous_serializable());
+    // An old reader starts before updates.
+    let mut olap = db.begin(TxnKind::Olap);
+    for i in 0..100u32 {
+        let mut w = db.begin(TxnKind::Oltp);
+        w.update(t, a, i * 40, 0).unwrap();
+        w.commit().unwrap();
+    }
+    let mut n = 0u64;
+    let stats = olap.scan(t, &[a], |_, _| n += 1).unwrap();
+    olap.commit().unwrap();
+    assert_eq!(n, 4096);
+    assert!(
+        stats.chain_walks >= 100,
+        "old reader must traverse chains: {stats:?}"
+    );
+}
+
+#[test]
+fn multi_column_snapshot_consistency() {
+    // Two columns are updated together; an OLAP txn must never observe a
+    // half-applied pair, even though columns materialise lazily at
+    // different moments.
+    let (db, t, a, b) = small_db(
+        DbConfig::heterogeneous_serializable().with_snapshot_every(3),
+    );
+    for round in 1..=50u64 {
+        let mut w = db.begin(TxnKind::Oltp);
+        // Invariant: b = 2*a for row 7.
+        w.update(t, a, 7, round).unwrap();
+        w.update(t, b, 7, round * 2).unwrap();
+        w.commit().unwrap();
+        let mut olap = db.begin(TxnKind::Olap);
+        let va = olap.get(t, a, 7).unwrap();
+        let vb = olap.get(t, b, 7).unwrap();
+        olap.commit().unwrap();
+        assert_eq!(vb, va * 2, "epoch exposed inconsistent column pair");
+    }
+}
+
+#[test]
+fn lazy_materialisation_only_touched_columns() {
+    let db = AnkerDb::new(
+        DbConfig::heterogeneous_serializable()
+            .with_snapshot_every(1)
+            .with_gc_interval(None),
+    );
+    let t = db.create_table(
+        "wide",
+        Schema::new((0..8).map(|i| ColumnDef::new(format!("c{i}"), LogicalType::Int)).collect()),
+        1024,
+    );
+    let c0 = db.schema(t).col("c0");
+    // Commits touch only c0; triggers happen every commit.
+    for i in 0..10 {
+        let mut w = db.begin(TxnKind::Oltp);
+        w.update(t, c0, i, 1).unwrap();
+        w.commit().unwrap();
+    }
+    let s = db.stats();
+    assert!(
+        s.columns_materialized <= 12,
+        "only the written column may materialise, got {}",
+        s.columns_materialized
+    );
+}
+
+#[test]
+fn epochs_are_retired_and_memory_reclaimed() {
+    let (db, t, a, _) = small_db(DbConfig::heterogeneous_serializable().with_snapshot_every(1));
+    for i in 0..50 {
+        let mut w = db.begin(TxnKind::Oltp);
+        w.update(t, a, i, 1).unwrap();
+        w.commit().unwrap();
+        // Touch each epoch so snapshots materialise.
+        let mut olap = db.begin(TxnKind::Olap);
+        let _ = olap.get(t, a, 0).unwrap();
+        olap.commit().unwrap();
+    }
+    let s = db.stats();
+    assert!(s.epochs_retired >= 40, "epochs retired: {}", s.epochs_retired);
+    assert!(s.live_epochs <= 3, "live epochs: {}", s.live_epochs);
+}
+
+#[test]
+fn old_oltp_reader_survives_snapshot_handover() {
+    // A pre-snapshot OLTP reader must still find its versions after the
+    // chain store was frozen and handed over.
+    let (db, t, a, _) = small_db(DbConfig::heterogeneous_serializable().with_snapshot_every(1));
+    let mut w = db.begin(TxnKind::Oltp);
+    w.update(t, a, 42, 1000).unwrap();
+    w.commit().unwrap();
+    let mut old_reader = db.begin(TxnKind::Oltp); // sees a[42] = 1000
+    // Each commit triggers an epoch; writes to row 42 move old values into
+    // chains that are then frozen.
+    for v in 1..=5u64 {
+        let mut w = db.begin(TxnKind::Oltp);
+        w.update(t, a, 42, 1000 + v).unwrap();
+        w.commit().unwrap();
+    }
+    assert_eq!(old_reader.get(t, a, 42).unwrap(), 1000);
+    old_reader.commit().unwrap();
+}
+
+#[test]
+fn homogeneous_gc_collects_versions() {
+    let (db, t, a, _) = small_db(DbConfig::homogeneous_serializable());
+    for v in 0..200u64 {
+        let mut w = db.begin(TxnKind::Oltp);
+        w.update(t, a, 0, v).unwrap();
+        w.commit().unwrap();
+    }
+    assert_eq!(db.total_versions(), 200);
+    let removed = db.run_gc_once();
+    assert_eq!(removed, 200, "no active readers: all versions are garbage");
+    assert_eq!(db.total_versions(), 0);
+    // With an active old reader, its version must survive.
+    let mut reader = db.begin(TxnKind::Oltp);
+    let before = reader.get(t, a, 0).unwrap();
+    for v in 0..50u64 {
+        let mut w = db.begin(TxnKind::Oltp);
+        w.update(t, a, 0, 1000 + v).unwrap();
+        w.commit().unwrap();
+    }
+    db.run_gc_once();
+    assert_eq!(reader.get(t, a, 0).unwrap(), before);
+    reader.commit().unwrap();
+}
+
+#[test]
+fn snapshot_area_recycling_ablation() {
+    let mut cfg = DbConfig::heterogeneous_serializable().with_snapshot_every(1);
+    cfg.recycle_snapshot_areas = true;
+    let (db, t, a, _) = small_db(cfg);
+    for i in 0..30 {
+        let mut w = db.begin(TxnKind::Oltp);
+        w.update(t, a, i, 1).unwrap();
+        w.commit().unwrap();
+        let mut olap = db.begin(TxnKind::Olap);
+        let _ = olap.get(t, a, 0).unwrap();
+        olap.commit().unwrap();
+    }
+    // Behaviour is identical; areas are recycled internally.
+    let mut r = db.begin(TxnKind::Oltp);
+    assert_eq!(r.get(t, a, 0).unwrap(), 1);
+    r.commit().unwrap();
+}
+
+#[test]
+fn concurrent_transfers_preserve_invariant() {
+    // Bank-style invariant: the sum over column a is constant under
+    // concurrent transfers; OLAP scans (snapshot or versioned) must always
+    // observe exactly that sum.
+    for config in [
+        DbConfig::heterogeneous_serializable().with_snapshot_every(50),
+        DbConfig::homogeneous_serializable(),
+        DbConfig::homogeneous_snapshot_isolation(),
+    ] {
+        let (db, t, a, _) = small_db(config);
+        let expected: u64 = (0..4096u64).sum();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let mut writers = Vec::new();
+            for worker in 0..2u64 {
+                let db = db.clone();
+                writers.push(s.spawn(move || {
+                    let mut rng: u64 = 0x9E3779B97F4A7C15 ^ worker;
+                    let mut next = move || {
+                        rng ^= rng << 13;
+                        rng ^= rng >> 7;
+                        rng ^= rng << 17;
+                        rng
+                    };
+                    let mut done = 0;
+                    while done < 300 {
+                        let from = (next() % 4096) as u32;
+                        let to = (next() % 4096) as u32;
+                        if from == to {
+                            continue;
+                        }
+                        let mut txn = db.begin(TxnKind::Oltp);
+                        let vf = txn.get(t, a, from).unwrap();
+                        let vt = txn.get(t, a, to).unwrap();
+                        if vf == 0 {
+                            txn.abort();
+                            continue;
+                        }
+                        txn.update(t, a, from, vf - 1).unwrap();
+                        txn.update(t, a, to, vt + 1).unwrap();
+                        if txn.commit().is_ok() {
+                            done += 1;
+                        }
+                    }
+                }));
+            }
+            let scanner = {
+                let db = db.clone();
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut scans = 0u64;
+                    // `loop`/break-after: at least one scan always runs,
+                    // even if the writers finish before this thread is
+                    // first scheduled.
+                    loop {
+                        let mut olap = db.begin(TxnKind::Olap);
+                        let mut sum = 0u64;
+                        olap.scan(t, &[a], |_, v| sum += v[0]).unwrap();
+                        olap.commit().unwrap();
+                        assert_eq!(sum, expected, "scan observed a torn state");
+                        scans += 1;
+                        if stop.load(std::sync::atomic::Ordering::Acquire) {
+                            break;
+                        }
+                    }
+                    scans
+                })
+            };
+            for w in writers {
+                w.join().unwrap();
+            }
+            stop.store(true, std::sync::atomic::Ordering::Release);
+            let scans = scanner.join().unwrap();
+            assert!(scans > 0, "scanner never ran");
+        });
+        let s = db.stats();
+        assert!(s.committed >= 600, "commits: {}", s.committed);
+    }
+}

@@ -1,0 +1,150 @@
+//! Ablation study of version-chain ordering (§2.1).
+//!
+//! AnKerDB (like HyPer) stores versions **newest-to-oldest**: "they will
+//! find their version early on during the chain traversal" — young
+//! transactions, which dominate, pay O(1); archaeologically old readers pay
+//! O(chain length). The alternative — oldest-to-newest, as used by
+//! append-to-tail designs — inverts that trade-off.
+//!
+//! This module implements both orders over the same node representation so
+//! the `ablations` bench (and the tests below) can quantify the asymmetry.
+
+/// One version record: `value` became current at `ts`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Version {
+    pub value: u64,
+    pub ts: u64,
+}
+
+/// A chain that prepends new versions (the paper's layout).
+#[derive(Debug, Default, Clone)]
+pub struct NewestFirstChain {
+    versions: Vec<Version>, // index 0 = newest
+}
+
+/// A chain that appends new versions (the rejected alternative).
+#[derive(Debug, Default, Clone)]
+pub struct OldestFirstChain {
+    versions: Vec<Version>, // index 0 = oldest
+}
+
+impl NewestFirstChain {
+    /// Record that `value` became current at `ts` (monotonically
+    /// increasing).
+    pub fn push(&mut self, value: u64, ts: u64) {
+        debug_assert!(self.versions.first().map(|v| v.ts <= ts).unwrap_or(true));
+        self.versions.insert(0, Version { value, ts });
+    }
+
+    /// The newest version visible at `start_ts`, and the number of nodes
+    /// traversed to find it.
+    pub fn find(&self, start_ts: u64) -> (Option<u64>, usize) {
+        for (i, v) in self.versions.iter().enumerate() {
+            if v.ts <= start_ts {
+                return (Some(v.value), i + 1);
+            }
+        }
+        (None, self.versions.len())
+    }
+
+    /// Number of stored versions.
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// True when the chain holds no versions.
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+}
+
+impl OldestFirstChain {
+    /// Record that `value` became current at `ts`.
+    pub fn push(&mut self, value: u64, ts: u64) {
+        debug_assert!(self.versions.last().map(|v| v.ts <= ts).unwrap_or(true));
+        self.versions.push(Version { value, ts });
+    }
+
+    /// The newest version visible at `start_ts`: walk from the oldest end
+    /// until the first version that is too new, then take its predecessor.
+    /// Returns the traversal length alongside.
+    pub fn find(&self, start_ts: u64) -> (Option<u64>, usize) {
+        let mut result = None;
+        for (i, v) in self.versions.iter().enumerate() {
+            if v.ts > start_ts {
+                return (result, i + 1);
+            }
+            result = Some(v.value);
+        }
+        (result, self.versions.len())
+    }
+
+    /// Number of stored versions.
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// True when the chain holds no versions.
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+}
+
+/// Build both chain layouts from the same update history
+/// (`(value, ts)` pairs in commit order).
+pub fn build_both(history: &[(u64, u64)]) -> (NewestFirstChain, OldestFirstChain) {
+    let mut nf = NewestFirstChain::default();
+    let mut of = OldestFirstChain::default();
+    for &(value, ts) in history {
+        nf.push(value, ts);
+        of.push(value, ts);
+    }
+    (nf, of)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn history(n: u64) -> Vec<(u64, u64)> {
+        (1..=n).map(|i| (i * 100, i)).collect()
+    }
+
+    #[test]
+    fn both_orders_agree_on_visibility() {
+        let (nf, of) = build_both(&history(50));
+        for s in 0..=55 {
+            let (a, _) = nf.find(s);
+            let (b, _) = of.find(s);
+            assert_eq!(a, b, "disagreement at start_ts {s}");
+            if s >= 1 {
+                assert_eq!(a, Some(s.min(50) * 100));
+            } else {
+                assert_eq!(a, None);
+            }
+        }
+    }
+
+    #[test]
+    fn newest_first_favors_young_readers() {
+        let (nf, of) = build_both(&history(1000));
+        // A young reader (start_ts just below the newest version).
+        let (_, nf_steps) = nf.find(999);
+        let (_, of_steps) = of.find(999);
+        assert_eq!(nf_steps, 2, "newest-first: constant for young readers");
+        assert_eq!(of_steps, 1000, "oldest-first walks the whole history");
+        // An old reader: the trade-off inverts.
+        let (_, nf_steps) = nf.find(1);
+        let (_, of_steps) = of.find(1);
+        assert_eq!(nf_steps, 1000);
+        assert_eq!(of_steps, 2);
+    }
+
+    #[test]
+    fn empty_chain() {
+        let (nf, of) = build_both(&[]);
+        assert!(nf.is_empty() && of.is_empty());
+        assert_eq!(nf.find(10), (None, 0));
+        assert_eq!(of.find(10), (None, 0));
+    }
+}

@@ -1,0 +1,304 @@
+//! Commit records, the recently-committed list, and the active-transaction
+//! registry.
+//!
+//! The paper keeps "a list of recently committed transactions, that must be
+//! mutex protected, ... to organize validation" (§5.7) — and observes that
+//! this is exactly what limits scaling under full serializability. We keep
+//! the same design on purpose.
+
+use crate::predicate::{ColRef, PredicateSet};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+/// One installed write of a committed transaction, with both the removed
+/// and the introduced value (predicate intersection needs both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteRecord {
+    pub col: ColRef,
+    pub row: u32,
+    pub old: u64,
+    pub new: u64,
+}
+
+/// The validation-relevant footprint of one committed transaction.
+#[derive(Debug, Clone)]
+pub struct CommitRecord {
+    /// The commit timestamp.
+    pub commit_ts: u64,
+    /// All installed writes.
+    pub writes: Vec<WriteRecord>,
+}
+
+/// The mutex-protected list of recently committed transactions.
+#[derive(Debug, Default)]
+pub struct RecentCommits {
+    list: Mutex<VecDeque<CommitRecord>>,
+}
+
+impl RecentCommits {
+    /// Empty list.
+    pub fn new() -> RecentCommits {
+        RecentCommits::default()
+    }
+
+    /// Append a commit record (called inside the serialized commit
+    /// section).
+    pub fn push(&self, record: CommitRecord) {
+        self.list.lock().push_back(record);
+    }
+
+    /// Validate a committing transaction's read set: does any commit with
+    /// `commit_ts > start_ts` intersect its predicates? Returns the
+    /// offending commit timestamp for diagnostics.
+    pub fn validate(&self, start_ts: u64, preds: &PredicateSet) -> Result<(), u64> {
+        if preds.is_empty() {
+            return Ok(());
+        }
+        let list = self.list.lock();
+        // Records are appended in commit order: binary-search the first
+        // record younger than start_ts.
+        let idx = list.partition_point(|r| r.commit_ts <= start_ts);
+        for record in list.iter().skip(idx) {
+            for w in &record.writes {
+                if preds.intersects_write(w.col, w.row, w.old, w.new) {
+                    return Err(record.commit_ts);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Drop records no active transaction can conflict with (all commits
+    /// with `commit_ts <= min_active_start`).
+    pub fn prune(&self, min_active_start: u64) {
+        let mut list = self.list.lock();
+        while list.front().map(|r| r.commit_ts <= min_active_start).unwrap_or(false) {
+            list.pop_front();
+        }
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.list.lock().len()
+    }
+
+    /// True if no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A registration handle returned by [`ActiveTxns::register`]; hand it back
+/// to [`ActiveTxns::deregister`].
+#[derive(Debug)]
+pub struct ActiveToken {
+    slot: usize,
+}
+
+const ACTIVE_SLOTS: usize = 128;
+const SLOT_EMPTY: u64 = u64::MAX;
+
+/// Registry of active transactions' start timestamps, for GC horizons and
+/// record pruning.
+///
+/// Lock-free: registration claims one of a fixed pool of atomic slots
+/// (transactions are begun and finished on every operation's hot path, so
+/// this must not serialize); the horizon query scans all slots, which is
+/// fine for its rare callers (GC, pruning).
+pub struct ActiveTxns {
+    slots: Box<[std::sync::atomic::AtomicU64]>,
+    /// Rotating hint where to start probing.
+    next: std::sync::atomic::AtomicUsize,
+}
+
+impl std::fmt::Debug for ActiveTxns {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActiveTxns").field("len", &self.len()).finish()
+    }
+}
+
+impl Default for ActiveTxns {
+    fn default() -> Self {
+        ActiveTxns {
+            slots: (0..ACTIVE_SLOTS)
+                .map(|_| std::sync::atomic::AtomicU64::new(SLOT_EMPTY))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            next: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+}
+
+impl ActiveTxns {
+    /// Empty registry.
+    pub fn new() -> ActiveTxns {
+        ActiveTxns::default()
+    }
+
+    /// Register a transaction starting at `start_ts`.
+    ///
+    /// # Panics
+    /// Panics when more than the supported number of transactions are
+    /// simultaneously active (the paper's workloads run one transaction per
+    /// worker thread; 128 concurrent transactions is far beyond that).
+    pub fn register(&self, start_ts: u64) -> ActiveToken {
+        use std::sync::atomic::Ordering;
+        debug_assert_ne!(start_ts, SLOT_EMPTY);
+        let start = self.next.fetch_add(1, Ordering::Relaxed);
+        for i in 0..ACTIVE_SLOTS {
+            let slot = (start + i) % ACTIVE_SLOTS;
+            if self.slots[slot]
+                .compare_exchange(SLOT_EMPTY, start_ts, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return ActiveToken { slot };
+            }
+        }
+        panic!("more than {ACTIVE_SLOTS} concurrently active transactions");
+    }
+
+    /// Deregister a transaction (on commit or abort).
+    pub fn deregister(&self, token: ActiveToken) {
+        use std::sync::atomic::Ordering;
+        let prev = self.slots[token.slot].swap(SLOT_EMPTY, Ordering::AcqRel);
+        debug_assert_ne!(prev, SLOT_EMPTY, "slot double-freed");
+    }
+
+    /// The oldest active start timestamp, or `fallback` when idle.
+    /// Everything with `ts <=` this horizon is invisible history.
+    pub fn min_active_or(&self, fallback: u64) -> u64 {
+        use std::sync::atomic::Ordering;
+        let mut min = u64::MAX;
+        for s in self.slots.iter() {
+            min = min.min(s.load(Ordering::Acquire));
+        }
+        if min == u64::MAX {
+            fallback
+        } else {
+            min
+        }
+    }
+
+    /// Number of active transactions.
+    pub fn len(&self) -> usize {
+        use std::sync::atomic::Ordering;
+        self.slots
+            .iter()
+            .filter(|s| s.load(Ordering::Relaxed) != SLOT_EMPTY)
+            .count()
+    }
+
+    /// True when no transaction is active.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Pred;
+    use anker_storage::value::{LogicalType, Value};
+
+    const C: ColRef = ColRef { table: 0, col: 0 };
+
+    fn record(ts: u64, row: u32, old: i64, new: i64) -> CommitRecord {
+        CommitRecord {
+            commit_ts: ts,
+            writes: vec![WriteRecord {
+                col: C,
+                row,
+                old: Value::Int(old).encode(),
+                new: Value::Int(new).encode(),
+            }],
+        }
+    }
+
+    #[test]
+    fn validation_only_considers_younger_commits() {
+        let rc = RecentCommits::new();
+        rc.push(record(5, 0, 10, 50)); // touches range
+        rc.push(record(8, 1, 0, 1)); // does not
+        let mut preds = PredicateSet::new();
+        preds.add(Pred::Range {
+            col: C,
+            ty: LogicalType::Int,
+            lo: 0.0,
+            hi: 20.0,
+        });
+        // Transaction started at 5: commit 5 is part of its snapshot, commit
+        // 8 intersects? old=0 is inside [0,20] -> conflict.
+        assert_eq!(rc.validate(5, &preds), Err(8));
+        // Started at 8: nothing younger.
+        assert_eq!(rc.validate(8, &preds), Ok(()));
+        // Started at 2: commit 5 wrote old=10 (in range) -> conflict at 5.
+        assert_eq!(rc.validate(2, &preds), Err(5));
+    }
+
+    #[test]
+    fn empty_predicates_always_validate() {
+        let rc = RecentCommits::new();
+        rc.push(record(5, 0, 0, 1));
+        assert_eq!(rc.validate(0, &PredicateSet::new()), Ok(()));
+    }
+
+    #[test]
+    fn pruning_respects_horizon() {
+        let rc = RecentCommits::new();
+        for ts in 1..=10 {
+            rc.push(record(ts, 0, 0, 1));
+        }
+        rc.prune(4);
+        assert_eq!(rc.len(), 6); // commits 5..=10 retained
+        let mut preds = PredicateSet::new();
+        preds.add_full_column(C);
+        assert_eq!(rc.validate(4, &preds), Err(5));
+    }
+
+    #[test]
+    fn active_registry_min() {
+        let a = ActiveTxns::new();
+        assert_eq!(a.min_active_or(42), 42);
+        let t1 = a.register(10);
+        let t2 = a.register(10);
+        let t3 = a.register(15);
+        assert_eq!(a.min_active_or(42), 10);
+        a.deregister(t1);
+        assert_eq!(a.min_active_or(42), 10);
+        a.deregister(t2);
+        assert_eq!(a.min_active_or(42), 15);
+        a.deregister(t3);
+        assert!(a.is_empty());
+        assert_eq!(a.min_active_or(42), 42);
+    }
+
+    #[test]
+    fn concurrent_registry_usage() {
+        let a = std::sync::Arc::new(ActiveTxns::new());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let a = a.clone();
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        let ts = t * 1000 + i;
+                        let tok = a.register(ts);
+                        a.deregister(tok);
+                    }
+                });
+            }
+        });
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn registry_holds_many_concurrent() {
+        let a = ActiveTxns::new();
+        let tokens: Vec<_> = (0..100).map(|i| a.register(i)).collect();
+        assert_eq!(a.len(), 100);
+        assert_eq!(a.min_active_or(9999), 0);
+        for t in tokens {
+            a.deregister(t);
+        }
+        assert!(a.is_empty());
+    }
+}

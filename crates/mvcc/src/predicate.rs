@@ -1,0 +1,226 @@
+//! Precision-locking predicates for serializability validation (§2.1).
+//!
+//! "We track the predicate ranges on which the transaction filtered the
+//! query result. During validation, it is checked whether any write of any
+//! recently committed transaction intersects with the predicate ranges."
+//! (The technique goes back to precision locking [Weikum & Vossen].)
+//!
+//! A write intersects a range predicate if either the value it removed
+//! (`old`) or the value it introduced (`new`) falls inside the range —
+//! both directions can change a predicate query's result.
+
+use anker_storage::value::{LogicalType, Value};
+
+/// Global reference to a column: `(table, column)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColRef {
+    pub table: u16,
+    pub col: u16,
+}
+
+impl ColRef {
+    pub fn new(table: u16, col: u16) -> ColRef {
+        ColRef { table, col }
+    }
+}
+
+/// Numeric rank of a value for range comparison. Ints, dates, and doubles
+/// all map to `f64` (TPC-H key ranges fit the 53-bit mantissa exactly);
+/// dictionary codes are compared for equality only.
+fn rank(word: u64, ty: LogicalType) -> f64 {
+    match Value::decode(word, ty) {
+        Value::Int(v) => v as f64,
+        Value::Double(v) => v,
+        Value::Date(v) => v as f64,
+        Value::Dict(v) => v as f64,
+    }
+}
+
+/// One read predicate of a transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pred {
+    /// The transaction read the whole column (unfiltered scan or
+    /// aggregation input).
+    FullColumn { col: ColRef },
+    /// The transaction filtered `col` on `lo <= value <= hi`.
+    Range {
+        col: ColRef,
+        ty: LogicalType,
+        lo: f64,
+        hi: f64,
+    },
+    /// The transaction filtered `col` on equality with a dictionary code.
+    DictEq { col: ColRef, code: u32 },
+    /// The transaction read specific rows of `col` (index point reads).
+    Rows { col: ColRef, rows: Vec<u32> },
+}
+
+impl Pred {
+    /// Does the committed write `(col, row, old, new)` intersect this
+    /// predicate?
+    pub fn intersects(&self, col: ColRef, row: u32, old: u64, new: u64) -> bool {
+        match self {
+            Pred::FullColumn { col: c } => *c == col,
+            Pred::Range { col: c, ty, lo, hi } => {
+                *c == col && {
+                    let o = rank(old, *ty);
+                    let n = rank(new, *ty);
+                    (o >= *lo && o <= *hi) || (n >= *lo && n <= *hi)
+                }
+            }
+            Pred::DictEq { col: c, code } => {
+                *c == col && (old as u32 == *code || new as u32 == *code)
+            }
+            Pred::Rows { col: c, rows } => *c == col && rows.contains(&row),
+        }
+    }
+}
+
+/// The read-predicate set of one transaction.
+#[derive(Debug, Clone, Default)]
+pub struct PredicateSet {
+    preds: Vec<Pred>,
+}
+
+impl PredicateSet {
+    /// Empty set.
+    pub fn new() -> PredicateSet {
+        PredicateSet::default()
+    }
+
+    /// Record a predicate.
+    pub fn add(&mut self, pred: Pred) {
+        self.preds.push(pred);
+    }
+
+    /// Record a full-column read.
+    pub fn add_full_column(&mut self, col: ColRef) {
+        self.preds.push(Pred::FullColumn { col });
+    }
+
+    /// Record a range filter `lo <= col <= hi` (on the decoded value).
+    pub fn add_range(&mut self, col: ColRef, ty: LogicalType, lo: f64, hi: f64) {
+        self.preds.push(Pred::Range { col, ty, lo, hi });
+    }
+
+    /// Record a dictionary-equality filter.
+    pub fn add_dict_eq(&mut self, col: ColRef, code: u32) {
+        self.preds.push(Pred::DictEq { col, code });
+    }
+
+    /// Record a point read of one row.
+    pub fn add_row(&mut self, col: ColRef, row: u32) {
+        // Merge into the last Rows predicate of the same column if possible
+        // (point reads arrive in bursts from index lookups).
+        if let Some(Pred::Rows { col: c, rows }) = self.preds.last_mut() {
+            if *c == col {
+                rows.push(row);
+                return;
+            }
+        }
+        self.preds.push(Pred::Rows { col, rows: vec![row] });
+    }
+
+    /// Number of predicates.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Does any predicate intersect the committed write
+    /// `(col, row, old → new)`?
+    pub fn intersects_write(&self, col: ColRef, row: u32, old: u64, new: u64) -> bool {
+        self.preds.iter().any(|p| p.intersects(col, row, old, new))
+    }
+
+    /// Drop all predicates (transaction reset).
+    pub fn clear(&mut self) {
+        self.preds.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C: ColRef = ColRef { table: 0, col: 1 };
+    const D: ColRef = ColRef { table: 0, col: 2 };
+
+    #[test]
+    fn full_column_intersects_everything_on_that_column() {
+        let p = Pred::FullColumn { col: C };
+        assert!(p.intersects(C, 0, 1, 2));
+        assert!(!p.intersects(D, 0, 1, 2));
+    }
+
+    #[test]
+    fn range_checks_old_and_new() {
+        let p = Pred::Range {
+            col: C,
+            ty: LogicalType::Int,
+            lo: 10.0,
+            hi: 20.0,
+        };
+        let enc = |v: i64| Value::Int(v).encode();
+        // Write moves a value out of the range: still intersects (the row
+        // would vanish from the predicate's result).
+        assert!(p.intersects(C, 0, enc(15), enc(50)));
+        // Write moves a value into the range.
+        assert!(p.intersects(C, 0, enc(5), enc(12)));
+        // Both sides outside: no intersection.
+        assert!(!p.intersects(C, 0, enc(5), enc(50)));
+        // Other column: never.
+        assert!(!p.intersects(D, 0, enc(15), enc(15)));
+    }
+
+    #[test]
+    fn range_on_doubles() {
+        let p = Pred::Range {
+            col: C,
+            ty: LogicalType::Double,
+            lo: 0.05,
+            hi: 0.07,
+        };
+        let enc = |v: f64| Value::Double(v).encode();
+        assert!(p.intersects(C, 0, enc(0.06), enc(0.5)));
+        assert!(!p.intersects(C, 0, enc(0.01), enc(0.5)));
+    }
+
+    #[test]
+    fn dict_equality() {
+        let p = Pred::DictEq { col: C, code: 3 };
+        let enc = |c: u32| Value::Dict(c).encode();
+        assert!(p.intersects(C, 0, enc(3), enc(1)));
+        assert!(p.intersects(C, 0, enc(1), enc(3)));
+        assert!(!p.intersects(C, 0, enc(1), enc(2)));
+    }
+
+    #[test]
+    fn row_point_reads() {
+        let mut s = PredicateSet::new();
+        s.add_row(C, 5);
+        s.add_row(C, 9);
+        s.add_row(D, 5);
+        // Bursts on the same column merge into one predicate.
+        assert_eq!(s.len(), 2);
+        assert!(s.intersects_write(C, 9, 0, 1));
+        assert!(!s.intersects_write(C, 7, 0, 1));
+        assert!(s.intersects_write(D, 5, 0, 1));
+    }
+
+    #[test]
+    fn set_combines_predicates() {
+        let mut s = PredicateSet::new();
+        s.add_range(C, LogicalType::Int, 0.0, 10.0);
+        s.add_dict_eq(D, 2);
+        let enc_i = |v: i64| Value::Int(v).encode();
+        let enc_d = |c: u32| Value::Dict(c).encode();
+        assert!(s.intersects_write(C, 0, enc_i(5), enc_i(100)));
+        assert!(s.intersects_write(D, 0, enc_d(2), enc_d(0)));
+        assert!(!s.intersects_write(D, 0, enc_d(1), enc_d(0)));
+    }
+}

@@ -1,0 +1,156 @@
+//! Client-side transaction state: local write sets, read-own-writes, and
+//! the predicate log.
+//!
+//! Uncommitted writes never touch shared state (paper Figure 1, step 2:
+//! "instead of replacing the old value in the column with the new value
+//! in-place, we store the new value locally inside the transaction"), which
+//! makes aborts free (step 3).
+
+use crate::predicate::{ColRef, Pred, PredicateSet};
+use anker_util::FxHashMap;
+
+/// Unique transaction identifier (diagnostics only; visibility is driven by
+/// timestamps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TxnId(pub u64);
+
+/// One buffered write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalWrite {
+    pub col: ColRef,
+    pub row: u32,
+    pub new_word: u64,
+}
+
+/// A transaction in progress.
+#[derive(Debug)]
+pub struct Transaction {
+    id: TxnId,
+    start_ts: u64,
+    writes: Vec<LocalWrite>,
+    write_index: FxHashMap<(ColRef, u32), usize>,
+    preds: PredicateSet,
+    read_only: bool,
+}
+
+impl Transaction {
+    /// Begin a transaction at `start_ts`.
+    pub fn begin(id: TxnId, start_ts: u64) -> Transaction {
+        Transaction {
+            id,
+            start_ts,
+            writes: Vec::new(),
+            write_index: FxHashMap::default(),
+            preds: PredicateSet::new(),
+            read_only: true,
+        }
+    }
+
+    /// The transaction's identifier.
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// The snapshot timestamp all reads observe.
+    pub fn start_ts(&self) -> u64 {
+        self.start_ts
+    }
+
+    /// True while no write was buffered.
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
+    }
+
+    /// Buffer a write; later writes to the same `(col, row)` overwrite the
+    /// earlier buffered value (last-writer-wins within the transaction).
+    pub fn write(&mut self, col: ColRef, row: u32, new_word: u64) {
+        self.read_only = false;
+        match self.write_index.entry((col, row)) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.writes[*e.get()].new_word = new_word;
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(self.writes.len());
+                self.writes.push(LocalWrite { col, row, new_word });
+            }
+        }
+    }
+
+    /// The transaction's own buffered value for `(col, row)`, if any
+    /// (read-own-writes).
+    pub fn own_write(&self, col: ColRef, row: u32) -> Option<u64> {
+        self.write_index
+            .get(&(col, row))
+            .map(|&i| self.writes[i].new_word)
+    }
+
+    /// The buffered writes in first-write order.
+    pub fn writes(&self) -> &[LocalWrite] {
+        &self.writes
+    }
+
+    /// Record a read predicate (serializable mode).
+    pub fn log_predicate(&mut self, pred: Pred) {
+        self.preds.add(pred);
+    }
+
+    /// Record a point read (serializable mode).
+    pub fn log_row_read(&mut self, col: ColRef, row: u32) {
+        self.preds.add_row(col, row);
+    }
+
+    /// The logged predicate set.
+    pub fn predicates(&self) -> &PredicateSet {
+        &self.preds
+    }
+
+    /// Mutable access to the predicate set (query operators log through
+    /// this).
+    pub fn predicates_mut(&mut self) -> &mut PredicateSet {
+        &mut self.preds
+    }
+
+    /// Abort: drop all local state. Cheap by construction.
+    pub fn abort(self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C: ColRef = ColRef { table: 1, col: 0 };
+    const D: ColRef = ColRef { table: 1, col: 1 };
+
+    #[test]
+    fn writes_stay_local_and_dedupe() {
+        let mut t = Transaction::begin(TxnId(1), 10);
+        assert!(t.is_read_only());
+        t.write(C, 5, 100);
+        t.write(D, 5, 200);
+        t.write(C, 5, 111); // overwrites the first buffered value
+        assert!(!t.is_read_only());
+        assert_eq!(t.writes().len(), 2);
+        assert_eq!(t.own_write(C, 5), Some(111));
+        assert_eq!(t.own_write(D, 5), Some(200));
+        assert_eq!(t.own_write(C, 6), None);
+    }
+
+    #[test]
+    fn predicate_logging() {
+        let mut t = Transaction::begin(TxnId(2), 0);
+        t.log_row_read(C, 1);
+        t.log_row_read(C, 2);
+        t.log_predicate(Pred::FullColumn { col: D });
+        assert_eq!(t.predicates().len(), 2);
+        assert!(t.predicates().intersects_write(C, 2, 0, 1));
+        assert!(t.predicates().intersects_write(D, 99, 0, 1));
+        assert!(!t.predicates().intersects_write(C, 3, 0, 1));
+    }
+
+    #[test]
+    fn abort_is_free() {
+        let mut t = Transaction::begin(TxnId(3), 0);
+        t.write(C, 0, 1);
+        t.abort(); // nothing shared was touched; nothing to roll back
+    }
+}

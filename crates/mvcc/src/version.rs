@@ -1,0 +1,775 @@
+//! Version chains, epoch stores, and the versioned-column read/install
+//! protocols (paper §2.1), including the 1024-row block-skip scan
+//! optimisation of §5.5.
+
+use crate::timestamp::PENDING;
+use anker_storage::column::ColumnArea;
+use anker_storage::value::LogicalType;
+use anker_util::FxHashMap;
+use parking_lot::RwLock;
+use std::sync::atomic::{fence, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Rows per skip block: "for every 1024 rows, we keep the position of the
+/// first and of the last versioned row" (§5.5).
+pub const BLOCK_ROWS: u32 = 1024;
+
+const CHAIN_SHARDS: usize = 64;
+const NO_ROW: u32 = u32::MAX;
+
+/// One version: the value that was current *before* the write at `ts`
+/// replaced it... more precisely, `value` was written at `ts` and stayed
+/// current until the write that pushed this node.
+#[derive(Debug)]
+struct VersionNode {
+    value: u64,
+    ts: u64,
+    next: Option<Box<VersionNode>>,
+}
+
+/// A newest-to-oldest version chain for one row.
+#[derive(Debug, Default)]
+struct Chain {
+    head: Option<Box<VersionNode>>,
+}
+
+impl Chain {
+    fn push(&mut self, value: u64, ts: u64) {
+        debug_assert!(self.head.as_ref().map(|h| h.ts <= ts).unwrap_or(true) || ts == 0);
+        self.head = Some(Box::new(VersionNode {
+            value,
+            ts,
+            next: self.head.take(),
+        }));
+    }
+
+    /// The newest version visible at `start_ts`, walking newest-to-oldest.
+    fn find(&self, start_ts: u64) -> Option<u64> {
+        let mut node = self.head.as_deref();
+        while let Some(n) = node {
+            if n.ts <= start_ts {
+                return Some(n.value);
+            }
+            node = n.next.as_deref();
+        }
+        None
+    }
+
+    fn len(&self) -> usize {
+        let mut n = 0;
+        let mut node = self.head.as_deref();
+        while let Some(v) = node {
+            n += 1;
+            node = v.next.as_deref();
+        }
+        n
+    }
+
+    /// Drop every version strictly older than the newest one visible at
+    /// `min_active`. Returns the number of dropped versions.
+    fn prune(&mut self, min_active: u64) -> u64 {
+        let mut node = self.head.as_deref_mut();
+        while let Some(n) = node {
+            if n.ts <= min_active {
+                // `n` is the newest version any active reader can need;
+                // everything older is garbage.
+                let mut dropped = 0;
+                let mut tail = n.next.take();
+                while let Some(mut t) = tail {
+                    dropped += 1;
+                    tail = t.next.take();
+                }
+                return dropped;
+            }
+            node = n.next.as_deref_mut();
+        }
+        0
+    }
+}
+
+/// Seqlock-protected skip-block metadata.
+#[derive(Debug)]
+struct Block {
+    seq: AtomicU32,
+    first: AtomicU32,
+    last: AtomicU32,
+}
+
+impl Block {
+    fn new() -> Block {
+        Block {
+            seq: AtomicU32::new(0),
+            first: AtomicU32::new(NO_ROW),
+            last: AtomicU32::new(0),
+        }
+    }
+}
+
+/// One epoch's version chains for one column: sharded row → chain maps plus
+/// the skip-block index. In the heterogeneous design a fresh store is
+/// installed on every snapshot and the frozen one is handed over (§2.2,
+/// Figure 1 step 4).
+pub struct ChainStore {
+    shards: Box<[RwLock<FxHashMap<u32, Chain>>]>,
+    blocks: Box<[Block]>,
+    versions: AtomicU64,
+}
+
+impl std::fmt::Debug for ChainStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChainStore")
+            .field("versions", &self.version_count())
+            .finish()
+    }
+}
+
+impl ChainStore {
+    /// Empty store for a column of `rows` rows.
+    pub fn new(rows: u32) -> ChainStore {
+        let n_blocks = (rows as usize).div_ceil(BLOCK_ROWS as usize).max(1);
+        ChainStore {
+            shards: (0..CHAIN_SHARDS)
+                .map(|_| RwLock::new(FxHashMap::default()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            blocks: (0..n_blocks).map(|_| Block::new()).collect::<Vec<_>>().into_boxed_slice(),
+            versions: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, row: u32) -> &RwLock<FxHashMap<u32, Chain>> {
+        &self.shards[row as usize & (CHAIN_SHARDS - 1)]
+    }
+
+    /// Total number of version entries in the store.
+    pub fn version_count(&self) -> u64 {
+        self.versions.load(Ordering::Relaxed)
+    }
+
+    /// True if the store holds no versions.
+    pub fn is_empty(&self) -> bool {
+        self.version_count() == 0
+    }
+
+    /// Prepend a version to `row`'s chain and widen the row's skip block.
+    ///
+    /// Must be called by at most one thread at a time (the engine's
+    /// serialized commit section) — the seqlock writer side relies on it.
+    pub fn push(&self, row: u32, value: u64, ts: u64) {
+        // Seqlock write: mark the block dirty before touching chain or
+        // range so concurrent tight scans retry.
+        let block = &self.blocks[(row / BLOCK_ROWS) as usize];
+        block.seq.fetch_add(1, Ordering::Relaxed); // now odd
+        fence(Ordering::Release);
+        {
+            let mut shard = self.shard(row).write();
+            shard.entry(row).or_default().push(value, ts);
+        }
+        block.first.fetch_min(row, Ordering::Relaxed);
+        block.last.fetch_max(row, Ordering::Relaxed);
+        self.versions.fetch_add(1, Ordering::Relaxed);
+        block.seq.fetch_add(1, Ordering::Release); // even again
+    }
+
+    /// The newest version of `row` visible at `start_ts`, if this store has
+    /// one.
+    pub fn find_version(&self, row: u32, start_ts: u64) -> Option<u64> {
+        self.shard(row).read().get(&row).and_then(|c| c.find(start_ts))
+    }
+
+    /// Chain length of `row` (0 when unversioned).
+    pub fn chain_len(&self, row: u32) -> usize {
+        self.shard(row).read().get(&row).map(Chain::len).unwrap_or(0)
+    }
+
+    /// Seqlock read of block metadata: `(seq, first, last)`.
+    #[inline]
+    fn block_read(&self, block: usize) -> (u32, u32, u32) {
+        let b = &self.blocks[block];
+        let seq = b.seq.load(Ordering::Acquire);
+        let first = b.first.load(Ordering::Relaxed);
+        let last = b.last.load(Ordering::Relaxed);
+        (seq, first, last)
+    }
+
+    /// Validate that block metadata (and thus the block's chains) did not
+    /// change since [`ChainStore::block_read`] returned `seq`.
+    #[inline]
+    fn block_verify(&self, block: usize, seq: u32) -> bool {
+        fence(Ordering::Acquire);
+        seq % 2 == 0 && self.blocks[block].seq.load(Ordering::Acquire) == seq
+    }
+
+    /// Homogeneous-mode garbage collection: drop every version that no
+    /// transaction with `start_ts >= min_active` can see. `row_ts` is the
+    /// column's in-place write-timestamp array. Returns the number of
+    /// removed versions. Must run inside the serialized commit section.
+    pub fn gc(&self, min_active: u64, row_ts: &[AtomicU64]) -> u64 {
+        let mut removed = 0u64;
+        let n_blocks = self.blocks.len();
+        // Recompute block ranges as we go.
+        let mut block_first = vec![NO_ROW; n_blocks];
+        let mut block_last = vec![0u32; n_blocks];
+        for shard in self.shards.iter() {
+            let mut shard = shard.write();
+            shard.retain(|&row, chain| {
+                let in_place = row_ts[row as usize].load(Ordering::Relaxed) & !PENDING;
+                if in_place <= min_active {
+                    // The in-place version satisfies every active reader.
+                    removed += chain.len() as u64;
+                    return false;
+                }
+                removed += chain.prune(min_active);
+                let b = (row / BLOCK_ROWS) as usize;
+                block_first[b] = block_first[b].min(row);
+                block_last[b] = block_last[b].max(row);
+                true
+            });
+        }
+        for (i, block) in self.blocks.iter().enumerate() {
+            block.seq.fetch_add(1, Ordering::Relaxed);
+            fence(Ordering::Release);
+            block.first.store(block_first[i], Ordering::Relaxed);
+            block.last.store(block_last[i], Ordering::Relaxed);
+            block.seq.fetch_add(1, Ordering::Release);
+        }
+        self.versions.fetch_sub(removed, Ordering::Relaxed);
+        removed
+    }
+}
+
+/// Statistics of one [`VersionedColumn::scan_visible`] call, for tests and
+/// benchmarks.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Rows delivered through the tight (unchecked) path.
+    pub tight_rows: u64,
+    /// Rows that went through per-row visibility checks.
+    pub checked_rows: u64,
+    /// Rows whose value came from a chain walk.
+    pub chain_walks: u64,
+    /// Blocks whose tight read failed seqlock validation and was redone.
+    pub blocks_retried: u64,
+}
+
+/// MVCC state of one column: per-row write timestamps, the current chain
+/// store, and frozen stores handed over to past snapshots.
+pub struct VersionedColumn {
+    ty: LogicalType,
+    rows: u32,
+    row_ts: Box<[AtomicU64]>,
+    current: RwLock<Arc<ChainStore>>,
+    older: RwLock<Vec<(u64, Arc<ChainStore>)>>,
+    last_freeze_ts: AtomicU64,
+}
+
+impl std::fmt::Debug for VersionedColumn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VersionedColumn")
+            .field("rows", &self.rows)
+            .field("ty", &self.ty)
+            .field("versions", &self.current.read().version_count())
+            .field("frozen_epochs", &self.older.read().len())
+            .finish()
+    }
+}
+
+impl VersionedColumn {
+    /// Fresh, unversioned column state: all rows carry the load timestamp 0.
+    pub fn new(rows: u32, ty: LogicalType) -> VersionedColumn {
+        VersionedColumn {
+            ty,
+            rows,
+            row_ts: (0..rows).map(|_| AtomicU64::new(0)).collect::<Vec<_>>().into_boxed_slice(),
+            current: RwLock::new(Arc::new(ChainStore::new(rows))),
+            older: RwLock::new(Vec::new()),
+            last_freeze_ts: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Logical type of the column.
+    pub fn ty(&self) -> LogicalType {
+        self.ty
+    }
+
+    /// The raw write-timestamp word of `row` (may carry [`PENDING`]).
+    #[inline]
+    pub fn last_write_ts(&self, row: u32) -> u64 {
+        self.row_ts[row as usize].load(Ordering::Acquire)
+    }
+
+    /// The current (newest-epoch) chain store.
+    pub fn current_store(&self) -> Arc<ChainStore> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// Read `row` as of `start_ts`: the in-place value when visible,
+    /// otherwise the newest chain version visible at `start_ts`.
+    pub fn read(&self, area: &ColumnArea, row: u32, start_ts: u64) -> anker_vmem::Result<u64> {
+        loop {
+            let t1 = self.row_ts[row as usize].load(Ordering::Acquire);
+            if t1 & PENDING != 0 {
+                // A commit is installing this row; the window is a handful
+                // of stores under the commit lock.
+                std::hint::spin_loop();
+                continue;
+            }
+            if t1 <= start_ts {
+                let v = area.get(row)?;
+                // Re-validate: a concurrent install may have overwritten the
+                // value after we loaded the timestamp.
+                let t2 = self.row_ts[row as usize].load(Ordering::Acquire);
+                if t2 == t1 {
+                    return Ok(v);
+                }
+                continue;
+            }
+            return Ok(self.find_version(row, start_ts));
+        }
+    }
+
+    /// Read the newest committed value of `row` (stable under concurrent
+    /// installs).
+    pub fn read_latest(&self, area: &ColumnArea, row: u32) -> anker_vmem::Result<u64> {
+        loop {
+            let t1 = self.row_ts[row as usize].load(Ordering::Acquire);
+            if t1 & PENDING != 0 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let v = area.get(row)?;
+            let t2 = self.row_ts[row as usize].load(Ordering::Acquire);
+            if t2 == t1 {
+                return Ok(v);
+            }
+        }
+    }
+
+    fn find_version(&self, row: u32, start_ts: u64) -> u64 {
+        if let Some(v) = self.current.read().find_version(row, start_ts) {
+            return v;
+        }
+        let older = self.older.read();
+        for (_, store) in older.iter().rev() {
+            if let Some(v) = store.find_version(row, start_ts) {
+                return v;
+            }
+        }
+        panic!(
+            "no version of row {row} visible at ts {start_ts}: \
+             retention (GC / snapshot drop) violated its contract"
+        );
+    }
+
+    /// Install one committed write: move the old value into the version
+    /// chain and store the new value in place, with the PENDING protocol
+    /// making the switch atomic for readers. Returns the replaced value
+    /// (commit records need it for predicate validation).
+    ///
+    /// Must be called inside the serialized commit section.
+    pub fn install(
+        &self,
+        area: &ColumnArea,
+        row: u32,
+        new_word: u64,
+        commit_ts: u64,
+    ) -> anker_vmem::Result<u64> {
+        let slot = &self.row_ts[row as usize];
+        let t_old = slot.load(Ordering::Relaxed);
+        debug_assert_eq!(t_old & PENDING, 0, "concurrent install on row {row}");
+        debug_assert!(t_old < commit_ts, "non-monotonic install");
+        slot.store(commit_ts | PENDING, Ordering::Release);
+        let old = area.get(row)?;
+        self.current.read().push(row, old, t_old);
+        area.set(row, new_word)?;
+        slot.store(commit_ts, Ordering::Release);
+        Ok(old)
+    }
+
+    /// Freeze the current chain store for a snapshot at `freeze_ts` and
+    /// install a fresh, empty one (Figure 1 steps 4/7: "the current version
+    /// chains are handed over"). The frozen store stays reachable for
+    /// readers older than `freeze_ts` until
+    /// [`VersionedColumn::release_frozen`] retires it.
+    ///
+    /// Must be called inside the serialized commit section.
+    pub fn freeze_epoch(&self, freeze_ts: u64) -> Arc<ChainStore> {
+        let fresh = Arc::new(ChainStore::new(self.rows));
+        let frozen = {
+            let mut cur = self.current.write();
+            std::mem::replace(&mut *cur, fresh)
+        };
+        self.older.write().push((freeze_ts, Arc::clone(&frozen)));
+        self.last_freeze_ts.store(freeze_ts, Ordering::Release);
+        frozen
+    }
+
+    /// Drop frozen stores that no active transaction can need: a store
+    /// frozen at `T` serves only readers with `start_ts < T`.
+    pub fn release_frozen(&self, min_active_start: u64) {
+        self.older.write().retain(|(t, _)| *t > min_active_start);
+    }
+
+    /// Number of frozen epochs still retained.
+    pub fn frozen_epochs(&self) -> usize {
+        self.older.read().len()
+    }
+
+    /// Homogeneous-mode GC of the current store (see [`ChainStore::gc`]).
+    /// Must be called inside the serialized commit section.
+    pub fn gc(&self, min_active: u64) -> u64 {
+        let cur = self.current_store();
+        cur.gc(min_active, &self.row_ts)
+    }
+
+    /// Full-column scan delivering the version of every row visible at
+    /// `start_ts`, in row order, using the block-skip optimisation:
+    /// unversioned 1024-row blocks are read in a tight loop (seqlock
+    /// validated); blocks with versioned rows fall back to per-row checks
+    /// inside the `[first, last]` range only.
+    pub fn scan_visible(
+        &self,
+        area: &ColumnArea,
+        start_ts: u64,
+        mut f: impl FnMut(u32, u64),
+        stats: &mut ScanStats,
+    ) -> anker_vmem::Result<()> {
+        let mut buf = vec![0u64; BLOCK_ROWS as usize];
+        let mut block_start = 0u32;
+        while block_start < self.rows {
+            let n = BLOCK_ROWS.min(self.rows - block_start);
+            self.gather_visible_block(area, start_ts, block_start, n, &mut buf, stats)?;
+            for i in 0..n {
+                f(block_start + i, buf[i as usize]);
+            }
+            block_start += n;
+        }
+        Ok(())
+    }
+
+    /// Ablation variant of [`VersionedColumn::scan_visible`] with the
+    /// block-skip optimisation disabled: every row takes the per-row
+    /// visibility check, as in an implementation without §5.5's
+    /// first/last-versioned-row positions.
+    pub fn scan_visible_unoptimized(
+        &self,
+        area: &ColumnArea,
+        start_ts: u64,
+        mut f: impl FnMut(u32, u64),
+        stats: &mut ScanStats,
+    ) -> anker_vmem::Result<()> {
+        for row in 0..self.rows {
+            f(row, self.read(area, row, start_ts)?);
+            if self.row_ts[row as usize].load(Ordering::Relaxed) & !PENDING > start_ts {
+                stats.chain_walks += 1;
+            }
+        }
+        stats.checked_rows += self.rows as u64;
+        Ok(())
+    }
+
+    /// Gather the visible values of rows `[block_start, block_start + n)`
+    /// (one skip block or a prefix of it) into `buf[..n]`, applying the
+    /// block-skip optimisation. `block_start` must be block aligned.
+    ///
+    /// This is the building block of multi-column scans: the executor
+    /// gathers one block per column, then combines rows.
+    pub fn gather_visible_block(
+        &self,
+        area: &ColumnArea,
+        start_ts: u64,
+        block_start: u32,
+        n: u32,
+        buf: &mut [u64],
+        stats: &mut ScanStats,
+    ) -> anker_vmem::Result<()> {
+        debug_assert!(block_start.is_multiple_of(BLOCK_ROWS));
+        debug_assert!(n <= BLOCK_ROWS && block_start + n <= self.rows);
+        let store = self.current_store();
+        // The skip index only knows versions of the current epoch; readers
+        // older than the last freeze must check every row (cannot happen in
+        // the paper's configurations — OLAP runs on snapshots — but stay
+        // correct for any caller).
+        let force_per_row = start_ts < self.last_freeze_ts.load(Ordering::Acquire);
+        let vpp = area.vals_per_page();
+        let block_idx = (block_start / BLOCK_ROWS) as usize;
+        let (seq, first, last) = store.block_read(block_idx);
+        let tight_ok = !force_per_row && seq % 2 == 0;
+        if tight_ok && first == NO_ROW {
+            // Fully unversioned block: copy, validate, deliver.
+            self.copy_block(area, block_start, n, vpp, buf)?;
+            if store.block_verify(block_idx, seq) {
+                stats.tight_rows += n as u64;
+                return Ok(());
+            }
+            stats.blocks_retried += 1;
+        } else if tight_ok {
+            // Mixed block: tight head and tail, per-row middle.
+            self.copy_block(area, block_start, n, vpp, buf)?;
+            let lo = first.max(block_start) - block_start;
+            let hi = last.min(block_start + n - 1) - block_start;
+            for i in lo..=hi {
+                let row = block_start + i;
+                buf[i as usize] = self.read(area, row, start_ts)?;
+                stats.checked_rows += 1;
+                if self.row_ts[row as usize].load(Ordering::Relaxed) & !PENDING > start_ts {
+                    stats.chain_walks += 1;
+                }
+            }
+            if store.block_verify(block_idx, seq) {
+                stats.tight_rows += (n - (hi - lo + 1)) as u64;
+                return Ok(());
+            }
+            stats.blocks_retried += 1;
+        }
+        // Per-row fallback: always correct.
+        for i in 0..n {
+            let row = block_start + i;
+            buf[i as usize] = self.read(area, row, start_ts)?;
+            if self.row_ts[row as usize].load(Ordering::Relaxed) & !PENDING > start_ts {
+                stats.chain_walks += 1;
+            }
+        }
+        stats.checked_rows += n as u64;
+        Ok(())
+    }
+
+    fn copy_block(
+        &self,
+        area: &ColumnArea,
+        block_start: u32,
+        n: u32,
+        vpp: u32,
+        buf: &mut [u64],
+    ) -> anker_vmem::Result<()> {
+        let mut copied = 0u32;
+        while copied < n {
+            let row = block_start + copied;
+            let page = area.page_for_row(row)?;
+            let in_page_start = row % vpp;
+            let take = (vpp - in_page_start).min(n - copied);
+            for i in 0..take {
+                buf[(copied + i) as usize] = page.load((in_page_start + i) as usize);
+            }
+            copied += take;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anker_vmem::Kernel;
+
+    fn setup(rows: u32) -> (Kernel, ColumnArea, VersionedColumn) {
+        let k = Kernel::default();
+        let s = k.create_space();
+        let area = ColumnArea::alloc(&s, rows).unwrap();
+        area.fill((0..rows as u64).map(|i| i * 10)).unwrap();
+        let vc = VersionedColumn::new(rows, LogicalType::Int);
+        (k, area, vc)
+    }
+
+    #[test]
+    fn chain_newest_to_oldest() {
+        let mut c = Chain::default();
+        c.push(100, 0);
+        c.push(200, 5);
+        c.push(300, 9);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.find(10), Some(300));
+        assert_eq!(c.find(9), Some(300));
+        assert_eq!(c.find(8), Some(200));
+        assert_eq!(c.find(5), Some(200));
+        assert_eq!(c.find(4), Some(100));
+        assert_eq!(c.find(0), Some(100));
+    }
+
+    #[test]
+    fn chain_prune_keeps_visible_version() {
+        let mut c = Chain::default();
+        c.push(100, 0);
+        c.push(200, 5);
+        c.push(300, 9);
+        // min_active = 6: a reader at 6 needs the ts-5 version; ts-0 is
+        // garbage.
+        assert_eq!(c.prune(6), 1);
+        assert_eq!(c.find(6), Some(200));
+        assert_eq!(c.find(20), Some(300));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn install_and_timed_reads() {
+        let (_k, area, vc) = setup(100);
+        // Commit ts 5 updates row 3 (old value 30 -> 999).
+        vc.install(&area, 3, 999, 5).unwrap();
+        // Reader at ts 4 sees the old value via the chain.
+        assert_eq!(vc.read(&area, 3, 4).unwrap(), 30);
+        // Reader at ts 5 sees the new value in place.
+        assert_eq!(vc.read(&area, 3, 5).unwrap(), 999);
+        // Unversioned row: direct read at any ts.
+        assert_eq!(vc.read(&area, 7, 0).unwrap(), 70);
+        // Multiple updates stack.
+        vc.install(&area, 3, 1000, 8).unwrap();
+        assert_eq!(vc.read(&area, 3, 4).unwrap(), 30);
+        assert_eq!(vc.read(&area, 3, 7).unwrap(), 999);
+        assert_eq!(vc.read(&area, 3, 8).unwrap(), 1000);
+        assert_eq!(vc.current_store().chain_len(3), 2);
+    }
+
+    #[test]
+    fn freeze_hands_over_chains() {
+        let (_k, area, vc) = setup(50);
+        vc.install(&area, 10, 111, 3).unwrap();
+        let frozen = vc.freeze_epoch(4);
+        assert_eq!(frozen.version_count(), 1);
+        assert!(vc.current_store().is_empty());
+        // Old reader still reaches the pre-freeze version via the frozen
+        // store.
+        assert_eq!(vc.read(&area, 10, 2).unwrap(), 100);
+        // Updates after the freeze go to the fresh store.
+        vc.install(&area, 10, 222, 6).unwrap();
+        assert_eq!(vc.current_store().version_count(), 1);
+        assert_eq!(vc.read(&area, 10, 5).unwrap(), 111);
+        assert_eq!(vc.read(&area, 10, 2).unwrap(), 100);
+        assert_eq!(vc.read(&area, 10, 6).unwrap(), 222);
+        // Releasing the frozen epoch (no readers older than 4) drops the
+        // old chains implicitly — the paper's "garbage collection for free".
+        vc.release_frozen(4);
+        assert_eq!(vc.frozen_epochs(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "retention")]
+    fn dropping_needed_epoch_is_detected() {
+        let (_k, area, vc) = setup(10);
+        vc.install(&area, 0, 1, 3).unwrap();
+        vc.freeze_epoch(4);
+        vc.release_frozen(100); // violates retention for readers < 4
+        vc.read(&area, 0, 2).unwrap(); // needs the dropped version
+    }
+
+    #[test]
+    fn gc_removes_invisible_versions() {
+        let (_k, area, vc) = setup(100);
+        for ts in 1..=10u64 {
+            vc.install(&area, 5, ts * 1000, ts).unwrap();
+        }
+        assert_eq!(vc.current_store().chain_len(5), 10);
+        // Oldest active reader is at ts 7: versions below the newest-≤7
+        // are garbage.
+        let removed = vc.gc(7);
+        assert!(removed >= 6, "removed {removed}");
+        assert_eq!(vc.read(&area, 5, 7).unwrap(), 7000);
+        assert_eq!(vc.read(&area, 5, 20).unwrap(), 10000);
+        // GC with min_active at the in-place version drops the whole chain.
+        let removed = vc.gc(10);
+        assert!(removed > 0);
+        assert_eq!(vc.current_store().chain_len(5), 0);
+        assert_eq!(vc.read(&area, 5, 10).unwrap(), 10000);
+    }
+
+    #[test]
+    fn scan_tight_when_unversioned() {
+        let (_k, area, vc) = setup(3000);
+        let mut stats = ScanStats::default();
+        let mut sum = 0u64;
+        vc.scan_visible(&area, 0, |_, v| sum += v, &mut stats).unwrap();
+        assert_eq!(sum, (0..3000u64).map(|i| i * 10).sum::<u64>());
+        assert_eq!(stats.tight_rows, 3000);
+        assert_eq!(stats.checked_rows, 0);
+    }
+
+    #[test]
+    fn scan_respects_visibility_with_versions() {
+        let (_k, area, vc) = setup(3000);
+        // Update rows 100 and 2500 at ts 5.
+        vc.install(&area, 100, 7, 5).unwrap();
+        vc.install(&area, 2500, 9, 5).unwrap();
+        // Reader at ts 3 must see the original values.
+        let mut stats = ScanStats::default();
+        let mut got = Vec::new();
+        vc.scan_visible(&area, 3, |r, v| got.push((r, v)), &mut stats).unwrap();
+        assert_eq!(got.len(), 3000);
+        assert_eq!(got[100], (100, 1000));
+        assert_eq!(got[2500], (2500, 25000));
+        assert!(stats.chain_walks >= 2, "chain walks: {:?}", stats);
+        // Only the two versioned blocks pay per-row checks, and only for
+        // the single versioned row each ([first,last] = [row,row]).
+        assert_eq!(stats.checked_rows, 2);
+        assert_eq!(stats.tight_rows, 2998);
+        // Reader at ts 5 sees the updates.
+        let mut stats = ScanStats::default();
+        let mut got = Vec::new();
+        vc.scan_visible(&area, 5, |r, v| got.push((r, v)), &mut stats).unwrap();
+        assert_eq!(got[100], (100, 7));
+        assert_eq!(got[2500], (2500, 9));
+    }
+
+    #[test]
+    fn scan_block_range_limits_checks() {
+        let (_k, area, vc) = setup(2048);
+        // Version rows 10..20 of block 0 at ts 2.
+        for r in 10..20 {
+            vc.install(&area, r, 0, 2).unwrap();
+        }
+        let mut stats = ScanStats::default();
+        let mut n = 0u32;
+        vc.scan_visible(&area, 1, |_, _| n += 1, &mut stats).unwrap();
+        assert_eq!(n, 2048);
+        // Checked rows = the [first,last] = [10,19] range only.
+        assert_eq!(stats.checked_rows, 10);
+        assert_eq!(stats.tight_rows, 2048 - 10);
+    }
+
+    #[test]
+    fn concurrent_scans_and_installs_never_tear() {
+        // One writer installs serialized commits; several readers scan at
+        // their snapshot timestamps and must always see consistent values:
+        // every row is either old (row*10) or a committed even update.
+        let (_k, area, vc) = setup(4096);
+        let area = std::sync::Arc::new(area);
+        let vc = std::sync::Arc::new(vc);
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            {
+                let (vc, area) = (vc.clone(), area.clone());
+                let stop = &stop;
+                s.spawn(move || {
+                    for (ts, round) in (1u64..).zip(0..200u64) {
+                        let row = (round * 37) % 4096;
+                        vc.install(&area, row as u32, round * 2 + 1_000_000, ts).unwrap();
+                    }
+                    stop.store(true, Ordering::Release);
+                });
+            }
+            for _ in 0..2 {
+                let (vc, area) = (vc.clone(), area.clone());
+                let stop = &stop;
+                s.spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        let mut stats = ScanStats::default();
+                        // Read as of "now-ish": ts 0 (before all updates).
+                        vc.scan_visible(
+                            &area,
+                            0,
+                            |r, v| {
+                                assert_eq!(v, r as u64 * 10, "reader at ts 0 saw an update");
+                            },
+                            &mut stats,
+                        )
+                        .unwrap();
+                    }
+                });
+            }
+        });
+    }
+}

@@ -1,0 +1,146 @@
+//! # anker-snapshot — the paper's snapshotting techniques, side by side
+//!
+//! Implements every snapshot-creation mechanism discussed in the paper over
+//! the simulated VM subsystem of [`anker_vmem`]:
+//!
+//! * [`physical::PhysicalSnapshotter`] — eager deep copies (§3.1).
+//! * [`fork_based::ForkSnapshotter`] — `fork` + OS copy-on-write, the
+//!   mechanism of early HyPer (§3.2.2).
+//! * [`rewired::RewiredSnapshotter`] — user-space rewiring over main-memory
+//!   files with manual copy-on-write via write protection and a simulated
+//!   SIGSEGV handler (§3.2.3, RUMA).
+//! * [`vmsnap::VmSnapshotter`] — the paper's custom `vm_snapshot` system
+//!   call (§4), including the destination-recycling variant (§4.1.3).
+//!
+//! All four implement the [`Snapshotter`] trait against the same logical
+//! workload — a table of `n_cols` columns of `pages_per_col` pages — so the
+//! micro-benchmarks of Table 1 and Figure 5 can drive them uniformly.
+
+pub mod experiments;
+pub mod fork_based;
+pub mod physical;
+pub mod rewired;
+pub mod vmsnap;
+
+use anker_vmem::{Kernel, Result};
+
+pub use experiments::{fig5_run, table1_run, Fig5Config, Fig5Point, Table1Config, Table1Row};
+pub use fork_based::ForkSnapshotter;
+pub use physical::PhysicalSnapshotter;
+pub use rewired::RewiredSnapshotter;
+pub use vmsnap::VmSnapshotter;
+
+/// Identifier of a snapshot created by a [`Snapshotter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SnapshotId(pub usize);
+
+/// A snapshotting technique operating on a fixed table of columns.
+///
+/// The base table is the *most recent* representation that keeps receiving
+/// writes; snapshots must stay frozen at their creation point. Writes go
+/// through [`Snapshotter::write_base`] so each technique can apply its own
+/// copy-on-write handling (the kernel's for `fork`/`vm_snapshot`, a manual
+/// user-space handler for rewiring).
+pub trait Snapshotter {
+    /// Human-readable technique name, as used in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Number of columns in the base table.
+    fn n_cols(&self) -> usize;
+
+    /// Pages per column.
+    fn pages_per_col(&self) -> u64;
+
+    /// Create a snapshot of the first `p` columns. (Fork-based snapshotting
+    /// inherently snapshots the whole table regardless of `p`, exactly as
+    /// the paper notes.)
+    fn snapshot_columns(&mut self, p: usize) -> Result<SnapshotId>;
+
+    /// Drop a snapshot, releasing whatever it pinned.
+    fn drop_snapshot(&mut self, id: SnapshotId) -> Result<()>;
+
+    /// Write an 8-byte word into the base table, performing whatever
+    /// copy-on-write handling the technique requires.
+    fn write_base(&mut self, col: usize, page: u64, word: u64, value: u64) -> Result<()>;
+
+    /// Read an 8-byte word from the base table.
+    fn read_base(&self, col: usize, page: u64, word: u64) -> Result<u64>;
+
+    /// Read an 8-byte word from a snapshot.
+    fn read_snapshot(&self, id: SnapshotId, col: usize, page: u64, word: u64) -> Result<u64>;
+
+    /// Number of VMAs currently backing base column `col` — the quantity
+    /// that drives rewiring's snapshot-creation cost (Figure 5a).
+    fn base_vma_count(&self, col: usize) -> usize;
+
+    /// The kernel this technique runs on (for stats and the virtual clock).
+    fn kernel(&self) -> &Kernel;
+}
+
+/// Byte offset of `(page, word)` within a column of page size `ps`.
+#[inline]
+pub(crate) fn word_addr(base: u64, ps: u64, page: u64, word: u64) -> u64 {
+    base + page * ps + word * 8
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    /// Exercise the shared contract of all four techniques: snapshots are
+    /// frozen, the base keeps mutating, drops release resources.
+    fn exercise(mut s: Box<dyn Snapshotter>) {
+        let name = s.name();
+        // Initialise two columns with recognisable data.
+        for col in 0..2 {
+            for page in 0..s.pages_per_col() {
+                s.write_base(col, page, 0, 1000 * col as u64 + page).unwrap();
+            }
+        }
+        let snap = s.snapshot_columns(2).unwrap();
+        // Overwrite the base.
+        s.write_base(0, 3, 0, 4242).unwrap();
+        s.write_base(1, 0, 0, 2424).unwrap();
+        assert_eq!(s.read_base(0, 3, 0).unwrap(), 4242, "{name}: base write lost");
+        assert_eq!(
+            s.read_snapshot(snap, 0, 3, 0).unwrap(),
+            3,
+            "{name}: snapshot not frozen"
+        );
+        assert_eq!(
+            s.read_snapshot(snap, 1, 0, 0).unwrap(),
+            1000,
+            "{name}: snapshot not frozen (col 1)"
+        );
+        // A second snapshot sees the new state.
+        let snap2 = s.snapshot_columns(2).unwrap();
+        assert_eq!(s.read_snapshot(snap2, 0, 3, 0).unwrap(), 4242);
+        // Dropping in any order is fine.
+        s.drop_snapshot(snap).unwrap();
+        assert_eq!(s.read_snapshot(snap2, 1, 0, 0).unwrap(), 2424);
+        s.drop_snapshot(snap2).unwrap();
+        // Base still fully functional afterwards.
+        s.write_base(0, 0, 0, 7).unwrap();
+        assert_eq!(s.read_base(0, 0, 0).unwrap(), 7);
+    }
+
+    #[test]
+    fn physical_contract() {
+        exercise(Box::new(PhysicalSnapshotter::new(2, 8).unwrap()));
+    }
+
+    #[test]
+    fn fork_contract() {
+        exercise(Box::new(ForkSnapshotter::new(2, 8).unwrap()));
+    }
+
+    #[test]
+    fn rewired_contract() {
+        exercise(Box::new(RewiredSnapshotter::new(2, 8).unwrap()));
+    }
+
+    #[test]
+    fn vmsnap_contract() {
+        exercise(Box::new(VmSnapshotter::new(2, 8).unwrap()));
+    }
+}

@@ -1,0 +1,312 @@
+//! Rewired snapshotting — paper §3.2.3, §3.3.2(c); the user-space technique
+//! of RUMA ("RUMA has it: rewired user-space memory access is possible!").
+//!
+//! Columns live in a main-memory file and are mapped shared. A snapshot maps
+//! a fresh virtual area to the *same* file offsets, VMA by VMA, then the
+//! base column is write-protected. The first write to a base page raises a
+//! (simulated) SIGSEGV; the handler claims an unused page from the file
+//! pool, copies the old content, and *rewires* the base page to the new file
+//! offset with a `MAP_FIXED` mmap. Every such rewire fragments the base
+//! column into more VMAs — which is exactly why snapshot creation cost grows
+//! over time (Figure 5a) and why the paper replaces this scheme with
+//! `vm_snapshot`.
+
+use crate::{word_addr, SnapshotId, Snapshotter};
+use anker_util::FxHashMap;
+use anker_vmem::{Backing, Kernel, MapBacking, MemFile, Prot, Result, Share, Space, VmError};
+
+/// How many pages to append to the file pool at a time.
+const POOL_BATCH: u64 = 1024;
+
+/// Rewired snapshotting with manual copy-on-write.
+#[derive(Debug)]
+pub struct RewiredSnapshotter {
+    kernel: Kernel,
+    space: Space,
+    file: MemFile,
+    cols: Vec<u64>,
+    pages_per_col: u64,
+    /// Next unused page in the file pool.
+    next_pool_page: u64,
+    /// Whether base columns are currently write-protected (a snapshot was
+    /// taken since the last full-write pass).
+    armed: Vec<bool>,
+    snapshots: FxHashMap<usize, Vec<u64>>,
+    next_id: usize,
+}
+
+impl RewiredSnapshotter {
+    /// Build a table of `n_cols` columns, `pages_per_col` pages each.
+    pub fn new(n_cols: usize, pages_per_col: u64) -> Result<RewiredSnapshotter> {
+        Self::with_kernel(Kernel::default(), n_cols, pages_per_col)
+    }
+
+    /// Build the table on an existing kernel.
+    pub fn with_kernel(
+        kernel: Kernel,
+        n_cols: usize,
+        pages_per_col: u64,
+    ) -> Result<RewiredSnapshotter> {
+        let space = kernel.create_space();
+        let ps = space.page_size();
+        let table_pages = n_cols as u64 * pages_per_col;
+        let file = kernel.create_file(table_pages + POOL_BATCH);
+        let cols = (0..n_cols as u64)
+            .map(|c| {
+                space.mmap(
+                    pages_per_col * ps,
+                    Prot::READ_WRITE,
+                    Share::Shared,
+                    MapBacking::File(&file, c * pages_per_col * ps),
+                )
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(RewiredSnapshotter {
+            kernel,
+            space,
+            file,
+            cols,
+            pages_per_col,
+            next_pool_page: table_pages,
+            armed: vec![false; n_cols],
+            snapshots: FxHashMap::default(),
+            next_id: 0,
+        })
+    }
+
+    fn alloc_pool_page(&mut self) -> u64 {
+        if self.next_pool_page + 1 >= self.file.n_pages() {
+            self.file.grow(POOL_BATCH);
+        }
+        let p = self.next_pool_page;
+        // Stride 2: a real pool hands out offsets in effectively arbitrary
+        // (LIFO/recycled) order, so consecutively rewired pages land on
+        // non-adjacent file offsets and their VMAs cannot merge — the paper
+        // observes ~2 VMAs per written page (995 VMAs after 500 writes).
+        // Contiguous pool offsets would let the kernel merge the rewired
+        // mappings back together and hide exactly the fragmentation this
+        // technique suffers from.
+        self.next_pool_page += 2;
+        p
+    }
+
+    /// The simulated SIGSEGV handler: manual copy-on-write of one base page
+    /// (detect → claim pool page → copy → rewire).
+    fn handle_cow(&mut self, col: usize, page: u64) -> Result<()> {
+        self.kernel.charge_signal_delivery();
+        let ps = self.space.page_size();
+        let page_addr = self.cols[col] + page * ps;
+        // Find the file offset currently backing this page.
+        let vma = self
+            .space
+            .vmas_in(page_addr, ps)
+            .into_iter()
+            .next()
+            .ok_or(VmError::NotMapped { addr: page_addr })?;
+        let Backing::File { offset, .. } = vma.backing else {
+            return Err(VmError::InvalidArgument("rewired column lost file backing"));
+        };
+        let old_fp = (offset + (page_addr - vma.start)) / ps;
+        let new_fp = self.alloc_pool_page();
+        self.file.copy_page(old_fp, new_fp)?;
+        // Rewire: remap just this page, read-write, onto the fresh offset.
+        self.space.mmap_at(
+            page_addr,
+            ps,
+            Prot::READ_WRITE,
+            Share::Shared,
+            MapBacking::File(&self.file, new_fp * ps),
+        )
+    }
+}
+
+impl Snapshotter for RewiredSnapshotter {
+    fn name(&self) -> &'static str {
+        "rewiring"
+    }
+
+    fn n_cols(&self) -> usize {
+        self.cols.len()
+    }
+
+    fn pages_per_col(&self) -> u64 {
+        self.pages_per_col
+    }
+
+    fn snapshot_columns(&mut self, p: usize) -> Result<SnapshotId> {
+        assert!(p <= self.cols.len());
+        let ps = self.space.page_size();
+        let col_bytes = self.pages_per_col * ps;
+        let mut snap_cols = Vec::with_capacity(p);
+        for col in 0..p {
+            let base = self.cols[col];
+            // Reserve a fresh virtual area S...
+            let dst = self.space.mmap(
+                col_bytes,
+                Prot::READ,
+                Share::Shared,
+                MapBacking::File(&self.file, 0),
+            )?;
+            // ...and rewire the portion corresponding to each VMA backing
+            // the base column to the same file offset (one mmap per VMA —
+            // the cost the paper measures in Table 1).
+            for vma in self.space.vmas_in(base, col_bytes) {
+                let Backing::File { offset, .. } = vma.backing else {
+                    return Err(VmError::InvalidArgument("rewired column lost file backing"));
+                };
+                self.space.mmap_at(
+                    dst + (vma.start - base),
+                    vma.len(),
+                    Prot::READ,
+                    Share::Shared,
+                    MapBacking::File(&self.file, offset),
+                )?;
+            }
+            // Write-protect the base column so the next write to each page
+            // faults and triggers the manual copy-on-write. (The paper's
+            // §3.3.2 text protects S instead; the two are symmetric — one
+            // side must stay frozen, the other pays the manual COW. We keep
+            // updates flowing to the base, matching §3.2.3's narrative.)
+            self.space.mprotect(base, col_bytes, Prot::READ)?;
+            self.armed[col] = true;
+            snap_cols.push(dst);
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.snapshots.insert(id, snap_cols);
+        Ok(SnapshotId(id))
+    }
+
+    fn drop_snapshot(&mut self, id: SnapshotId) -> Result<()> {
+        let cols = self
+            .snapshots
+            .remove(&id.0)
+            .ok_or(VmError::InvalidArgument("unknown snapshot id"))?;
+        let bytes = self.pages_per_col * self.space.page_size();
+        for addr in cols {
+            self.space.munmap(addr, bytes)?;
+        }
+        // Note: the file pages the snapshot referenced are not returned to
+        // the pool; reclaiming them would require per-page reference counts
+        // in user space. The paper's prototype shares this simplification —
+        // the pool only ever grows.
+        Ok(())
+    }
+
+    fn write_base(&mut self, col: usize, page: u64, word: u64, value: u64) -> Result<()> {
+        let addr = word_addr(self.cols[col], self.space.page_size(), page, word);
+        match self.space.write_u64(addr, value) {
+            Ok(()) => Ok(()),
+            Err(VmError::ProtectionFault { .. }) => {
+                // Simulated SIGSEGV: run the manual COW handler, then retry.
+                self.handle_cow(col, page)?;
+                self.space.write_u64(addr, value)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn read_base(&self, col: usize, page: u64, word: u64) -> Result<u64> {
+        self.space
+            .read_u64(word_addr(self.cols[col], self.space.page_size(), page, word))
+    }
+
+    fn read_snapshot(&self, id: SnapshotId, col: usize, page: u64, word: u64) -> Result<u64> {
+        let cols = &self.snapshots[&id.0];
+        self.space
+            .read_u64(word_addr(cols[col], self.space.page_size(), page, word))
+    }
+
+    fn base_vma_count(&self, col: usize) -> usize {
+        self.space
+            .vma_count_in(self.cols[col], self.pages_per_col * self.space.page_size())
+    }
+
+    fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Snapshotter;
+
+    #[test]
+    fn writes_fragment_the_base_column() {
+        let mut s = RewiredSnapshotter::new(1, 16).unwrap();
+        for p in 0..16 {
+            s.write_base(0, p, 0, p).unwrap();
+        }
+        assert_eq!(s.base_vma_count(0), 1);
+        let id = s.snapshot_columns(1).unwrap();
+        // Each first write to a page adds a rewired single-page VMA.
+        s.write_base(0, 3, 0, 100).unwrap();
+        s.write_base(0, 8, 0, 200).unwrap();
+        assert_eq!(s.base_vma_count(0), 5, "2 rewired pages → 5 VMAs");
+        // Second write to the same page does not fault again.
+        let faults = s.kernel().stats().protection_faults;
+        s.write_base(0, 3, 0, 101).unwrap();
+        assert_eq!(s.kernel().stats().protection_faults, faults);
+        // Snapshot frozen.
+        assert_eq!(s.read_snapshot(id, 0, 3, 0).unwrap(), 3);
+        assert_eq!(s.read_snapshot(id, 0, 8, 0).unwrap(), 8);
+        assert_eq!(s.read_base(0, 3, 0).unwrap(), 101);
+    }
+
+    #[test]
+    fn snapshot_cost_grows_with_vma_count() {
+        let mut s = RewiredSnapshotter::new(1, 64).unwrap();
+        s.snapshot_columns(1).unwrap();
+        let t0 = s.kernel().virtual_ns();
+        s.snapshot_columns(1).unwrap();
+        let cheap = s.kernel().virtual_ns() - t0;
+        // Fragment heavily.
+        for p in 0..64 {
+            s.write_base(0, p, 0, 1).unwrap();
+        }
+        assert!(s.base_vma_count(0) >= 64);
+        let t0 = s.kernel().virtual_ns();
+        s.snapshot_columns(1).unwrap();
+        let costly = s.kernel().virtual_ns() - t0;
+        assert!(
+            costly > cheap * 10,
+            "fragmented snapshot ({costly} ns) should dwarf contiguous one ({cheap} ns)"
+        );
+    }
+
+    #[test]
+    fn fig5b_write_costs_manual_cow() {
+        // A write into an armed page pays signal delivery + copy + rewire.
+        let mut s = RewiredSnapshotter::new(1, 4).unwrap();
+        s.snapshot_columns(1).unwrap();
+        let t0 = s.kernel().virtual_ns();
+        s.write_base(0, 1, 0, 5).unwrap();
+        let armed_write = s.kernel().virtual_ns() - t0;
+        let t0 = s.kernel().virtual_ns();
+        s.write_base(0, 1, 1, 6).unwrap();
+        let plain_write = s.kernel().virtual_ns() - t0;
+        assert!(
+            armed_write > 10 * plain_write.max(1),
+            "manual COW ({armed_write} ns) should dwarf a plain write ({plain_write} ns)"
+        );
+        assert!(armed_write >= s.kernel().cost_model().signal_delivery as u64);
+    }
+
+    #[test]
+    fn multi_column_isolation() {
+        let mut s = RewiredSnapshotter::new(3, 4).unwrap();
+        for c in 0..3 {
+            s.write_base(c, 0, 0, c as u64 + 1).unwrap();
+        }
+        // Snapshot only the first two columns.
+        let id = s.snapshot_columns(2).unwrap();
+        // Column 2 was not snapshotted: writes to it must not fault.
+        let faults = s.kernel().stats().protection_faults;
+        s.write_base(2, 0, 0, 33).unwrap();
+        assert_eq!(s.kernel().stats().protection_faults, faults);
+        s.write_base(0, 0, 0, 11).unwrap();
+        assert_eq!(s.read_snapshot(id, 0, 0, 0).unwrap(), 1);
+        assert_eq!(s.read_snapshot(id, 1, 0, 0).unwrap(), 2);
+    }
+}

@@ -1,0 +1,269 @@
+//! A column's virtual memory area, with page-wise access for tight scans.
+
+use crate::value::{LogicalType, Value};
+use anker_vmem::{Access, MapBacking, Prot, ResolvedPage, Result, Share, Space};
+
+/// A fixed-size view of one column: `rows` 8-byte values stored densely in
+/// the virtual memory area starting at `addr`.
+///
+/// `ColumnArea` is deliberately a *view*: the heterogeneous snapshot manager
+/// re-points a logical column at a new area on every snapshot
+/// (paper Figure 1, steps 4 and 7), so areas are created and retired by the
+/// layer above. Dropping a `ColumnArea` does not unmap anything; call
+/// [`ColumnArea::unmap`] to release the area.
+#[derive(Debug, Clone)]
+pub struct ColumnArea {
+    space: Space,
+    addr: u64,
+    rows: u32,
+}
+
+impl ColumnArea {
+    /// Allocate a fresh anonymous private area large enough for `rows`
+    /// values and wrap it.
+    pub fn alloc(space: &Space, rows: u32) -> Result<ColumnArea> {
+        let ps = space.page_size();
+        let bytes = (rows as u64 * 8).div_ceil(ps).max(1) * ps;
+        let addr = space.mmap(bytes, Prot::READ_WRITE, Share::Private, MapBacking::Anon)?;
+        Ok(ColumnArea {
+            space: space.clone(),
+            addr,
+            rows,
+        })
+    }
+
+    /// View an existing area (e.g. one returned by `vm_snapshot`) as a
+    /// column of `rows` values.
+    pub fn from_raw(space: Space, addr: u64, rows: u32) -> ColumnArea {
+        ColumnArea { space, addr, rows }
+    }
+
+    /// Start address of the area.
+    pub fn addr(&self) -> u64 {
+        self.addr
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// The address space the area lives in.
+    pub fn space(&self) -> &Space {
+        &self.space
+    }
+
+    /// Values per page.
+    #[inline]
+    pub fn vals_per_page(&self) -> u32 {
+        (self.space.page_size() / 8) as u32
+    }
+
+    /// Size of the mapped area in bytes (page aligned).
+    pub fn mapped_bytes(&self) -> u64 {
+        let ps = self.space.page_size();
+        (self.rows as u64 * 8).div_ceil(ps).max(1) * ps
+    }
+
+    /// Number of pages backing the area.
+    pub fn n_pages(&self) -> u64 {
+        self.mapped_bytes() / self.space.page_size()
+    }
+
+    /// Load the raw word of `row` (atomic, relaxed).
+    #[inline]
+    pub fn get(&self, row: u32) -> Result<u64> {
+        debug_assert!(row < self.rows, "row {row} out of {}", self.rows);
+        self.space.read_u64(self.addr + row as u64 * 8)
+    }
+
+    /// Store the raw word of `row` (atomic, relaxed; faults/COWs as
+    /// needed).
+    #[inline]
+    pub fn set(&self, row: u32, word: u64) -> Result<()> {
+        debug_assert!(row < self.rows, "row {row} out of {}", self.rows);
+        self.space.write_u64(self.addr + row as u64 * 8, word)
+    }
+
+    /// Typed load.
+    pub fn get_value(&self, row: u32, ty: LogicalType) -> Result<Value> {
+        Ok(Value::decode(self.get(row)?, ty))
+    }
+
+    /// Typed store.
+    pub fn set_value(&self, row: u32, value: Value) -> Result<()> {
+        self.set(row, value.encode())
+    }
+
+    /// Resolve the page containing `row` for reading.
+    #[inline]
+    pub fn page_for_row(&self, row: u32) -> Result<ResolvedPage> {
+        let page = row / self.vals_per_page();
+        self.page(page as u64, false)
+    }
+
+    /// Resolve page `page_idx` of the area.
+    pub fn page(&self, page_idx: u64, write: bool) -> Result<ResolvedPage> {
+        let access = if write { Access::Write } else { Access::Read };
+        self.space
+            .resolve(self.addr + page_idx * self.space.page_size(), access)
+    }
+
+    /// Iterate over the pages of the column in order, yielding the first
+    /// row of each page, the number of valid rows in it, and the resolved
+    /// page. This is the tight-scan building block: one page-table lookup
+    /// per `vals_per_page` values.
+    pub fn for_each_page<E>(
+        &self,
+        mut f: impl FnMut(u32, u32, &ResolvedPage) -> std::result::Result<(), E>,
+    ) -> std::result::Result<(), E>
+    where
+        E: From<anker_vmem::VmError>,
+    {
+        let vpp = self.vals_per_page();
+        let mut row = 0u32;
+        while row < self.rows {
+            let n = vpp.min(self.rows - row);
+            let page = self.page((row / vpp) as u64, false)?;
+            f(row, n, &page)?;
+            row += n;
+        }
+        Ok(())
+    }
+
+    /// Copy the raw words of rows `[start_row, start_row + n)` into
+    /// `buf[..n]` (atomic loads, page-wise). The tight-loop read path for
+    /// snapshot scans.
+    pub fn read_block_into(&self, start_row: u32, n: u32, buf: &mut [u64]) -> Result<()> {
+        debug_assert!(start_row + n <= self.rows);
+        let vpp = self.vals_per_page();
+        let mut copied = 0u32;
+        while copied < n {
+            let row = start_row + copied;
+            let page = self.page_for_row(row)?;
+            let in_page = row % vpp;
+            let take = (vpp - in_page).min(n - copied);
+            for i in 0..take {
+                buf[(copied + i) as usize] = page.load((in_page + i) as usize);
+            }
+            copied += take;
+        }
+        Ok(())
+    }
+
+    /// Bulk-load values starting at row 0 (loader convenience).
+    pub fn fill<I: IntoIterator<Item = u64>>(&self, values: I) -> Result<u32> {
+        let vpp = self.vals_per_page();
+        let mut row = 0u32;
+        let mut page: Option<ResolvedPage> = None;
+        for word in values {
+            assert!(row < self.rows, "fill overflows the column");
+            if row.is_multiple_of(vpp) {
+                page = Some(self.page((row / vpp) as u64, true)?);
+            }
+            page.as_ref()
+                .expect("page resolved at row boundary")
+                .store((row % vpp) as usize, word);
+            row += 1;
+        }
+        Ok(row)
+    }
+
+    /// Unmap the underlying area, releasing its frames.
+    pub fn unmap(self) -> Result<()> {
+        let bytes = self.mapped_bytes();
+        self.space.munmap(self.addr, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anker_vmem::Kernel;
+
+    fn column(rows: u32) -> (Kernel, ColumnArea) {
+        let k = Kernel::default();
+        let s = k.create_space();
+        let c = ColumnArea::alloc(&s, rows).unwrap();
+        (k, c)
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let (_k, c) = column(2000);
+        for r in 0..2000u32 {
+            c.set(r, r as u64 * 3).unwrap();
+        }
+        for r in 0..2000u32 {
+            assert_eq!(c.get(r).unwrap(), r as u64 * 3);
+        }
+    }
+
+    #[test]
+    fn typed_access() {
+        let (_k, c) = column(4);
+        c.set_value(0, Value::Double(0.25)).unwrap();
+        c.set_value(1, Value::Int(-7)).unwrap();
+        c.set_value(2, Value::Date(100)).unwrap();
+        c.set_value(3, Value::Dict(9)).unwrap();
+        assert_eq!(c.get_value(0, LogicalType::Double).unwrap(), Value::Double(0.25));
+        assert_eq!(c.get_value(1, LogicalType::Int).unwrap(), Value::Int(-7));
+        assert_eq!(c.get_value(2, LogicalType::Date).unwrap(), Value::Date(100));
+        assert_eq!(c.get_value(3, LogicalType::Dict).unwrap(), Value::Dict(9));
+    }
+
+    #[test]
+    fn fill_and_page_scan() {
+        let (_k, c) = column(1500);
+        let n = c.fill((0..1500).map(|i| i * 2)).unwrap();
+        assert_eq!(n, 1500);
+        let mut sum = 0u64;
+        let mut rows_seen = 0u32;
+        c.for_each_page::<anker_vmem::VmError>(|start, n, page| {
+            for i in 0..n {
+                sum += page.load(((start + i) % c.vals_per_page()) as usize);
+            }
+            rows_seen += n;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(rows_seen, 1500);
+        assert_eq!(sum, (0..1500u64).map(|i| i * 2).sum::<u64>());
+    }
+
+    #[test]
+    fn page_count_rounds_up() {
+        let (_k, c) = column(513); // 513 * 8 = 4104 bytes -> 2 pages
+        assert_eq!(c.n_pages(), 2);
+        assert_eq!(c.vals_per_page(), 512);
+        // Last row lives on the second page.
+        c.set(512, 42).unwrap();
+        assert_eq!(c.get(512).unwrap(), 42);
+    }
+
+    #[test]
+    fn unmap_releases_frames() {
+        let k = Kernel::default();
+        let s = k.create_space();
+        let c = ColumnArea::alloc(&s, 5000).unwrap();
+        for r in 0..5000 {
+            c.set(r, 1).unwrap();
+        }
+        assert!(k.frames_in_use() > 0);
+        c.unmap().unwrap();
+        assert_eq!(k.frames_in_use(), 0);
+    }
+
+    #[test]
+    fn snapshot_view_reads_frozen_data() {
+        let k = Kernel::default();
+        let s = k.create_space();
+        let c = ColumnArea::alloc(&s, 1024).unwrap();
+        c.fill(0..1024).unwrap();
+        let snap_addr = s.vm_snapshot(None, c.addr(), c.mapped_bytes()).unwrap();
+        let snap = ColumnArea::from_raw(s.clone(), snap_addr, 1024);
+        c.set(100, 999).unwrap();
+        assert_eq!(snap.get(100).unwrap(), 100);
+        assert_eq!(c.get(100).unwrap(), 999);
+    }
+}

@@ -1,0 +1,127 @@
+//! Interning dictionaries for low-cardinality string attributes.
+//!
+//! The paper's update transactions set VARCHAR attributes like
+//! `l_returnflag` or `p_brand` by "picking an existing value from the column
+//! uniformly at random" (§5.2) — dictionary codes make those updates plain
+//! 8-byte stores and make equality predicates integer comparisons.
+
+use anker_util::FxHashMap;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+#[derive(Debug, Default)]
+struct DictInner {
+    values: Vec<Arc<str>>,
+    codes: FxHashMap<Arc<str>, u32>,
+}
+
+/// An append-only, thread-safe string dictionary.
+#[derive(Debug, Default)]
+pub struct Dictionary {
+    inner: RwLock<DictInner>,
+}
+
+impl Dictionary {
+    /// Empty dictionary.
+    pub fn new() -> Dictionary {
+        Dictionary::default()
+    }
+
+    /// Dictionary pre-seeded with `values` in order (codes 0..n).
+    pub fn with_values<S: AsRef<str>>(values: impl IntoIterator<Item = S>) -> Dictionary {
+        let d = Dictionary::new();
+        for v in values {
+            d.intern(v.as_ref());
+        }
+        d
+    }
+
+    /// Return the code of `s`, inserting it if unseen.
+    pub fn intern(&self, s: &str) -> u32 {
+        if let Some(code) = self.code(s) {
+            return code;
+        }
+        let mut inner = self.inner.write();
+        if let Some(&code) = inner.codes.get(s) {
+            return code;
+        }
+        let code = inner.values.len() as u32;
+        let arc: Arc<str> = Arc::from(s);
+        inner.values.push(Arc::clone(&arc));
+        inner.codes.insert(arc, code);
+        code
+    }
+
+    /// The code of `s`, if present.
+    pub fn code(&self, s: &str) -> Option<u32> {
+        self.inner.read().codes.get(s).copied()
+    }
+
+    /// The string of `code`.
+    ///
+    /// # Panics
+    /// Panics if `code` was never handed out.
+    pub fn value(&self, code: u32) -> Arc<str> {
+        Arc::clone(&self.inner.read().values[code as usize])
+    }
+
+    /// Number of distinct values.
+    pub fn len(&self) -> usize {
+        self.inner.read().values.len()
+    }
+
+    /// True if no value was interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All codes currently in use (0..len).
+    pub fn codes(&self) -> std::ops::Range<u32> {
+        0..self.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let d = Dictionary::new();
+        let a = d.intern("R");
+        let b = d.intern("N");
+        assert_eq!(d.intern("R"), a);
+        assert_eq!(d.intern("N"), b);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn lookup_both_directions() {
+        let d = Dictionary::with_values(["1-URGENT", "2-HIGH", "3-MEDIUM"]);
+        assert_eq!(d.code("2-HIGH"), Some(1));
+        assert_eq!(d.code("4-NOT THERE"), None);
+        assert_eq!(&*d.value(2), "3-MEDIUM");
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let d = std::sync::Arc::new(Dictionary::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let d = d.clone();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        d.intern(&format!("val-{}", i % 10));
+                    }
+                });
+            }
+        });
+        assert_eq!(d.len(), 10);
+        // Codes are dense and consistent.
+        for i in 0..10 {
+            let code = d.code(&format!("val-{i}")).unwrap();
+            assert_eq!(&*d.value(code), format!("val-{i}").as_str());
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Hash indexes for OLTP point lookups and the join paths of Q4/Q17.
+//!
+//! The OLTP transactions of §5.2 update rows by key (`l_orderkey` +
+//! `l_linenumber`, `o_orderkey`, `p_partkey`); these indexes turn those
+//! predicates into O(1) row-id lookups. The paper notes the process holds
+//! "the used indexes" alongside the tables (§5.6) — snapshotting deliberately
+//! excludes them, which is part of why column-granular `vm_snapshot` beats
+//! whole-process `fork`.
+
+use anker_util::FxHashMap;
+use parking_lot::RwLock;
+use std::hash::Hash;
+
+/// A unique-key hash index: key → row id.
+#[derive(Debug)]
+pub struct HashIndex<K> {
+    map: RwLock<FxHashMap<K, u32>>,
+}
+
+impl<K: Eq + Hash> Default for HashIndex<K> {
+    fn default() -> Self {
+        HashIndex {
+            map: RwLock::new(FxHashMap::default()),
+        }
+    }
+}
+
+impl<K: Eq + Hash> HashIndex<K> {
+    /// Empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a key; returns the previous row id if the key existed.
+    pub fn insert(&self, key: K, row: u32) -> Option<u32> {
+        self.map.write().insert(key, row)
+    }
+
+    /// Row id of `key`.
+    pub fn get(&self, key: &K) -> Option<u32> {
+        self.map.read().get(key).copied()
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// True if the index holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A build-once multi-map index: key → row ids (used for `l_partkey`
+/// lookups in Q17).
+#[derive(Debug, Default)]
+pub struct MultiIndex<K> {
+    map: FxHashMap<K, Vec<u32>>,
+}
+
+impl<K: Eq + Hash> MultiIndex<K> {
+    /// Build from `(key, row)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (K, u32)>) -> Self {
+        let mut map: FxHashMap<K, Vec<u32>> = FxHashMap::default();
+        for (k, row) in pairs {
+            map.entry(k).or_default().push(row);
+        }
+        MultiIndex { map }
+    }
+
+    /// Rows of `key` (empty slice if absent).
+    pub fn get(&self, key: &K) -> &[u32] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no keys were indexed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// A build-once index for keys whose rows are stored contiguously:
+/// key → (first row, count). LINEITEM rows of one order are generated
+/// adjacently, so Q4's `EXISTS` probe is a range check.
+#[derive(Debug, Default)]
+pub struct ContiguousIndex<K> {
+    map: FxHashMap<K, (u32, u32)>,
+}
+
+impl<K: Eq + Hash> ContiguousIndex<K> {
+    /// Build from an iterator of per-row keys (row ids are positional).
+    /// Keys must be grouped (all equal keys adjacent).
+    pub fn from_grouped_keys(keys: impl IntoIterator<Item = K>) -> Self
+    where
+        K: Clone + PartialEq,
+    {
+        let mut map: FxHashMap<K, (u32, u32)> = FxHashMap::default();
+        let mut current: Option<(K, u32, u32)> = None;
+        for (row, key) in (0u32..).zip(keys) {
+            match &mut current {
+                Some((k, _, count)) if *k == key => *count += 1,
+                _ => {
+                    if let Some((k, start, count)) = current.take() {
+                        let prev = map.insert(k, (start, count));
+                        assert!(prev.is_none(), "keys not grouped");
+                    }
+                    current = Some((key, row, 1));
+                }
+            }
+        }
+        if let Some((k, start, count)) = current {
+            let prev = map.insert(k, (start, count));
+            assert!(prev.is_none(), "keys not grouped");
+        }
+        ContiguousIndex { map }
+    }
+
+    /// The contiguous row range of `key`, as `(first_row, count)`.
+    pub fn get(&self, key: &K) -> Option<(u32, u32)> {
+        self.map.get(key).copied()
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no keys were indexed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_index_basics() {
+        let idx: HashIndex<(i64, i32)> = HashIndex::new();
+        assert!(idx.is_empty());
+        idx.insert((100, 1), 0);
+        idx.insert((100, 2), 1);
+        idx.insert((104, 1), 2);
+        assert_eq!(idx.get(&(100, 2)), Some(1));
+        assert_eq!(idx.get(&(999, 1)), None);
+        assert_eq!(idx.len(), 3);
+        // Re-insert replaces.
+        assert_eq!(idx.insert((100, 1), 7), Some(0));
+        assert_eq!(idx.get(&(100, 1)), Some(7));
+    }
+
+    #[test]
+    fn multi_index_groups_rows() {
+        let idx = MultiIndex::from_pairs([(5i64, 0u32), (7, 1), (5, 2), (5, 3)]);
+        assert_eq!(idx.get(&5), &[0, 2, 3]);
+        assert_eq!(idx.get(&7), &[1]);
+        assert_eq!(idx.get(&9), &[] as &[u32]);
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn contiguous_index_ranges() {
+        // Orders 1,1,1,4,4,8 — like lineitem rows grouped by orderkey.
+        let idx = ContiguousIndex::from_grouped_keys([1i64, 1, 1, 4, 4, 8]);
+        assert_eq!(idx.get(&1), Some((0, 3)));
+        assert_eq!(idx.get(&4), Some((3, 2)));
+        assert_eq!(idx.get(&8), Some((5, 1)));
+        assert_eq!(idx.get(&2), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "keys not grouped")]
+    fn contiguous_index_rejects_ungrouped() {
+        ContiguousIndex::from_grouped_keys([1i64, 2, 1]);
+    }
+
+    #[test]
+    fn concurrent_hash_index_reads() {
+        let idx = std::sync::Arc::new(HashIndex::<u64>::new());
+        for i in 0..1000 {
+            idx.insert(i, i as u32);
+        }
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let idx = idx.clone();
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        assert_eq!(idx.get(&i), Some(i as u32));
+                    }
+                });
+            }
+        });
+    }
+}

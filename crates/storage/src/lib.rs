@@ -1,0 +1,32 @@
+//! # anker-storage — column-oriented storage on simulated virtual memory
+//!
+//! AnKerDB is a main-memory column store (paper §1.4(I)): every attribute is
+//! a dense array of fixed-width values living in its own virtual memory
+//! area, so it can be snapshotted *individually* with `vm_snapshot`
+//! (contribution III — column-granular snapshots).
+//!
+//! This crate provides the storage primitives the MVCC and database layers
+//! build on:
+//!
+//! * [`value`] — all column elements are 8-byte words ([`value::Value`]
+//!   encodings for integers, doubles, dates, and dictionary codes), so
+//!   in-place updates and concurrent scans are aligned atomic accesses.
+//! * [`column::ColumnArea`] — a typed view of one column's virtual memory
+//!   area with page-wise access for tight-loop scans.
+//! * [`dict::Dictionary`] — interning dictionaries for low-cardinality
+//!   string attributes (`l_returnflag`, `o_orderpriority`, `p_brand`, ...).
+//! * [`table::Schema`] — named, typed column metadata.
+//! * [`index`] — hash indexes for OLTP point lookups and the join paths of
+//!   Q4/Q17 (the paper's process also holds "the used indexes", §5.6).
+
+pub mod column;
+pub mod dict;
+pub mod index;
+pub mod table;
+pub mod value;
+
+pub use column::ColumnArea;
+pub use dict::Dictionary;
+pub use index::{ContiguousIndex, HashIndex, MultiIndex};
+pub use table::{ColumnDef, ColumnId, Schema};
+pub use value::{LogicalType, Value};

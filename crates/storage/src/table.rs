@@ -1,0 +1,147 @@
+//! Table schemas: named, typed column metadata.
+
+use crate::dict::Dictionary;
+use crate::value::LogicalType;
+use anker_util::FxHashMap;
+use std::sync::Arc;
+
+/// Index of a column within its table's schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColumnId(pub usize);
+
+/// Definition of one column.
+#[derive(Debug, Clone)]
+pub struct ColumnDef {
+    /// Attribute name, e.g. `l_shipdate`.
+    pub name: String,
+    /// Storage type of the column.
+    pub ty: LogicalType,
+    /// The dictionary for `LogicalType::Dict` columns.
+    pub dict: Option<Arc<Dictionary>>,
+}
+
+impl ColumnDef {
+    /// A plain (non-dictionary) column.
+    pub fn new(name: impl Into<String>, ty: LogicalType) -> ColumnDef {
+        assert!(
+            ty != LogicalType::Dict,
+            "dictionary columns need ColumnDef::dict"
+        );
+        ColumnDef {
+            name: name.into(),
+            ty,
+            dict: None,
+        }
+    }
+
+    /// A dictionary-encoded string column.
+    pub fn dict(name: impl Into<String>, dict: Arc<Dictionary>) -> ColumnDef {
+        ColumnDef {
+            name: name.into(),
+            ty: LogicalType::Dict,
+            dict: Some(dict),
+        }
+    }
+}
+
+/// An ordered set of column definitions with name lookup.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    cols: Vec<ColumnDef>,
+    by_name: FxHashMap<String, usize>,
+}
+
+impl Schema {
+    /// Build a schema; column names must be unique.
+    pub fn new(cols: Vec<ColumnDef>) -> Schema {
+        let mut by_name = FxHashMap::default();
+        for (i, c) in cols.iter().enumerate() {
+            let prev = by_name.insert(c.name.clone(), i);
+            assert!(prev.is_none(), "duplicate column name {:?}", c.name);
+        }
+        Schema { cols, by_name }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// True for a schema with no columns.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// Column id of `name`.
+    ///
+    /// # Panics
+    /// Panics when the column does not exist (schema mistakes are
+    /// programming errors here, not runtime conditions).
+    pub fn col(&self, name: &str) -> ColumnId {
+        match self.by_name.get(name) {
+            Some(&i) => ColumnId(i),
+            None => panic!("no column named {name:?}"),
+        }
+    }
+
+    /// Column id of `name`, if present.
+    pub fn try_col(&self, name: &str) -> Option<ColumnId> {
+        self.by_name.get(name).map(|&i| ColumnId(i))
+    }
+
+    /// Definition of column `id`.
+    pub fn def(&self, id: ColumnId) -> &ColumnDef {
+        &self.cols[id.0]
+    }
+
+    /// Iterate over `(ColumnId, &ColumnDef)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ColumnId, &ColumnDef)> {
+        self.cols.iter().enumerate().map(|(i, d)| (ColumnId(i), d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::new("l_orderkey", LogicalType::Int),
+            ColumnDef::new("l_extendedprice", LogicalType::Double),
+            ColumnDef::new("l_shipdate", LogicalType::Date),
+            ColumnDef::dict("l_returnflag", Arc::new(Dictionary::with_values(["A", "N", "R"]))),
+        ])
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = schema();
+        assert_eq!(s.col("l_shipdate"), ColumnId(2));
+        assert_eq!(s.try_col("nope"), None);
+        assert_eq!(s.def(s.col("l_returnflag")).ty, LogicalType::Dict);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "no column named")]
+    fn missing_column_panics() {
+        schema().col("does_not_exist");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column name")]
+    fn duplicate_names_rejected() {
+        Schema::new(vec![
+            ColumnDef::new("a", LogicalType::Int),
+            ColumnDef::new("a", LogicalType::Int),
+        ]);
+    }
+
+    #[test]
+    fn dict_column_carries_dictionary() {
+        let s = schema();
+        let def = s.def(s.col("l_returnflag"));
+        let dict = def.dict.as_ref().unwrap();
+        assert_eq!(dict.code("N"), Some(1));
+    }
+}

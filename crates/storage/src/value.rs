@@ -1,0 +1,243 @@
+//! Value encoding: every column element is one 8-byte word.
+//!
+//! Fixing the element width to 64 bits keeps in-place MVCC updates and
+//! concurrent scans torn-read-free (aligned atomic loads/stores) and keeps
+//! `vm_snapshot`'s unit of sharing (the page) uniform across types. The
+//! paper's evaluated attributes map as:
+//!
+//! | SQL type           | encoding                              |
+//! |--------------------|---------------------------------------|
+//! | INTEGER / BIGINT   | `i64` two's complement                |
+//! | DOUBLE             | `f64::to_bits`                        |
+//! | DATE               | days since 1992-01-01 as `i64`        |
+//! | VARCHAR (low card.)| `u32` dictionary code, zero-extended  |
+
+use std::fmt;
+
+/// Logical type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LogicalType {
+    /// 64-bit signed integer.
+    Int,
+    /// IEEE-754 double.
+    Double,
+    /// Days since the epoch 1992-01-01 (TPC-H's first order date).
+    Date,
+    /// Dictionary-encoded string; the code indexes a
+    /// [`crate::Dictionary`].
+    Dict,
+}
+
+/// A decoded column value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    Int(i64),
+    Double(f64),
+    Date(i32),
+    Dict(u32),
+}
+
+impl Value {
+    /// Encode to the 8-byte word stored in the column.
+    #[inline]
+    pub fn encode(self) -> u64 {
+        match self {
+            Value::Int(v) => v as u64,
+            Value::Double(v) => v.to_bits(),
+            Value::Date(v) => v as i64 as u64,
+            Value::Dict(v) => v as u64,
+        }
+    }
+
+    /// Decode a stored word according to `ty`.
+    #[inline]
+    pub fn decode(word: u64, ty: LogicalType) -> Value {
+        match ty {
+            LogicalType::Int => Value::Int(word as i64),
+            LogicalType::Double => Value::Double(f64::from_bits(word)),
+            LogicalType::Date => Value::Date(word as i64 as i32),
+            LogicalType::Dict => Value::Dict(word as u32),
+        }
+    }
+
+    /// The logical type this value carries.
+    pub fn logical_type(self) -> LogicalType {
+        match self {
+            Value::Int(_) => LogicalType::Int,
+            Value::Double(_) => LogicalType::Double,
+            Value::Date(_) => LogicalType::Date,
+            Value::Dict(_) => LogicalType::Dict,
+        }
+    }
+
+    /// Interpret as `i64`, panicking on type mismatch.
+    pub fn as_int(self) -> i64 {
+        match self {
+            Value::Int(v) => v,
+            other => panic!("expected Int, found {other:?}"),
+        }
+    }
+
+    /// Interpret as `f64`, panicking on type mismatch.
+    pub fn as_double(self) -> f64 {
+        match self {
+            Value::Double(v) => v,
+            other => panic!("expected Double, found {other:?}"),
+        }
+    }
+
+    /// Interpret as date days, panicking on type mismatch.
+    pub fn as_date(self) -> i32 {
+        match self {
+            Value::Date(v) => v,
+            other => panic!("expected Date, found {other:?}"),
+        }
+    }
+
+    /// Interpret as dictionary code, panicking on type mismatch.
+    pub fn as_dict(self) -> u32 {
+        match self {
+            Value::Dict(v) => v,
+            other => panic!("expected Dict, found {other:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Double(v) => write!(f, "{v:.4}"),
+            Value::Date(v) => {
+                let (y, m, d) = date::from_days(*v);
+                write!(f, "{y:04}-{m:02}-{d:02}")
+            }
+            Value::Dict(v) => write!(f, "#{v}"),
+        }
+    }
+}
+
+/// Calendar helpers for the `Date` encoding (days since 1992-01-01).
+pub mod date {
+    /// The epoch year of day 0.
+    pub const EPOCH_YEAR: i32 = 1992;
+
+    fn is_leap(y: i32) -> bool {
+        (y % 4 == 0 && y % 100 != 0) || y % 400 == 0
+    }
+
+    fn days_in_month(y: i32, m: u32) -> i32 {
+        match m {
+            1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+            4 | 6 | 9 | 11 => 30,
+            2 => {
+                if is_leap(y) {
+                    29
+                } else {
+                    28
+                }
+            }
+            _ => panic!("bad month {m}"),
+        }
+    }
+
+    /// Days since 1992-01-01 for a calendar date (year ≥ 1992).
+    pub fn to_days(year: i32, month: u32, day: u32) -> i32 {
+        assert!(year >= EPOCH_YEAR, "dates before 1992 are not representable");
+        assert!((1..=12).contains(&month));
+        assert!(day >= 1 && (day as i32) <= days_in_month(year, month));
+        let mut days = 0i32;
+        for y in EPOCH_YEAR..year {
+            days += if is_leap(y) { 366 } else { 365 };
+        }
+        for m in 1..month {
+            days += days_in_month(year, m);
+        }
+        days + day as i32 - 1
+    }
+
+    /// Calendar date for a day count since 1992-01-01.
+    pub fn from_days(mut days: i32) -> (i32, u32, u32) {
+        assert!(days >= 0, "dates before 1992 are not representable");
+        let mut year = EPOCH_YEAR;
+        loop {
+            let in_year = if is_leap(year) { 366 } else { 365 };
+            if days < in_year {
+                break;
+            }
+            days -= in_year;
+            year += 1;
+        }
+        let mut month = 1u32;
+        loop {
+            let in_month = days_in_month(year, month);
+            if days < in_month {
+                break;
+            }
+            days -= in_month;
+            month += 1;
+        }
+        (year, month, days as u32 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        for v in [
+            Value::Int(0),
+            Value::Int(-1),
+            Value::Int(i64::MAX),
+            Value::Int(i64::MIN),
+            Value::Double(0.15),
+            Value::Double(-123.456),
+            Value::Date(0),
+            Value::Date(2400),
+            Value::Dict(0),
+            Value::Dict(u32::MAX),
+        ] {
+            let decoded = Value::decode(v.encode(), v.logical_type());
+            assert_eq!(decoded, v);
+        }
+    }
+
+    #[test]
+    fn negative_date_round_trip_through_i64() {
+        // Dates are epoch-relative and non-negative in practice, but the
+        // encoding must still sign-extend correctly.
+        let v = Value::Date(-5);
+        assert_eq!(Value::decode(v.encode(), LogicalType::Date), v);
+    }
+
+    #[test]
+    fn date_math() {
+        assert_eq!(date::to_days(1992, 1, 1), 0);
+        assert_eq!(date::to_days(1992, 12, 31), 365); // 1992 is a leap year
+        assert_eq!(date::to_days(1993, 1, 1), 366);
+        assert_eq!(date::from_days(0), (1992, 1, 1));
+        assert_eq!(date::from_days(365), (1992, 12, 31));
+        // TPC-H end of world: 1998-12-01.
+        let d = date::to_days(1998, 12, 1);
+        assert_eq!(date::from_days(d), (1998, 12, 1));
+    }
+
+    #[test]
+    fn date_round_trip_exhaustive_range() {
+        // Every day of the TPC-H date range round-trips.
+        let last = date::to_days(1998, 12, 31);
+        for day in 0..=last {
+            let (y, m, d) = date::from_days(day);
+            assert_eq!(date::to_days(y, m, d), day);
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::Date(0).to_string(), "1992-01-01");
+        assert_eq!(Value::Dict(3).to_string(), "#3");
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the storage layer.
+
+use anker_storage::value::{date, LogicalType, Value};
+use anker_storage::{ColumnArea, ContiguousIndex, Dictionary, MultiIndex};
+use anker_vmem::Kernel;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every value encoding round-trips bit-exactly.
+    #[test]
+    fn value_round_trip(bits in any::<u64>(), which in 0..4usize) {
+        let (v, ty) = match which {
+            0 => (Value::Int(bits as i64), LogicalType::Int),
+            1 => {
+                // Avoid NaN payload normalisation concerns by skipping NaNs.
+                let f = f64::from_bits(bits);
+                prop_assume!(!f.is_nan());
+                (Value::Double(f), LogicalType::Double)
+            }
+            2 => (Value::Date(bits as i32), LogicalType::Date),
+            _ => (Value::Dict(bits as u32), LogicalType::Dict),
+        };
+        prop_assert_eq!(Value::decode(v.encode(), ty), v);
+    }
+
+    /// Calendar conversion round-trips for any day in a 60-year window.
+    #[test]
+    fn date_round_trip(day in 0i32..22_000) {
+        let (y, m, d) = date::from_days(day);
+        prop_assert_eq!(date::to_days(y, m, d), day);
+        prop_assert!((1..=12).contains(&m));
+        prop_assert!((1..=31).contains(&d));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A column area behaves exactly like a Vec<u64> under random writes,
+    /// including through the block-read path.
+    #[test]
+    fn column_area_matches_vec(
+        rows in 1u32..3000,
+        writes in proptest::collection::vec((any::<u32>(), any::<u64>()), 0..200),
+    ) {
+        let kernel = Kernel::default();
+        let space = kernel.create_space();
+        let area = ColumnArea::alloc(&space, rows).unwrap();
+        let mut model = vec![0u64; rows as usize];
+        for (row, value) in writes {
+            let row = row % rows;
+            area.set(row, value).unwrap();
+            model[row as usize] = value;
+        }
+        // Point reads.
+        for r in (0..rows).step_by(7) {
+            prop_assert_eq!(area.get(r).unwrap(), model[r as usize]);
+        }
+        // Block reads across page boundaries.
+        let mut buf = vec![0u64; rows as usize];
+        area.read_block_into(0, rows, &mut buf).unwrap();
+        prop_assert_eq!(&buf, &model);
+    }
+
+    /// Dictionary interning is a bijection over the inserted strings.
+    #[test]
+    fn dictionary_bijection(words in proptest::collection::vec("[a-z]{1,8}", 1..60)) {
+        let dict = Dictionary::new();
+        let codes: Vec<u32> = words.iter().map(|w| dict.intern(w)).collect();
+        for (w, &c) in words.iter().zip(&codes) {
+            prop_assert_eq!(dict.code(w), Some(c));
+            prop_assert_eq!(&*dict.value(c), w.as_str());
+        }
+        let distinct: std::collections::HashSet<_> = words.iter().collect();
+        prop_assert_eq!(dict.len(), distinct.len());
+    }
+
+    /// MultiIndex returns exactly the rows inserted for each key.
+    #[test]
+    fn multi_index_complete(keys in proptest::collection::vec(0i64..20, 1..200)) {
+        let idx = MultiIndex::from_pairs(
+            keys.iter().enumerate().map(|(r, &k)| (k, r as u32)),
+        );
+        for key in 0i64..20 {
+            let expected: Vec<u32> = keys
+                .iter()
+                .enumerate()
+                .filter(|(_, &k)| k == key)
+                .map(|(r, _)| r as u32)
+                .collect();
+            prop_assert_eq!(idx.get(&key), expected.as_slice());
+        }
+    }
+
+    /// ContiguousIndex reconstructs exactly the grouped runs.
+    #[test]
+    fn contiguous_index_runs(runs in proptest::collection::vec((0u8..255, 1u32..6), 1..40)) {
+        // Build grouped keys with unique run keys.
+        let mut keys = Vec::new();
+        let mut expected = Vec::new();
+        let mut row = 0u32;
+        for (i, &(_, len)) in runs.iter().enumerate() {
+            let key = i as i64; // unique per run, grouped by construction
+            for _ in 0..len {
+                keys.push(key);
+            }
+            expected.push((key, row, len));
+            row += len;
+        }
+        let idx = ContiguousIndex::from_grouped_keys(keys.iter().copied());
+        for (key, start, len) in expected {
+            prop_assert_eq!(idx.get(&key), Some((start, len)));
+        }
+    }
+}

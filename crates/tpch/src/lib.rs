@@ -1,0 +1,24 @@
+//! # anker-tpch — the paper's evaluation workload (§5.2)
+//!
+//! * [`gen`] — a deterministic, seeded generator for the three TPC-H tables
+//!   the paper uses (LINEITEM, ORDERS, PART) with TPC-H-shaped
+//!   distributions, plus the hash indexes the OLTP transactions need.
+//! * [`queries`] — the OLAP side: TPC-H Q1, Q4, Q6, Q17 with
+//!   specification-conform random parameters, and full-table scan
+//!   transactions for each table (7 OLAP transactions in total).
+//! * [`oltp`] — the 9 hand-tailored OLTP update transactions of Figure 6.
+//! * [`driver`] — multi-threaded workload execution: pure OLTP streams,
+//!   mixed OLTP+OLAP batches (Figure 8/11), and the OLAP latency-under-load
+//!   experiment (Figure 7).
+
+pub mod driver;
+pub mod gen;
+pub mod oltp;
+pub mod queries;
+
+pub use driver::{
+    run_olap_latency, run_workload, LatencyConfig, LatencyResult, WorkloadConfig, WorkloadResult,
+};
+pub use gen::{TpchConfig, TpchDb};
+pub use oltp::OltpKind;
+pub use queries::OlapQuery;

@@ -1,0 +1,206 @@
+//! The 9 hand-tailored OLTP transactions of Figure 6.
+//!
+//! Parameter rules (§5.2): VARCHAR attributes are set to an existing value
+//! picked uniformly at random (a dictionary code here); DOUBLE attributes
+//! are read and perturbed by ±x % with x ∈ {1..10}; DATE attributes are
+//! shifted by ±x days with x ∈ {1..10}. Keys are sampled uniformly from the
+//! loaded keys and resolved through the hash indexes.
+
+use crate::gen::TpchDb;
+use anker_core::{DbError, Result, Txn, TxnKind};
+use anker_storage::Value;
+use rand::{Rng, RngExt};
+
+/// The nine transaction templates of Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OltpKind {
+    /// `update lineitem set l_returnflag=? where <key>`
+    Q1,
+    /// `update lineitem set l_linestatus=?, l_discount=? where <key>`
+    Q2,
+    /// `update lineitem set l_extendedprice=?, l_shipdate=? where <key>`
+    Q3,
+    /// `update orders set o_orderpriority=?, o_orderstatus=? where <key>`
+    Q4,
+    /// `update orders set o_orderpriority=? where <key>`
+    Q5,
+    /// `update orders set o_totalprice=? where <key>`
+    Q6,
+    /// lineitem price + orders status (two tables)
+    Q7,
+    /// `update part set p_brand=?, p_retailprice=? where <key>`
+    Q8,
+    /// lineitem flag + orders price + part price (three tables)
+    Q9,
+}
+
+impl OltpKind {
+    /// All nine templates.
+    pub const ALL: [OltpKind; 9] = [
+        OltpKind::Q1,
+        OltpKind::Q2,
+        OltpKind::Q3,
+        OltpKind::Q4,
+        OltpKind::Q5,
+        OltpKind::Q6,
+        OltpKind::Q7,
+        OltpKind::Q8,
+        OltpKind::Q9,
+    ];
+
+    /// Pick a template uniformly.
+    pub fn sample(rng: &mut impl Rng) -> OltpKind {
+        Self::ALL[rng.random_range(0..Self::ALL.len())]
+    }
+}
+
+/// Perturb a double by ±x %, x ∈ {1..10} (§5.2).
+fn perturb_double(v: f64, rng: &mut impl Rng) -> f64 {
+    let x = rng.random_range(1..=10) as f64;
+    let sign = if rng.random_range(0..2) == 0 { 1.0 } else { -1.0 };
+    v * (1.0 + sign * x / 100.0)
+}
+
+/// Shift a date by ±x days, x ∈ {1..10}, clamped to the epoch.
+fn perturb_date(v: i32, rng: &mut impl Rng) -> i32 {
+    let x = rng.random_range(1..=10);
+    let sign = if rng.random_range(0..2) == 0 { 1 } else { -1 };
+    (v + sign * x).max(0)
+}
+
+fn random_lineitem_row(t: &TpchDb, rng: &mut impl Rng) -> u32 {
+    let key = t.lineitem_keys[rng.random_range(0..t.lineitem_keys.len())];
+    t.li_by_key.get(&key).expect("key index complete")
+}
+
+fn random_order_row(t: &TpchDb, rng: &mut impl Rng) -> u32 {
+    let key = t.order_keys[rng.random_range(0..t.order_keys.len())];
+    t.ord_by_key.get(&key).expect("key index complete")
+}
+
+fn random_part_row(t: &TpchDb, rng: &mut impl Rng) -> u32 {
+    // Part keys are dense 1..=n_parts.
+    rng.random_range(0..t.n_parts) as u32
+}
+
+fn update_lineitem_returnflag(t: &TpchDb, txn: &mut Txn, row: u32, rng: &mut impl Rng) -> Result<()> {
+    let code = rng.random_range(0..t.rf_dict.len() as u32);
+    txn.update_value(t.lineitem, t.li.returnflag, row, Value::Dict(code))
+}
+
+fn update_orders_totalprice(t: &TpchDb, txn: &mut Txn, row: u32, rng: &mut impl Rng) -> Result<()> {
+    let cur = txn.get_value(t.orders, t.ord.totalprice, row)?.as_double();
+    txn.update_value(t.orders, t.ord.totalprice, row, Value::Double(perturb_double(cur, rng)))
+}
+
+fn update_part_retailprice(t: &TpchDb, txn: &mut Txn, row: u32, rng: &mut impl Rng) -> Result<()> {
+    let cur = txn.get_value(t.part, t.prt.retailprice, row)?.as_double();
+    txn.update_value(t.part, t.prt.retailprice, row, Value::Double(perturb_double(cur, rng)))
+}
+
+/// Execute one OLTP transaction of the given kind with freshly sampled
+/// parameters. Returns `Ok(commit_ts)` or the abort it hit.
+pub fn run_oltp(t: &TpchDb, kind: OltpKind, rng: &mut impl Rng) -> Result<u64> {
+    let mut txn = t.db.begin(TxnKind::Oltp);
+    let outcome = run_oltp_in(t, &mut txn, kind, rng);
+    match outcome {
+        Ok(()) => txn.commit(),
+        Err(e) => {
+            txn.abort();
+            Err(e)
+        }
+    }
+}
+
+/// Execute the body of one OLTP transaction inside an existing transaction
+/// (the driver uses this; tests can inspect before commit).
+pub fn run_oltp_in(t: &TpchDb, txn: &mut Txn, kind: OltpKind, rng: &mut impl Rng) -> Result<()> {
+    match kind {
+        OltpKind::Q1 => {
+            let row = random_lineitem_row(t, rng);
+            update_lineitem_returnflag(t, txn, row, rng)?;
+        }
+        OltpKind::Q2 => {
+            let row = random_lineitem_row(t, rng);
+            let ls = rng.random_range(0..t.ls_dict.len() as u32);
+            txn.update_value(t.lineitem, t.li.linestatus, row, Value::Dict(ls))?;
+            let cur = txn.get_value(t.lineitem, t.li.discount, row)?.as_double();
+            txn.update_value(
+                t.lineitem,
+                t.li.discount,
+                row,
+                Value::Double(perturb_double(cur, rng).clamp(0.0, 1.0)),
+            )?;
+        }
+        OltpKind::Q3 => {
+            let row = random_lineitem_row(t, rng);
+            let price = txn.get_value(t.lineitem, t.li.extendedprice, row)?.as_double();
+            txn.update_value(
+                t.lineitem,
+                t.li.extendedprice,
+                row,
+                Value::Double(perturb_double(price, rng)),
+            )?;
+            let ship = txn.get_value(t.lineitem, t.li.shipdate, row)?.as_date();
+            txn.update_value(
+                t.lineitem,
+                t.li.shipdate,
+                row,
+                Value::Date(perturb_date(ship, rng)),
+            )?;
+        }
+        OltpKind::Q4 => {
+            let row = random_order_row(t, rng);
+            let prio = rng.random_range(0..t.prio_dict.len() as u32);
+            let status = rng.random_range(0..t.status_dict.len() as u32);
+            txn.update_value(t.orders, t.ord.orderpriority, row, Value::Dict(prio))?;
+            txn.update_value(t.orders, t.ord.orderstatus, row, Value::Dict(status))?;
+        }
+        OltpKind::Q5 => {
+            let row = random_order_row(t, rng);
+            let prio = rng.random_range(0..t.prio_dict.len() as u32);
+            txn.update_value(t.orders, t.ord.orderpriority, row, Value::Dict(prio))?;
+        }
+        OltpKind::Q6 => {
+            let row = random_order_row(t, rng);
+            update_orders_totalprice(t, txn, row, rng)?;
+        }
+        OltpKind::Q7 => {
+            let li_row = random_lineitem_row(t, rng);
+            let price = txn.get_value(t.lineitem, t.li.extendedprice, li_row)?.as_double();
+            txn.update_value(
+                t.lineitem,
+                t.li.extendedprice,
+                li_row,
+                Value::Double(perturb_double(price, rng)),
+            )?;
+            // The paper updates the *matching* order of the lineitem.
+            let okey = t.lineitem_keys[li_row as usize].0;
+            let o_row = t.ord_by_key.get(&okey).expect("order exists");
+            let status = rng.random_range(0..t.status_dict.len() as u32);
+            txn.update_value(t.orders, t.ord.orderstatus, o_row, Value::Dict(status))?;
+        }
+        OltpKind::Q8 => {
+            let row = random_part_row(t, rng);
+            let brand = rng.random_range(0..t.brand_dict.len() as u32);
+            txn.update_value(t.part, t.prt.brand, row, Value::Dict(brand))?;
+            update_part_retailprice(t, txn, row, rng)?;
+        }
+        OltpKind::Q9 => {
+            let li_row = random_lineitem_row(t, rng);
+            update_lineitem_returnflag(t, txn, li_row, rng)?;
+            let okey = t.lineitem_keys[li_row as usize].0;
+            let o_row = t.ord_by_key.get(&okey).expect("order exists");
+            update_orders_totalprice(t, txn, o_row, rng)?;
+            let p_row = random_part_row(t, rng);
+            update_part_retailprice(t, txn, p_row, rng)?;
+        }
+    }
+    Ok(())
+}
+
+/// True if the error is a normal optimistic abort (retryable), false for
+/// real failures.
+pub fn is_abort(e: &DbError) -> bool {
+    matches!(e, DbError::Aborted(_))
+}

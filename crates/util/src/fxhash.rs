@@ -1,0 +1,138 @@
+//! The FxHash algorithm used by rustc, reimplemented locally.
+//!
+//! FxHash is a very fast, low-quality multiplicative hash. It is the right
+//! choice for the hot per-page and per-row hash-map lookups inside the VM
+//! simulator and the MVCC version store, where keys are small integers fully
+//! under our control (no HashDoS exposure).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Firefox/rustc implementation
+/// (64-bit variant), i.e. `2^64 / golden_ratio`.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// Streaming state of the FxHash algorithm.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Hash a single `u64` with FxHash. Handy for sharding decisions.
+#[inline]
+pub fn hash_u64(x: u64) -> u64 {
+    (x.rotate_left(5)).wrapping_mul(SEED)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(value: T) -> u64 {
+        let mut h = FxHasher::default();
+        value.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(42u64), hash_of(42u64));
+        assert_eq!(hash_of("hello"), hash_of("hello"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        // Not a quality test, just a sanity check that consecutive integers
+        // (our dominant key distribution) do not collide.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0u64..10_000 {
+            assert!(seen.insert(hash_of(i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn map_behaves_like_std() {
+        let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(i, i * 2);
+        }
+        for i in 0..1000 {
+            assert_eq!(m.get(&i), Some(&(i * 2)));
+        }
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn byte_slices_any_length() {
+        // Exercise the chunked `write` path across all remainder lengths.
+        // Bytes start at 1: FxHash zero-pads the trailing partial word, so a
+        // slice of zero bytes intentionally hashes like the empty slice.
+        let data: Vec<u8> = (1..=255).collect();
+        let mut hashes = std::collections::HashSet::new();
+        for len in 0..32 {
+            let mut h = FxHasher::default();
+            h.write(&data[..len]);
+            hashes.insert(h.finish());
+        }
+        assert_eq!(hashes.len(), 32);
+    }
+}

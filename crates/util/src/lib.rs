@@ -1,0 +1,14 @@
+//! Shared utilities for the AnKerDB workspace.
+//!
+//! Deliberately tiny: a fast non-cryptographic hasher (so we do not need an
+//! external hashing crate), small statistics helpers for the benchmark
+//! harness, and a fixed-width table printer used by the `repro_*` binaries to
+//! print paper-style result tables.
+
+pub mod fxhash;
+pub mod stats;
+pub mod table;
+
+pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
+pub use stats::Summary;
+pub use table::TableBuilder;

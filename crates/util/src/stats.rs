@@ -1,0 +1,142 @@
+//! Small statistics helpers for the benchmark/reproduction harness.
+
+/// Summary statistics over a sample of measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Sample standard deviation (0 for n < 2).
+    pub stddev: f64,
+}
+
+impl Summary {
+    /// Compute summary statistics of `samples`. Returns `None` when empty.
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        Some(Summary {
+            n,
+            mean,
+            min: sorted[0],
+            max: sorted[n - 1],
+            median: percentile_sorted(&sorted, 50.0),
+            p95: percentile_sorted(&sorted, 95.0),
+            stddev: var.sqrt(),
+        })
+    }
+}
+
+/// Percentile (nearest-rank with linear interpolation) of an already-sorted
+/// slice. `p` is in `[0, 100]`.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    assert!((0.0..=100.0).contains(&p));
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Format a nanosecond quantity with an adaptive unit, e.g. `1.24 ms`.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Format a byte quantity with an adaptive unit, e.g. `16.0 MiB`.
+pub fn fmt_bytes(bytes: u64) -> String {
+    const KIB: u64 = 1024;
+    const MIB: u64 = 1024 * KIB;
+    const GIB: u64 = 1024 * MIB;
+    if bytes >= GIB {
+        format!("{:.2} GiB", bytes as f64 / GIB as f64)
+    } else if bytes >= MIB {
+        format!("{:.1} MiB", bytes as f64 / MIB as f64)
+    } else if bytes >= KIB {
+        format!("{:.1} KiB", bytes as f64 / KIB as f64)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.n, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.median - 3.0).abs() < 1e-12);
+        assert!((s.stddev - (2.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = Summary::of(&[7.5]).unwrap();
+        assert_eq!(s.median, 7.5);
+        assert_eq!(s.p95, 7.5);
+        assert_eq!(s.stddev, 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let sorted = [0.0, 10.0];
+        assert!((percentile_sorted(&sorted, 50.0) - 5.0).abs() < 1e-12);
+        assert!((percentile_sorted(&sorted, 95.0) - 9.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(12.0), "12 ns");
+        assert_eq!(fmt_ns(1_240.0), "1.24 us");
+        assert_eq!(fmt_ns(1_240_000.0), "1.24 ms");
+        assert_eq!(fmt_ns(2_500_000_000.0), "2.50 s");
+    }
+
+    #[test]
+    fn bytes_formatting() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KiB");
+        assert_eq!(fmt_bytes(16 * 1024 * 1024), "16.0 MiB");
+    }
+}

@@ -1,0 +1,157 @@
+//! Main-memory files — the simulated `memfd` objects that the rewiring
+//! technique ([RUMA, PVLDB'16]) uses to make physical memory visible and
+//! manipulable from user space (paper §3.2.3, Figure 4).
+//!
+//! A main-memory file is a growable array of page slots, each lazily backed
+//! by a physical frame. Virtual memory areas can map file ranges either
+//! shared (writes go to the file's frames) or private (copy-on-write).
+
+use crate::error::{Result, VmError};
+use crate::phys::{FrameId, PhysMem};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Shared state of one main-memory file. Held via `Arc` by file handles and
+/// by every VMA mapping the file.
+pub struct FileInner {
+    id: u64,
+    phys: Arc<PhysMem>,
+    /// Lazily allocated page slots; `None` = hole (allocated on first
+    /// access, zero-filled).
+    pages: RwLock<Vec<Option<FrameId>>>,
+}
+
+impl std::fmt::Debug for FileInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemFile")
+            .field("id", &self.id)
+            .field("pages", &self.pages.read().len())
+            .finish()
+    }
+}
+
+impl FileInner {
+    pub(crate) fn new(id: u64, phys: Arc<PhysMem>, n_pages: u64) -> FileInner {
+        FileInner {
+            id,
+            phys,
+            pages: RwLock::new(vec![None; n_pages as usize]),
+        }
+    }
+
+    /// Unique file identifier within its kernel.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Current size in pages.
+    pub fn n_pages(&self) -> u64 {
+        self.pages.read().len() as u64
+    }
+
+    /// Resize to `n_pages`. Shrinking releases the file's reference on the
+    /// truncated frames (mapped PTEs keep theirs, like a real memfd).
+    pub fn truncate(&self, n_pages: u64) {
+        let mut pages = self.pages.write();
+        let n = n_pages as usize;
+        if n < pages.len() {
+            for slot in pages.drain(n..) {
+                if let Some(f) = slot {
+                    self.phys.decref(f);
+                }
+            }
+        } else {
+            pages.resize(n, None);
+        }
+    }
+
+    /// Frame backing `page_idx`, allocating a zeroed frame on first access.
+    /// Fails with a SIGBUS-equivalent beyond the file end.
+    pub(crate) fn frame_for(&self, page_idx: u64) -> Result<FrameId> {
+        {
+            let pages = self.pages.read();
+            match pages.get(page_idx as usize) {
+                Some(Some(f)) => return Ok(*f),
+                Some(None) => {}
+                None => {
+                    return Err(VmError::BeyondFileEnd {
+                        file_page: page_idx,
+                        file_pages: pages.len() as u64,
+                    })
+                }
+            }
+        }
+        let mut pages = self.pages.write();
+        match pages.get(page_idx as usize) {
+            Some(Some(f)) => Ok(*f),
+            Some(None) => {
+                let f = self.phys.alloc()?;
+                pages[page_idx as usize] = Some(f);
+                Ok(f)
+            }
+            None => Err(VmError::BeyondFileEnd {
+                file_page: page_idx,
+                file_pages: pages.len() as u64,
+            }),
+        }
+    }
+
+    /// Copy the contents of file page `src` to file page `dst`
+    /// (allocating either side as needed).
+    pub(crate) fn copy_page(&self, src: u64, dst: u64) -> Result<()> {
+        let s = self.frame_for(src)?;
+        let d = self.frame_for(dst)?;
+        self.phys.copy_frame(s, d);
+        Ok(())
+    }
+}
+
+impl Drop for FileInner {
+    fn drop(&mut self) {
+        for slot in self.pages.get_mut().iter().flatten() {
+            self.phys.decref(*slot);
+        }
+    }
+}
+
+/// Cheap-to-clone handle to a main-memory file, created with
+/// [`crate::Kernel::create_file`].
+#[derive(Clone, Debug)]
+pub struct MemFile {
+    pub(crate) kernel: crate::Kernel,
+    pub(crate) inner: Arc<FileInner>,
+}
+
+impl MemFile {
+    /// Unique file identifier within its kernel.
+    pub fn id(&self) -> u64 {
+        self.inner.id()
+    }
+
+    /// Current size in pages.
+    pub fn n_pages(&self) -> u64 {
+        self.inner.n_pages()
+    }
+
+    /// Resize the file (see [`FileInner::truncate`]). Charges one syscall.
+    pub fn truncate(&self, n_pages: u64) {
+        self.kernel.charge_syscall();
+        self.inner.truncate(n_pages);
+    }
+
+    /// Append `n_pages` fresh page slots, returning the index of the first
+    /// new page. Used by rewired snapshotting as its pool of unused pages.
+    pub fn grow(&self, n_pages: u64) -> u64 {
+        self.kernel.charge_syscall();
+        let first = self.inner.n_pages();
+        self.inner.truncate(first + n_pages);
+        first
+    }
+
+    /// Copy file page `src` to file page `dst`, charging the page-copy cost.
+    /// This is the copy step of a manual (user-space) copy-on-write.
+    pub fn copy_page(&self, src: u64, dst: u64) -> Result<()> {
+        self.kernel.charge_memcpy_page();
+        self.inner.copy_page(src, dst)
+    }
+}

@@ -1,0 +1,188 @@
+//! The simulated kernel: configuration, physical memory, cost accounting,
+//! and factories for address spaces and main-memory files.
+
+use crate::cost::{CostModel, Counters, KernelStats, VirtualClock};
+use crate::file::{FileInner, MemFile};
+use crate::phys::PhysMem;
+use crate::space::Space;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Construction parameters of a simulated kernel.
+#[derive(Debug, Clone)]
+pub struct KernelConfig {
+    /// Page size in bytes (power of two, multiple of 8). 4 KiB by default;
+    /// 2 MiB models huge pages for the §3.3 granularity ablation.
+    pub page_size: usize,
+    /// Upper bound on simulated physical memory.
+    pub max_phys_bytes: usize,
+    /// Virtual-time cost model (see [`CostModel`]).
+    pub cost: CostModel,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            page_size: 4096,
+            max_phys_bytes: 12 << 30,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+pub(crate) struct KernelState {
+    pub(crate) phys: Arc<PhysMem>,
+    pub(crate) cost: CostModel,
+    pub(crate) clock: VirtualClock,
+    pub(crate) counters: Counters,
+    next_file_id: AtomicU64,
+    next_space_id: AtomicU64,
+}
+
+/// Handle to a simulated kernel. Cheap to clone; all clones share the same
+/// physical memory, cost model, and statistics.
+#[derive(Clone)]
+pub struct Kernel {
+    pub(crate) state: Arc<KernelState>,
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("page_size", &self.page_size())
+            .field("frames_in_use", &self.state.phys.frames_in_use())
+            .finish()
+    }
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Kernel::new(KernelConfig::default())
+    }
+}
+
+impl Kernel {
+    /// Boot a simulated kernel.
+    pub fn new(config: KernelConfig) -> Kernel {
+        let phys = Arc::new(PhysMem::new(config.page_size, config.max_phys_bytes));
+        Kernel {
+            state: Arc::new(KernelState {
+                phys,
+                cost: config.cost,
+                clock: VirtualClock::default(),
+                counters: Counters::default(),
+                next_file_id: AtomicU64::new(1),
+                next_space_id: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.state.phys.page_size()
+    }
+
+    /// The active cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.state.cost
+    }
+
+    /// Create a fresh, empty address space ("process").
+    pub fn create_space(&self) -> Space {
+        let id = self.state.next_space_id.fetch_add(1, Ordering::Relaxed);
+        Space::new_empty(self.clone(), id)
+    }
+
+    /// Create a main-memory file of `n_pages` page slots.
+    pub fn create_file(&self, n_pages: u64) -> MemFile {
+        let id = self.state.next_file_id.fetch_add(1, Ordering::Relaxed);
+        MemFile {
+            kernel: self.clone(),
+            inner: Arc::new(FileInner::new(id, Arc::clone(&self.state.phys), n_pages)),
+        }
+    }
+
+    /// Snapshot of all counters and the virtual clock.
+    pub fn stats(&self) -> KernelStats {
+        let mut s = self.state.counters.snapshot(&self.state.clock);
+        s.frames_allocated = self.state.phys.frames_allocated();
+        s.frames_freed = self.state.phys.frames_freed();
+        s
+    }
+
+    /// Virtual nanoseconds elapsed so far.
+    pub fn virtual_ns(&self) -> u64 {
+        self.state.clock.now_ns()
+    }
+
+    /// Number of physical frames currently in use.
+    pub fn frames_in_use(&self) -> u64 {
+        self.state.phys.frames_in_use()
+    }
+
+    /// Charge the cost of delivering a SIGSEGV to a user-space handler and
+    /// returning from it. Rewired snapshotting's manual copy-on-write pays
+    /// this on every first write to a protected page (paper §4.1.4: "a
+    /// signal handler is necessary to detect the write to a page").
+    pub fn charge_signal_delivery(&self) {
+        self.state.clock.charge(self.state.cost.signal_delivery);
+    }
+
+    /// Charge one plain syscall (entry/exit only).
+    pub(crate) fn charge_syscall(&self) {
+        self.state.clock.charge(self.state.cost.syscall_entry);
+    }
+
+    /// Charge one user-space page copy (a `memcpy` of one page, or a file
+    /// page duplication). Used by snapshotting techniques that copy data
+    /// outside the fault handler — physical snapshotting and rewiring's
+    /// manual COW.
+    pub fn charge_memcpy_page(&self) {
+        self.state
+            .counters
+            .pages_copied
+            .fetch_add(1, Ordering::Relaxed);
+        self.state
+            .clock
+            .charge(self.state.cost.page_copy_for(self.page_size()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_basics() {
+        let k = Kernel::default();
+        assert_eq!(k.page_size(), 4096);
+        assert_eq!(k.frames_in_use(), 0);
+        let f = k.create_file(10);
+        assert_eq!(f.n_pages(), 10);
+        let s1 = k.create_space();
+        let s2 = k.create_space();
+        assert_ne!(s1.id(), s2.id());
+    }
+
+    #[test]
+    fn huge_page_kernel() {
+        let k = Kernel::new(KernelConfig {
+            page_size: 2 << 20,
+            max_phys_bytes: 64 << 20,
+            cost: CostModel::default(),
+        });
+        assert_eq!(k.page_size(), 2 << 20);
+    }
+
+    #[test]
+    fn stats_track_clock() {
+        let k = Kernel::default();
+        let before = k.stats();
+        k.charge_signal_delivery();
+        let after = k.stats();
+        assert_eq!(
+            after.delta_since(&before).virtual_ns,
+            k.cost_model().signal_delivery as u64
+        );
+    }
+}

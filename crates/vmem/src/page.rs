@@ -1,0 +1,150 @@
+//! Safe, atomic access to a resolved (faulted-in) page.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A handle to one physical page obtained via [`crate::Space::resolve`].
+///
+/// All element access is by aligned 8-byte atomic loads/stores, so scans can
+/// proceed concurrently with in-place MVCC updates without torn reads — the
+/// same guarantee the paper gets from aligned word stores on x86.
+///
+/// Validity: the underlying chunk storage lives as long as the kernel, and
+/// the handle keeps the kernel alive via an internal reference. If the page
+/// is unmapped concurrently the handle keeps reading the *old* frame —
+/// logically stale but memory-safe. Higher layers (snapshot pinning, column
+/// locks) prevent staleness where it matters.
+pub struct ResolvedPage {
+    base: *mut u8,
+    words: usize,
+    writable: bool,
+    /// Keeps the frame arena alive.
+    _phys: std::sync::Arc<crate::phys::PhysMem>,
+}
+
+// SAFETY: all access to the pointee is atomic; the pointee outlives the
+// handle because the handle holds the kernel alive.
+unsafe impl Send for ResolvedPage {}
+unsafe impl Sync for ResolvedPage {}
+
+impl std::fmt::Debug for ResolvedPage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResolvedPage")
+            .field("words", &self.words)
+            .field("writable", &self.writable)
+            .finish()
+    }
+}
+
+impl ResolvedPage {
+    pub(crate) fn new(
+        base: *mut u8,
+        words: usize,
+        writable: bool,
+        phys: std::sync::Arc<crate::phys::PhysMem>,
+    ) -> ResolvedPage {
+        debug_assert_eq!(base as usize % 8, 0, "frame must be 8-byte aligned");
+        ResolvedPage {
+            base,
+            words,
+            writable,
+            _phys: phys,
+        }
+    }
+
+    /// Number of 8-byte words in the page.
+    #[inline]
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Whether this handle permits stores (resolved for write).
+    #[inline]
+    pub fn writable(&self) -> bool {
+        self.writable
+    }
+
+    /// Raw pointer to word `i` (internal fast path for point accesses).
+    #[inline]
+    pub(crate) fn as_word_ptr(&self, i: usize) -> *const AtomicU64 {
+        assert!(i < self.words, "word index {i} out of page bounds");
+        // SAFETY: in-bounds, 8-aligned.
+        unsafe { self.base.add(i * 8) as *const AtomicU64 }
+    }
+
+    #[inline]
+    fn atom(&self, i: usize) -> &AtomicU64 {
+        assert!(i < self.words, "word index {i} out of page bounds");
+        // SAFETY: in-bounds, 8-aligned, pointee valid for the handle's life.
+        unsafe { &*(self.base.add(i * 8) as *const AtomicU64) }
+    }
+
+    /// Atomically load word `i` (relaxed).
+    #[inline]
+    pub fn load(&self, i: usize) -> u64 {
+        self.atom(i).load(Ordering::Relaxed)
+    }
+
+    /// Atomically load word `i` with acquire ordering.
+    #[inline]
+    pub fn load_acquire(&self, i: usize) -> u64 {
+        self.atom(i).load(Ordering::Acquire)
+    }
+
+    /// Atomically store word `i` (relaxed).
+    ///
+    /// # Panics
+    /// Panics if the page was resolved read-only: storing through a
+    /// read-resolved page would write to a frame that may be shared with a
+    /// snapshot, silently corrupting it.
+    #[inline]
+    pub fn store(&self, i: usize, v: u64) {
+        assert!(self.writable, "store through read-only page resolution");
+        self.atom(i).store(v, Ordering::Relaxed);
+    }
+
+    /// Atomically store word `i` with release ordering.
+    #[inline]
+    pub fn store_release(&self, i: usize, v: u64) {
+        assert!(self.writable, "store through read-only page resolution");
+        self.atom(i).store(v, Ordering::Release);
+    }
+
+    /// Copy `dst.len()` bytes starting at byte `offset` into `dst`.
+    /// Whole words are read atomically; `offset` must be 8-byte aligned.
+    pub fn read_bytes(&self, offset: usize, dst: &mut [u8]) {
+        assert_eq!(offset % 8, 0, "offset must be word aligned");
+        assert!(offset + dst.len() <= self.words * 8, "read out of bounds");
+        let mut i = offset / 8;
+        let mut chunks = dst.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.load(i).to_le_bytes());
+            i += 1;
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.load(i).to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+
+    /// Copy `src` into the page starting at byte `offset` (word-atomic).
+    /// `offset` must be 8-byte aligned; a trailing partial word is merged
+    /// with the existing bytes read-modify-write style.
+    pub fn write_bytes(&self, offset: usize, src: &[u8]) {
+        assert!(self.writable, "write through read-only page resolution");
+        assert_eq!(offset % 8, 0, "offset must be word aligned");
+        assert!(offset + src.len() <= self.words * 8, "write out of bounds");
+        let mut i = offset / 8;
+        let mut chunks = src.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.store(i, u64::from_le_bytes(chunk.try_into().unwrap()));
+            i += 1;
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut bytes = self.load(i).to_le_bytes();
+            bytes[..rem.len()].copy_from_slice(rem);
+            self.store(i, u64::from_le_bytes(bytes));
+        }
+    }
+}

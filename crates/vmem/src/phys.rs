@@ -1,0 +1,338 @@
+//! Simulated physical memory: a chunked frame arena with reference counts.
+//!
+//! Frames are fixed-size pages carved out of large, 8-byte-aligned chunks.
+//! Chunks are allocated on demand and **never move or shrink** until the
+//! kernel is dropped, so raw frame pointers handed out to [`crate::ResolvedPage`]
+//! (see [`crate::page`]) stay valid for the kernel's lifetime.
+//!
+//! Reference counting: a frame's count is the number of PTEs referencing it
+//! plus one if it is owned by a main-memory file. When the count drops to
+//! zero the frame returns to the free list and is zeroed on re-allocation.
+
+use crate::error::{Result, VmError};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Identifier of a physical frame (page) in the simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FrameId(pub u32);
+
+/// One contiguous slab of frames.
+struct Chunk {
+    /// Raw pointer to the chunk's backing storage (leaked `Box<[u64]>`,
+    /// reclaimed in `Drop for PhysMem`). `u64` storage guarantees 8-byte
+    /// alignment for atomic word access.
+    base: *mut u8,
+    words: usize,
+    /// One refcount per frame in this chunk.
+    refcounts: Box<[AtomicU32]>,
+}
+
+// SAFETY: the raw pointer refers to stable, heap-allocated storage; all
+// mutation of frame contents by callers goes through atomic word operations
+// (see `crate::page::ResolvedPage`) or is externally synchronised.
+unsafe impl Send for Chunk {}
+unsafe impl Sync for Chunk {}
+
+/// The simulated machine's physical memory.
+pub struct PhysMem {
+    page_size: usize,
+    frames_per_chunk: usize,
+    /// Pre-sized directory of chunk slots; slots are initialised on demand.
+    chunks: Box<[OnceLock<Chunk>]>,
+    grow_lock: Mutex<()>,
+    n_chunks: AtomicUsize,
+    free: Mutex<Vec<FrameId>>,
+    next_fresh: AtomicU32,
+    allocated: AtomicU64,
+    freed: AtomicU64,
+}
+
+impl std::fmt::Debug for PhysMem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhysMem")
+            .field("page_size", &self.page_size)
+            .field("frames_in_use", &self.frames_in_use())
+            .finish()
+    }
+}
+
+impl PhysMem {
+    /// Create physical memory of at most `max_bytes`, carved into pages of
+    /// `page_size` bytes. `page_size` must be a power of two and a multiple
+    /// of 8.
+    pub fn new(page_size: usize, max_bytes: usize) -> PhysMem {
+        assert!(page_size.is_power_of_two(), "page size must be a power of two");
+        assert!(page_size >= 64, "page size too small");
+        assert_eq!(page_size % 8, 0);
+        // Chunks of at least 4 MiB and at least one page.
+        let chunk_bytes = page_size.max(4 << 20);
+        let frames_per_chunk = chunk_bytes / page_size;
+        let n_slots = max_bytes.div_ceil(chunk_bytes).max(1);
+        let chunks = (0..n_slots).map(|_| OnceLock::new()).collect::<Vec<_>>();
+        PhysMem {
+            page_size,
+            frames_per_chunk,
+            chunks: chunks.into_boxed_slice(),
+            grow_lock: Mutex::new(()),
+            n_chunks: AtomicUsize::new(0),
+            free: Mutex::new(Vec::new()),
+            next_fresh: AtomicU32::new(0),
+            allocated: AtomicU64::new(0),
+            freed: AtomicU64::new(0),
+        }
+    }
+
+    /// The frame size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Number of frames currently referenced (allocated minus freed).
+    pub fn frames_in_use(&self) -> u64 {
+        self.allocated.load(Ordering::Relaxed) - self.freed.load(Ordering::Relaxed)
+    }
+
+    /// Total frames ever allocated.
+    pub fn frames_allocated(&self) -> u64 {
+        self.allocated.load(Ordering::Relaxed)
+    }
+
+    /// Total frames freed back to the pool.
+    pub fn frames_freed(&self) -> u64 {
+        self.freed.load(Ordering::Relaxed)
+    }
+
+    fn chunk_of(&self, frame: FrameId) -> (&Chunk, usize) {
+        let idx = frame.0 as usize / self.frames_per_chunk;
+        let within = frame.0 as usize % self.frames_per_chunk;
+        let chunk = self.chunks[idx]
+            .get()
+            .expect("frame refers to unallocated chunk");
+        (chunk, within)
+    }
+
+    /// Raw pointer to the first byte of `frame`. Stable until the kernel is
+    /// dropped.
+    pub(crate) fn frame_ptr(&self, frame: FrameId) -> *mut u8 {
+        let (chunk, within) = self.chunk_of(frame);
+        debug_assert!((within + 1) * self.page_size <= chunk.words * 8);
+        // SAFETY: `within` is in range for the chunk by construction.
+        unsafe { chunk.base.add(within * self.page_size) }
+    }
+
+    fn ensure_chunk(&self, idx: usize) -> Result<()> {
+        if idx >= self.chunks.len() {
+            return Err(VmError::OutOfMemory);
+        }
+        if self.chunks[idx].get().is_some() {
+            return Ok(());
+        }
+        let _g = self.grow_lock.lock();
+        if self.chunks[idx].get().is_some() {
+            return Ok(());
+        }
+        let words = self.frames_per_chunk * self.page_size / 8;
+        let storage: Box<[u64]> = vec![0u64; words].into_boxed_slice();
+        let base = Box::into_raw(storage) as *mut u64 as *mut u8;
+        let refcounts = (0..self.frames_per_chunk)
+            .map(|_| AtomicU32::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        let chunk = Chunk {
+            base,
+            words,
+            refcounts,
+        };
+        self.chunks[idx]
+            .set(chunk)
+            .unwrap_or_else(|_| unreachable!("guarded by grow_lock"));
+        self.n_chunks.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Allocate a zeroed frame with refcount 1.
+    pub fn alloc(&self) -> Result<FrameId> {
+        let frame = if let Some(f) = self.free.lock().pop() {
+            f
+        } else {
+            let raw = self.next_fresh.fetch_add(1, Ordering::Relaxed);
+            let idx = raw as usize / self.frames_per_chunk;
+            self.ensure_chunk(idx)?;
+            FrameId(raw)
+        };
+        // Zero the page word-wise; new owner has exclusive access.
+        let ptr = self.frame_ptr(frame) as *mut u64;
+        for i in 0..(self.page_size / 8) {
+            // SAFETY: in-bounds, exclusively owned until published via a PTE.
+            unsafe { ptr.add(i).write(0) };
+        }
+        let (chunk, within) = self.chunk_of(frame);
+        let prev = chunk.refcounts[within].swap(1, Ordering::Relaxed);
+        debug_assert_eq!(prev, 0, "allocated frame had live references");
+        self.allocated.fetch_add(1, Ordering::Relaxed);
+        Ok(frame)
+    }
+
+    /// Increment the reference count of `frame`.
+    pub fn incref(&self, frame: FrameId) {
+        let (chunk, within) = self.chunk_of(frame);
+        let prev = chunk.refcounts[within].fetch_add(1, Ordering::Relaxed);
+        debug_assert!(prev > 0, "incref on free frame");
+    }
+
+    /// Decrement the reference count; frees the frame when it reaches zero.
+    pub fn decref(&self, frame: FrameId) {
+        let (chunk, within) = self.chunk_of(frame);
+        let prev = chunk.refcounts[within].fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "decref on free frame");
+        if prev == 1 {
+            self.freed.fetch_add(1, Ordering::Relaxed);
+            self.free.lock().push(frame);
+        }
+    }
+
+    /// Current reference count of `frame`.
+    pub fn refcount(&self, frame: FrameId) -> u32 {
+        let (chunk, within) = self.chunk_of(frame);
+        chunk.refcounts[within].load(Ordering::Acquire)
+    }
+
+    /// Copy the contents of frame `src` into frame `dst` using atomic word
+    /// loads and stores (safe against concurrent atomic readers of `src`).
+    pub fn copy_frame(&self, src: FrameId, dst: FrameId) {
+        let s = self.frame_ptr(src) as *const AtomicU64;
+        let d = self.frame_ptr(dst) as *const AtomicU64;
+        let words = self.page_size / 8;
+        for i in 0..words {
+            // SAFETY: both pointers are valid, 8-aligned, and in bounds;
+            // access is atomic so racing readers observe word-level values.
+            unsafe {
+                let v = (*s.add(i)).load(Ordering::Relaxed);
+                (*d.add(i)).store(v, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl Drop for PhysMem {
+    fn drop(&mut self) {
+        for slot in self.chunks.iter() {
+            if let Some(chunk) = slot.get() {
+                // SAFETY: reconstructing the Box leaked in `ensure_chunk`.
+                unsafe {
+                    let slice = std::ptr::slice_from_raw_parts_mut(
+                        chunk.base as *mut u64,
+                        chunk.words,
+                    );
+                    drop(Box::from_raw(slice));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_zeroes_and_recycles() {
+        let pm = PhysMem::new(4096, 64 << 20);
+        let f = pm.alloc().unwrap();
+        let ptr = pm.frame_ptr(f) as *mut u64;
+        unsafe {
+            assert_eq!(ptr.read(), 0);
+            ptr.write(0xdead_beef);
+        }
+        pm.decref(f);
+        assert_eq!(pm.frames_in_use(), 0);
+        let g = pm.alloc().unwrap();
+        assert_eq!(g, f, "free list should recycle");
+        unsafe { assert_eq!((pm.frame_ptr(g) as *mut u64).read(), 0) };
+    }
+
+    #[test]
+    fn refcounting() {
+        let pm = PhysMem::new(4096, 64 << 20);
+        let f = pm.alloc().unwrap();
+        assert_eq!(pm.refcount(f), 1);
+        pm.incref(f);
+        assert_eq!(pm.refcount(f), 2);
+        pm.decref(f);
+        assert_eq!(pm.refcount(f), 1);
+        assert_eq!(pm.frames_in_use(), 1);
+        pm.decref(f);
+        assert_eq!(pm.frames_in_use(), 0);
+    }
+
+    #[test]
+    fn copy_frame_copies_contents() {
+        let pm = PhysMem::new(4096, 64 << 20);
+        let a = pm.alloc().unwrap();
+        let b = pm.alloc().unwrap();
+        unsafe {
+            let pa = pm.frame_ptr(a) as *mut u64;
+            for i in 0..512 {
+                pa.add(i).write(i as u64 * 3 + 1);
+            }
+        }
+        pm.copy_frame(a, b);
+        unsafe {
+            let pb = pm.frame_ptr(b) as *mut u64;
+            for i in 0..512 {
+                assert_eq!(pb.add(i).read(), i as u64 * 3 + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustion_reported() {
+        // 1 chunk (4 MiB) of capacity => 1024 frames of 4 KiB.
+        let pm = PhysMem::new(4096, 1);
+        for _ in 0..1024 {
+            pm.alloc().unwrap();
+        }
+        assert_eq!(pm.alloc(), Err(VmError::OutOfMemory));
+    }
+
+    #[test]
+    fn spans_multiple_chunks() {
+        let pm = PhysMem::new(4096, 16 << 20);
+        let mut frames = Vec::new();
+        for _ in 0..2048 {
+            frames.push(pm.alloc().unwrap());
+        }
+        // Write a distinct value into each and read back.
+        for (i, &f) in frames.iter().enumerate() {
+            unsafe { (pm.frame_ptr(f) as *mut u64).write(i as u64) };
+        }
+        for (i, &f) in frames.iter().enumerate() {
+            unsafe { assert_eq!((pm.frame_ptr(f) as *mut u64).read(), i as u64) };
+        }
+    }
+
+    #[test]
+    fn concurrent_alloc_free() {
+        let pm = std::sync::Arc::new(PhysMem::new(4096, 256 << 20));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let pm = pm.clone();
+                s.spawn(move || {
+                    let mut held = Vec::new();
+                    for i in 0..2000 {
+                        held.push(pm.alloc().unwrap());
+                        if i % 3 == 0 {
+                            pm.decref(held.swap_remove(0));
+                        }
+                    }
+                    for f in held {
+                        pm.decref(f);
+                    }
+                });
+            }
+        });
+        assert_eq!(pm.frames_in_use(), 0);
+    }
+}

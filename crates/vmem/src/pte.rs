@@ -1,0 +1,216 @@
+//! The simulated page table: sharded virtual-page-number → PTE maps.
+//!
+//! Sharding is by the low bits of the virtual page number so that
+//! neighbouring pages — which are faulted concurrently during scans and
+//! bulk loads — land in different shards. Range operations (munmap,
+//! `vm_snapshot`, mprotect downgrades) know their exact page range and
+//! probe each page directly, so they cost O(range), not O(table).
+
+use crate::phys::FrameId;
+use anker_util::FxHashMap;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A page-table entry: the mapped frame plus a writable bit. A present,
+/// non-writable PTE inside a writable VMA means copy-on-write is pending.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pte {
+    pub frame: FrameId,
+    pub writable: bool,
+}
+
+const SHARD_BITS: u32 = 6;
+const N_SHARDS: usize = 1 << SHARD_BITS;
+
+/// Sharded page table of one address space.
+pub struct PageTable {
+    shards: Box<[RwLock<FxHashMap<u64, Pte>>]>,
+    len: AtomicUsize,
+}
+
+impl Default for PageTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for PageTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageTable").field("len", &self.len()).finish()
+    }
+}
+
+impl PageTable {
+    pub fn new() -> PageTable {
+        let shards = (0..N_SHARDS)
+            .map(|_| RwLock::new(FxHashMap::default()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        PageTable {
+            shards,
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, vpn: u64) -> &RwLock<FxHashMap<u64, Pte>> {
+        &self.shards[(vpn as usize) & (N_SHARDS - 1)]
+    }
+
+    /// Number of present PTEs.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// True if no PTEs are present.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lock-light point lookup.
+    #[inline]
+    pub fn get(&self, vpn: u64) -> Option<Pte> {
+        self.shard(vpn).read().get(&vpn).copied()
+    }
+
+    /// Run `f` with exclusive access to the entry slot for `vpn`.
+    /// `f` may fill, change, or clear the slot; the PTE count is adjusted.
+    pub fn with_entry<R>(&self, vpn: u64, f: impl FnOnce(&mut Option<Pte>) -> R) -> R {
+        let mut shard = self.shard(vpn).write();
+        let mut slot = shard.get(&vpn).copied();
+        let had = slot.is_some();
+        let r = f(&mut slot);
+        match (had, slot) {
+            (_, Some(pte)) => {
+                shard.insert(vpn, pte);
+                if !had {
+                    self.len.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            (true, None) => {
+                shard.remove(&vpn);
+                self.len.fetch_sub(1, Ordering::Relaxed);
+            }
+            (false, None) => {}
+        }
+        r
+    }
+
+    /// Remove and return the entry for `vpn`.
+    pub fn remove(&self, vpn: u64) -> Option<Pte> {
+        let removed = self.shard(vpn).write().remove(&vpn);
+        if removed.is_some() {
+            self.len.fetch_sub(1, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    /// Insert `pte` for `vpn`, returning the previous entry if any.
+    pub fn insert(&self, vpn: u64, pte: Pte) -> Option<Pte> {
+        let prev = self.shard(vpn).write().insert(vpn, pte);
+        if prev.is_none() {
+            self.len.fetch_add(1, Ordering::Relaxed);
+        }
+        prev
+    }
+
+    /// Iterate over all present PTEs (used by `fork`). The iteration locks
+    /// one shard at a time; entries inserted concurrently may be missed —
+    /// callers must externally exclude mutation (fork runs with the address
+    /// space quiesced).
+    pub fn for_each(&self, mut f: impl FnMut(u64, Pte)) {
+        for shard in self.shards.iter() {
+            for (&vpn, &pte) in shard.read().iter() {
+                f(vpn, pte);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let pt = PageTable::new();
+        assert!(pt.is_empty());
+        assert_eq!(pt.get(7), None);
+        pt.insert(
+            7,
+            Pte {
+                frame: FrameId(1),
+                writable: true,
+            },
+        );
+        assert_eq!(pt.len(), 1);
+        assert_eq!(pt.get(7).unwrap().frame, FrameId(1));
+        let old = pt.remove(7).unwrap();
+        assert!(old.writable);
+        assert!(pt.is_empty());
+        assert_eq!(pt.remove(7), None);
+    }
+
+    #[test]
+    fn with_entry_counts() {
+        let pt = PageTable::new();
+        pt.with_entry(3, |slot| {
+            assert!(slot.is_none());
+            *slot = Some(Pte {
+                frame: FrameId(9),
+                writable: false,
+            });
+        });
+        assert_eq!(pt.len(), 1);
+        pt.with_entry(3, |slot| {
+            let pte = slot.as_mut().unwrap();
+            pte.writable = true;
+        });
+        assert_eq!(pt.len(), 1);
+        assert!(pt.get(3).unwrap().writable);
+        pt.with_entry(3, |slot| *slot = None);
+        assert_eq!(pt.len(), 0);
+    }
+
+    #[test]
+    fn for_each_sees_all() {
+        let pt = PageTable::new();
+        for vpn in 0..1000u64 {
+            pt.insert(
+                vpn,
+                Pte {
+                    frame: FrameId(vpn as u32),
+                    writable: false,
+                },
+            );
+        }
+        let mut seen = 0u64;
+        pt.for_each(|vpn, pte| {
+            assert_eq!(pte.frame.0 as u64, vpn);
+            seen += 1;
+        });
+        assert_eq!(seen, 1000);
+    }
+
+    #[test]
+    fn concurrent_inserts_distinct_pages() {
+        let pt = std::sync::Arc::new(PageTable::new());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let pt = pt.clone();
+                s.spawn(move || {
+                    for i in 0..5000u64 {
+                        let vpn = t * 5000 + i;
+                        pt.with_entry(vpn, |slot| {
+                            *slot = Some(Pte {
+                                frame: FrameId(vpn as u32),
+                                writable: true,
+                            })
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(pt.len(), 20_000);
+    }
+}

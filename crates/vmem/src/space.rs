@@ -1,0 +1,722 @@
+//! Address spaces and the simulated system calls, including the paper's
+//! custom `vm_snapshot` call (§4, Appendix A).
+//!
+//! Locking order: the VMA tree lock is always taken **before** any page
+//! table shard lock. Faults take the VMA lock shared; VMA-mutating calls
+//! (`mmap`, `munmap`, `mprotect`, `vm_snapshot`) take it exclusively, which
+//! also quiesces concurrent faults for the duration of the call — the same
+//! effect `mmap_sem` has in the real kernel.
+
+use crate::error::{Result, VmError};
+use crate::file::MemFile;
+use crate::kernel::Kernel;
+use crate::page::ResolvedPage;
+use crate::phys::PhysMem;
+use crate::pte::{PageTable, Pte};
+use crate::vma::{Backing, Prot, Share, Vma};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Whether a memory access intends to read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    Read,
+    Write,
+}
+
+/// Backing requested in an `mmap` call.
+#[derive(Debug, Clone)]
+pub enum MapBacking<'a> {
+    /// `MAP_ANONYMOUS`.
+    Anon,
+    /// Map the given main-memory file starting at a page-aligned byte
+    /// offset.
+    File(&'a MemFile, u64),
+}
+
+/// Lowest address handed out by the bump allocator (keeps 0 unmapped).
+const MMAP_BASE: u64 = 0x1000_0000;
+
+pub(crate) struct SpaceInner {
+    id: u64,
+    phys: Arc<PhysMem>,
+    vmas: RwLock<BTreeMap<u64, Vma>>,
+    pt: PageTable,
+    next_addr: AtomicU64,
+}
+
+impl Drop for SpaceInner {
+    fn drop(&mut self) {
+        let phys = Arc::clone(&self.phys);
+        self.pt.for_each(|_, pte| phys.decref(pte.frame));
+    }
+}
+
+/// Handle to one simulated address space ("process"). Cheap to clone; all
+/// clones refer to the same space.
+#[derive(Clone)]
+pub struct Space {
+    kernel: Kernel,
+    inner: Arc<SpaceInner>,
+}
+
+impl std::fmt::Debug for Space {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Space")
+            .field("id", &self.inner.id)
+            .field("vmas", &self.vma_count())
+            .field("ptes", &self.pte_count())
+            .finish()
+    }
+}
+
+impl Space {
+    pub(crate) fn new_empty(kernel: Kernel, id: u64) -> Space {
+        let phys = Arc::clone(&kernel.state.phys);
+        Space {
+            kernel,
+            inner: Arc::new(SpaceInner {
+                id,
+                phys,
+                vmas: RwLock::new(BTreeMap::new()),
+                pt: PageTable::new(),
+                next_addr: AtomicU64::new(MMAP_BASE),
+            }),
+        }
+    }
+
+    /// Identifier of this space within its kernel.
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// The kernel this space belongs to.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Page size in bytes.
+    #[inline]
+    pub fn page_size(&self) -> u64 {
+        self.kernel.page_size() as u64
+    }
+
+    /// Number of VMAs currently describing this space.
+    pub fn vma_count(&self) -> usize {
+        self.inner.vmas.read().len()
+    }
+
+    /// Number of VMAs intersecting `[addr, addr+len)`.
+    pub fn vma_count_in(&self, addr: u64, len: u64) -> usize {
+        self.vmas_in(addr, len).len()
+    }
+
+    /// Clones of the VMAs intersecting `[addr, addr+len)`, in address order.
+    pub fn vmas_in(&self, addr: u64, len: u64) -> Vec<Vma> {
+        let map = self.inner.vmas.read();
+        vmas_intersecting(&map, addr, len).cloned().collect()
+    }
+
+    /// Number of present PTEs.
+    pub fn pte_count(&self) -> usize {
+        self.inner.pt.len()
+    }
+
+    fn bump(&self, len: u64) -> u64 {
+        // Guard page between allocations prevents accidental VMA merging
+        // across logically distinct areas.
+        self.inner
+            .next_addr
+            .fetch_add(len + self.page_size(), Ordering::Relaxed)
+    }
+
+    fn check_aligned(&self, v: u64) -> Result<()> {
+        if !v.is_multiple_of(self.page_size()) {
+            Err(VmError::Misaligned { addr: v })
+        } else {
+            Ok(())
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // mmap / munmap / mprotect
+    // ------------------------------------------------------------------
+
+    /// Map `len` bytes (page aligned) of `backing` with the given
+    /// protection and sharing, at a kernel-chosen address.
+    pub fn mmap(&self, len: u64, prot: Prot, share: Share, backing: MapBacking<'_>) -> Result<u64> {
+        let addr = self.bump(len);
+        self.mmap_at(addr, len, prot, share, backing)?;
+        Ok(addr)
+    }
+
+    /// Map at a fixed address (`MAP_FIXED`): atomically replaces any
+    /// existing mappings in `[addr, addr+len)`. This is the rewiring
+    /// primitive — re-pointing one or more virtual pages at different file
+    /// offsets.
+    pub fn mmap_at(
+        &self,
+        addr: u64,
+        len: u64,
+        prot: Prot,
+        share: Share,
+        backing: MapBacking<'_>,
+    ) -> Result<()> {
+        self.check_aligned(addr)?;
+        self.check_aligned(len)?;
+        if len == 0 {
+            return Err(VmError::InvalidArgument("mmap of zero length"));
+        }
+        if matches!(share, Share::Shared) && matches!(backing, MapBacking::Anon) {
+            return Err(VmError::InvalidArgument(
+                "shared anonymous mappings are not supported by the simulator",
+            ));
+        }
+        let backing = match backing {
+            MapBacking::Anon => Backing::Anon,
+            MapBacking::File(file, offset) => {
+                self.check_aligned(offset)?;
+                Backing::File {
+                    file: Arc::clone(&file.inner),
+                    offset,
+                }
+            }
+        };
+        let st = &self.kernel.state;
+        st.counters.mmap_calls.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.inner.vmas.write();
+        let pages = len / self.page_size();
+        st.clock.charge(
+            st.cost.syscall_entry
+                + st.cost.mmap_base
+                + st.cost.mmap_per_existing_vma * (map.len() as f64).min(st.cost.mmap_vma_saturation)
+                + st.cost.mmap_per_page * pages as f64,
+        );
+        self.unmap_locked(&mut map, addr, len);
+        let vma = Vma {
+            start: addr,
+            end: addr + len,
+            prot,
+            share,
+            backing,
+        };
+        insert_and_merge(&mut map, vma);
+        Ok(())
+    }
+
+    /// Remove all mappings in `[addr, addr+len)`.
+    pub fn munmap(&self, addr: u64, len: u64) -> Result<()> {
+        self.check_aligned(addr)?;
+        self.check_aligned(len)?;
+        let st = &self.kernel.state;
+        st.counters.munmap_calls.fetch_add(1, Ordering::Relaxed);
+        st.clock.charge(st.cost.syscall_entry + st.cost.vma_op_base);
+        let mut map = self.inner.vmas.write();
+        self.unmap_locked(&mut map, addr, len);
+        Ok(())
+    }
+
+    /// Change the protection of `[addr, addr+len)`. The whole range must be
+    /// mapped (like Linux, which fails with `ENOMEM` on gaps). Downgrading
+    /// to read-only clears the writable bit of existing PTEs so the next
+    /// write faults — the mechanism rewired snapshotting uses to detect
+    /// writes (§3.3.2(c)).
+    pub fn mprotect(&self, addr: u64, len: u64, prot: Prot) -> Result<()> {
+        self.check_aligned(addr)?;
+        self.check_aligned(len)?;
+        let st = &self.kernel.state;
+        st.counters.mprotect_calls.fetch_add(1, Ordering::Relaxed);
+        let pages = len / self.page_size();
+        st.clock.charge(
+            st.cost.syscall_entry + st.cost.vma_op_base + st.cost.mprotect_per_page * pages as f64,
+        );
+        let mut map = self.inner.vmas.write();
+        if !is_covered(&map, addr, len) {
+            return Err(VmError::NotMapped { addr });
+        }
+        let splits = split_at(&mut map, addr) as u64 + split_at(&mut map, addr + len) as u64;
+        st.clock.charge(st.cost.vma_split * splits as f64);
+        let keys: Vec<u64> = map.range(addr..addr + len).map(|(k, _)| *k).collect();
+        for k in keys {
+            map.get_mut(&k).expect("key just listed").prot = prot;
+        }
+        if !prot.write {
+            let ps = self.page_size();
+            for vpn in (addr / ps)..((addr + len) / ps) {
+                self.inner.pt.with_entry(vpn, |slot| {
+                    if let Some(pte) = slot {
+                        pte.writable = false;
+                    }
+                });
+            }
+        }
+        merge_range(&mut map, addr.saturating_sub(1), addr + len + 1);
+        Ok(())
+    }
+
+    /// Remove VMAs and PTEs in range; caller holds the VMA write lock.
+    fn unmap_locked(&self, map: &mut BTreeMap<u64, Vma>, addr: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        split_at(map, addr);
+        split_at(map, addr + len);
+        let keys: Vec<u64> = map.range(addr..addr + len).map(|(k, _)| *k).collect();
+        for k in keys {
+            map.remove(&k);
+        }
+        let ps = self.page_size();
+        for vpn in (addr / ps)..((addr + len) / ps) {
+            if let Some(pte) = self.inner.pt.remove(vpn) {
+                self.inner.phys.decref(pte.frame);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Memory access / fault handling
+    // ------------------------------------------------------------------
+
+    /// Resolve the page containing `addr` for the given access, handling
+    /// demand paging and copy-on-write like the kernel's fault handler.
+    ///
+    /// Returns [`VmError::ProtectionFault`] for writes to pages whose VMA
+    /// forbids writing — the simulated SIGSEGV that rewired snapshotting
+    /// catches in user space.
+    pub fn resolve(&self, addr: u64, access: Access) -> Result<ResolvedPage> {
+        let ps = self.page_size();
+        let vpn = addr / ps;
+        if let Some(pte) = self.inner.pt.get(vpn) {
+            if access == Access::Read || pte.writable {
+                return Ok(self.resolved(pte.frame, access == Access::Write));
+            }
+        }
+        self.fault(addr, vpn, access)
+    }
+
+    #[inline]
+    fn resolved(&self, frame: crate::phys::FrameId, writable: bool) -> ResolvedPage {
+        let phys = Arc::clone(&self.inner.phys);
+        let ptr = phys.frame_ptr(frame);
+        ResolvedPage::new(ptr, self.page_size() as usize / 8, writable, phys)
+    }
+
+    #[cold]
+    fn fault(&self, addr: u64, vpn: u64, access: Access) -> Result<ResolvedPage> {
+        let ps = self.page_size();
+        let st = &self.kernel.state;
+        let page_addr = vpn * ps;
+        // Snapshot the VMA description under the shared lock, then drop it
+        // before taking the page-table shard lock (lock order: vmas -> shard).
+        let (prot, share, backing) = {
+            let map = self.inner.vmas.read();
+            let vma = find_vma(&map, addr).ok_or(VmError::NotMapped { addr })?;
+            (vma.prot, vma.share, vma.backing_at(page_addr - vma.start))
+        };
+        if access == Access::Write && !prot.write {
+            st.counters
+                .protection_faults
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(VmError::ProtectionFault { addr });
+        }
+        let phys = &self.inner.phys;
+        let page_copy = st.cost.page_copy_for(ps as usize);
+        let frame = self.inner.pt.with_entry(vpn, |slot| -> Result<_> {
+            match slot {
+                Some(pte) if access == Access::Read || pte.writable => Ok(pte.frame),
+                Some(pte) => {
+                    // Copy-on-write: present but not writable, VMA allows
+                    // writes.
+                    st.counters.cow_faults.fetch_add(1, Ordering::Relaxed);
+                    st.clock.charge(st.cost.page_fault);
+                    match share {
+                        Share::Shared => {
+                            // Protection upgrade on a shared file page.
+                            pte.writable = true;
+                            Ok(pte.frame)
+                        }
+                        Share::Private => {
+                            if phys.refcount(pte.frame) == 1 {
+                                // Sole owner (e.g. last snapshot was
+                                // dropped): reclaim in place.
+                                pte.writable = true;
+                                Ok(pte.frame)
+                            } else {
+                                let fresh = phys.alloc()?;
+                                phys.copy_frame(pte.frame, fresh);
+                                phys.decref(pte.frame);
+                                st.counters.pages_copied.fetch_add(1, Ordering::Relaxed);
+                                st.clock.charge(page_copy);
+                                *pte = Pte {
+                                    frame: fresh,
+                                    writable: true,
+                                };
+                                Ok(fresh)
+                            }
+                        }
+                    }
+                }
+                None => {
+                    // Demand paging.
+                    st.counters.page_faults.fetch_add(1, Ordering::Relaxed);
+                    st.clock.charge(st.cost.page_fault);
+                    let (frame, writable) = match &backing {
+                        Backing::Anon => {
+                            // Fresh zeroed frame, exclusively owned.
+                            (phys.alloc()?, prot.write)
+                        }
+                        Backing::File { file, offset } => {
+                            let fpage = offset / ps;
+                            let f = file.frame_for(fpage)?;
+                            phys.incref(f);
+                            (f, prot.write && share == Share::Shared)
+                        }
+                    };
+                    if access == Access::Write && !writable {
+                        // First write to a private file page: populate +
+                        // immediate COW in one fault.
+                        st.counters.cow_faults.fetch_add(1, Ordering::Relaxed);
+                        let fresh = phys.alloc()?;
+                        phys.copy_frame(frame, fresh);
+                        phys.decref(frame);
+                        st.counters.pages_copied.fetch_add(1, Ordering::Relaxed);
+                        st.clock.charge(page_copy);
+                        *slot = Some(Pte {
+                            frame: fresh,
+                            writable: true,
+                        });
+                        Ok(fresh)
+                    } else {
+                        *slot = Some(Pte { frame, writable });
+                        Ok(frame)
+                    }
+                }
+            }
+        })?;
+        Ok(self.resolved(frame, access == Access::Write))
+    }
+
+    /// Resolve `addr` to a raw word pointer without constructing a
+    /// [`ResolvedPage`] (no refcount traffic — the hot path for point
+    /// accesses). The pointee is only touched atomically and chunk storage
+    /// lives as long as the kernel, which `self` keeps alive.
+    #[inline]
+    fn resolve_word(&self, addr: u64, access: Access) -> Result<*const std::sync::atomic::AtomicU64> {
+        let ps = self.page_size();
+        let vpn = addr / ps;
+        let frame = match self.inner.pt.get(vpn) {
+            Some(pte) if access == Access::Read || pte.writable => pte.frame,
+            _ => {
+                // Slow path (fault) — reuse the full resolution machinery.
+                return Ok(self
+                    .fault(addr, vpn, access)?
+                    .as_word_ptr(((addr % ps) / 8) as usize));
+            }
+        };
+        let base = self.inner.phys.frame_ptr(frame);
+        // SAFETY: in-bounds of the frame; 8-aligned because addr is.
+        Ok(unsafe { base.add((addr % ps) as usize) } as *const std::sync::atomic::AtomicU64)
+    }
+
+    /// Read the 8-byte word at `addr` (must be 8-byte aligned).
+    #[inline]
+    pub fn read_u64(&self, addr: u64) -> Result<u64> {
+        debug_assert_eq!(addr % 8, 0);
+        let p = self.resolve_word(addr, Access::Read)?;
+        // SAFETY: valid for the lifetime of the kernel; atomic access.
+        Ok(unsafe { (*p).load(Ordering::Relaxed) })
+    }
+
+    /// Write the 8-byte word at `addr` (must be 8-byte aligned).
+    #[inline]
+    pub fn write_u64(&self, addr: u64, value: u64) -> Result<()> {
+        debug_assert_eq!(addr % 8, 0);
+        let p = self.resolve_word(addr, Access::Write)?;
+        // SAFETY: valid for the lifetime of the kernel; atomic access.
+        unsafe { (*p).store(value, Ordering::Relaxed) };
+        Ok(())
+    }
+
+    /// Copy `dst.len()` bytes starting at `addr` (8-byte aligned) into
+    /// `dst`, faulting pages in as needed.
+    pub fn read_bytes(&self, addr: u64, dst: &mut [u8]) -> Result<()> {
+        debug_assert_eq!(addr % 8, 0);
+        let ps = self.page_size();
+        let mut pos = addr;
+        let mut remaining = dst;
+        while !remaining.is_empty() {
+            let in_page = (ps - pos % ps).min(remaining.len() as u64) as usize;
+            let (head, tail) = remaining.split_at_mut(in_page);
+            let page = self.resolve(pos, Access::Read)?;
+            page.read_bytes((pos % ps) as usize, head);
+            pos += in_page as u64;
+            remaining = tail;
+        }
+        Ok(())
+    }
+
+    /// Copy `src` into memory starting at `addr` (8-byte aligned).
+    pub fn write_bytes(&self, addr: u64, src: &[u8]) -> Result<()> {
+        debug_assert_eq!(addr % 8, 0);
+        let ps = self.page_size();
+        let mut pos = addr;
+        let mut remaining = src;
+        while !remaining.is_empty() {
+            let in_page = (ps - pos % ps).min(remaining.len() as u64) as usize;
+            let (head, tail) = remaining.split_at(in_page);
+            let page = self.resolve(pos, Access::Write)?;
+            page.write_bytes((pos % ps) as usize, head);
+            pos += in_page as u64;
+            remaining = tail;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // fork & vm_snapshot
+    // ------------------------------------------------------------------
+
+    /// Duplicate the entire address space, as the `fork` system call does:
+    /// all VMAs and PTEs are copied; private pages become copy-on-write in
+    /// both parent and child (§3.2.2).
+    pub fn fork(&self) -> Result<Space> {
+        let st = &self.kernel.state;
+        st.counters.fork_calls.fetch_add(1, Ordering::Relaxed);
+        st.clock.charge(st.cost.syscall_entry + st.cost.fork_base);
+        let child = self.kernel.create_space();
+        let ps = self.page_size();
+        let map = self.inner.vmas.read();
+        let mut child_map = child.inner.vmas.write();
+        let mut n_vmas = 0u64;
+        let mut n_ptes = 0u64;
+        for vma in map.values() {
+            child_map.insert(vma.start, vma.clone());
+            n_vmas += 1;
+            for vpn in (vma.start / ps)..(vma.end / ps) {
+                let Some(mut pte) = self.inner.pt.get(vpn) else {
+                    continue;
+                };
+                if vma.share == Share::Private && pte.writable {
+                    pte.writable = false;
+                    self.inner.pt.insert(vpn, pte);
+                }
+                self.inner.phys.incref(pte.frame);
+                child.inner.pt.insert(vpn, pte);
+                n_ptes += 1;
+            }
+        }
+        child
+            .inner
+            .next_addr
+            .store(self.inner.next_addr.load(Ordering::Relaxed), Ordering::Relaxed);
+        st.counters.vmas_copied.fetch_add(n_vmas, Ordering::Relaxed);
+        st.counters.ptes_copied.fetch_add(n_ptes, Ordering::Relaxed);
+        st.clock
+            .charge(st.cost.vma_copy * n_vmas as f64 + st.cost.pte_copy * n_ptes as f64);
+        drop(child_map);
+        Ok(child)
+    }
+
+    /// The paper's custom system call (§4.1, Appendix A):
+    /// snapshot the virtual memory area `[src, src+len)` into a new area
+    /// (`dst = None`) or into an existing, fully allocated area
+    /// (`dst = Some(addr)`, §4.1.3 "recycling"). Returns the destination
+    /// address.
+    ///
+    /// Steps mirror Appendix A: (1) verify the source is allocated,
+    /// (2) identify the covering VMAs, (3) split border VMAs, (4) reserve or
+    /// recycle the destination, (5) copy the VMAs, (6-7) for private VMAs
+    /// copy the PTEs, marking both source and destination copy-on-write.
+    pub fn vm_snapshot(&self, dst: Option<u64>, src: u64, len: u64) -> Result<u64> {
+        self.check_aligned(src)?;
+        self.check_aligned(len)?;
+        if len == 0 {
+            return Err(VmError::InvalidArgument("vm_snapshot of zero length"));
+        }
+        let st = &self.kernel.state;
+        st.counters.vm_snapshot_calls.fetch_add(1, Ordering::Relaxed);
+        st.clock.charge(st.cost.syscall_entry);
+        let ps = self.page_size();
+        let mut map = self.inner.vmas.write();
+        // Step 1: the source must be entirely allocated.
+        if !is_covered(&map, src, len) {
+            return Err(VmError::NotMapped { addr: src });
+        }
+        // Step 4: reserve or validate the destination.
+        let dst_addr = match dst {
+            None => self.bump(len),
+            Some(d) => {
+                self.check_aligned(d)?;
+                let overlaps = d < src + len && src < d + len;
+                if overlaps {
+                    return Err(VmError::BadDestination { addr: d });
+                }
+                if !is_covered(&map, d, len) {
+                    return Err(VmError::BadDestination { addr: d });
+                }
+                // Recycle: drop existing mappings of the destination area.
+                self.unmap_locked(&mut map, d, len);
+                d
+            }
+        };
+        // Step 3: split the border VMAs.
+        let splits = split_at(&mut map, src) as u64 + split_at(&mut map, src + len) as u64;
+        st.clock.charge(st.cost.vma_split * splits as f64);
+        // Steps 5-7: copy VMAs, then PTEs of private VMAs.
+        let src_vmas: Vec<Vma> = map.range(src..src + len).map(|(_, v)| v.clone()).collect();
+        let mut n_ptes = 0u64;
+        let n_vmas = src_vmas.len() as u64;
+        for vma in &src_vmas {
+            debug_assert!(vma.start >= src && vma.end <= src + len);
+            let offset = vma.start - src;
+            let copy = Vma {
+                start: dst_addr + offset,
+                end: dst_addr + offset + vma.len(),
+                prot: vma.prot,
+                share: vma.share,
+                backing: vma.backing.clone(),
+            };
+            map.insert(copy.start, copy);
+            if vma.share != Share::Private {
+                continue;
+            }
+            for vpn in (vma.start / ps)..(vma.end / ps) {
+                let Some(mut pte) = self.inner.pt.get(vpn) else {
+                    continue;
+                };
+                if pte.writable {
+                    // Mark the source copy-on-write.
+                    pte.writable = false;
+                    self.inner.pt.insert(vpn, pte);
+                }
+                self.inner.phys.incref(pte.frame);
+                let dst_vpn = (dst_addr + (vpn * ps - src)) / ps;
+                self.inner.pt.insert(
+                    dst_vpn,
+                    Pte {
+                        frame: pte.frame,
+                        writable: false,
+                    },
+                );
+                n_ptes += 1;
+            }
+        }
+        st.counters.vmas_copied.fetch_add(n_vmas, Ordering::Relaxed);
+        st.counters.ptes_copied.fetch_add(n_ptes, Ordering::Relaxed);
+        st.clock
+            .charge(st.cost.vma_copy * n_vmas as f64 + st.cost.pte_copy * n_ptes as f64);
+        Ok(dst_addr)
+    }
+}
+
+// ----------------------------------------------------------------------
+// VMA tree helpers (free functions over the locked map)
+// ----------------------------------------------------------------------
+
+fn find_vma(map: &BTreeMap<u64, Vma>, addr: u64) -> Option<&Vma> {
+    map.range(..=addr)
+        .next_back()
+        .map(|(_, v)| v)
+        .filter(|v| v.contains(addr))
+}
+
+fn vmas_intersecting(
+    map: &BTreeMap<u64, Vma>,
+    addr: u64,
+    len: u64,
+) -> impl Iterator<Item = &Vma> {
+    let first = map
+        .range(..=addr)
+        .next_back()
+        .filter(|(_, v)| v.end > addr)
+        .map(|(k, _)| *k)
+        .unwrap_or(addr);
+    map.range(first..addr + len).map(|(_, v)| v)
+}
+
+/// True if `[addr, addr+len)` is fully covered by VMAs with no gaps.
+fn is_covered(map: &BTreeMap<u64, Vma>, addr: u64, len: u64) -> bool {
+    let mut cursor = addr;
+    let end = addr + len;
+    for vma in vmas_intersecting(map, addr, len) {
+        if vma.start > cursor {
+            return false;
+        }
+        cursor = cursor.max(vma.end);
+        if cursor >= end {
+            return true;
+        }
+    }
+    cursor >= end
+}
+
+/// Split the VMA containing `addr` so that `addr` becomes a VMA boundary.
+/// Returns `true` if a split happened.
+fn split_at(map: &mut BTreeMap<u64, Vma>, addr: u64) -> bool {
+    let Some((&start, vma)) = map
+        .range_mut(..addr)
+        .next_back()
+        .filter(|(_, v)| v.contains(addr))
+    else {
+        return false;
+    };
+    debug_assert!(start < addr);
+    let tail = Vma {
+        start: addr,
+        end: vma.end,
+        prot: vma.prot,
+        share: vma.share,
+        backing: vma.backing_at(addr - vma.start),
+    };
+    vma.end = addr;
+    map.insert(addr, tail);
+    true
+}
+
+/// Insert `vma` (whose range must be free) and merge it with compatible
+/// neighbours, as the kernel does for anonymous and contiguous file
+/// mappings.
+fn insert_and_merge(map: &mut BTreeMap<u64, Vma>, vma: Vma) {
+    debug_assert!(!vma.is_empty());
+    let mut key = vma.start;
+    map.insert(key, vma);
+    // Merge with predecessor.
+    if let Some((&pk, prev)) = map.range(..key).next_back() {
+        if prev.can_merge_with(&map[&key]) {
+            let end = map[&key].end;
+            map.remove(&key);
+            map.get_mut(&pk).expect("predecessor exists").end = end;
+            key = pk;
+        }
+    }
+    // Merge with successor.
+    let cur_end = map[&key].end;
+    if let Some((&nk, _)) = map.range(cur_end..).next() {
+        if nk == cur_end && map[&key].can_merge_with(&map[&nk]) {
+            let end = map[&nk].end;
+            map.remove(&nk);
+            map.get_mut(&key).expect("current exists").end = end;
+        }
+    }
+}
+
+/// Re-merge compatible adjacent VMAs whose boundaries fall in
+/// `[from, to)` — used after `mprotect` restores uniform protection.
+fn merge_range(map: &mut BTreeMap<u64, Vma>, from: u64, to: u64) {
+    let keys: Vec<u64> = map.range(from..to).map(|(k, _)| *k).collect();
+    for k in keys {
+        // The key may already have been merged away.
+        if !map.contains_key(&k) {
+            continue;
+        }
+        if let Some((&pk, prev)) = map.range(..k).next_back() {
+            if prev.can_merge_with(&map[&k]) {
+                let end = map[&k].end;
+                map.remove(&k);
+                map.get_mut(&pk).expect("predecessor exists").end = end;
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Virtual memory areas (the simulated `vm_area_struct`).
+
+use crate::file::FileInner;
+use std::sync::Arc;
+
+/// Page protection of a mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Prot {
+    /// Reads allowed. All mappings in this simulator are readable.
+    pub read: bool,
+    /// Writes allowed.
+    pub write: bool,
+}
+
+impl Prot {
+    /// Read-only protection (`PROT_READ`).
+    pub const READ: Prot = Prot {
+        read: true,
+        write: false,
+    };
+    /// Read-write protection (`PROT_READ | PROT_WRITE`).
+    pub const READ_WRITE: Prot = Prot {
+        read: true,
+        write: true,
+    };
+}
+
+/// Sharing semantics of a mapping (`MAP_PRIVATE` / `MAP_SHARED`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Share {
+    /// Copy-on-write private mapping.
+    Private,
+    /// Writes go through to the backing object.
+    Shared,
+}
+
+/// What a VMA maps.
+#[derive(Clone)]
+pub enum Backing {
+    /// Anonymous memory (`MAP_ANONYMOUS`).
+    Anon,
+    /// A main-memory file at the given byte offset (page aligned).
+    File { file: Arc<FileInner>, offset: u64 },
+}
+
+impl std::fmt::Debug for Backing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backing::Anon => write!(f, "Anon"),
+            Backing::File { offset, .. } => write!(f, "File{{offset: {offset:#x}}}"),
+        }
+    }
+}
+
+/// A contiguous virtual memory area, the simulated `vm_area_struct`.
+#[derive(Debug, Clone)]
+pub struct Vma {
+    /// First byte of the area (page aligned).
+    pub start: u64,
+    /// One past the last byte (page aligned).
+    pub end: u64,
+    pub prot: Prot,
+    pub share: Share,
+    pub backing: Backing,
+}
+
+impl Vma {
+    /// Length of the area in bytes.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// True if the area is empty (never stored in the tree).
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// Whether `addr` falls inside the area.
+    pub fn contains(&self, addr: u64) -> bool {
+        self.start <= addr && addr < self.end
+    }
+
+    /// Backing of the sub-area starting `delta` bytes into this VMA.
+    pub(crate) fn backing_at(&self, delta: u64) -> Backing {
+        match &self.backing {
+            Backing::Anon => Backing::Anon,
+            Backing::File { file, offset } => Backing::File {
+                file: Arc::clone(file),
+                offset: offset + delta,
+            },
+        }
+    }
+
+    /// Can `self` (ending where `next` starts) merge with `next`?
+    /// Requires identical protection/sharing and, for file mappings, the
+    /// same file with contiguous offsets. Private anonymous areas merge
+    /// freely, like in Linux.
+    pub(crate) fn can_merge_with(&self, next: &Vma) -> bool {
+        if self.end != next.start || self.prot != next.prot || self.share != next.share {
+            return false;
+        }
+        match (&self.backing, &next.backing) {
+            (Backing::Anon, Backing::Anon) => true,
+            (
+                Backing::File { file: f1, offset: o1 },
+                Backing::File { file: f2, offset: o2 },
+            ) => Arc::ptr_eq(f1, f2) && o1 + self.len() == *o2,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn anon(start: u64, end: u64, prot: Prot) -> Vma {
+        Vma {
+            start,
+            end,
+            prot,
+            share: Share::Private,
+            backing: Backing::Anon,
+        }
+    }
+
+    #[test]
+    fn merge_rules_anon() {
+        let a = anon(0, 4096, Prot::READ_WRITE);
+        let b = anon(4096, 8192, Prot::READ_WRITE);
+        assert!(a.can_merge_with(&b));
+        let c = anon(4096, 8192, Prot::READ);
+        assert!(!a.can_merge_with(&c), "different protection");
+        let d = anon(8192, 12288, Prot::READ_WRITE);
+        assert!(!a.can_merge_with(&d), "not adjacent");
+    }
+
+    #[test]
+    fn contains_and_len() {
+        let v = anon(4096, 12288, Prot::READ);
+        assert_eq!(v.len(), 8192);
+        assert!(v.contains(4096));
+        assert!(v.contains(12287));
+        assert!(!v.contains(12288));
+        assert!(!v.contains(0));
+    }
+}

@@ -1,0 +1,190 @@
+//! Edge-case tests of the simulated VM subsystem: partial-overlap fixed
+//! mappings, file truncation under live mappings, shared-mapping
+//! `vm_snapshot`, and cost-accounting invariants.
+
+use anker_vmem::{Kernel, MapBacking, Prot, Share, VmError};
+
+const RW: Prot = Prot::READ_WRITE;
+const RO: Prot = Prot::READ;
+
+#[test]
+fn map_fixed_replaces_partial_overlap() {
+    let k = Kernel::default();
+    let s = k.create_space();
+    let ps = s.page_size();
+    let base = 0x7000_0000u64;
+    s.mmap_at(base, 4 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    for p in 0..4 {
+        s.write_u64(base + p * ps, 100 + p).unwrap();
+    }
+    // Replace the middle two pages with a fresh anonymous mapping.
+    s.mmap_at(base + ps, 2 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    // Replaced pages read zero again; the borders survive.
+    assert_eq!(s.read_u64(base).unwrap(), 100);
+    assert_eq!(s.read_u64(base + ps).unwrap(), 0);
+    assert_eq!(s.read_u64(base + 2 * ps).unwrap(), 0);
+    assert_eq!(s.read_u64(base + 3 * ps).unwrap(), 103);
+    // The old frames of the replaced pages were released.
+    assert_eq!(k.frames_in_use(), 2 + 2);
+}
+
+#[test]
+fn file_truncate_under_live_mapping() {
+    let k = Kernel::default();
+    let s = k.create_space();
+    let ps = s.page_size();
+    let f = k.create_file(4);
+    let a = s.mmap(4 * ps, RW, Share::Shared, MapBacking::File(&f, 0)).unwrap();
+    for p in 0..4 {
+        s.write_u64(a + p * ps, p + 1).unwrap();
+    }
+    // Shrink the file to 2 pages: mapped PTEs keep their frames (like a
+    // real memfd), but unmapped future access to the cut region is SIGBUS.
+    f.truncate(2);
+    assert_eq!(s.read_u64(a + 3 * ps).unwrap(), 4, "resident PTE survives");
+    let b = s.mmap(4 * ps, RW, Share::Shared, MapBacking::File(&f, 0)).unwrap();
+    assert_eq!(s.read_u64(b).unwrap(), 1);
+    assert!(matches!(
+        s.read_u64(b + 2 * ps),
+        Err(VmError::BeyondFileEnd { .. })
+    ));
+    // Growing back exposes fresh zero pages (old frames were released).
+    f.truncate(4);
+    assert_eq!(s.read_u64(b + 2 * ps).unwrap(), 0);
+}
+
+#[test]
+fn vm_snapshot_of_shared_file_mapping_shares_writes() {
+    // Appendix A step 6: "If VMA is shared, nothing more has to be done" —
+    // the duplicate still observes file writes, unlike a private snapshot.
+    let k = Kernel::default();
+    let s = k.create_space();
+    let ps = s.page_size();
+    let f = k.create_file(2);
+    let a = s.mmap(2 * ps, RW, Share::Shared, MapBacking::File(&f, 0)).unwrap();
+    s.write_u64(a, 5).unwrap();
+    let dup = s.vm_snapshot(None, a, 2 * ps).unwrap();
+    assert_eq!(s.read_u64(dup).unwrap(), 5);
+    // Shared semantics: later writes remain visible through the duplicate.
+    s.write_u64(a, 6).unwrap();
+    assert_eq!(s.read_u64(dup).unwrap(), 6);
+    s.write_u64(dup + ps, 7).unwrap();
+    assert_eq!(s.read_u64(a + ps).unwrap(), 7);
+}
+
+#[test]
+fn vm_snapshot_of_mixed_private_and_shared_range() {
+    let k = Kernel::default();
+    let s = k.create_space();
+    let ps = s.page_size();
+    let f = k.create_file(2);
+    let base = 0x6000_0000u64;
+    s.mmap_at(base, 2 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    s.mmap_at(base + 2 * ps, 2 * ps, RW, Share::Shared, MapBacking::File(&f, 0))
+        .unwrap();
+    s.write_u64(base, 1).unwrap();
+    s.write_u64(base + 2 * ps, 2).unwrap();
+    let snap = s.vm_snapshot(None, base, 4 * ps).unwrap();
+    // Private part froze...
+    s.write_u64(base, 10).unwrap();
+    assert_eq!(s.read_u64(snap).unwrap(), 1);
+    // ...the shared part tracks the file.
+    s.write_u64(base + 2 * ps, 20).unwrap();
+    assert_eq!(s.read_u64(snap + 2 * ps).unwrap(), 20);
+}
+
+#[test]
+fn cost_accounting_matches_structural_counts() {
+    let k = Kernel::default();
+    let s = k.create_space();
+    let ps = s.page_size();
+    let col = s.mmap(64 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    for p in 0..64 {
+        s.write_u64(col + p * ps, p).unwrap();
+    }
+    let before = k.stats();
+    let snap = s.vm_snapshot(None, col, 64 * ps).unwrap();
+    let d = k.stats().delta_since(&before);
+    assert_eq!(d.vm_snapshot_calls, 1);
+    assert_eq!(d.vmas_copied, 1);
+    assert_eq!(d.ptes_copied, 64);
+    // Charged virtual time: syscall + 1 VMA + 64 PTEs (within rounding).
+    let cost = k.cost_model();
+    let expected = cost.syscall_entry + cost.vma_copy + 64.0 * cost.pte_copy;
+    assert!(
+        (d.virtual_ns as f64 - expected).abs() <= 2.0,
+        "charged {} vs expected {expected}",
+        d.virtual_ns
+    );
+    // One COW write charges one fault + one page copy.
+    let before = k.stats();
+    s.write_u64(col, 999).unwrap();
+    let d = k.stats().delta_since(&before);
+    assert_eq!(d.cow_faults, 1);
+    assert_eq!(d.pages_copied, 1);
+    let expected = cost.page_fault + cost.page_copy_for(ps as usize);
+    assert!((d.virtual_ns as f64 - expected).abs() <= 2.0);
+    s.munmap(snap, 64 * ps).unwrap();
+}
+
+#[test]
+fn fork_then_vm_snapshot_in_child() {
+    // The custom call composes with fork: a child can snapshot its (COW)
+    // view independently of the parent.
+    let k = Kernel::default();
+    let parent = k.create_space();
+    let ps = parent.page_size();
+    let a = parent.mmap(4 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    parent.write_u64(a, 1).unwrap();
+    let child = parent.fork().unwrap();
+    let child_snap = child.vm_snapshot(None, a, 4 * ps).unwrap();
+    child.write_u64(a, 2).unwrap();
+    parent.write_u64(a, 3).unwrap();
+    assert_eq!(child.read_u64(child_snap).unwrap(), 1, "child snapshot frozen");
+    assert_eq!(child.read_u64(a).unwrap(), 2);
+    assert_eq!(parent.read_u64(a).unwrap(), 3);
+}
+
+#[test]
+fn misaligned_requests_rejected_everywhere() {
+    let k = Kernel::default();
+    let s = k.create_space();
+    let ps = s.page_size();
+    let a = s.mmap(2 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    assert!(matches!(s.munmap(a + 1, ps), Err(VmError::Misaligned { .. })));
+    assert!(matches!(s.mprotect(a, ps + 7, RO), Err(VmError::Misaligned { .. })));
+    assert!(matches!(
+        s.mmap_at(a + 3, ps, RW, Share::Private, MapBacking::Anon),
+        Err(VmError::Misaligned { .. })
+    ));
+    let f = k.create_file(1);
+    assert!(matches!(
+        s.mmap(ps, RW, Share::Shared, MapBacking::File(&f, 9)),
+        Err(VmError::Misaligned { .. })
+    ));
+}
+
+#[test]
+fn snapshot_chain_refcounts_settle_after_teardown() {
+    // Layered snapshots and writes, then tear everything down: every frame
+    // must return to the allocator.
+    let k = Kernel::default();
+    let s = k.create_space();
+    let ps = s.page_size();
+    let col = s.mmap(16 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    for p in 0..16 {
+        s.write_u64(col + p * ps, p).unwrap();
+    }
+    let mut snaps = Vec::new();
+    for round in 0..5u64 {
+        snaps.push(s.vm_snapshot(None, col, 16 * ps).unwrap());
+        for p in (round % 4..16).step_by(4) {
+            s.write_u64(col + p * ps, round * 100 + p).unwrap();
+        }
+    }
+    for snap in snaps {
+        s.munmap(snap, 16 * ps).unwrap();
+    }
+    s.munmap(col, 16 * ps).unwrap();
+    assert_eq!(k.frames_in_use(), 0, "frame leak after teardown");
+}

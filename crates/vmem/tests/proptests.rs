@@ -1,0 +1,231 @@
+//! Property-based tests: the simulator is compared against simple oracles
+//! under randomized operation sequences.
+
+use anker_vmem::{Kernel, MapBacking, Prot, Share, VmError};
+use proptest::prelude::*;
+
+const PAGES: u64 = 32;
+
+/// Operations over one base column and a rolling set of snapshots.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Write `value` into word `word` of page `page` of the base column.
+    Write { page: u64, word: u64, value: u64 },
+    /// Take a vm_snapshot of the base column.
+    Snapshot,
+    /// Drop the oldest live snapshot (if any).
+    DropOldest,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..PAGES, 0..8u64, any::<u64>())
+            .prop_map(|(page, word, value)| Op::Write { page, word, value }),
+        1 => Just(Op::Snapshot),
+        1 => Just(Op::DropOldest),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every snapshot must forever read exactly the base column's content at
+    /// the moment the snapshot was taken, no matter how the base mutates
+    /// afterwards; the base must always reflect all its writes.
+    #[test]
+    fn snapshots_are_frozen_points_in_time(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let k = Kernel::default();
+        let s = k.create_space();
+        let ps = s.page_size();
+        let col = s.mmap(PAGES * ps, Prot::READ_WRITE, Share::Private, MapBacking::Anon).unwrap();
+
+        // Oracle: plain vectors.
+        let mut shadow = vec![0u64; (PAGES * 8) as usize];
+        let mut snaps: Vec<(u64, Vec<u64>)> = Vec::new();
+
+        for op in &ops {
+            match *op {
+                Op::Write { page, word, value } => {
+                    s.write_u64(col + page * ps + word * 8, value).unwrap();
+                    shadow[(page * 8 + word) as usize] = value;
+                }
+                Op::Snapshot => {
+                    let addr = s.vm_snapshot(None, col, PAGES * ps).unwrap();
+                    snaps.push((addr, shadow.clone()));
+                }
+                Op::DropOldest => {
+                    if !snaps.is_empty() {
+                        let (addr, _) = snaps.remove(0);
+                        s.munmap(addr, PAGES * ps).unwrap();
+                    }
+                }
+            }
+        }
+
+        // Verify the base column.
+        for page in 0..PAGES {
+            for word in 0..8 {
+                let got = s.read_u64(col + page * ps + word * 8).unwrap();
+                prop_assert_eq!(got, shadow[(page * 8 + word) as usize]);
+            }
+        }
+        // Verify every live snapshot against its point-in-time oracle.
+        for (addr, frozen) in &snaps {
+            for page in 0..PAGES {
+                for word in 0..8 {
+                    let got = s.read_u64(addr + page * ps + word * 8).unwrap();
+                    prop_assert_eq!(got, frozen[(page * 8 + word) as usize],
+                        "snapshot at {:#x} diverged at page {} word {}", addr, page, word);
+                }
+            }
+        }
+        // No frame leaks: dropping everything returns all frames.
+        s.munmap(col, PAGES * ps).unwrap();
+        for (addr, _) in &snaps {
+            s.munmap(*addr, PAGES * ps).unwrap();
+        }
+        prop_assert_eq!(k.frames_in_use(), 0, "frame leak detected");
+    }
+}
+
+/// Randomized VMA-tree stress: fixed mappings, unmappings, and protection
+/// changes must preserve the tree invariants (sorted, non-overlapping,
+/// page-aligned) and access semantics.
+#[derive(Debug, Clone)]
+enum VmaOp {
+    MapFixed { page: u64, pages: u64, write: bool },
+    Unmap { page: u64, pages: u64 },
+    Protect { page: u64, pages: u64, write: bool },
+    Touch { page: u64 },
+}
+
+fn vma_op_strategy() -> impl Strategy<Value = VmaOp> {
+    let span = 0..48u64;
+    prop_oneof![
+        3 => (span.clone(), 1..8u64, any::<bool>())
+            .prop_map(|(page, pages, write)| VmaOp::MapFixed { page, pages, write }),
+        2 => (span.clone(), 1..8u64).prop_map(|(page, pages)| VmaOp::Unmap { page, pages }),
+        2 => (span.clone(), 1..8u64, any::<bool>())
+            .prop_map(|(page, pages, write)| VmaOp::Protect { page, pages, write }),
+        3 => span.prop_map(|page| VmaOp::Touch { page }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn vma_tree_invariants_hold(ops in proptest::collection::vec(vma_op_strategy(), 1..100)) {
+        let k = Kernel::default();
+        let s = k.create_space();
+        let ps = s.page_size();
+        let base = 0x4000_0000u64;
+        // Oracle: per-page protection (None = unmapped).
+        let mut pages_model: Vec<Option<bool>> = vec![None; 64];
+
+        for op in &ops {
+            match *op {
+                VmaOp::MapFixed { page, pages, write } => {
+                    let prot = if write { Prot::READ_WRITE } else { Prot::READ };
+                    s.mmap_at(base + page * ps, pages * ps, prot, Share::Private, MapBacking::Anon).unwrap();
+                    for p in page..page + pages {
+                        pages_model[p as usize] = Some(write);
+                    }
+                }
+                VmaOp::Unmap { page, pages } => {
+                    s.munmap(base + page * ps, pages * ps).unwrap();
+                    for p in page..page + pages {
+                        pages_model[p as usize] = None;
+                    }
+                }
+                VmaOp::Protect { page, pages, write } => {
+                    let prot = if write { Prot::READ_WRITE } else { Prot::READ };
+                    let covered = (page..page + pages).all(|p| pages_model[p as usize].is_some());
+                    let r = s.mprotect(base + page * ps, pages * ps, prot);
+                    if covered {
+                        prop_assert!(r.is_ok(), "mprotect over mapped range failed: {:?}", r);
+                        for p in page..page + pages {
+                            pages_model[p as usize] = Some(write);
+                        }
+                    } else {
+                        prop_assert!(matches!(r, Err(VmError::NotMapped { .. })), "expected NotMapped, got {:?}", r);
+                    }
+                }
+                VmaOp::Touch { page } => {
+                    let addr = base + page * ps;
+                    match pages_model[page as usize] {
+                        None => {
+                            let r = s.read_u64(addr);
+                            prop_assert!(matches!(r, Err(VmError::NotMapped { .. })), "expected NotMapped, got {:?}", r);
+                        }
+                        Some(writable) => {
+                            prop_assert!(s.read_u64(addr).is_ok());
+                            let w = s.write_u64(addr, 1);
+                            if writable {
+                                prop_assert!(w.is_ok());
+                            } else {
+                                prop_assert!(matches!(w, Err(VmError::ProtectionFault { .. })), "expected ProtectionFault, got {:?}", w);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Tree invariants.
+        let vmas = s.vmas_in(base, 64 * ps);
+        for w in vmas.windows(2) {
+            prop_assert!(w[0].end <= w[1].start, "overlapping or unsorted VMAs");
+        }
+        for v in &vmas {
+            prop_assert_eq!(v.start % ps, 0);
+            prop_assert_eq!(v.end % ps, 0);
+            prop_assert!(v.start < v.end);
+        }
+        // Per-page agreement between model and tree.
+        for p in 0..64u64 {
+            let addr = base + p * ps;
+            let in_vma = vmas.iter().any(|v| v.contains(addr));
+            prop_assert_eq!(in_vma, pages_model[p as usize].is_some(),
+                "page {} mapping disagreement", p);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// fork() equals vm_snapshot of everything: the child sees the parent's
+    /// state at fork time regardless of later parent writes, and vice versa.
+    #[test]
+    fn fork_isolation(
+        pre in proptest::collection::vec((0..16u64, any::<u64>()), 1..30),
+        post_parent in proptest::collection::vec((0..16u64, any::<u64>()), 1..30),
+        post_child in proptest::collection::vec((0..16u64, any::<u64>()), 1..30),
+    ) {
+        let k = Kernel::default();
+        let s = k.create_space();
+        let ps = s.page_size();
+        let a = s.mmap(16 * ps, Prot::READ_WRITE, Share::Private, MapBacking::Anon).unwrap();
+        let mut model = vec![0u64; 16];
+        for &(p, v) in &pre {
+            s.write_u64(a + p * ps, v).unwrap();
+            model[p as usize] = v;
+        }
+        let child = s.fork().unwrap();
+        let mut parent_model = model.clone();
+        let mut child_model = model;
+        for &(p, v) in &post_parent {
+            s.write_u64(a + p * ps, v).unwrap();
+            parent_model[p as usize] = v;
+        }
+        for &(p, v) in &post_child {
+            child.write_u64(a + p * ps, v).unwrap();
+            child_model[p as usize] = v;
+        }
+        for p in 0..16u64 {
+            prop_assert_eq!(s.read_u64(a + p * ps).unwrap(), parent_model[p as usize]);
+            prop_assert_eq!(child.read_u64(a + p * ps).unwrap(), child_model[p as usize]);
+        }
+    }
+}

@@ -1,0 +1,560 @@
+//! Integration tests for the simulated VM subsystem: demand paging, COW,
+//! fork, vm_snapshot, rewiring via main-memory files, and cost accounting.
+
+use anker_vmem::{Kernel, KernelConfig, MapBacking, Prot, Share, VmError};
+
+fn kernel() -> Kernel {
+    Kernel::default()
+}
+
+const RW: Prot = Prot::READ_WRITE;
+const RO: Prot = Prot::READ;
+
+#[test]
+fn anon_mapping_reads_zero_and_counts_faults() {
+    let k = kernel();
+    let s = k.create_space();
+    let ps = s.page_size();
+    let a = s.mmap(4 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    let before = k.stats();
+    assert_eq!(s.read_u64(a).unwrap(), 0);
+    assert_eq!(s.read_u64(a + 3 * ps + 8).unwrap(), 0);
+    let d = k.stats().delta_since(&before);
+    assert_eq!(d.page_faults, 2);
+    // Reading the same pages again faults no more.
+    assert_eq!(s.read_u64(a).unwrap(), 0);
+    assert_eq!(k.stats().page_faults, 2);
+}
+
+#[test]
+fn writes_persist_and_are_word_atomic() {
+    let k = kernel();
+    let s = k.create_space();
+    let ps = s.page_size();
+    let a = s.mmap(2 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    for i in 0..(2 * ps / 8) {
+        s.write_u64(a + i * 8, i * 7 + 1).unwrap();
+    }
+    for i in 0..(2 * ps / 8) {
+        assert_eq!(s.read_u64(a + i * 8).unwrap(), i * 7 + 1);
+    }
+}
+
+#[test]
+fn read_write_bytes_cross_page() {
+    let k = kernel();
+    let s = k.create_space();
+    let ps = s.page_size();
+    let a = s.mmap(3 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    let data: Vec<u8> = (0..=255).cycle().take(ps as usize + 64).collect();
+    // Start near the end of the first page so the write straddles pages.
+    s.write_bytes(a + ps - 32, &data).unwrap();
+    let mut back = vec![0u8; data.len()];
+    s.read_bytes(a + ps - 32, &mut back).unwrap();
+    assert_eq!(back, data);
+}
+
+#[test]
+fn vm_snapshot_isolates_both_directions() {
+    let k = kernel();
+    let s = k.create_space();
+    let ps = s.page_size();
+    let n = 8;
+    let col = s.mmap(n * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    for p in 0..n {
+        s.write_u64(col + p * ps, 100 + p).unwrap();
+    }
+    let frames_before = k.frames_in_use();
+    let snap = s.vm_snapshot(None, col, n * ps).unwrap();
+    // Virtual snapshot: no physical copies yet.
+    assert_eq!(k.frames_in_use(), frames_before);
+    for p in 0..n {
+        assert_eq!(s.read_u64(snap + p * ps).unwrap(), 100 + p);
+    }
+    // Source writes do not leak into the snapshot.
+    s.write_u64(col + 2 * ps, 777).unwrap();
+    assert_eq!(s.read_u64(snap + 2 * ps).unwrap(), 102);
+    assert_eq!(s.read_u64(col + 2 * ps).unwrap(), 777);
+    // Snapshot writes do not leak into the source.
+    s.write_u64(snap + 5 * ps, 888).unwrap();
+    assert_eq!(s.read_u64(col + 5 * ps).unwrap(), 105);
+    // Exactly two COW copies happened.
+    assert_eq!(k.frames_in_use(), frames_before + 2);
+}
+
+#[test]
+fn vm_snapshot_chains() {
+    // Snapshot of a snapshot of a snapshot: each layer stays consistent.
+    let k = kernel();
+    let s = k.create_space();
+    let ps = s.page_size();
+    let col = s.mmap(2 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    s.write_u64(col, 1).unwrap();
+    let s1 = s.vm_snapshot(None, col, 2 * ps).unwrap();
+    s.write_u64(col, 2).unwrap();
+    let s2 = s.vm_snapshot(None, col, 2 * ps).unwrap();
+    s.write_u64(col, 3).unwrap();
+    let s3 = s.vm_snapshot(None, s2, 2 * ps).unwrap();
+    assert_eq!(s.read_u64(s1).unwrap(), 1);
+    assert_eq!(s.read_u64(s2).unwrap(), 2);
+    assert_eq!(s.read_u64(s3).unwrap(), 2);
+    assert_eq!(s.read_u64(col).unwrap(), 3);
+}
+
+#[test]
+fn vm_snapshot_into_recycled_destination() {
+    let k = kernel();
+    let s = k.create_space();
+    let ps = s.page_size();
+    let col = s.mmap(4 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    s.write_u64(col, 42).unwrap();
+    let old = s.vm_snapshot(None, col, 4 * ps).unwrap();
+    assert_eq!(s.read_u64(old).unwrap(), 42);
+    s.write_u64(col, 43).unwrap();
+    // Recycle the old snapshot's area (§4.1.3).
+    let frames_before = k.frames_in_use();
+    let dst = s.vm_snapshot(Some(old), col, 4 * ps).unwrap();
+    assert_eq!(dst, old);
+    assert_eq!(s.read_u64(dst).unwrap(), 43);
+    // Recycling freed the old COW frame the stale snapshot pinned.
+    assert!(k.frames_in_use() <= frames_before);
+}
+
+#[test]
+fn vm_snapshot_errors() {
+    let k = kernel();
+    let s = k.create_space();
+    let ps = s.page_size();
+    let col = s.mmap(4 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    // Unaligned.
+    assert!(matches!(
+        s.vm_snapshot(None, col + 1, ps),
+        Err(VmError::Misaligned { .. })
+    ));
+    // Source not mapped.
+    assert!(matches!(
+        s.vm_snapshot(None, col + 4 * ps, ps),
+        Err(VmError::NotMapped { .. })
+    ));
+    // Source only partially mapped.
+    assert!(matches!(
+        s.vm_snapshot(None, col, 8 * ps),
+        Err(VmError::NotMapped { .. })
+    ));
+    // Destination overlaps source.
+    assert!(matches!(
+        s.vm_snapshot(Some(col + ps), col, 2 * ps),
+        Err(VmError::BadDestination { .. })
+    ));
+    // Destination not allocated.
+    let far = col + 100 * ps;
+    assert!(matches!(
+        s.vm_snapshot(Some(far), col, 2 * ps),
+        Err(VmError::BadDestination { .. })
+    ));
+    // Zero length.
+    assert!(matches!(
+        s.vm_snapshot(None, col, 0),
+        Err(VmError::InvalidArgument(_))
+    ));
+}
+
+#[test]
+fn vm_snapshot_partial_column_splits_borders() {
+    let k = kernel();
+    let s = k.create_space();
+    let ps = s.page_size();
+    let col = s.mmap(8 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    for p in 0..8 {
+        s.write_u64(col + p * ps, p).unwrap();
+    }
+    assert_eq!(s.vma_count_in(col, 8 * ps), 1);
+    // Snapshot only the middle 4 pages.
+    let snap = s.vm_snapshot(None, col + 2 * ps, 4 * ps).unwrap();
+    for p in 0..4 {
+        assert_eq!(s.read_u64(snap + p * ps).unwrap(), p + 2);
+    }
+    // Border splits: the source area is now described by 3 VMAs.
+    assert_eq!(s.vma_count_in(col, 8 * ps), 3);
+    // Pages outside the snapshot range stay writable in place (no COW).
+    let before = k.stats();
+    s.write_u64(col, 100).unwrap();
+    assert_eq!(k.stats().delta_since(&before).cow_faults, 0);
+    // Pages inside the range are COW.
+    let before = k.stats();
+    s.write_u64(col + 3 * ps, 300).unwrap();
+    assert_eq!(k.stats().delta_since(&before).cow_faults, 1);
+    assert_eq!(s.read_u64(snap + ps).unwrap(), 3);
+}
+
+#[test]
+fn fork_duplicates_address_space() {
+    let k = kernel();
+    let parent = k.create_space();
+    let ps = parent.page_size();
+    let a = parent
+        .mmap(4 * ps, RW, Share::Private, MapBacking::Anon)
+        .unwrap();
+    parent.write_u64(a, 11).unwrap();
+    parent.write_u64(a + ps, 22).unwrap();
+    let child = parent.fork().unwrap();
+    // Same virtual addresses, same contents.
+    assert_eq!(child.read_u64(a).unwrap(), 11);
+    assert_eq!(child.read_u64(a + ps).unwrap(), 22);
+    // COW isolation in both directions.
+    parent.write_u64(a, 99).unwrap();
+    child.write_u64(a + ps, 55).unwrap();
+    assert_eq!(child.read_u64(a).unwrap(), 11);
+    assert_eq!(parent.read_u64(a + ps).unwrap(), 22);
+    assert_eq!(parent.read_u64(a).unwrap(), 99);
+    assert_eq!(child.read_u64(a + ps).unwrap(), 55);
+}
+
+#[test]
+fn fork_shares_shared_file_mappings() {
+    let k = kernel();
+    let s = k.create_space();
+    let ps = s.page_size();
+    let f = k.create_file(4);
+    let a = s.mmap(4 * ps, RW, Share::Shared, MapBacking::File(&f, 0)).unwrap();
+    s.write_u64(a, 1).unwrap();
+    let child = s.fork().unwrap();
+    // Shared mapping: writes remain visible across the fork in both
+    // directions.
+    child.write_u64(a, 2).unwrap();
+    assert_eq!(s.read_u64(a).unwrap(), 2);
+    s.write_u64(a + ps, 3).unwrap();
+    assert_eq!(child.read_u64(a + ps).unwrap(), 3);
+}
+
+#[test]
+fn mprotect_faults_then_allows_after_upgrade() {
+    let k = kernel();
+    let s = k.create_space();
+    let ps = s.page_size();
+    let a = s.mmap(2 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    s.write_u64(a, 5).unwrap();
+    s.mprotect(a, 2 * ps, RO).unwrap();
+    // Reads fine, writes fault.
+    assert_eq!(s.read_u64(a).unwrap(), 5);
+    assert!(matches!(
+        s.write_u64(a, 6),
+        Err(VmError::ProtectionFault { .. })
+    ));
+    assert_eq!(k.stats().protection_faults, 1);
+    // Upgrade back and write.
+    s.mprotect(a, 2 * ps, RW).unwrap();
+    s.write_u64(a, 6).unwrap();
+    assert_eq!(s.read_u64(a).unwrap(), 6);
+}
+
+#[test]
+fn mprotect_partial_splits_and_remerges() {
+    let k = kernel();
+    let s = k.create_space();
+    let ps = s.page_size();
+    let a = s.mmap(8 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    assert_eq!(s.vma_count_in(a, 8 * ps), 1);
+    s.mprotect(a + 2 * ps, 2 * ps, RO).unwrap();
+    assert_eq!(s.vma_count_in(a, 8 * ps), 3);
+    // Restoring uniform protection merges the VMAs back together.
+    s.mprotect(a + 2 * ps, 2 * ps, RW).unwrap();
+    assert_eq!(s.vma_count_in(a, 8 * ps), 1);
+}
+
+#[test]
+fn mprotect_requires_full_coverage() {
+    let k = kernel();
+    let s = k.create_space();
+    let ps = s.page_size();
+    let a = s.mmap(2 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    assert!(matches!(
+        s.mprotect(a, 4 * ps, RO),
+        Err(VmError::NotMapped { .. })
+    ));
+}
+
+#[test]
+fn shared_file_mapping_round_trips_through_file() {
+    let k = kernel();
+    let s = k.create_space();
+    let ps = s.page_size();
+    let f = k.create_file(8);
+    let a = s.mmap(4 * ps, RW, Share::Shared, MapBacking::File(&f, 0)).unwrap();
+    let b = s.mmap(4 * ps, RW, Share::Shared, MapBacking::File(&f, 0)).unwrap();
+    s.write_u64(a + ps, 1234).unwrap();
+    // Second mapping of the same file offset sees the write.
+    assert_eq!(s.read_u64(b + ps).unwrap(), 1234);
+    // Mapping at a different offset does not.
+    let c = s
+        .mmap(4 * ps, RW, Share::Shared, MapBacking::File(&f, 4 * ps))
+        .unwrap();
+    assert_eq!(s.read_u64(c + ps).unwrap(), 0);
+}
+
+#[test]
+fn private_file_mapping_cow() {
+    let k = kernel();
+    let s = k.create_space();
+    let ps = s.page_size();
+    let f = k.create_file(2);
+    let shared = s.mmap(2 * ps, RW, Share::Shared, MapBacking::File(&f, 0)).unwrap();
+    s.write_u64(shared, 10).unwrap();
+    let private = s
+        .mmap(2 * ps, RW, Share::Private, MapBacking::File(&f, 0))
+        .unwrap();
+    assert_eq!(s.read_u64(private).unwrap(), 10);
+    // A private write diverges from the file...
+    s.write_u64(private, 20).unwrap();
+    assert_eq!(s.read_u64(shared).unwrap(), 10);
+    // ...and later file writes are not seen through the COW'd page.
+    s.write_u64(shared, 30).unwrap();
+    assert_eq!(s.read_u64(private).unwrap(), 20);
+}
+
+#[test]
+fn file_access_beyond_end_is_bus_error() {
+    let k = kernel();
+    let s = k.create_space();
+    let ps = s.page_size();
+    let f = k.create_file(1);
+    let a = s.mmap(2 * ps, RW, Share::Shared, MapBacking::File(&f, 0)).unwrap();
+    assert_eq!(s.read_u64(a).unwrap(), 0);
+    assert!(matches!(
+        s.read_u64(a + ps),
+        Err(VmError::BeyondFileEnd { .. })
+    ));
+    // Growing the file makes the page accessible.
+    f.truncate(2);
+    assert_eq!(s.read_u64(a + ps).unwrap(), 0);
+}
+
+#[test]
+fn rewiring_scenario_fragments_vmas() {
+    // The user-space rewiring pattern from §3.2.3: a column mapped to a
+    // main-memory file; "COW" performed manually by re-mapping one page to a
+    // fresh file offset.
+    let k = kernel();
+    let s = k.create_space();
+    let ps = s.page_size();
+    let pages = 16u64;
+    let f = k.create_file(pages + 8);
+    let col = s
+        .mmap(pages * ps, RW, Share::Shared, MapBacking::File(&f, 0))
+        .unwrap();
+    for p in 0..pages {
+        s.write_u64(col + p * ps, p).unwrap();
+    }
+    // Snapshot: a second view of the same file range.
+    let snap = s
+        .mmap(pages * ps, RO, Share::Shared, MapBacking::File(&f, 0))
+        .unwrap();
+    assert_eq!(s.vma_count_in(col, pages * ps), 1);
+    // Rewire page 5 of the column to the free page at file offset `pages`.
+    f.copy_page(5, pages).unwrap();
+    s.mmap_at(
+        col + 5 * ps,
+        ps,
+        RW,
+        Share::Shared,
+        MapBacking::File(&f, pages * ps),
+    )
+    .unwrap();
+    s.write_u64(col + 5 * ps, 999).unwrap();
+    // The snapshot still sees the old value; the column sees the new one.
+    assert_eq!(s.read_u64(snap + 5 * ps).unwrap(), 5);
+    assert_eq!(s.read_u64(col + 5 * ps).unwrap(), 999);
+    // The column is now fragmented into 3 VMAs (before / rewired / after).
+    assert_eq!(s.vma_count_in(col, pages * ps), 3);
+}
+
+#[test]
+fn munmap_frees_frames_and_splits() {
+    let k = kernel();
+    let s = k.create_space();
+    let ps = s.page_size();
+    let a = s.mmap(8 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    for p in 0..8 {
+        s.write_u64(a + p * ps, p).unwrap();
+    }
+    assert_eq!(k.frames_in_use(), 8);
+    s.munmap(a + 2 * ps, 4 * ps).unwrap();
+    assert_eq!(k.frames_in_use(), 4);
+    assert_eq!(s.vma_count_in(a, 8 * ps), 2);
+    assert!(matches!(
+        s.read_u64(a + 2 * ps),
+        Err(VmError::NotMapped { .. })
+    ));
+    assert_eq!(s.read_u64(a + 7 * ps).unwrap(), 7);
+}
+
+#[test]
+fn dropping_space_releases_frames() {
+    let k = kernel();
+    {
+        let s = k.create_space();
+        let ps = s.page_size();
+        let a = s.mmap(16 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+        for p in 0..16 {
+            s.write_u64(a + p * ps, p).unwrap();
+        }
+        assert_eq!(k.frames_in_use(), 16);
+    }
+    assert_eq!(k.frames_in_use(), 0);
+}
+
+#[test]
+fn dropping_snapshot_releases_only_unshared_frames() {
+    let k = kernel();
+    let s = k.create_space();
+    let ps = s.page_size();
+    let col = s.mmap(8 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    for p in 0..8 {
+        s.write_u64(col + p * ps, p).unwrap();
+    }
+    let snap = s.vm_snapshot(None, col, 8 * ps).unwrap();
+    s.write_u64(col, 100).unwrap(); // one COW
+    assert_eq!(k.frames_in_use(), 9);
+    s.munmap(snap, 8 * ps).unwrap();
+    // The snapshot's un-COW'd pages were shared; only the pinned old copy of
+    // page 0 is freed.
+    assert_eq!(k.frames_in_use(), 8);
+    // After the snapshot is gone, writes reclaim pages in place (no COW).
+    let before = k.stats();
+    s.write_u64(col + ps, 200).unwrap();
+    let d = k.stats().delta_since(&before);
+    assert_eq!(d.cow_faults, 1);
+    assert_eq!(d.pages_copied, 0, "sole owner reclaims in place");
+}
+
+#[test]
+fn adjacent_fixed_mappings_merge() {
+    let k = kernel();
+    let s = k.create_space();
+    let ps = s.page_size();
+    let base = 0x4000_0000;
+    s.mmap_at(base, 2 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    s.mmap_at(base + 2 * ps, 2 * ps, RW, Share::Private, MapBacking::Anon)
+        .unwrap();
+    assert_eq!(s.vma_count_in(base, 4 * ps), 1, "anon neighbours merge");
+    // Different protection does not merge.
+    s.mmap_at(base + 4 * ps, ps, RO, Share::Private, MapBacking::Anon)
+        .unwrap();
+    assert_eq!(s.vma_count_in(base, 5 * ps), 2);
+}
+
+#[test]
+fn vm_snapshot_cost_beats_rewiring_at_high_fragmentation() {
+    // Micro version of Figure 5a's crossover: with many VMAs per column,
+    // one vm_snapshot call is far cheaper than per-VMA rewiring mmaps.
+    let k = kernel();
+    let s = k.create_space();
+    let ps = s.page_size();
+    let pages = 512u64;
+    let f = k.create_file(2 * pages);
+    let col = s
+        .mmap(pages * ps, RW, Share::Shared, MapBacking::File(&f, 0))
+        .unwrap();
+    // Fragment: rewire every second page.
+    for p in (0..pages).step_by(2) {
+        s.mmap_at(
+            col + p * ps,
+            ps,
+            RW,
+            Share::Shared,
+            MapBacking::File(&f, (pages + p) * ps),
+        )
+        .unwrap();
+    }
+    let n_vmas = s.vma_count_in(col, pages * ps);
+    assert!(n_vmas > 500, "expected heavy fragmentation, got {n_vmas}");
+
+    // Rewiring-style snapshot: one mmap per VMA.
+    let before = k.virtual_ns();
+    let dst = s.mmap(pages * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    for vma in s.vmas_in(col, pages * ps) {
+        let (file_off, len) = match &vma.backing {
+            anker_vmem::Backing::File { offset, .. } => (*offset, vma.len()),
+            _ => unreachable!(),
+        };
+        s.mmap_at(
+            dst + (vma.start - col),
+            len,
+            RO,
+            Share::Shared,
+            MapBacking::File(&f, file_off),
+        )
+        .unwrap();
+    }
+    let rewiring_cost = k.virtual_ns() - before;
+
+    // vm_snapshot of the same fragmented area.
+    let before = k.virtual_ns();
+    s.vm_snapshot(None, col, pages * ps).unwrap();
+    let vmsnap_cost = k.virtual_ns() - before;
+
+    assert!(
+        vmsnap_cost * 5 < rewiring_cost,
+        "vm_snapshot ({vmsnap_cost} ns) should be far cheaper than rewiring ({rewiring_cost} ns)"
+    );
+}
+
+#[test]
+fn huge_pages_coarser_cow() {
+    // §3.3: with huge pages, a single write COWs the whole huge page —
+    // more bytes copied per fault.
+    let k4 = Kernel::default();
+    let k2m = Kernel::new(KernelConfig {
+        page_size: 2 << 20,
+        max_phys_bytes: 1 << 30,
+        ..Default::default()
+    });
+    for (k, pages) in [(&k4, 512u64), (&k2m, 1u64)] {
+        let s = k.create_space();
+        let ps = s.page_size();
+        let col = s.mmap(pages * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+        for p in 0..pages {
+            s.write_u64(col + p * ps, 1).unwrap();
+        }
+        let snap = s.vm_snapshot(None, col, pages * ps).unwrap();
+        s.write_u64(col, 2).unwrap();
+        assert_eq!(s.read_u64(snap).unwrap(), 1);
+    }
+    // Same 2 MiB of data; the huge-page kernel copied it in one fault.
+    assert_eq!(k4.stats().cow_faults, 1);
+    assert_eq!(k2m.stats().cow_faults, 1);
+    // Virtual cost of the huge-page COW is ~512x the 4 KiB one.
+    let c4 = k4.cost_model().page_copy_for(4096);
+    let c2m = k2m.cost_model().page_copy_for(2 << 20);
+    assert!((c2m / c4 - 512.0).abs() < 1.0);
+}
+
+#[test]
+fn concurrent_faults_on_shared_snapshot() {
+    // Many threads writing distinct pages of a snapshotted column must each
+    // trigger exactly one COW and never corrupt the snapshot.
+    let k = kernel();
+    let s = k.create_space();
+    let ps = s.page_size();
+    let pages = 256u64;
+    let col = s.mmap(pages * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    for p in 0..pages {
+        s.write_u64(col + p * ps, p).unwrap();
+    }
+    let snap = s.vm_snapshot(None, col, pages * ps).unwrap();
+    std::thread::scope(|scope| {
+        for t in 0..4u64 {
+            let s = s.clone();
+            scope.spawn(move || {
+                for p in (t..pages).step_by(4) {
+                    s.write_u64(col + p * ps, 1000 + p).unwrap();
+                }
+            });
+        }
+    });
+    for p in 0..pages {
+        assert_eq!(s.read_u64(snap + p * ps).unwrap(), p, "snapshot corrupted");
+        assert_eq!(s.read_u64(col + p * ps).unwrap(), 1000 + p);
+    }
+    assert_eq!(k.stats().cow_faults, pages);
+}

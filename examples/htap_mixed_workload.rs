@@ -1,0 +1,63 @@
+//! HTAP mixed workload: the paper's evaluation scenario in miniature.
+//! Loads the TPC-H tables, then runs the same OLTP+OLAP batch under all
+//! three configurations of §5.1 and prints their throughput side by side.
+//!
+//! ```sh
+//! cargo run --release --example htap_mixed_workload
+//! ```
+
+use ankerdb::core::DbConfig;
+use ankerdb::tpch::driver::{run_workload, WorkloadConfig};
+use ankerdb::tpch::gen::{self, TpchConfig};
+use ankerdb::util::TableBuilder;
+
+fn main() {
+    let tpch = TpchConfig {
+        scale_factor: 0.02,
+        seed: 42,
+    };
+    let workload = WorkloadConfig {
+        oltp_txns: 20_000,
+        olap_txns: 10,
+        threads: 2,
+        seed: 7,
+        think_us: 0.0,
+    };
+    let configs = [
+        ("Homogeneous / Serializable", DbConfig::homogeneous_serializable()),
+        ("Homogeneous / Snapshot Isolation", DbConfig::homogeneous_snapshot_isolation()),
+        (
+            "Heterogeneous / Serializable",
+            DbConfig::heterogeneous_serializable().with_snapshot_every(1_000),
+        ),
+    ];
+
+    println!(
+        "mixed workload: {} OLTP + {} OLAP transactions on {} threads (TPC-H sf {})\n",
+        workload.oltp_txns, workload.olap_txns, workload.threads, tpch.scale_factor
+    );
+    let mut table = TableBuilder::new("").header([
+        "Configuration",
+        "tps",
+        "committed",
+        "aborted",
+        "snapshots",
+        "cols materialised",
+    ]);
+    for (name, cfg) in configs {
+        let t = gen::generate(cfg, &tpch);
+        let r = run_workload(&t, &workload);
+        let s = t.db.stats();
+        table.row([
+            name.to_string(),
+            format!("{:.0}", r.tps),
+            r.committed.to_string(),
+            r.aborted.to_string(),
+            s.epochs_triggered.to_string(),
+            s.columns_materialized.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Heterogeneous processing separates the analytical scans onto virtual");
+    println!("snapshots, so the mixed batch finishes significantly faster (paper: ~2x).");
+}

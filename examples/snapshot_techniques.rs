@@ -1,0 +1,72 @@
+//! The four snapshotting techniques head to head (paper §3–§4): physical
+//! copies, fork-based COW, user-space rewiring, and the custom
+//! `vm_snapshot` system call — same workload, same kernel model.
+//!
+//! ```sh
+//! cargo run --release --example snapshot_techniques
+//! ```
+
+use ankerdb::snapshot::{
+    ForkSnapshotter, PhysicalSnapshotter, RewiredSnapshotter, Snapshotter, VmSnapshotter,
+};
+use ankerdb::util::stats::fmt_ns;
+use ankerdb::util::TableBuilder;
+
+const COLS: usize = 16;
+const PAGES: u64 = 512; // 2 MiB per column
+
+fn exercise(s: &mut dyn Snapshotter) -> (u64, u64, u64) {
+    // Load every page of every column.
+    for col in 0..s.n_cols() {
+        for page in 0..s.pages_per_col() {
+            s.write_base(col, page, 0, page).unwrap();
+        }
+    }
+    // 1. Cost of snapshotting a single column.
+    let t0 = s.kernel().virtual_ns();
+    let snap = s.snapshot_columns(1).unwrap();
+    let one_col = s.kernel().virtual_ns() - t0;
+    s.drop_snapshot(snap).unwrap();
+    // 2. Cost of snapshotting the whole table.
+    let t0 = s.kernel().virtual_ns();
+    let snap = s.snapshot_columns(s.n_cols()).unwrap();
+    let all_cols = s.kernel().virtual_ns() - t0;
+    // 3. Cost of the first write into a snapshotted page.
+    let t0 = s.kernel().virtual_ns();
+    s.write_base(0, 7, 1, 99).unwrap();
+    let write = s.kernel().virtual_ns() - t0;
+    // The snapshot stayed frozen.
+    assert_eq!(s.read_snapshot(snap, 0, 7, 1).unwrap(), 0);
+    s.drop_snapshot(snap).unwrap();
+    (one_col, all_cols, write)
+}
+
+fn main() {
+    println!(
+        "snapshotting {COLS} columns x {PAGES} pages ({} KiB per column), virtual time\n",
+        PAGES * 4
+    );
+    let mut table = TableBuilder::new("").header([
+        "Technique",
+        "1 column",
+        "all columns",
+        "first write (COW)",
+    ]);
+    let mut run = |s: &mut dyn Snapshotter| {
+        let (one, all, write) = exercise(s);
+        table.row([
+            s.name().to_string(),
+            fmt_ns(one as f64),
+            fmt_ns(all as f64),
+            fmt_ns(write as f64),
+        ]);
+    };
+    run(&mut PhysicalSnapshotter::new(COLS, PAGES).unwrap());
+    run(&mut ForkSnapshotter::new(COLS, PAGES).unwrap());
+    run(&mut RewiredSnapshotter::new(COLS, PAGES).unwrap());
+    run(&mut VmSnapshotter::new(COLS, PAGES).unwrap());
+    println!("{}", table.render());
+    println!("physical pays the full copy up front; fork snapshots everything whether");
+    println!("asked or not; rewiring is cheap until fragmentation strikes; vm_snapshot");
+    println!("is cheap always — and leaves copy-on-write to the kernel.");
+}

@@ -1,0 +1,16 @@
+//! # AnKerDB
+//!
+//! Facade crate re-exporting the public API of the AnKerDB workspace — a
+//! reproduction of *"Accelerating Analytical Processing in MVCC using
+//! Fine-Granular High-Frequency Virtual Snapshotting"* (SIGMOD 2018).
+//!
+//! See the `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for paper-vs-measured results of every table and figure.
+
+pub use anker_core as core;
+pub use anker_mvcc as mvcc;
+pub use anker_snapshot as snapshot;
+pub use anker_storage as storage;
+pub use anker_tpch as tpch;
+pub use anker_util as util;
+pub use anker_vmem as vmem;
