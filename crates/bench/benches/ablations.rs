@@ -37,7 +37,8 @@ fn ablation_block_skip(c: &mut Criterion) {
         b.iter(|| {
             let mut stats = ScanStats::default();
             let mut acc = 0u64;
-            vc.scan_visible(&area, 3, |_, v| acc ^= v, &mut stats).unwrap();
+            vc.scan_visible(&area, 3, |_, v| acc ^= v, &mut stats)
+                .unwrap();
             acc
         });
     });
@@ -111,7 +112,9 @@ fn ablation_page_size(c: &mut Criterion) {
                 b.iter(|| {
                     // One 8-byte write into a fresh COW page; re-snapshot
                     // when the column is exhausted.
-                    space.write_u64(col + (page % n_pages) * ps as u64, page).unwrap();
+                    space
+                        .write_u64(col + (page % n_pages) * ps as u64, page)
+                        .unwrap();
                     page += 1;
                     if page.is_multiple_of(n_pages) {
                         space.munmap(snap, bytes).unwrap();

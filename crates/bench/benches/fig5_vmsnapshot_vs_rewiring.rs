@@ -32,17 +32,13 @@ fn bench_fig5a_snapshot(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5a_snapshot_creation");
     group.sample_size(30);
     for written in [0u64, PAGES / 4, PAGES] {
-        group.bench_with_input(
-            BenchmarkId::new("rewiring", written),
-            &written,
-            |b, &w| {
-                let mut s = prepared_rewired(w);
-                b.iter(|| {
-                    let id = s.snapshot_columns(1).unwrap();
-                    s.drop_snapshot(id).unwrap();
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("rewiring", written), &written, |b, &w| {
+            let mut s = prepared_rewired(w);
+            b.iter(|| {
+                let id = s.snapshot_columns(1).unwrap();
+                s.drop_snapshot(id).unwrap();
+            });
+        });
     }
     group.bench_function("vm_snapshot", |b| {
         let mut s = prepared_vmsnap();

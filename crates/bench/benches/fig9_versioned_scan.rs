@@ -6,7 +6,7 @@ use anker_tpch::gen::{self, TpchConfig};
 use anker_tpch::queries::{scan_table, OlapQuery};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// A LINEITEM table with `fraction` of its rows versioned and a reader old
 /// enough to need the chains.
@@ -36,7 +36,8 @@ fn prepared(fraction: f64) -> State {
         for &row in chunk {
             for &col in &cols {
                 let cur = txn.get(t.lineitem, col, row).unwrap();
-                txn.update(t.lineitem, col, row, cur.wrapping_add(1)).unwrap();
+                txn.update(t.lineitem, col, row, cur.wrapping_add(1))
+                    .unwrap();
             }
         }
         txn.commit().unwrap();
@@ -53,7 +54,9 @@ fn bench_fig9(c: &mut Criterion) {
             BenchmarkId::new("lineitem_scan", format!("{:.0}%", fraction * 100.0)),
             &fraction,
             |b, _| {
-                b.iter(|| scan_table(&state.t, &mut state.reader, OlapQuery::ScanLineitem).unwrap());
+                b.iter(|| {
+                    scan_table(&state.t, &mut state.reader, OlapQuery::ScanLineitem).unwrap()
+                });
             },
         );
     }

@@ -97,12 +97,14 @@ impl RunScale {
                 continue;
             }
             let Some((key, value)) = arg.split_once('=') else {
-                return Err(format!("unrecognised argument {arg:?} (expected --key=value)"));
+                return Err(format!(
+                    "unrecognised argument {arg:?} (expected --key=value)"
+                ));
             };
-            let parse =
-                |what: &str, v: &str| -> Result<f64, String> {
-                    v.parse::<f64>().map_err(|e| format!("bad {what} {v:?}: {e}"))
-                };
+            let parse = |what: &str, v: &str| -> Result<f64, String> {
+                v.parse::<f64>()
+                    .map_err(|e| format!("bad {what} {v:?}: {e}"))
+            };
             match key {
                 "--sf" => scale.sf = parse("scale factor", value)?,
                 "--oltp" => scale.oltp_txns = parse("oltp count", value)? as u64,

@@ -46,7 +46,9 @@ fn main() {
     for r in &rows {
         let mut cells = vec![
             r.method.to_string(),
-            r.modified_per_col.map(|m| m.to_string()).unwrap_or_else(|| "-".into()),
+            r.modified_per_col
+                .map(|m| m.to_string())
+                .unwrap_or_else(|| "-".into()),
             r.vmas_per_col.to_string(),
         ];
         cells.extend(r.virtual_ms.iter().map(|ms| format!("{ms:.2}")));
@@ -116,11 +118,8 @@ fn main() {
     // ------------------------------------------------ Figure 8
     banner("Figure 8 — transaction throughput (pure OLTP and mixed)");
     let rows = fig8_run(&scale);
-    let mut table = TableBuilder::new("").header([
-        "Configuration",
-        "OLTP only [tps]",
-        "OLTP+10 OLAP [tps]",
-    ]);
+    let mut table =
+        TableBuilder::new("").header(["Configuration", "OLTP only [tps]", "OLTP+10 OLAP [tps]"]);
     for r in &rows {
         table.row([
             r.config.to_string(),
@@ -168,7 +167,10 @@ fn main() {
     let mut table = TableBuilder::new("").header(["Target", "vm_snapshot [ms]"]);
     for (tname, cols) in &r.tables {
         let total: f64 = cols.iter().map(|(_, ms)| ms).sum();
-        table.row([format!("{tname} ({} columns)", cols.len()), format!("{total:.3}")]);
+        table.row([
+            format!("{tname} ({} columns)", cols.len()),
+            format!("{total:.3}"),
+        ]);
     }
     table.row(["All three tables".to_string(), format!("{:.3}", r.all_ms)]);
     table.row(["fork()".to_string(), format!("{:.3}", r.fork_ms)]);

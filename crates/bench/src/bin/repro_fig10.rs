@@ -8,12 +8,18 @@ use anker_util::TableBuilder;
 
 fn main() {
     let scale = RunScale::from_env();
-    println!("Figure 10 — column snapshot cost vs fork (sf={})\n", scale.sf);
+    println!(
+        "Figure 10 — column snapshot cost vs fork (sf={})\n",
+        scale.sf
+    );
     let r = fig10_run(&scale);
     let mut table = TableBuilder::new("").header(["Table / column", "vm_snapshot [ms]"]);
     for (tname, cols) in &r.tables {
         let total: f64 = cols.iter().map(|(_, ms)| ms).sum();
-        table.row([format!("{tname} (all {} columns)", cols.len()), format!("{total:.3}")]);
+        table.row([
+            format!("{tname} (all {} columns)", cols.len()),
+            format!("{total:.3}"),
+        ]);
         for (col, ms) in cols {
             table.row([format!("  {col}"), format!("{ms:.3}")]);
         }
@@ -26,7 +32,11 @@ fn main() {
          (paper: even snapshotting all columns of all three tables beats fork)",
         r.fork_ms / r.all_ms,
         r.fork_ms
-            / r.tables[0].1.iter().map(|(_, ms)| ms).fold(f64::INFINITY, |a, &b| a.min(b)),
+            / r.tables[0]
+                .1
+                .iter()
+                .map(|(_, ms)| ms)
+                .fold(f64::INFINITY, |a, &b| a.min(b)),
     );
     write_results_file("fig10.csv", &table.render_csv());
 }

@@ -10,7 +10,9 @@ use anker_util::TableBuilder;
 
 fn main() {
     let scale = RunScale::from_env();
-    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!(
         "Figure 11 — scaling (sf={}, {} OLTP txns, host has {host} hardware threads)\n",
         scale.sf, scale.oltp_txns

@@ -9,7 +9,10 @@ use anker_util::TableBuilder;
 
 fn main() {
     let scale = RunScale::from_env();
-    println!("Figure 9 — scan time vs versioned fraction (sf={})\n", scale.sf);
+    println!(
+        "Figure 9 — scan time vs versioned fraction (sf={})\n",
+        scale.sf
+    );
     let fractions: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
     let rows = fig9_run(&scale, &fractions);
     let mut table = TableBuilder::new("").header([

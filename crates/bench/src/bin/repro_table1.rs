@@ -35,7 +35,9 @@ fn main() {
     for r in &rows {
         let mut cells = vec![
             r.method.to_string(),
-            r.modified_per_col.map(|m| m.to_string()).unwrap_or_else(|| "-".into()),
+            r.modified_per_col
+                .map(|m| m.to_string())
+                .unwrap_or_else(|| "-".into()),
             r.vmas_per_col.to_string(),
         ];
         cells.extend(r.virtual_ms.iter().map(|ms| format!("{ms:.2}")));

@@ -7,7 +7,7 @@ use anker_tpch::driver::{run_olap_latency, run_workload, LatencyConfig, Workload
 use anker_tpch::gen::{self, TpchConfig, TpchDb};
 use anker_tpch::queries::{scan_table, OlapQuery};
 use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 fn db_configs(scale: &RunScale) -> [(&'static str, DbConfig); 3] {
@@ -220,7 +220,8 @@ pub fn fig9_run(scale: &RunScale, fractions: &[f64]) -> Vec<Fig9Row> {
                 for &mut row in chunk.iter_mut() {
                     for &col in &cols {
                         let cur = txn.get(table, col, row).expect("read");
-                        txn.update(table, col, row, cur.wrapping_add(1)).expect("write");
+                        txn.update(table, col, row, cur.wrapping_add(1))
+                            .expect("write");
                     }
                 }
                 txn.commit().expect("batch commit");
@@ -410,7 +411,12 @@ mod tests {
             .iter()
             .flat_map(|(_, cols)| cols.iter().map(|(_, ms)| *ms))
             .fold(0.0f64, f64::max);
-        assert!(r.fork_ms > max_col, "fork {} !> max col {}", r.fork_ms, max_col);
+        assert!(
+            r.fork_ms > max_col,
+            "fork {} !> max col {}",
+            r.fork_ms,
+            max_col
+        );
         assert!(r.fork_ms > r.all_ms * 0.5, "fork should rival all-columns");
     }
 

@@ -14,6 +14,18 @@
 //! | Figure 10 | [`experiments::fig10_run`] | `repro_fig10` | `fig10_column_snapshot` |
 //! | Figure 11 | [`experiments::fig11_run`] | `repro_fig11` | `fig11_scaling` |
 //! | Ablations | — | — | `ablations` |
+//!
+//! ## Example
+//!
+//! ```
+//! use anker_bench::RunScale;
+//!
+//! // Laptop-scale defaults; `--paper-scale` switches to the paper's sizes.
+//! let scale = RunScale::smoke();
+//! assert!(scale.sf <= RunScale::paper().sf);
+//! let custom = RunScale::from_args(["--sf=0.1".to_string()]).unwrap();
+//! assert_eq!(custom.sf, 0.1);
+//! ```
 
 pub mod args;
 pub mod experiments;

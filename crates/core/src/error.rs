@@ -21,7 +21,10 @@ impl fmt::Display for AbortReason {
         match self {
             AbortReason::WriteWriteConflict => write!(f, "write-write conflict"),
             AbortReason::ValidationFailed { conflicting_commit } => {
-                write!(f, "read-set validation failed against commit {conflicting_commit}")
+                write!(
+                    f,
+                    "read-set validation failed against commit {conflicting_commit}"
+                )
             }
         }
     }
@@ -71,9 +74,13 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = DbError::Aborted(AbortReason::ValidationFailed { conflicting_commit: 9 });
+        let e = DbError::Aborted(AbortReason::ValidationFailed {
+            conflicting_commit: 9,
+        });
         assert!(e.to_string().contains("commit 9"));
-        assert!(DbError::ReadOnlyTransaction.to_string().contains("read-only"));
+        assert!(DbError::ReadOnlyTransaction
+            .to_string()
+            .contains("read-only"));
     }
 
     #[test]

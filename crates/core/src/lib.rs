@@ -23,6 +23,33 @@
 //!
 //! Start with [`AnkerDb::new`], create tables, then [`AnkerDb::begin`]
 //! transactions classified as [`TxnKind::Oltp`] or [`TxnKind::Olap`].
+//!
+//! ## Example
+//!
+//! ```
+//! use anker_core::{AnkerDb, ColumnDef, DbConfig, LogicalType, Schema, TxnKind, Value};
+//!
+//! let db = AnkerDb::new(DbConfig::heterogeneous_serializable().with_snapshot_every(100));
+//! let table = db.create_table(
+//!     "accounts",
+//!     Schema::new(vec![ColumnDef::new("balance", LogicalType::Int)]),
+//!     1000,
+//! );
+//! let balance = db.schema(table).col("balance");
+//! db.fill_column(table, balance, (0..1000).map(|_| Value::Int(10).encode())).unwrap();
+//!
+//! // OLTP: short read-modify-write under MVCC.
+//! let mut txn = db.begin(TxnKind::Oltp);
+//! txn.update_value(table, balance, 3, Value::Int(25)).unwrap();
+//! txn.commit().unwrap();
+//!
+//! // OLAP: tight-loop aggregation over a virtual column snapshot.
+//! let mut olap = db.begin(TxnKind::Olap);
+//! let mut total = 0i64;
+//! olap.scan(table, &[balance], |_, vals| total += vals[0] as i64).unwrap();
+//! olap.commit().unwrap();
+//! assert_eq!(total, 10 * 999 + 25);
+//! ```
 
 pub mod config;
 pub mod db;

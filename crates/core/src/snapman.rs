@@ -265,7 +265,9 @@ impl SnapshotManager {
             }
         }
         if retired > 0 {
-            self.stats.epochs_retired.fetch_add(retired, Ordering::Relaxed);
+            self.stats
+                .epochs_retired
+                .fetch_add(retired, Ordering::Relaxed);
         }
     }
 
@@ -349,17 +351,16 @@ impl SnapshotManager {
             .filter(|e| last_mutation <= e.ts && !e.cols.lock().contains_key(&key))
             .collect();
         if missing.is_empty() {
-            return Ok(epochs
-                .iter()
-                .rev()
-                .find_map(|e| e.col(key)));
+            return Ok(epochs.iter().rev().find_map(|e| e.col(key)));
         }
         // One vm_snapshot serves all missing epochs: the column's state has
         // not changed since before the oldest of them.
         let cur = col.current_area();
         let bytes = cur.mapped_bytes();
         let dst = self.spare.as_ref().and_then(|s| s.take(bytes, now_ts));
-        let fresh_addr = self.space.vm_snapshot(dst.map(|a| a.addr()), cur.addr(), bytes)?;
+        let fresh_addr = self
+            .space
+            .vm_snapshot(dst.map(|a| a.addr()), cur.addr(), bytes)?;
         // The duplicate becomes the new most-recent representation; the old
         // area freezes into the snapshot (Figure 1, step 4).
         let fresh = ColumnArea::from_raw(self.space.clone(), fresh_addr, cur.rows());
@@ -378,7 +379,9 @@ impl SnapshotManager {
             e.cols.lock().insert(key, Arc::clone(&snap));
         }
         col.snapshot_ts.store(newest_missing_ts, Ordering::Release);
-        self.stats.columns_materialized.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .columns_materialized
+            .fetch_add(1, Ordering::Relaxed);
         Ok(Some(snap))
     }
 }

@@ -138,8 +138,7 @@ impl Txn {
     }
 
     fn serializable_updater(&self) -> bool {
-        self.kind == TxnKind::Oltp
-            && self.db.inner.config.isolation == IsolationLevel::Serializable
+        self.kind == TxnKind::Oltp && self.db.inner.config.isolation == IsolationLevel::Serializable
     }
 
     /// The snapshot column for `(table, col)`, materialising it on first
@@ -295,8 +294,9 @@ impl Txn {
         // Live (versioned) scan.
         if self.serializable_updater() {
             for &c in cols {
-                self.inner
-                    .log_predicate(Pred::FullColumn { col: Self::colref(table, c) });
+                self.inner.log_predicate(Pred::FullColumn {
+                    col: Self::colref(table, c),
+                });
             }
         }
         let state: Arc<TableState> = self.table(table);
@@ -338,7 +338,10 @@ impl Txn {
 
         if self.inner.writes().is_empty() {
             self.release();
-            db.inner.stats.committed_read_only.fetch_add(1, Ordering::Relaxed);
+            db.inner
+                .stats
+                .committed_read_only
+                .fetch_add(1, Ordering::Relaxed);
             return Ok(start_ts);
         }
 
@@ -358,11 +361,13 @@ impl Txn {
         }
         // Read-set validation via precision locking (§2.1).
         if db.inner.config.isolation == IsolationLevel::Serializable {
-            if let Err(conflicting) = db.inner.recent.validate(start_ts, self.inner.predicates())
-            {
+            if let Err(conflicting) = db.inner.recent.validate(start_ts, self.inner.predicates()) {
                 drop(cs);
                 self.release();
-                db.inner.stats.aborted_validation.fetch_add(1, Ordering::Relaxed);
+                db.inner
+                    .stats
+                    .aborted_validation
+                    .fetch_add(1, Ordering::Relaxed);
                 return Err(DbError::Aborted(AbortReason::ValidationFailed {
                     conflicting_commit: conflicting,
                 }));
@@ -388,11 +393,17 @@ impl Txn {
                 // damage-marked) for the newest epoch.
                 let newest = db.inner.snapman.newest_ts.load(Ordering::Acquire);
                 if newest == 0
-                    || state.col(key.1 as usize).snapshot_ts.load(Ordering::Acquire) >= newest
+                    || state
+                        .col(key.1 as usize)
+                        .snapshot_ts
+                        .load(Ordering::Acquire)
+                        >= newest
                 {
                     continue;
                 }
-                db.inner.snapman.note_write(&mut cs, &state, key.0, key.1, commit_ts)?;
+                db.inner
+                    .snapman
+                    .note_write(&mut cs, &state, key.0, key.1, commit_ts)?;
             }
         }
 
@@ -432,11 +443,7 @@ impl Txn {
                 for (tid, state) in tables.iter().enumerate() {
                     for cid in 0..state.cols.len() {
                         db.inner.snapman.materialize_column(
-                            &mut cs,
-                            state,
-                            tid as u16,
-                            cid as u16,
-                            commit_ts,
+                            &mut cs, state, tid as u16, cid as u16, commit_ts,
                         )?;
                     }
                 }

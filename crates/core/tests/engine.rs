@@ -118,7 +118,10 @@ fn run_write_skew(config: DbConfig) -> (Result<u64, DbError>, Result<u64, DbErro
 #[test]
 fn write_skew_allowed_under_snapshot_isolation() {
     let (r1, r2) = run_write_skew(DbConfig::homogeneous_snapshot_isolation());
-    assert!(r1.is_ok() && r2.is_ok(), "SI permits write skew: {r1:?} {r2:?}");
+    assert!(
+        r1.is_ok() && r2.is_ok(),
+        "SI permits write skew: {r1:?} {r2:?}"
+    );
 }
 
 #[test]
@@ -172,9 +175,7 @@ fn unrelated_writes_pass_validation() {
 
 #[test]
 fn hetero_olap_runs_on_snapshot_epoch() {
-    let (db, t, a, _) = small_db(
-        DbConfig::heterogeneous_serializable().with_snapshot_every(5),
-    );
+    let (db, t, a, _) = small_db(DbConfig::heterogeneous_serializable().with_snapshot_every(5));
     // First OLAP arrival creates the first epoch (Figure 1, step 4).
     let mut olap = db.begin(TxnKind::Olap);
     let mut sum0 = 0u64;
@@ -241,9 +242,7 @@ fn multi_column_snapshot_consistency() {
     // Two columns are updated together; an OLAP txn must never observe a
     // half-applied pair, even though columns materialise lazily at
     // different moments.
-    let (db, t, a, b) = small_db(
-        DbConfig::heterogeneous_serializable().with_snapshot_every(3),
-    );
+    let (db, t, a, b) = small_db(DbConfig::heterogeneous_serializable().with_snapshot_every(3));
     for round in 1..=50u64 {
         let mut w = db.begin(TxnKind::Oltp);
         // Invariant: b = 2*a for row 7.
@@ -267,7 +266,11 @@ fn lazy_materialisation_only_touched_columns() {
     );
     let t = db.create_table(
         "wide",
-        Schema::new((0..8).map(|i| ColumnDef::new(format!("c{i}"), LogicalType::Int)).collect()),
+        Schema::new(
+            (0..8)
+                .map(|i| ColumnDef::new(format!("c{i}"), LogicalType::Int))
+                .collect(),
+        ),
         1024,
     );
     let c0 = db.schema(t).col("c0");
@@ -298,7 +301,11 @@ fn epochs_are_retired_and_memory_reclaimed() {
         olap.commit().unwrap();
     }
     let s = db.stats();
-    assert!(s.epochs_retired >= 40, "epochs retired: {}", s.epochs_retired);
+    assert!(
+        s.epochs_retired >= 40,
+        "epochs retired: {}",
+        s.epochs_retired
+    );
     assert!(s.live_epochs <= 3, "live epochs: {}", s.live_epochs);
 }
 
@@ -311,8 +318,8 @@ fn old_oltp_reader_survives_snapshot_handover() {
     w.update(t, a, 42, 1000).unwrap();
     w.commit().unwrap();
     let mut old_reader = db.begin(TxnKind::Oltp); // sees a[42] = 1000
-    // Each commit triggers an epoch; writes to row 42 move old values into
-    // chains that are then frozen.
+                                                  // Each commit triggers an epoch; writes to row 42 move old values into
+                                                  // chains that are then frozen.
     for v in 1..=5u64 {
         let mut w = db.begin(TxnKind::Oltp);
         w.update(t, a, 42, 1000 + v).unwrap();

@@ -32,10 +32,16 @@ struct Script {
 fn step_strategy() -> impl Strategy<Value = Step> {
     prop_oneof![
         (0..COLS, 0..ROWS).prop_map(|(col, row)| Step::Read { col, row }),
-        (0..COLS, 0..ROWS, 0..100u64)
-            .prop_map(|(col, row, delta)| Step::WriteFromRegister { col, row, delta }),
-        (0..COLS, 0..ROWS, 0..1000u64)
-            .prop_map(|(col, row, value)| Step::WriteConst { col, row, value }),
+        (0..COLS, 0..ROWS, 0..100u64).prop_map(|(col, row, delta)| Step::WriteFromRegister {
+            col,
+            row,
+            delta
+        }),
+        (0..COLS, 0..ROWS, 0..1000u64).prop_map(|(col, row, value)| Step::WriteConst {
+            col,
+            row,
+            value
+        }),
     ]
 }
 
@@ -57,7 +63,7 @@ fn fresh_db(config: DbConfig) -> (AnkerDb, anker_core::TableId, Vec<anker_storag
     let schema = db.schema(t);
     let cols: Vec<_> = (0..COLS).map(|i| schema.col(&format!("c{i}"))).collect();
     for &c in &cols {
-        db.fill_column(t, c, (0..ROWS as u64).map(|r| r)).unwrap();
+        db.fill_column(t, c, 0..ROWS as u64).unwrap();
     }
     (db, t, cols)
 }
@@ -84,9 +90,9 @@ fn serial_replay(order: &[usize], scripts: &[Script]) -> Vec<u64> {
         for step in &scripts[idx].steps {
             match *step {
                 Step::Read { col, row } => register = txn.get(t, cols[col], row).unwrap(),
-                Step::WriteFromRegister { col, row, delta } => {
-                    txn.update(t, cols[col], row, register.wrapping_add(delta)).unwrap()
-                }
+                Step::WriteFromRegister { col, row, delta } => txn
+                    .update(t, cols[col], row, register.wrapping_add(delta))
+                    .unwrap(),
                 Step::WriteConst { col, row, value } => {
                     txn.update(t, cols[col], row, value).unwrap()
                 }
@@ -121,7 +127,7 @@ proptest! {
             .map(|_| Some((db.begin(TxnKind::Oltp), 0u64, 0usize)))
             .collect();
         let mut committed: Vec<(u64, usize)> = Vec::new();
-        let mut drive = |idx: usize,
+        let drive = |idx: usize,
                          txns: &mut Vec<Option<(anker_core::Txn, u64, usize)>>,
                          committed: &mut Vec<(u64, usize)>| {
             if let Some((txn, register, pc)) = txns[idx].as_mut() {

@@ -72,7 +72,11 @@ impl RecentCommits {
     /// with `commit_ts <= min_active_start`).
     pub fn prune(&self, min_active_start: u64) {
         let mut list = self.list.lock();
-        while list.front().map(|r| r.commit_ts <= min_active_start).unwrap_or(false) {
+        while list
+            .front()
+            .map(|r| r.commit_ts <= min_active_start)
+            .unwrap_or(false)
+        {
             list.pop_front();
         }
     }
@@ -113,7 +117,9 @@ pub struct ActiveTxns {
 
 impl std::fmt::Debug for ActiveTxns {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ActiveTxns").field("len", &self.len()).finish()
+        f.debug_struct("ActiveTxns")
+            .field("len", &self.len())
+            .finish()
     }
 }
 

@@ -33,6 +33,27 @@
 //! The commit *protocol* (who takes which lock when) is composed by
 //! `anker-core`, which owns tables and snapshot management; this crate
 //! provides the pieces and their invariants.
+//!
+//! ## Example
+//!
+//! ```
+//! use anker_mvcc::VersionedColumn;
+//! use anker_storage::{ColumnArea, LogicalType};
+//! use anker_vmem::Kernel;
+//!
+//! let kernel = Kernel::default();
+//! let space = kernel.create_space();
+//! let area = ColumnArea::alloc(&space, 100).unwrap();
+//! area.fill((0..100u64).map(|r| r * 10)).unwrap();
+//!
+//! // Install a new version of row 5 committed at ts 1: the column holds
+//! // the newest value in place, the old value moves into the chain.
+//! let vc = VersionedColumn::new(100, LogicalType::Int);
+//! vc.install(&area, 5, 999, 1).unwrap();
+//!
+//! assert_eq!(vc.read(&area, 5, 1).unwrap(), 999); // reader at ts 1
+//! assert_eq!(vc.read(&area, 5, 0).unwrap(), 50);  // reader before the commit
+//! ```
 
 pub mod chain_order;
 pub mod commit;

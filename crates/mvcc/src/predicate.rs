@@ -118,7 +118,10 @@ impl PredicateSet {
                 return;
             }
         }
-        self.preds.push(Pred::Rows { col, rows: vec![row] });
+        self.preds.push(Pred::Rows {
+            col,
+            rows: vec![row],
+        });
     }
 
     /// Number of predicates.

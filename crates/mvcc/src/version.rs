@@ -132,7 +132,10 @@ impl ChainStore {
                 .map(|_| RwLock::new(FxHashMap::default()))
                 .collect::<Vec<_>>()
                 .into_boxed_slice(),
-            blocks: (0..n_blocks).map(|_| Block::new()).collect::<Vec<_>>().into_boxed_slice(),
+            blocks: (0..n_blocks)
+                .map(|_| Block::new())
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
             versions: AtomicU64::new(0),
         }
     }
@@ -175,12 +178,19 @@ impl ChainStore {
     /// The newest version of `row` visible at `start_ts`, if this store has
     /// one.
     pub fn find_version(&self, row: u32, start_ts: u64) -> Option<u64> {
-        self.shard(row).read().get(&row).and_then(|c| c.find(start_ts))
+        self.shard(row)
+            .read()
+            .get(&row)
+            .and_then(|c| c.find(start_ts))
     }
 
     /// Chain length of `row` (0 when unversioned).
     pub fn chain_len(&self, row: u32) -> usize {
-        self.shard(row).read().get(&row).map(Chain::len).unwrap_or(0)
+        self.shard(row)
+            .read()
+            .get(&row)
+            .map(Chain::len)
+            .unwrap_or(0)
     }
 
     /// Seqlock read of block metadata: `(seq, first, last)`.
@@ -198,7 +208,7 @@ impl ChainStore {
     #[inline]
     fn block_verify(&self, block: usize, seq: u32) -> bool {
         fence(Ordering::Acquire);
-        seq % 2 == 0 && self.blocks[block].seq.load(Ordering::Acquire) == seq
+        seq.is_multiple_of(2) && self.blocks[block].seq.load(Ordering::Acquire) == seq
     }
 
     /// Homogeneous-mode garbage collection: drop every version that no
@@ -281,7 +291,10 @@ impl VersionedColumn {
         VersionedColumn {
             ty,
             rows,
-            row_ts: (0..rows).map(|_| AtomicU64::new(0)).collect::<Vec<_>>().into_boxed_slice(),
+            row_ts: (0..rows)
+                .map(|_| AtomicU64::new(0))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
             current: RwLock::new(Arc::new(ChainStore::new(rows))),
             older: RwLock::new(Vec::new()),
             last_freeze_ts: AtomicU64::new(0),
@@ -682,7 +695,8 @@ mod tests {
         let (_k, area, vc) = setup(3000);
         let mut stats = ScanStats::default();
         let mut sum = 0u64;
-        vc.scan_visible(&area, 0, |_, v| sum += v, &mut stats).unwrap();
+        vc.scan_visible(&area, 0, |_, v| sum += v, &mut stats)
+            .unwrap();
         assert_eq!(sum, (0..3000u64).map(|i| i * 10).sum::<u64>());
         assert_eq!(stats.tight_rows, 3000);
         assert_eq!(stats.checked_rows, 0);
@@ -697,7 +711,8 @@ mod tests {
         // Reader at ts 3 must see the original values.
         let mut stats = ScanStats::default();
         let mut got = Vec::new();
-        vc.scan_visible(&area, 3, |r, v| got.push((r, v)), &mut stats).unwrap();
+        vc.scan_visible(&area, 3, |r, v| got.push((r, v)), &mut stats)
+            .unwrap();
         assert_eq!(got.len(), 3000);
         assert_eq!(got[100], (100, 1000));
         assert_eq!(got[2500], (2500, 25000));
@@ -709,7 +724,8 @@ mod tests {
         // Reader at ts 5 sees the updates.
         let mut stats = ScanStats::default();
         let mut got = Vec::new();
-        vc.scan_visible(&area, 5, |r, v| got.push((r, v)), &mut stats).unwrap();
+        vc.scan_visible(&area, 5, |r, v| got.push((r, v)), &mut stats)
+            .unwrap();
         assert_eq!(got[100], (100, 7));
         assert_eq!(got[2500], (2500, 9));
     }
@@ -723,7 +739,8 @@ mod tests {
         }
         let mut stats = ScanStats::default();
         let mut n = 0u32;
-        vc.scan_visible(&area, 1, |_, _| n += 1, &mut stats).unwrap();
+        vc.scan_visible(&area, 1, |_, _| n += 1, &mut stats)
+            .unwrap();
         assert_eq!(n, 2048);
         // Checked rows = the [first,last] = [10,19] range only.
         assert_eq!(stats.checked_rows, 10);
@@ -736,8 +753,8 @@ mod tests {
         // their snapshot timestamps and must always see consistent values:
         // every row is either old (row*10) or a committed even update.
         let (_k, area, vc) = setup(4096);
-        let area = std::sync::Arc::new(area);
-        let vc = std::sync::Arc::new(vc);
+        let area = Arc::new(area);
+        let vc = Arc::new(vc);
         let stop = std::sync::atomic::AtomicBool::new(false);
         std::thread::scope(|s| {
             {
@@ -746,7 +763,8 @@ mod tests {
                 s.spawn(move || {
                     for (ts, round) in (1u64..).zip(0..200u64) {
                         let row = (round * 37) % 4096;
-                        vc.install(&area, row as u32, round * 2 + 1_000_000, ts).unwrap();
+                        vc.install(&area, row as u32, round * 2 + 1_000_000, ts)
+                            .unwrap();
                     }
                     stop.store(true, Ordering::Release);
                 });

@@ -93,13 +93,19 @@ impl Snapshotter for ForkSnapshotter {
 
     fn write_base(&mut self, col: usize, page: u64, word: u64, value: u64) -> Result<()> {
         // The kernel handles copy-on-write transparently.
-        self.parent
-            .write_u64(word_addr(self.cols[col], self.parent.page_size(), page, word), value)
+        self.parent.write_u64(
+            word_addr(self.cols[col], self.parent.page_size(), page, word),
+            value,
+        )
     }
 
     fn read_base(&self, col: usize, page: u64, word: u64) -> Result<u64> {
-        self.parent
-            .read_u64(word_addr(self.cols[col], self.parent.page_size(), page, word))
+        self.parent.read_u64(word_addr(
+            self.cols[col],
+            self.parent.page_size(),
+            page,
+            word,
+        ))
     }
 
     fn read_snapshot(&self, id: SnapshotId, col: usize, page: u64, word: u64) -> Result<u64> {

@@ -15,6 +15,24 @@
 //! All four implement the [`Snapshotter`] trait against the same logical
 //! workload — a table of `n_cols` columns of `pages_per_col` pages — so the
 //! micro-benchmarks of Table 1 and Figure 5 can drive them uniformly.
+//!
+//! ## Example
+//!
+//! ```
+//! use anker_snapshot::{Snapshotter, VmSnapshotter};
+//!
+//! // A 2-column table of 4 pages per column, snapshotted with the paper's
+//! // vm_snapshot system call.
+//! let mut s = VmSnapshotter::new(2, 4).unwrap();
+//! s.write_base(0, 1, 0, 42).unwrap();
+//! let snap = s.snapshot_columns(2).unwrap();
+//!
+//! // The snapshot stays frozen while the base keeps mutating.
+//! s.write_base(0, 1, 0, 7).unwrap();
+//! assert_eq!(s.read_base(0, 1, 0).unwrap(), 7);
+//! assert_eq!(s.read_snapshot(snap, 0, 1, 0).unwrap(), 42);
+//! s.drop_snapshot(snap).unwrap();
+//! ```
 
 pub mod experiments;
 pub mod fork_based;
@@ -94,14 +112,19 @@ mod trait_tests {
         // Initialise two columns with recognisable data.
         for col in 0..2 {
             for page in 0..s.pages_per_col() {
-                s.write_base(col, page, 0, 1000 * col as u64 + page).unwrap();
+                s.write_base(col, page, 0, 1000 * col as u64 + page)
+                    .unwrap();
             }
         }
         let snap = s.snapshot_columns(2).unwrap();
         // Overwrite the base.
         s.write_base(0, 3, 0, 4242).unwrap();
         s.write_base(1, 0, 0, 2424).unwrap();
-        assert_eq!(s.read_base(0, 3, 0).unwrap(), 4242, "{name}: base write lost");
+        assert_eq!(
+            s.read_base(0, 3, 0).unwrap(),
+            4242,
+            "{name}: base write lost"
+        );
         assert_eq!(
             s.read_snapshot(snap, 0, 3, 0).unwrap(),
             3,

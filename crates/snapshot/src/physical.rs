@@ -78,9 +78,12 @@ impl Snapshotter for PhysicalSnapshotter {
         let col_bytes = self.pages_per_col * ps;
         let mut snap_cols = Vec::with_capacity(p);
         for &src in &self.cols[..p] {
-            let dst = self
-                .space
-                .mmap(col_bytes, Prot::READ_WRITE, Share::Private, MapBacking::Anon)?;
+            let dst = self.space.mmap(
+                col_bytes,
+                Prot::READ_WRITE,
+                Share::Private,
+                MapBacking::Anon,
+            )?;
             // Page-wise memcpy through the address space: the destination's
             // populate faults and the copies are the physical cost.
             for page in 0..self.pages_per_col {
@@ -113,13 +116,19 @@ impl Snapshotter for PhysicalSnapshotter {
 
     fn write_base(&mut self, col: usize, page: u64, word: u64, value: u64) -> Result<()> {
         // Physical snapshots are fully separated: plain in-place write.
-        self.space
-            .write_u64(word_addr(self.cols[col], self.space.page_size(), page, word), value)
+        self.space.write_u64(
+            word_addr(self.cols[col], self.space.page_size(), page, word),
+            value,
+        )
     }
 
     fn read_base(&self, col: usize, page: u64, word: u64) -> Result<u64> {
-        self.space
-            .read_u64(word_addr(self.cols[col], self.space.page_size(), page, word))
+        self.space.read_u64(word_addr(
+            self.cols[col],
+            self.space.page_size(),
+            page,
+            word,
+        ))
     }
 
     fn read_snapshot(&self, id: SnapshotId, col: usize, page: u64, word: u64) -> Result<u64> {

@@ -207,8 +207,12 @@ impl Snapshotter for RewiredSnapshotter {
     }
 
     fn read_base(&self, col: usize, page: u64, word: u64) -> Result<u64> {
-        self.space
-            .read_u64(word_addr(self.cols[col], self.space.page_size(), page, word))
+        self.space.read_u64(word_addr(
+            self.cols[col],
+            self.space.page_size(),
+            page,
+            word,
+        ))
     }
 
     fn read_snapshot(&self, id: SnapshotId, col: usize, page: u64, word: u64) -> Result<u64> {

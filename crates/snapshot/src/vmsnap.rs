@@ -124,13 +124,19 @@ impl Snapshotter for VmSnapshotter {
 
     fn write_base(&mut self, col: usize, page: u64, word: u64, value: u64) -> Result<()> {
         // The kernel handles copy-on-write transparently.
-        self.space
-            .write_u64(word_addr(self.cols[col], self.space.page_size(), page, word), value)
+        self.space.write_u64(
+            word_addr(self.cols[col], self.space.page_size(), page, word),
+            value,
+        )
     }
 
     fn read_base(&self, col: usize, page: u64, word: u64) -> Result<u64> {
-        self.space
-            .read_u64(word_addr(self.cols[col], self.space.page_size(), page, word))
+        self.space.read_u64(word_addr(
+            self.cols[col],
+            self.space.page_size(),
+            page,
+            word,
+        ))
     }
 
     fn read_snapshot(&self, id: SnapshotId, col: usize, page: u64, word: u64) -> Result<u64> {
@@ -213,12 +219,12 @@ mod tests {
         let mut s = VmSnapshotter::new(1, 4).unwrap();
         let mut ids = Vec::new();
         for gen in 0..10u64 {
-            s.write_base(0, (gen % 4) as u64, 0, gen).unwrap();
+            s.write_base(0, gen % 4, 0, gen).unwrap();
             ids.push((gen, s.snapshot_columns(1).unwrap()));
         }
         // Each generation's snapshot holds the value written just before it.
         for (gen, id) in &ids {
-            assert_eq!(s.read_snapshot(*id, 0, (*gen % 4) as u64, 0).unwrap(), *gen);
+            assert_eq!(s.read_snapshot(*id, 0, *gen % 4, 0).unwrap(), *gen);
         }
     }
 }

@@ -206,7 +206,10 @@ mod tests {
         c.set_value(1, Value::Int(-7)).unwrap();
         c.set_value(2, Value::Date(100)).unwrap();
         c.set_value(3, Value::Dict(9)).unwrap();
-        assert_eq!(c.get_value(0, LogicalType::Double).unwrap(), Value::Double(0.25));
+        assert_eq!(
+            c.get_value(0, LogicalType::Double).unwrap(),
+            Value::Double(0.25)
+        );
         assert_eq!(c.get_value(1, LogicalType::Int).unwrap(), Value::Int(-7));
         assert_eq!(c.get_value(2, LogicalType::Date).unwrap(), Value::Date(100));
         assert_eq!(c.get_value(3, LogicalType::Dict).unwrap(), Value::Dict(9));

@@ -106,7 +106,7 @@ mod tests {
 
     #[test]
     fn concurrent_interning_is_consistent() {
-        let d = std::sync::Arc::new(Dictionary::new());
+        let d = Arc::new(Dictionary::new());
         std::thread::scope(|s| {
             for _ in 0..4 {
                 let d = d.clone();

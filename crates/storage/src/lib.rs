@@ -18,6 +18,29 @@
 //! * [`table::Schema`] — named, typed column metadata.
 //! * [`index`] — hash indexes for OLTP point lookups and the join paths of
 //!   Q4/Q17 (the paper's process also holds "the used indexes", §5.6).
+//!
+//! ## Example
+//!
+//! ```
+//! use anker_storage::{ColumnArea, Dictionary, LogicalType, Value};
+//! use anker_vmem::Kernel;
+//!
+//! let kernel = Kernel::default();
+//! let space = kernel.create_space();
+//!
+//! // One column of 1000 rows, each an 8-byte word in its own VM area.
+//! let prices = ColumnArea::alloc(&space, 1000).unwrap();
+//! prices.set_value(7, Value::Double(19.99)).unwrap();
+//! assert_eq!(
+//!     prices.get_value(7, LogicalType::Double).unwrap(),
+//!     Value::Double(19.99)
+//! );
+//!
+//! // Low-cardinality strings live in interning dictionaries.
+//! let dict = Dictionary::new();
+//! let code = dict.intern("URGENT");
+//! assert_eq!(&*dict.value(code), "URGENT");
+//! ```
 
 pub mod column;
 pub mod dict;

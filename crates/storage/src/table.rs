@@ -109,7 +109,10 @@ mod tests {
             ColumnDef::new("l_orderkey", LogicalType::Int),
             ColumnDef::new("l_extendedprice", LogicalType::Double),
             ColumnDef::new("l_shipdate", LogicalType::Date),
-            ColumnDef::dict("l_returnflag", Arc::new(Dictionary::with_values(["A", "N", "R"]))),
+            ColumnDef::dict(
+                "l_returnflag",
+                Arc::new(Dictionary::with_values(["A", "N", "R"])),
+            ),
         ])
     }
 

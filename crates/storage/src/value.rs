@@ -143,7 +143,10 @@ pub mod date {
 
     /// Days since 1992-01-01 for a calendar date (year ≥ 1992).
     pub fn to_days(year: i32, month: u32, day: u32) -> i32 {
-        assert!(year >= EPOCH_YEAR, "dates before 1992 are not representable");
+        assert!(
+            year >= EPOCH_YEAR,
+            "dates before 1992 are not representable"
+        );
         assert!((1..=12).contains(&month));
         assert!(day >= 1 && (day as i32) <= days_in_month(year, month));
         let mut days = 0i32;

@@ -13,7 +13,7 @@ use anker_storage::{
     Value,
 };
 use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
 /// The day every TPC-H date ends by (1998-12-01 is the "current date").
@@ -134,8 +134,7 @@ impl std::fmt::Debug for TpchDb {
 }
 
 /// The 5 order priorities.
-pub const PRIORITIES: [&str; 5] =
-    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 
 fn brands() -> Vec<String> {
     let mut v = Vec::with_capacity(25);
@@ -328,16 +327,20 @@ pub fn generate(db_config: DbConfig, cfg: &TpchConfig) -> TpchDb {
     };
 
     let fill_i = |t, c, v: &Vec<i64>| {
-        db.fill_column(t, c, v.iter().map(|&x| Value::Int(x).encode())).unwrap();
+        db.fill_column(t, c, v.iter().map(|&x| Value::Int(x).encode()))
+            .unwrap();
     };
     let fill_f = |t, c, v: &Vec<f64>| {
-        db.fill_column(t, c, v.iter().map(|&x| Value::Double(x).encode())).unwrap();
+        db.fill_column(t, c, v.iter().map(|&x| Value::Double(x).encode()))
+            .unwrap();
     };
     let fill_d = |t, c, v: &Vec<i32>| {
-        db.fill_column(t, c, v.iter().map(|&x| Value::Date(x).encode())).unwrap();
+        db.fill_column(t, c, v.iter().map(|&x| Value::Date(x).encode()))
+            .unwrap();
     };
     let fill_u = |t, c, v: &Vec<u32>| {
-        db.fill_column(t, c, v.iter().map(|&x| Value::Dict(x).encode())).unwrap();
+        db.fill_column(t, c, v.iter().map(|&x| Value::Dict(x).encode()))
+            .unwrap();
     };
 
     fill_i(lineitem, li.orderkey, &l_orderkey);
@@ -473,7 +476,10 @@ mod tests {
         let mut txn = t.db.begin(anker_core::TxnKind::Olap);
         let rows = t.db.rows(t.lineitem);
         for row in (0..rows).step_by(17) {
-            let ship = txn.get_value(t.lineitem, t.li.shipdate, row).unwrap().as_date();
+            let ship = txn
+                .get_value(t.lineitem, t.li.shipdate, row)
+                .unwrap()
+                .as_date();
             let receipt = txn
                 .get_value(t.lineitem, t.li.receiptdate, row)
                 .unwrap()

@@ -10,6 +10,32 @@
 //! * [`driver`] — multi-threaded workload execution: pure OLTP streams,
 //!   mixed OLTP+OLAP batches (Figure 8/11), and the OLAP latency-under-load
 //!   experiment (Figure 7).
+//!
+//! ## Example
+//!
+//! ```
+//! use anker_core::{DbConfig, TxnKind};
+//! use anker_tpch::{gen, queries, OlapQuery, TpchConfig};
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//!
+//! // A small deterministic TPC-H instance on the heterogeneous engine.
+//! let t = gen::generate(
+//!     DbConfig::heterogeneous_serializable().with_snapshot_every(500),
+//!     &TpchConfig { scale_factor: 0.01, seed: 42 },
+//! );
+//!
+//! // One OLTP transaction from the paper's Figure 6 set...
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! anker_tpch::oltp::run_oltp(&t, anker_tpch::OltpKind::sample(&mut rng), &mut rng).unwrap();
+//!
+//! // ...and TPC-H Q6 on a virtual snapshot.
+//! let mut olap = t.db.begin(TxnKind::Olap);
+//! let revenue = queries::q6(&t, &mut olap, 1994, 0.06, 24.0).unwrap();
+//! olap.commit().unwrap();
+//! assert!(revenue > 0.0);
+//! # let _ = OlapQuery::Q6;
+//! ```
 
 pub mod driver;
 pub mod gen;

@@ -9,7 +9,7 @@
 use crate::gen::TpchDb;
 use anker_core::{DbError, Result, Txn, TxnKind};
 use anker_storage::Value;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// The nine transaction templates of Figure 6.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -57,7 +57,11 @@ impl OltpKind {
 /// Perturb a double by ±x %, x ∈ {1..10} (§5.2).
 fn perturb_double(v: f64, rng: &mut impl Rng) -> f64 {
     let x = rng.random_range(1..=10) as f64;
-    let sign = if rng.random_range(0..2) == 0 { 1.0 } else { -1.0 };
+    let sign = if rng.random_range(0..2) == 0 {
+        1.0
+    } else {
+        -1.0
+    };
     v * (1.0 + sign * x / 100.0)
 }
 
@@ -83,19 +87,34 @@ fn random_part_row(t: &TpchDb, rng: &mut impl Rng) -> u32 {
     rng.random_range(0..t.n_parts) as u32
 }
 
-fn update_lineitem_returnflag(t: &TpchDb, txn: &mut Txn, row: u32, rng: &mut impl Rng) -> Result<()> {
+fn update_lineitem_returnflag(
+    t: &TpchDb,
+    txn: &mut Txn,
+    row: u32,
+    rng: &mut impl Rng,
+) -> Result<()> {
     let code = rng.random_range(0..t.rf_dict.len() as u32);
     txn.update_value(t.lineitem, t.li.returnflag, row, Value::Dict(code))
 }
 
 fn update_orders_totalprice(t: &TpchDb, txn: &mut Txn, row: u32, rng: &mut impl Rng) -> Result<()> {
     let cur = txn.get_value(t.orders, t.ord.totalprice, row)?.as_double();
-    txn.update_value(t.orders, t.ord.totalprice, row, Value::Double(perturb_double(cur, rng)))
+    txn.update_value(
+        t.orders,
+        t.ord.totalprice,
+        row,
+        Value::Double(perturb_double(cur, rng)),
+    )
 }
 
 fn update_part_retailprice(t: &TpchDb, txn: &mut Txn, row: u32, rng: &mut impl Rng) -> Result<()> {
     let cur = txn.get_value(t.part, t.prt.retailprice, row)?.as_double();
-    txn.update_value(t.part, t.prt.retailprice, row, Value::Double(perturb_double(cur, rng)))
+    txn.update_value(
+        t.part,
+        t.prt.retailprice,
+        row,
+        Value::Double(perturb_double(cur, rng)),
+    )
 }
 
 /// Execute one OLTP transaction of the given kind with freshly sampled
@@ -134,7 +153,9 @@ pub fn run_oltp_in(t: &TpchDb, txn: &mut Txn, kind: OltpKind, rng: &mut impl Rng
         }
         OltpKind::Q3 => {
             let row = random_lineitem_row(t, rng);
-            let price = txn.get_value(t.lineitem, t.li.extendedprice, row)?.as_double();
+            let price = txn
+                .get_value(t.lineitem, t.li.extendedprice, row)?
+                .as_double();
             txn.update_value(
                 t.lineitem,
                 t.li.extendedprice,
@@ -167,7 +188,9 @@ pub fn run_oltp_in(t: &TpchDb, txn: &mut Txn, kind: OltpKind, rng: &mut impl Rng
         }
         OltpKind::Q7 => {
             let li_row = random_lineitem_row(t, rng);
-            let price = txn.get_value(t.lineitem, t.li.extendedprice, li_row)?.as_double();
+            let price = txn
+                .get_value(t.lineitem, t.li.extendedprice, li_row)?
+                .as_double();
             txn.update_value(
                 t.lineitem,
                 t.li.extendedprice,

@@ -9,7 +9,7 @@
 use crate::gen::{days, TpchDb, LAST_ORDER_DATE};
 use anker_core::{Result, Txn};
 use anker_storage::Value;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// The seven OLAP transactions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -148,12 +148,16 @@ pub fn q4(t: &TpchDb, txn: &mut Txn, quarter_start: i32) -> Result<Vec<(u32, u64
     txn.log_range(t.orders, t.ord.orderdate, lo as f64, hi as f64 - 1.0);
     // Pass 1: collect qualifying orders from the ORDERS scan.
     let mut candidates: Vec<(u32, i64)> = Vec::new(); // (priority, orderkey)
-    txn.scan(t.orders, &[t.ord.orderdate, t.ord.orderpriority, t.ord.orderkey], |_, v| {
-        let d = Value::decode(v[0], anker_storage::LogicalType::Date).as_date();
-        if d >= lo && d < hi {
-            candidates.push((v[1] as u32, v[2] as i64));
-        }
-    })?;
+    txn.scan(
+        t.orders,
+        &[t.ord.orderdate, t.ord.orderpriority, t.ord.orderkey],
+        |_, v| {
+            let d = Value::decode(v[0], anker_storage::LogicalType::Date).as_date();
+            if d >= lo && d < hi {
+                candidates.push((v[1] as u32, v[2] as i64));
+            }
+        },
+    )?;
     // Pass 2: EXISTS probe per candidate order.
     let mut counts = [0u64; 5];
     for (prio, okey) in candidates {
@@ -228,7 +232,9 @@ pub fn q17(t: &TpchDb, txn: &mut Txn, brand_code: u32, container_code: u32) -> R
         for &r in rows {
             let q = txn.get_value(t.lineitem, t.li.quantity, r)?.as_double();
             if q < threshold {
-                total += txn.get_value(t.lineitem, t.li.extendedprice, r)?.as_double();
+                total += txn
+                    .get_value(t.lineitem, t.li.extendedprice, r)?
+                    .as_double();
             }
         }
     }
@@ -268,7 +274,12 @@ pub fn scan_table(t: &TpchDb, txn: &mut Txn, which: OlapQuery) -> Result<u64> {
         ),
         OlapQuery::ScanPart => (
             t.part,
-            vec![t.prt.partkey, t.prt.brand, t.prt.container, t.prt.retailprice],
+            vec![
+                t.prt.partkey,
+                t.prt.brand,
+                t.prt.container,
+                t.prt.retailprice,
+            ],
         ),
         other => panic!("scan_table called with {other:?}"),
     };
@@ -311,7 +322,11 @@ pub fn sample_params(q: OlapQuery, rng: &mut impl Rng) -> OlapParams {
         OlapQuery::Q6 => OlapParams::Q6 {
             year: rng.random_range(1993..=1997),
             discount: rng.random_range(2..=9) as f64 / 100.0,
-            qty: if rng.random_range(0..2) == 0 { 24.0 } else { 25.0 },
+            qty: if rng.random_range(0..2) == 0 {
+                24.0
+            } else {
+                25.0
+            },
         },
         OlapQuery::Q17 => OlapParams::Q17 {
             brand: rng.random_range(0..25),
@@ -335,9 +350,11 @@ pub fn run_olap(t: &TpchDb, txn: &mut Txn, params: OlapParams) -> Result<OlapRes
     Ok(match params {
         OlapParams::Q1 { delta_days } => OlapResult::Q1(q1(t, txn, delta_days)?),
         OlapParams::Q4 { quarter_start } => OlapResult::Q4(q4(t, txn, quarter_start)?),
-        OlapParams::Q6 { year, discount, qty } => {
-            OlapResult::Revenue(q6(t, txn, year, discount, qty)?)
-        }
+        OlapParams::Q6 {
+            year,
+            discount,
+            qty,
+        } => OlapResult::Revenue(q6(t, txn, year, discount, qty)?),
         OlapParams::Q17 { brand, container } => OlapResult::Revenue(q17(t, txn, brand, container)?),
         OlapParams::Scan(which) => OlapResult::Checksum(scan_table(t, txn, which)?),
     })

@@ -76,9 +76,18 @@ fn q6_matches_reference() {
     let hi = gen::days(year + 1, 1, 1);
     let mut expected = 0.0;
     for row in 0..t.db.rows(t.lineitem) {
-        let ship = txn.get_value(t.lineitem, t.li.shipdate, row).unwrap().as_date();
-        let d = txn.get_value(t.lineitem, t.li.discount, row).unwrap().as_double();
-        let q = txn.get_value(t.lineitem, t.li.quantity, row).unwrap().as_double();
+        let ship = txn
+            .get_value(t.lineitem, t.li.shipdate, row)
+            .unwrap()
+            .as_date();
+        let d = txn
+            .get_value(t.lineitem, t.li.discount, row)
+            .unwrap()
+            .as_double();
+        let q = txn
+            .get_value(t.lineitem, t.li.quantity, row)
+            .unwrap()
+            .as_double();
         if ship >= lo && ship < hi && d >= disc - 0.01 - 1e-9 && d <= disc + 0.01 + 1e-9 && q < qty
         {
             expected += txn
@@ -99,9 +108,7 @@ fn q6_matches_reference() {
 /// triggered (freshness), and never reflect uncommitted ones.
 #[test]
 fn olap_freshness_follows_epochs() {
-    let t = build(
-        DbConfig::heterogeneous_serializable().with_snapshot_every(1),
-    );
+    let t = build(DbConfig::heterogeneous_serializable().with_snapshot_every(1));
     let mut rng = SmallRng::seed_from_u64(3);
     let before: OlapResult = {
         let mut txn = t.db.begin(TxnKind::Olap);
@@ -120,7 +127,10 @@ fn olap_freshness_follows_epochs() {
         txn.commit().unwrap();
         r
     };
-    assert_ne!(before, after, "fresh epoch must expose the committed update");
+    assert_ne!(
+        before, after,
+        "fresh epoch must expose the committed update"
+    );
 }
 
 #[test]

@@ -103,7 +103,7 @@ mod tests {
     fn distinguishes_nearby_keys() {
         // Not a quality test, just a sanity check that consecutive integers
         // (our dominant key distribution) do not collide.
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = HashSet::new();
         for i in 0u64..10_000 {
             assert!(seen.insert(hash_of(i)), "collision at {i}");
         }
@@ -127,7 +127,7 @@ mod tests {
         // Bytes start at 1: FxHash zero-pads the trailing partial word, so a
         // slice of zero bytes intentionally hashes like the empty slice.
         let data: Vec<u8> = (1..=255).collect();
-        let mut hashes = std::collections::HashSet::new();
+        let mut hashes = HashSet::new();
         for len in 0..32 {
             let mut h = FxHasher::default();
             h.write(&data[..len]);

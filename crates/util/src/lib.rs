@@ -4,6 +4,24 @@
 //! external hashing crate), small statistics helpers for the benchmark
 //! harness, and a fixed-width table printer used by the `repro_*` binaries to
 //! print paper-style result tables.
+//!
+//! ## Example
+//!
+//! ```
+//! use anker_util::{FxHashMap, Summary, TableBuilder};
+//!
+//! let stats = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+//! assert_eq!(stats.n, 4);
+//! assert_eq!(stats.mean, 2.5);
+//!
+//! let mut map: FxHashMap<&str, u64> = FxHashMap::default();
+//! map.insert("rows", 42);
+//! assert_eq!(map["rows"], 42);
+//!
+//! let mut table = TableBuilder::new("Throughput").header(["mode", "txn/s"]);
+//! table.row(["heterogeneous", "51000"]);
+//! assert!(table.render().contains("heterogeneous"));
+//! ```
 
 pub mod fxhash;
 pub mod stats;

@@ -40,7 +40,10 @@ impl fmt::Display for VmError {
             VmError::ProtectionFault { addr } => {
                 write!(f, "protection fault: write to read-only page at {addr:#x}")
             }
-            VmError::BeyondFileEnd { file_page, file_pages } => {
+            VmError::BeyondFileEnd {
+                file_page,
+                file_pages,
+            } => {
                 write!(
                     f,
                     "bus error: file page {file_page} beyond file end ({file_pages} pages)"

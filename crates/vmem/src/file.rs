@@ -55,10 +55,8 @@ impl FileInner {
         let mut pages = self.pages.write();
         let n = n_pages as usize;
         if n < pages.len() {
-            for slot in pages.drain(n..) {
-                if let Some(f) = slot {
-                    self.phys.decref(f);
-                }
+            for f in pages.drain(n..).flatten() {
+                self.phys.decref(f);
             }
         } else {
             pages.resize(n, None);

@@ -63,7 +63,10 @@ impl PhysMem {
     /// `page_size` bytes. `page_size` must be a power of two and a multiple
     /// of 8.
     pub fn new(page_size: usize, max_bytes: usize) -> PhysMem {
-        assert!(page_size.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_size.is_power_of_two(),
+            "page size must be a power of two"
+        );
         assert!(page_size >= 64, "page size too small");
         assert_eq!(page_size % 8, 0);
         // Chunks of at least 4 MiB and at least one page.
@@ -222,10 +225,8 @@ impl Drop for PhysMem {
             if let Some(chunk) = slot.get() {
                 // SAFETY: reconstructing the Box leaked in `ensure_chunk`.
                 unsafe {
-                    let slice = std::ptr::slice_from_raw_parts_mut(
-                        chunk.base as *mut u64,
-                        chunk.words,
-                    );
+                    let slice =
+                        std::ptr::slice_from_raw_parts_mut(chunk.base as *mut u64, chunk.words);
                     drop(Box::from_raw(slice));
                 }
             }

@@ -36,7 +36,9 @@ impl Default for PageTable {
 
 impl std::fmt::Debug for PageTable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PageTable").field("len", &self.len()).finish()
+        f.debug_struct("PageTable")
+            .field("len", &self.len())
+            .finish()
     }
 }
 

@@ -191,7 +191,8 @@ impl Space {
         st.clock.charge(
             st.cost.syscall_entry
                 + st.cost.mmap_base
-                + st.cost.mmap_per_existing_vma * (map.len() as f64).min(st.cost.mmap_vma_saturation)
+                + st.cost.mmap_per_existing_vma
+                    * (map.len() as f64).min(st.cost.mmap_vma_saturation)
                 + st.cost.mmap_per_page * pages as f64,
         );
         self.unmap_locked(&mut map, addr, len);
@@ -403,7 +404,7 @@ impl Space {
     /// accesses). The pointee is only touched atomically and chunk storage
     /// lives as long as the kernel, which `self` keeps alive.
     #[inline]
-    fn resolve_word(&self, addr: u64, access: Access) -> Result<*const std::sync::atomic::AtomicU64> {
+    fn resolve_word(&self, addr: u64, access: Access) -> Result<*const AtomicU64> {
         let ps = self.page_size();
         let vpn = addr / ps;
         let frame = match self.inner.pt.get(vpn) {
@@ -417,7 +418,7 @@ impl Space {
         };
         let base = self.inner.phys.frame_ptr(frame);
         // SAFETY: in-bounds of the frame; 8-aligned because addr is.
-        Ok(unsafe { base.add((addr % ps) as usize) } as *const std::sync::atomic::AtomicU64)
+        Ok(unsafe { base.add((addr % ps) as usize) } as *const AtomicU64)
     }
 
     /// Read the 8-byte word at `addr` (must be 8-byte aligned).
@@ -507,10 +508,10 @@ impl Space {
                 n_ptes += 1;
             }
         }
-        child
-            .inner
-            .next_addr
-            .store(self.inner.next_addr.load(Ordering::Relaxed), Ordering::Relaxed);
+        child.inner.next_addr.store(
+            self.inner.next_addr.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
         st.counters.vmas_copied.fetch_add(n_vmas, Ordering::Relaxed);
         st.counters.ptes_copied.fetch_add(n_ptes, Ordering::Relaxed);
         st.clock
@@ -536,7 +537,9 @@ impl Space {
             return Err(VmError::InvalidArgument("vm_snapshot of zero length"));
         }
         let st = &self.kernel.state;
-        st.counters.vm_snapshot_calls.fetch_add(1, Ordering::Relaxed);
+        st.counters
+            .vm_snapshot_calls
+            .fetch_add(1, Ordering::Relaxed);
         st.clock.charge(st.cost.syscall_entry);
         let ps = self.page_size();
         let mut map = self.inner.vmas.write();
@@ -622,11 +625,7 @@ fn find_vma(map: &BTreeMap<u64, Vma>, addr: u64) -> Option<&Vma> {
         .filter(|v| v.contains(addr))
 }
 
-fn vmas_intersecting(
-    map: &BTreeMap<u64, Vma>,
-    addr: u64,
-    len: u64,
-) -> impl Iterator<Item = &Vma> {
+fn vmas_intersecting(map: &BTreeMap<u64, Vma>, addr: u64, len: u64) -> impl Iterator<Item = &Vma> {
     let first = map
         .range(..=addr)
         .next_back()

@@ -102,8 +102,14 @@ impl Vma {
         match (&self.backing, &next.backing) {
             (Backing::Anon, Backing::Anon) => true,
             (
-                Backing::File { file: f1, offset: o1 },
-                Backing::File { file: f2, offset: o2 },
+                Backing::File {
+                    file: f1,
+                    offset: o1,
+                },
+                Backing::File {
+                    file: f2,
+                    offset: o2,
+                },
             ) => Arc::ptr_eq(f1, f2) && o1 + self.len() == *o2,
             _ => false,
         }

@@ -13,12 +13,14 @@ fn map_fixed_replaces_partial_overlap() {
     let s = k.create_space();
     let ps = s.page_size();
     let base = 0x7000_0000u64;
-    s.mmap_at(base, 4 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    s.mmap_at(base, 4 * ps, RW, Share::Private, MapBacking::Anon)
+        .unwrap();
     for p in 0..4 {
         s.write_u64(base + p * ps, 100 + p).unwrap();
     }
     // Replace the middle two pages with a fresh anonymous mapping.
-    s.mmap_at(base + ps, 2 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    s.mmap_at(base + ps, 2 * ps, RW, Share::Private, MapBacking::Anon)
+        .unwrap();
     // Replaced pages read zero again; the borders survive.
     assert_eq!(s.read_u64(base).unwrap(), 100);
     assert_eq!(s.read_u64(base + ps).unwrap(), 0);
@@ -34,7 +36,9 @@ fn file_truncate_under_live_mapping() {
     let s = k.create_space();
     let ps = s.page_size();
     let f = k.create_file(4);
-    let a = s.mmap(4 * ps, RW, Share::Shared, MapBacking::File(&f, 0)).unwrap();
+    let a = s
+        .mmap(4 * ps, RW, Share::Shared, MapBacking::File(&f, 0))
+        .unwrap();
     for p in 0..4 {
         s.write_u64(a + p * ps, p + 1).unwrap();
     }
@@ -42,7 +46,9 @@ fn file_truncate_under_live_mapping() {
     // real memfd), but unmapped future access to the cut region is SIGBUS.
     f.truncate(2);
     assert_eq!(s.read_u64(a + 3 * ps).unwrap(), 4, "resident PTE survives");
-    let b = s.mmap(4 * ps, RW, Share::Shared, MapBacking::File(&f, 0)).unwrap();
+    let b = s
+        .mmap(4 * ps, RW, Share::Shared, MapBacking::File(&f, 0))
+        .unwrap();
     assert_eq!(s.read_u64(b).unwrap(), 1);
     assert!(matches!(
         s.read_u64(b + 2 * ps),
@@ -61,7 +67,9 @@ fn vm_snapshot_of_shared_file_mapping_shares_writes() {
     let s = k.create_space();
     let ps = s.page_size();
     let f = k.create_file(2);
-    let a = s.mmap(2 * ps, RW, Share::Shared, MapBacking::File(&f, 0)).unwrap();
+    let a = s
+        .mmap(2 * ps, RW, Share::Shared, MapBacking::File(&f, 0))
+        .unwrap();
     s.write_u64(a, 5).unwrap();
     let dup = s.vm_snapshot(None, a, 2 * ps).unwrap();
     assert_eq!(s.read_u64(dup).unwrap(), 5);
@@ -79,9 +87,16 @@ fn vm_snapshot_of_mixed_private_and_shared_range() {
     let ps = s.page_size();
     let f = k.create_file(2);
     let base = 0x6000_0000u64;
-    s.mmap_at(base, 2 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
-    s.mmap_at(base + 2 * ps, 2 * ps, RW, Share::Shared, MapBacking::File(&f, 0))
+    s.mmap_at(base, 2 * ps, RW, Share::Private, MapBacking::Anon)
         .unwrap();
+    s.mmap_at(
+        base + 2 * ps,
+        2 * ps,
+        RW,
+        Share::Shared,
+        MapBacking::File(&f, 0),
+    )
+    .unwrap();
     s.write_u64(base, 1).unwrap();
     s.write_u64(base + 2 * ps, 2).unwrap();
     let snap = s.vm_snapshot(None, base, 4 * ps).unwrap();
@@ -98,7 +113,9 @@ fn cost_accounting_matches_structural_counts() {
     let k = Kernel::default();
     let s = k.create_space();
     let ps = s.page_size();
-    let col = s.mmap(64 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    let col = s
+        .mmap(64 * ps, RW, Share::Private, MapBacking::Anon)
+        .unwrap();
     for p in 0..64 {
         s.write_u64(col + p * ps, p).unwrap();
     }
@@ -134,13 +151,19 @@ fn fork_then_vm_snapshot_in_child() {
     let k = Kernel::default();
     let parent = k.create_space();
     let ps = parent.page_size();
-    let a = parent.mmap(4 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    let a = parent
+        .mmap(4 * ps, RW, Share::Private, MapBacking::Anon)
+        .unwrap();
     parent.write_u64(a, 1).unwrap();
     let child = parent.fork().unwrap();
     let child_snap = child.vm_snapshot(None, a, 4 * ps).unwrap();
     child.write_u64(a, 2).unwrap();
     parent.write_u64(a, 3).unwrap();
-    assert_eq!(child.read_u64(child_snap).unwrap(), 1, "child snapshot frozen");
+    assert_eq!(
+        child.read_u64(child_snap).unwrap(),
+        1,
+        "child snapshot frozen"
+    );
     assert_eq!(child.read_u64(a).unwrap(), 2);
     assert_eq!(parent.read_u64(a).unwrap(), 3);
 }
@@ -150,9 +173,17 @@ fn misaligned_requests_rejected_everywhere() {
     let k = Kernel::default();
     let s = k.create_space();
     let ps = s.page_size();
-    let a = s.mmap(2 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
-    assert!(matches!(s.munmap(a + 1, ps), Err(VmError::Misaligned { .. })));
-    assert!(matches!(s.mprotect(a, ps + 7, RO), Err(VmError::Misaligned { .. })));
+    let a = s
+        .mmap(2 * ps, RW, Share::Private, MapBacking::Anon)
+        .unwrap();
+    assert!(matches!(
+        s.munmap(a + 1, ps),
+        Err(VmError::Misaligned { .. })
+    ));
+    assert!(matches!(
+        s.mprotect(a, ps + 7, RO),
+        Err(VmError::Misaligned { .. })
+    ));
     assert!(matches!(
         s.mmap_at(a + 3, ps, RW, Share::Private, MapBacking::Anon),
         Err(VmError::Misaligned { .. })
@@ -171,7 +202,9 @@ fn snapshot_chain_refcounts_settle_after_teardown() {
     let k = Kernel::default();
     let s = k.create_space();
     let ps = s.page_size();
-    let col = s.mmap(16 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    let col = s
+        .mmap(16 * ps, RW, Share::Private, MapBacking::Anon)
+        .unwrap();
     for p in 0..16 {
         s.write_u64(col + p * ps, p).unwrap();
     }

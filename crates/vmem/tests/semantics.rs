@@ -15,7 +15,9 @@ fn anon_mapping_reads_zero_and_counts_faults() {
     let k = kernel();
     let s = k.create_space();
     let ps = s.page_size();
-    let a = s.mmap(4 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    let a = s
+        .mmap(4 * ps, RW, Share::Private, MapBacking::Anon)
+        .unwrap();
     let before = k.stats();
     assert_eq!(s.read_u64(a).unwrap(), 0);
     assert_eq!(s.read_u64(a + 3 * ps + 8).unwrap(), 0);
@@ -31,7 +33,9 @@ fn writes_persist_and_are_word_atomic() {
     let k = kernel();
     let s = k.create_space();
     let ps = s.page_size();
-    let a = s.mmap(2 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    let a = s
+        .mmap(2 * ps, RW, Share::Private, MapBacking::Anon)
+        .unwrap();
     for i in 0..(2 * ps / 8) {
         s.write_u64(a + i * 8, i * 7 + 1).unwrap();
     }
@@ -45,7 +49,9 @@ fn read_write_bytes_cross_page() {
     let k = kernel();
     let s = k.create_space();
     let ps = s.page_size();
-    let a = s.mmap(3 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    let a = s
+        .mmap(3 * ps, RW, Share::Private, MapBacking::Anon)
+        .unwrap();
     let data: Vec<u8> = (0..=255).cycle().take(ps as usize + 64).collect();
     // Start near the end of the first page so the write straddles pages.
     s.write_bytes(a + ps - 32, &data).unwrap();
@@ -60,7 +66,9 @@ fn vm_snapshot_isolates_both_directions() {
     let s = k.create_space();
     let ps = s.page_size();
     let n = 8;
-    let col = s.mmap(n * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    let col = s
+        .mmap(n * ps, RW, Share::Private, MapBacking::Anon)
+        .unwrap();
     for p in 0..n {
         s.write_u64(col + p * ps, 100 + p).unwrap();
     }
@@ -88,7 +96,9 @@ fn vm_snapshot_chains() {
     let k = kernel();
     let s = k.create_space();
     let ps = s.page_size();
-    let col = s.mmap(2 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    let col = s
+        .mmap(2 * ps, RW, Share::Private, MapBacking::Anon)
+        .unwrap();
     s.write_u64(col, 1).unwrap();
     let s1 = s.vm_snapshot(None, col, 2 * ps).unwrap();
     s.write_u64(col, 2).unwrap();
@@ -106,7 +116,9 @@ fn vm_snapshot_into_recycled_destination() {
     let k = kernel();
     let s = k.create_space();
     let ps = s.page_size();
-    let col = s.mmap(4 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    let col = s
+        .mmap(4 * ps, RW, Share::Private, MapBacking::Anon)
+        .unwrap();
     s.write_u64(col, 42).unwrap();
     let old = s.vm_snapshot(None, col, 4 * ps).unwrap();
     assert_eq!(s.read_u64(old).unwrap(), 42);
@@ -125,7 +137,9 @@ fn vm_snapshot_errors() {
     let k = kernel();
     let s = k.create_space();
     let ps = s.page_size();
-    let col = s.mmap(4 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    let col = s
+        .mmap(4 * ps, RW, Share::Private, MapBacking::Anon)
+        .unwrap();
     // Unaligned.
     assert!(matches!(
         s.vm_snapshot(None, col + 1, ps),
@@ -164,7 +178,9 @@ fn vm_snapshot_partial_column_splits_borders() {
     let k = kernel();
     let s = k.create_space();
     let ps = s.page_size();
-    let col = s.mmap(8 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    let col = s
+        .mmap(8 * ps, RW, Share::Private, MapBacking::Anon)
+        .unwrap();
     for p in 0..8 {
         s.write_u64(col + p * ps, p).unwrap();
     }
@@ -216,7 +232,9 @@ fn fork_shares_shared_file_mappings() {
     let s = k.create_space();
     let ps = s.page_size();
     let f = k.create_file(4);
-    let a = s.mmap(4 * ps, RW, Share::Shared, MapBacking::File(&f, 0)).unwrap();
+    let a = s
+        .mmap(4 * ps, RW, Share::Shared, MapBacking::File(&f, 0))
+        .unwrap();
     s.write_u64(a, 1).unwrap();
     let child = s.fork().unwrap();
     // Shared mapping: writes remain visible across the fork in both
@@ -232,7 +250,9 @@ fn mprotect_faults_then_allows_after_upgrade() {
     let k = kernel();
     let s = k.create_space();
     let ps = s.page_size();
-    let a = s.mmap(2 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    let a = s
+        .mmap(2 * ps, RW, Share::Private, MapBacking::Anon)
+        .unwrap();
     s.write_u64(a, 5).unwrap();
     s.mprotect(a, 2 * ps, RO).unwrap();
     // Reads fine, writes fault.
@@ -253,7 +273,9 @@ fn mprotect_partial_splits_and_remerges() {
     let k = kernel();
     let s = k.create_space();
     let ps = s.page_size();
-    let a = s.mmap(8 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    let a = s
+        .mmap(8 * ps, RW, Share::Private, MapBacking::Anon)
+        .unwrap();
     assert_eq!(s.vma_count_in(a, 8 * ps), 1);
     s.mprotect(a + 2 * ps, 2 * ps, RO).unwrap();
     assert_eq!(s.vma_count_in(a, 8 * ps), 3);
@@ -267,7 +289,9 @@ fn mprotect_requires_full_coverage() {
     let k = kernel();
     let s = k.create_space();
     let ps = s.page_size();
-    let a = s.mmap(2 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    let a = s
+        .mmap(2 * ps, RW, Share::Private, MapBacking::Anon)
+        .unwrap();
     assert!(matches!(
         s.mprotect(a, 4 * ps, RO),
         Err(VmError::NotMapped { .. })
@@ -280,8 +304,12 @@ fn shared_file_mapping_round_trips_through_file() {
     let s = k.create_space();
     let ps = s.page_size();
     let f = k.create_file(8);
-    let a = s.mmap(4 * ps, RW, Share::Shared, MapBacking::File(&f, 0)).unwrap();
-    let b = s.mmap(4 * ps, RW, Share::Shared, MapBacking::File(&f, 0)).unwrap();
+    let a = s
+        .mmap(4 * ps, RW, Share::Shared, MapBacking::File(&f, 0))
+        .unwrap();
+    let b = s
+        .mmap(4 * ps, RW, Share::Shared, MapBacking::File(&f, 0))
+        .unwrap();
     s.write_u64(a + ps, 1234).unwrap();
     // Second mapping of the same file offset sees the write.
     assert_eq!(s.read_u64(b + ps).unwrap(), 1234);
@@ -298,7 +326,9 @@ fn private_file_mapping_cow() {
     let s = k.create_space();
     let ps = s.page_size();
     let f = k.create_file(2);
-    let shared = s.mmap(2 * ps, RW, Share::Shared, MapBacking::File(&f, 0)).unwrap();
+    let shared = s
+        .mmap(2 * ps, RW, Share::Shared, MapBacking::File(&f, 0))
+        .unwrap();
     s.write_u64(shared, 10).unwrap();
     let private = s
         .mmap(2 * ps, RW, Share::Private, MapBacking::File(&f, 0))
@@ -318,7 +348,9 @@ fn file_access_beyond_end_is_bus_error() {
     let s = k.create_space();
     let ps = s.page_size();
     let f = k.create_file(1);
-    let a = s.mmap(2 * ps, RW, Share::Shared, MapBacking::File(&f, 0)).unwrap();
+    let a = s
+        .mmap(2 * ps, RW, Share::Shared, MapBacking::File(&f, 0))
+        .unwrap();
     assert_eq!(s.read_u64(a).unwrap(), 0);
     assert!(matches!(
         s.read_u64(a + ps),
@@ -373,7 +405,9 @@ fn munmap_frees_frames_and_splits() {
     let k = kernel();
     let s = k.create_space();
     let ps = s.page_size();
-    let a = s.mmap(8 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    let a = s
+        .mmap(8 * ps, RW, Share::Private, MapBacking::Anon)
+        .unwrap();
     for p in 0..8 {
         s.write_u64(a + p * ps, p).unwrap();
     }
@@ -394,7 +428,9 @@ fn dropping_space_releases_frames() {
     {
         let s = k.create_space();
         let ps = s.page_size();
-        let a = s.mmap(16 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+        let a = s
+            .mmap(16 * ps, RW, Share::Private, MapBacking::Anon)
+            .unwrap();
         for p in 0..16 {
             s.write_u64(a + p * ps, p).unwrap();
         }
@@ -408,7 +444,9 @@ fn dropping_snapshot_releases_only_unshared_frames() {
     let k = kernel();
     let s = k.create_space();
     let ps = s.page_size();
-    let col = s.mmap(8 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    let col = s
+        .mmap(8 * ps, RW, Share::Private, MapBacking::Anon)
+        .unwrap();
     for p in 0..8 {
         s.write_u64(col + p * ps, p).unwrap();
     }
@@ -433,7 +471,8 @@ fn adjacent_fixed_mappings_merge() {
     let s = k.create_space();
     let ps = s.page_size();
     let base = 0x4000_0000;
-    s.mmap_at(base, 2 * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    s.mmap_at(base, 2 * ps, RW, Share::Private, MapBacking::Anon)
+        .unwrap();
     s.mmap_at(base + 2 * ps, 2 * ps, RW, Share::Private, MapBacking::Anon)
         .unwrap();
     assert_eq!(s.vma_count_in(base, 4 * ps), 1, "anon neighbours merge");
@@ -471,7 +510,9 @@ fn vm_snapshot_cost_beats_rewiring_at_high_fragmentation() {
 
     // Rewiring-style snapshot: one mmap per VMA.
     let before = k.virtual_ns();
-    let dst = s.mmap(pages * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    let dst = s
+        .mmap(pages * ps, RW, Share::Private, MapBacking::Anon)
+        .unwrap();
     for vma in s.vmas_in(col, pages * ps) {
         let (file_off, len) = match &vma.backing {
             anker_vmem::Backing::File { offset, .. } => (*offset, vma.len()),
@@ -512,7 +553,9 @@ fn huge_pages_coarser_cow() {
     for (k, pages) in [(&k4, 512u64), (&k2m, 1u64)] {
         let s = k.create_space();
         let ps = s.page_size();
-        let col = s.mmap(pages * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+        let col = s
+            .mmap(pages * ps, RW, Share::Private, MapBacking::Anon)
+            .unwrap();
         for p in 0..pages {
             s.write_u64(col + p * ps, 1).unwrap();
         }
@@ -537,7 +580,9 @@ fn concurrent_faults_on_shared_snapshot() {
     let s = k.create_space();
     let ps = s.page_size();
     let pages = 256u64;
-    let col = s.mmap(pages * ps, RW, Share::Private, MapBacking::Anon).unwrap();
+    let col = s
+        .mmap(pages * ps, RW, Share::Private, MapBacking::Anon)
+        .unwrap();
     for p in 0..pages {
         s.write_u64(col + p * ps, p).unwrap();
     }

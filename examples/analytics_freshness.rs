@@ -22,9 +22,8 @@ const TOTAL_PER_ROW: i64 = 1_000;
 const SNAPSHOT_EVERY: u64 = 250;
 
 fn main() {
-    let db = AnkerDb::new(
-        DbConfig::heterogeneous_serializable().with_snapshot_every(SNAPSHOT_EVERY),
-    );
+    let db =
+        AnkerDb::new(DbConfig::heterogeneous_serializable().with_snapshot_every(SNAPSHOT_EVERY));
     let t = db.create_table(
         "warehouses",
         Schema::new(vec![
@@ -35,8 +34,18 @@ fn main() {
     );
     let schema = db.schema(t);
     let (a, b) = (schema.col("stock_a"), schema.col("stock_b"));
-    db.fill_column(t, a, (0..ROWS).map(|_| Value::Int(TOTAL_PER_ROW / 2).encode())).unwrap();
-    db.fill_column(t, b, (0..ROWS).map(|_| Value::Int(TOTAL_PER_ROW / 2).encode())).unwrap();
+    db.fill_column(
+        t,
+        a,
+        (0..ROWS).map(|_| Value::Int(TOTAL_PER_ROW / 2).encode()),
+    )
+    .unwrap();
+    db.fill_column(
+        t,
+        b,
+        (0..ROWS).map(|_| Value::Int(TOTAL_PER_ROW / 2).encode()),
+    )
+    .unwrap();
 
     let committed = AtomicU64::new(0);
     let stop = AtomicBool::new(false);

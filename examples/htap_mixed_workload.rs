@@ -24,8 +24,14 @@ fn main() {
         think_us: 0.0,
     };
     let configs = [
-        ("Homogeneous / Serializable", DbConfig::homogeneous_serializable()),
-        ("Homogeneous / Snapshot Isolation", DbConfig::homogeneous_snapshot_isolation()),
+        (
+            "Homogeneous / Serializable",
+            DbConfig::homogeneous_serializable(),
+        ),
+        (
+            "Homogeneous / Snapshot Isolation",
+            DbConfig::homogeneous_snapshot_isolation(),
+        ),
         (
             "Heterogeneous / Serializable",
             DbConfig::heterogeneous_serializable().with_snapshot_every(1_000),

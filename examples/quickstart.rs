@@ -27,17 +27,29 @@ fn main() {
     let stock = schema.col("stock");
 
     // Bulk load.
-    db.fill_column(products, price, (0..10_000).map(|i| Value::Double(9.99 + i as f64).encode()))
-        .unwrap();
-    db.fill_column(products, stock, (0..10_000).map(|i| Value::Int(i % 50).encode()))
-        .unwrap();
+    db.fill_column(
+        products,
+        price,
+        (0..10_000).map(|i| Value::Double(9.99 + i as f64).encode()),
+    )
+    .unwrap();
+    db.fill_column(
+        products,
+        stock,
+        (0..10_000).map(|i| Value::Int(i % 50).encode()),
+    )
+    .unwrap();
 
     // A short OLTP transaction: read-modify-write of one product.
     let mut txn = db.begin(TxnKind::Oltp);
     let current = txn.get_value(products, price, 42).unwrap().as_double();
-    txn.update_value(products, price, 42, Value::Double(current * 1.10)).unwrap();
+    txn.update_value(products, price, 42, Value::Double(current * 1.10))
+        .unwrap();
     let commit_ts = txn.commit().unwrap();
-    println!("OLTP commit at ts {commit_ts}: price[42] {current:.2} -> {:.2}", current * 1.10);
+    println!(
+        "OLTP commit at ts {commit_ts}: price[42] {current:.2} -> {:.2}",
+        current * 1.10
+    );
 
     // A long-running OLAP transaction: scans a frozen virtual snapshot in a
     // tight loop — no timestamps, no version chains.

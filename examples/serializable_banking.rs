@@ -27,14 +27,16 @@ fn combined_withdrawal(db: &AnkerDb) -> (Result<u64, DbError>, Result<u64, DbErr
         + t1.get_value(accounts, balance, 1).unwrap().as_int();
     assert!(total1 >= 150);
     let b0 = t1.get_value(accounts, balance, 0).unwrap().as_int();
-    t1.update_value(accounts, balance, 0, Value::Int(b0 - 150)).unwrap();
+    t1.update_value(accounts, balance, 0, Value::Int(b0 - 150))
+        .unwrap();
 
     // T2 does the same from account 1 — reading the *old* state.
     let total2 = t2.get_value(accounts, balance, 0).unwrap().as_int()
         + t2.get_value(accounts, balance, 1).unwrap().as_int();
     assert!(total2 >= 150);
     let b1 = t2.get_value(accounts, balance, 1).unwrap().as_int();
-    t2.update_value(accounts, balance, 1, Value::Int(b1 - 150)).unwrap();
+    t2.update_value(accounts, balance, 1, Value::Int(b1 - 150))
+        .unwrap();
 
     let r1 = t1.commit();
     let r2 = t2.commit();
@@ -54,8 +56,12 @@ fn setup(config: DbConfig) -> AnkerDb {
         2,
     );
     let balance = db.schema(accounts).col("balance");
-    db.fill_column(accounts, balance, [100i64, 100].map(|v| Value::Int(v).encode()))
-        .unwrap();
+    db.fill_column(
+        accounts,
+        balance,
+        [100i64, 100].map(|v| Value::Int(v).encode()),
+    )
+    .unwrap();
     db
 }
 
@@ -77,5 +83,8 @@ fn main() {
     println!("  T2 -> {r2:?}");
     println!("  combined balance afterwards: {total}  <-- invariant preserved");
     assert!(total >= 0);
-    assert!(r1.is_ok() ^ r2.is_ok(), "exactly one transaction must abort");
+    assert!(
+        r1.is_ok() ^ r2.is_ok(),
+        "exactly one transaction must abort"
+    );
 }

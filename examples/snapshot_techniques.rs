@@ -46,12 +46,8 @@ fn main() {
         "snapshotting {COLS} columns x {PAGES} pages ({} KiB per column), virtual time\n",
         PAGES * 4
     );
-    let mut table = TableBuilder::new("").header([
-        "Technique",
-        "1 column",
-        "all columns",
-        "first write (COW)",
-    ]);
+    let mut table =
+        TableBuilder::new("").header(["Technique", "1 column", "all columns", "first write (COW)"]);
     let mut run = |s: &mut dyn Snapshotter| {
         let (one, all, write) = exercise(s);
         table.row([

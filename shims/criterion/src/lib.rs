@@ -1,0 +1,298 @@
+//! Offline shim for the slice of the `criterion` API used by AnKerDB's
+//! benches.
+//!
+//! The build environment has no registry access, so this crate provides a
+//! small wall-clock harness behind criterion's names: benchmark groups,
+//! `bench_function` / `bench_with_input`, [`BenchmarkId`], and the
+//! `criterion_group!` / `criterion_main!` macros. Each benchmark is warmed
+//! up once, then timed for `sample_size` iterations (capped by a per-bench
+//! time budget), and a `name/param  median  mean` line is printed.
+//!
+//! Environment knobs:
+//!
+//! * `ANKER_BENCH_JSON=<path>` — append one JSON object per benchmark
+//!   (`{"bench": ..., "mean_ns": ..., "median_ns": ..., "samples": ...}`),
+//!   which `EXPERIMENTS.md` uses to record baselines. A relative path is
+//!   resolved against the **workspace root** (cargo runs bench binaries
+//!   with the owning package as cwd, which is not where you want the
+//!   file). Appending is deliberate — one `cargo bench` run spans several
+//!   bench binaries that all add to the same file — so delete the file
+//!   before regenerating a baseline.
+//! * `ANKER_BENCH_BUDGET_MS=<n>` — per-benchmark sampling budget
+//!   (default 2000 ms).
+//!
+//! ```
+//! use criterion::{black_box, Criterion};
+//!
+//! let mut c = Criterion::default();
+//! let mut group = c.benchmark_group("doc_smoke");
+//! group.sample_size(3);
+//! group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+//! group.finish();
+//! ```
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Label of one benchmark within a group: a function name plus an optional
+/// parameter, rendered as `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            label: s.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Timing loop handle passed to the benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples_ns: Vec<u64>,
+    target_samples: usize,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Call `f` repeatedly, recording one wall-clock sample per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+        let began = Instant::now();
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            black_box(f());
+            self.samples_ns.push(start.elapsed().as_nanos() as u64);
+            if began.elapsed() > self.budget {
+                break;
+            }
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed iterations to aim for per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples_ns: Vec::new(),
+            target_samples: self.sample_size,
+            budget: self.criterion.budget,
+        };
+        f(&mut bencher);
+        self.criterion
+            .report(&self.name, &id.label, &bencher.samples_ns);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    budget: Duration,
+    json_path: Option<std::path::PathBuf>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let budget_ms = std::env::var("ANKER_BENCH_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2000u64);
+        Criterion {
+            budget: Duration::from_millis(budget_ms),
+            json_path: std::env::var("ANKER_BENCH_JSON")
+                .ok()
+                .map(resolve_json_path),
+        }
+    }
+}
+
+/// Resolve a relative `ANKER_BENCH_JSON` against the workspace root, so the
+/// file lands in one predictable place no matter which bench binary (and
+/// thus which package cwd) is writing.
+fn resolve_json_path(path: String) -> std::path::PathBuf {
+    let p = std::path::PathBuf::from(&path);
+    if p.is_absolute() {
+        p
+    } else {
+        // This shim lives at <workspace>/shims/criterion.
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(p)
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 20,
+        }
+    }
+
+    fn report(&mut self, group: &str, label: &str, samples_ns: &[u64]) {
+        if samples_ns.is_empty() {
+            println!("  {label:<40} <no samples>");
+            return;
+        }
+        let mut sorted = samples_ns.to_vec();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<u64>() / sorted.len() as u64;
+        println!(
+            "  {label:<40} median {:>12}   mean {:>12}   ({} samples)",
+            fmt_ns(median),
+            fmt_ns(mean),
+            sorted.len()
+        );
+        if let Some(path) = &self.json_path {
+            let entry = format!(
+                "{{\"bench\":\"{group}/{label}\",\"mean_ns\":{mean},\"median_ns\":{median},\"samples\":{}}}",
+                sorted.len()
+            );
+            let written = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .and_then(|mut f| writeln!(f, "{entry}"));
+            if let Err(e) = written {
+                eprintln!(
+                    "warning: could not write ANKER_BENCH_JSON entry to {}: {e}",
+                    path.display()
+                );
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Declare a group-runner function from a list of `fn(&mut Criterion)` targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare `main` running the given groups. `--test` (passed by `cargo test`
+/// to `harness = false` targets) short-circuits to a fast smoke run.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if std::env::args().any(|a| a == "--test") {
+                std::env::set_var("ANKER_BENCH_BUDGET_MS", "1");
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_json_path_resolves_to_workspace_root() {
+        let p = resolve_json_path("bench.json".to_owned());
+        assert!(p.is_absolute());
+        assert!(p.ends_with("shims/criterion/../../bench.json"));
+        let abs = resolve_json_path("/tmp/bench.json".to_owned());
+        assert_eq!(abs, std::path::PathBuf::from("/tmp/bench.json"));
+    }
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(50),
+            json_path: None,
+        };
+        let mut ran = 0u32;
+        {
+            let mut g = c.benchmark_group("shim_smoke");
+            g.sample_size(5);
+            g.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+            g.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &x| {
+                ran += 0; // closure may capture environment
+                b.iter(|| black_box(x) * 2)
+            });
+            g.finish();
+        }
+        ran += 1;
+        assert_eq!(ran, 1);
+    }
+}

@@ -1,0 +1,97 @@
+//! Deterministic RNG and case-level error type for the shim harness.
+
+use std::fmt;
+
+/// SplitMix64 generator, seeded from the test path and case index so every
+//  run regenerates the same inputs without a persistence file.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from an arbitrary string (FNV-1a) and a case counter.
+    pub fn deterministic(test_path: &str, case: u64) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_0000_01b3);
+        }
+        TestRng {
+            state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// Why a generated case did not pass: an assertion failure, or a
+/// `prop_assume!` rejection (which merely skips the case).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+    rejection: bool,
+}
+
+impl TestCaseError {
+    pub fn fail(message: String) -> TestCaseError {
+        TestCaseError {
+            message,
+            rejection: false,
+        }
+    }
+
+    pub fn reject() -> TestCaseError {
+        TestCaseError {
+            message: "input rejected by prop_assume!".to_owned(),
+            rejection: true,
+        }
+    }
+
+    pub fn is_rejection(&self) -> bool {
+        self.rejection
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::TestRng;
+
+    #[test]
+    fn deterministic_per_name_and_case() {
+        let mut a = TestRng::deterministic("x::y", 3);
+        let mut b = TestRng::deterministic("x::y", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::deterministic("x::y", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_is_in_bounds() {
+        let mut rng = TestRng::deterministic("bounds", 0);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+}

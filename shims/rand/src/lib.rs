@@ -1,0 +1,252 @@
+//! Offline shim for the slice of the `rand` crate API used by AnKerDB.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! handful of items the workspace imports — [`Rng`],
+//! [`SeedableRng`], and [`rngs::SmallRng`] — with the same names and
+//! signatures as `rand` 0.9. The generator is xoshiro256++, seeded through
+//! SplitMix64 exactly like upstream `SmallRng`, so streams are deterministic
+//! for a given seed.
+//!
+//! ```
+//! use rand::rngs::SmallRng;
+//! use rand::{Rng, SeedableRng};
+//!
+//! let mut rng = SmallRng::seed_from_u64(42);
+//! let x = rng.random_range(0..100u32);
+//! assert!(x < 100);
+//! let f = rng.random_range(0.0..1.0);
+//! assert!((0.0..1.0).contains(&f));
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words, with the sampling methods `rand` 0.9
+/// puts on its `Rng` trait.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform sample from `range` (`low..high` or `low..=high`).
+    fn random_range<T, S>(&mut self, range: S) -> T
+    where
+        T: SampleUniform,
+        S: SampleRange<T>,
+        Self: Sized,
+    {
+        let (low, high, inclusive) = range.bounds();
+        T::sample_range(self, low, high, inclusive)
+    }
+
+    /// A uniform random `bool`.
+    fn random_bool(&mut self) -> bool
+    where
+        Self: Sized,
+    {
+        self.next_u64() & 1 == 1
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of a generator from a small seed.
+pub trait SeedableRng: Sized {
+    /// Deterministically build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A type that can be sampled uniformly from a half-open or closed range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Sample from `[low, high)` if `inclusive` is false, `[low, high]` otherwise.
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool) -> Self {
+                let span = if inclusive {
+                    (high as $wide).wrapping_sub(low as $wide).wrapping_add(1)
+                } else {
+                    assert!(low < high, "cannot sample from empty range");
+                    (high as $wide).wrapping_sub(low as $wide)
+                };
+                if span == 0 {
+                    // Inclusive range covering the whole domain.
+                    return rng.next_u64() as $wide as $t;
+                }
+                // Widening-multiply range reduction (Lemire); bias is far below
+                // anything a test or benchmark workload can observe.
+                let hi = ((rng.next_u64() as u128).wrapping_mul(span as u128) >> 64) as $wide;
+                (low as $wide).wrapping_add(hi) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => u64, i16 => u64, i32 => u64, i64 => u64, isize => u64,
+);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool) -> Self {
+                if !inclusive {
+                    assert!(low < high, "cannot sample from empty range");
+                }
+                // 53 uniform mantissa bits in [0, 1).
+                let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                let v = low + unit * (high - low);
+                // `low + unit*(high-low)` can round up to exactly `high`;
+                // keep half-open ranges half-open like upstream rand.
+                if !inclusive && v >= high {
+                    high.next_down().max(low)
+                } else {
+                    v
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Ranges accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Decompose into `(low, high, inclusive)`.
+    fn bounds(self) -> (T, T, bool);
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn bounds(self) -> (T, T, bool) {
+        (self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn bounds(self) -> (T, T, bool) {
+        let (s, e) = self.into_inner();
+        (s, e, true)
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator (xoshiro256++), mirroring
+    /// `rand::rngs::SmallRng` on 64-bit targets.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(
+                a.random_range(0..1_000_000u64),
+                b.random_range(0..1_000_000u64)
+            );
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.random_range(10..20u32);
+            assert!((10..20).contains(&v));
+            let w = rng.random_range(-5..=5i32);
+            assert!((-5..=5).contains(&w));
+            let f = rng.random_range(1.0..2.0f64);
+            assert!((1.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn covers_range() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.random_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
+
+#[cfg(test)]
+mod float_edge_tests {
+    use super::{Rng, SampleUniform};
+
+    /// An rng pinned to all-ones, driving `unit` to its maximum.
+    struct MaxRng;
+    impl Rng for MaxRng {
+        fn next_u64(&mut self) -> u64 {
+            u64::MAX
+        }
+    }
+
+    #[test]
+    fn half_open_float_range_excludes_high() {
+        let v = f64::sample_range(&mut MaxRng, 1_000.0, 500_000.0, false);
+        assert!(v < 500_000.0, "got excluded upper bound: {v}");
+        let w = f64::sample_range(&mut MaxRng, 0.0, 1.0, false);
+        assert!(w < 1.0);
+    }
+}

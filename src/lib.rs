@@ -6,6 +6,24 @@
 //!
 //! See the `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for paper-vs-measured results of every table and figure.
+//!
+//! ## Example
+//!
+//! ```
+//! use ankerdb::vmem::{Kernel, MapBacking, Prot, Share};
+//!
+//! // The paper's mechanism in three lines: map a column, snapshot it
+//! // virtually, and let copy-on-write keep the snapshot frozen.
+//! let kernel = Kernel::default();
+//! let space = kernel.create_space();
+//! let ps = space.page_size();
+//! let col = space.mmap(4 * ps, Prot::READ_WRITE, Share::Private, MapBacking::Anon).unwrap();
+//! space.write_u64(col, 1).unwrap();
+//! let snap = space.vm_snapshot(None, col, 4 * ps).unwrap();
+//! space.write_u64(col, 2).unwrap();
+//! assert_eq!(space.read_u64(snap).unwrap(), 1);
+//! assert_eq!(space.read_u64(col).unwrap(), 2);
+//! ```
 
 pub use anker_core as core;
 pub use anker_mvcc as mvcc;

@@ -57,9 +57,14 @@ fn database_survives_a_life_story() {
     );
     let schema = db.schema(t);
     let (count, weight) = (schema.col("count"), schema.col("weight"));
-    db.fill_column(t, count, (0..2048).map(|i| Value::Int(i).encode())).unwrap();
-    db.fill_column(t, weight, (0..2048).map(|i| Value::Double(i as f64 / 2.0).encode()))
+    db.fill_column(t, count, (0..2048).map(|i| Value::Int(i).encode()))
         .unwrap();
+    db.fill_column(
+        t,
+        weight,
+        (0..2048).map(|i| Value::Double(i as f64 / 2.0).encode()),
+    )
+    .unwrap();
 
     let mut checks = 0;
     for round in 0..100i64 {
@@ -68,7 +73,8 @@ fn database_survives_a_life_story() {
         let c = w.get_value(t, count, row).unwrap().as_int();
         w.update_value(t, count, row, Value::Int(c + 1)).unwrap();
         let wt = w.get_value(t, weight, row).unwrap().as_double();
-        w.update_value(t, weight, row, Value::Double(wt * 1.01)).unwrap();
+        w.update_value(t, weight, row, Value::Double(wt * 1.01))
+            .unwrap();
         w.commit().unwrap();
 
         if round % 10 == 0 {
@@ -79,7 +85,10 @@ fn database_survives_a_life_story() {
             // Base sum plus one increment per commit visible at the
             // snapshot: between base and base + rounds so far.
             let base: i64 = (0..2048).sum();
-            assert!(sum >= base && sum <= base + round + 1, "sum {sum} round {round}");
+            assert!(
+                sum >= base && sum <= base + round + 1,
+                "sum {sum} round {round}"
+            );
             checks += 1;
         }
     }
@@ -87,7 +96,11 @@ fn database_survives_a_life_story() {
     let stats = db.stats();
     assert_eq!(stats.committed, 100);
     assert!(stats.epochs_triggered >= 9);
-    assert!(stats.live_epochs <= 3, "epochs must retire: {}", stats.live_epochs);
+    assert!(
+        stats.live_epochs <= 3,
+        "epochs must retire: {}",
+        stats.live_epochs
+    );
 }
 
 #[test]

@@ -100,7 +100,11 @@ fn claim_snapshot_scans_skip_version_chains() {
     // Heterogeneous OLAP: brand-new txn on the newest snapshot.
     let mut hetero_reader = hetero.db.begin(TxnKind::Olap);
     let s_hetero = {
-        for q in [OlapQuery::ScanLineitem, OlapQuery::ScanOrders, OlapQuery::ScanPart] {
+        for q in [
+            OlapQuery::ScanLineitem,
+            OlapQuery::ScanOrders,
+            OlapQuery::ScanPart,
+        ] {
             // scan_table returns a checksum; stats come from the txn scan.
             let _ = scan_table(&hetero, &mut hetero_reader, q).unwrap();
         }
@@ -108,7 +112,9 @@ fn claim_snapshot_scans_skip_version_chains() {
         // column scan that exposes stats.
         let schema = hetero.db.schema(hetero.lineitem);
         let col = schema.col("l_extendedprice");
-        hetero_reader.scan(hetero.lineitem, &[col], |_, _| {}).unwrap()
+        hetero_reader
+            .scan(hetero.lineitem, &[col], |_, _| {})
+            .unwrap()
     };
     hetero_reader.commit().unwrap();
     assert_eq!(s_hetero.checked_rows, 0, "hetero OLAP checked rows");
@@ -146,7 +152,10 @@ fn claim_column_granularity_beats_fork() {
         }
     }
     let fork_ns = t.db.fork_cost_probe().unwrap().virtual_ns;
-    assert!(fork_ns > all_ns / 2, "fork {fork_ns} vs all columns {all_ns}");
+    assert!(
+        fork_ns > all_ns / 2,
+        "fork {fork_ns} vs all columns {all_ns}"
+    );
     assert!(
         fork_ns > single_min * 20,
         "fork {fork_ns} vs cheapest column {single_min}"
