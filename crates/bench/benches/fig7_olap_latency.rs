@@ -5,6 +5,7 @@
 //! versioned columns. The `repro_fig7` binary runs the full
 //! pressure-under-load version.
 
+use anker_bench::args::append_bench_json_line;
 use anker_core::{DbConfig, TxnKind};
 use anker_tpch::gen::{self, TpchConfig};
 use anker_tpch::oltp::{run_oltp, OltpKind};
@@ -62,6 +63,26 @@ fn bench_fig7(c: &mut Criterion) {
                     r
                 });
             });
+            // Record the scan counters of one representative execution
+            // next to the timing entry: blocks skipped by zone maps and
+            // rows removed by pushed-down filters are the mechanism the
+            // wall-clock numbers reflect.
+            let mut txn = t.db.begin(TxnKind::Olap);
+            run_olap(&t, &mut txn, params).unwrap();
+            let s = txn.scan_stats();
+            txn.commit().unwrap();
+            append_bench_json_line(&format!(
+                "{{\"bench\":\"fig7_olap_latency/{}/{}/scan_counters\",\
+                 \"blocks_skipped\":{},\"rows_filtered\":{},\
+                 \"tight_rows\":{},\"checked_rows\":{},\"chain_walks\":{}}}",
+                q.name(),
+                name,
+                s.blocks_skipped,
+                s.rows_filtered,
+                s.tight_rows,
+                s.checked_rows,
+                s.chain_walks
+            ));
         }
     }
     group.finish();

@@ -137,6 +137,38 @@ impl RunScale {
     }
 }
 
+/// Append one pre-formatted JSON line to the `ANKER_BENCH_JSON` file, next
+/// to the timing records the criterion shim writes (best effort; no-op when
+/// the variable is unset). Benches use this to record non-timing counters —
+/// e.g. the `blocks_skipped`/`rows_filtered` scan statistics — alongside
+/// their wall-clock entries. A relative path resolves against the workspace
+/// root, mirroring the shim's behaviour.
+pub fn append_bench_json_line(line: &str) {
+    let Ok(path) = std::env::var("ANKER_BENCH_JSON") else {
+        return;
+    };
+    let p = std::path::PathBuf::from(&path);
+    let p = if p.is_absolute() {
+        p
+    } else {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(p)
+    };
+    use std::io::Write as _;
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&p)
+        .and_then(|mut f| writeln!(f, "{line}"));
+    if let Err(e) = written {
+        eprintln!(
+            "warning: could not append bench JSON to {}: {e}",
+            p.display()
+        );
+    }
+}
+
 /// Write `contents` to `results/<name>` relative to the workspace root
 /// (best effort; prints the path on success).
 pub fn write_results_file(name: &str, contents: &str) {

@@ -20,6 +20,7 @@ fn main() {
         "LineItem [ms]",
         "Orders [ms]",
         "Part [ms]",
+        "LineItem chain walks",
     ]);
     for &f in &fractions {
         let find = |name: &str| {
@@ -28,11 +29,17 @@ fn main() {
                 .map(|r| format!("{:.2}", r.scan_ms))
                 .unwrap_or_default()
         };
+        let walks = rows
+            .iter()
+            .find(|r| r.table == "LineItem" && (r.fraction - f).abs() < 1e-9)
+            .map(|r| r.chain_walks.to_string())
+            .unwrap_or_default();
         table.row([
             format!("{:.0}%", f * 100.0),
             find("LineItem"),
             find("Orders"),
             find("Part"),
+            walks,
         ]);
     }
     println!("{}", table.render());

@@ -2,7 +2,7 @@
 //! Table 1 and Figure 5 drivers live in [`anker_snapshot::experiments`].
 
 use crate::args::RunScale;
-use anker_core::{DbConfig, TxnKind};
+use anker_core::{DbConfig, ScanStats, TxnKind};
 use anker_tpch::driver::{run_olap_latency, run_workload, LatencyConfig, WorkloadConfig};
 use anker_tpch::gen::{self, TpchConfig, TpchDb};
 use anker_tpch::queries::{scan_table, OlapQuery};
@@ -51,6 +51,11 @@ pub struct Fig7Row {
     pub homo_ser_ms: f64,
     pub homo_si_ms: f64,
     pub hetero_ms: f64,
+    /// Scan counters of the heterogeneous runs (summed over repetitions):
+    /// zone-map pruning (`blocks_skipped`) and pushed-down filtering
+    /// (`rows_filtered`) are the observable mechanism behind the latency
+    /// column.
+    pub hetero_stats: ScanStats,
 }
 
 impl Fig7Row {
@@ -84,15 +89,20 @@ pub fn fig7_run(scale: &RunScale, repetitions: usize) -> Vec<Fig7Row> {
         .iter()
         .map(|&q| {
             let mut by_config = [0.0f64; 3];
+            let mut hetero_stats = ScanStats::default();
             for (i, (_, t)) in dbs.iter().enumerate() {
                 let r = run_olap_latency(t, q, &lat_cfg);
                 by_config[i] = r.mean.as_secs_f64() * 1e3;
+                if i == 2 {
+                    hetero_stats = r.stats;
+                }
             }
             Fig7Row {
                 query: q.name(),
                 homo_ser_ms: by_config[0],
                 homo_si_ms: by_config[1],
                 hetero_ms: by_config[2],
+                hetero_stats,
             }
         })
         .collect()
@@ -228,11 +238,15 @@ pub fn fig9_run(scale: &RunScale, fractions: &[f64]) -> Vec<Fig9Row> {
             }
             // Median of three scans: the host shows multi-x timing noise.
             let mut times = Vec::with_capacity(3);
+            let stats_before = reader.scan_stats();
             for _ in 0..3 {
                 let begin = Instant::now();
                 let _checksum = scan_table(&t, &mut reader, scan_q).expect("scan");
                 times.push(begin.elapsed().as_secs_f64() * 1e3);
             }
+            // Chain walks of one scan (the three repetitions are
+            // identical: the reader and the data do not move).
+            let chain_walks = (reader.scan_stats().chain_walks - stats_before.chain_walks) / 3;
             times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
             let scan_ms = times[1];
             let name = match scan_q {
@@ -244,7 +258,7 @@ pub fn fig9_run(scale: &RunScale, fractions: &[f64]) -> Vec<Fig9Row> {
                 table: name,
                 fraction,
                 scan_ms,
-                chain_walks: 0,
+                chain_walks,
             });
         }
         reader.commit().expect("reader commit");
@@ -383,7 +397,7 @@ mod tests {
         let rows = fig9_run(&smoke(), &[0.0, 1.0]);
         assert_eq!(rows.len(), 6);
         // For each table, the fully versioned scan must be slower than the
-        // unversioned one.
+        // unversioned one and must report the chain walks that explain it.
         for table in ["LineItem", "Orders", "Part"] {
             let t0 = rows
                 .iter()
@@ -398,6 +412,11 @@ mod tests {
                 "{table}: {:.3} !> {:.3}",
                 t1.scan_ms,
                 t0.scan_ms
+            );
+            assert_eq!(t0.chain_walks, 0, "{table}: unversioned scan walked chains");
+            assert!(
+                t1.chain_walks > 0,
+                "{table}: fully versioned scan reported no chain walks"
             );
         }
     }

@@ -10,7 +10,7 @@ use anker_mvcc::{ActiveTxns, RecentCommits, TsOracle, VersionedColumn};
 use anker_storage::{ColumnArea, Schema};
 use anker_vmem::{Kernel, Space};
 use parking_lot::{Condvar, Mutex, RwLock};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// State owned by the serialized commit section. Holding the guard is the
@@ -90,7 +90,10 @@ pub(crate) struct DbInner {
 /// // An OLAP transaction sums all balances on a virtual snapshot.
 /// let mut olap = db.begin(TxnKind::Olap);
 /// let mut sum = 0i64;
-/// olap.scan(t, &[balance], |_, vals| sum += vals[0] as i64).unwrap();
+/// olap.scan_on(t)
+///     .project(&[balance])
+///     .for_each(|_, vals| sum += vals[0] as i64)
+///     .unwrap();
 /// olap.commit().unwrap();
 /// assert_eq!(sum, 100);
 /// ```
@@ -165,6 +168,7 @@ impl AnkerDb {
             schema,
             rows,
             cols,
+            observed: AtomicBool::new(false),
         });
         let mut tables = self.inner.tables.write();
         assert!(tables.len() < u16::MAX as usize, "too many tables");
@@ -172,8 +176,19 @@ impl AnkerDb {
         TableId(tables.len() as u16 - 1)
     }
 
-    /// Bulk-load a column (load timestamp 0; call before running
-    /// transactions).
+    /// Bulk-load a column (load timestamp 0). Loading a table must
+    /// complete before the first transaction touches it: the fill bypasses
+    /// versioning, so a load racing live readers would corrupt visibility
+    /// silently. Once any transaction has resolved the table, this returns
+    /// [`crate::DbError::LoadAfterBegin`] instead. The latch is per table —
+    /// a table created after transactions have run elsewhere can still be
+    /// loaded.
+    ///
+    /// The latch detects ordering violations; it does not make a load that
+    /// *races* the table's very first transactional access on another
+    /// thread safe (nothing can — a table's load phase is single-threaded
+    /// by contract). The fill itself runs inside the serialized commit
+    /// section, so it can never interleave with a commit's installs.
     pub fn fill_column(
         &self,
         table: TableId,
@@ -181,6 +196,10 @@ impl AnkerDb {
         values: impl IntoIterator<Item = u64>,
     ) -> Result<u32> {
         let t = self.table_state(table);
+        let _cs = self.lock_commit();
+        if t.observed.load(Ordering::Acquire) {
+            return Err(crate::error::DbError::LoadAfterBegin);
+        }
         let n = t.col(col.0).current_area().fill(values)?;
         Ok(n)
     }
@@ -236,25 +255,26 @@ impl AnkerDb {
         }
     }
 
-    /// Version-chain entries currently held in one column's *current*
-    /// store (diagnostics).
+    /// Version-chain entries currently held for one column across its
+    /// current store **and** every frozen epoch store still retained for
+    /// old readers (diagnostics).
     pub fn column_versions(&self, table: TableId, col: anker_storage::ColumnId) -> u64 {
         self.table_state(table)
             .col(col.0)
             .versioned
-            .current_store()
-            .version_count()
+            .total_version_count()
     }
 
     /// Total version-chain entries currently held across all tables and
-    /// epochs (diagnostics for Figure 9-style experiments).
+    /// epochs — current stores plus retained frozen epoch stores
+    /// (diagnostics for Figure 9-style experiments).
     pub fn total_versions(&self) -> u64 {
         self.inner
             .tables
             .read()
             .iter()
             .flat_map(|t| t.cols.iter())
-            .map(|c| c.versioned.current_store().version_count())
+            .map(|c| c.versioned.total_version_count())
             .sum()
     }
 
@@ -287,7 +307,7 @@ impl AnkerDb {
         table: TableId,
     ) -> Result<Vec<(String, anker_vmem::KernelStats)>> {
         let state = self.table_state(table);
-        let _cs = self.inner.commit_mx.lock();
+        let _cs = self.lock_commit();
         let mut out = Vec::with_capacity(state.cols.len());
         for (id, def) in state.schema.iter() {
             let area = state.col(id.0).current_area();
@@ -310,7 +330,7 @@ impl AnkerDb {
     /// keeps those outside the simulated space, which only understates
     /// fork's disadvantage.)
     pub fn fork_cost_probe(&self) -> Result<anker_vmem::KernelStats> {
-        let _cs = self.inner.commit_mx.lock();
+        let _cs = self.lock_commit();
         let before = self.inner.kernel.stats();
         let child = self.inner.space.fork()?;
         let delta = self.inner.kernel.stats().delta_since(&before);
@@ -322,7 +342,7 @@ impl AnkerDb {
     /// lock, exactly like the background thread — the cost the paper
     /// attributes to classical MVCC GC.
     pub fn run_gc_once(&self) -> u64 {
-        let _cs = self.inner.commit_mx.lock();
+        let _cs = self.lock_commit();
         let min = self
             .inner
             .active

@@ -42,6 +42,11 @@ pub enum DbError {
     Vm(anker_vmem::VmError),
     /// The transaction was already finished (committed or aborted).
     AlreadyFinished,
+    /// [`crate::AnkerDb::fill_column`] was called after the first
+    /// transaction had begun. Bulk loading bypasses versioning (load
+    /// timestamp 0), so a load racing live transactions would corrupt
+    /// visibility silently; the engine rejects it instead.
+    LoadAfterBegin,
 }
 
 impl fmt::Display for DbError {
@@ -53,6 +58,13 @@ impl fmt::Display for DbError {
             }
             DbError::Vm(e) => write!(f, "memory subsystem error: {e}"),
             DbError::AlreadyFinished => write!(f, "transaction already finished"),
+            DbError::LoadAfterBegin => {
+                write!(
+                    f,
+                    "fill_column is a load-time operation: it must complete \
+                     before the first transaction begins"
+                )
+            }
         }
     }
 }

@@ -43,17 +43,24 @@
 //! txn.update_value(table, balance, 3, Value::Int(25)).unwrap();
 //! txn.commit().unwrap();
 //!
-//! // OLAP: tight-loop aggregation over a virtual column snapshot.
+//! // OLAP: tight-loop aggregation over a virtual column snapshot, with the
+//! // predicate pushed down into the scan (and auto-registered as a
+//! // precision lock for serializable updaters).
 //! let mut olap = db.begin(TxnKind::Olap);
-//! let mut total = 0i64;
-//! olap.scan(table, &[balance], |_, vals| total += vals[0] as i64).unwrap();
+//! let (total, _stats) = olap
+//!     .scan_on(table)
+//!     .range_i64(balance, 11, i64::MAX)
+//!     .project(&[balance])
+//!     .fold(0i64, |acc, _row, vals| acc + vals[0].as_int())
+//!     .unwrap();
 //! olap.commit().unwrap();
-//! assert_eq!(total, 10 * 999 + 25);
+//! assert_eq!(total, 25);
 //! ```
 
 pub mod config;
 pub mod db;
 pub mod error;
+pub mod scan;
 pub mod snapman;
 pub mod table;
 pub mod txn;
@@ -61,6 +68,7 @@ pub mod txn;
 pub use config::{DbConfig, ProcessingMode};
 pub use db::{AnkerDb, CommitState, DbStatsSnapshot};
 pub use error::{AbortReason, DbError, Result};
+pub use scan::ScanBuilder;
 pub use table::TableId;
 pub use txn::{Txn, TxnKind};
 

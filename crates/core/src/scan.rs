@@ -1,0 +1,556 @@
+//! The typed scan layer: [`ScanBuilder`] — predicates pushed down into the
+//! block loops of both scan paths, with automatic precision-lock
+//! registration.
+//!
+//! The paper's headline fast path is the tight, version-check-free snapshot
+//! scan (§2.2, §5.5). The builder keeps that loop structure and adds two
+//! things on top:
+//!
+//! * **Predicate pushdown.** Typed filters ([`ScanBuilder::range_i64`],
+//!   [`ScanBuilder::range_f64`], [`ScanBuilder::lt_f64`],
+//!   [`ScanBuilder::dict_eq`], [`ScanBuilder::in_set`]) are evaluated inside
+//!   the 1024-row block loops. On the snapshot path, per-block min/max zone
+//!   maps ([`anker_storage::ZoneMap`], built lazily on the frozen snapshot
+//!   areas) let whole blocks skip when no filter can match
+//!   (`ScanStats::blocks_skipped`); projection columns are only read for
+//!   blocks with at least one surviving row.
+//! * **Automatic precision locking.** Every filter is converted into the
+//!   equivalent [`Pred`] for serializable updaters (§2.1), and projected
+//!   columns without a filter are logged as full-column reads — the
+//!   serializability footgun of forgetting a manual `log_range` call no
+//!   longer exists.
+//!
+//! Terminal methods: [`ScanBuilder::for_each`] (raw words — the escape
+//! hatch), [`ScanBuilder::for_each_typed`], [`ScanBuilder::fold`], and
+//! [`ScanBuilder::count`]. All return the scan's [`ScanStats`] and
+//! accumulate them into [`crate::Txn::scan_stats`].
+
+use crate::error::Result;
+use crate::table::{TableId, TableState};
+use crate::txn::Txn;
+use anker_mvcc::{Pred, ScanStats, Transaction, BLOCK_ROWS};
+use anker_storage::{rank, ColumnId, LogicalType, Value, ZoneMap};
+use std::sync::Arc;
+
+/// One compiled per-column filter.
+#[derive(Debug, Clone)]
+enum FilterKind {
+    /// `lo <= value <= hi` on the decoded `i64` of an Int or Date column.
+    /// Compared exactly — no `f64` rank — so values beyond the 53-bit
+    /// mantissa filter correctly.
+    RangeI { lo: i64, hi: i64 },
+    /// `lo <= rank(value)` and `rank(value) <= hi` (or `< hi` when
+    /// `hi_exclusive`) on a Double column.
+    Range {
+        lo: f64,
+        hi: f64,
+        hi_exclusive: bool,
+    },
+    /// Dictionary code equality.
+    DictEq(u32),
+    /// Dictionary code set membership.
+    InSet(Vec<u32>),
+}
+
+#[derive(Debug, Clone)]
+struct Filter {
+    col: ColumnId,
+    ty: LogicalType,
+    kind: FilterKind,
+}
+
+impl Filter {
+    #[inline]
+    fn matches(&self, word: u64) -> bool {
+        match &self.kind {
+            FilterKind::RangeI { lo, hi } => {
+                let v = word as i64;
+                v >= *lo && v <= *hi
+            }
+            FilterKind::Range {
+                lo,
+                hi,
+                hi_exclusive,
+            } => {
+                let r = rank(word, self.ty);
+                r >= *lo && if *hi_exclusive { r < *hi } else { r <= *hi }
+            }
+            FilterKind::DictEq(code) => word as u32 == *code,
+            FilterKind::InSet(codes) => codes.contains(&(word as u32)),
+        }
+    }
+
+    /// Can any value in a block with rank range `[min, max]` match?
+    ///
+    /// Zone maps store `f64` ranks, so integer bounds compare through
+    /// their rounded images here. That stays conservative: rounding is
+    /// monotone, so `max_rank < round(lo)` implies every value in the
+    /// block is exactly `< lo` (and symmetrically for the upper bound) —
+    /// a block is only pruned when no value can match exactly.
+    fn block_can_match(&self, min: f64, max: f64) -> bool {
+        match &self.kind {
+            FilterKind::RangeI { lo, hi } => max >= *lo as f64 && min <= *hi as f64,
+            FilterKind::Range {
+                lo,
+                hi,
+                hi_exclusive,
+            } => max >= *lo && if *hi_exclusive { min < *hi } else { min <= *hi },
+            FilterKind::DictEq(code) => {
+                let c = *code as f64;
+                c >= min && c <= max
+            }
+            FilterKind::InSet(codes) => codes.iter().any(|&c| {
+                let c = c as f64;
+                c >= min && c <= max
+            }),
+        }
+    }
+
+    /// Register the precision locks equivalent to this filter. Bounds are
+    /// only ever widened — exclusive bounds become inclusive, and integer
+    /// bounds beyond the 53-bit mantissa are padded by one ULP against
+    /// `f64` rounding — strictly conservative, never under-locking.
+    fn log_preds(&self, col: anker_mvcc::ColRef, txn: &mut Transaction) {
+        match &self.kind {
+            FilterKind::RangeI { lo, hi } => txn.log_predicate(Pred::Range {
+                col,
+                ty: self.ty,
+                lo: (*lo as f64).next_down(),
+                hi: (*hi as f64).next_up(),
+            }),
+            FilterKind::Range { lo, hi, .. } => txn.log_predicate(Pred::Range {
+                col,
+                ty: self.ty,
+                lo: *lo,
+                hi: *hi,
+            }),
+            FilterKind::DictEq(code) => txn.log_predicate(Pred::DictEq { col, code: *code }),
+            FilterKind::InSet(codes) => {
+                for &code in codes {
+                    txn.log_predicate(Pred::DictEq { col, code });
+                }
+            }
+        }
+    }
+}
+
+/// A scan under construction: obtain with [`Txn::scan_on`], chain typed
+/// predicates and a projection, finish with a terminal method.
+///
+/// Filters combine conjunctively (logical AND). The projection decides what
+/// the row callback receives, in the order given to
+/// [`ScanBuilder::project`]; without a projection the callback receives an
+/// empty slice (useful with [`ScanBuilder::count`] or when only row ids
+/// matter). A column may appear in both a filter and the projection; its
+/// block is read once.
+#[must_use = "a ScanBuilder does nothing until a terminal method runs it"]
+pub struct ScanBuilder<'t> {
+    txn: &'t mut Txn,
+    table: TableId,
+    filters: Vec<Filter>,
+    projection: Vec<ColumnId>,
+}
+
+impl<'t> ScanBuilder<'t> {
+    pub(crate) fn new(txn: &'t mut Txn, table: TableId) -> ScanBuilder<'t> {
+        ScanBuilder {
+            txn,
+            table,
+            filters: Vec::new(),
+            projection: Vec::new(),
+        }
+    }
+
+    fn col_ty(&mut self, col: ColumnId) -> LogicalType {
+        self.txn.table(self.table).schema.def(col).ty
+    }
+
+    /// Keep rows with `lo <= col <= hi` (inclusive). `col` must be an
+    /// `Int` or `Date` column (dates are their day counts). The comparison
+    /// is exact over the full `i64` domain.
+    pub fn range_i64(mut self, col: ColumnId, lo: i64, hi: i64) -> Self {
+        let ty = self.col_ty(col);
+        assert!(
+            matches!(ty, LogicalType::Int | LogicalType::Date),
+            "range_i64 applies to Int or Date columns, found {ty:?}"
+        );
+        self.filters.push(Filter {
+            col,
+            ty,
+            kind: FilterKind::RangeI { lo, hi },
+        });
+        self
+    }
+
+    /// Keep rows with `lo <= col <= hi` (inclusive). `col` must be a
+    /// `Double` column.
+    pub fn range_f64(mut self, col: ColumnId, lo: f64, hi: f64) -> Self {
+        let ty = self.col_ty(col);
+        assert!(
+            ty == LogicalType::Double,
+            "range_f64 applies to Double columns, found {ty:?}"
+        );
+        self.filters.push(Filter {
+            col,
+            ty,
+            kind: FilterKind::Range {
+                lo,
+                hi,
+                hi_exclusive: false,
+            },
+        });
+        self
+    }
+
+    /// Keep rows with `col < hi` (strict). `col` must be a `Double`
+    /// column.
+    pub fn lt_f64(mut self, col: ColumnId, hi: f64) -> Self {
+        let ty = self.col_ty(col);
+        assert!(
+            ty == LogicalType::Double,
+            "lt_f64 applies to Double columns, found {ty:?}"
+        );
+        self.filters.push(Filter {
+            col,
+            ty,
+            kind: FilterKind::Range {
+                lo: f64::NEG_INFINITY,
+                hi,
+                hi_exclusive: true,
+            },
+        });
+        self
+    }
+
+    /// Keep rows whose dictionary code equals `code`. `col` must be a
+    /// `Dict` column.
+    pub fn dict_eq(mut self, col: ColumnId, code: u32) -> Self {
+        let ty = self.col_ty(col);
+        assert!(
+            ty == LogicalType::Dict,
+            "dict_eq applies to Dict columns, found {ty:?}"
+        );
+        self.filters.push(Filter {
+            col,
+            ty,
+            kind: FilterKind::DictEq(code),
+        });
+        self
+    }
+
+    /// Keep rows whose dictionary code is one of `codes` (an empty set
+    /// matches nothing). `col` must be a `Dict` column.
+    pub fn in_set(mut self, col: ColumnId, codes: impl IntoIterator<Item = u32>) -> Self {
+        let ty = self.col_ty(col);
+        assert!(
+            ty == LogicalType::Dict,
+            "in_set applies to Dict columns, found {ty:?}"
+        );
+        self.filters.push(Filter {
+            col,
+            ty,
+            kind: FilterKind::InSet(codes.into_iter().collect()),
+        });
+        self
+    }
+
+    /// Set the columns the row callback receives, in this order.
+    pub fn project(mut self, cols: &[ColumnId]) -> Self {
+        self.projection = cols.to_vec();
+        self
+    }
+
+    /// Run the scan, calling `f(row, words)` with the **raw 8-byte words**
+    /// of the projection for every row that passes all filters — the
+    /// escape hatch for hot aggregation loops that decode inline.
+    pub fn for_each(self, mut f: impl FnMut(u32, &[u64])) -> Result<ScanStats> {
+        self.run(&mut f)
+    }
+
+    /// Run the scan, calling `f(row, values)` with the decoded
+    /// [`Value`]s of the projection for every row that passes all filters.
+    pub fn for_each_typed(self, mut f: impl FnMut(u32, &[Value])) -> Result<ScanStats> {
+        let tys: Vec<LogicalType> = {
+            let state = self.txn.table(self.table);
+            self.projection
+                .iter()
+                .map(|&c| state.schema.def(c).ty)
+                .collect()
+        };
+        let mut vals: Vec<Value> = Vec::with_capacity(tys.len());
+        self.run(&mut |row, words| {
+            vals.clear();
+            vals.extend(words.iter().zip(&tys).map(|(&w, &ty)| Value::decode(w, ty)));
+            f(row, &vals);
+        })
+    }
+
+    /// Run the scan, folding the decoded projection of every passing row
+    /// into an accumulator.
+    pub fn fold<A>(
+        self,
+        init: A,
+        mut f: impl FnMut(A, u32, &[Value]) -> A,
+    ) -> Result<(A, ScanStats)> {
+        let mut acc = Some(init);
+        let stats = self.for_each_typed(|row, vals| {
+            let a = acc.take().expect("accumulator present");
+            acc = Some(f(a, row, vals));
+        })?;
+        Ok((acc.expect("accumulator present"), stats))
+    }
+
+    /// Run the scan and count the rows passing all filters. The projection
+    /// is ignored (no value columns are read).
+    pub fn count(mut self) -> Result<(u64, ScanStats)> {
+        self.projection.clear();
+        let mut n = 0u64;
+        let stats = self.run(&mut |_, _| n += 1)?;
+        Ok((n, stats))
+    }
+
+    /// Execute: log precision locks, then drive the snapshot or the
+    /// versioned block loop.
+    fn run(self, sink: &mut dyn FnMut(u32, &[u64])) -> Result<ScanStats> {
+        let ScanBuilder {
+            txn,
+            table,
+            filters,
+            projection,
+        } = self;
+        if txn.serializable_updater() {
+            for flt in &filters {
+                flt.log_preds(Txn::colref(table, flt.col), &mut txn.inner);
+            }
+            // Projection columns without a filter are full-column reads;
+            // filtered columns are covered (more precisely) by their
+            // filter's predicate.
+            for &c in &projection {
+                if !filters.iter().any(|flt| flt.col == c) {
+                    txn.inner.log_predicate(Pred::FullColumn {
+                        col: Txn::colref(table, c),
+                    });
+                }
+            }
+        }
+        let mut stats = ScanStats::default();
+        if txn.epoch.is_some() {
+            Self::run_snapshot(txn, table, &filters, &projection, sink, &mut stats)?;
+        } else {
+            Self::run_versioned(txn, table, &filters, &projection, sink, &mut stats)?;
+        }
+        txn.scan_stats.merge(&stats);
+        Ok(stats)
+    }
+
+    /// Heterogeneous OLAP: tight loops over frozen snapshot columns — no
+    /// version checks — with zone-map block pruning.
+    fn run_snapshot(
+        txn: &mut Txn,
+        table: TableId,
+        filters: &[Filter],
+        projection: &[ColumnId],
+        sink: &mut dyn FnMut(u32, &[u64]),
+        stats: &mut ScanStats,
+    ) -> Result<()> {
+        let rows = txn.db.rows(table);
+        let filter_snaps = filters
+            .iter()
+            .map(|flt| txn.snapshot_col(table, flt.col))
+            .collect::<Result<Vec<_>>>()?;
+        let proj_snaps = projection
+            .iter()
+            .map(|&c| txn.snapshot_col(table, c))
+            .collect::<Result<Vec<_>>>()?;
+        // Zone maps live on the frozen snapshot areas; building them is a
+        // one-time cost per (epoch, column) amortised over every filtered
+        // scan of that snapshot.
+        let zone_maps: Vec<Arc<ZoneMap>> = filters
+            .iter()
+            .zip(&filter_snaps)
+            .map(|(flt, sc)| sc.area().zone_map(flt.ty, BLOCK_ROWS))
+            .collect::<std::result::Result<_, _>>()?;
+        let mut em = BlockEmitter::new(filters, projection);
+        let mut start = 0u32;
+        while start < rows {
+            let n = BLOCK_ROWS.min(rows - start);
+            let block_idx = (start / BLOCK_ROWS) as usize;
+            let prunable = !zone_maps.iter().zip(filters).all(|(zm, flt)| {
+                let (lo, hi) = zm.block_range(block_idx);
+                flt.block_can_match(lo, hi)
+            });
+            if prunable {
+                stats.blocks_skipped += 1;
+                start += n;
+                continue;
+            }
+            for (sc, buf) in filter_snaps.iter().zip(em.fbufs.iter_mut()) {
+                sc.area().read_block_into(start, n, buf)?;
+            }
+            stats.tight_rows += n as u64;
+            em.filter_and_emit(
+                filters,
+                start,
+                n,
+                stats,
+                &mut |pi, buf, _| Ok(proj_snaps[pi].area().read_block_into(start, n, buf)?),
+                sink,
+            )?;
+            start += n;
+        }
+        Ok(())
+    }
+
+    /// Versioned scan at the transaction's start timestamp with the
+    /// 1024-row block-skip optimisation (§5.5). Live data carries no zone
+    /// maps (in-place installs would invalidate them), but filters still
+    /// run inside the block loop and projection columns are only gathered
+    /// for blocks with surviving rows.
+    fn run_versioned(
+        txn: &mut Txn,
+        table: TableId,
+        filters: &[Filter],
+        projection: &[ColumnId],
+        sink: &mut dyn FnMut(u32, &[u64]),
+        stats: &mut ScanStats,
+    ) -> Result<()> {
+        let rows = txn.db.rows(table);
+        let state: Arc<TableState> = txn.table(table);
+        let start_ts = txn.inner.start_ts();
+        let filter_states: Vec<_> = filters.iter().map(|flt| state.col(flt.col.0)).collect();
+        let filter_areas: Vec<_> = filter_states.iter().map(|cs| cs.current_area()).collect();
+        let proj_states: Vec<_> = projection.iter().map(|&c| state.col(c.0)).collect();
+        let proj_areas: Vec<_> = proj_states.iter().map(|cs| cs.current_area()).collect();
+        let mut em = BlockEmitter::new(filters, projection);
+        let mut start = 0u32;
+        while start < rows {
+            let n = BLOCK_ROWS.min(rows - start);
+            for ((cs, area), buf) in filter_states
+                .iter()
+                .zip(&filter_areas)
+                .zip(em.fbufs.iter_mut())
+            {
+                cs.versioned
+                    .gather_visible_block(area, start_ts, start, n, buf, stats)?;
+            }
+            em.filter_and_emit(
+                filters,
+                start,
+                n,
+                stats,
+                &mut |pi, buf, stats| {
+                    proj_states[pi].versioned.gather_visible_block(
+                        &proj_areas[pi],
+                        start_ts,
+                        start,
+                        n,
+                        buf,
+                        stats,
+                    )?;
+                    Ok(())
+                },
+                sink,
+            )?;
+            start += n;
+        }
+        Ok(())
+    }
+}
+
+/// Per-block machinery shared by both scan paths: evaluate the filters over
+/// the gathered filter-column buffers, account for removed rows, and — when
+/// any row survives — fill the projection buffers (reusing filter buffers
+/// for overlapping columns, reading the rest through `read_proj`) and emit
+/// the surviving rows into the sink.
+struct BlockEmitter {
+    /// For each projection column, the index of the filter whose buffer
+    /// already holds it (read each block once).
+    proj_from_filter: Vec<Option<usize>>,
+    fbufs: Vec<Vec<u64>>,
+    pbufs: Vec<Vec<u64>>,
+    matched: Vec<u32>,
+    vals: Vec<u64>,
+}
+
+impl BlockEmitter {
+    fn new(filters: &[Filter], projection: &[ColumnId]) -> BlockEmitter {
+        let block = BLOCK_ROWS as usize;
+        let proj_from_filter: Vec<Option<usize>> = projection
+            .iter()
+            .map(|&c| filters.iter().position(|flt| flt.col == c))
+            .collect();
+        // Overlapping columns are served from the filter buffer; give them
+        // an empty placeholder so `pbufs` stays indexable by projection
+        // position without duplicating storage.
+        let pbufs = proj_from_filter
+            .iter()
+            .map(|src| match src {
+                Some(_) => Vec::new(),
+                None => vec![0u64; block],
+            })
+            .collect();
+        BlockEmitter {
+            proj_from_filter,
+            fbufs: vec![vec![0u64; block]; filters.len()],
+            pbufs,
+            matched: Vec::with_capacity(block),
+            vals: vec![0u64; projection.len()],
+        }
+    }
+
+    /// `fbufs` must already hold the filter columns' words for rows
+    /// `[start, start + n)`. `read_proj(pi, buf, stats)` reads projection
+    /// column `pi`'s words for the same rows.
+    fn filter_and_emit(
+        &mut self,
+        filters: &[Filter],
+        start: u32,
+        n: u32,
+        stats: &mut ScanStats,
+        read_proj: &mut dyn FnMut(usize, &mut [u64], &mut ScanStats) -> Result<()>,
+        sink: &mut dyn FnMut(u32, &[u64]),
+    ) -> Result<()> {
+        self.matched.clear();
+        if filters.is_empty() {
+            self.matched.extend(0..n);
+        } else {
+            for i in 0..n {
+                if filters
+                    .iter()
+                    .zip(&self.fbufs)
+                    .all(|(flt, buf)| flt.matches(buf[i as usize]))
+                {
+                    self.matched.push(i);
+                }
+            }
+        }
+        stats.rows_filtered += n as u64 - self.matched.len() as u64;
+        if self.matched.is_empty() {
+            return Ok(());
+        }
+        // Projection columns that are also filter columns read straight
+        // from the filter buffer in the emit loop below — no copy; only
+        // the rest are fetched.
+        for (pi, (buf, src)) in self
+            .pbufs
+            .iter_mut()
+            .zip(&self.proj_from_filter)
+            .enumerate()
+        {
+            if src.is_none() {
+                read_proj(pi, buf, stats)?;
+            }
+        }
+        for &i in &self.matched {
+            for (ci, src) in self.proj_from_filter.iter().enumerate() {
+                let buf = match src {
+                    Some(fi) => &self.fbufs[*fi],
+                    None => &self.pbufs[ci],
+                };
+                self.vals[ci] = buf[i as usize];
+            }
+            sink(start + i, &self.vals);
+        }
+        Ok(())
+    }
+}

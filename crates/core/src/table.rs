@@ -3,7 +3,7 @@
 use anker_mvcc::VersionedColumn;
 use anker_storage::{ColumnArea, Schema};
 use parking_lot::RwLock;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Identifier of a table within its database.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -61,10 +61,23 @@ pub(crate) struct TableState {
     pub schema: Schema,
     pub rows: u32,
     pub cols: Vec<ColumnState>,
+    /// Latched when a transaction first resolves this table for data
+    /// access; from then on bulk loads are rejected (see
+    /// [`crate::AnkerDb::fill_column`]). Per table, so tables created
+    /// after transactions have run elsewhere can still be loaded.
+    pub observed: AtomicBool,
 }
 
 impl TableState {
     pub fn col(&self, idx: usize) -> &ColumnState {
         &self.cols[idx]
+    }
+
+    /// Record that a transaction resolved this table (one-shot latch; the
+    /// steady state is a read-shared load).
+    pub fn mark_observed(&self) {
+        if !self.observed.load(Ordering::Relaxed) {
+            self.observed.store(true, Ordering::Release);
+        }
     }
 }

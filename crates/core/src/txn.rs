@@ -28,17 +28,23 @@ pub enum TxnKind {
 
 /// A running transaction. Obtain with [`AnkerDb::begin`]; finish with
 /// [`Txn::commit`] or [`Txn::abort`] (dropping aborts implicitly).
+///
+/// Reads go through [`Txn::get`]/[`Txn::get_value`] for single rows and
+/// through the [`crate::ScanBuilder`] obtained from [`Txn::scan_on`] for
+/// table scans with pushed-down predicates.
 pub struct Txn {
-    db: AnkerDb,
-    inner: Transaction,
+    pub(crate) db: AnkerDb,
+    pub(crate) inner: Transaction,
     kind: TxnKind,
     /// Pinned snapshot epoch (heterogeneous OLAP only).
-    epoch: Option<Arc<Epoch>>,
+    pub(crate) epoch: Option<Arc<Epoch>>,
     snap_cache: FxHashMap<(u16, u16), Arc<SnapCol>>,
     /// Per-transaction cache of resolved table states: avoids re-taking the
     /// tables RwLock on every operation (a measurable cache-line ping-pong
     /// between cores on the OLTP hot path).
     table_cache: Vec<Option<Arc<TableState>>>,
+    /// Running total of all scan statistics this transaction produced.
+    pub(crate) scan_stats: ScanStats,
     active_token: Option<anker_mvcc::ActiveToken>,
     finished: bool,
 }
@@ -75,6 +81,7 @@ impl Txn {
             epoch,
             snap_cache: FxHashMap::default(),
             table_cache: Vec::new(),
+            scan_stats: ScanStats::default(),
             active_token: Some(active_token),
             finished: false,
         }
@@ -83,7 +90,7 @@ impl Txn {
     /// Resolve (and cache) a table's state for the rest of this
     /// transaction. Tables are append-only registered, so the cache cannot
     /// go stale.
-    fn table(&mut self, table: TableId) -> Arc<TableState> {
+    pub(crate) fn table(&mut self, table: TableId) -> Arc<TableState> {
         let idx = table.0 as usize;
         if idx >= self.table_cache.len() {
             self.table_cache.resize(idx + 1, None);
@@ -92,6 +99,9 @@ impl Txn {
             return Arc::clone(t);
         }
         let state = self.db.table_state(table);
+        // This table's data is now part of a transaction's footprint: close
+        // its bulk-load window (see `AnkerDb::fill_column`).
+        state.mark_observed();
         self.table_cache[idx] = Some(Arc::clone(&state));
         state
     }
@@ -133,21 +143,24 @@ impl Txn {
         self.inner.start_ts()
     }
 
-    fn colref(table: TableId, col: ColumnId) -> ColRef {
+    pub(crate) fn colref(table: TableId, col: ColumnId) -> ColRef {
         ColRef::new(table.0, col.0 as u16)
     }
 
-    fn serializable_updater(&self) -> bool {
+    pub(crate) fn serializable_updater(&self) -> bool {
         self.kind == TxnKind::Oltp && self.db.inner.config.isolation == IsolationLevel::Serializable
     }
 
     /// The snapshot column for `(table, col)`, materialising it on first
     /// access (§2.2.2 lazy materialisation).
-    fn snapshot_col(&mut self, table: TableId, col: ColumnId) -> Result<Arc<SnapCol>> {
+    pub(crate) fn snapshot_col(&mut self, table: TableId, col: ColumnId) -> Result<Arc<SnapCol>> {
         let key = (table.0, col.0 as u16);
         if let Some(sc) = self.snap_cache.get(&key) {
             return Ok(Arc::clone(sc));
         }
+        // The epoch read path bypasses `Txn::table`, but it observes the
+        // table's data all the same: close its bulk-load window.
+        self.db.table_state(table).mark_observed();
         let epoch = self.epoch.as_ref().expect("snapshot access without epoch");
         let sc = match epoch.col(key) {
             Some(sc) => sc,
@@ -228,8 +241,47 @@ impl Txn {
         self.update(table, col, row, value.encode())
     }
 
+    /// Start building a scan over `table`: chain typed predicates and a
+    /// projection on the returned [`crate::ScanBuilder`], then finish with
+    /// one of its terminal methods. Predicates are pushed down into the
+    /// block loops of both scan paths and are automatically converted into
+    /// precision locks for serializable updaters — no manual
+    /// `log_range`/`log_dict_eq` calls needed.
+    ///
+    /// ```
+    /// # use anker_core::{AnkerDb, ColumnDef, DbConfig, LogicalType, Schema, TxnKind, Value};
+    /// # let db = AnkerDb::new(DbConfig::default());
+    /// # let t = db.create_table(
+    /// #     "x", Schema::new(vec![ColumnDef::new("v", LogicalType::Int)]), 8);
+    /// # let v = db.schema(t).col("v");
+    /// # db.fill_column(t, v, (0..8).map(|i| Value::Int(i).encode())).unwrap();
+    /// let mut olap = db.begin(TxnKind::Olap);
+    /// let (sum, _stats) = olap
+    ///     .scan_on(t)
+    ///     .range_i64(v, 2, 5)
+    ///     .project(&[v])
+    ///     .fold(0i64, |acc, _row, vals| acc + vals[0].as_int())
+    ///     .unwrap();
+    /// assert_eq!(sum, 2 + 3 + 4 + 5);
+    /// ```
+    pub fn scan_on(&mut self, table: TableId) -> crate::scan::ScanBuilder<'_> {
+        crate::scan::ScanBuilder::new(self, table)
+    }
+
+    /// Running total of the scan statistics of every scan this transaction
+    /// executed (each terminal scan method also returns its own
+    /// [`ScanStats`]).
+    pub fn scan_stats(&self) -> ScanStats {
+        self.scan_stats
+    }
+
     /// Log a range predicate `lo <= col <= hi` this transaction filtered on
     /// (precision locking; no-op unless a serializable updater).
+    #[deprecated(
+        since = "0.2.0",
+        note = "predicates passed to `Txn::scan_on` register their precision \
+                locks automatically; use `ScanBuilder::range_i64`/`range_f64`"
+    )]
     pub fn log_range(&mut self, table: TableId, col: ColumnId, lo: f64, hi: f64) {
         if self.serializable_updater() {
             let ty = self.table(table).schema.def(col).ty;
@@ -243,6 +295,11 @@ impl Txn {
     }
 
     /// Log a dictionary-equality predicate.
+    #[deprecated(
+        since = "0.2.0",
+        note = "predicates passed to `Txn::scan_on` register their precision \
+                locks automatically; use `ScanBuilder::dict_eq`/`in_set`"
+    )]
     pub fn log_dict_eq(&mut self, table: TableId, col: ColumnId, code: u32) {
         if self.serializable_updater() {
             self.inner.log_predicate(Pred::DictEq {
@@ -250,77 +307,6 @@ impl Txn {
                 code,
             });
         }
-    }
-
-    /// Multi-column scan in row order: `f(row, values)` receives one raw
-    /// word per requested column.
-    ///
-    /// * Heterogeneous OLAP: tight loops over the snapshot columns — no
-    ///   version checks at all (the paper's headline fast path).
-    /// * Otherwise: versioned scan at the transaction's start timestamp
-    ///   with the 1024-row block-skip optimisation (§5.5).
-    pub fn scan(
-        &mut self,
-        table: TableId,
-        cols: &[ColumnId],
-        mut f: impl FnMut(u32, &[u64]),
-    ) -> Result<ScanStats> {
-        let rows = self.db.rows(table);
-        let mut stats = ScanStats::default();
-        if self.epoch.is_some() {
-            let areas = cols
-                .iter()
-                .map(|&c| self.snapshot_col(table, c))
-                .collect::<Result<Vec<_>>>()?;
-            let mut bufs = vec![vec![0u64; anker_mvcc::BLOCK_ROWS as usize]; cols.len()];
-            let mut vals = vec![0u64; cols.len()];
-            let mut start = 0u32;
-            while start < rows {
-                let n = anker_mvcc::BLOCK_ROWS.min(rows - start);
-                for (sc, buf) in areas.iter().zip(bufs.iter_mut()) {
-                    sc.area().read_block_into(start, n, buf)?;
-                }
-                for i in 0..n {
-                    for (ci, buf) in bufs.iter().enumerate() {
-                        vals[ci] = buf[i as usize];
-                    }
-                    f(start + i, &vals);
-                }
-                stats.tight_rows += n as u64;
-                start += n;
-            }
-            return Ok(stats);
-        }
-        // Live (versioned) scan.
-        if self.serializable_updater() {
-            for &c in cols {
-                self.inner.log_predicate(Pred::FullColumn {
-                    col: Self::colref(table, c),
-                });
-            }
-        }
-        let state: Arc<TableState> = self.table(table);
-        let start_ts = self.inner.start_ts();
-        let col_states: Vec<_> = cols.iter().map(|&c| state.col(c.0)).collect();
-        let areas: Vec<_> = col_states.iter().map(|cs| cs.current_area()).collect();
-        let mut bufs = vec![vec![0u64; anker_mvcc::BLOCK_ROWS as usize]; cols.len()];
-        let mut vals = vec![0u64; cols.len()];
-        let mut start = 0u32;
-        while start < rows {
-            let n = anker_mvcc::BLOCK_ROWS.min(rows - start);
-            for ((cs, area), buf) in col_states.iter().zip(&areas).zip(bufs.iter_mut()) {
-                cs.versioned
-                    .gather_visible_block(area, start_ts, start, n, buf, &mut stats)?;
-            }
-            for i in 0..n {
-                for (ci, buf) in bufs.iter().enumerate() {
-                    vals[ci] = buf[i as usize];
-                }
-                f(start + i, &vals);
-            }
-            start += n;
-        }
-        Ok(stats)
     }
 
     /// Commit. Read-only transactions commit without validation (they are

@@ -137,16 +137,15 @@ fn write_skew_prevented_under_serializability() {
 #[test]
 fn range_predicate_validation() {
     let (db, t, a, b) = small_db(DbConfig::homogeneous_serializable());
-    // T1 scans rows with a in [0, 50] and writes a summary into b.
+    // T1 scans rows with a in [0, 50] and writes a summary into b. The
+    // pushed-down predicate registers the precision lock automatically.
     let mut t1 = db.begin(TxnKind::Oltp);
-    t1.log_range(t, a, 0.0, 50.0);
     let mut sum = 0u64;
-    t1.scan(t, &[a], |_, v| {
-        if v[0] <= 50 {
-            sum += v[0];
-        }
-    })
-    .unwrap();
+    t1.scan_on(t)
+        .range_i64(a, 0, 50)
+        .project(&[a])
+        .for_each(|_, v| sum += v[0])
+        .unwrap();
     // Concurrently, T2 moves a value into that range and commits.
     let mut t2 = db.begin(TxnKind::Oltp);
     t2.update(t, a, 3000, 25).unwrap();
@@ -164,9 +163,13 @@ fn range_predicate_validation() {
 fn unrelated_writes_pass_validation() {
     let (db, t, a, b) = small_db(DbConfig::homogeneous_serializable());
     let mut t1 = db.begin(TxnKind::Oltp);
-    t1.log_range(t, a, 0.0, 50.0);
+    t1.scan_on(t)
+        .range_i64(a, 0, 50)
+        .for_each(|_, _| {})
+        .unwrap();
     t1.update(t, b, 1, 1).unwrap();
-    // T2 writes far outside T1's predicate range.
+    // T2 writes far outside T1's predicate range: the auto-registered
+    // precision lock is the *range*, not the whole column, so T1 commits.
     let mut t2 = db.begin(TxnKind::Oltp);
     t2.update(t, a, 3000, 999_999).unwrap();
     t2.commit().unwrap();
@@ -174,12 +177,37 @@ fn unrelated_writes_pass_validation() {
 }
 
 #[test]
+fn deprecated_log_shims_still_register_predicates() {
+    // The manual shims stay for one release; they must keep protecting
+    // callers that have not migrated yet.
+    let (db, t, a, b) = small_db(DbConfig::homogeneous_serializable());
+    let mut t1 = db.begin(TxnKind::Oltp);
+    #[allow(deprecated)]
+    t1.log_range(t, a, 0.0, 50.0);
+    let mut t2 = db.begin(TxnKind::Oltp);
+    t2.update(t, a, 3000, 25).unwrap();
+    t2.commit().unwrap();
+    t1.update(t, b, 0, 1).unwrap();
+    match t1.commit() {
+        Err(DbError::Aborted(AbortReason::ValidationFailed { .. })) => {}
+        other => panic!("expected validation abort, got {other:?}"),
+    }
+}
+
+#[test]
 fn hetero_olap_runs_on_snapshot_epoch() {
     let (db, t, a, _) = small_db(DbConfig::heterogeneous_serializable().with_snapshot_every(5));
     // First OLAP arrival creates the first epoch (Figure 1, step 4).
+    let sum_col = |olap: &mut anker_core::Txn| {
+        let mut sum = 0u64;
+        olap.scan_on(t)
+            .project(&[a])
+            .for_each(|_, v| sum += v[0])
+            .unwrap();
+        sum
+    };
     let mut olap = db.begin(TxnKind::Olap);
-    let mut sum0 = 0u64;
-    olap.scan(t, &[a], |_, v| sum0 += v[0]).unwrap();
+    let sum0 = sum_col(&mut olap);
     assert_eq!(sum0, (0..4096u64).sum::<u64>());
     // Concurrent OLTP updates do not disturb the running OLAP txn.
     for i in 0..20 {
@@ -187,14 +215,12 @@ fn hetero_olap_runs_on_snapshot_epoch() {
         w.update(t, a, i, 0).unwrap();
         w.commit().unwrap();
     }
-    let mut sum1 = 0u64;
-    olap.scan(t, &[a], |_, v| sum1 += v[0]).unwrap();
+    let sum1 = sum_col(&mut olap);
     assert_eq!(sum1, sum0, "snapshot must be frozen for the OLAP txn");
     olap.commit().unwrap();
     // A new OLAP txn sees a fresher epoch (triggered every 5 commits).
     let mut olap2 = db.begin(TxnKind::Olap);
-    let mut sum2 = 0u64;
-    olap2.scan(t, &[a], |_, v| sum2 += v[0]).unwrap();
+    let sum2 = sum_col(&mut olap2);
     olap2.commit().unwrap();
     assert!(sum2 < sum0, "later epoch must reflect the zeroed rows");
     assert!(db.stats().epochs_triggered >= 2);
@@ -210,7 +236,7 @@ fn olap_scan_is_tight_on_snapshots() {
         w.commit().unwrap();
     }
     let mut olap = db.begin(TxnKind::Olap);
-    let stats = olap.scan(t, &[a], |_, _| {}).unwrap();
+    let stats = olap.scan_on(t).project(&[a]).for_each(|_, _| {}).unwrap();
     olap.commit().unwrap();
     assert_eq!(stats.checked_rows, 0, "snapshot scans never check versions");
     assert_eq!(stats.chain_walks, 0);
@@ -228,7 +254,11 @@ fn homogeneous_olap_pays_version_checks() {
         w.commit().unwrap();
     }
     let mut n = 0u64;
-    let stats = olap.scan(t, &[a], |_, _| n += 1).unwrap();
+    let stats = olap
+        .scan_on(t)
+        .project(&[a])
+        .for_each(|_, _| n += 1)
+        .unwrap();
     olap.commit().unwrap();
     assert_eq!(n, 4096);
     assert!(
@@ -431,7 +461,10 @@ fn concurrent_transfers_preserve_invariant() {
                     loop {
                         let mut olap = db.begin(TxnKind::Olap);
                         let mut sum = 0u64;
-                        olap.scan(t, &[a], |_, v| sum += v[0]).unwrap();
+                        olap.scan_on(t)
+                            .project(&[a])
+                            .for_each(|_, v| sum += v[0])
+                            .unwrap();
                         olap.commit().unwrap();
                         assert_eq!(sum, expected, "scan observed a torn state");
                         scans += 1;
@@ -451,5 +484,249 @@ fn concurrent_transfers_preserve_invariant() {
         });
         let s = db.stats();
         assert!(s.committed >= 600, "commits: {}", s.committed);
+    }
+}
+
+/// The typed filters agree with a manual re-filtering of a raw scan, on
+/// both the snapshot and the versioned path.
+#[test]
+fn scan_builder_filters_match_manual_filtering() {
+    for config in [
+        DbConfig::heterogeneous_serializable().with_snapshot_every(5),
+        DbConfig::homogeneous_serializable(),
+    ] {
+        let db = AnkerDb::new(config.with_gc_interval(None));
+        let dict = std::sync::Arc::new(anker_storage::Dictionary::with_values([
+            "a", "b", "c", "d", "e", "f", "g",
+        ]));
+        let t = db.create_table(
+            "m",
+            Schema::new(vec![
+                ColumnDef::new("i", LogicalType::Int),
+                ColumnDef::new("d", LogicalType::Double),
+                ColumnDef::dict("k", dict),
+            ]),
+            3072,
+        );
+        let schema = db.schema(t);
+        let (i, d, k) = (schema.col("i"), schema.col("d"), schema.col("k"));
+        use anker_core::Value;
+        db.fill_column(t, i, (0..3072).map(|x| Value::Int(x % 97).encode()))
+            .unwrap();
+        db.fill_column(
+            t,
+            d,
+            (0..3072).map(|x| Value::Double(x as f64 / 10.0).encode()),
+        )
+        .unwrap();
+        db.fill_column(t, k, (0..3072).map(|x| Value::Dict(x % 7).encode()))
+            .unwrap();
+        let mut olap = db.begin(TxnKind::Olap);
+        // range_i64 + lt_f64 + in_set, conjunctively.
+        let mut expected = Vec::new();
+        for x in 0..3072u32 {
+            let iv = (x % 97) as i64;
+            let dv = x as f64 / 10.0;
+            let kv = x % 7;
+            if (10..=40).contains(&iv) && dv < 150.0 && (kv == 2 || kv == 5) {
+                expected.push((x, iv));
+            }
+        }
+        let mut got = Vec::new();
+        let stats = olap
+            .scan_on(t)
+            .range_i64(i, 10, 40)
+            .lt_f64(d, 150.0)
+            .in_set(k, [2u32, 5])
+            .project(&[i])
+            .for_each_typed(|row, vals| got.push((row, vals[0].as_int())))
+            .unwrap();
+        assert_eq!(got, expected);
+        assert_eq!(
+            stats.rows_filtered,
+            3072 - expected.len() as u64 - stats.blocks_skipped * 1024
+        );
+        // count() agrees, dict_eq alone agrees.
+        let (n, _) = olap.scan_on(t).dict_eq(k, 3).count().unwrap();
+        assert_eq!(n, (0..3072u32).filter(|x| x % 7 == 3).count() as u64);
+        olap.commit().unwrap();
+    }
+}
+
+/// Zone maps prune whole blocks on the snapshot path when the data is
+/// clustered on the filtered column.
+#[test]
+fn zone_maps_skip_blocks_on_snapshot_scans() {
+    let (db, t, a, _) = small_db(DbConfig::heterogeneous_serializable().with_snapshot_every(50));
+    // Column a holds 0..4096 in order (loaded by small_db): 4 blocks with
+    // disjoint ranges.
+    let mut olap = db.begin(TxnKind::Olap);
+    let mut sum = 0u64;
+    let stats = olap
+        .scan_on(t)
+        .range_i64(a, 2048, 2100)
+        .project(&[a])
+        .for_each(|_, v| sum += v[0])
+        .unwrap();
+    olap.commit().unwrap();
+    assert_eq!(sum, (2048..=2100u64).sum::<u64>());
+    assert_eq!(stats.blocks_skipped, 3, "blocks 0, 1, 3 cannot match");
+    assert_eq!(stats.tight_rows, 1024, "only block 2 was read");
+    assert_eq!(stats.rows_filtered, 1024 - 53);
+    // The versioned path filters but never prunes (live data has no zone
+    // maps).
+    let mut oltp = db.begin(TxnKind::Oltp);
+    let mut n = 0u64;
+    let stats = oltp
+        .scan_on(t)
+        .range_i64(a, 2048, 2100)
+        .for_each(|_, _| n += 1)
+        .unwrap();
+    oltp.commit().unwrap();
+    assert_eq!(n, 53);
+    assert_eq!(stats.blocks_skipped, 0);
+    assert_eq!(stats.rows_filtered, 4096 - 53);
+}
+
+/// Integer range filters compare exactly: values around 2^53, where `f64`
+/// rounding collapses neighbours, still filter correctly.
+#[test]
+fn range_i64_is_exact_beyond_f64_mantissa() {
+    let db = AnkerDb::new(DbConfig::heterogeneous_serializable().with_gc_interval(None));
+    let t = db.create_table(
+        "big",
+        Schema::new(vec![ColumnDef::new("v", LogicalType::Int)]),
+        4,
+    );
+    let v = db.schema(t).col("v");
+    const BIG: i64 = 1 << 53; // 2^53 and 2^53 + 1 round to the same f64
+    use anker_core::Value;
+    db.fill_column(
+        t,
+        v,
+        [BIG - 1, BIG, BIG + 1, BIG + 2].map(|x| Value::Int(x).encode()),
+    )
+    .unwrap();
+    let mut olap = db.begin(TxnKind::Olap);
+    let mut got = Vec::new();
+    olap.scan_on(t)
+        .range_i64(v, BIG + 1, i64::MAX)
+        .project(&[v])
+        .for_each_typed(|_, vals| got.push(vals[0].as_int()))
+        .unwrap();
+    olap.commit().unwrap();
+    assert_eq!(
+        got,
+        vec![BIG + 1, BIG + 2],
+        "2^53 must not leak into [2^53+1, ..]"
+    );
+}
+
+/// A transaction accumulates the statistics of all its scans.
+#[test]
+fn txn_accumulates_scan_stats() {
+    let (db, t, a, b) = small_db(DbConfig::heterogeneous_serializable());
+    let mut olap = db.begin(TxnKind::Olap);
+    assert_eq!(olap.scan_stats(), anker_core::ScanStats::default());
+    let s1 = olap.scan_on(t).project(&[a]).for_each(|_, _| {}).unwrap();
+    let s2 = olap.scan_on(t).project(&[b]).for_each(|_, _| {}).unwrap();
+    let total = olap.scan_stats();
+    assert_eq!(total.tight_rows, s1.tight_rows + s2.tight_rows);
+    olap.commit().unwrap();
+}
+
+/// Satellite regression: `total_versions`/`column_versions` count frozen
+/// epoch stores too — freezing an epoch must not make versions vanish from
+/// the diagnostics.
+#[test]
+fn version_counts_survive_epoch_freeze() {
+    let (db, t, a, _) = small_db(DbConfig::heterogeneous_serializable().with_snapshot_every(1));
+    // An old reader (pre-update) keeps the frozen store alive across the
+    // hand-over.
+    let mut old_reader = db.begin(TxnKind::Oltp);
+    let mut w = db.begin(TxnKind::Oltp);
+    w.update(t, a, 7, 700).unwrap();
+    w.commit().unwrap();
+    assert_eq!(db.total_versions(), 1);
+    assert_eq!(db.column_versions(t, a), 1);
+    // OLAP access materialises the column: the chain store freezes and is
+    // handed to the epoch (Figure 1, step 4).
+    let mut olap = db.begin(TxnKind::Olap);
+    let _ = olap.get(t, a, 7).unwrap();
+    olap.commit().unwrap();
+    assert_eq!(
+        db.column_versions(t, a),
+        1,
+        "freeze moved the version out of the current store; it must still count"
+    );
+    assert_eq!(db.total_versions(), 1);
+    assert_eq!(old_reader.get(t, a, 7).unwrap(), 7);
+    old_reader.commit().unwrap();
+}
+
+/// Satellite regression: bulk loads into a table a transaction has
+/// observed are rejected instead of silently corrupting visibility. The
+/// latch is per table: tables created later can still be loaded.
+#[test]
+fn fill_column_rejected_after_first_observation() {
+    let db = AnkerDb::new(DbConfig::heterogeneous_serializable().with_gc_interval(None));
+    let t = db.create_table(
+        "early",
+        Schema::new(vec![ColumnDef::new("v", LogicalType::Int)]),
+        16,
+    );
+    let v = db.schema(t).col("v");
+    db.fill_column(t, v, 0..16).unwrap();
+    let mut txn = db.begin(TxnKind::Oltp);
+    assert_eq!(txn.get(t, v, 3).unwrap(), 3);
+    txn.abort();
+    // Even after the observing transaction finished, the load window of
+    // this table stays closed.
+    assert_eq!(
+        db.fill_column(t, v, 0..16).unwrap_err(),
+        DbError::LoadAfterBegin
+    );
+    // A table created after transactions have run is still loadable —
+    // nothing can have observed it yet.
+    let t2 = db.create_table(
+        "late",
+        Schema::new(vec![ColumnDef::new("w", LogicalType::Int)]),
+        16,
+    );
+    let w = db.schema(t2).col("w");
+    db.fill_column(t2, w, 16..32).unwrap();
+    let mut r = db.begin(TxnKind::Oltp);
+    assert_eq!(r.get(t2, w, 0).unwrap(), 16);
+    // Scans observe too: an OLAP scan over t2 closes its window.
+    let mut olap = db.begin(TxnKind::Olap);
+    olap.scan_on(t2).project(&[w]).for_each(|_, _| {}).unwrap();
+    olap.commit().unwrap();
+    assert_eq!(
+        db.fill_column(t2, w, 0..16).unwrap_err(),
+        DbError::LoadAfterBegin
+    );
+    r.commit().unwrap();
+}
+
+/// Projected-but-unfiltered columns still register full-column reads: a
+/// write to such a column must abort the scanning updater.
+#[test]
+fn projection_columns_keep_full_column_locks() {
+    let (db, t, a, b) = small_db(DbConfig::homogeneous_serializable());
+    let mut t1 = db.begin(TxnKind::Oltp);
+    // Filter on a, project b: b's values feed the result, so any write to
+    // b intersects the read set.
+    t1.scan_on(t)
+        .range_i64(a, 0, 50)
+        .project(&[b])
+        .for_each(|_, _| {})
+        .unwrap();
+    let mut t2 = db.begin(TxnKind::Oltp);
+    t2.update(t, b, 4000, 1).unwrap();
+    t2.commit().unwrap();
+    t1.update(t, a, 0, 0).unwrap();
+    match t1.commit() {
+        Err(DbError::Aborted(AbortReason::ValidationFailed { .. })) => {}
+        other => panic!("expected validation abort, got {other:?}"),
     }
 }

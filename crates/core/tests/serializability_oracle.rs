@@ -103,6 +103,61 @@ fn serial_replay(order: &[usize], scripts: &[Script]) -> Vec<u64> {
     dump(&db, t, &cols)
 }
 
+/// Phantom protection through the ScanBuilder: a predicate scan races an
+/// updater that moves rows into the scanned range. The scanning updater
+/// never called `log_range` — the builder registered the precision lock —
+/// yet it must abort under `Serializable` once the racing commit lands.
+/// This is exactly the footgun the typed scan API removes: with the old
+/// raw-callback API, forgetting the manual log call made this race pass
+/// validation silently.
+#[test]
+fn scan_builder_phantom_protection() {
+    for hetero in [false, true] {
+        let config = if hetero {
+            DbConfig::heterogeneous_serializable().with_snapshot_every(3)
+        } else {
+            DbConfig::homogeneous_serializable()
+        };
+        let (db, t, cols) = fresh_db(config);
+        // The scanner counts rows with c0 in [10, 20] and writes the
+        // summary; its predicate comes only from the builder.
+        let mut scanner = db.begin(TxnKind::Oltp);
+        let (n_before, _) = scanner
+            .scan_on(t)
+            .range_i64(cols[0], 10, 20)
+            .count()
+            .unwrap();
+        assert_eq!(n_before, 11, "rows are loaded as 0..64");
+        // A racing updater moves a distant row *into* the scanned range —
+        // the phantom — and commits first.
+        let mut updater = db.begin(TxnKind::Oltp);
+        updater.update(t, cols[0], 40, 15).unwrap();
+        updater.commit().unwrap();
+        // The scanner's count is now stale; committing its summary must
+        // abort.
+        scanner.update(t, cols[1], 0, n_before).unwrap();
+        match scanner.commit() {
+            Err(anker_core::DbError::Aborted(_)) => {}
+            other => panic!("phantom survived (hetero={hetero}): {other:?}"),
+        }
+        // Control: an update far outside the range does not disturb an
+        // identical scanner.
+        let mut scanner = db.begin(TxnKind::Oltp);
+        let (n, _) = scanner
+            .scan_on(t)
+            .range_i64(cols[0], 10, 20)
+            .count()
+            .unwrap();
+        let mut updater = db.begin(TxnKind::Oltp);
+        updater.update(t, cols[0], 50, 5000).unwrap();
+        updater.commit().unwrap();
+        scanner.update(t, cols[1], 0, n).unwrap();
+        scanner
+            .commit()
+            .expect("write outside the predicate range must not abort the scanner");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 

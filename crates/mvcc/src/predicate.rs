@@ -9,7 +9,7 @@
 //! (`old`) or the value it introduced (`new`) falls inside the range —
 //! both directions can change a predicate query's result.
 
-use anker_storage::value::{LogicalType, Value};
+use anker_storage::value::{rank, LogicalType};
 
 /// Global reference to a column: `(table, column)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -24,19 +24,9 @@ impl ColRef {
     }
 }
 
-/// Numeric rank of a value for range comparison. Ints, dates, and doubles
-/// all map to `f64` (TPC-H key ranges fit the 53-bit mantissa exactly);
-/// dictionary codes are compared for equality only.
-fn rank(word: u64, ty: LogicalType) -> f64 {
-    match Value::decode(word, ty) {
-        Value::Int(v) => v as f64,
-        Value::Double(v) => v,
-        Value::Date(v) => v as f64,
-        Value::Dict(v) => v as f64,
-    }
-}
-
-/// One read predicate of a transaction.
+/// One read predicate of a transaction. Range predicates compare via
+/// [`anker_storage::value::rank`] — the same ordering scan filters and zone
+/// maps use, so validation and filtering can never disagree.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Pred {
     /// The transaction read the whole column (unfiltered scan or
@@ -149,6 +139,7 @@ impl PredicateSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use anker_storage::value::Value;
 
     const C: ColRef = ColRef { table: 0, col: 1 };
     const D: ColRef = ColRef { table: 0, col: 2 };

@@ -249,8 +249,8 @@ impl ChainStore {
     }
 }
 
-/// Statistics of one [`VersionedColumn::scan_visible`] call, for tests and
-/// benchmarks.
+/// Statistics of one scan (or the running total of a transaction's scans),
+/// for tests, benchmarks, and the `repro_*` reproduction output.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct ScanStats {
     /// Rows delivered through the tight (unchecked) path.
@@ -261,6 +261,24 @@ pub struct ScanStats {
     pub chain_walks: u64,
     /// Blocks whose tight read failed seqlock validation and was redone.
     pub blocks_retried: u64,
+    /// Blocks skipped wholesale because a pushed-down predicate could not
+    /// match their zone-map range (snapshot scans only).
+    pub blocks_skipped: u64,
+    /// Rows read and then eliminated by pushed-down predicates (excludes
+    /// rows inside skipped blocks, which were never read).
+    pub rows_filtered: u64,
+}
+
+impl ScanStats {
+    /// Accumulate another scan's counters into this one.
+    pub fn merge(&mut self, other: &ScanStats) {
+        self.tight_rows += other.tight_rows;
+        self.checked_rows += other.checked_rows;
+        self.chain_walks += other.chain_walks;
+        self.blocks_retried += other.blocks_retried;
+        self.blocks_skipped += other.blocks_skipped;
+        self.rows_filtered += other.rows_filtered;
+    }
 }
 
 /// MVCC state of one column: per-row write timestamps, the current chain
@@ -432,6 +450,19 @@ impl VersionedColumn {
     /// Number of frozen epochs still retained.
     pub fn frozen_epochs(&self) -> usize {
         self.older.read().len()
+    }
+
+    /// Version entries held across the current store **and** every frozen
+    /// epoch store still retained for old readers.
+    pub fn total_version_count(&self) -> u64 {
+        let current = self.current.read().version_count();
+        let frozen: u64 = self
+            .older
+            .read()
+            .iter()
+            .map(|(_, store)| store.version_count())
+            .sum();
+        current + frozen
     }
 
     /// Homogeneous-mode GC of the current store (see [`ChainStore::gc`]).

@@ -1,7 +1,51 @@
-//! A column's virtual memory area, with page-wise access for tight scans.
+//! A column's virtual memory area, with page-wise access for tight scans
+//! and per-block min/max zone maps for predicate pruning on frozen areas.
 
-use crate::value::{LogicalType, Value};
+use crate::value::{rank, LogicalType, Value};
 use anker_vmem::{Access, MapBacking, Prot, ResolvedPage, Result, Share, Space};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Per-block `(min, max)` rank summaries of a column area — classic zone
+/// maps. A scan with a pushed-down predicate consults them to skip whole
+/// blocks whose value range cannot intersect the predicate.
+///
+/// Zone maps are only meaningful on a *frozen* area (a snapshot column):
+/// the engine never writes a snapshot area after hand-over, so the summary
+/// stays valid for the area's lifetime. They are built lazily on the first
+/// predicate scan and cached inside the [`ColumnArea`] handle (all clones
+/// of a view share one cache).
+#[derive(Debug)]
+pub struct ZoneMap {
+    ty: LogicalType,
+    block_rows: u32,
+    /// `(min_rank, max_rank)` per block; a block containing a NaN double
+    /// is recorded as `(-inf, +inf)` so it is never pruned.
+    ranges: Vec<(f64, f64)>,
+}
+
+impl ZoneMap {
+    /// The logical type the ranks were computed under.
+    pub fn ty(&self) -> LogicalType {
+        self.ty
+    }
+
+    /// Rows per block this map summarises.
+    pub fn block_rows(&self) -> u32 {
+        self.block_rows
+    }
+
+    /// Number of blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// `(min_rank, max_rank)` of `block`.
+    #[inline]
+    pub fn block_range(&self, block: usize) -> (f64, f64) {
+        self.ranges[block]
+    }
+}
 
 /// A fixed-size view of one column: `rows` 8-byte values stored densely in
 /// the virtual memory area starting at `addr`.
@@ -16,6 +60,10 @@ pub struct ColumnArea {
     space: Space,
     addr: u64,
     rows: u32,
+    /// Lazily built zone maps, shared across clones of this view. A fresh
+    /// cell is created per [`ColumnArea::alloc`]/[`ColumnArea::from_raw`],
+    /// so a recycled address never inherits a stale summary.
+    zones: Arc<Mutex<Option<Arc<ZoneMap>>>>,
 }
 
 impl ColumnArea {
@@ -29,13 +77,19 @@ impl ColumnArea {
             space: space.clone(),
             addr,
             rows,
+            zones: Arc::new(Mutex::new(None)),
         })
     }
 
     /// View an existing area (e.g. one returned by `vm_snapshot`) as a
     /// column of `rows` values.
     pub fn from_raw(space: Space, addr: u64, rows: u32) -> ColumnArea {
-        ColumnArea { space, addr, rows }
+        ColumnArea {
+            space,
+            addr,
+            rows,
+            zones: Arc::new(Mutex::new(None)),
+        }
     }
 
     /// Start address of the area.
@@ -169,6 +223,54 @@ impl ColumnArea {
         Ok(row)
     }
 
+    /// The zone map of this area under `ty`, with `block_rows` rows per
+    /// block, building and caching it on first use.
+    ///
+    /// Only call this on a **frozen** area (a snapshot column): the cache
+    /// is never invalidated, so a summary built while writers are active
+    /// would go stale. All clones of the view share the cached map.
+    pub fn zone_map(&self, ty: LogicalType, block_rows: u32) -> Result<Arc<ZoneMap>> {
+        assert!(block_rows > 0, "zone map block size must be positive");
+        let mut slot = self.zones.lock();
+        if let Some(zm) = slot.as_ref() {
+            assert!(
+                zm.ty == ty && zm.block_rows == block_rows,
+                "zone map requested with mismatched type or block size"
+            );
+            return Ok(Arc::clone(zm));
+        }
+        let n_blocks = (self.rows as usize).div_ceil(block_rows as usize);
+        let mut ranges = Vec::with_capacity(n_blocks);
+        let mut buf = vec![0u64; block_rows as usize];
+        let mut start = 0u32;
+        while start < self.rows {
+            let n = block_rows.min(self.rows - start);
+            self.read_block_into(start, n, &mut buf)?;
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &w in &buf[..n as usize] {
+                let r = rank(w, ty);
+                if r.is_nan() {
+                    // Never prune a block holding NaN doubles.
+                    lo = f64::NEG_INFINITY;
+                    hi = f64::INFINITY;
+                    break;
+                }
+                lo = lo.min(r);
+                hi = hi.max(r);
+            }
+            ranges.push((lo, hi));
+            start += n;
+        }
+        let zm = Arc::new(ZoneMap {
+            ty,
+            block_rows,
+            ranges,
+        });
+        *slot = Some(Arc::clone(&zm));
+        Ok(zm)
+    }
+
     /// Unmap the underlying area, releasing its frames.
     pub fn unmap(self) -> Result<()> {
         let bytes = self.mapped_bytes();
@@ -255,6 +357,37 @@ mod tests {
         assert!(k.frames_in_use() > 0);
         c.unmap().unwrap();
         assert_eq!(k.frames_in_use(), 0);
+    }
+
+    #[test]
+    fn zone_maps_summarise_blocks() {
+        let (_k, c) = column(2500);
+        c.fill((0..2500).map(|i| Value::Int(i).encode())).unwrap();
+        let zm = c.zone_map(LogicalType::Int, 1024).unwrap();
+        assert_eq!(zm.n_blocks(), 3);
+        assert_eq!(zm.block_range(0), (0.0, 1023.0));
+        assert_eq!(zm.block_range(1), (1024.0, 2047.0));
+        assert_eq!(zm.block_range(2), (2048.0, 2499.0));
+        // Cached: a second request returns the same map.
+        let again = c.zone_map(LogicalType::Int, 1024).unwrap();
+        assert!(Arc::ptr_eq(&zm, &again));
+        // Clones of the view share the cache.
+        let clone = c.clone();
+        assert!(Arc::ptr_eq(
+            &zm,
+            &clone.zone_map(LogicalType::Int, 1024).unwrap()
+        ));
+    }
+
+    #[test]
+    fn zone_maps_never_prune_nan_blocks() {
+        let (_k, c) = column(10);
+        c.fill((0..10).map(|_| Value::Double(f64::NAN).encode()))
+            .unwrap();
+        let zm = c.zone_map(LogicalType::Double, 1024).unwrap();
+        let (lo, hi) = zm.block_range(0);
+        assert_eq!(lo, f64::NEG_INFINITY);
+        assert_eq!(hi, f64::INFINITY);
     }
 
     #[test]

@@ -48,8 +48,8 @@ pub mod index;
 pub mod table;
 pub mod value;
 
-pub use column::ColumnArea;
+pub use column::{ColumnArea, ZoneMap};
 pub use dict::Dictionary;
 pub use index::{ContiguousIndex, HashIndex, MultiIndex};
 pub use table::{ColumnDef, ColumnId, Schema};
-pub use value::{LogicalType, Value};
+pub use value::{rank, LogicalType, Value};

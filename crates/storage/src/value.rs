@@ -103,6 +103,24 @@ impl Value {
     }
 }
 
+/// Numeric rank of a stored word for range comparison: ints, dates, and
+/// doubles map to `f64` (TPC-H key ranges fit the 53-bit mantissa exactly);
+/// dictionary codes rank by their numeric code, which supports equality and
+/// min/max pruning but carries no lexicographic meaning.
+///
+/// This is the single ordering the engine uses everywhere a predicate
+/// compares column values: precision-lock validation, pushed-down scan
+/// filters, and zone-map pruning all agree by construction.
+#[inline]
+pub fn rank(word: u64, ty: LogicalType) -> f64 {
+    match Value::decode(word, ty) {
+        Value::Int(v) => v as f64,
+        Value::Double(v) => v,
+        Value::Date(v) => v as f64,
+        Value::Dict(v) => v as f64,
+    }
+}
+
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -5,7 +5,7 @@
 use crate::gen::TpchDb;
 use crate::oltp::{is_abort, run_oltp_in, OltpKind};
 use crate::queries::{run_olap, sample_params, OlapQuery};
-use anker_core::TxnKind;
+use anker_core::{ScanStats, TxnKind};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -182,6 +182,9 @@ pub struct LatencyResult {
     /// Mean latency over the repetitions.
     pub mean: Duration,
     pub samples: Vec<Duration>,
+    /// Scan statistics summed over the repetitions (tight vs checked rows,
+    /// chain walks, zone-map block skips, filtered rows).
+    pub stats: ScanStats,
 }
 
 /// Measure the latency of `query` while the remaining threads continuously
@@ -190,6 +193,7 @@ pub fn run_olap_latency(t: &TpchDb, query: OlapQuery, cfg: &LatencyConfig) -> La
     let stop = AtomicBool::new(false);
     let pressure_threads = cfg.threads.saturating_sub(1).max(1);
     let mut samples = Vec::with_capacity(cfg.repetitions);
+    let mut stats = ScanStats::default();
     std::thread::scope(|s| {
         for worker in 0..pressure_threads {
             let stop = &stop;
@@ -209,6 +213,7 @@ pub fn run_olap_latency(t: &TpchDb, query: OlapQuery, cfg: &LatencyConfig) -> La
             let begin = Instant::now();
             let mut txn = t.db.begin(TxnKind::Olap);
             run_olap(t, &mut txn, params).expect("olap query failed");
+            stats.merge(&txn.scan_stats());
             txn.commit().expect("read-only commit cannot fail");
             samples.push(begin.elapsed());
         }
@@ -219,5 +224,6 @@ pub fn run_olap_latency(t: &TpchDb, query: OlapQuery, cfg: &LatencyConfig) -> La
         query,
         mean,
         samples,
+        stats,
     }
 }

@@ -190,7 +190,14 @@ pub fn generate(db_config: DbConfig, cfg: &TpchConfig) -> TpchDb {
         // Sparse keys: the first 8 keys of every 32-key block, like dbgen.
         let key = ((i as i64) / 8) * 32 + (i as i64) % 8 + 1;
         o_orderkey.push(key);
-        o_orderdate.push(rng.random_range(0..=LAST_ORDER_DATE));
+        // Orders arrive roughly chronologically: the date advances with the
+        // key, jittered by ±45 days. Key ranges and date ranges stay the
+        // same as before; the correlation is what gives date predicates
+        // their zone-map pruning on clustered storage (every real OLTP
+        // system appends in arrival order).
+        let base = (i as i64 * LAST_ORDER_DATE as i64 / n_orders.max(1) as i64) as i32;
+        let jitter = rng.random_range(-45..=45);
+        o_orderdate.push((base + jitter).clamp(0, LAST_ORDER_DATE));
         o_priority.push(rng.random_range(0..PRIORITIES.len() as u32));
         o_status.push(rng.random_range(0..3u32));
         o_totalprice.push(rng.random_range(1_000.0..500_000.0f64));

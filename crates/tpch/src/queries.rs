@@ -1,14 +1,15 @@
 //! The OLAP side of the workload: TPC-H Q1, Q4, Q6, Q17 and the three
 //! full-table scans (§5.2 — "in total, we have 7 OLAP transactions").
 //!
-//! Queries are hand-planned physical operators over the column API, as in
-//! the paper's prototype: scans with predicate logging, small-group
-//! aggregation over dictionary codes, and index probes for the Q4
-//! semi-join and the Q17 part → lineitem join.
+//! Queries are hand-planned physical operators over the typed scan API:
+//! predicates go through [`Txn::scan_on`]'s `ScanBuilder`, which pushes
+//! them into the block loops (zone-map pruning on snapshots) and registers
+//! the matching precision locks automatically; small-group aggregation
+//! runs over dictionary codes, and index probes drive the Q4 semi-join and
+//! the Q17 part → lineitem join.
 
 use crate::gen::{days, TpchDb, LAST_ORDER_DATE};
 use anker_core::{Result, Txn};
-use anker_storage::Value;
 use rand::Rng;
 
 /// The seven OLAP transactions.
@@ -70,7 +71,6 @@ pub fn q1(t: &TpchDb, txn: &mut Txn, delta_days: i32) -> Result<Vec<Q1Row>> {
     assert!((60..=120).contains(&delta_days), "per TPC-H spec");
     let cutoff = days(1998, 12, 1) - delta_days;
     let li = &t.li;
-    txn.log_range(t.lineitem, li.shipdate, f64::MIN, cutoff as f64);
     // 3 return flags x 2 line statuses = 6 groups, array-aggregated.
     #[derive(Default, Clone, Copy)]
     struct Acc {
@@ -82,28 +82,23 @@ pub fn q1(t: &TpchDb, txn: &mut Txn, delta_days: i32) -> Result<Vec<Q1Row>> {
         count: u64,
     }
     let mut groups = [Acc::default(); 6];
-    txn.scan(
-        t.lineitem,
-        &[
-            li.shipdate,
+    txn.scan_on(t.lineitem)
+        .range_i64(li.shipdate, i64::MIN, cutoff as i64)
+        .project(&[
             li.returnflag,
             li.linestatus,
             li.quantity,
             li.extendedprice,
             li.discount,
             li.tax,
-        ],
-        |_, v| {
-            let ship = Value::decode(v[0], anker_storage::LogicalType::Date).as_date();
-            if ship > cutoff {
-                return;
-            }
-            let rf = v[1] as u32 as usize;
-            let ls = v[2] as u32 as usize;
-            let qty = f64::from_bits(v[3]);
-            let price = f64::from_bits(v[4]);
-            let disc = f64::from_bits(v[5]);
-            let tax = f64::from_bits(v[6]);
+        ])
+        .for_each(|_, v| {
+            let rf = v[0] as u32 as usize;
+            let ls = v[1] as u32 as usize;
+            let qty = f64::from_bits(v[2]);
+            let price = f64::from_bits(v[3]);
+            let disc = f64::from_bits(v[4]);
+            let tax = f64::from_bits(v[5]);
             let g = &mut groups[rf * 2 + ls];
             g.qty += qty;
             g.base += price;
@@ -111,8 +106,7 @@ pub fn q1(t: &TpchDb, txn: &mut Txn, delta_days: i32) -> Result<Vec<Q1Row>> {
             g.charge += price * (1.0 - disc) * (1.0 + tax);
             g.disc += disc;
             g.count += 1;
-        },
-    )?;
+        })?;
     let mut rows = Vec::new();
     for rf in 0..3u32 {
         for ls in 0..2u32 {
@@ -144,20 +138,15 @@ pub fn q1(t: &TpchDb, txn: &mut Txn, delta_days: i32) -> Result<Vec<Q1Row>> {
 /// orderkey → lineitem-range index).
 pub fn q4(t: &TpchDb, txn: &mut Txn, quarter_start: i32) -> Result<Vec<(u32, u64)>> {
     let lo = quarter_start;
-    let hi = quarter_start + 90; // three months, spec-approximate
-    txn.log_range(t.orders, t.ord.orderdate, lo as f64, hi as f64 - 1.0);
-    // Pass 1: collect qualifying orders from the ORDERS scan.
+    // Three months, spec-approximate.
+    let hi = quarter_start + 90;
+    // Pass 1: collect qualifying orders from the ORDERS scan (dates are
+    // integral, so `[lo, hi)` is `[lo, hi - 1]`).
     let mut candidates: Vec<(u32, i64)> = Vec::new(); // (priority, orderkey)
-    txn.scan(
-        t.orders,
-        &[t.ord.orderdate, t.ord.orderpriority, t.ord.orderkey],
-        |_, v| {
-            let d = Value::decode(v[0], anker_storage::LogicalType::Date).as_date();
-            if d >= lo && d < hi {
-                candidates.push((v[1] as u32, v[2] as i64));
-            }
-        },
-    )?;
+    txn.scan_on(t.orders)
+        .range_i64(t.ord.orderdate, lo as i64, hi as i64 - 1)
+        .project(&[t.ord.orderpriority, t.ord.orderkey])
+        .for_each(|_, v| candidates.push((v[0] as u32, v[1] as i64)))?;
     // Pass 2: EXISTS probe per candidate order.
     let mut counts = [0u64; 5];
     for (prio, okey) in candidates {
@@ -185,22 +174,15 @@ pub fn q6(t: &TpchDb, txn: &mut Txn, year: i32, discount: f64, qty: f64) -> Resu
     let dlo = discount - 0.01;
     let dhi = discount + 0.01;
     let li = &t.li;
-    txn.log_range(t.lineitem, li.shipdate, lo as f64, hi as f64 - 1.0);
-    txn.log_range(t.lineitem, li.discount, dlo, dhi);
-    txn.log_range(t.lineitem, li.quantity, f64::MIN, qty);
     let mut revenue = 0.0;
-    txn.scan(
-        t.lineitem,
-        &[li.shipdate, li.discount, li.quantity, li.extendedprice],
-        |_, v| {
-            let ship = Value::decode(v[0], anker_storage::LogicalType::Date).as_date();
-            let disc = f64::from_bits(v[1]);
-            let q = f64::from_bits(v[2]);
-            if ship >= lo && ship < hi && disc >= dlo - 1e-9 && disc <= dhi + 1e-9 && q < qty {
-                revenue += f64::from_bits(v[3]) * disc;
-            }
-        },
-    )?;
+    // The shipdate range is the selective predicate: on chronologically
+    // loaded lineitems, zone maps prune every block outside the year.
+    txn.scan_on(t.lineitem)
+        .range_i64(li.shipdate, lo as i64, hi as i64 - 1)
+        .range_f64(li.discount, dlo - 1e-9, dhi + 1e-9)
+        .lt_f64(li.quantity, qty)
+        .project(&[li.extendedprice, li.discount])
+        .for_each(|_, v| revenue += f64::from_bits(v[0]) * f64::from_bits(v[1]))?;
     Ok(revenue)
 }
 
@@ -209,15 +191,14 @@ pub fn q6(t: &TpchDb, txn: &mut Txn, year: i32, discount: f64, qty: f64) -> Resu
 /// the part's average quantity; probes lineitems through the partkey
 /// multi-index.
 pub fn q17(t: &TpchDb, txn: &mut Txn, brand_code: u32, container_code: u32) -> Result<f64> {
-    txn.log_dict_eq(t.part, t.prt.brand, brand_code);
-    txn.log_dict_eq(t.part, t.prt.container, container_code);
     // Scan PART for matching part keys (dense keys: partkey = row + 1).
+    // Both equality predicates push down; no projection is needed — the
+    // row id is the key.
     let mut parts: Vec<i64> = Vec::new();
-    txn.scan(t.part, &[t.prt.brand, t.prt.container], |row, v| {
-        if v[0] as u32 == brand_code && v[1] as u32 == container_code {
-            parts.push(row as i64 + 1);
-        }
-    })?;
+    txn.scan_on(t.part)
+        .dict_eq(t.prt.brand, brand_code)
+        .dict_eq(t.prt.container, container_code)
+        .for_each(|row, _| parts.push(row as i64 + 1))?;
     let mut total = 0.0;
     for pk in parts {
         let rows = t.li_by_partkey.get(&pk);
@@ -284,7 +265,7 @@ pub fn scan_table(t: &TpchDb, txn: &mut Txn, which: OlapQuery) -> Result<u64> {
         other => panic!("scan_table called with {other:?}"),
     };
     let mut checksum = 0u64;
-    txn.scan(table, &cols, |_, v| {
+    txn.scan_on(table).project(&cols).for_each(|_, v| {
         for &w in v {
             checksum = checksum.wrapping_mul(31).wrapping_add(w);
         }

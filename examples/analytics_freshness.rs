@@ -93,10 +93,12 @@ fn main() {
                     let head_before = committed.load(Ordering::Relaxed);
                     let mut olap = db.begin(TxnKind::Olap);
                     let mut sum = 0i64;
-                    olap.scan(t, &[a, b], |_, v| {
-                        sum += v[0] as i64 + v[1] as i64;
-                    })
-                    .unwrap();
+                    olap.scan_on(t)
+                        .project(&[a, b])
+                        .for_each(|_, v| {
+                            sum += v[0] as i64 + v[1] as i64;
+                        })
+                        .unwrap();
                     let snapshot_ts = olap.start_ts();
                     olap.commit().unwrap();
                     assert_eq!(sum, expected, "analyst saw an inconsistent snapshot");

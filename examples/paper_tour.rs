@@ -64,7 +64,9 @@ fn main() -> Result<(), DbError> {
     // (virtually, via vm_snapshot) and C's chains are handed over.
     let mut t3 = db.begin(TxnKind::Olap);
     let mut sum = 0i64;
-    t3.scan(t, &[c], |_, v| sum += v[0] as i64)?;
+    t3.scan_on(t)
+        .project(&[c])
+        .for_each(|_, v| sum += v[0] as i64)?;
     println!("Step 4: OLAP T3 arrived; snapshot taken; sum(0..=5) = {sum} (= 1+2).");
     show(&db, "step 4");
 
@@ -79,7 +81,9 @@ fn main() -> Result<(), DbError> {
     // Step 6: T4 commits — no interference with the running T3.
     t4.commit()?;
     let mut sum_again = 0i64;
-    t3.scan(t, &[c], |_, v| sum_again += v[0] as i64)?;
+    t3.scan_on(t)
+        .project(&[c])
+        .for_each(|_, v| sum_again += v[0] as i64)?;
     println!(
         "Step 6: T4 committed; T3's snapshot still sums to {sum_again} \
          (frozen at its epoch)."
@@ -90,7 +94,9 @@ fn main() -> Result<(), DbError> {
     // pins a fresh epoch, since T4's commit superseded the old one).
     let mut t5 = db.begin(TxnKind::Olap);
     let mut sum_fresh = 0i64;
-    t5.scan(t, &[c], |_, v| sum_fresh += v[0] as i64)?;
+    t5.scan_on(t)
+        .project(&[c])
+        .for_each(|_, v| sum_fresh += v[0] as i64)?;
     println!(
         "Step 7: new OLAP T5 runs on a fresh snapshot: sum = {sum_fresh} \
          (= 5+4+1 after T4)."

@@ -54,21 +54,36 @@ fn main() {
     // A long-running OLAP transaction: scans a frozen virtual snapshot in a
     // tight loop — no timestamps, no version chains.
     let mut olap = db.begin(TxnKind::Olap);
-    let mut revenue = 0.0;
-    let mut units = 0i64;
-    let stats = olap
-        .scan(products, &[price, stock], |_, vals| {
-            let p = f64::from_bits(vals[0]);
-            let s = vals[1] as i64;
-            revenue += p * s as f64;
-            units += s;
+    let ((units, revenue), stats) = olap
+        .scan_on(products)
+        .project(&[price, stock])
+        .fold((0i64, 0.0f64), |(units, revenue), _row, vals| {
+            let p = vals[0].as_double();
+            let s = vals[1].as_int();
+            (units + s, revenue + p * s as f64)
         })
         .unwrap();
-    olap.commit().unwrap();
     println!("OLAP on snapshot: {units} units, potential revenue {revenue:.2}");
     println!(
         "scan path: {} rows tight, {} rows checked (snapshots never check versions)",
         stats.tight_rows, stats.checked_rows
     );
+
+    // A second scan with a pushed-down predicate: the builder filters
+    // inside the block loops, skips whole 1024-row blocks via zone maps
+    // (prices are loaded in ascending order), and — for serializable
+    // updaters — registers the equivalent precision lock automatically.
+    let (premium, stats) = olap
+        .scan_on(products)
+        .range_f64(price, 5_000.0, f64::INFINITY)
+        .count()
+        .unwrap();
+    olap.commit().unwrap();
+    println!(
+        "{premium} premium products; predicate pushdown skipped {} blocks, \
+         filtered {} rows",
+        stats.blocks_skipped, stats.rows_filtered
+    );
+    assert!(stats.blocks_skipped > 0, "zone maps should prune blocks");
     println!("db stats: {:#?}", db.stats());
 }

@@ -79,8 +79,11 @@ fn database_survives_a_life_story() {
 
         if round % 10 == 0 {
             let mut olap = db.begin(TxnKind::Olap);
-            let mut sum = 0i64;
-            olap.scan(t, &[count], |_, v| sum += v[0] as i64).unwrap();
+            let (sum, _) = olap
+                .scan_on(t)
+                .project(&[count])
+                .fold(0i64, |acc, _, vals| acc + vals[0].as_int())
+                .unwrap();
             olap.commit().unwrap();
             // Base sum plus one increment per commit visible at the
             // snapshot: between base and base + rounds so far.
