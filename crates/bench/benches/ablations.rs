@@ -54,6 +54,55 @@ fn ablation_block_skip(c: &mut Criterion) {
     group.finish();
 }
 
+fn ablation_backend_block_read(c: &mut Criterion) {
+    // The raw scan primitive on each memory substrate: stream an 8 MiB
+    // frozen column block-wise. The simulated kernel resolves a page-table
+    // entry per page and loads word by word through the frame arena; the
+    // OS backend reads straight through the real mapping (and `as_slice`
+    // skips even the copy). This is the isolated version of the fig7
+    // hetero speedup — end-to-end queries dilute it with per-row work.
+    let rows: u32 = 1 << 20; // 8 MiB of u64s
+    let mut group = c.benchmark_group("backend_block_read");
+    group.sample_size(10);
+    let mut bench_area = |name: &str, area: &ColumnArea| {
+        let mut buf = vec![0u64; 4096];
+        group.bench_function(format!("read_blocks/{name}"), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                let mut start = 0u32;
+                while start < rows {
+                    area.read_block_into(start, 4096, &mut buf).unwrap();
+                    acc ^= buf[0] + buf[4095];
+                    start += 4096;
+                }
+                acc
+            });
+        });
+        // SAFETY: the bench areas live to the end of the function and are
+        // never written after the fill; nothing unmaps them.
+        if let Some(s) = unsafe { area.as_slice() } {
+            group.bench_function(format!("slice_sum/{name}"), |b| {
+                b.iter(|| s.iter().copied().sum::<u64>());
+            });
+        }
+    };
+    let kernel = Kernel::default();
+    let space = kernel.create_space();
+    let sim_area = ColumnArea::alloc(&space, rows).unwrap();
+    sim_area.fill((0..rows as u64).map(|i| i * 3)).unwrap();
+    bench_area("sim", &sim_area);
+    #[cfg(target_os = "linux")]
+    {
+        use anker_vmem::VmBackend;
+        use std::sync::Arc;
+        let os: Arc<dyn VmBackend> = Arc::new(anker_vmem::OsBackend::new().unwrap());
+        let os_area = ColumnArea::alloc_on(os, rows).unwrap();
+        os_area.fill((0..rows as u64).map(|i| i * 3)).unwrap();
+        bench_area("os", &os_area);
+    }
+    group.finish();
+}
+
 fn ablation_snapshot_interval(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_snapshot_interval");
     group.sample_size(10);
@@ -210,6 +259,7 @@ fn ablation_lazy_vs_eager_materialisation(c: &mut Criterion) {
 criterion_group!(
     benches,
     ablation_block_skip,
+    ablation_backend_block_read,
     ablation_snapshot_interval,
     ablation_page_size,
     ablation_recycling,

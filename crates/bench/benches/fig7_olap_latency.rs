@@ -32,12 +32,19 @@ fn prepared(cfg: DbConfig) -> gen::TpchDb {
 }
 
 fn bench_fig7(c: &mut Criterion) {
-    let configs = [
+    let hetero = || {
+        DbConfig::heterogeneous_serializable()
+            .with_snapshot_every(500)
+            .with_gc_interval(None)
+    };
+    let mut configs = vec![
+        // The heterogeneous configuration runs on both memory substrates:
+        // the calibrated simulated kernel and — on Linux — real memfd
+        // pages, where the snapshot scan reads straight through the
+        // mapping (`BENCH_os_backend.json` records this pair).
         (
-            "hetero",
-            DbConfig::heterogeneous_serializable()
-                .with_snapshot_every(500)
-                .with_gc_interval(None),
+            "hetero/backend=sim",
+            hetero().with_backend(anker_core::BackendKind::Sim),
         ),
         (
             "homo_ser",
@@ -48,6 +55,15 @@ fn bench_fig7(c: &mut Criterion) {
             DbConfig::homogeneous_snapshot_isolation().with_gc_interval(None),
         ),
     ];
+    if cfg!(target_os = "linux") {
+        configs.insert(
+            1,
+            (
+                "hetero/backend=os",
+                hetero().with_backend(anker_core::BackendKind::Os),
+            ),
+        );
+    }
     let mut group = c.benchmark_group("fig7_olap_latency");
     group.sample_size(10);
     for (name, cfg) in configs {

@@ -1,6 +1,7 @@
 //! Scaled run parameters and a tiny `--flag=value` parser for the
 //! reproduction binaries (no CLI dependency needed).
 
+use anker_core::BackendKind;
 use std::time::Duration;
 
 /// Scale knobs of a reproduction run. Defaults are laptop-scale; pass
@@ -33,6 +34,10 @@ pub struct RunScale {
     /// reproduction would otherwise spend nearly the whole transaction
     /// inside the serialized commit section, which no machine can scale.
     pub think_us: f64,
+    /// Memory backend the databases run on (`--backend=sim|os`). Defaults
+    /// to the simulated kernel, or to `ANKER_BACKEND` when set. The
+    /// fork-comparison experiments (Figure 10) always run simulated.
+    pub backend: BackendKind,
 }
 
 impl Default for RunScale {
@@ -47,6 +52,7 @@ impl Default for RunScale {
             pages_per_col: 4_096,
             n_cols: 50,
             think_us: 12.0,
+            backend: BackendKind::from_env().unwrap_or(BackendKind::Sim),
         }
     }
 }
@@ -64,6 +70,7 @@ impl RunScale {
             pages_per_col: 51_200,
             n_cols: 50,
             think_us: 0.0,
+            backend: BackendKind::from_env().unwrap_or(BackendKind::Sim),
         }
     }
 
@@ -79,12 +86,13 @@ impl RunScale {
             pages_per_col: 256,
             n_cols: 8,
             think_us: 0.0,
+            backend: BackendKind::from_env().unwrap_or(BackendKind::Sim),
         }
     }
 
     /// Parse command-line flags (`--sf=0.1 --oltp=50000 --threads=4
     /// --snapshot-every=1000 --pages-per-col=4096 --cols=50 --seed=1
-    /// --paper-scale --smoke`), starting from the defaults.
+    /// --backend=sim|os --paper-scale --smoke`), starting from the defaults.
     pub fn from_args(args: impl IntoIterator<Item = String>) -> Result<RunScale, String> {
         let mut scale = RunScale::default();
         for arg in args {
@@ -115,6 +123,13 @@ impl RunScale {
                 "--pages-per-col" => scale.pages_per_col = parse("pages", value)? as u64,
                 "--cols" => scale.n_cols = parse("columns", value)? as usize,
                 "--think-us" => scale.think_us = parse("think time", value)?,
+                "--backend" => {
+                    scale.backend = match value {
+                        "sim" => BackendKind::Sim,
+                        "os" => BackendKind::Os,
+                        other => return Err(format!("unknown backend {other:?} (sim|os)")),
+                    }
+                }
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -129,7 +144,7 @@ impl RunScale {
                 eprintln!("{msg}");
                 eprintln!(
                     "flags: --sf= --oltp= --snapshot-every= --threads= --gc-ms= --seed= \
-                     --pages-per-col= --cols= --think-us= --paper-scale --smoke"
+                     --pages-per-col= --cols= --think-us= --backend=sim|os --paper-scale --smoke"
                 );
                 std::process::exit(2);
             }

@@ -14,17 +14,22 @@ fn db_configs(scale: &RunScale) -> [(&'static str, DbConfig); 3] {
     [
         (
             "Homogeneous (Full Serializability)",
-            DbConfig::homogeneous_serializable().with_gc_interval(Some(scale.gc)),
+            DbConfig::homogeneous_serializable()
+                .with_gc_interval(Some(scale.gc))
+                .with_backend(scale.backend),
         ),
         (
             "Homogeneous (Snapshot Isolation)",
-            DbConfig::homogeneous_snapshot_isolation().with_gc_interval(Some(scale.gc)),
+            DbConfig::homogeneous_snapshot_isolation()
+                .with_gc_interval(Some(scale.gc))
+                .with_backend(scale.backend),
         ),
         (
             "Heterogeneous (Full Serializability)",
             DbConfig::heterogeneous_serializable()
                 .with_snapshot_every(scale.snapshot_every)
-                .with_gc_interval(None),
+                .with_gc_interval(None)
+                .with_backend(scale.backend),
         ),
     ]
 }
@@ -206,7 +211,9 @@ pub fn fig9_run(scale: &RunScale, fractions: &[f64]) -> Vec<Fig9Row> {
         // points.
         let t = build(
             scale,
-            DbConfig::homogeneous_serializable().with_gc_interval(None),
+            DbConfig::homogeneous_serializable()
+                .with_gc_interval(None)
+                .with_backend(scale.backend),
         );
         // The old reader starts before the updates...
         let mut reader = t.db.begin(TxnKind::Olap);
@@ -282,12 +289,17 @@ pub struct Fig10Result {
 }
 
 /// Run the Figure 10 experiment on a loaded heterogeneous database.
+///
+/// Always runs on the **simulated** backend regardless of `ANKER_BACKEND`:
+/// the experiment compares *virtual-clock* costs, and its fork probe
+/// cannot (and should not) fork the host process on real memory.
 pub fn fig10_run(scale: &RunScale) -> Fig10Result {
     let t = build(
         scale,
         DbConfig::heterogeneous_serializable()
             .with_snapshot_every(scale.snapshot_every)
-            .with_gc_interval(None),
+            .with_gc_interval(None)
+            .with_backend(anker_core::BackendKind::Sim),
     );
     let mut tables = Vec::new();
     let mut all_ms = 0.0;
@@ -332,7 +344,8 @@ pub fn fig11_run(scale: &RunScale, thread_counts: &[usize]) -> Vec<Fig11Row> {
         .map(|&threads| {
             let cfg = DbConfig::heterogeneous_serializable()
                 .with_snapshot_every(scale.snapshot_every)
-                .with_gc_interval(None);
+                .with_gc_interval(None)
+                .with_backend(scale.backend);
             let pure = run_workload(
                 &build(scale, cfg.clone()),
                 &WorkloadConfig {

@@ -6,6 +6,43 @@ use anker_mvcc::IsolationLevel;
 use anker_vmem::KernelConfig;
 use std::time::Duration;
 
+/// Which virtual-memory substrate column areas live on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// The simulated kernel ([`anker_vmem::Space`]): faithful page tables
+    /// and a calibrated virtual clock — powers the paper's Table 1 /
+    /// Figure 5 cost reproductions. Default.
+    Sim,
+    /// Real memory (Linux only): column areas over `memfd_create` +
+    /// `mmap(MAP_SHARED)` pages with engine-mediated copy-on-write
+    /// ([`anker_vmem::OsBackend`]). Snapshot creation and scans run at
+    /// actual hardware speed; kernel cost counters stay zero.
+    Os,
+}
+
+impl BackendKind {
+    /// The backend selected by the `ANKER_BACKEND` environment variable
+    /// (`"sim"` or `"os"`, case-insensitive), or `None` when unset. Feeds
+    /// the [`DbConfig`] default so whole test suites can be re-pointed at
+    /// the OS backend without code changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognised value: someone who set the variable is
+    /// asking for a specific substrate, and silently running the suite on
+    /// the simulator instead would validate the wrong thing.
+    pub fn from_env() -> Option<BackendKind> {
+        let v = std::env::var("ANKER_BACKEND").ok()?;
+        if v.eq_ignore_ascii_case("os") {
+            Some(BackendKind::Os)
+        } else if v.eq_ignore_ascii_case("sim") {
+            Some(BackendKind::Sim)
+        } else {
+            panic!("unrecognised ANKER_BACKEND value {v:?} (expected \"sim\" or \"os\")");
+        }
+    }
+}
+
 /// Whether transactions are separated by type (§2.2) or all run on the live
 /// data (§2.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,7 +79,12 @@ pub struct DbConfig {
     /// subset of the attributes"). Ablation knob; off by default.
     pub eager_materialization: bool,
     /// Simulated kernel parameters (page size, cost model, memory bound).
+    /// Only consulted by the [`BackendKind::Sim`] backend; the OS backend
+    /// uses the hardware page size.
     pub kernel: KernelConfig,
+    /// Virtual-memory substrate for column areas. Defaults to the
+    /// simulated kernel, or to whatever `ANKER_BACKEND` says.
+    pub backend: BackendKind,
 }
 
 impl Default for DbConfig {
@@ -55,6 +97,7 @@ impl Default for DbConfig {
             recycle_snapshot_areas: false,
             eager_materialization: false,
             kernel: KernelConfig::default(),
+            backend: BackendKind::from_env().unwrap_or(BackendKind::Sim),
         }
     }
 }
@@ -97,6 +140,12 @@ impl DbConfig {
     /// Builder-style override of the kernel configuration.
     pub fn with_kernel(mut self, kernel: KernelConfig) -> DbConfig {
         self.kernel = kernel;
+        self
+    }
+
+    /// Builder-style override of the memory backend.
+    pub fn with_backend(mut self, backend: BackendKind) -> DbConfig {
+        self.backend = backend;
         self
     }
 }

@@ -1,14 +1,14 @@
 //! The database object: tables, the MVCC engine state, the snapshot
 //! manager, and the homogeneous-mode garbage collection thread.
 
-use crate::config::{DbConfig, ProcessingMode};
+use crate::config::{BackendKind, DbConfig, ProcessingMode};
 use crate::error::Result;
 use crate::snapman::SnapshotManager;
 use crate::table::{ColumnState, TableId, TableState};
 use crate::txn::{Txn, TxnKind};
 use anker_mvcc::{ActiveTxns, RecentCommits, TsOracle, VersionedColumn};
 use anker_storage::{ColumnArea, Schema};
-use anker_vmem::{Kernel, Space};
+use anker_vmem::{Kernel, OsBackend, Space, VmBackend};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -56,9 +56,12 @@ pub(crate) struct DbInner {
     pub config: DbConfig,
     pub kernel: Kernel,
     pub space: Space,
+    /// The substrate column areas live on: the simulated kernel's `space`
+    /// (default) or the real-OS memfd backend, per `config.backend`.
+    pub backend: Arc<dyn VmBackend>,
     pub tables: RwLock<Vec<Arc<TableState>>>,
     pub oracle: TsOracle,
-    pub active: ActiveTxns,
+    pub active: Arc<ActiveTxns>,
     pub recent: RecentCommits,
     pub commit_mx: Mutex<CommitState>,
     pub snapman: SnapshotManager,
@@ -120,13 +123,25 @@ impl AnkerDb {
     pub fn new(config: DbConfig) -> AnkerDb {
         let kernel = Kernel::new(config.kernel.clone());
         let space = kernel.create_space();
-        let snapman = SnapshotManager::new(space.clone(), config.recycle_snapshot_areas);
+        let backend: Arc<dyn VmBackend> = match config.backend {
+            BackendKind::Sim => Arc::new(space.clone()),
+            BackendKind::Os => Arc::new(
+                OsBackend::new().expect("OS memory backend unavailable (requires Linux memfd)"),
+            ),
+        };
+        let active = Arc::new(ActiveTxns::new());
+        let snapman = SnapshotManager::new(
+            Arc::clone(&backend),
+            Arc::clone(&active),
+            config.recycle_snapshot_areas,
+        );
         let inner = Arc::new(DbInner {
             kernel,
             space,
+            backend,
             tables: RwLock::new(Vec::new()),
             oracle: TsOracle::new(),
-            active: ActiveTxns::new(),
+            active,
             recent: RecentCommits::new(),
             commit_mx: Mutex::new(CommitState::default()),
             snapman,
@@ -158,8 +173,8 @@ impl AnkerDb {
         let cols = schema
             .iter()
             .map(|(_, def)| {
-                let area = ColumnArea::alloc(&self.inner.space, rows)
-                    .expect("column allocation failed (simulated memory exhausted)");
+                let area = ColumnArea::alloc_on(Arc::clone(&self.inner.backend), rows)
+                    .expect("column allocation failed (backing memory exhausted)");
                 ColumnState::new(VersionedColumn::new(rows, def.ty), area)
             })
             .collect();
@@ -301,7 +316,9 @@ impl AnkerDb {
     /// Experiment support (§5.6, Figure 10): measure the cost of
     /// snapshotting each column of `table` individually with `vm_snapshot`.
     /// Returns per-column `(name, stats-delta)`; the probe snapshots are
-    /// dropped again immediately.
+    /// dropped again immediately. On the OS backend the snapshots are real
+    /// but the virtual-clock deltas are zero (wall-clock benches measure
+    /// that backend instead).
     pub fn snapshot_cost_probe(
         &self,
         table: TableId,
@@ -314,10 +331,10 @@ impl AnkerDb {
             let before = self.inner.kernel.stats();
             let snap = self
                 .inner
-                .space
+                .backend
                 .vm_snapshot(None, area.addr(), area.mapped_bytes())?;
             let delta = self.inner.kernel.stats().delta_since(&before);
-            self.inner.space.munmap(snap, area.mapped_bytes())?;
+            self.inner.backend.release(snap, area.mapped_bytes())?;
             out.push((def.name.clone(), delta));
         }
         Ok(out)
@@ -330,6 +347,15 @@ impl AnkerDb {
     /// keeps those outside the simulated space, which only understates
     /// fork's disadvantage.)
     pub fn fork_cost_probe(&self) -> Result<anker_vmem::KernelStats> {
+        if self.inner.config.backend != BackendKind::Sim {
+            // Really forking the process is not something a library should
+            // do to its host; the fork comparison is a simulator-only
+            // experiment.
+            return Err(anker_vmem::VmError::InvalidArgument(
+                "the fork cost probe requires the simulated backend",
+            )
+            .into());
+        }
         let _cs = self.lock_commit();
         let before = self.inner.kernel.stats();
         let child = self.inner.space.fork()?;

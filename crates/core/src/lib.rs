@@ -65,7 +65,7 @@ pub mod snapman;
 pub mod table;
 pub mod txn;
 
-pub use config::{DbConfig, ProcessingMode};
+pub use config::{BackendKind, DbConfig, ProcessingMode};
 pub use db::{AnkerDb, CommitState, DbStatsSnapshot};
 pub use error::{AbortReason, DbError, Result};
 pub use scan::ScanBuilder;

@@ -344,7 +344,11 @@ impl<'t> ScanBuilder<'t> {
     }
 
     /// Heterogeneous OLAP: tight loops over frozen snapshot columns — no
-    /// version checks — with zone-map block pruning.
+    /// version checks — with zone-map block pruning. On the OS backend the
+    /// frozen areas expose themselves as plain `&[u64]` slices
+    /// ([`anker_storage::ColumnArea::as_slice`]), so the block loops read
+    /// straight through the mapped memory with no per-word resolution and
+    /// no copy; on the simulated kernel they gather into block buffers.
     fn run_snapshot(
         txn: &mut Txn,
         table: TableId,
@@ -370,7 +374,25 @@ impl<'t> ScanBuilder<'t> {
             .zip(&filter_snaps)
             .map(|(flt, sc)| sc.area().zone_map(flt.ty, BLOCK_ROWS))
             .collect::<std::result::Result<_, _>>()?;
-        let mut em = BlockEmitter::new(filters, projection);
+        // SAFETY: the scan holds an `Arc<SnapCol>` per column and the txn
+        // pins the epoch, so the frozen areas can neither be unmapped nor
+        // recycled (both wait for the active-transaction horizon) while
+        // these borrows live; frozen areas are never written after
+        // hand-over, so the slices are genuinely immutable.
+        let f_slices: Vec<Option<&[u64]>> = filter_snaps
+            .iter()
+            .map(|sc| unsafe { sc.area().as_slice() })
+            .collect();
+        let p_slices: Vec<Option<&[u64]>> = proj_snaps
+            .iter()
+            .map(|sc| unsafe { sc.area().as_slice() })
+            .collect();
+        let mut fbufs: Vec<Vec<u64>> = filters
+            .iter()
+            .map(|_| vec![0u64; BLOCK_ROWS as usize])
+            .collect();
+        let proj_sliced: Vec<bool> = p_slices.iter().map(Option::is_some).collect();
+        let mut em = BlockEmitter::new(filters, projection, &proj_sliced);
         let mut start = 0u32;
         while start < rows {
             let n = BLOCK_ROWS.min(rows - start);
@@ -384,12 +406,17 @@ impl<'t> ScanBuilder<'t> {
                 start += n;
                 continue;
             }
-            for (sc, buf) in filter_snaps.iter().zip(em.fbufs.iter_mut()) {
-                sc.area().read_block_into(start, n, buf)?;
+            for ((sc, slice), buf) in filter_snaps.iter().zip(&f_slices).zip(fbufs.iter_mut()) {
+                if slice.is_none() {
+                    sc.area().read_block_into(start, n, buf)?;
+                }
             }
             stats.tight_rows += n as u64;
             em.filter_and_emit(
                 filters,
+                &f_slices,
+                &fbufs,
+                &p_slices,
                 start,
                 n,
                 stats,
@@ -421,20 +448,31 @@ impl<'t> ScanBuilder<'t> {
         let filter_areas: Vec<_> = filter_states.iter().map(|cs| cs.current_area()).collect();
         let proj_states: Vec<_> = projection.iter().map(|&c| state.col(c.0)).collect();
         let proj_areas: Vec<_> = proj_states.iter().map(|cs| cs.current_area()).collect();
-        let mut em = BlockEmitter::new(filters, projection);
+        // Live data is never borrowed as a slice (concurrent installs
+        // mutate it); every block goes through the versioned gather.
+        let no_fslices: Vec<Option<&[u64]>> = vec![None; filters.len()];
+        let no_pslices: Vec<Option<&[u64]>> = vec![None; projection.len()];
+        let mut fbufs: Vec<Vec<u64>> = filters
+            .iter()
+            .map(|_| vec![0u64; BLOCK_ROWS as usize])
+            .collect();
+        let mut em = BlockEmitter::new(filters, projection, &vec![false; projection.len()]);
         let mut start = 0u32;
         while start < rows {
             let n = BLOCK_ROWS.min(rows - start);
             for ((cs, area), buf) in filter_states
                 .iter()
                 .zip(&filter_areas)
-                .zip(em.fbufs.iter_mut())
+                .zip(fbufs.iter_mut())
             {
                 cs.versioned
                     .gather_visible_block(area, start_ts, start, n, buf, stats)?;
             }
             em.filter_and_emit(
                 filters,
+                &no_fslices,
+                &fbufs,
+                &no_pslices,
                 start,
                 n,
                 stats,
@@ -458,96 +496,105 @@ impl<'t> ScanBuilder<'t> {
 }
 
 /// Per-block machinery shared by both scan paths: evaluate the filters over
-/// the gathered filter-column buffers, account for removed rows, and — when
-/// any row survives — fill the projection buffers (reusing filter buffers
-/// for overlapping columns, reading the rest through `read_proj`) and emit
-/// the surviving rows into the sink.
+/// the gathered filter-column blocks, account for removed rows, and — when
+/// any row survives — emit the surviving rows into the sink. Projection
+/// words come, in order of preference, from a filter's block (column read
+/// once), from a whole-column slice (`pslices`, the OS backend's zero-copy
+/// path), or from a buffer filled through `read_proj`.
 struct BlockEmitter {
-    /// For each projection column, the index of the filter whose buffer
+    /// For each projection column, the index of the filter whose block
     /// already holds it (read each block once).
     proj_from_filter: Vec<Option<usize>>,
-    fbufs: Vec<Vec<u64>>,
     pbufs: Vec<Vec<u64>>,
     matched: Vec<u32>,
     vals: Vec<u64>,
 }
 
 impl BlockEmitter {
-    fn new(filters: &[Filter], projection: &[ColumnId]) -> BlockEmitter {
+    /// `proj_sliced[pi]` marks projection columns a whole-column slice will
+    /// serve (no gather buffer needed).
+    fn new(filters: &[Filter], projection: &[ColumnId], proj_sliced: &[bool]) -> BlockEmitter {
         let block = BLOCK_ROWS as usize;
         let proj_from_filter: Vec<Option<usize>> = projection
             .iter()
             .map(|&c| filters.iter().position(|flt| flt.col == c))
             .collect();
-        // Overlapping columns are served from the filter buffer; give them
-        // an empty placeholder so `pbufs` stays indexable by projection
-        // position without duplicating storage.
+        // Columns served from a filter block or a whole-column slice get an
+        // empty placeholder so `pbufs` stays indexable by projection
+        // position without allocating storage nothing will read.
         let pbufs = proj_from_filter
             .iter()
-            .map(|src| match src {
-                Some(_) => Vec::new(),
-                None => vec![0u64; block],
+            .zip(proj_sliced)
+            .map(|(src, sliced)| match (src, sliced) {
+                (Some(_), _) | (None, true) => Vec::new(),
+                (None, false) => vec![0u64; block],
             })
             .collect();
         BlockEmitter {
             proj_from_filter,
-            fbufs: vec![vec![0u64; block]; filters.len()],
             pbufs,
             matched: Vec::with_capacity(block),
             vals: vec![0u64; projection.len()],
         }
     }
 
-    /// `fbufs` must already hold the filter columns' words for rows
-    /// `[start, start + n)`. `read_proj(pi, buf, stats)` reads projection
-    /// column `pi`'s words for the same rows.
+    /// Filter `fi`'s words for rows `[start, start + n)` come from its
+    /// whole-column slice (`f_slices[fi]`, OS backend) or its gather
+    /// buffer (`fbufs[fi]`); both are loop-invariant in the caller, so no
+    /// per-block collection is allocated. `pslices[pi]` is projection
+    /// column `pi`'s whole-column slice when one exists; otherwise
+    /// `read_proj(pi, buf, stats)` fetches its block.
+    #[allow(clippy::too_many_arguments)]
     fn filter_and_emit(
         &mut self,
         filters: &[Filter],
+        f_slices: &[Option<&[u64]>],
+        fbufs: &[Vec<u64>],
+        pslices: &[Option<&[u64]>],
         start: u32,
         n: u32,
         stats: &mut ScanStats,
         read_proj: &mut dyn FnMut(usize, &mut [u64], &mut ScanStats) -> Result<()>,
         sink: &mut dyn FnMut(u32, &[u64]),
     ) -> Result<()> {
+        let fw = |fi: usize| -> &[u64] {
+            match f_slices[fi] {
+                Some(s) => &s[start as usize..(start + n) as usize],
+                None => &fbufs[fi][..n as usize],
+            }
+        };
         self.matched.clear();
-        if filters.is_empty() {
-            self.matched.extend(0..n);
-        } else {
-            for i in 0..n {
-                if filters
-                    .iter()
-                    .zip(&self.fbufs)
-                    .all(|(flt, buf)| flt.matches(buf[i as usize]))
-                {
-                    self.matched.push(i);
-                }
+        self.matched.extend(0..n);
+        for (fi, flt) in filters.iter().enumerate() {
+            let words = fw(fi);
+            self.matched.retain(|&i| flt.matches(words[i as usize]));
+            if self.matched.is_empty() {
+                break;
             }
         }
         stats.rows_filtered += n as u64 - self.matched.len() as u64;
         if self.matched.is_empty() {
             return Ok(());
         }
-        // Projection columns that are also filter columns read straight
-        // from the filter buffer in the emit loop below — no copy; only
-        // the rest are fetched.
+        // Only projection columns served by neither a filter block nor a
+        // whole-column slice are fetched.
         for (pi, (buf, src)) in self
             .pbufs
             .iter_mut()
             .zip(&self.proj_from_filter)
             .enumerate()
         {
-            if src.is_none() {
+            if src.is_none() && pslices[pi].is_none() {
                 read_proj(pi, buf, stats)?;
             }
         }
         for &i in &self.matched {
             for (ci, src) in self.proj_from_filter.iter().enumerate() {
-                let buf = match src {
-                    Some(fi) => &self.fbufs[*fi],
-                    None => &self.pbufs[ci],
+                self.vals[ci] = match (src, pslices[ci]) {
+                    (Some(fi), _) => fw(*fi)[i as usize],
+                    (None, Some(s)) => s[(start + i) as usize],
+                    (None, None) => self.pbufs[ci][i as usize],
                 };
-                self.vals[ci] = buf[i as usize];
             }
             sink(start + i, &self.vals);
         }

@@ -24,9 +24,10 @@
 
 use crate::db::CommitState;
 use crate::table::{ColumnState, TableState};
+use anker_mvcc::ActiveTxns;
 use anker_storage::ColumnArea;
 use anker_util::FxHashMap;
-use anker_vmem::Space;
+use anker_vmem::VmBackend;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -118,6 +119,13 @@ impl SpareAreas {
             .push((swap_ts, area));
     }
 
+    /// Take a parked area of `bytes` that is safe to overwrite in place:
+    /// its swap timestamp must lie strictly below the **oldest active
+    /// transaction's start timestamp** — the same horizon
+    /// [`Graveyard::drain`] applies before unmapping. Gating on anything
+    /// later (e.g. the current commit timestamp) recycles areas that a
+    /// stale reader still holds a handle to, silently feeding it another
+    /// column's bytes.
     fn take(&self, bytes: u64, min_active_start: u64) -> Option<ColumnArea> {
         let mut map = self.by_size.lock();
         let pool = map.get_mut(&bytes)?;
@@ -165,7 +173,10 @@ pub(crate) struct SnapStats {
 }
 
 pub(crate) struct SnapshotManager {
-    space: Space,
+    backend: Arc<dyn VmBackend>,
+    /// The active-transaction registry, for the destination-recycling
+    /// horizon (see [`SpareAreas::take`]).
+    active: Arc<ActiveTxns>,
     /// Live epochs in ascending timestamp order; the last one is newest.
     epochs: Mutex<Vec<Arc<Epoch>>>,
     /// Timestamp of the newest epoch (0 = none). Lock-free mirror for the
@@ -177,9 +188,14 @@ pub(crate) struct SnapshotManager {
 }
 
 impl SnapshotManager {
-    pub fn new(space: Space, recycle: bool) -> SnapshotManager {
+    pub fn new(
+        backend: Arc<dyn VmBackend>,
+        active: Arc<ActiveTxns>,
+        recycle: bool,
+    ) -> SnapshotManager {
         SnapshotManager {
-            space,
+            backend,
+            active,
             epochs: Mutex::new(Vec::new()),
             newest_ts: AtomicU64::new(0),
             graveyard: Arc::<Graveyard>::default(),
@@ -357,13 +373,22 @@ impl SnapshotManager {
         // not changed since before the oldest of them.
         let cur = col.current_area();
         let bytes = cur.mapped_bytes();
-        let dst = self.spare.as_ref().and_then(|s| s.take(bytes, now_ts));
+        // §4.1.3 destination recycling is gated on the *active-transaction
+        // horizon*, not on `now_ts`: a stale reader that grabbed the area
+        // handle just before an earlier swap may still be reading through
+        // it, and overwriting the area in place is as hazardous for it as
+        // unmapping (same rule as `Graveyard::drain`).
+        let recycle_horizon = self.active.min_active_or(now_ts);
+        let dst = self
+            .spare
+            .as_ref()
+            .and_then(|s| s.take(bytes, recycle_horizon));
         let fresh_addr = self
-            .space
+            .backend
             .vm_snapshot(dst.map(|a| a.addr()), cur.addr(), bytes)?;
         // The duplicate becomes the new most-recent representation; the old
         // area freezes into the snapshot (Figure 1, step 4).
-        let fresh = ColumnArea::from_raw(self.space.clone(), fresh_addr, cur.rows());
+        let fresh = ColumnArea::from_raw_on(Arc::clone(&self.backend), fresh_addr, cur.rows());
         let old = col.swap_area(fresh);
         // Hand the version chains over (they serve pre-epoch OLTP readers
         // until the active horizon passes the newest epoch timestamp).
@@ -383,5 +408,131 @@ impl SnapshotManager {
             .columns_materialized
             .fetch_add(1, Ordering::Relaxed);
         Ok(Some(snap))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::DbConfig;
+    use crate::db::AnkerDb;
+    use crate::table::TableId;
+    use crate::txn::TxnKind;
+    use anker_mvcc::BLOCK_ROWS;
+    use anker_storage::{ColumnDef, ColumnId, LogicalType, Schema, Value};
+
+    fn two_column_db(rows: u32) -> (AnkerDb, TableId, ColumnId, ColumnId) {
+        let mut cfg = DbConfig::heterogeneous_serializable()
+            .with_snapshot_every(1)
+            .with_gc_interval(None);
+        cfg.recycle_snapshot_areas = true;
+        let db = AnkerDb::new(cfg);
+        let t = db.create_table(
+            "t",
+            Schema::new(vec![
+                ColumnDef::new("a", LogicalType::Int),
+                ColumnDef::new("b", LogicalType::Int),
+            ]),
+            rows,
+        );
+        let a = db.schema(t).col("a");
+        let b = db.schema(t).col("b");
+        db.fill_column(t, a, (0..rows).map(|_| Value::Int(10).encode()))
+            .unwrap();
+        db.fill_column(t, b, (0..rows).map(|_| Value::Int(100).encode()))
+            .unwrap();
+        (db, t, a, b)
+    }
+
+    /// §4.1.3 destination recycling must be gated on the oldest *active
+    /// transaction*, not on the current commit timestamp: a reader that
+    /// acquired a column-area handle just before the snapshot swap may
+    /// still be reading through it long after the swap, and recycling the
+    /// area rewires it — in place — onto a *different column's* data.
+    ///
+    /// Pre-fix (`SpareAreas::take` gated on `now_ts`), the stale handle
+    /// below observes column `b`'s values through what used to be column
+    /// `a`'s area; with the horizon fix the parked area is left alone
+    /// while any transaction that could hold its handle is still active.
+    #[test]
+    fn recycling_waits_for_the_active_transaction_horizon() {
+        let (db, t, a, b) = two_column_db(512);
+
+        // A long-running OLTP transaction grabs a handle to column `a`'s
+        // current area — exactly what the read path does between
+        // `current_area()` and the versioned read.
+        let t_stale = db.begin(TxnKind::Oltp);
+        let stale_area = db.table_state(t).col(a.0).current_area();
+
+        // An OLAP transaction materialises column `a` for epoch E1: `a`'s
+        // area is swapped and the old area (our stale handle) freezes into
+        // the snapshot.
+        let mut o1 = db.begin(TxnKind::Olap);
+        assert_eq!(o1.get_value(t, a, 0).unwrap(), Value::Int(10));
+        o1.commit().unwrap();
+
+        // A write to `b` commits: it triggers epoch E2, which retires the
+        // unpinned E1 and parks the frozen area in the recycling pool.
+        let mut w = db.begin(TxnKind::Oltp);
+        w.update_value(t, b, 0, Value::Int(200)).unwrap();
+        w.commit().unwrap();
+
+        // A second OLAP transaction materialises column `b` for E2. The
+        // recycler now sees a parked area of the right size; `t_stale`
+        // (started before the swap) still holds its handle, so taking it
+        // would overwrite memory a live reader is looking at.
+        let mut o2 = db.begin(TxnKind::Olap);
+        assert_eq!(o2.get_value(t, b, 0).unwrap(), Value::Int(200));
+        o2.commit().unwrap();
+
+        // The stale handle must keep seeing column `a`'s frozen content.
+        assert_eq!(
+            stale_area.get(0).unwrap(),
+            Value::Int(10).encode(),
+            "recycled area was overwritten under an active reader"
+        );
+        drop(t_stale);
+    }
+
+    /// A zone map primed while an area was still the current, writable
+    /// representation must never prune a snapshot scan after the area
+    /// freezes: `swap_area` drops the cached summary.
+    #[test]
+    fn zone_map_primed_before_a_write_never_misprunes_after_freeze() {
+        let db = AnkerDb::new(
+            DbConfig::heterogeneous_serializable()
+                .with_snapshot_every(1)
+                .with_gc_interval(None),
+        );
+        let t = db.create_table(
+            "t",
+            Schema::new(vec![ColumnDef::new("v", LogicalType::Int)]),
+            64,
+        );
+        let v = db.schema(t).col("v");
+        db.fill_column(t, v, (0..64).map(|i| Value::Int(i).encode()))
+            .unwrap();
+
+        // Prime a summary on the *current* area (max = 63).
+        let zm = db
+            .table_state(t)
+            .col(v.0)
+            .current_area()
+            .zone_map(LogicalType::Int, BLOCK_ROWS)
+            .unwrap();
+        assert_eq!(zm.block_range(0), (0.0, 63.0));
+
+        // A committed write moves a value far outside the primed bounds.
+        let mut w = db.begin(TxnKind::Oltp);
+        w.update_value(t, v, 3, Value::Int(1_000)).unwrap();
+        w.commit().unwrap();
+
+        // The OLAP scan below materialises the column: the written area
+        // freezes into the snapshot. Its zone map must reflect the write,
+        // or the only matching block gets pruned and the row vanishes.
+        let mut olap = db.begin(TxnKind::Olap);
+        let (count, stats) = olap.scan_on(t).range_i64(v, 900, 1_100).count().unwrap();
+        olap.commit().unwrap();
+        assert_eq!(stats.blocks_skipped, 0, "stale zone map pruned the block");
+        assert_eq!(count, 1, "the updated row must be found");
     }
 }

@@ -44,9 +44,18 @@ impl ColumnState {
     /// Swap in a fresh area (the `vm_snapshot` duplicate that becomes the
     /// new most-recent representation); returns the previous area, which
     /// becomes the read-only snapshot.
+    ///
+    /// The frozen area's zone-map cache is dropped at this point: a
+    /// summary primed while the area was still the current, writable
+    /// representation may predate its last installs, and a snapshot scan
+    /// pruning against those stale min/max bounds would silently skip
+    /// matching rows. The first predicate scan of the snapshot rebuilds
+    /// the map from the now-immutable content.
     pub fn swap_area(&self, fresh: ColumnArea) -> ColumnArea {
         let mut guard = self.area.write();
-        std::mem::replace(&mut *guard, fresh)
+        let old = std::mem::replace(&mut *guard, fresh);
+        old.invalidate_zone_map();
+        old
     }
 
     /// Newest committed write timestamp of this column.

@@ -7,8 +7,8 @@ use crate::error::{AbortReason, DbError, Result};
 use crate::snapman::{Epoch, SnapCol};
 use crate::table::{TableId, TableState};
 use anker_mvcc::{
-    ColRef, CommitRecord, IsolationLevel, LocalWrite, Pred, ScanStats, Transaction, TxnId,
-    WriteRecord, PENDING,
+    ColRef, CommitRecord, IsolationLevel, LocalWrite, ScanStats, Transaction, TxnId, WriteRecord,
+    PENDING,
 };
 use anker_storage::{ColumnId, Value};
 use anker_util::FxHashMap;
@@ -273,40 +273,6 @@ impl Txn {
     /// [`ScanStats`]).
     pub fn scan_stats(&self) -> ScanStats {
         self.scan_stats
-    }
-
-    /// Log a range predicate `lo <= col <= hi` this transaction filtered on
-    /// (precision locking; no-op unless a serializable updater).
-    #[deprecated(
-        since = "0.2.0",
-        note = "predicates passed to `Txn::scan_on` register their precision \
-                locks automatically; use `ScanBuilder::range_i64`/`range_f64`"
-    )]
-    pub fn log_range(&mut self, table: TableId, col: ColumnId, lo: f64, hi: f64) {
-        if self.serializable_updater() {
-            let ty = self.table(table).schema.def(col).ty;
-            self.inner.log_predicate(Pred::Range {
-                col: Self::colref(table, col),
-                ty,
-                lo,
-                hi,
-            });
-        }
-    }
-
-    /// Log a dictionary-equality predicate.
-    #[deprecated(
-        since = "0.2.0",
-        note = "predicates passed to `Txn::scan_on` register their precision \
-                locks automatically; use `ScanBuilder::dict_eq`/`in_set`"
-    )]
-    pub fn log_dict_eq(&mut self, table: TableId, col: ColumnId, code: u32) {
-        if self.serializable_updater() {
-            self.inner.log_predicate(Pred::DictEq {
-                col: Self::colref(table, col),
-                code,
-            });
-        }
     }
 
     /// Commit. Read-only transactions commit without validation (they are

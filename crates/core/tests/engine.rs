@@ -177,14 +177,18 @@ fn unrelated_writes_pass_validation() {
 }
 
 #[test]
-fn deprecated_log_shims_still_register_predicates() {
-    // The manual shims stay for one release; they must keep protecting
-    // callers that have not migrated yet.
+fn builder_predicate_catches_write_into_scanned_range() {
+    // The manual `log_range`/`log_dict_eq` shims are gone; the builder's
+    // auto-registered precision lock must provide the same protection.
     let (db, t, a, b) = small_db(DbConfig::homogeneous_serializable());
     let mut t1 = db.begin(TxnKind::Oltp);
-    #[allow(deprecated)]
-    t1.log_range(t, a, 0.0, 50.0);
+    t1.scan_on(t)
+        .range_i64(a, 0, 50)
+        .for_each(|_, _| {})
+        .unwrap();
     let mut t2 = db.begin(TxnKind::Oltp);
+    // T2 moves a row's value *into* T1's scanned range: T1's read is no
+    // longer repeatable and its commit must fail validation.
     t2.update(t, a, 3000, 25).unwrap();
     t2.commit().unwrap();
     t1.update(t, b, 0, 1).unwrap();
@@ -729,4 +733,50 @@ fn projection_columns_keep_full_column_locks() {
         Err(DbError::Aborted(AbortReason::ValidationFailed { .. })) => {}
         other => panic!("expected validation abort, got {other:?}"),
     }
+}
+
+/// The OS backend (real memfd + mmap memory) must run the whole engine:
+/// MVCC visibility, snapshot epochs with zero-copy slice scans, and
+/// destination recycling — same assertions as on the simulated kernel.
+#[cfg(target_os = "linux")]
+#[test]
+fn os_backend_runs_the_full_engine() {
+    use anker_core::BackendKind;
+    let mut cfg = DbConfig::heterogeneous_serializable()
+        .with_snapshot_every(4)
+        .with_gc_interval(None)
+        .with_backend(BackendKind::Os);
+    cfg.recycle_snapshot_areas = true;
+    let (db, t, a, b) = small_db(cfg);
+
+    // An old OLTP reader pins its snapshot across OLAP-driven swaps.
+    let mut old_reader = db.begin(TxnKind::Oltp);
+    assert_eq!(old_reader.get(t, a, 5).unwrap(), 5);
+
+    // Interleave writes and OLAP scans across several epochs so areas
+    // freeze, retire, and recycle on real memory.
+    for round in 0..6u64 {
+        for i in 0..8u32 {
+            let mut w = db.begin(TxnKind::Oltp);
+            w.update(t, a, i, 1_000 * (round + 1) + i as u64).unwrap();
+            w.update(t, b, i, 2_000 * (round + 1) + i as u64).unwrap();
+            w.commit().unwrap();
+        }
+        let mut olap = db.begin(TxnKind::Olap);
+        let (sum, stats) = olap
+            .scan_on(t)
+            .range_i64(a, 1_000, i64::MAX)
+            .project(&[a])
+            .fold(0u64, |acc, _row, vals| acc + vals[0].as_int() as u64)
+            .unwrap();
+        olap.commit().unwrap();
+        assert!(sum >= 8 * 1_000 * (round + 1), "snapshot scan sees commits");
+        assert!(stats.tight_rows > 0, "snapshot path was taken");
+    }
+
+    // The old reader still sees its own snapshot through the chains.
+    assert_eq!(old_reader.get(t, a, 5).unwrap(), 5);
+    old_reader.commit().unwrap();
+    assert!(db.stats().epochs_triggered > 0);
+    assert!(db.stats().columns_materialized > 0);
 }

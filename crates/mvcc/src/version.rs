@@ -541,13 +541,12 @@ impl VersionedColumn {
         // the paper's configurations — OLAP runs on snapshots — but stay
         // correct for any caller).
         let force_per_row = start_ts < self.last_freeze_ts.load(Ordering::Acquire);
-        let vpp = area.vals_per_page();
         let block_idx = (block_start / BLOCK_ROWS) as usize;
         let (seq, first, last) = store.block_read(block_idx);
         let tight_ok = !force_per_row && seq % 2 == 0;
         if tight_ok && first == NO_ROW {
             // Fully unversioned block: copy, validate, deliver.
-            self.copy_block(area, block_start, n, vpp, buf)?;
+            area.read_block_into(block_start, n, buf)?;
             if store.block_verify(block_idx, seq) {
                 stats.tight_rows += n as u64;
                 return Ok(());
@@ -555,7 +554,7 @@ impl VersionedColumn {
             stats.blocks_retried += 1;
         } else if tight_ok {
             // Mixed block: tight head and tail, per-row middle.
-            self.copy_block(area, block_start, n, vpp, buf)?;
+            area.read_block_into(block_start, n, buf)?;
             let lo = first.max(block_start) - block_start;
             let hi = last.min(block_start + n - 1) - block_start;
             for i in lo..=hi {
@@ -581,28 +580,6 @@ impl VersionedColumn {
             }
         }
         stats.checked_rows += n as u64;
-        Ok(())
-    }
-
-    fn copy_block(
-        &self,
-        area: &ColumnArea,
-        block_start: u32,
-        n: u32,
-        vpp: u32,
-        buf: &mut [u64],
-    ) -> anker_vmem::Result<()> {
-        let mut copied = 0u32;
-        while copied < n {
-            let row = block_start + copied;
-            let page = area.page_for_row(row)?;
-            let in_page_start = row % vpp;
-            let take = (vpp - in_page_start).min(n - copied);
-            for i in 0..take {
-                buf[(copied + i) as usize] = page.load((in_page_start + i) as usize);
-            }
-            copied += take;
-        }
         Ok(())
     }
 }

@@ -1,8 +1,9 @@
-//! A column's virtual memory area, with page-wise access for tight scans
-//! and per-block min/max zone maps for predicate pruning on frozen areas.
+//! A column's virtual memory area, generic over the [`VmBackend`] it is
+//! mapped on, with block-wise access for tight scans and per-block min/max
+//! zone maps for predicate pruning on frozen areas.
 
 use crate::value::{rank, LogicalType, Value};
-use anker_vmem::{Access, MapBacking, Prot, ResolvedPage, Result, Share, Space};
+use anker_vmem::{Result, Space, VmBackend};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -14,7 +15,9 @@ use std::sync::Arc;
 /// the engine never writes a snapshot area after hand-over, so the summary
 /// stays valid for the area's lifetime. They are built lazily on the first
 /// predicate scan and cached inside the [`ColumnArea`] handle (all clones
-/// of a view share one cache).
+/// of a view share one cache); the cache is dropped when the snapshot
+/// manager freezes an area, so a summary primed while the area was still
+/// writable can never mis-prune (see [`ColumnArea::invalidate_zone_map`]).
 #[derive(Debug)]
 pub struct ZoneMap {
     ty: LogicalType,
@@ -48,7 +51,9 @@ impl ZoneMap {
 }
 
 /// A fixed-size view of one column: `rows` 8-byte values stored densely in
-/// the virtual memory area starting at `addr`.
+/// the virtual memory area starting at `addr` of some [`VmBackend`] —
+/// either the simulated kernel ([`anker_vmem::Space`]) or the real-OS
+/// memfd backend ([`anker_vmem::OsBackend`]).
 ///
 /// `ColumnArea` is deliberately a *view*: the heterogeneous snapshot manager
 /// re-points a logical column at a new area on every snapshot
@@ -57,7 +62,7 @@ impl ZoneMap {
 /// [`ColumnArea::unmap`] to release the area.
 #[derive(Debug, Clone)]
 pub struct ColumnArea {
-    space: Space,
+    backend: Arc<dyn VmBackend>,
     addr: u64,
     rows: u32,
     /// Lazily built zone maps, shared across clones of this view. A fresh
@@ -67,25 +72,35 @@ pub struct ColumnArea {
 }
 
 impl ColumnArea {
-    /// Allocate a fresh anonymous private area large enough for `rows`
-    /// values and wrap it.
+    /// Allocate a fresh zero-filled area on the simulated kernel, large
+    /// enough for `rows` values, and wrap it.
     pub fn alloc(space: &Space, rows: u32) -> Result<ColumnArea> {
-        let ps = space.page_size();
+        Self::alloc_on(Arc::new(space.clone()), rows)
+    }
+
+    /// Allocate a fresh zero-filled area on any backend.
+    pub fn alloc_on(backend: Arc<dyn VmBackend>, rows: u32) -> Result<ColumnArea> {
+        let ps = backend.page_size();
         let bytes = (rows as u64 * 8).div_ceil(ps).max(1) * ps;
-        let addr = space.mmap(bytes, Prot::READ_WRITE, Share::Private, MapBacking::Anon)?;
+        let addr = backend.alloc(bytes)?;
         Ok(ColumnArea {
-            space: space.clone(),
+            backend,
             addr,
             rows,
             zones: Arc::new(Mutex::new(None)),
         })
     }
 
-    /// View an existing area (e.g. one returned by `vm_snapshot`) as a
-    /// column of `rows` values.
+    /// View an existing simulated-kernel area (e.g. one returned by
+    /// `vm_snapshot`) as a column of `rows` values.
     pub fn from_raw(space: Space, addr: u64, rows: u32) -> ColumnArea {
+        Self::from_raw_on(Arc::new(space), addr, rows)
+    }
+
+    /// View an existing area of any backend as a column of `rows` values.
+    pub fn from_raw_on(backend: Arc<dyn VmBackend>, addr: u64, rows: u32) -> ColumnArea {
         ColumnArea {
-            space,
+            backend,
             addr,
             rows,
             zones: Arc::new(Mutex::new(None)),
@@ -102,33 +117,33 @@ impl ColumnArea {
         self.rows
     }
 
-    /// The address space the area lives in.
-    pub fn space(&self) -> &Space {
-        &self.space
+    /// The backend the area is mapped on.
+    pub fn backend(&self) -> &Arc<dyn VmBackend> {
+        &self.backend
     }
 
     /// Values per page.
     #[inline]
     pub fn vals_per_page(&self) -> u32 {
-        (self.space.page_size() / 8) as u32
+        (self.backend.page_size() / 8) as u32
     }
 
     /// Size of the mapped area in bytes (page aligned).
     pub fn mapped_bytes(&self) -> u64 {
-        let ps = self.space.page_size();
+        let ps = self.backend.page_size();
         (self.rows as u64 * 8).div_ceil(ps).max(1) * ps
     }
 
     /// Number of pages backing the area.
     pub fn n_pages(&self) -> u64 {
-        self.mapped_bytes() / self.space.page_size()
+        self.mapped_bytes() / self.backend.page_size()
     }
 
     /// Load the raw word of `row` (atomic, relaxed).
     #[inline]
     pub fn get(&self, row: u32) -> Result<u64> {
         debug_assert!(row < self.rows, "row {row} out of {}", self.rows);
-        self.space.read_u64(self.addr + row as u64 * 8)
+        self.backend.read_u64(self.addr + row as u64 * 8)
     }
 
     /// Store the raw word of `row` (atomic, relaxed; faults/COWs as
@@ -136,7 +151,7 @@ impl ColumnArea {
     #[inline]
     pub fn set(&self, row: u32, word: u64) -> Result<()> {
         debug_assert!(row < self.rows, "row {row} out of {}", self.rows);
-        self.space.write_u64(self.addr + row as u64 * 8, word)
+        self.backend.write_u64(self.addr + row as u64 * 8, word)
     }
 
     /// Typed load.
@@ -149,76 +164,60 @@ impl ColumnArea {
         self.set(row, value.encode())
     }
 
-    /// Resolve the page containing `row` for reading.
+    /// The whole column as a plain `&[u64]` slice when the backend maps it
+    /// as directly addressable memory (the OS backend) — the zero-copy
+    /// fast path scan block loops read through instead of per-word
+    /// resolution. Returns `None` on the simulated kernel.
+    ///
+    /// # Safety
+    ///
+    /// A `ColumnArea` is a *view*; cloning it does not pin the mapping.
+    /// The caller must guarantee, for the lifetime of the returned slice:
+    ///
+    /// * the area is not unmapped through *any* clone of this view
+    ///   ([`ColumnArea::unmap`] / the backend's `release`), and is not
+    ///   recycled as a `vm_snapshot` destination — in the engine this is
+    ///   what epoch pinning plus the active-transaction horizon provide;
+    /// * the area is **frozen** (a snapshot column the engine has stopped
+    ///   writing) — the slice type asserts immutability.
     #[inline]
-    pub fn page_for_row(&self, row: u32) -> Result<ResolvedPage> {
-        let page = row / self.vals_per_page();
-        self.page(page as u64, false)
-    }
-
-    /// Resolve page `page_idx` of the area.
-    pub fn page(&self, page_idx: u64, write: bool) -> Result<ResolvedPage> {
-        let access = if write { Access::Write } else { Access::Read };
-        self.space
-            .resolve(self.addr + page_idx * self.space.page_size(), access)
-    }
-
-    /// Iterate over the pages of the column in order, yielding the first
-    /// row of each page, the number of valid rows in it, and the resolved
-    /// page. This is the tight-scan building block: one page-table lookup
-    /// per `vals_per_page` values.
-    pub fn for_each_page<E>(
-        &self,
-        mut f: impl FnMut(u32, u32, &ResolvedPage) -> std::result::Result<(), E>,
-    ) -> std::result::Result<(), E>
-    where
-        E: From<anker_vmem::VmError>,
-    {
-        let vpp = self.vals_per_page();
-        let mut row = 0u32;
-        while row < self.rows {
-            let n = vpp.min(self.rows - row);
-            let page = self.page((row / vpp) as u64, false)?;
-            f(row, n, &page)?;
-            row += n;
-        }
-        Ok(())
+    pub unsafe fn as_slice(&self) -> Option<&[u64]> {
+        let p = self.backend.raw_parts(self.addr, self.rows as u64 * 8)?;
+        // SAFETY: the backend vouches the range is mapped and readable
+        // now; the caller vouches (per this function's contract) that it
+        // stays mapped and unwritten for the slice's lifetime.
+        Some(unsafe { std::slice::from_raw_parts(p, self.rows as usize) })
     }
 
     /// Copy the raw words of rows `[start_row, start_row + n)` into
-    /// `buf[..n]` (atomic loads, page-wise). The tight-loop read path for
+    /// `buf[..n]` (atomic loads, block-wise). The tight-loop read path for
     /// snapshot scans.
     pub fn read_block_into(&self, start_row: u32, n: u32, buf: &mut [u64]) -> Result<()> {
         debug_assert!(start_row + n <= self.rows);
-        let vpp = self.vals_per_page();
-        let mut copied = 0u32;
-        while copied < n {
-            let row = start_row + copied;
-            let page = self.page_for_row(row)?;
-            let in_page = row % vpp;
-            let take = (vpp - in_page).min(n - copied);
-            for i in 0..take {
-                buf[(copied + i) as usize] = page.load((in_page + i) as usize);
-            }
-            copied += take;
-        }
-        Ok(())
+        self.backend
+            .read_words(self.addr + start_row as u64 * 8, &mut buf[..n as usize])
     }
 
     /// Bulk-load values starting at row 0 (loader convenience).
     pub fn fill<I: IntoIterator<Item = u64>>(&self, values: I) -> Result<u32> {
-        let vpp = self.vals_per_page();
+        let chunk = self.vals_per_page() as usize;
+        let mut buf = Vec::with_capacity(chunk);
         let mut row = 0u32;
-        let mut page: Option<ResolvedPage> = None;
         for word in values {
-            assert!(row < self.rows, "fill overflows the column");
-            if row.is_multiple_of(vpp) {
-                page = Some(self.page((row / vpp) as u64, true)?);
+            assert!(
+                (row as u64 + buf.len() as u64) < self.rows as u64,
+                "fill overflows the column"
+            );
+            buf.push(word);
+            if buf.len() == chunk {
+                self.backend.write_words(self.addr + row as u64 * 8, &buf)?;
+                row += buf.len() as u32;
+                buf.clear();
             }
-            page.as_ref()
-                .expect("page resolved at row boundary")
-                .store((row % vpp) as usize, word);
-            row += 1;
+        }
+        if !buf.is_empty() {
+            self.backend.write_words(self.addr + row as u64 * 8, &buf)?;
+            row += buf.len() as u32;
         }
         Ok(row)
     }
@@ -227,8 +226,11 @@ impl ColumnArea {
     /// block, building and caching it on first use.
     ///
     /// Only call this on a **frozen** area (a snapshot column): the cache
-    /// is never invalidated, so a summary built while writers are active
-    /// would go stale. All clones of the view share the cached map.
+    /// is never invalidated while the handle lives, so a summary built
+    /// while writers are active would go stale. The snapshot manager
+    /// clears the cache at the freeze point
+    /// ([`ColumnArea::invalidate_zone_map`]); all clones of the view share
+    /// the cached map.
     pub fn zone_map(&self, ty: LogicalType, block_rows: u32) -> Result<Arc<ZoneMap>> {
         assert!(block_rows > 0, "zone map block size must be positive");
         let mut slot = self.zones.lock();
@@ -271,17 +273,27 @@ impl ColumnArea {
         Ok(zm)
     }
 
-    /// Unmap the underlying area, releasing its frames.
+    /// Drop any cached zone map. The snapshot manager calls this at the
+    /// moment an area freezes (stops being the current, writable
+    /// representation): a summary primed *before* the freeze may predate
+    /// the area's last writes, and pruning against it would silently skip
+    /// matching rows. The next predicate scan rebuilds the map from the
+    /// now-immutable content.
+    pub fn invalidate_zone_map(&self) {
+        *self.zones.lock() = None;
+    }
+
+    /// Unmap the underlying area, releasing its memory.
     pub fn unmap(self) -> Result<()> {
         let bytes = self.mapped_bytes();
-        self.space.munmap(self.addr, bytes)
+        self.backend.release(self.addr, bytes)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use anker_vmem::Kernel;
+    use anker_vmem::{Kernel, OsBackend};
 
     fn column(rows: u32) -> (Kernel, ColumnArea) {
         let k = Kernel::default();
@@ -318,20 +330,21 @@ mod tests {
     }
 
     #[test]
-    fn fill_and_page_scan() {
+    fn fill_and_block_scan() {
         let (_k, c) = column(1500);
         let n = c.fill((0..1500).map(|i| i * 2)).unwrap();
         assert_eq!(n, 1500);
+        let mut buf = vec![0u64; 512];
         let mut sum = 0u64;
         let mut rows_seen = 0u32;
-        c.for_each_page::<anker_vmem::VmError>(|start, n, page| {
-            for i in 0..n {
-                sum += page.load(((start + i) % c.vals_per_page()) as usize);
-            }
-            rows_seen += n;
-            Ok(())
-        })
-        .unwrap();
+        let mut start = 0u32;
+        while start < c.rows() {
+            let take = 512.min(c.rows() - start);
+            c.read_block_into(start, take, &mut buf).unwrap();
+            sum += buf[..take as usize].iter().sum::<u64>();
+            rows_seen += take;
+            start += take;
+        }
         assert_eq!(rows_seen, 1500);
         assert_eq!(sum, (0..1500u64).map(|i| i * 2).sum::<u64>());
     }
@@ -380,6 +393,21 @@ mod tests {
     }
 
     #[test]
+    fn zone_map_invalidation_drops_stale_summaries() {
+        let (_k, c) = column(100);
+        c.fill((0..100).map(|i| Value::Int(i).encode())).unwrap();
+        let zm = c.zone_map(LogicalType::Int, 64).unwrap();
+        assert_eq!(zm.block_range(0), (0.0, 63.0));
+        // A write the summary does not know about...
+        c.set_value(3, Value::Int(1_000)).unwrap();
+        // ...is reflected once the freeze point invalidates the cache.
+        c.invalidate_zone_map();
+        let fresh = c.zone_map(LogicalType::Int, 64).unwrap();
+        assert!(!Arc::ptr_eq(&zm, &fresh));
+        assert_eq!(fresh.block_range(0), (0.0, 1_000.0));
+    }
+
+    #[test]
     fn zone_maps_never_prune_nan_blocks() {
         let (_k, c) = column(10);
         c.fill((0..10).map(|_| Value::Double(f64::NAN).encode()))
@@ -401,5 +429,35 @@ mod tests {
         c.set(100, 999).unwrap();
         assert_eq!(snap.get(100).unwrap(), 100);
         assert_eq!(c.get(100).unwrap(), 999);
+    }
+
+    #[test]
+    fn sim_backend_has_no_slice_fast_path() {
+        let (_k, c) = column(64);
+        // SAFETY: the area lives for the whole test and is never written
+        // while a slice could exist (it returns None here anyway).
+        assert!(unsafe { c.as_slice() }.is_none());
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn os_backend_column_and_slice_fast_path() {
+        let b: Arc<dyn VmBackend> = Arc::new(OsBackend::new().unwrap());
+        let c = ColumnArea::alloc_on(Arc::clone(&b), 3000).unwrap();
+        c.fill((0..3000).map(|i| i * 5)).unwrap();
+        // Snapshot through the generic path, as the snapshot manager does.
+        let snap_addr = b.vm_snapshot(None, c.addr(), c.mapped_bytes()).unwrap();
+        let snap = ColumnArea::from_raw_on(Arc::clone(&b), snap_addr, 3000);
+        c.set(7, 1).unwrap();
+        // SAFETY: `snap` is frozen (never written below) and not unmapped
+        // until after the last use of `s`.
+        let s = unsafe { snap.as_slice() }.expect("OS backend exposes raw slices");
+        assert_eq!(s.len(), 3000);
+        assert_eq!(s[7], 35, "snapshot slice reads frozen content");
+        assert_eq!(c.get(7).unwrap(), 1);
+        let zm = snap.zone_map(LogicalType::Int, 1024).unwrap();
+        assert_eq!(zm.n_blocks(), 3);
+        snap.unmap().unwrap();
+        c.unmap().unwrap();
     }
 }

@@ -26,6 +26,9 @@ pub enum VmError {
     /// A semantically invalid request (zero length, unsupported flag
     /// combination, address-space exhaustion, ...).
     InvalidArgument(&'static str),
+    /// A real operating-system call failed (OS backend only). Carries the
+    /// failing call's name and `errno`.
+    Os { call: &'static str, errno: i32 },
 }
 
 impl fmt::Display for VmError {
@@ -54,6 +57,9 @@ impl fmt::Display for VmError {
             }
             VmError::OutOfMemory => write!(f, "out of physical memory"),
             VmError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            VmError::Os { call, errno } => {
+                write!(f, "os backend: {call} failed with errno {errno}")
+            }
         }
     }
 }

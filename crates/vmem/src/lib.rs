@@ -30,6 +30,14 @@
 //!   counters ([`cost::CostModel`], [`Kernel::stats`]) so that Table 1 and
 //!   Figure 5 of the paper can be reproduced in shape *and* scale.
 //!
+//! Since the backend split, the crate also hosts the engine-facing
+//! [`VmBackend`] trait and a second implementation of it: [`OsBackend`]
+//! (Linux), which maps column areas over real `memfd_create` +
+//! `mmap(MAP_SHARED)` memory and performs RUMA-style rewiring with
+//! engine-mediated copy-on-write — snapshots at actual hardware speed.
+//! The simulated [`Space`] implements the same trait and remains the
+//! default substrate.
+//!
 //! ## Example
 //!
 //! ```
@@ -55,20 +63,24 @@
 //! assert_eq!(space.read_u64(snap).unwrap(), 42);
 //! ```
 
+pub mod backend;
 pub mod cost;
 pub mod error;
 pub mod file;
 pub mod kernel;
+pub mod os;
 pub mod page;
 pub mod phys;
 pub mod pte;
 pub mod space;
 pub mod vma;
 
+pub use backend::VmBackend;
 pub use cost::{CostModel, KernelStats};
 pub use error::{Result, VmError};
 pub use file::MemFile;
 pub use kernel::{Kernel, KernelConfig};
+pub use os::OsBackend;
 pub use page::ResolvedPage;
 pub use phys::FrameId;
 pub use space::{Access, MapBacking, Space};

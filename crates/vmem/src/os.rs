@@ -1,0 +1,850 @@
+//! Real-OS memory backend: column areas over `memfd_create` +
+//! `mmap(MAP_SHARED)` pages, with engine-mediated copy-on-write.
+//!
+//! This is the paper's RUMA-style *rewiring* (§3.2.3) brought to real
+//! memory without a patched kernel:
+//!
+//! * All column data lives in one anonymous main-memory file (a memfd).
+//!   An **area** is a virtually contiguous `mmap(MAP_SHARED)` view whose
+//!   pages each map some file page; a per-area table records which.
+//! * [`VmBackend::vm_snapshot`](crate::VmBackend::vm_snapshot) never
+//!   copies data: the destination view is simply (re)wired — page by
+//!   page, `mmap(MAP_FIXED)` — onto the *same* file pages as the source,
+//!   and every shared page is marked **frozen** in both views.
+//! * Copy-on-write is performed by the *engine*, not by the MMU: because
+//!   every store flows through [`VmBackend::write_u64`](crate::VmBackend::write_u64) /
+//!   [`write_words`](crate::VmBackend::write_words) (the engine's serialized write path), the
+//!   first store to a frozen page copies it into fresh file space and
+//!   rewires only the written view onto the copy. No `mprotect`, no
+//!   SIGSEGV handler, no signal-delivery cost (§4.1.4) — the check is one
+//!   branch on a bit the backend already has in cache.
+//! * A write to a frozen page whose file page is no longer shared
+//!   (refcount back to 1 because every other view was released) reclaims
+//!   the page in place instead of copying — the same optimisation the
+//!   simulated kernel's fault handler applies.
+//!
+//! Released file pages go to a free list and are handed out again by
+//! later allocations (zeroed) and copy-on-write splits (fully
+//! overwritten), so steady-state snapshot churn does not grow the memfd.
+//!
+//! Everything is declared via direct `extern "C"` libc bindings — the
+//! offline build forbids new registry dependencies.
+
+use crate::error::{Result, VmError};
+#[cfg(target_os = "linux")]
+use parking_lot::RwLock;
+#[cfg(target_os = "linux")]
+use std::collections::BTreeMap;
+use std::sync::atomic::AtomicU64;
+#[cfg(target_os = "linux")]
+use std::sync::atomic::Ordering;
+#[cfg(target_os = "linux")]
+use std::sync::Arc;
+
+#[cfg(target_os = "linux")]
+mod ffi {
+    use core::ffi::{c_char, c_void};
+
+    pub const PROT_READ: i32 = 0x1;
+    pub const PROT_WRITE: i32 = 0x2;
+    pub const PROT_NONE: i32 = 0x0;
+    pub const MAP_SHARED: i32 = 0x01;
+    pub const MAP_PRIVATE: i32 = 0x02;
+    pub const MAP_FIXED: i32 = 0x10;
+    pub const MAP_ANONYMOUS: i32 = 0x20;
+    pub const MFD_CLOEXEC: u32 = 0x1;
+    /// `_SC_PAGESIZE` on Linux.
+    pub const SC_PAGESIZE: i32 = 30;
+
+    pub fn map_failed() -> *mut c_void {
+        usize::MAX as *mut c_void
+    }
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+        pub fn ftruncate(fd: i32, length: i64) -> i32;
+        pub fn close(fd: i32) -> i32;
+        pub fn memfd_create(name: *const c_char, flags: u32) -> i32;
+        pub fn sysconf(name: i32) -> i64;
+        pub fn __errno_location() -> *mut i32;
+    }
+
+    pub fn errno() -> i32 {
+        // SAFETY: __errno_location always returns a valid thread-local.
+        unsafe { *__errno_location() }
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn os_err(call: &'static str) -> VmError {
+    VmError::Os {
+        call,
+        errno: ffi::errno(),
+    }
+}
+
+/// One mapped view: `bytes / page_size` virtually contiguous pages, each
+/// wired onto some file page of the shared memfd.
+#[cfg(target_os = "linux")]
+#[derive(Debug)]
+struct Area {
+    bytes: u64,
+    /// File page (index into the memfd) backing each view page.
+    pages: Vec<u64>,
+    /// View pages shared with another view via `vm_snapshot`: a store must
+    /// split (or reclaim) the page first.
+    frozen: Vec<bool>,
+}
+
+/// File-page allocator state of the shared memfd.
+#[cfg(target_os = "linux")]
+#[derive(Debug, Default)]
+struct FilePages {
+    /// High-water mark, in pages.
+    next: u64,
+    /// `ftruncate`d size, in pages (grown geometrically).
+    committed: u64,
+    /// Released pages available for reuse.
+    free: Vec<u64>,
+    /// Per-file-page view reference count (index = file page).
+    refs: Vec<u32>,
+}
+
+#[cfg(target_os = "linux")]
+#[derive(Debug, Default)]
+struct MapState {
+    areas: BTreeMap<u64, Area>,
+    file: FilePages,
+}
+
+/// Monotonic counters of the OS backend (diagnostics and tests).
+#[derive(Debug, Default)]
+pub struct OsStats {
+    /// `vm_snapshot` calls served.
+    pub snapshots: AtomicU64,
+    /// Snapshots that recycled an existing destination view (§4.1.3).
+    pub recycled: AtomicU64,
+    /// Pages copied by engine-mediated copy-on-write.
+    pub cow_copies: AtomicU64,
+    /// Frozen pages reclaimed in place (sole owner — no copy needed).
+    pub cow_reclaims: AtomicU64,
+}
+
+#[cfg(target_os = "linux")]
+#[derive(Debug)]
+struct OsInner {
+    fd: i32,
+    page_size: u64,
+    state: RwLock<MapState>,
+    stats: OsStats,
+}
+
+/// Handle to the real-OS memory backend. Cheap to clone; all clones share
+/// one memfd and one area table. See the module docs for the design.
+#[cfg(target_os = "linux")]
+#[derive(Debug, Clone)]
+pub struct OsBackend {
+    inner: Arc<OsInner>,
+}
+
+/// Non-Linux stub: construction always fails, so no operation is ever
+/// reachable. Kept so backend selection compiles on every platform.
+#[cfg(not(target_os = "linux"))]
+#[derive(Debug, Clone)]
+pub struct OsBackend {
+    never: std::convert::Infallible,
+}
+
+#[cfg(target_os = "linux")]
+impl OsBackend {
+    /// Create a backend over a fresh memfd. Fails with [`VmError::Os`]
+    /// when the kernel refuses (`memfd_create` needs Linux ≥ 3.17).
+    pub fn new() -> Result<OsBackend> {
+        // SAFETY: plain syscalls; the name is a valid NUL-terminated
+        // C string literal.
+        let fd = unsafe { ffi::memfd_create(c"ankerdb-columns".as_ptr(), ffi::MFD_CLOEXEC) };
+        if fd < 0 {
+            return Err(os_err("memfd_create"));
+        }
+        // SAFETY: sysconf is always safe to call.
+        let ps = unsafe { ffi::sysconf(ffi::SC_PAGESIZE) };
+        if ps <= 0 || !(ps as u64).is_power_of_two() {
+            // SAFETY: fd was just opened by us.
+            unsafe { ffi::close(fd) };
+            return Err(VmError::InvalidArgument("unusable system page size"));
+        }
+        Ok(OsBackend {
+            inner: Arc::new(OsInner {
+                fd,
+                page_size: ps as u64,
+                state: RwLock::new(MapState::default()),
+                stats: OsStats::default(),
+            }),
+        })
+    }
+
+    /// Backend counters (snapshots, copy-on-write splits, reclaims).
+    pub fn stats(&self) -> &OsStats {
+        &self.inner.stats
+    }
+
+    /// Number of file pages currently referenced by at least one view.
+    pub fn file_pages_in_use(&self) -> u64 {
+        let st = self.inner.state.read();
+        st.file.next - st.file.free.len() as u64
+    }
+
+    fn check_aligned(&self, v: u64) -> Result<()> {
+        if v.is_multiple_of(self.inner.page_size) {
+            Ok(())
+        } else {
+            Err(VmError::Misaligned { addr: v })
+        }
+    }
+
+    /// Take one file page (free-list first), growing the memfd as needed.
+    /// Returns `(file_page, recycled)` — a recycled page holds stale data
+    /// the caller must overwrite or zero.
+    fn take_file_page(&self, file: &mut FilePages) -> Result<(u64, bool)> {
+        if let Some(fp) = file.free.pop() {
+            debug_assert_eq!(file.refs[fp as usize], 0);
+            file.refs[fp as usize] = 1;
+            return Ok((fp, true));
+        }
+        let fp = file.next;
+        file.next += 1;
+        if file.next > file.committed {
+            let grown = file.next.max(file.committed * 2).max(64);
+            // SAFETY: fd is our memfd; growing never invalidates mappings.
+            let rc =
+                unsafe { ffi::ftruncate(self.inner.fd, (grown * self.inner.page_size) as i64) };
+            if rc != 0 {
+                file.next -= 1;
+                return Err(os_err("ftruncate"));
+            }
+            file.committed = grown;
+        }
+        if file.refs.len() <= fp as usize {
+            file.refs.resize(fp as usize + 1, 0);
+        }
+        file.refs[fp as usize] = 1;
+        Ok((fp, false))
+    }
+
+    fn decref_file_page(file: &mut FilePages, fp: u64) {
+        let r = &mut file.refs[fp as usize];
+        debug_assert!(*r > 0, "file page {fp} double-freed");
+        *r -= 1;
+        if *r == 0 {
+            file.free.push(fp);
+        }
+    }
+
+    /// Reserve `bytes` of address space, then wire each run of contiguous
+    /// file pages into it with `MAP_FIXED`. Returns the base address.
+    fn map_view(&self, pages: &[u64]) -> Result<u64> {
+        let ps = self.inner.page_size;
+        let bytes = pages.len() as u64 * ps;
+        // SAFETY: fresh anonymous reservation, kernel-chosen address.
+        let base = unsafe {
+            ffi::mmap(
+                std::ptr::null_mut(),
+                bytes as usize,
+                ffi::PROT_NONE,
+                ffi::MAP_PRIVATE | ffi::MAP_ANONYMOUS,
+                -1,
+                0,
+            )
+        };
+        if base == ffi::map_failed() {
+            return Err(os_err("mmap"));
+        }
+        let base = base as u64;
+        if let Err(e) = self.wire_pages(base, pages) {
+            // SAFETY: unwinding our own fresh reservation.
+            unsafe { ffi::munmap(base as *mut _, bytes as usize) };
+            return Err(e);
+        }
+        Ok(base)
+    }
+
+    /// `MAP_FIXED`-wire `view[base ..]` onto the given file pages, one
+    /// `mmap` per maximal run of contiguous file pages.
+    fn wire_pages(&self, base: u64, pages: &[u64]) -> Result<()> {
+        let ps = self.inner.page_size;
+        let mut i = 0usize;
+        while i < pages.len() {
+            let mut j = i + 1;
+            while j < pages.len() && pages[j] == pages[j - 1] + 1 {
+                j += 1;
+            }
+            let run = (j - i) as u64;
+            // SAFETY: MAP_FIXED over address space this backend owns
+            // (either a fresh reservation or an existing view being
+            // rewired); the memfd offset is within the truncated size.
+            let p = unsafe {
+                ffi::mmap(
+                    (base + i as u64 * ps) as *mut _,
+                    (run * ps) as usize,
+                    ffi::PROT_READ | ffi::PROT_WRITE,
+                    ffi::MAP_SHARED | ffi::MAP_FIXED,
+                    self.inner.fd,
+                    (pages[i] * ps) as i64,
+                )
+            };
+            if p == ffi::map_failed() {
+                return Err(os_err("mmap"));
+            }
+            i = j;
+        }
+        Ok(())
+    }
+
+    /// Locate the area containing `addr`; returns `(base, &area)`.
+    fn area_at(state: &MapState, addr: u64) -> Result<(u64, &Area)> {
+        state
+            .areas
+            .range(..=addr)
+            .next_back()
+            .filter(|(base, a)| addr < *base + a.bytes)
+            .map(|(base, a)| (*base, a))
+            .ok_or(VmError::NotMapped { addr })
+    }
+
+    /// Make page `page_idx` of the area at `base` privately writable:
+    /// split (copy) it into fresh file space, or reclaim it in place when
+    /// no other view references its file page. Caller holds the write
+    /// lock and the engine's serialized write path.
+    fn ensure_writable(&self, state: &mut MapState, base: u64, page_idx: usize) -> Result<()> {
+        let ps = self.inner.page_size;
+        let area = state.areas.get_mut(&base).expect("area exists");
+        if !area.frozen[page_idx] {
+            return Ok(());
+        }
+        let old_fp = area.pages[page_idx];
+        if state.file.refs[old_fp as usize] == 1 {
+            // Sole owner (every sharing view was released): write in place.
+            area.frozen[page_idx] = false;
+            self.inner
+                .stats
+                .cow_reclaims
+                .fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        let (new_fp, _recycled) = self.take_file_page(&mut state.file)?;
+        // Copy the frozen content into the fresh file page through a
+        // transient second mapping (both are views of the same memfd).
+        // SAFETY: fresh kernel-chosen mapping of a valid file range.
+        let tmp = unsafe {
+            ffi::mmap(
+                std::ptr::null_mut(),
+                ps as usize,
+                ffi::PROT_READ | ffi::PROT_WRITE,
+                ffi::MAP_SHARED,
+                self.inner.fd,
+                (new_fp * ps) as i64,
+            )
+        };
+        if tmp == ffi::map_failed() {
+            // Nothing was mutated: the page stays frozen, the copy goes
+            // back to the free list.
+            Self::decref_file_page(&mut state.file, new_fp);
+            return Err(os_err("mmap"));
+        }
+        let view_page = (base + page_idx as u64 * ps) as *const u8;
+        // SAFETY: both pointers reference one whole valid page; racing
+        // readers of the view page are word-atomic and the engine
+        // serializes writers, so the source is stable during the copy.
+        unsafe {
+            std::ptr::copy_nonoverlapping(view_page, tmp as *mut u8, ps as usize);
+            ffi::munmap(tmp, ps as usize);
+        }
+        // Atomically rewire this view's page onto the copy; the other
+        // views keep reading the old file page. On failure the old mapping
+        // is intact (a single MAP_FIXED either lands or does not) — return
+        // the copy to the free list and leave the page frozen.
+        if let Err(e) = self.wire_pages(base + page_idx as u64 * ps, &[new_fp]) {
+            Self::decref_file_page(&mut state.file, new_fp);
+            return Err(e);
+        }
+        let area = state.areas.get_mut(&base).expect("area exists");
+        area.pages[page_idx] = new_fp;
+        area.frozen[page_idx] = false;
+        Self::decref_file_page(&mut state.file, old_fp);
+        self.inner.stats.cow_copies.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Bounds-check `[addr, addr + bytes)` against its containing area and
+    /// return the page index range it spans.
+    fn page_span(
+        state: &MapState,
+        addr: u64,
+        bytes: u64,
+        ps: u64,
+    ) -> Result<(u64, std::ops::Range<usize>)> {
+        let (base, area) = Self::area_at(state, addr)?;
+        if addr + bytes > base + area.bytes {
+            return Err(VmError::NotMapped {
+                addr: base + area.bytes,
+            });
+        }
+        let first = ((addr - base) / ps) as usize;
+        let last = ((addr + bytes.max(1) - 1 - base) / ps) as usize;
+        Ok((base, first..last + 1))
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl crate::backend::VmBackend for OsBackend {
+    fn page_size(&self) -> u64 {
+        self.inner.page_size
+    }
+
+    fn alloc(&self, bytes: u64) -> Result<u64> {
+        self.check_aligned(bytes)?;
+        if bytes == 0 {
+            return Err(VmError::InvalidArgument("alloc of zero length"));
+        }
+        let n = (bytes / self.inner.page_size) as usize;
+        let mut st = self.inner.state.write();
+        let mut pages = Vec::with_capacity(n);
+        let mut recycled = Vec::new();
+        for _ in 0..n {
+            match self.take_file_page(&mut st.file) {
+                Ok((fp, reused)) => {
+                    if reused {
+                        recycled.push(pages.len());
+                    }
+                    pages.push(fp);
+                }
+                Err(e) => {
+                    // Give back what the loop already took, or a failed
+                    // growth (ENOSPC under a cgroup limit, say) would leak
+                    // the partial allocation for the backend's lifetime.
+                    for fp in pages {
+                        Self::decref_file_page(&mut st.file, fp);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        let base = match self.map_view(&pages) {
+            Ok(base) => base,
+            Err(e) => {
+                // Return the taken file pages to the free list, or a failed
+                // allocation would leak them for the backend's lifetime.
+                for fp in pages {
+                    Self::decref_file_page(&mut st.file, fp);
+                }
+                return Err(e);
+            }
+        };
+        // Fresh (hole) pages read as zero; recycled ones must be zeroed.
+        let ps = self.inner.page_size;
+        for &i in &recycled {
+            // SAFETY: page i of the just-created view is mapped writable.
+            unsafe {
+                std::ptr::write_bytes((base + i as u64 * ps) as *mut u8, 0, ps as usize);
+            }
+        }
+        st.areas.insert(
+            base,
+            Area {
+                bytes,
+                pages,
+                frozen: vec![false; n],
+            },
+        );
+        Ok(base)
+    }
+
+    fn release(&self, addr: u64, bytes: u64) -> Result<()> {
+        self.check_aligned(addr)?;
+        let mut st = self.inner.state.write();
+        let Some(area) = st.areas.get(&addr) else {
+            return Err(VmError::NotMapped { addr });
+        };
+        if area.bytes != bytes {
+            return Err(VmError::InvalidArgument(
+                "release length does not match the area",
+            ));
+        }
+        let area = st.areas.remove(&addr).expect("checked above");
+        // SAFETY: unmapping a whole view this backend created.
+        let rc = unsafe { ffi::munmap(addr as *mut _, bytes as usize) };
+        for fp in area.pages {
+            Self::decref_file_page(&mut st.file, fp);
+        }
+        if rc != 0 {
+            return Err(os_err("munmap"));
+        }
+        Ok(())
+    }
+
+    fn vm_snapshot(&self, dst: Option<u64>, src: u64, bytes: u64) -> Result<u64> {
+        self.check_aligned(src)?;
+        self.check_aligned(bytes)?;
+        if bytes == 0 {
+            return Err(VmError::InvalidArgument("vm_snapshot of zero length"));
+        }
+        let mut st = self.inner.state.write();
+        // The OS backend snapshots whole areas (all the engine ever
+        // needs); sub-area snapshots remain a simulated-kernel feature.
+        let Some(src_area) = st.areas.get(&src) else {
+            return Err(VmError::NotMapped { addr: src });
+        };
+        if src_area.bytes != bytes {
+            return Err(VmError::InvalidArgument(
+                "vm_snapshot length does not match the source area",
+            ));
+        }
+        let src_pages = src_area.pages.clone();
+        let n = src_pages.len();
+        let dst_base = match dst {
+            None => {
+                let base = self.map_view(&src_pages)?;
+                // map_view cannot partially succeed (it unwinds its own
+                // reservation), so the references are safe to take now.
+                for &fp in &src_pages {
+                    st.file.refs[fp as usize] += 1;
+                }
+                st.areas.insert(
+                    base,
+                    Area {
+                        bytes,
+                        pages: src_pages.clone(),
+                        frozen: vec![true; n],
+                    },
+                );
+                base
+            }
+            Some(d) => {
+                if d == src {
+                    return Err(VmError::BadDestination { addr: d });
+                }
+                match st.areas.get(&d) {
+                    Some(a) if a.bytes == bytes => {}
+                    _ => return Err(VmError::BadDestination { addr: d }),
+                }
+                // Account the destination's new references *before* any
+                // MAP_FIXED lands, so a partially rewired view can never
+                // map an unaccounted file page.
+                for &fp in &src_pages {
+                    st.file.refs[fp as usize] += 1;
+                }
+                // Rewire the recycled view onto the source's file pages.
+                if let Err(e) = self.wire_pages(d, &src_pages) {
+                    // Some MAP_FIXED runs may already have landed: the view
+                    // is an untrustworthy mix of old and new pages. Tear it
+                    // down whole — the caller gets an error and a dangling
+                    // (NotMapped) destination, never another area's bytes.
+                    let area = st.areas.remove(&d).expect("checked");
+                    // SAFETY: unmapping a whole view this backend created.
+                    unsafe { ffi::munmap(d as *mut _, bytes as usize) };
+                    for fp in area.pages {
+                        Self::decref_file_page(&mut st.file, fp);
+                    }
+                    for &fp in &src_pages {
+                        Self::decref_file_page(&mut st.file, fp);
+                    }
+                    return Err(e);
+                }
+                let old_pages = std::mem::replace(
+                    &mut st.areas.get_mut(&d).expect("checked").pages,
+                    src_pages.clone(),
+                );
+                for fp in old_pages {
+                    Self::decref_file_page(&mut st.file, fp);
+                }
+                let a = st.areas.get_mut(&d).expect("checked");
+                a.frozen = vec![true; n];
+                self.inner.stats.recycled.fetch_add(1, Ordering::Relaxed);
+                d
+            }
+        };
+        // Both sides of every shared page stay frozen until a write splits
+        // them.
+        let src_area = st.areas.get_mut(&src).expect("checked");
+        src_area.frozen.iter_mut().for_each(|f| *f = true);
+        self.inner.stats.snapshots.fetch_add(1, Ordering::Relaxed);
+        Ok(dst_base)
+    }
+
+    fn read_u64(&self, addr: u64) -> Result<u64> {
+        debug_assert_eq!(addr % 8, 0);
+        let st = self.inner.state.read();
+        let (base, area) = Self::area_at(&st, addr)?;
+        if addr + 8 > base + area.bytes {
+            return Err(VmError::NotMapped { addr });
+        }
+        // SAFETY: in-bounds of a live mapping; volatile word load tolerates
+        // racing word stores (aligned loads are atomic on this hardware).
+        Ok(unsafe { (addr as *const u64).read_volatile() })
+    }
+
+    fn write_u64(&self, addr: u64, value: u64) -> Result<()> {
+        debug_assert_eq!(addr % 8, 0);
+        let ps = self.inner.page_size;
+        {
+            let st = self.inner.state.read();
+            let (base, area) = Self::area_at(&st, addr)?;
+            if addr + 8 > base + area.bytes {
+                return Err(VmError::NotMapped { addr });
+            }
+            if !area.frozen[((addr - base) / ps) as usize] {
+                // SAFETY: in-bounds, mapped writable; the read lock keeps
+                // the mapping from being rewired underneath the store.
+                unsafe { (addr as *mut u64).write_volatile(value) };
+                return Ok(());
+            }
+        }
+        // Frozen page: split it under the write lock, then store.
+        let mut st = self.inner.state.write();
+        let (base, _) = Self::area_at(&st, addr)?;
+        self.ensure_writable(&mut st, base, ((addr - base) / ps) as usize)?;
+        // SAFETY: as above; still holding the (write) lock.
+        unsafe { (addr as *mut u64).write_volatile(value) };
+        Ok(())
+    }
+
+    fn read_words(&self, addr: u64, buf: &mut [u64]) -> Result<()> {
+        debug_assert_eq!(addr % 8, 0);
+        if buf.is_empty() {
+            return Ok(());
+        }
+        let st = self.inner.state.read();
+        Self::page_span(&st, addr, buf.len() as u64 * 8, self.inner.page_size)?;
+        // SAFETY: the whole range is in-bounds of one live mapping;
+        // volatile word loads tolerate racing word stores.
+        unsafe {
+            let mut p = addr as *const u64;
+            for w in buf.iter_mut() {
+                *w = p.read_volatile();
+                p = p.add(1);
+            }
+        }
+        Ok(())
+    }
+
+    fn write_words(&self, addr: u64, words: &[u64]) -> Result<()> {
+        debug_assert_eq!(addr % 8, 0);
+        if words.is_empty() {
+            return Ok(());
+        }
+        let mut st = self.inner.state.write();
+        let (base, span) =
+            Self::page_span(&st, addr, words.len() as u64 * 8, self.inner.page_size)?;
+        for page_idx in span {
+            self.ensure_writable(&mut st, base, page_idx)?;
+        }
+        // SAFETY: in-bounds and every touched page is now privately
+        // writable; still holding the write lock.
+        unsafe {
+            let mut p = addr as *mut u64;
+            for &w in words {
+                p.write_volatile(w);
+                p = p.add(1);
+            }
+        }
+        Ok(())
+    }
+
+    fn raw_parts(&self, addr: u64, bytes: u64) -> Option<*const u64> {
+        if !addr.is_multiple_of(8) {
+            return None;
+        }
+        let st = self.inner.state.read();
+        let (base, area) = Self::area_at(&st, addr).ok()?;
+        if addr + bytes > base + area.bytes {
+            return None;
+        }
+        Some(addr as *const u64)
+    }
+
+    fn name(&self) -> &'static str {
+        "os"
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for OsInner {
+    fn drop(&mut self) {
+        let st = self.state.get_mut();
+        for (&base, area) in st.areas.iter() {
+            // SAFETY: unmapping views this backend created.
+            unsafe { ffi::munmap(base as *mut _, area.bytes as usize) };
+        }
+        // SAFETY: fd was opened by OsBackend::new and is owned by us.
+        unsafe { ffi::close(self.fd) };
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+impl OsBackend {
+    /// The real-OS backend needs Linux (`memfd_create`); on other
+    /// platforms construction always fails.
+    pub fn new() -> Result<OsBackend> {
+        Err(VmError::InvalidArgument(
+            "the OS memory backend requires Linux (memfd_create)",
+        ))
+    }
+
+    /// Number of file pages currently referenced (stub).
+    pub fn file_pages_in_use(&self) -> u64 {
+        match self.never {}
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+impl crate::backend::VmBackend for OsBackend {
+    fn page_size(&self) -> u64 {
+        match self.never {}
+    }
+    fn alloc(&self, _bytes: u64) -> Result<u64> {
+        match self.never {}
+    }
+    fn release(&self, _addr: u64, _bytes: u64) -> Result<()> {
+        match self.never {}
+    }
+    fn vm_snapshot(&self, _dst: Option<u64>, _src: u64, _bytes: u64) -> Result<u64> {
+        match self.never {}
+    }
+    fn read_u64(&self, _addr: u64) -> Result<u64> {
+        match self.never {}
+    }
+    fn write_u64(&self, _addr: u64, _value: u64) -> Result<()> {
+        match self.never {}
+    }
+    fn read_words(&self, _addr: u64, _buf: &mut [u64]) -> Result<()> {
+        match self.never {}
+    }
+    fn write_words(&self, _addr: u64, _words: &[u64]) -> Result<()> {
+        match self.never {}
+    }
+    fn name(&self) -> &'static str {
+        "os"
+    }
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use crate::backend::VmBackend;
+
+    #[test]
+    fn alloc_is_zeroed_and_round_trips() {
+        let b = OsBackend::new().unwrap();
+        let ps = b.page_size();
+        let a = b.alloc(2 * ps).unwrap();
+        assert_eq!(b.read_u64(a).unwrap(), 0);
+        assert_eq!(b.read_u64(a + 2 * ps - 8).unwrap(), 0);
+        b.write_u64(a + 16, 99).unwrap();
+        assert_eq!(b.read_u64(a + 16).unwrap(), 99);
+        b.release(a, 2 * ps).unwrap();
+    }
+
+    #[test]
+    fn snapshot_is_zero_copy_then_cow_on_write() {
+        let b = OsBackend::new().unwrap();
+        let ps = b.page_size();
+        let a = b.alloc(4 * ps).unwrap();
+        for p in 0..4u64 {
+            b.write_u64(a + p * ps, 10 + p).unwrap();
+        }
+        let pages_before = b.file_pages_in_use();
+        let snap = b.vm_snapshot(None, a, 4 * ps).unwrap();
+        assert_eq!(
+            b.file_pages_in_use(),
+            pages_before,
+            "snapshot copies no data"
+        );
+        for p in 0..4u64 {
+            assert_eq!(b.read_u64(snap + p * ps).unwrap(), 10 + p);
+        }
+        // First write to a frozen source page splits exactly one page.
+        b.write_u64(a + ps, 777).unwrap();
+        assert_eq!(b.stats().cow_copies.load(Ordering::Relaxed), 1);
+        assert_eq!(b.read_u64(a + ps).unwrap(), 777);
+        assert_eq!(b.read_u64(snap + ps).unwrap(), 11, "snapshot unaffected");
+        // Writing the same page again is free.
+        b.write_u64(a + ps + 8, 778).unwrap();
+        assert_eq!(b.stats().cow_copies.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn sole_owner_write_reclaims_in_place() {
+        let b = OsBackend::new().unwrap();
+        let ps = b.page_size();
+        let a = b.alloc(ps).unwrap();
+        b.write_u64(a, 5).unwrap();
+        let snap = b.vm_snapshot(None, a, ps).unwrap();
+        b.release(snap, ps).unwrap();
+        b.write_u64(a, 6).unwrap();
+        assert_eq!(b.stats().cow_copies.load(Ordering::Relaxed), 0);
+        assert_eq!(b.stats().cow_reclaims.load(Ordering::Relaxed), 1);
+        assert_eq!(b.read_u64(a).unwrap(), 6);
+    }
+
+    #[test]
+    fn recycled_destination_reads_source_content() {
+        let b = OsBackend::new().unwrap();
+        let ps = b.page_size();
+        let a = b.alloc(2 * ps).unwrap();
+        b.write_u64(a, 1).unwrap();
+        let old = b.alloc(2 * ps).unwrap();
+        b.write_u64(old, 42).unwrap();
+        let d = b.vm_snapshot(Some(old), a, 2 * ps).unwrap();
+        assert_eq!(d, old);
+        assert_eq!(b.read_u64(d).unwrap(), 1, "rewired onto the source");
+        assert_eq!(b.stats().recycled.load(Ordering::Relaxed), 1);
+        // Both views split correctly afterwards.
+        b.write_u64(a, 2).unwrap();
+        assert_eq!(b.read_u64(d).unwrap(), 1);
+        assert_eq!(b.read_u64(a).unwrap(), 2);
+    }
+
+    #[test]
+    fn released_pages_are_reused_and_zeroed() {
+        let b = OsBackend::new().unwrap();
+        let ps = b.page_size();
+        let a = b.alloc(8 * ps).unwrap();
+        for p in 0..8u64 {
+            b.write_u64(a + p * ps, u64::MAX).unwrap();
+        }
+        b.release(a, 8 * ps).unwrap();
+        let hw = {
+            let st = b.inner.state.read();
+            st.file.next
+        };
+        let c = b.alloc(8 * ps).unwrap();
+        let hw2 = {
+            let st = b.inner.state.read();
+            st.file.next
+        };
+        assert_eq!(hw, hw2, "allocation reused released file pages");
+        for p in 0..8u64 {
+            assert_eq!(b.read_u64(c + p * ps).unwrap(), 0, "recycled page zeroed");
+        }
+    }
+
+    #[test]
+    fn raw_parts_reads_through_the_mapping() {
+        let b = OsBackend::new().unwrap();
+        let ps = b.page_size();
+        let a = b.alloc(ps).unwrap();
+        b.write_u64(a + 8, 21).unwrap();
+        let p = b.raw_parts(a, ps).unwrap();
+        // SAFETY: in-bounds of the live mapping we just allocated.
+        assert_eq!(unsafe { *p.add(1) }, 21);
+        assert!(b.raw_parts(a, 2 * ps).is_none(), "out of bounds refused");
+    }
+}

@@ -147,6 +147,9 @@ impl Space {
     /// Map `len` bytes (page aligned) of `backing` with the given
     /// protection and sharing, at a kernel-chosen address.
     pub fn mmap(&self, len: u64, prot: Prot, share: Share, backing: MapBacking<'_>) -> Result<u64> {
+        // Validate before reserving address space: bumping by an unaligned
+        // length would leave the allocator misaligned for every later map.
+        self.check_aligned(len)?;
         let addr = self.bump(len);
         self.mmap_at(addr, len, prot, share, backing)?;
         Ok(addr)
@@ -453,6 +456,49 @@ impl Space {
             let page = self.resolve(pos, Access::Read)?;
             page.read_bytes((pos % ps) as usize, head);
             pos += in_page as u64;
+            remaining = tail;
+        }
+        Ok(())
+    }
+
+    /// Copy `buf.len()` 8-byte words starting at `addr` (word aligned)
+    /// into `buf`, resolving each page once — the block read underneath
+    /// tight scan loops.
+    pub fn read_words(&self, addr: u64, buf: &mut [u64]) -> Result<()> {
+        debug_assert_eq!(addr % 8, 0);
+        let wpp = (self.page_size() / 8) as usize;
+        let mut pos = addr;
+        let mut remaining = &mut buf[..];
+        while !remaining.is_empty() {
+            let in_page = (pos % self.page_size()) as usize / 8;
+            let take = (wpp - in_page).min(remaining.len());
+            let (head, tail) = remaining.split_at_mut(take);
+            let page = self.resolve(pos, Access::Read)?;
+            for (i, w) in head.iter_mut().enumerate() {
+                *w = page.load(in_page + i);
+            }
+            pos += take as u64 * 8;
+            remaining = tail;
+        }
+        Ok(())
+    }
+
+    /// Copy `words` into memory starting at `addr` (word aligned),
+    /// resolving each page once for writing (faults/COWs as needed).
+    pub fn write_words(&self, addr: u64, words: &[u64]) -> Result<()> {
+        debug_assert_eq!(addr % 8, 0);
+        let wpp = (self.page_size() / 8) as usize;
+        let mut pos = addr;
+        let mut remaining = words;
+        while !remaining.is_empty() {
+            let in_page = (pos % self.page_size()) as usize / 8;
+            let take = (wpp - in_page).min(remaining.len());
+            let (head, tail) = remaining.split_at(take);
+            let page = self.resolve(pos, Access::Write)?;
+            for (i, &w) in head.iter().enumerate() {
+                page.store(in_page + i, w);
+            }
+            pos += take as u64 * 8;
             remaining = tail;
         }
         Ok(())

@@ -1,0 +1,166 @@
+//! Backend-equivalence property test: the same randomized sequence of
+//! area operations — alloc, word writes, `vm_snapshot` (fresh and
+//! recycling), release, reads — must produce byte-identical observable
+//! state on the simulated kernel and on the real-OS memfd backend, and
+//! both must agree with a plain-vector oracle.
+//!
+//! The simulated kernel is booted with the *hardware* page size so the two
+//! backends have identical area geometry.
+
+#![cfg(target_os = "linux")]
+
+use anker_vmem::{Kernel, KernelConfig, OsBackend, VmBackend};
+use proptest::prelude::*;
+
+const MAX_PAGES: u64 = 3;
+const MAX_AREAS: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Allocate an area of `pages` pages.
+    Alloc { pages: u64 },
+    /// Write `value` at word `word` (modulo size) of area `sel` (modulo
+    /// live-area count).
+    Write { sel: usize, word: usize, value: u64 },
+    /// `vm_snapshot` area `sel` into a fresh area.
+    Snapshot { sel: usize },
+    /// `vm_snapshot` area `src` into the equally-sized area `dst`
+    /// (§4.1.3 destination recycling); skipped when sizes differ.
+    Recycle { src: usize, dst: usize },
+    /// Release area `sel`.
+    Release { sel: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => (1..=MAX_PAGES).prop_map(|pages| Op::Alloc { pages }),
+        6 => (0..MAX_AREAS, 0..4096usize, any::<u64>())
+            .prop_map(|(sel, word, value)| Op::Write { sel, word, value }),
+        2 => (0..MAX_AREAS).prop_map(|sel| Op::Snapshot { sel }),
+        1 => (0..MAX_AREAS, 0..MAX_AREAS).prop_map(|(src, dst)| Op::Recycle { src, dst }),
+        1 => (0..MAX_AREAS).prop_map(|sel| Op::Release { sel }),
+    ]
+}
+
+/// One backend's live areas plus the shared oracle index.
+struct Fleet<'a> {
+    backend: &'a dyn VmBackend,
+    /// `(addr, pages)` per live area, position-aligned with the oracle.
+    areas: Vec<(u64, u64)>,
+}
+
+impl<'a> Fleet<'a> {
+    fn words(&self, sel: usize) -> u64 {
+        self.areas[sel].1 * self.backend.page_size() / 8
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Apply every op to both backends and a plain-vector oracle; all
+    /// three must agree after every step and in a final full sweep.
+    #[test]
+    fn backends_are_observably_identical(ops in proptest::collection::vec(op_strategy(), 1..100)) {
+        let os = OsBackend::new().expect("OS backend on Linux");
+        let ps = VmBackend::page_size(&os);
+        let kernel = Kernel::new(KernelConfig {
+            page_size: ps as usize,
+            ..KernelConfig::default()
+        });
+        let space = kernel.create_space();
+        let mut sim = Fleet { backend: &space, areas: Vec::new() };
+        let mut osf = Fleet { backend: &os, areas: Vec::new() };
+        // The oracle: plain vectors, one per live area.
+        let mut oracle: Vec<Vec<u64>> = Vec::new();
+
+        for op in &ops {
+            match *op {
+                Op::Alloc { pages } => {
+                    if oracle.len() >= MAX_AREAS {
+                        continue;
+                    }
+                    let bytes = pages * ps;
+                    for f in [&mut sim, &mut osf] {
+                        let a = f.backend.alloc(bytes).unwrap();
+                        f.areas.push((a, pages));
+                    }
+                    oracle.push(vec![0u64; (bytes / 8) as usize]);
+                }
+                Op::Write { sel, word, value } => {
+                    if oracle.is_empty() {
+                        continue;
+                    }
+                    let sel = sel % oracle.len();
+                    let word = word % oracle[sel].len();
+                    for f in [&mut sim, &mut osf] {
+                        f.backend
+                            .write_u64(f.areas[sel].0 + word as u64 * 8, value)
+                            .unwrap();
+                    }
+                    oracle[sel][word] = value;
+                }
+                Op::Snapshot { sel } => {
+                    if oracle.is_empty() || oracle.len() >= MAX_AREAS {
+                        continue;
+                    }
+                    let sel = sel % oracle.len();
+                    for f in [&mut sim, &mut osf] {
+                        let (addr, pages) = f.areas[sel];
+                        let snap = f.backend.vm_snapshot(None, addr, pages * ps).unwrap();
+                        f.areas.push((snap, pages));
+                    }
+                    let copy = oracle[sel].clone();
+                    oracle.push(copy);
+                }
+                Op::Recycle { src, dst } => {
+                    if oracle.len() < 2 {
+                        continue;
+                    }
+                    let src = src % oracle.len();
+                    let dst = dst % oracle.len();
+                    if src == dst || oracle[src].len() != oracle[dst].len() {
+                        continue;
+                    }
+                    for f in [&mut sim, &mut osf] {
+                        let (saddr, pages) = f.areas[src];
+                        let daddr = f.areas[dst].0;
+                        let got = f.backend.vm_snapshot(Some(daddr), saddr, pages * ps).unwrap();
+                        prop_assert_eq!(got, daddr);
+                    }
+                    oracle[dst] = oracle[src].clone();
+                }
+                Op::Release { sel } => {
+                    if oracle.is_empty() {
+                        continue;
+                    }
+                    let sel = sel % oracle.len();
+                    for f in [&mut sim, &mut osf] {
+                        let (addr, pages) = f.areas.remove(sel);
+                        f.backend.release(addr, pages * ps).unwrap();
+                    }
+                    oracle.remove(sel);
+                }
+            }
+            // Spot-check one word of one area after every op (cheap).
+            if let Some(sel) = oracle.len().checked_sub(1) {
+                let w = oracle[sel].len() / 2;
+                let expect = oracle[sel][w];
+                for f in [&sim, &osf] {
+                    let got = f.backend.read_u64(f.areas[sel].0 + w as u64 * 8).unwrap();
+                    prop_assert_eq!(got, expect, "spot check after {:?}", op);
+                }
+            }
+        }
+
+        // Final sweep: every word of every live area, via the block path.
+        for (sel, shadow) in oracle.iter().enumerate() {
+            for f in [&sim, &osf] {
+                prop_assert_eq!(f.words(sel) as usize, shadow.len());
+                let mut buf = vec![0u64; shadow.len()];
+                f.backend.read_words(f.areas[sel].0, &mut buf).unwrap();
+                prop_assert_eq!(&buf, shadow, "final state of area {}", sel);
+            }
+        }
+    }
+}

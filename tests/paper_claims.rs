@@ -142,8 +142,12 @@ fn claim_snapshot_scans_skip_version_chains() {
 /// column is cheaper still.
 #[test]
 fn claim_column_granularity_beats_fork() {
+    // Virtual-clock comparison: always runs on the simulated kernel (the
+    // fork probe cannot fork the host process on the OS backend).
     let t = gen::generate(
-        DbConfig::heterogeneous_serializable().with_gc_interval(None),
+        DbConfig::heterogeneous_serializable()
+            .with_gc_interval(None)
+            .with_backend(anker_core::BackendKind::Sim),
         &TpchConfig {
             scale_factor: 0.01,
             seed: 1,
