@@ -90,14 +90,17 @@ fn bench_fig7(c: &mut Criterion) {
             append_bench_json_line(&format!(
                 "{{\"bench\":\"fig7_olap_latency/{}/{}/scan_counters\",\
                  \"blocks_skipped\":{},\"rows_filtered\":{},\
-                 \"tight_rows\":{},\"checked_rows\":{},\"chain_walks\":{}}}",
+                 \"tight_rows\":{},\"checked_rows\":{},\"chain_walks\":{},\
+                 \"morsels\":{},\"threads\":{}}}",
                 q.name(),
                 name,
                 s.blocks_skipped,
                 s.rows_filtered,
                 s.tight_rows,
                 s.checked_rows,
-                s.chain_walks
+                s.chain_walks,
+                s.morsels,
+                s.threads
             ));
         }
     }

@@ -1,0 +1,207 @@
+//! Fig-8/9-style bench for the **morsel-parallel detached-reader scan
+//! path**: Q6-style predicate scans and full LINEITEM scans on a
+//! [`anker_core::SnapshotReader`], at 1/2/4/8 scan threads, on both
+//! memory substrates, plus an OLTP-interference record (updaters
+//! committing while the analytical side scans, via the HTAP driver).
+//!
+//! Alongside the criterion timing entries, the bench appends JSON counter
+//! lines (`ANKER_BENCH_JSON`): per-configuration `scan_counters` carrying
+//! the morsel/thread fan-out and pruning statistics, a `speedup` record
+//! (4-thread vs 1-thread Q6 and full-scan medians), an `htap` record
+//! (OLAP q/s + OLTP tx/s under interference), and the OS backend's
+//! `os_stats` (snapshots, COW, madvise hints). `BENCH_parallel_scan.json`
+//! at the workspace root is the committed reference run.
+//!
+//! Caveat for single-core hosts: with one hardware thread the fan-out
+//! machinery can only add overhead — the speedup record then documents
+//! the overhead bound, not a speedup. The committed reference file says
+//! which case it is.
+
+use anker_bench::args::append_bench_json_line;
+use anker_core::{BackendKind, DbConfig, ScanStats, SnapshotReader};
+use anker_tpch::driver::{run_htap, HtapConfig};
+use anker_tpch::gen::{self, TpchConfig, TpchDb};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn build(backend: BackendKind) -> TpchDb {
+    gen::generate(
+        DbConfig::heterogeneous_serializable()
+            .with_snapshot_every(500)
+            .with_gc_interval(None)
+            .with_backend(backend),
+        &TpchConfig {
+            scale_factor: 0.05,
+            seed: 42,
+        },
+    )
+}
+
+/// Q6-style predicate scan (fixed parameters so every configuration does
+/// identical work); returns revenue and the scan's stats.
+fn q6(t: &TpchDb, reader: &SnapshotReader, threads: usize) -> (f64, ScanStats) {
+    let li = &t.li;
+    let lo = gen::days(1994, 1, 1) as i64;
+    let hi = gen::days(1995, 1, 1) as i64;
+    reader
+        .scan(t.lineitem)
+        .range_i64(li.shipdate, lo, hi - 1)
+        .range_f64(li.discount, 0.05 - 1e-9, 0.07 + 1e-9)
+        .lt_f64(li.quantity, 24.0)
+        .project(&[li.extendedprice, li.discount])
+        .parallel(threads)
+        .fold(
+            0.0f64,
+            |acc, _, v| acc + v[0].as_double() * v[1].as_double(),
+            |a, b| a + b,
+        )
+        .expect("q6 scan")
+}
+
+/// Full LINEITEM scan over six columns with a commutative checksum.
+fn full_scan(t: &TpchDb, reader: &SnapshotReader, threads: usize) -> (u64, ScanStats) {
+    let li = &t.li;
+    let cols = [
+        li.orderkey,
+        li.partkey,
+        li.quantity,
+        li.extendedprice,
+        li.discount,
+        li.shipdate,
+    ];
+    let checksum = std::sync::atomic::AtomicU64::new(0);
+    let stats = reader
+        .scan(t.lineitem)
+        .project(&cols)
+        .parallel(threads)
+        .for_each(|row, words| {
+            let mut h = row as u64;
+            for &w in words {
+                h = h.rotate_left(7) ^ w;
+            }
+            checksum.fetch_add(h, std::sync::atomic::Ordering::Relaxed);
+        })
+        .expect("full scan");
+    (checksum.into_inner(), stats)
+}
+
+/// Median wall time of `reps` runs of `f`, in nanoseconds.
+fn median_ns(reps: usize, mut f: impl FnMut()) -> u64 {
+    let mut samples: Vec<u64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn bench_parallel_scan(c: &mut Criterion) {
+    let mut backends = vec![BackendKind::Sim];
+    if cfg!(target_os = "linux") {
+        backends.push(BackendKind::Os);
+    }
+    let mut group = c.benchmark_group("parallel_scan");
+    group.sample_size(10);
+    for backend in backends {
+        let bname = match backend {
+            BackendKind::Sim => "sim",
+            BackendKind::Os => "os",
+        };
+        let t = build(backend);
+        let reader = t.db.snapshot_reader().expect("hetero mode");
+        // Warm: materialise the scanned columns and build zone maps once.
+        let (warm_rev, _) = q6(&t, &reader, 1);
+        let mut medians: Vec<(usize, u64, u64)> = Vec::new();
+        for threads in THREADS {
+            let label = format!("backend={bname}/threads={threads}");
+            group.bench_with_input(BenchmarkId::new("q6", &label), &threads, |b, &n| {
+                b.iter(|| q6(&t, &reader, n));
+            });
+            group.bench_with_input(BenchmarkId::new("fullscan", &label), &threads, |b, &n| {
+                b.iter(|| full_scan(&t, &reader, n));
+            });
+            // Our own medians feed the speedup record (the criterion shim
+            // writes its timings separately).
+            let q6_ns = median_ns(5, || {
+                q6(&t, &reader, threads);
+            });
+            let fs_ns = median_ns(5, || {
+                full_scan(&t, &reader, threads);
+            });
+            medians.push((threads, q6_ns, fs_ns));
+            // The fan-out and pruning behind those timings, one line per
+            // configuration.
+            let (rev, s) = q6(&t, &reader, threads);
+            assert_eq!(rev.to_bits(), warm_rev.to_bits(), "thread-count variance");
+            append_bench_json_line(&format!(
+                "{{\"bench\":\"parallel_scan/q6/{label}/scan_counters\",\
+                 \"morsels\":{},\"threads\":{},\"blocks_skipped\":{},\
+                 \"rows_filtered\":{},\"tight_rows\":{}}}",
+                s.morsels, s.threads, s.blocks_skipped, s.rows_filtered, s.tight_rows
+            ));
+        }
+        let base = medians.iter().find(|(n, _, _)| *n == 1).expect("1-thread");
+        let at4 = medians.iter().find(|(n, _, _)| *n == 4).expect("4-thread");
+        append_bench_json_line(&format!(
+            "{{\"bench\":\"parallel_scan/speedup/backend={bname}\",\
+             \"q6_1t_ns\":{},\"q6_4t_ns\":{},\"q6_speedup_4v1\":{:.3},\
+             \"fullscan_1t_ns\":{},\"fullscan_4t_ns\":{},\"fullscan_speedup_4v1\":{:.3},\
+             \"host_cpus\":{}}}",
+            base.1,
+            at4.1,
+            base.1 as f64 / at4.1 as f64,
+            base.2,
+            at4.2,
+            base.2 as f64 / at4.2 as f64,
+            std::thread::available_parallelism().map_or(0, |n| n.get())
+        ));
+        drop(reader);
+        // OLTP interference: updaters commit while the analytical side
+        // opens a fresh reader per query — the fig8 mixed bar, detached.
+        for threads in [1usize, 4] {
+            let r = run_htap(
+                &t,
+                &HtapConfig {
+                    updaters: 2,
+                    scan_threads: threads,
+                    scans: 8,
+                    seed: 13,
+                    think_us: 0.0,
+                },
+            );
+            append_bench_json_line(&format!(
+                "{{\"bench\":\"parallel_scan/htap/backend={bname}/threads={threads}\",\
+                 \"olap_qps\":{:.1},\"oltp_tps\":{:.0},\"oltp_committed\":{},\
+                 \"oltp_aborted\":{},\"scan_morsels\":{},\"scan_threads\":{}}}",
+                r.olap_qps,
+                r.oltp_tps,
+                r.oltp_committed,
+                r.oltp_aborted,
+                r.stats.morsels,
+                r.stats.threads
+            ));
+        }
+        if let Some(os) = t.db.os_stats() {
+            append_bench_json_line(&format!(
+                "{{\"bench\":\"parallel_scan/os_stats/backend={bname}\",\
+                 \"snapshots\":{},\"recycled\":{},\"cow_copies\":{},\"cow_reclaims\":{},\
+                 \"huge_page_advices\":{},\"sequential_advices\":{}}}",
+                os.snapshots,
+                os.recycled,
+                os.cow_copies,
+                os.cow_reclaims,
+                os.huge_page_advices,
+                os.sequential_advices
+            ));
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_scan);
+criterion_main!(benches);

@@ -78,6 +78,14 @@ pub struct DbConfig {
     /// ("this causes unnecessary overhead as we might access only a small
     /// subset of the attributes"). Ablation knob; off by default.
     pub eager_materialization: bool,
+    /// Advise every OS-backend mapping `madvise(MADV_HUGEPAGE)` so the
+    /// kernel may collapse column areas into transparent huge pages
+    /// (fewer TLB misses on large scans; whether the hint is honoured
+    /// depends on the system's shmem THP policy). Defaults to the
+    /// `ANKER_HUGE_PAGES=1` environment variable; ignored by the
+    /// simulated backend. `OsStats::huge_page_advices` counts the hints
+    /// actually issued.
+    pub os_huge_pages: bool,
     /// Simulated kernel parameters (page size, cost model, memory bound).
     /// Only consulted by the [`BackendKind::Sim`] backend; the OS backend
     /// uses the hardware page size.
@@ -96,6 +104,9 @@ impl Default for DbConfig {
             gc_interval: Some(Duration::from_secs(1)),
             recycle_snapshot_areas: false,
             eager_materialization: false,
+            os_huge_pages: std::env::var("ANKER_HUGE_PAGES")
+                .map(|v| v == "1")
+                .unwrap_or(false),
             kernel: KernelConfig::default(),
             backend: BackendKind::from_env().unwrap_or(BackendKind::Sim),
         }
@@ -146,6 +157,12 @@ impl DbConfig {
     /// Builder-style override of the memory backend.
     pub fn with_backend(mut self, backend: BackendKind) -> DbConfig {
         self.backend = backend;
+        self
+    }
+
+    /// Builder-style override of the OS-backend huge-pages hint.
+    pub fn with_os_huge_pages(mut self, on: bool) -> DbConfig {
+        self.os_huge_pages = on;
         self
     }
 }

@@ -3,12 +3,14 @@
 
 use crate::config::{BackendKind, DbConfig, ProcessingMode};
 use crate::error::Result;
-use crate::snapman::SnapshotManager;
+use crate::reader::SnapshotReader;
+use crate::snapman::{Epoch, SnapshotManager};
 use crate::table::{ColumnState, TableId, TableState};
 use crate::txn::{Txn, TxnKind};
 use anker_mvcc::{ActiveTxns, RecentCommits, TsOracle, VersionedColumn};
 use anker_storage::{ColumnArea, Schema};
-use anker_vmem::{Kernel, OsBackend, Space, VmBackend};
+use anker_util::WorkerPool;
+use anker_vmem::{Kernel, OsBackend, OsStatsSnapshot, Space, VmBackend};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -66,6 +68,10 @@ pub(crate) struct DbInner {
     pub commit_mx: Mutex<CommitState>,
     pub snapman: SnapshotManager,
     pub stats: DbStats,
+    /// The reusable worker pool behind morsel-parallel reader scans,
+    /// created on first use and grown (replaced) when a scan asks for
+    /// more threads than it has. See [`AnkerDb::scan_pool`].
+    scan_pool: Mutex<Option<Arc<WorkerPool>>>,
     gc: Mutex<Option<GcThread>>,
 }
 
@@ -126,7 +132,8 @@ impl AnkerDb {
         let backend: Arc<dyn VmBackend> = match config.backend {
             BackendKind::Sim => Arc::new(space.clone()),
             BackendKind::Os => Arc::new(
-                OsBackend::new().expect("OS memory backend unavailable (requires Linux memfd)"),
+                OsBackend::with_huge_pages(config.os_huge_pages)
+                    .expect("OS memory backend unavailable (requires Linux memfd)"),
             ),
         };
         let active = Arc::new(ActiveTxns::new());
@@ -146,6 +153,7 @@ impl AnkerDb {
             commit_mx: Mutex::new(CommitState::default()),
             snapman,
             stats: DbStats::default(),
+            scan_pool: Mutex::new(None),
             gc: Mutex::new(None),
             config,
         });
@@ -250,6 +258,69 @@ impl AnkerDb {
     /// snapshot epoch.
     pub fn begin(&self, kind: TxnKind) -> Txn {
         Txn::begin(self.clone(), kind)
+    }
+
+    /// Open a detached, `Send + Sync` [`SnapshotReader`] pinned to the
+    /// newest serviceable snapshot epoch (creating one at a commit
+    /// boundary when none is fresh). Heterogeneous mode only; see
+    /// [`SnapshotReader`] for the pinning and snapshot-isolation
+    /// contract.
+    pub fn snapshot_reader(&self) -> Result<SnapshotReader> {
+        SnapshotReader::open(self)
+    }
+
+    /// Pin a snapshot epoch for an arriving OLAP transaction or detached
+    /// reader: the newest epoch if it is still fresh (within the trigger
+    /// interval) and undamaged, otherwise a brand-new epoch created at a
+    /// commit boundary (Figure 1, step 4: "as no snapshot is present yet
+    /// to run T3 on, the first snapshot is taken").
+    pub(crate) fn pin_current_epoch(&self) -> Arc<Epoch> {
+        let max_age = self.inner.config.snapshot_every_commits;
+        let now = self.inner.oracle.last_completed();
+        if let Some(e) = self.inner.snapman.pin_newest_fresh(now, max_age) {
+            return e;
+        }
+        let mut cs = self.lock_commit();
+        // Re-check under the commit lock (another OLAP may have raced us).
+        let now = self.inner.oracle.last_completed();
+        if let Some(e) = self.inner.snapman.pin_newest_fresh(now, max_age) {
+            return e;
+        }
+        // Pin before releasing the commit lock: once the lock drops, a
+        // concurrent commit could damage the fresh epoch.
+        let epoch = self.inner.snapman.trigger_epoch(&mut cs, now);
+        self.inner.snapman.pin_epoch(&epoch);
+        drop(cs);
+        epoch
+    }
+
+    /// The reusable scan-worker pool, sized for at least `threads`
+    /// threads of execution (growing — by replacement — when a scan asks
+    /// for more than any before it). One job runs at a time per pool, so
+    /// concurrent parallel scans normally serialize — the right shape for
+    /// an analytical fleet that fans out one query at a time (use
+    /// [`crate::ReaderScanBuilder::into_partitions`] to drive threads of
+    /// your own instead). Exception: a scan that triggers growth gets the
+    /// fresh, larger pool and runs alongside any scan still draining the
+    /// old one — a one-off oversubscription per growth step, not a
+    /// correctness concern.
+    pub(crate) fn scan_pool(&self, threads: usize) -> Arc<WorkerPool> {
+        let mut slot = self.inner.scan_pool.lock();
+        match &*slot {
+            Some(pool) if pool.threads() >= threads => Arc::clone(pool),
+            _ => {
+                let pool = Arc::new(WorkerPool::new(threads));
+                *slot = Some(Arc::clone(&pool));
+                pool
+            }
+        }
+    }
+
+    /// Counters of the real-OS memory backend (`None` on the simulated
+    /// kernel): snapshots served, copy-on-write splits/reclaims, and the
+    /// `madvise` hints issued for huge pages and sequential scans.
+    pub fn os_stats(&self) -> Option<OsStatsSnapshot> {
+        self.inner.backend.os_stats()
     }
 
     /// Current statistics.

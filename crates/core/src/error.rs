@@ -47,6 +47,10 @@ pub enum DbError {
     /// timestamp 0), so a load racing live transactions would corrupt
     /// visibility silently; the engine rejects it instead.
     LoadAfterBegin,
+    /// A [`crate::SnapshotReader`] was requested from a homogeneous-mode
+    /// database: there are no snapshot epochs to pin. Detached readers
+    /// exist only in heterogeneous processing mode.
+    SnapshotsDisabled,
 }
 
 impl fmt::Display for DbError {
@@ -63,6 +67,13 @@ impl fmt::Display for DbError {
                     f,
                     "fill_column is a load-time operation: it must complete \
                      before the first transaction begins"
+                )
+            }
+            DbError::SnapshotsDisabled => {
+                write!(
+                    f,
+                    "snapshot readers require heterogeneous processing mode \
+                     (homogeneous databases take no snapshot epochs)"
                 )
             }
         }

@@ -60,6 +60,7 @@
 pub mod config;
 pub mod db;
 pub mod error;
+pub mod reader;
 pub mod scan;
 pub mod snapman;
 pub mod table;
@@ -68,10 +69,12 @@ pub mod txn;
 pub use config::{BackendKind, DbConfig, ProcessingMode};
 pub use db::{AnkerDb, CommitState, DbStatsSnapshot};
 pub use error::{AbortReason, DbError, Result};
-pub use scan::ScanBuilder;
+pub use reader::SnapshotReader;
+pub use scan::{ReaderScanBuilder, ScanBuilder, ScanPartition};
 pub use table::TableId;
 pub use txn::{Txn, TxnKind};
 
 // Re-export the pieces users need to talk to the API.
 pub use anker_mvcc::{IsolationLevel, ScanStats};
 pub use anker_storage::{ColumnDef, ColumnId, Dictionary, LogicalType, Schema, Value};
+pub use anker_vmem::OsStatsSnapshot;

@@ -1,0 +1,161 @@
+//! Detached snapshot readers: `Send + Sync` read handles onto one frozen
+//! snapshot epoch, independent of any transaction.
+//!
+//! A [`SnapshotReader`] is the paper's OLAP fleet made explicit (§5.3–§5.4
+//! run N analytical threads against the snapshot while updaters commit):
+//! it pins an epoch **by refcount** at creation and holds that pin until
+//! dropped, so the snapshot manager keeps every area of the epoch — and
+//! the spare-area recycling pool — untouchable for as long as the reader
+//! lives, across any number of snapshot refreshes and
+//! destination-recycling cycles in between. On top of the pin, the reader
+//! registers in the active-transaction table at the epoch timestamp, which
+//! keeps the graveyard/recycling horizons conservative for areas retired
+//! *around* its lifetime.
+//!
+//! **Isolation contract.** A reader is snapshot-isolation-only, full stop:
+//! every read observes the single consistent point in time of its epoch
+//! (`epoch_ts`), writes are impossible by construction, and nothing a
+//! reader does is validated against later commits. Serializable
+//! transactions must keep using [`crate::Txn`] — its scans register
+//! precision locks automatically; a reader registers none. The reader
+//! never takes the commit lock on its hot path; only the *first* access
+//! to a not-yet-materialised column acquires it once, to materialise the
+//! column for the epoch (§2.2.2 lazy materialisation), exactly like an
+//! OLAP transaction's first touch.
+
+use crate::db::AnkerDb;
+use crate::error::{DbError, Result};
+use crate::scan::ReaderScanBuilder;
+use crate::snapman::{resolve_snap_col, Epoch, SnapCol};
+use crate::table::TableId;
+use anker_mvcc::ActiveToken;
+use anker_storage::{ColumnId, LogicalType, Value};
+use anker_util::FxHashMap;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// The pin itself: epoch refcount + active-table registration, released
+/// exactly once when the last holder drops. [`crate::ScanPartition`]s
+/// share this handle so a partition outliving its reader still keeps the
+/// epoch alive.
+pub(crate) struct ReaderPin {
+    db: AnkerDb,
+    epoch: Arc<Epoch>,
+    token: Option<ActiveToken>,
+}
+
+impl Drop for ReaderPin {
+    fn drop(&mut self) {
+        if let Some(token) = self.token.take() {
+            self.db.inner.active.deregister(token);
+        }
+        self.db.inner.snapman.unpin(&self.epoch);
+    }
+}
+
+/// A standalone, `Send + Sync` reader over one pinned snapshot epoch.
+/// Obtain with [`AnkerDb::snapshot_reader`]; share it across threads
+/// freely (all methods take `&self`), scan through
+/// [`SnapshotReader::scan`]. See the module docs for the pinning and
+/// isolation contract.
+///
+/// ```
+/// # use anker_core::{AnkerDb, ColumnDef, DbConfig, LogicalType, Schema, TxnKind, Value};
+/// # let db = AnkerDb::new(DbConfig::default());
+/// # let t = db.create_table(
+/// #     "x", Schema::new(vec![ColumnDef::new("v", LogicalType::Int)]), 8);
+/// # let v = db.schema(t).col("v");
+/// # db.fill_column(t, v, (0..8).map(|i| Value::Int(i).encode())).unwrap();
+/// let reader = db.snapshot_reader().unwrap();
+/// let (sum, stats) = reader
+///     .scan(t)
+///     .range_i64(v, 2, 5)
+///     .project(&[v])
+///     .parallel(2)
+///     .fold(0i64, |acc, _row, vals| acc + vals[0].as_int(), |a, b| a + b)
+///     .unwrap();
+/// assert_eq!(sum, 2 + 3 + 4 + 5);
+/// assert!(stats.threads >= 1);
+/// ```
+pub struct SnapshotReader {
+    pin: Arc<ReaderPin>,
+    /// Per-reader cache of resolved snapshot columns (same role as the
+    /// per-transaction cache, just behind a mutex so `&self` methods can
+    /// fill it from any thread).
+    cache: Mutex<FxHashMap<(u16, u16), Arc<SnapCol>>>,
+}
+
+impl std::fmt::Debug for SnapshotReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotReader")
+            .field("epoch_ts", &self.pin.epoch.ts)
+            .finish()
+    }
+}
+
+impl SnapshotReader {
+    /// Pin the newest serviceable epoch (creating one at a commit boundary
+    /// when none is fresh) and wrap it. Heterogeneous mode only: the
+    /// homogeneous configurations have no snapshot epochs to pin.
+    pub(crate) fn open(db: &AnkerDb) -> Result<SnapshotReader> {
+        if db.inner.config.mode != crate::config::ProcessingMode::Heterogeneous {
+            return Err(DbError::SnapshotsDisabled);
+        }
+        let epoch = db.pin_current_epoch();
+        let token = db.inner.active.register(epoch.ts);
+        Ok(SnapshotReader {
+            pin: Arc::new(ReaderPin {
+                db: db.clone(),
+                epoch,
+                token: Some(token),
+            }),
+            cache: Mutex::new(FxHashMap::default()),
+        })
+    }
+
+    /// The single point in time every read of this reader observes.
+    pub fn epoch_ts(&self) -> u64 {
+        self.pin.epoch.ts
+    }
+
+    pub(crate) fn db(&self) -> &AnkerDb {
+        &self.pin.db
+    }
+
+    pub(crate) fn pin_handle(&self) -> Arc<ReaderPin> {
+        Arc::clone(&self.pin)
+    }
+
+    /// The reader's snapshot column for `(table, col)`, materialising it
+    /// for the pinned epoch on first access.
+    pub(crate) fn snap_col(&self, table: TableId, col: ColumnId) -> Result<Arc<SnapCol>> {
+        let key = (table.0, col.0 as u16);
+        if let Some(sc) = self.cache.lock().get(&key) {
+            return Ok(Arc::clone(sc));
+        }
+        let sc = resolve_snap_col(&self.pin.db, &self.pin.epoch, table, col)?;
+        self.cache.lock().insert(key, Arc::clone(&sc));
+        Ok(sc)
+    }
+
+    /// Read the raw word of `(table, col, row)` at the epoch.
+    pub fn get(&self, table: TableId, col: ColumnId, row: u32) -> Result<u64> {
+        Ok(self.snap_col(table, col)?.area().get(row)?)
+    }
+
+    /// Typed read at the epoch.
+    pub fn get_value(&self, table: TableId, col: ColumnId, row: u32) -> Result<Value> {
+        let ty: LogicalType = self.pin.db.table_state(table).schema.def(col).ty;
+        Ok(Value::decode(self.get(table, col, row)?, ty))
+    }
+
+    /// Start building a scan over `table` on this reader's epoch: chain
+    /// typed predicates and a projection on the returned
+    /// [`ReaderScanBuilder`], optionally fan out with
+    /// [`ReaderScanBuilder::parallel`] or
+    /// [`ReaderScanBuilder::into_partitions`], then finish with a
+    /// terminal method.
+    pub fn scan(&self, table: TableId) -> ReaderScanBuilder<'_> {
+        ReaderScanBuilder::new(self, table)
+    }
+}

@@ -1,9 +1,11 @@
-//! The typed scan layer: [`ScanBuilder`] — predicates pushed down into the
-//! block loops of both scan paths, with automatic precision-lock
-//! registration.
+//! The typed scan layer: [`ScanBuilder`] (in-transaction scans, both
+//! processing paths) and [`ReaderScanBuilder`] (detached
+//! [`crate::SnapshotReader`] scans, sequential or morsel-parallel) —
+//! predicates pushed down into the block loops, with automatic
+//! precision-lock registration on the serializable path.
 //!
 //! The paper's headline fast path is the tight, version-check-free snapshot
-//! scan (§2.2, §5.5). The builder keeps that loop structure and adds two
+//! scan (§2.2, §5.5). The builders keep that loop structure and add three
 //! things on top:
 //!
 //! * **Predicate pushdown.** Typed filters ([`ScanBuilder::range_i64`],
@@ -19,18 +21,46 @@
 //!   columns without a filter are logged as full-column reads — the
 //!   serializability footgun of forgetting a manual `log_range` call no
 //!   longer exists.
+//! * **Morsel parallelism.** A detached reader's scan fans out over
+//!   1024-row-aligned morsel ranges on the database's reusable worker pool
+//!   ([`ReaderScanBuilder::parallel`]) or splits into caller-driven
+//!   [`ScanPartition`]s ([`ReaderScanBuilder::into_partitions`]). Workers
+//!   pull morsels dynamically; per-morsel [`ScanStats`] and fold
+//!   accumulators are merged **in morsel order**, so results are
+//!   deterministic for any worker count.
 //!
-//! Terminal methods: [`ScanBuilder::for_each`] (raw words — the escape
-//! hatch), [`ScanBuilder::for_each_typed`], [`ScanBuilder::fold`], and
-//! [`ScanBuilder::count`]. All return the scan's [`ScanStats`] and
-//! accumulate them into [`crate::Txn::scan_stats`].
+//! The frozen-scan machinery is shared: both builders compile into a
+//! `FrozenScanCore` (resolved snapshot columns + zone maps, immutable,
+//! `Sync`) driven by per-worker `FrozenCursor`s over arbitrary
+//! block-aligned row ranges.
 
 use crate::error::Result;
+use crate::reader::SnapshotReader;
+use crate::snapman::SnapCol;
 use crate::table::{TableId, TableState};
 use crate::txn::Txn;
 use anker_mvcc::{Pred, ScanStats, Transaction, BLOCK_ROWS};
 use anker_storage::{rank, ColumnId, LogicalType, Value, ZoneMap};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
+
+/// Most blocks per morsel: the work quantum parallel scans hand out.
+/// 16 blocks = 16 384 rows = 128 KiB per column — big enough to amortise
+/// dispatch, small enough that dynamic pulling balances skewed pruning.
+/// Small tables use proportionally smaller morsels (see
+/// [`morsel_blocks`]) so they still split.
+pub(crate) const MORSEL_BLOCKS: u32 = 16;
+
+/// Blocks per morsel for a table of `blocks` 1024-row blocks: aim for at
+/// least [`MORSEL_BLOCKS`] morsels, capped at [`MORSEL_BLOCKS`] blocks
+/// each. Depends **only** on table size — never on the thread count — so
+/// morsel boundaries (and therefore fold groupings and merged results,
+/// even for non-associative `f64` accumulation) are identical for every
+/// fan-out.
+fn morsel_blocks(blocks: u32) -> u32 {
+    blocks.div_ceil(MORSEL_BLOCKS).clamp(1, MORSEL_BLOCKS)
+}
 
 /// One compiled per-column filter.
 #[derive(Debug, Clone)]
@@ -134,42 +164,18 @@ impl Filter {
     }
 }
 
-/// A scan under construction: obtain with [`Txn::scan_on`], chain typed
-/// predicates and a projection, finish with a terminal method.
-///
-/// Filters combine conjunctively (logical AND). The projection decides what
-/// the row callback receives, in the order given to
-/// [`ScanBuilder::project`]; without a projection the callback receives an
-/// empty slice (useful with [`ScanBuilder::count`] or when only row ids
-/// matter). A column may appear in both a filter and the projection; its
-/// block is read once.
-#[must_use = "a ScanBuilder does nothing until a terminal method runs it"]
-pub struct ScanBuilder<'t> {
-    txn: &'t mut Txn,
-    table: TableId,
+/// What to scan: the compiled filters and the projection, independent of
+/// which host (transaction or detached reader) drives the scan. Both
+/// builders delegate their typed predicate methods here so the assertion
+/// and compilation logic exists exactly once.
+#[derive(Debug, Clone, Default)]
+struct ScanSpec {
     filters: Vec<Filter>,
     projection: Vec<ColumnId>,
 }
 
-impl<'t> ScanBuilder<'t> {
-    pub(crate) fn new(txn: &'t mut Txn, table: TableId) -> ScanBuilder<'t> {
-        ScanBuilder {
-            txn,
-            table,
-            filters: Vec::new(),
-            projection: Vec::new(),
-        }
-    }
-
-    fn col_ty(&mut self, col: ColumnId) -> LogicalType {
-        self.txn.table(self.table).schema.def(col).ty
-    }
-
-    /// Keep rows with `lo <= col <= hi` (inclusive). `col` must be an
-    /// `Int` or `Date` column (dates are their day counts). The comparison
-    /// is exact over the full `i64` domain.
-    pub fn range_i64(mut self, col: ColumnId, lo: i64, hi: i64) -> Self {
-        let ty = self.col_ty(col);
+impl ScanSpec {
+    fn range_i64(&mut self, col: ColumnId, ty: LogicalType, lo: i64, hi: i64) {
         assert!(
             matches!(ty, LogicalType::Int | LogicalType::Date),
             "range_i64 applies to Int or Date columns, found {ty:?}"
@@ -179,13 +185,9 @@ impl<'t> ScanBuilder<'t> {
             ty,
             kind: FilterKind::RangeI { lo, hi },
         });
-        self
     }
 
-    /// Keep rows with `lo <= col <= hi` (inclusive). `col` must be a
-    /// `Double` column.
-    pub fn range_f64(mut self, col: ColumnId, lo: f64, hi: f64) -> Self {
-        let ty = self.col_ty(col);
+    fn range_f64(&mut self, col: ColumnId, ty: LogicalType, lo: f64, hi: f64) {
         assert!(
             ty == LogicalType::Double,
             "range_f64 applies to Double columns, found {ty:?}"
@@ -199,13 +201,9 @@ impl<'t> ScanBuilder<'t> {
                 hi_exclusive: false,
             },
         });
-        self
     }
 
-    /// Keep rows with `col < hi` (strict). `col` must be a `Double`
-    /// column.
-    pub fn lt_f64(mut self, col: ColumnId, hi: f64) -> Self {
-        let ty = self.col_ty(col);
+    fn lt_f64(&mut self, col: ColumnId, ty: LogicalType, hi: f64) {
         assert!(
             ty == LogicalType::Double,
             "lt_f64 applies to Double columns, found {ty:?}"
@@ -219,13 +217,9 @@ impl<'t> ScanBuilder<'t> {
                 hi_exclusive: true,
             },
         });
-        self
     }
 
-    /// Keep rows whose dictionary code equals `code`. `col` must be a
-    /// `Dict` column.
-    pub fn dict_eq(mut self, col: ColumnId, code: u32) -> Self {
-        let ty = self.col_ty(col);
+    fn dict_eq(&mut self, col: ColumnId, ty: LogicalType, code: u32) {
         assert!(
             ty == LogicalType::Dict,
             "dict_eq applies to Dict columns, found {ty:?}"
@@ -235,13 +229,9 @@ impl<'t> ScanBuilder<'t> {
             ty,
             kind: FilterKind::DictEq(code),
         });
-        self
     }
 
-    /// Keep rows whose dictionary code is one of `codes` (an empty set
-    /// matches nothing). `col` must be a `Dict` column.
-    pub fn in_set(mut self, col: ColumnId, codes: impl IntoIterator<Item = u32>) -> Self {
-        let ty = self.col_ty(col);
+    fn in_set(&mut self, col: ColumnId, ty: LogicalType, codes: Vec<u32>) {
         assert!(
             ty == LogicalType::Dict,
             "in_set applies to Dict columns, found {ty:?}"
@@ -249,14 +239,84 @@ impl<'t> ScanBuilder<'t> {
         self.filters.push(Filter {
             col,
             ty,
-            kind: FilterKind::InSet(codes.into_iter().collect()),
+            kind: FilterKind::InSet(codes),
         });
+    }
+}
+
+/// A scan under construction: obtain with [`Txn::scan_on`], chain typed
+/// predicates and a projection, finish with a terminal method.
+///
+/// Filters combine conjunctively (logical AND). The projection decides what
+/// the row callback receives, in the order given to
+/// [`ScanBuilder::project`]; without a projection the callback receives an
+/// empty slice (useful with [`ScanBuilder::count`] or when only row ids
+/// matter). A column may appear in both a filter and the projection; its
+/// block is read once.
+#[must_use = "a ScanBuilder does nothing until a terminal method runs it"]
+pub struct ScanBuilder<'t> {
+    txn: &'t mut Txn,
+    table: TableId,
+    spec: ScanSpec,
+}
+
+impl<'t> ScanBuilder<'t> {
+    pub(crate) fn new(txn: &'t mut Txn, table: TableId) -> ScanBuilder<'t> {
+        ScanBuilder {
+            txn,
+            table,
+            spec: ScanSpec::default(),
+        }
+    }
+
+    fn col_ty(&mut self, col: ColumnId) -> LogicalType {
+        self.txn.table(self.table).schema.def(col).ty
+    }
+
+    /// Keep rows with `lo <= col <= hi` (inclusive). `col` must be an
+    /// `Int` or `Date` column (dates are their day counts). The comparison
+    /// is exact over the full `i64` domain.
+    pub fn range_i64(mut self, col: ColumnId, lo: i64, hi: i64) -> Self {
+        let ty = self.col_ty(col);
+        self.spec.range_i64(col, ty, lo, hi);
+        self
+    }
+
+    /// Keep rows with `lo <= col <= hi` (inclusive). `col` must be a
+    /// `Double` column.
+    pub fn range_f64(mut self, col: ColumnId, lo: f64, hi: f64) -> Self {
+        let ty = self.col_ty(col);
+        self.spec.range_f64(col, ty, lo, hi);
+        self
+    }
+
+    /// Keep rows with `col < hi` (strict). `col` must be a `Double`
+    /// column.
+    pub fn lt_f64(mut self, col: ColumnId, hi: f64) -> Self {
+        let ty = self.col_ty(col);
+        self.spec.lt_f64(col, ty, hi);
+        self
+    }
+
+    /// Keep rows whose dictionary code equals `code`. `col` must be a
+    /// `Dict` column.
+    pub fn dict_eq(mut self, col: ColumnId, code: u32) -> Self {
+        let ty = self.col_ty(col);
+        self.spec.dict_eq(col, ty, code);
+        self
+    }
+
+    /// Keep rows whose dictionary code is one of `codes` (an empty set
+    /// matches nothing). `col` must be a `Dict` column.
+    pub fn in_set(mut self, col: ColumnId, codes: impl IntoIterator<Item = u32>) -> Self {
+        let ty = self.col_ty(col);
+        self.spec.in_set(col, ty, codes.into_iter().collect());
         self
     }
 
     /// Set the columns the row callback receives, in this order.
     pub fn project(mut self, cols: &[ColumnId]) -> Self {
-        self.projection = cols.to_vec();
+        self.spec.projection = cols.to_vec();
         self
     }
 
@@ -272,7 +332,8 @@ impl<'t> ScanBuilder<'t> {
     pub fn for_each_typed(self, mut f: impl FnMut(u32, &[Value])) -> Result<ScanStats> {
         let tys: Vec<LogicalType> = {
             let state = self.txn.table(self.table);
-            self.projection
+            self.spec
+                .projection
                 .iter()
                 .map(|&c| state.schema.def(c).ty)
                 .collect()
@@ -303,7 +364,7 @@ impl<'t> ScanBuilder<'t> {
     /// Run the scan and count the rows passing all filters. The projection
     /// is ignored (no value columns are read).
     pub fn count(mut self) -> Result<(u64, ScanStats)> {
-        self.projection.clear();
+        self.spec.projection.clear();
         let mut n = 0u64;
         let stats = self.run(&mut |_, _| n += 1)?;
         Ok((n, stats))
@@ -312,120 +373,51 @@ impl<'t> ScanBuilder<'t> {
     /// Execute: log precision locks, then drive the snapshot or the
     /// versioned block loop.
     fn run(self, sink: &mut dyn FnMut(u32, &[u64])) -> Result<ScanStats> {
-        let ScanBuilder {
-            txn,
-            table,
-            filters,
-            projection,
-        } = self;
+        let ScanBuilder { txn, table, spec } = self;
         if txn.serializable_updater() {
-            for flt in &filters {
+            for flt in &spec.filters {
                 flt.log_preds(Txn::colref(table, flt.col), &mut txn.inner);
             }
             // Projection columns without a filter are full-column reads;
             // filtered columns are covered (more precisely) by their
             // filter's predicate.
-            for &c in &projection {
-                if !filters.iter().any(|flt| flt.col == c) {
+            for &c in &spec.projection {
+                if !spec.filters.iter().any(|flt| flt.col == c) {
                     txn.inner.log_predicate(Pred::FullColumn {
                         col: Txn::colref(table, c),
                     });
                 }
             }
         }
-        let mut stats = ScanStats::default();
+        let mut stats = ScanStats {
+            threads: 1,
+            ..ScanStats::default()
+        };
         if txn.epoch.is_some() {
-            Self::run_snapshot(txn, table, &filters, &projection, sink, &mut stats)?;
+            Self::run_snapshot(txn, table, spec, sink, &mut stats)?;
         } else {
-            Self::run_versioned(txn, table, &filters, &projection, sink, &mut stats)?;
+            Self::run_versioned(txn, table, &spec, sink, &mut stats)?;
         }
+        stats.morsels += 1;
         txn.scan_stats.merge(&stats);
         Ok(stats)
     }
 
-    /// Heterogeneous OLAP: tight loops over frozen snapshot columns — no
-    /// version checks — with zone-map block pruning. On the OS backend the
-    /// frozen areas expose themselves as plain `&[u64]` slices
-    /// ([`anker_storage::ColumnArea::as_slice`]), so the block loops read
-    /// straight through the mapped memory with no per-word resolution and
-    /// no copy; on the simulated kernel they gather into block buffers.
+    /// Heterogeneous OLAP: the in-transaction sequential variant of the
+    /// frozen snapshot scan — compile a [`FrozenScanCore`] against the
+    /// transaction's pinned epoch (materialising columns through the
+    /// per-transaction cache) and drive one cursor over all rows.
     fn run_snapshot(
         txn: &mut Txn,
         table: TableId,
-        filters: &[Filter],
-        projection: &[ColumnId],
+        spec: ScanSpec,
         sink: &mut dyn FnMut(u32, &[u64]),
         stats: &mut ScanStats,
     ) -> Result<()> {
         let rows = txn.db.rows(table);
-        let filter_snaps = filters
-            .iter()
-            .map(|flt| txn.snapshot_col(table, flt.col))
-            .collect::<Result<Vec<_>>>()?;
-        let proj_snaps = projection
-            .iter()
-            .map(|&c| txn.snapshot_col(table, c))
-            .collect::<Result<Vec<_>>>()?;
-        // Zone maps live on the frozen snapshot areas; building them is a
-        // one-time cost per (epoch, column) amortised over every filtered
-        // scan of that snapshot.
-        let zone_maps: Vec<Arc<ZoneMap>> = filters
-            .iter()
-            .zip(&filter_snaps)
-            .map(|(flt, sc)| sc.area().zone_map(flt.ty, BLOCK_ROWS))
-            .collect::<std::result::Result<_, _>>()?;
-        // SAFETY: the scan holds an `Arc<SnapCol>` per column and the txn
-        // pins the epoch, so the frozen areas can neither be unmapped nor
-        // recycled (both wait for the active-transaction horizon) while
-        // these borrows live; frozen areas are never written after
-        // hand-over, so the slices are genuinely immutable.
-        let f_slices: Vec<Option<&[u64]>> = filter_snaps
-            .iter()
-            .map(|sc| unsafe { sc.area().as_slice() })
-            .collect();
-        let p_slices: Vec<Option<&[u64]>> = proj_snaps
-            .iter()
-            .map(|sc| unsafe { sc.area().as_slice() })
-            .collect();
-        let mut fbufs: Vec<Vec<u64>> = filters
-            .iter()
-            .map(|_| vec![0u64; BLOCK_ROWS as usize])
-            .collect();
-        let proj_sliced: Vec<bool> = p_slices.iter().map(Option::is_some).collect();
-        let mut em = BlockEmitter::new(filters, projection, &proj_sliced);
-        let mut start = 0u32;
-        while start < rows {
-            let n = BLOCK_ROWS.min(rows - start);
-            let block_idx = (start / BLOCK_ROWS) as usize;
-            let prunable = !zone_maps.iter().zip(filters).all(|(zm, flt)| {
-                let (lo, hi) = zm.block_range(block_idx);
-                flt.block_can_match(lo, hi)
-            });
-            if prunable {
-                stats.blocks_skipped += 1;
-                start += n;
-                continue;
-            }
-            for ((sc, slice), buf) in filter_snaps.iter().zip(&f_slices).zip(fbufs.iter_mut()) {
-                if slice.is_none() {
-                    sc.area().read_block_into(start, n, buf)?;
-                }
-            }
-            stats.tight_rows += n as u64;
-            em.filter_and_emit(
-                filters,
-                &f_slices,
-                &fbufs,
-                &p_slices,
-                start,
-                n,
-                stats,
-                &mut |pi, buf, _| Ok(proj_snaps[pi].area().read_block_into(start, n, buf)?),
-                sink,
-            )?;
-            start += n;
-        }
-        Ok(())
+        let core = FrozenScanCore::build(rows, spec, &mut |c| txn.snapshot_col(table, c))?;
+        let mut cursor = FrozenCursor::new(&core);
+        cursor.run_range(0, rows, sink, stats)
     }
 
     /// Versioned scan at the transaction's start timestamp with the
@@ -436,11 +428,12 @@ impl<'t> ScanBuilder<'t> {
     fn run_versioned(
         txn: &mut Txn,
         table: TableId,
-        filters: &[Filter],
-        projection: &[ColumnId],
+        spec: &ScanSpec,
         sink: &mut dyn FnMut(u32, &[u64]),
         stats: &mut ScanStats,
     ) -> Result<()> {
+        let filters = &spec.filters;
+        let projection = &spec.projection;
         let rows = txn.db.rows(table);
         let state: Arc<TableState> = txn.table(table);
         let start_ts = txn.inner.start_ts();
@@ -493,6 +486,519 @@ impl<'t> ScanBuilder<'t> {
         }
         Ok(())
     }
+}
+
+// ---------------------------------------------------------------------
+// The shared frozen-scan machinery
+// ---------------------------------------------------------------------
+
+/// A compiled scan over frozen snapshot columns: the resolved
+/// [`SnapCol`]s, their zone maps, and the spec. Immutable and `Sync` —
+/// parallel workers share one core by reference and drive their own
+/// [`FrozenCursor`]s over disjoint row ranges. Holding the core keeps
+/// every scanned area alive (the `Arc<SnapCol>`s), and the host
+/// additionally pins the epoch, so the areas can neither be unmapped nor
+/// recycled for as long as the scan runs.
+pub(crate) struct FrozenScanCore {
+    rows: u32,
+    spec: ScanSpec,
+    filter_snaps: Vec<Arc<SnapCol>>,
+    proj_snaps: Vec<Arc<SnapCol>>,
+    zone_maps: Vec<Arc<ZoneMap>>,
+}
+
+impl FrozenScanCore {
+    /// Resolve every filter and projection column through `resolve`
+    /// (which materialises on first access), build the zone maps, and
+    /// advise the backend of the impending sequential read.
+    fn build(
+        rows: u32,
+        spec: ScanSpec,
+        resolve: &mut dyn FnMut(ColumnId) -> Result<Arc<SnapCol>>,
+    ) -> Result<FrozenScanCore> {
+        let filter_snaps = spec
+            .filters
+            .iter()
+            .map(|flt| resolve(flt.col))
+            .collect::<Result<Vec<_>>>()?;
+        let proj_snaps = spec
+            .projection
+            .iter()
+            .map(|&c| resolve(c))
+            .collect::<Result<Vec<_>>>()?;
+        // Zone maps live on the frozen snapshot areas; building them is a
+        // one-time cost per (epoch, column) amortised over every filtered
+        // scan of that snapshot.
+        let zone_maps: Vec<Arc<ZoneMap>> = spec
+            .filters
+            .iter()
+            .zip(&filter_snaps)
+            .map(|(flt, sc)| sc.area().zone_map(flt.ty, BLOCK_ROWS))
+            .collect::<std::result::Result<_, _>>()?;
+        // One sequential-readahead hint per distinct area about to be
+        // streamed (madvise on the OS backend, no-op simulated).
+        let mut advised: Vec<u64> = Vec::new();
+        for sc in filter_snaps.iter().chain(&proj_snaps) {
+            let addr = sc.area().addr();
+            if !advised.contains(&addr) {
+                advised.push(addr);
+                sc.area().advise_sequential();
+            }
+        }
+        Ok(FrozenScanCore {
+            rows,
+            spec,
+            filter_snaps,
+            proj_snaps,
+            zone_maps,
+        })
+    }
+
+    pub(crate) fn rows(&self) -> u32 {
+        self.rows
+    }
+}
+
+/// Per-worker scan state over a shared [`FrozenScanCore`]: the zero-copy
+/// column slices (where the backend exposes them), gather buffers, and the
+/// block emitter. Creating a cursor is cheap relative to a morsel; each
+/// parallel worker owns one and reuses it across all morsels it pulls.
+pub(crate) struct FrozenCursor<'c> {
+    core: &'c FrozenScanCore,
+    f_slices: Vec<Option<&'c [u64]>>,
+    p_slices: Vec<Option<&'c [u64]>>,
+    fbufs: Vec<Vec<u64>>,
+    em: BlockEmitter,
+}
+
+impl<'c> FrozenCursor<'c> {
+    pub(crate) fn new(core: &'c FrozenScanCore) -> FrozenCursor<'c> {
+        // SAFETY: the core holds an `Arc<SnapCol>` per column and the scan
+        // host pins the epoch, so the frozen areas can neither be unmapped
+        // nor recycled (both wait for the pin/active-transaction horizon)
+        // while these borrows live; frozen areas are never written after
+        // hand-over, so the slices are genuinely immutable.
+        let f_slices: Vec<Option<&[u64]>> = core
+            .filter_snaps
+            .iter()
+            .map(|sc| unsafe { sc.area().as_slice() })
+            .collect();
+        let p_slices: Vec<Option<&[u64]>> = core
+            .proj_snaps
+            .iter()
+            .map(|sc| unsafe { sc.area().as_slice() })
+            .collect();
+        let fbufs: Vec<Vec<u64>> = core
+            .spec
+            .filters
+            .iter()
+            .map(|_| vec![0u64; BLOCK_ROWS as usize])
+            .collect();
+        let proj_sliced: Vec<bool> = p_slices.iter().map(Option::is_some).collect();
+        let em = BlockEmitter::new(&core.spec.filters, &core.spec.projection, &proj_sliced);
+        FrozenCursor {
+            core,
+            f_slices,
+            p_slices,
+            fbufs,
+            em,
+        }
+    }
+
+    /// Scan rows `[start, end)` — `start` must be 1024-row (block)
+    /// aligned — applying zone-map pruning per block and emitting
+    /// surviving rows into `sink`. Counters accumulate into `stats`.
+    pub(crate) fn run_range(
+        &mut self,
+        start: u32,
+        end: u32,
+        sink: &mut dyn FnMut(u32, &[u64]),
+        stats: &mut ScanStats,
+    ) -> Result<()> {
+        if start >= end {
+            // Empty ranges (e.g. a trailing empty partition of a small
+            // table) are legal and need not be block-aligned.
+            return Ok(());
+        }
+        debug_assert!(
+            start.is_multiple_of(BLOCK_ROWS),
+            "morsels are block-aligned"
+        );
+        let FrozenCursor {
+            core,
+            f_slices,
+            p_slices,
+            fbufs,
+            em,
+        } = self;
+        let filters = &core.spec.filters;
+        let end = end.min(core.rows);
+        let mut start = start;
+        while start < end {
+            let n = BLOCK_ROWS.min(end - start);
+            let block_idx = (start / BLOCK_ROWS) as usize;
+            let prunable = !core.zone_maps.iter().zip(filters).all(|(zm, flt)| {
+                let (lo, hi) = zm.block_range(block_idx);
+                flt.block_can_match(lo, hi)
+            });
+            if prunable {
+                stats.blocks_skipped += 1;
+                start += n;
+                continue;
+            }
+            for ((sc, slice), buf) in core
+                .filter_snaps
+                .iter()
+                .zip(&*f_slices)
+                .zip(fbufs.iter_mut())
+            {
+                if slice.is_none() {
+                    sc.area().read_block_into(start, n, buf)?;
+                }
+            }
+            stats.tight_rows += n as u64;
+            em.filter_and_emit(
+                filters,
+                f_slices,
+                fbufs,
+                p_slices,
+                start,
+                n,
+                stats,
+                &mut |pi, buf, _| Ok(core.proj_snaps[pi].area().read_block_into(start, n, buf)?),
+                sink,
+            )?;
+            start += n;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Detached reader scans: sequential, morsel-parallel, partitioned
+// ---------------------------------------------------------------------
+
+/// A scan under construction on a [`SnapshotReader`]: obtain with
+/// [`SnapshotReader::scan`], chain the same typed predicates and
+/// projection as [`ScanBuilder`], optionally fan out with
+/// [`ReaderScanBuilder::parallel`], and finish with a terminal method.
+///
+/// Reader scans run **only** on the reader's pinned frozen epoch: no
+/// version checks, no commit-lock acquisition after the scanned columns
+/// are materialised, and snapshot-isolation semantics at the epoch
+/// timestamp (see [`SnapshotReader`] for the contract).
+///
+/// Parallel terminals merge per-morsel results in morsel order, so for
+/// associative merge operators the result is deterministic and identical
+/// across thread counts.
+#[must_use = "a ReaderScanBuilder does nothing until a terminal method runs it"]
+pub struct ReaderScanBuilder<'r> {
+    reader: &'r SnapshotReader,
+    table: TableId,
+    spec: ScanSpec,
+    threads: usize,
+}
+
+impl<'r> ReaderScanBuilder<'r> {
+    pub(crate) fn new(reader: &'r SnapshotReader, table: TableId) -> ReaderScanBuilder<'r> {
+        ReaderScanBuilder {
+            reader,
+            table,
+            spec: ScanSpec::default(),
+            threads: 1,
+        }
+    }
+
+    fn col_ty(&self, col: ColumnId) -> LogicalType {
+        self.reader.db().table_state(self.table).schema.def(col).ty
+    }
+
+    /// Keep rows with `lo <= col <= hi` (inclusive; `Int`/`Date` column).
+    pub fn range_i64(mut self, col: ColumnId, lo: i64, hi: i64) -> Self {
+        let ty = self.col_ty(col);
+        self.spec.range_i64(col, ty, lo, hi);
+        self
+    }
+
+    /// Keep rows with `lo <= col <= hi` (inclusive; `Double` column).
+    pub fn range_f64(mut self, col: ColumnId, lo: f64, hi: f64) -> Self {
+        let ty = self.col_ty(col);
+        self.spec.range_f64(col, ty, lo, hi);
+        self
+    }
+
+    /// Keep rows with `col < hi` (strict; `Double` column).
+    pub fn lt_f64(mut self, col: ColumnId, hi: f64) -> Self {
+        let ty = self.col_ty(col);
+        self.spec.lt_f64(col, ty, hi);
+        self
+    }
+
+    /// Keep rows whose dictionary code equals `code` (`Dict` column).
+    pub fn dict_eq(mut self, col: ColumnId, code: u32) -> Self {
+        let ty = self.col_ty(col);
+        self.spec.dict_eq(col, ty, code);
+        self
+    }
+
+    /// Keep rows whose dictionary code is one of `codes` (`Dict` column;
+    /// an empty set matches nothing).
+    pub fn in_set(mut self, col: ColumnId, codes: impl IntoIterator<Item = u32>) -> Self {
+        let ty = self.col_ty(col);
+        self.spec.in_set(col, ty, codes.into_iter().collect());
+        self
+    }
+
+    /// Set the columns the row callback receives, in this order.
+    pub fn project(mut self, cols: &[ColumnId]) -> Self {
+        self.spec.projection = cols.to_vec();
+        self
+    }
+
+    /// Fan the scan out over `threads` threads of execution (the caller
+    /// is one of them; the rest come from the database's reusable scan
+    /// pool). Workers pull 1024-row-aligned morsels dynamically;
+    /// per-morsel results merge in morsel order. `parallel(1)` (the
+    /// default) runs entirely on the calling thread.
+    pub fn parallel(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    fn build_core(&mut self) -> Result<FrozenScanCore> {
+        let reader = self.reader;
+        let table = self.table;
+        let rows = reader.db().rows(table);
+        let spec = std::mem::take(&mut self.spec);
+        FrozenScanCore::build(rows, spec, &mut |c| reader.snap_col(table, c))
+    }
+
+    /// Run the scan and count the rows passing all filters. The
+    /// projection is ignored (no value columns are read).
+    pub fn count(mut self) -> Result<(u64, ScanStats)> {
+        self.spec.projection.clear();
+        let threads = self.threads;
+        let core = self.build_core()?;
+        let (counts, stats) = run_morsels(self.reader, &core, threads, &|| 0u64, &|acc, _, _| {
+            *acc += 1
+        })?;
+        Ok((counts.into_iter().sum(), stats))
+    }
+
+    /// Run the scan, calling `f(row, words)` with the raw 8-byte words of
+    /// the projection for every passing row. Under [`parallel`], `f` is
+    /// called concurrently from multiple threads and rows of different
+    /// morsels arrive in no particular order (within a morsel, row order
+    /// holds); use [`fold`] when you need a deterministic reduction.
+    ///
+    /// [`parallel`]: ReaderScanBuilder::parallel
+    /// [`fold`]: ReaderScanBuilder::fold
+    pub fn for_each(mut self, f: impl Fn(u32, &[u64]) + Sync) -> Result<ScanStats> {
+        let threads = self.threads;
+        let core = self.build_core()?;
+        let (_, stats) = run_morsels(self.reader, &core, threads, &|| (), &|(), row, words| {
+            f(row, words)
+        })?;
+        Ok(stats)
+    }
+
+    /// Run the scan, folding every passing row's decoded projection into
+    /// per-morsel accumulators (each seeded with a clone of `init`) and
+    /// merging them **in morsel order** with `merge`. For an associative
+    /// `merge` the result equals the sequential fold and is identical for
+    /// every thread count.
+    pub fn fold<A, F, M>(mut self, init: A, f: F, merge: M) -> Result<(A, ScanStats)>
+    where
+        A: Clone + Send + Sync,
+        F: Fn(A, u32, &[Value]) -> A + Sync,
+        M: Fn(A, A) -> A,
+    {
+        let tys: Vec<LogicalType> = {
+            let state = self.reader.db().table_state(self.table);
+            self.spec
+                .projection
+                .iter()
+                .map(|&c| state.schema.def(c).ty)
+                .collect()
+        };
+        let threads = self.threads;
+        let core = self.build_core()?;
+        // The decode buffer rides inside the accumulator so each morsel
+        // (and thus each worker) reuses one allocation across its rows.
+        let (accs, stats) = run_morsels(
+            self.reader,
+            &core,
+            threads,
+            &|| (Some(init.clone()), Vec::with_capacity(tys.len())),
+            &|(acc, vals): &mut (Option<A>, Vec<Value>), row, words| {
+                vals.clear();
+                vals.extend(words.iter().zip(&tys).map(|(&w, &ty)| Value::decode(w, ty)));
+                let a = acc.take().expect("accumulator present");
+                *acc = Some(f(a, row, vals));
+            },
+        )?;
+        let folded = accs
+            .into_iter()
+            .map(|(a, _)| a.expect("accumulator present"))
+            .reduce(merge)
+            .unwrap_or(init);
+        Ok((folded, stats))
+    }
+
+    /// Split the scan into `n` contiguous, 1024-row-aligned partitions the
+    /// caller drives on threads of its own ([`ScanPartition`] is `Send` +
+    /// `Sync` and keeps the epoch pinned). Exactly `n` partitions are
+    /// returned; trailing ones may be empty when the table is small. The
+    /// union of the partitions is the whole table, disjointly.
+    ///
+    /// The partitions share one compiled scan, so — unlike the builder's
+    /// own [`count`](ReaderScanBuilder::count) — [`ScanPartition::count`]
+    /// does read any projected columns: omit
+    /// [`project`](ReaderScanBuilder::project) when the partitions will
+    /// only count.
+    pub fn into_partitions(mut self, n: usize) -> Result<Vec<ScanPartition>> {
+        let threads = n.max(1) as u32;
+        let core = Arc::new(self.build_core()?);
+        let rows = core.rows();
+        let blocks = rows.div_ceil(BLOCK_ROWS);
+        let base = blocks / threads;
+        let extra = blocks % threads;
+        let mut out = Vec::with_capacity(threads as usize);
+        let mut block = 0u32;
+        for i in 0..threads {
+            let take = base + u32::from(i < extra);
+            let start = block * BLOCK_ROWS;
+            let end = ((block + take) * BLOCK_ROWS).min(rows);
+            out.push(ScanPartition {
+                core: Arc::clone(&core),
+                pin: self.reader.pin_handle(),
+                start: start.min(rows),
+                end,
+            });
+            block += take;
+        }
+        Ok(out)
+    }
+}
+
+/// One contiguous, block-aligned slice of a reader scan, detached from
+/// the builder: `Send + Sync`, keeps the snapshot epoch pinned, and runs
+/// sequentially on whatever thread the caller gives it. Produced by
+/// [`ReaderScanBuilder::into_partitions`] for executors that manage their
+/// own threads instead of using the built-in pool.
+pub struct ScanPartition {
+    core: Arc<FrozenScanCore>,
+    #[allow(dead_code)] // held for its Drop (epoch unpin), never read
+    pin: Arc<crate::reader::ReaderPin>,
+    start: u32,
+    end: u32,
+}
+
+impl std::fmt::Debug for ScanPartition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScanPartition")
+            .field("rows", &(self.start..self.end))
+            .finish()
+    }
+}
+
+impl ScanPartition {
+    /// The row range this partition covers (may be empty).
+    pub fn rows(&self) -> std::ops::Range<u32> {
+        self.start..self.end
+    }
+
+    /// Scan this partition, calling `f(row, words)` for every passing row
+    /// in row order.
+    pub fn for_each(&self, mut f: impl FnMut(u32, &[u64])) -> Result<ScanStats> {
+        let mut stats = ScanStats {
+            threads: 1,
+            morsels: 1,
+            ..ScanStats::default()
+        };
+        let mut cursor = FrozenCursor::new(&self.core);
+        cursor.run_range(self.start, self.end, &mut f, &mut stats)?;
+        Ok(stats)
+    }
+
+    /// Count the partition's passing rows.
+    pub fn count(&self) -> Result<(u64, ScanStats)> {
+        let mut n = 0u64;
+        let stats = self.for_each(|_, _| n += 1)?;
+        Ok((n, stats))
+    }
+}
+
+/// The morsel-parallel driver: split `core`'s rows into
+/// [`MORSEL_BLOCKS`]-sized, block-aligned morsels, let `threads` workers
+/// (the caller plus pool workers) pull them dynamically, and return the
+/// per-morsel accumulators **in morsel order** together with the merged
+/// stats. `threads == 1` runs entirely inline.
+fn run_morsels<A: Send>(
+    reader: &SnapshotReader,
+    core: &FrozenScanCore,
+    threads: usize,
+    init: &(dyn Fn() -> A + Sync),
+    row: &(dyn Fn(&mut A, u32, &[u64]) + Sync),
+) -> Result<(Vec<A>, ScanStats)> {
+    let rows = core.rows();
+    let morsel_rows = morsel_blocks(rows.div_ceil(BLOCK_ROWS)) * BLOCK_ROWS;
+    let n_morsels = rows.div_ceil(morsel_rows) as usize;
+    let threads = threads.clamp(1, n_morsels.max(1));
+    let next = AtomicU32::new(0);
+    let slots: Vec<Mutex<Option<(A, ScanStats)>>> =
+        (0..n_morsels).map(|_| Mutex::new(None)).collect();
+    let error: Mutex<Option<crate::error::DbError>> = Mutex::new(None);
+    let failed = std::sync::atomic::AtomicBool::new(false);
+    let worker = |_seat: usize| {
+        let mut cursor = FrozenCursor::new(core);
+        loop {
+            // One worker's error cancels the whole scan: the others stop
+            // pulling instead of draining the remaining morsels for a
+            // result that will be discarded.
+            if failed.load(Ordering::Acquire) {
+                break;
+            }
+            let m = next.fetch_add(1, Ordering::Relaxed) as usize;
+            if m >= n_morsels {
+                break;
+            }
+            let start = m as u32 * morsel_rows;
+            let end = (start + morsel_rows).min(rows);
+            let mut acc = init();
+            let mut stats = ScanStats {
+                morsels: 1,
+                ..ScanStats::default()
+            };
+            match cursor.run_range(start, end, &mut |r, w| row(&mut acc, r, w), &mut stats) {
+                Ok(()) => *slots[m].lock() = Some((acc, stats)),
+                Err(e) => {
+                    error.lock().get_or_insert(e);
+                    failed.store(true, Ordering::Release);
+                    break;
+                }
+            }
+        }
+    };
+    if threads == 1 {
+        worker(0);
+    } else {
+        reader.db().scan_pool(threads).run(threads, &worker);
+    }
+    if let Some(e) = error.into_inner() {
+        return Err(e);
+    }
+    let mut stats = ScanStats {
+        threads: threads as u64,
+        ..ScanStats::default()
+    };
+    let mut accs = Vec::with_capacity(n_morsels);
+    for slot in slots {
+        let (acc, morsel_stats) = slot.into_inner().expect("morsel completed without error");
+        stats.merge(&morsel_stats);
+        accs.push(acc);
+    }
+    Ok((accs, stats))
 }
 
 /// Per-block machinery shared by both scan paths: evaluate the filters over

@@ -411,6 +411,40 @@ impl SnapshotManager {
     }
 }
 
+/// Resolve the snapshot column of `(table, col)` for `epoch`,
+/// materialising it under the commit lock on first access (§2.2.2 lazy
+/// materialisation). The shared slow path behind both the per-transaction
+/// cache ([`crate::Txn`]) and the per-reader cache
+/// ([`crate::SnapshotReader`]): the double-checked lookup means the hot
+/// path is one epoch-map probe and the commit lock is taken at most once
+/// per (epoch, column) across the whole system.
+pub(crate) fn resolve_snap_col(
+    db: &crate::db::AnkerDb,
+    epoch: &Arc<Epoch>,
+    table: crate::table::TableId,
+    col: anker_storage::ColumnId,
+) -> crate::error::Result<Arc<SnapCol>> {
+    let key = (table.0, col.0 as u16);
+    // The epoch read path bypasses `Txn::table`, but it observes the
+    // table's data all the same: close its bulk-load window.
+    let state = db.table_state(table);
+    state.mark_observed();
+    if let Some(sc) = epoch.col(key) {
+        return Ok(sc);
+    }
+    // First access: materialise under the commit lock.
+    let mut cs = db.lock_commit();
+    if let Some(sc) = epoch.col(key) {
+        return Ok(sc);
+    }
+    let now = db.inner.oracle.last_completed();
+    db.inner
+        .snapman
+        .materialize_column(&mut cs, &state, table.0, col.0 as u16, now)?
+        .expect("live epoch exists");
+    Ok(epoch.col(key).expect("column just materialised"))
+}
+
 #[cfg(test)]
 mod tests {
     use crate::config::DbConfig;

@@ -63,7 +63,7 @@ impl Txn {
     pub(crate) fn begin(db: AnkerDb, kind: TxnKind) -> Txn {
         let heterogeneous = db.inner.config.mode == ProcessingMode::Heterogeneous;
         let epoch = if heterogeneous && kind == TxnKind::Olap {
-            Some(Self::pin_or_create_epoch(&db))
+            Some(db.pin_current_epoch())
         } else {
             None
         };
@@ -106,31 +106,6 @@ impl Txn {
         state
     }
 
-    /// Pin a snapshot epoch for an arriving OLAP transaction: the newest
-    /// epoch if it is still fresh (within the trigger interval) and
-    /// undamaged, otherwise a brand-new epoch created at a commit boundary
-    /// (Figure 1, step 4: "as no snapshot is present yet to run T3 on, the
-    /// first snapshot is taken").
-    fn pin_or_create_epoch(db: &AnkerDb) -> Arc<Epoch> {
-        let max_age = db.inner.config.snapshot_every_commits;
-        let now = db.inner.oracle.last_completed();
-        if let Some(e) = db.inner.snapman.pin_newest_fresh(now, max_age) {
-            return e;
-        }
-        let mut cs = db.lock_commit();
-        // Re-check under the commit lock (another OLAP may have raced us).
-        let now = db.inner.oracle.last_completed();
-        if let Some(e) = db.inner.snapman.pin_newest_fresh(now, max_age) {
-            return e;
-        }
-        // Pin before releasing the commit lock: once the lock drops, a
-        // concurrent commit could damage the fresh epoch.
-        let epoch = db.inner.snapman.trigger_epoch(&mut cs, now);
-        db.inner.snapman.pin_epoch(&epoch);
-        drop(cs);
-        epoch
-    }
-
     /// The transaction's classification.
     pub fn kind(&self) -> TxnKind {
         self.kind
@@ -152,36 +127,15 @@ impl Txn {
     }
 
     /// The snapshot column for `(table, col)`, materialising it on first
-    /// access (§2.2.2 lazy materialisation).
+    /// access (§2.2.2 lazy materialisation; shared slow path with
+    /// [`crate::SnapshotReader`] in `snapman::resolve_snap_col`).
     pub(crate) fn snapshot_col(&mut self, table: TableId, col: ColumnId) -> Result<Arc<SnapCol>> {
         let key = (table.0, col.0 as u16);
         if let Some(sc) = self.snap_cache.get(&key) {
             return Ok(Arc::clone(sc));
         }
-        // The epoch read path bypasses `Txn::table`, but it observes the
-        // table's data all the same: close its bulk-load window.
-        self.db.table_state(table).mark_observed();
         let epoch = self.epoch.as_ref().expect("snapshot access without epoch");
-        let sc = match epoch.col(key) {
-            Some(sc) => sc,
-            None => {
-                // First access: materialise under the commit lock.
-                let state = self.db.table_state(table);
-                let mut cs = self.db.lock_commit();
-                match epoch.col(key) {
-                    Some(sc) => sc,
-                    None => {
-                        let now = self.db.inner.oracle.last_completed();
-                        self.db
-                            .inner
-                            .snapman
-                            .materialize_column(&mut cs, &state, table.0, col.0 as u16, now)?
-                            .expect("live epoch exists");
-                        epoch.col(key).expect("column just materialised")
-                    }
-                }
-            }
-        };
+        let sc = crate::snapman::resolve_snap_col(&self.db, epoch, table, col)?;
         self.snap_cache.insert(key, Arc::clone(&sc));
         Ok(sc)
     }

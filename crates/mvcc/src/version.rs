@@ -267,10 +267,20 @@ pub struct ScanStats {
     /// Rows read and then eliminated by pushed-down predicates (excludes
     /// rows inside skipped blocks, which were never read).
     pub rows_filtered: u64,
+    /// Morsels (1024-row-aligned work ranges) this scan processed. A
+    /// sequential scan counts as one morsel.
+    pub morsels: u64,
+    /// Dispatch width of the scan: the number of worker seats the morsels
+    /// were offered to (the requested `parallel(n)`, clamped to the morsel
+    /// count; 1 = sequential). On an oversubscribed host fewer threads may
+    /// end up doing all the pulling — `morsels` counts actual work.
+    pub threads: u64,
 }
 
 impl ScanStats {
-    /// Accumulate another scan's counters into this one.
+    /// Accumulate another scan's counters into this one. All counters sum,
+    /// except `threads`, which keeps the widest fan-out observed (summing
+    /// per-morsel contributions would count the same worker repeatedly).
     pub fn merge(&mut self, other: &ScanStats) {
         self.tight_rows += other.tight_rows;
         self.checked_rows += other.checked_rows;
@@ -278,6 +288,8 @@ impl ScanStats {
         self.blocks_retried += other.blocks_retried;
         self.blocks_skipped += other.blocks_skipped;
         self.rows_filtered += other.rows_filtered;
+        self.morsels += other.morsels;
+        self.threads = self.threads.max(other.threads);
     }
 }
 

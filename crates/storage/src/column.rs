@@ -189,6 +189,15 @@ impl ColumnArea {
         Some(unsafe { std::slice::from_raw_parts(p, self.rows as usize) })
     }
 
+    /// Hint the backend that this whole column is about to be scanned
+    /// front to back (`madvise(MADV_SEQUENTIAL)` on the OS backend, no-op
+    /// on the simulated kernel). Pure hint; scans issue it once per frozen
+    /// area before their block loops start.
+    pub fn advise_sequential(&self) {
+        self.backend
+            .advise_sequential(self.addr, self.mapped_bytes());
+    }
+
     /// Copy the raw words of rows `[start_row, start_row + n)` into
     /// `buf[..n]` (atomic loads, block-wise). The tight-loop read path for
     /// snapshot scans.

@@ -1,10 +1,12 @@
 //! Multi-threaded workload execution: the experiments of §5.3 (OLAP
-//! latency under load), §5.4 (throughput, pure and mixed), and §5.7
-//! (scaling).
+//! latency under load), §5.4 (throughput, pure and mixed), §5.7
+//! (scaling), and the detached-reader HTAP mode (M updaters + N
+//! morsel-parallel scan threads, the shape of the paper's figs. 8–9
+//! analytical fleet).
 
-use crate::gen::TpchDb;
-use crate::oltp::{is_abort, run_oltp_in, OltpKind};
-use crate::queries::{run_olap, sample_params, OlapQuery};
+use crate::gen::{days, TpchDb};
+use crate::oltp::{is_abort, run_oltp, run_oltp_in, OltpKind};
+use crate::queries::{run_olap, sample_params, OlapParams, OlapQuery};
 use anker_core::{ScanStats, TxnKind};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -153,6 +155,174 @@ pub fn run_workload(t: &TpchDb, cfg: &WorkloadConfig) -> WorkloadResult {
     }
 }
 
+/// Configuration of the HTAP mode: `updaters` OLTP threads run
+/// continuously while the calling thread executes `scans` analytical
+/// queries, each on a **fresh** [`anker_core::SnapshotReader`] (so every
+/// query sees a current epoch) fanned out over `scan_threads`
+/// morsel-parallel workers.
+#[derive(Debug, Clone)]
+pub struct HtapConfig {
+    /// Concurrent OLTP updater threads (`M` in the paper's mixed runs).
+    pub updaters: usize,
+    /// Threads per analytical scan (`N`; 1 = sequential).
+    pub scan_threads: usize,
+    /// Analytical queries to run (alternating Q6-style predicate scans
+    /// and full LINEITEM scans).
+    pub scans: u64,
+    /// RNG seed (query parameters and updater streams).
+    pub seed: u64,
+    /// Busy-work per OLTP transaction in microseconds (see
+    /// [`WorkloadConfig::think_us`]).
+    pub think_us: f64,
+}
+
+impl Default for HtapConfig {
+    fn default() -> Self {
+        HtapConfig {
+            updaters: 1,
+            scan_threads: 2,
+            scans: 8,
+            seed: 13,
+            think_us: 0.0,
+        }
+    }
+}
+
+/// Outcome of an HTAP run.
+#[derive(Debug, Clone)]
+pub struct HtapResult {
+    pub wall: Duration,
+    /// Analytical queries completed.
+    pub scans_done: u64,
+    /// Wall time spent inside the analytical queries (reader open + scan).
+    pub scan_wall: Duration,
+    /// Analytical queries per second over the whole run.
+    pub olap_qps: f64,
+    /// OLTP transactions committed / aborted by the updaters meanwhile.
+    pub oltp_committed: u64,
+    pub oltp_aborted: u64,
+    /// Updater throughput (committed + aborted per second).
+    pub oltp_tps: f64,
+    /// Scan statistics summed over all analytical queries (`morsels`
+    /// counts the work ranges processed; `threads` the dispatch width the
+    /// scans fanned out over).
+    pub stats: ScanStats,
+    /// Sum of the Q6-style revenues (result validation across configs).
+    pub revenue: f64,
+}
+
+/// Run the HTAP mode: `cfg.updaters` threads fire OLTP transactions until
+/// the analytical side — the calling thread, opening a fresh detached
+/// reader per query and scanning morsel-parallel with
+/// `cfg.scan_threads` — has completed `cfg.scans` queries. Requires
+/// heterogeneous mode (detached readers pin snapshot epochs).
+pub fn run_htap(t: &TpchDb, cfg: &HtapConfig) -> HtapResult {
+    let stop = AtomicBool::new(false);
+    let committed = AtomicU64::new(0);
+    let aborted = AtomicU64::new(0);
+    let mut stats = ScanStats::default();
+    let mut revenue = 0.0f64;
+    let mut scan_nanos = 0u64;
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for worker in 0..cfg.updaters {
+            let stop = &stop;
+            let committed = &committed;
+            let aborted = &aborted;
+            s.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x717A ^ (worker as u64) << 20);
+                while !stop.load(Ordering::Acquire) {
+                    think(cfg.think_us);
+                    match run_oltp(t, OltpKind::sample(&mut rng), &mut rng) {
+                        Ok(_) => committed.fetch_add(1, Ordering::Relaxed),
+                        Err(e) if is_abort(&e) => aborted.fetch_add(1, Ordering::Relaxed),
+                        Err(e) => panic!("oltp failed: {e}"),
+                    };
+                }
+            });
+        }
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let li = &t.li;
+        for i in 0..cfg.scans {
+            let began = Instant::now();
+            let reader =
+                t.db.snapshot_reader()
+                    .expect("HTAP mode needs heterogeneous processing");
+            if i % 2 == 0 {
+                // Q6-style predicate scan, parameters drawn by the same
+                // sampler as the transactional Q6 (paper §5.2 bounds) and
+                // the same predicate epsilons as `queries::q6`.
+                let OlapParams::Q6 {
+                    year,
+                    discount,
+                    qty,
+                } = sample_params(OlapQuery::Q6, &mut rng)
+                else {
+                    unreachable!("Q6 sampler returns Q6 params")
+                };
+                let lo = days(year, 1, 1) as i64;
+                let hi = days(year + 1, 1, 1) as i64;
+                let (rev, s) = reader
+                    .scan(t.lineitem)
+                    .range_i64(li.shipdate, lo, hi - 1)
+                    .range_f64(li.discount, discount - 0.01 - 1e-9, discount + 0.01 + 1e-9)
+                    .lt_f64(li.quantity, qty)
+                    .project(&[li.extendedprice, li.discount])
+                    .parallel(cfg.scan_threads)
+                    .fold(
+                        0.0f64,
+                        |acc, _, v| acc + v[0].as_double() * v[1].as_double(),
+                        |a, b| a + b,
+                    )
+                    .expect("q6 scan failed");
+                revenue += rev;
+                stats.merge(&s);
+            } else {
+                // Full LINEITEM scan: every column, commutative checksum
+                // (parallel `for_each` delivers morsels in any order).
+                let cols = [
+                    li.orderkey,
+                    li.partkey,
+                    li.quantity,
+                    li.extendedprice,
+                    li.discount,
+                    li.shipdate,
+                ];
+                let checksum = AtomicU64::new(0);
+                let s = reader
+                    .scan(t.lineitem)
+                    .project(&cols)
+                    .parallel(cfg.scan_threads)
+                    .for_each(|row, words| {
+                        let mut h = row as u64;
+                        for &w in words {
+                            h = h.rotate_left(7) ^ w;
+                        }
+                        checksum.fetch_add(h, Ordering::Relaxed);
+                    })
+                    .expect("full scan failed");
+                stats.merge(&s);
+            }
+            scan_nanos += began.elapsed().as_nanos() as u64;
+        }
+        stop.store(true, Ordering::Release);
+    });
+    let wall = start.elapsed();
+    let committed = committed.load(Ordering::Relaxed);
+    let aborted = aborted.load(Ordering::Relaxed);
+    HtapResult {
+        wall,
+        scans_done: cfg.scans,
+        scan_wall: Duration::from_nanos(scan_nanos),
+        olap_qps: cfg.scans as f64 / wall.as_secs_f64(),
+        oltp_committed: committed,
+        oltp_aborted: aborted,
+        oltp_tps: (committed + aborted) as f64 / wall.as_secs_f64(),
+        stats,
+        revenue,
+    }
+}
+
 /// Configuration of the OLAP-latency experiment (Figure 7).
 #[derive(Debug, Clone)]
 pub struct LatencyConfig {
@@ -201,7 +371,7 @@ pub fn run_olap_latency(t: &TpchDb, query: OlapQuery, cfg: &LatencyConfig) -> La
                 let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xABCD ^ (worker as u64) << 24);
                 while !stop.load(Ordering::Acquire) {
                     let kind = OltpKind::sample(&mut rng);
-                    let _ = crate::oltp::run_oltp(t, kind, &mut rng);
+                    let _ = run_oltp(t, kind, &mut rng);
                 }
             });
         }

@@ -2,7 +2,9 @@
 //! three configurations, driver smoke tests, and freshness semantics.
 
 use anker_core::{DbConfig, TxnKind};
-use anker_tpch::driver::{run_olap_latency, run_workload, LatencyConfig, WorkloadConfig};
+use anker_tpch::driver::{
+    run_htap, run_olap_latency, run_workload, HtapConfig, LatencyConfig, WorkloadConfig,
+};
 use anker_tpch::gen::{self, TpchConfig, TpchDb};
 use anker_tpch::oltp::{run_oltp, OltpKind};
 use anker_tpch::queries::{self, sample_params, OlapQuery, OlapResult};
@@ -216,6 +218,63 @@ fn workload_driver_mixed() {
         assert_eq!(r.committed + r.aborted, 1_000);
         assert_eq!(r.olap_done, 5);
     }
+}
+
+/// The HTAP mode — updaters committing while detached readers fan scans
+/// out over the pool — must complete all scans, keep the updaters
+/// committing, and report the fan-out in its scan statistics. The Q6-style
+/// revenue must match a sequential (1-thread, no-updater) HTAP run: every
+/// query runs on a consistent epoch regardless of concurrent commits.
+#[test]
+fn htap_driver_runs_parallel_scans_under_updates() {
+    let t = build(DbConfig::heterogeneous_serializable().with_snapshot_every(100));
+    let quiet = run_htap(
+        &t,
+        &HtapConfig {
+            updaters: 0,
+            scan_threads: 1,
+            scans: 6,
+            seed: 77,
+            think_us: 0.0,
+        },
+    );
+    assert_eq!(quiet.scans_done, 6);
+    assert_eq!(quiet.stats.threads, 1);
+    // Enough scans that the run spans several scheduler quanta — on a
+    // single-core host a handful of microsecond-scale scans can finish
+    // before the updater threads are ever scheduled.
+    let busy = run_htap(
+        &t,
+        &HtapConfig {
+            updaters: 2,
+            scan_threads: 3,
+            scans: 300,
+            seed: 77,
+            think_us: 0.0,
+        },
+    );
+    assert_eq!(busy.scans_done, 300);
+    assert!(busy.oltp_committed > 0, "updaters must have committed");
+    assert!(busy.stats.threads > 1, "scans must have fanned out");
+    assert!(busy.stats.morsels >= 300, "each scan processes ≥ 1 morsel");
+    // With the updaters stopped the data is quiescent, so two runs with
+    // the same seed must agree **bit-for-bit** across thread counts:
+    // fold accumulators are per-morsel and merged in morsel order, so
+    // even `f64` addition groups identically for any fan-out.
+    let mk = |scan_threads| HtapConfig {
+        updaters: 0,
+        scan_threads,
+        scans: 6,
+        seed: 77,
+        think_us: 0.0,
+    };
+    let seq = run_htap(&t, &mk(1));
+    let par = run_htap(&t, &mk(4));
+    assert_eq!(
+        seq.revenue.to_bits(),
+        par.revenue.to_bits(),
+        "morsel-ordered merges must make fold results thread-count-invariant"
+    );
 }
 
 #[test]

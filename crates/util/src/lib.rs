@@ -2,8 +2,9 @@
 //!
 //! Deliberately tiny: a fast non-cryptographic hasher (so we do not need an
 //! external hashing crate), small statistics helpers for the benchmark
-//! harness, and a fixed-width table printer used by the `repro_*` binaries to
-//! print paper-style result tables.
+//! harness, a fixed-width table printer used by the `repro_*` binaries to
+//! print paper-style result tables, and the reusable [`WorkerPool`] behind
+//! morsel-parallel snapshot scans.
 //!
 //! ## Example
 //!
@@ -24,9 +25,11 @@
 //! ```
 
 pub mod fxhash;
+pub mod pool;
 pub mod stats;
 pub mod table;
 
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
+pub use pool::WorkerPool;
 pub use stats::Summary;
 pub use table::TableBuilder;

@@ -1,0 +1,398 @@
+//! A small, reusable worker pool for morsel-driven parallel scans.
+//!
+//! The pool owns `threads - 1` long-lived worker threads; the caller of
+//! [`WorkerPool::run`] is the remaining executor, so a pool sized `n`
+//! really applies `n` threads of execution to a job — and a pool of size 1
+//! degenerates to plain inline execution with no thread traffic at all.
+//! Jobs are index-addressed: `run(tasks, f)` calls `f(i)` exactly once for
+//! every `i in 0..tasks`, distributed over the executors, and returns when
+//! all calls have finished. The closure is borrowed, not `'static` — the
+//! pool erases its lifetime internally and the completion barrier at the
+//! end of `run` is what makes that sound (no worker can touch the closure
+//! after `run` returns, because `run` only returns once every task is done
+//! and the job slot is cleared under the lock workers re-check through).
+//!
+//! One job runs at a time: concurrent `run` calls from different threads
+//! serialize on an internal mutex, and a **nested** `run` — called from
+//! inside a task body, where dispatching would self-deadlock on the
+//! single job slot — executes its job inline on the calling thread
+//! instead. That is the intended shape for scan parallelism — one query
+//! fans out, finishes, and the pool is reused by the next — and it keeps
+//! the pool small enough to reason about. A panic inside `f` is caught on
+//! the worker, the remaining tasks still run, and the first payload is
+//! re-raised on the calling thread after the barrier.
+//!
+//! ```
+//! use anker_util::WorkerPool;
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! let pool = WorkerPool::new(4);
+//! let sum = AtomicU64::new(0);
+//! pool.run(100, &|i| {
+//!     sum.fetch_add(i as u64, Ordering::Relaxed);
+//! });
+//! assert_eq!(sum.load(Ordering::Relaxed), 4950);
+//! ```
+
+use std::panic::AssertUnwindSafe;
+use std::sync::{Condvar, Mutex};
+
+std::thread_local! {
+    /// True while this thread is executing a pool task — a nested
+    /// [`WorkerPool::run`] from inside a task runs its job inline instead
+    /// of dispatching (which would self-deadlock on the single job slot).
+    static IN_POOL_TASK_CELL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Thin accessor so call sites read naturally.
+struct InPoolTask;
+static IN_POOL_TASK: InPoolTask = InPoolTask;
+impl InPoolTask {
+    fn get(&self) -> bool {
+        IN_POOL_TASK_CELL.with(|c| c.get())
+    }
+    fn set(&self, v: bool) {
+        IN_POOL_TASK_CELL.with(|c| c.set(v));
+    }
+}
+
+/// The closure pointer smuggled to the workers. Soundness rests on the
+/// barrier in [`WorkerPool::run`]: the pointee outlives every dereference
+/// because `run` does not return until the job is drained and cleared.
+#[derive(Clone, Copy)]
+struct JobFn(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls from any thread are fine)
+// and `run`'s completion barrier bounds its lifetime; the raw pointer is
+// only ever dereferenced between job publication and the barrier.
+unsafe impl Send for JobFn {}
+
+struct ActiveJob {
+    f: JobFn,
+    /// Generation this job was published under. Executors compare it on
+    /// every task pull so a worker that raced past one job's completion
+    /// can never pull (and call the stale closure of) the next one.
+    generation: u64,
+    tasks: usize,
+    /// Next task index to hand out.
+    next: usize,
+    /// Tasks whose `f(i)` call has returned (or unwound).
+    done: usize,
+    /// First panic payload raised inside `f`, re-raised by `run`.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+#[derive(Default)]
+struct PoolState {
+    /// Bumped per job so sleeping workers can tell a fresh job from the
+    /// one they already drained.
+    generation: u64,
+    job: Option<ActiveJob>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers sleep here between jobs.
+    work_cv: Condvar,
+    /// The `run` caller sleeps here until `done == tasks`.
+    done_cv: Condvar,
+}
+
+/// A fixed-size pool of scan workers. See the module docs.
+pub struct WorkerPool {
+    shared: std::sync::Arc<PoolShared>,
+    /// Serializes concurrent `run` callers (single job slot).
+    run_mx: Mutex<()>,
+    threads: usize,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// A pool applying `threads` threads of execution to each job (the
+    /// caller of [`WorkerPool::run`] counts as one; `threads - 1` worker
+    /// threads are spawned). `threads` is clamped to at least 1.
+    pub fn new(threads: usize) -> WorkerPool {
+        let threads = threads.max(1);
+        let shared = std::sync::Arc::new(PoolShared {
+            state: Mutex::new(PoolState::default()),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let workers = (1..threads)
+            .map(|i| {
+                let shared = std::sync::Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("anker-scan-{i}"))
+                    .spawn(move || Self::worker_loop(&shared))
+                    .expect("failed to spawn scan worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            run_mx: Mutex::new(()),
+            threads,
+            workers,
+        }
+    }
+
+    /// Threads of execution this pool applies to a job (including the
+    /// `run` caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Call `f(i)` once for every `i in 0..tasks`, fanned out over the
+    /// pool, and return when all calls have finished. Panics inside `f`
+    /// are re-raised here (first payload wins) after all tasks ran.
+    pub fn run(&self, tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+        if tasks == 0 {
+            return;
+        }
+        // Re-entrant call (a task body starting another job on this pool):
+        // dispatching would self-deadlock on `run_mx` / the completion
+        // barrier, so nested jobs run inline on this thread instead.
+        if IN_POOL_TASK.get() {
+            for i in 0..tasks {
+                f(i);
+            }
+            return;
+        }
+        let _serialize = self.run_mx.lock().expect("pool mutex poisoned");
+        // Erase the borrow's lifetime; the barrier below re-establishes
+        // its bounds (no dereference survives past the end of this call).
+        // SAFETY: only stored behind `JobFn` and dereferenced while the
+        // job slot is occupied, which this function outlives.
+        let erased: &'static (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(f) };
+        let job = JobFn(erased as *const _);
+        let generation = {
+            let mut st = self.shared.state.lock().expect("pool mutex poisoned");
+            debug_assert!(st.job.is_none(), "job slot busy despite run_mx");
+            st.generation += 1;
+            let generation = st.generation;
+            st.job = Some(ActiveJob {
+                f: job,
+                generation,
+                tasks,
+                next: 0,
+                done: 0,
+                panic: None,
+            });
+            self.shared.work_cv.notify_all();
+            generation
+        };
+        // The caller is an executor too: drain tasks alongside the workers.
+        Self::drain(&self.shared, job, generation, tasks);
+        // Completion barrier: wait until every handed-out task has
+        // returned, then clear the slot so no worker can see (or call)
+        // the closure again.
+        let panic = {
+            let mut st = self.shared.state.lock().expect("pool mutex poisoned");
+            while st.job.as_ref().map(|j| j.done < j.tasks).unwrap_or(false) {
+                st = self.shared.done_cv.wait(st).expect("pool mutex poisoned");
+            }
+            let mut job = st.job.take().expect("job present until cleared");
+            job.panic.take()
+        };
+        drop(_serialize);
+        if let Some(payload) = panic {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    /// Pull and execute tasks of job `generation` until none remain. The
+    /// generation check on every pull is load-bearing: once this job
+    /// completes, `run` clears the slot and may immediately publish a new
+    /// job — pulling from *that* job here would invoke the stale closure
+    /// pointer `f` of the finished one.
+    fn drain(shared: &PoolShared, f: JobFn, generation: u64, tasks: usize) {
+        loop {
+            let i = {
+                let mut st = shared.state.lock().expect("pool mutex poisoned");
+                let Some(job) = st.job.as_mut() else { break };
+                if job.generation != generation || job.next >= tasks {
+                    break;
+                }
+                job.next += 1;
+                job.next - 1
+            };
+            // SAFETY: this job (same generation) still occupied the slot
+            // under the lock, so `run` is still inside its barrier and
+            // the pointee is alive.
+            let call = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                IN_POOL_TASK.set(true);
+                unsafe { (*f.0)(i) };
+                IN_POOL_TASK.set(false);
+            }));
+            if call.is_err() {
+                IN_POOL_TASK.set(false);
+            }
+            // Between pulling task `i` and this point the job cannot have
+            // been cleared: `run` waits for `done == tasks` and our task
+            // is not yet counted.
+            let mut st = shared.state.lock().expect("pool mutex poisoned");
+            let job = st.job.as_mut().expect("job lives until drained");
+            debug_assert_eq!(job.generation, generation, "job outlives its tasks");
+            job.done += 1;
+            if let Err(payload) = call {
+                job.panic.get_or_insert(payload);
+            }
+            if job.done == job.tasks {
+                shared.done_cv.notify_all();
+            }
+        }
+    }
+
+    fn worker_loop(shared: &PoolShared) {
+        let mut seen_generation = 0u64;
+        loop {
+            let (generation, f, tasks) = {
+                let mut st = shared.state.lock().expect("pool mutex poisoned");
+                loop {
+                    if st.shutdown {
+                        return;
+                    }
+                    if st.generation != seen_generation {
+                        if let Some(job) = st.job.as_ref() {
+                            break (st.generation, job.f, job.tasks);
+                        }
+                    }
+                    st = shared.work_cv.wait(st).expect("pool mutex poisoned");
+                }
+            };
+            seen_generation = generation;
+            Self::drain(shared, f, generation, tasks);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool mutex poisoned");
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let pool = WorkerPool::new(3);
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(1000, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn pool_is_reusable_across_jobs() {
+        let pool = WorkerPool::new(2);
+        for round in 0..20 {
+            let count = AtomicUsize::new(0);
+            pool.run(round + 1, &|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(count.load(Ordering::Relaxed), round + 1);
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = WorkerPool::new(1);
+        let tid = std::thread::current().id();
+        pool.run(4, &|_| assert_eq!(std::thread::current().id(), tid));
+    }
+
+    #[test]
+    fn borrowed_state_is_visible_after_run() {
+        let pool = WorkerPool::new(4);
+        let out: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(64, &|i| out[i].store(i * 3, Ordering::Relaxed));
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(v.load(Ordering::Relaxed), i * 3);
+        }
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let pool = WorkerPool::new(2);
+        let survivors = AtomicUsize::new(0);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(8, &|i| {
+                if i == 3 {
+                    panic!("task 3 exploded");
+                }
+                survivors.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        assert!(r.is_err(), "panic must reach the caller");
+        // All other tasks still ran (the pool does not abandon the job).
+        assert_eq!(survivors.load(Ordering::Relaxed), 7);
+        // And the pool is still usable.
+        let count = AtomicUsize::new(0);
+        pool.run(5, &|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn zero_tasks_is_a_no_op() {
+        let pool = WorkerPool::new(2);
+        pool.run(0, &|_| panic!("must not be called"));
+    }
+
+    /// Back-to-back jobs must never leak into each other: a worker racing
+    /// past one job's completion must not pull (and call the stale
+    /// closure of) the next. Rapid-fire tiny jobs maximise the window in
+    /// which a worker's drain loop can observe the successor job.
+    #[test]
+    fn rapid_fire_jobs_never_cross_closures() {
+        let pool = WorkerPool::new(4);
+        for round in 0..2_000usize {
+            let count = AtomicUsize::new(0);
+            pool.run(2, &|i| {
+                assert!(i < 2, "task index from another job");
+                count.fetch_add(round + 1, Ordering::Relaxed);
+            });
+            assert_eq!(
+                count.load(Ordering::Relaxed),
+                2 * (round + 1),
+                "round {round}: a task ran under the wrong closure"
+            );
+        }
+    }
+
+    /// A nested `run` from inside a task executes inline instead of
+    /// deadlocking on the single job slot.
+    #[test]
+    fn nested_run_from_a_task_runs_inline() {
+        let pool = WorkerPool::new(3);
+        let inner_total = AtomicUsize::new(0);
+        pool.run(3, &|_| {
+            pool.run(4, &|_| {
+                inner_total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(inner_total.load(Ordering::Relaxed), 12);
+    }
+}

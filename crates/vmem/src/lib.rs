@@ -80,7 +80,7 @@ pub use cost::{CostModel, KernelStats};
 pub use error::{Result, VmError};
 pub use file::MemFile;
 pub use kernel::{Kernel, KernelConfig};
-pub use os::OsBackend;
+pub use os::{OsBackend, OsStats, OsStatsSnapshot};
 pub use page::ResolvedPage;
 pub use phys::FrameId;
 pub use space::{Access, MapBacking, Space};

@@ -55,6 +55,11 @@ mod ffi {
     pub const MFD_CLOEXEC: u32 = 0x1;
     /// `_SC_PAGESIZE` on Linux.
     pub const SC_PAGESIZE: i32 = 30;
+    /// `MADV_SEQUENTIAL`: expect sequential page references.
+    pub const MADV_SEQUENTIAL: i32 = 2;
+    /// `MADV_HUGEPAGE`: back the range with transparent huge pages where
+    /// possible (honoured for shmem/memfd mappings since Linux 4.8).
+    pub const MADV_HUGEPAGE: i32 = 14;
 
     pub fn map_failed() -> *mut c_void {
         usize::MAX as *mut c_void
@@ -73,6 +78,7 @@ mod ffi {
         pub fn ftruncate(fd: i32, length: i64) -> i32;
         pub fn close(fd: i32) -> i32;
         pub fn memfd_create(name: *const c_char, flags: u32) -> i32;
+        pub fn madvise(addr: *mut c_void, len: usize, advice: i32) -> i32;
         pub fn sysconf(name: i32) -> i64;
         pub fn __errno_location() -> *mut i32;
     }
@@ -136,6 +142,37 @@ pub struct OsStats {
     pub cow_copies: AtomicU64,
     /// Frozen pages reclaimed in place (sole owner — no copy needed).
     pub cow_reclaims: AtomicU64,
+    /// `madvise(MADV_HUGEPAGE)` calls issued (huge-pages knob on).
+    pub huge_page_advices: AtomicU64,
+    /// `madvise(MADV_SEQUENTIAL)` calls issued by scans.
+    pub sequential_advices: AtomicU64,
+}
+
+impl OsStats {
+    /// A point-in-time copy of all counters.
+    pub fn snapshot(&self) -> OsStatsSnapshot {
+        use std::sync::atomic::Ordering::Relaxed;
+        OsStatsSnapshot {
+            snapshots: self.snapshots.load(Relaxed),
+            recycled: self.recycled.load(Relaxed),
+            cow_copies: self.cow_copies.load(Relaxed),
+            cow_reclaims: self.cow_reclaims.load(Relaxed),
+            huge_page_advices: self.huge_page_advices.load(Relaxed),
+            sequential_advices: self.sequential_advices.load(Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`OsStats`] — the shape bench records and the
+/// engine's stats surface carry (plain `u64`s, platform-independent).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OsStatsSnapshot {
+    pub snapshots: u64,
+    pub recycled: u64,
+    pub cow_copies: u64,
+    pub cow_reclaims: u64,
+    pub huge_page_advices: u64,
+    pub sequential_advices: u64,
 }
 
 #[cfg(target_os = "linux")]
@@ -143,6 +180,10 @@ pub struct OsStats {
 struct OsInner {
     fd: i32,
     page_size: u64,
+    /// Advise every (re)wired range `MADV_HUGEPAGE` so the kernel may
+    /// collapse it into transparent huge pages (fewer TLB misses on big
+    /// column scans). Off by default; see [`OsBackend::with_huge_pages`].
+    huge_pages: bool,
     state: RwLock<MapState>,
     stats: OsStats,
 }
@@ -168,6 +209,15 @@ impl OsBackend {
     /// Create a backend over a fresh memfd. Fails with [`VmError::Os`]
     /// when the kernel refuses (`memfd_create` needs Linux ≥ 3.17).
     pub fn new() -> Result<OsBackend> {
+        Self::with_huge_pages(false)
+    }
+
+    /// Like [`OsBackend::new`], with the transparent-huge-pages knob: when
+    /// `huge_pages` is true, every mapped (and rewired) view range is
+    /// advised `MADV_HUGEPAGE`, and [`OsStats::huge_page_advices`] counts
+    /// the hints issued. Whether the kernel honours them depends on the
+    /// system's shmem THP policy; the hint itself is free.
+    pub fn with_huge_pages(huge_pages: bool) -> Result<OsBackend> {
         // SAFETY: plain syscalls; the name is a valid NUL-terminated
         // C string literal.
         let fd = unsafe { ffi::memfd_create(c"ankerdb-columns".as_ptr(), ffi::MFD_CLOEXEC) };
@@ -185,6 +235,7 @@ impl OsBackend {
             inner: Arc::new(OsInner {
                 fd,
                 page_size: ps as u64,
+                huge_pages,
                 state: RwLock::new(MapState::default()),
                 stats: OsStats::default(),
             }),
@@ -302,6 +353,18 @@ impl OsBackend {
             };
             if p == ffi::map_failed() {
                 return Err(os_err("mmap"));
+            }
+            if self.inner.huge_pages {
+                // Each MAP_FIXED replaces the previous mapping (and its
+                // advice), so freshly wired ranges are re-advised here —
+                // the single point every view page passes through.
+                // SAFETY: advising a mapping we just created; madvise on a
+                // valid range cannot corrupt anything (it is a hint).
+                unsafe { ffi::madvise(p, (run * ps) as usize, ffi::MADV_HUGEPAGE) };
+                self.inner
+                    .stats
+                    .huge_page_advices
+                    .fetch_add(1, Ordering::Relaxed);
             }
             i = j;
         }
@@ -658,6 +721,27 @@ impl crate::backend::VmBackend for OsBackend {
         Ok(())
     }
 
+    fn advise_sequential(&self, addr: u64, bytes: u64) {
+        let st = self.inner.state.read();
+        let Ok((base, area)) = Self::area_at(&st, addr) else {
+            return;
+        };
+        if addr != base || bytes > area.bytes {
+            return;
+        }
+        // SAFETY: advising a live mapping this backend owns; MADV_SEQUENTIAL
+        // is a pure readahead hint.
+        unsafe { ffi::madvise(addr as *mut _, bytes as usize, ffi::MADV_SEQUENTIAL) };
+        self.inner
+            .stats
+            .sequential_advices
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn os_stats(&self) -> Option<OsStatsSnapshot> {
+        Some(self.inner.stats.snapshot())
+    }
+
     fn raw_parts(&self, addr: u64, bytes: u64) -> Option<*const u64> {
         if !addr.is_multiple_of(8) {
             return None;
@@ -696,6 +780,11 @@ impl OsBackend {
         Err(VmError::InvalidArgument(
             "the OS memory backend requires Linux (memfd_create)",
         ))
+    }
+
+    /// Huge-pages variant (stub: construction always fails off Linux).
+    pub fn with_huge_pages(_huge_pages: bool) -> Result<OsBackend> {
+        Self::new()
     }
 
     /// Number of file pages currently referenced (stub).
@@ -834,6 +923,45 @@ mod tests {
         for p in 0..8u64 {
             assert_eq!(b.read_u64(c + p * ps).unwrap(), 0, "recycled page zeroed");
         }
+    }
+
+    #[test]
+    fn huge_page_hints_fire_on_wire_and_rewire() {
+        let b = OsBackend::with_huge_pages(true).unwrap();
+        let ps = b.page_size();
+        let a = b.alloc(4 * ps).unwrap();
+        let after_alloc = b.stats().huge_page_advices.load(Ordering::Relaxed);
+        assert!(after_alloc > 0, "alloc must advise its fresh view");
+        // A fresh-destination snapshot wires a second view: more hints.
+        let snap = b.vm_snapshot(None, a, 4 * ps).unwrap();
+        let after_snap = b.stats().huge_page_advices.load(Ordering::Relaxed);
+        assert!(after_snap > after_alloc, "snapshot view must be advised");
+        // Copy-on-write rewires one page of the written view: re-advised.
+        b.write_u64(a, 1).unwrap();
+        assert!(b.stats().huge_page_advices.load(Ordering::Relaxed) > after_snap);
+        b.release(snap, 4 * ps).unwrap();
+        b.release(a, 4 * ps).unwrap();
+        // The knob off means zero hints.
+        let plain = OsBackend::new().unwrap();
+        let p = plain.alloc(ps).unwrap();
+        assert_eq!(plain.stats().huge_page_advices.load(Ordering::Relaxed), 0);
+        plain.release(p, ps).unwrap();
+    }
+
+    #[test]
+    fn sequential_advice_counts_and_snapshots_surface() {
+        let b = OsBackend::new().unwrap();
+        let ps = b.page_size();
+        let a = b.alloc(2 * ps).unwrap();
+        b.advise_sequential(a, 2 * ps);
+        b.advise_sequential(a, ps); // prefix of an area is fine too
+        let s = b.os_stats().expect("OS backend surfaces stats");
+        assert_eq!(s.sequential_advices, 2);
+        assert_eq!(s, b.stats().snapshot());
+        // Unknown address: ignored, not counted.
+        b.advise_sequential(a + 64 * ps, ps);
+        assert_eq!(b.stats().sequential_advices.load(Ordering::Relaxed), 2);
+        b.release(a, 2 * ps).unwrap();
     }
 
     #[test]
