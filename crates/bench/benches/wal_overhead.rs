@@ -1,0 +1,98 @@
+//! Commit-latency cost of each [`DurabilityLevel`]: the same single-row
+//! OLTP commit timed with no WAL (`off`), with a buffered append
+//! (`buffered`), and with a group-commit fsync (`fsync`).
+//!
+//! Alongside the criterion timing entries, JSON lines (`ANKER_BENCH_JSON`)
+//! record the WAL counters per level — appends, fsyncs, the group-commit
+//! batching factor — plus `host_cpus` (single-core hosts cannot show
+//! fsync batching: with one committer at a time every sync covers one
+//! commit). `BENCH_durability.json` at the workspace root is the
+//! committed reference run; note that `std::env::temp_dir()` may be
+//! tmpfs, where an fsync never touches a real disk — treat the fsync
+//! numbers as the *protocol* overhead bound, not device latency.
+
+use anker_bench::args::append_bench_json_line;
+use anker_core::{
+    AnkerDb, ColumnDef, DbConfig, DurabilityLevel, LogicalType, Schema, TxnKind, Value,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const ROWS: u32 = 4_096;
+
+fn build(level: DurabilityLevel, dir: &std::path::Path) -> AnkerDb {
+    let _ = std::fs::remove_dir_all(dir);
+    let mut config = DbConfig::heterogeneous_serializable()
+        .with_snapshot_every(1_000)
+        .with_gc_interval(None)
+        .with_durability(level);
+    if level != DurabilityLevel::Off {
+        config = config.with_durability_dir(dir);
+    }
+    let db = AnkerDb::new(config);
+    let t = db.create_table(
+        "accounts",
+        Schema::new(vec![ColumnDef::new("balance", LogicalType::Int)]),
+        ROWS,
+    );
+    let c = db.schema(t).col("balance");
+    db.fill_column(t, c, (0..ROWS).map(|_| Value::Int(100).encode()))
+        .unwrap();
+    db
+}
+
+fn bench_commit_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_overhead");
+    group.sample_size(2_000);
+    for level in [
+        DurabilityLevel::Off,
+        DurabilityLevel::Buffered,
+        DurabilityLevel::Fsync,
+    ] {
+        let dir = std::env::temp_dir().join(format!(
+            "anker-wal-overhead-{}-{}",
+            std::process::id(),
+            level.name()
+        ));
+        let db = build(level, &dir);
+        let t = db.table_id("accounts").unwrap();
+        let col = db.schema(t).col("balance");
+        let mut i = 0u32;
+        group.bench_function(BenchmarkId::new("commit", level.name()), |b| {
+            b.iter(|| {
+                let mut txn = db.begin(TxnKind::Oltp);
+                txn.update_value(t, col, i % ROWS, Value::Int(i as i64))
+                    .unwrap();
+                i += 1;
+                txn.commit().unwrap()
+            })
+        });
+        if let Some(w) = db.wal_stats() {
+            let batching = if w.syncs > 0 {
+                w.commit_records as f64 / w.syncs as f64
+            } else {
+                0.0
+            };
+            append_bench_json_line(&format!(
+                "{{\"bench\":\"wal_overhead/stats/level={}\",\"commits\":{},\
+                 \"appends\":{},\"bytes\":{},\"syncs\":{},\"batching\":{:.3},\
+                 \"host_cpus\":{}}}",
+                level.name(),
+                w.commit_records,
+                w.appends,
+                w.bytes_appended,
+                w.syncs,
+                batching,
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            ));
+        }
+        db.shutdown();
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_commit_latency);
+criterion_main!(benches);

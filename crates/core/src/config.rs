@@ -2,8 +2,10 @@
 //! combinations of [`ProcessingMode`] and
 //! [`anker_mvcc::IsolationLevel`].
 
+use anker_dura::DurabilityLevel;
 use anker_mvcc::IsolationLevel;
 use anker_vmem::KernelConfig;
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Which virtual-memory substrate column areas live on.
@@ -93,6 +95,23 @@ pub struct DbConfig {
     /// Virtual-memory substrate for column areas. Defaults to the
     /// simulated kernel, or to whatever `ANKER_BACKEND` says.
     pub backend: BackendKind,
+    /// Durability contract of commits (see [`DurabilityLevel`]). Defaults
+    /// to the `ANKER_DURABILITY` environment variable, or `Off`. Only
+    /// effective when [`DbConfig::durability_dir`] names a directory —
+    /// without one there is nowhere to log, and the engine runs
+    /// process-lifetime-only exactly as before.
+    pub durability: DurabilityLevel,
+    /// Directory the WAL segments and checkpoint files live in. `None`
+    /// (default) disables the durability subsystem entirely.
+    /// [`crate::AnkerDb::open`] fills this in from its `dir` argument.
+    pub durability_dir: Option<PathBuf>,
+    /// Interval of the background checkpointer thread (heterogeneous mode
+    /// with a durability directory only). Each pass pins a frozen snapshot
+    /// epoch, streams every column to a new checkpoint file off the commit
+    /// path, and truncates the WAL up to the epoch timestamp. `None`
+    /// (default) disables the thread; [`crate::AnkerDb::checkpoint`] can
+    /// always be called manually.
+    pub checkpoint_interval: Option<Duration>,
 }
 
 impl Default for DbConfig {
@@ -109,6 +128,9 @@ impl Default for DbConfig {
                 .unwrap_or(false),
             kernel: KernelConfig::default(),
             backend: BackendKind::from_env().unwrap_or(BackendKind::Sim),
+            durability: DurabilityLevel::from_env().unwrap_or(DurabilityLevel::Off),
+            durability_dir: None,
+            checkpoint_interval: None,
         }
     }
 }
@@ -163,6 +185,24 @@ impl DbConfig {
     /// Builder-style override of the OS-backend huge-pages hint.
     pub fn with_os_huge_pages(mut self, on: bool) -> DbConfig {
         self.os_huge_pages = on;
+        self
+    }
+
+    /// Builder-style override of the durability level.
+    pub fn with_durability(mut self, level: DurabilityLevel) -> DbConfig {
+        self.durability = level;
+        self
+    }
+
+    /// Builder-style override of the durability directory.
+    pub fn with_durability_dir(mut self, dir: impl Into<PathBuf>) -> DbConfig {
+        self.durability_dir = Some(dir.into());
+        self
+    }
+
+    /// Builder-style override of the background-checkpointer interval.
+    pub fn with_checkpoint_interval(mut self, interval: Option<Duration>) -> DbConfig {
+        self.checkpoint_interval = interval;
         self
     }
 }

@@ -2,18 +2,20 @@
 //! manager, and the homogeneous-mode garbage collection thread.
 
 use crate::config::{BackendKind, DbConfig, ProcessingMode};
+use crate::durability::DuraState;
 use crate::error::Result;
 use crate::reader::SnapshotReader;
 use crate::snapman::{Epoch, SnapshotManager};
 use crate::table::{ColumnState, TableId, TableState};
 use crate::txn::{Txn, TxnKind};
+use anker_dura::DurabilityLevel;
 use anker_mvcc::{ActiveTxns, RecentCommits, TsOracle, VersionedColumn};
 use anker_storage::{ColumnArea, Schema};
 use anker_util::WorkerPool;
 use anker_vmem::{Kernel, OsBackend, OsStatsSnapshot, Space, VmBackend};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// State owned by the serialized commit section. Holding the guard is the
 /// capability to install writes, trigger epochs, and materialise snapshots.
@@ -49,9 +51,73 @@ pub struct DbStatsSnapshot {
     pub live_epochs: u64,
 }
 
-struct GcThread {
+/// A stoppable background thread (GC, checkpointer): a stop flag +
+/// condvar pair and the join handle.
+struct BgThread {
     stop: Arc<(Mutex<bool>, Condvar)>,
     handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl BgThread {
+    /// Spawn a thread that calls `tick` every `interval` until stopped or
+    /// until the database is dropped (the thread holds only a weak
+    /// reference).
+    fn spawn(
+        name: &str,
+        interval: std::time::Duration,
+        weak: std::sync::Weak<DbInner>,
+        tick: impl Fn(&AnkerDb) + Send + 'static,
+    ) -> BgThread {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name(name.to_string())
+            .spawn(move || loop {
+                {
+                    let (lock, cvar) = &*stop2;
+                    let mut stopped = lock.lock();
+                    if !*stopped {
+                        cvar.wait_for(&mut stopped, interval);
+                    }
+                    if *stopped {
+                        return;
+                    }
+                }
+                match weak.upgrade() {
+                    Some(inner) => tick(&AnkerDb { inner }),
+                    None => return,
+                }
+            })
+            .expect("failed to spawn background thread");
+        BgThread {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Signal the thread to stop and join it. Idempotent by construction
+    /// (callers `take()` the thread out of its slot first).
+    ///
+    /// A background thread can end up running this **itself**: its tick
+    /// upgrades the weak reference to a temporary strong one, and if the
+    /// user drops the last database handle mid-tick, that temporary is
+    /// the last owner — `DbInner::drop` then runs *on* the GC or
+    /// checkpointer thread. Joining ourselves would deadlock, so in that
+    /// case the stop flag is set and the thread is left to exit on its
+    /// own (it is past its weak-upgrade already, so it terminates right
+    /// after the tick returns).
+    fn stop_and_join(mut self) {
+        {
+            let (lock, cvar) = &*self.stop;
+            *lock.lock() = true;
+            cvar.notify_all();
+        }
+        if let Some(h) = self.handle.take() {
+            if h.thread().id() != std::thread::current().id() {
+                let _ = h.join();
+            }
+        }
+    }
 }
 
 pub(crate) struct DbInner {
@@ -72,7 +138,16 @@ pub(crate) struct DbInner {
     /// created on first use and grown (replaced) when a scan asks for
     /// more threads than it has. See [`AnkerDb::scan_pool`].
     scan_pool: Mutex<Option<Arc<WorkerPool>>>,
-    gc: Mutex<Option<GcThread>>,
+    gc: Mutex<Option<BgThread>>,
+    /// Durability subsystem (WAL + checkpoint directory), attached during
+    /// boot when the configuration names a durability directory. Set at
+    /// most once; `None` keeps the engine process-lifetime-only.
+    pub(crate) dura: OnceLock<Arc<DuraState>>,
+    /// Background checkpointer thread, when configured.
+    ckpt: Mutex<Option<BgThread>>,
+    /// What recovery found at boot (`None` for a fresh or non-durable
+    /// database).
+    pub(crate) recovery: Mutex<Option<crate::durability::RecoveryReport>>,
 }
 
 /// AnKerDB: a main-memory, column-oriented transaction processing system
@@ -126,7 +201,20 @@ impl AnkerDb {
     /// with a `gc_interval`, a background garbage-collection thread starts
     /// immediately (§5.1(1): "a thread that makes a pass over the version
     /// chains every second").
+    ///
+    /// When the configuration names a [`DbConfig::durability_dir`], this
+    /// recovers whatever state the directory holds (checkpoint + WAL
+    /// tail) and attaches the write-ahead log, exactly like
+    /// [`AnkerDb::open`] — and panics if that fails. Prefer
+    /// [`AnkerDb::open`] (or [`AnkerDb::try_new`]) for durable databases
+    /// so I/O failures surface as errors.
     pub fn new(config: DbConfig) -> AnkerDb {
+        AnkerDb::try_new(config).expect("database boot failed")
+    }
+
+    /// [`AnkerDb::new`] with boot errors (recovery I/O, corrupt durable
+    /// state) surfaced instead of panicking.
+    pub fn try_new(config: DbConfig) -> Result<AnkerDb> {
         let kernel = Kernel::new(config.kernel.clone());
         let space = kernel.create_space();
         let backend: Arc<dyn VmBackend> = match config.backend {
@@ -155,15 +243,63 @@ impl AnkerDb {
             stats: DbStats::default(),
             scan_pool: Mutex::new(None),
             gc: Mutex::new(None),
+            dura: OnceLock::new(),
+            ckpt: Mutex::new(None),
+            recovery: Mutex::new(None),
             config,
         });
         let db = AnkerDb { inner };
+        // Durable boot: rebuild from checkpoint + WAL tail, then attach
+        // the log — all before any background thread or transaction runs.
+        if db.inner.config.durability_dir.is_some() {
+            crate::durability::boot_durable(&db)?;
+        }
         if db.inner.config.mode == ProcessingMode::Homogeneous {
             if let Some(interval) = db.inner.config.gc_interval {
-                db.start_gc_thread(interval);
+                let weak = Arc::downgrade(&db.inner);
+                *db.inner.gc.lock() = Some(BgThread::spawn("ankerdb-gc", interval, weak, |db| {
+                    db.run_gc_once();
+                }));
             }
         }
-        db
+        if db.inner.config.mode == ProcessingMode::Heterogeneous && db.inner.dura.get().is_some() {
+            if let Some(interval) = db.inner.config.checkpoint_interval {
+                let weak = Arc::downgrade(&db.inner);
+                *db.inner.ckpt.lock() =
+                    Some(BgThread::spawn("ankerdb-ckpt", interval, weak, |db| {
+                        // Skip idle passes; log failures rather than
+                        // crashing the thread (the next pass retries).
+                        if let Some(d) = db.inner.dura.get() {
+                            if d.commits_since_ckpt.load(Ordering::Relaxed) > 0 {
+                                if let Err(e) = db.checkpoint() {
+                                    eprintln!("ankerdb-ckpt: checkpoint failed: {e}");
+                                }
+                            }
+                        }
+                    }));
+            }
+        }
+        Ok(db)
+    }
+
+    /// Open (or create) a **durable** database in `dir`: load the newest
+    /// complete checkpoint, replay the WAL tail up to the last durable
+    /// commit, and attach the write-ahead log so new commits append to it
+    /// under `config.durability`'s contract. An empty or missing
+    /// directory boots a fresh durable database.
+    ///
+    /// ```no_run
+    /// use anker_core::{AnkerDb, DbConfig, DurabilityLevel};
+    ///
+    /// let config = DbConfig::default().with_durability(DurabilityLevel::Fsync);
+    /// let db = AnkerDb::open("/var/lib/ankerdb", config).unwrap();
+    /// # drop(db);
+    /// ```
+    pub fn open(dir: impl Into<std::path::PathBuf>, config: DbConfig) -> Result<AnkerDb> {
+        AnkerDb::try_new(DbConfig {
+            durability_dir: Some(dir.into()),
+            ..config
+        })
     }
 
     /// The simulated kernel (stats, virtual clock).
@@ -176,8 +312,21 @@ impl AnkerDb {
         &self.inner.config
     }
 
-    /// Create a table of `rows` rows; content is zero until filled.
+    /// Create a table of `rows` rows; content is zero until filled. On a
+    /// durable database the catalog change is appended to the WAL (under
+    /// the same lock that assigns the table id, so log order matches id
+    /// order).
     pub fn create_table(&self, name: impl Into<String>, schema: Schema, rows: u32) -> TableId {
+        self.create_table_internal(name.into(), schema, rows, true)
+    }
+
+    pub(crate) fn create_table_internal(
+        &self,
+        name: String,
+        schema: Schema,
+        rows: u32,
+        log: bool,
+    ) -> TableId {
         let cols = schema
             .iter()
             .map(|(_, def)| {
@@ -187,7 +336,7 @@ impl AnkerDb {
             })
             .collect();
         let state = Arc::new(TableState {
-            name: name.into(),
+            name,
             schema,
             rows,
             cols,
@@ -195,8 +344,19 @@ impl AnkerDb {
         });
         let mut tables = self.inner.tables.write();
         assert!(tables.len() < u16::MAX as usize, "too many tables");
+        let id = TableId(tables.len() as u16);
+        if log {
+            if let Some(d) = self.inner.dura.get() {
+                if d.level != DurabilityLevel::Off {
+                    let rec = crate::durability::create_record(id.0, &state);
+                    d.wal
+                        .append(&rec)
+                        .expect("WAL append failed while creating a table");
+                }
+            }
+        }
         tables.push(state);
-        TableId(tables.len() as u16 - 1)
+        id
     }
 
     /// Bulk-load a column (load timestamp 0). Loading a table must
@@ -223,7 +383,41 @@ impl AnkerDb {
         if t.observed.load(Ordering::Acquire) {
             return Err(crate::error::DbError::LoadAfterBegin);
         }
-        let n = t.col(col.0).current_area().fill(values)?;
+        let logging = self
+            .inner
+            .dura
+            .get()
+            .filter(|d| d.level != DurabilityLevel::Off);
+        let n = if let Some(d) = logging {
+            // Durable load: buffer the words so the same content goes to
+            // the log (in bounded chunks — a torn tail costs one chunk,
+            // not the whole load) and to the column area. Validate the
+            // size *before* the first append: an oversized fill must
+            // panic exactly like the in-memory path does, not after
+            // logging out-of-bounds records that would make every future
+            // recovery of the directory fail.
+            let words: Vec<u64> = values.into_iter().collect();
+            assert!(
+                words.len() as u64 <= t.rows as u64,
+                "fill overflows the column"
+            );
+            for (i, chunk) in words
+                .chunks(crate::durability::FILL_CHUNK_WORDS)
+                .enumerate()
+            {
+                d.wal
+                    .append(&anker_dura::WalRecord::FillColumn {
+                        table: table.0,
+                        col: col.0 as u16,
+                        start_row: (i * crate::durability::FILL_CHUNK_WORDS) as u32,
+                        words: chunk.to_vec(),
+                    })
+                    .map_err(crate::error::DbError::from)?;
+            }
+            t.col(col.0).current_area().fill(words)?
+        } else {
+            t.col(col.0).current_area().fill(values)?
+        };
         Ok(n)
     }
 
@@ -461,50 +655,38 @@ impl AnkerDb {
         removed
     }
 
-    fn start_gc_thread(&self, interval: std::time::Duration) {
-        let stop = Arc::new((Mutex::new(false), Condvar::new()));
-        // The thread holds only a weak reference so dropping the last
-        // database handle stops it.
-        let weak = Arc::downgrade(&self.inner);
-        let stop2 = Arc::clone(&stop);
-        let handle = std::thread::Builder::new()
-            .name("ankerdb-gc".into())
-            .spawn(move || loop {
-                {
-                    let (lock, cvar) = &*stop2;
-                    let mut stopped = lock.lock();
-                    if !*stopped {
-                        cvar.wait_for(&mut stopped, interval);
-                    }
-                    if *stopped {
-                        return;
-                    }
-                }
-                match weak.upgrade() {
-                    Some(inner) => {
-                        AnkerDb { inner }.run_gc_once();
-                    }
-                    None => return,
-                }
-            })
-            .expect("failed to spawn GC thread");
-        *self.inner.gc.lock() = Some(GcThread {
-            stop,
-            handle: Some(handle),
-        });
-    }
-
-    /// Stop the background GC thread (also done on drop of the last
-    /// handle).
+    /// Shut the database down cleanly: stop the background checkpointer
+    /// and GC threads, drop the cached scan worker pool (joining its
+    /// threads), and flush + `fdatasync` the write-ahead log so every
+    /// acknowledged commit is durable regardless of durability level.
+    ///
+    /// **Idempotent** — safe to call any number of times — and also
+    /// invoked automatically when the last database handle drops, so a
+    /// forgotten call no longer leaks the worker-pool threads or an
+    /// unsynced WAL tail. Call it explicitly when you need the flush to
+    /// happen at a deterministic point (e.g. before copying the
+    /// durability directory).
     pub fn shutdown(&self) {
-        if let Some(mut gc) = self.inner.gc.lock().take() {
-            {
-                let (lock, cvar) = &*gc.stop;
-                *lock.lock() = true;
-                cvar.notify_all();
-            }
-            if let Some(h) = gc.handle.take() {
-                let _ = h.join();
+        self.inner.shutdown_inner();
+    }
+}
+
+impl DbInner {
+    fn shutdown_inner(&self) {
+        if let Some(t) = self.ckpt.lock().take() {
+            t.stop_and_join();
+        }
+        if let Some(t) = self.gc.lock().take() {
+            t.stop_and_join();
+        }
+        // Dropping the last Arc joins the pool's worker threads; scans
+        // still holding a clone keep theirs alive until they finish.
+        self.scan_pool.lock().take();
+        if let Some(d) = self.dura.get() {
+            if d.level != DurabilityLevel::Off {
+                if let Err(e) = d.wal.sync_all() {
+                    eprintln!("ankerdb: WAL flush on shutdown failed: {e}");
+                }
             }
         }
     }
@@ -512,15 +694,6 @@ impl AnkerDb {
 
 impl Drop for DbInner {
     fn drop(&mut self) {
-        if let Some(mut gc) = self.gc.get_mut().take() {
-            {
-                let (lock, cvar) = &*gc.stop;
-                *lock.lock() = true;
-                cvar.notify_all();
-            }
-            if let Some(h) = gc.handle.take() {
-                let _ = h.join();
-            }
-        }
+        self.shutdown_inner();
     }
 }

@@ -51,6 +51,14 @@ pub enum DbError {
     /// database: there are no snapshot epochs to pin. Detached readers
     /// exist only in heterogeneous processing mode.
     SnapshotsDisabled,
+    /// A durability operation failed: WAL I/O, a corrupt log or
+    /// checkpoint file beyond the tolerated torn tail, or a recovery
+    /// record inconsistent with the rebuilt catalog.
+    Dura(anker_dura::DuraError),
+    /// A durability operation ([`crate::AnkerDb::checkpoint`], WAL
+    /// statistics) was requested but the database has no durability
+    /// directory configured.
+    DurabilityDisabled,
 }
 
 impl fmt::Display for DbError {
@@ -76,6 +84,14 @@ impl fmt::Display for DbError {
                      (homogeneous databases take no snapshot epochs)"
                 )
             }
+            DbError::Dura(e) => write!(f, "durability error: {e}"),
+            DbError::DurabilityDisabled => {
+                write!(
+                    f,
+                    "no durability directory configured \
+                     (set DbConfig::durability_dir or use AnkerDb::open)"
+                )
+            }
         }
     }
 }
@@ -85,6 +101,12 @@ impl std::error::Error for DbError {}
 impl From<anker_vmem::VmError> for DbError {
     fn from(e: anker_vmem::VmError) -> DbError {
         DbError::Vm(e)
+    }
+}
+
+impl From<anker_dura::DuraError> for DbError {
+    fn from(e: anker_dura::DuraError) -> DbError {
+        DbError::Dura(e)
     }
 }
 

@@ -59,6 +59,7 @@
 
 pub mod config;
 pub mod db;
+pub mod durability;
 pub mod error;
 pub mod reader;
 pub mod scan;
@@ -68,6 +69,7 @@ pub mod txn;
 
 pub use config::{BackendKind, DbConfig, ProcessingMode};
 pub use db::{AnkerDb, CommitState, DbStatsSnapshot};
+pub use durability::RecoveryReport;
 pub use error::{AbortReason, DbError, Result};
 pub use reader::SnapshotReader;
 pub use scan::{ReaderScanBuilder, ScanBuilder, ScanPartition};
@@ -75,6 +77,7 @@ pub use table::TableId;
 pub use txn::{Txn, TxnKind};
 
 // Re-export the pieces users need to talk to the API.
+pub use anker_dura::{DurabilityLevel, WalStatsSnapshot};
 pub use anker_mvcc::{IsolationLevel, ScanStats};
 pub use anker_storage::{ColumnDef, ColumnId, Dictionary, LogicalType, Schema, Value};
 pub use anker_vmem::OsStatsSnapshot;

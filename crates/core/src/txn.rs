@@ -283,6 +283,44 @@ impl Txn {
         let commit_ts = db.inner.oracle.begin_commit();
         let heterogeneous = db.inner.config.mode == ProcessingMode::Heterogeneous;
 
+        // Write-ahead logging (redo rule: the record must exist before
+        // any of its effects can). The append runs inside the serialized
+        // commit section, so WAL order equals commit-timestamp order; the
+        // fsync — if the durability level demands one — happens *after*
+        // the lock drops, where group commit batches it with concurrent
+        // committers. An append failure aborts cleanly here: nothing has
+        // installed yet.
+        let mut wal_pending = None;
+        if let Some(d) = db.inner.dura.get() {
+            if d.level != anker_dura::DurabilityLevel::Off {
+                let rec = anker_dura::WalRecord::Commit {
+                    commit_ts,
+                    writes: writes
+                        .iter()
+                        .map(|w| anker_dura::WalWrite {
+                            table: w.col.table,
+                            col: w.col.col,
+                            row: w.row,
+                            word: w.new_word,
+                        })
+                        .collect(),
+                };
+                match d.wal.append(&rec) {
+                    Ok(lsn) => {
+                        d.commits_since_ckpt.fetch_add(1, Ordering::Relaxed);
+                        if d.level == anker_dura::DurabilityLevel::Fsync {
+                            wal_pending = Some((Arc::clone(d), lsn));
+                        }
+                    }
+                    Err(e) => {
+                        drop(cs);
+                        self.release();
+                        return Err(e.into());
+                    }
+                }
+            }
+        }
+
         // Settle the snapshot state of every column we are about to write
         // (§2.2.2): pinned epochs missing the column get it materialised
         // now; unpinned ones are damage-marked (see SnapshotManager).
@@ -381,6 +419,18 @@ impl Txn {
             }
         }
         drop(cs);
+        // Group-commit fsync, off the serialized section: one leader's
+        // fdatasync covers every record appended before it started, so
+        // concurrent committers share syncs instead of queueing them.
+        if let Some((dura, lsn)) = wal_pending {
+            // An fsync failure after install cannot be rolled back (the
+            // writes are visible) and must not be reported as success
+            // (the WAL page cache state is unknowable after a failed
+            // sync) — fail stop is the only honest option.
+            dura.wal
+                .sync_to(lsn)
+                .expect("WAL fsync failed; cannot guarantee durability of an applied commit");
+        }
         self.release();
         db.inner.stats.committed.fetch_add(1, Ordering::Relaxed);
         Ok(commit_ts)

@@ -1,0 +1,46 @@
+//! Errors of the durability layer.
+
+use std::fmt;
+
+/// Errors the WAL, checkpoint, and recovery paths can produce.
+///
+/// `Io` carries the rendered `std::io::Error` (the layer above stores
+/// errors by value and compares them in tests, which `io::Error` itself
+/// does not support); `Corrupt` means a file failed structural validation
+/// beyond the tolerated torn tail of the newest WAL segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DuraError {
+    /// An operating-system I/O failure, with context.
+    Io(String),
+    /// A WAL segment or checkpoint file is structurally invalid (bad
+    /// magic, mid-file checksum mismatch, impossible lengths). A torn
+    /// *tail* of the newest segment is not corruption — replay stops
+    /// cleanly there instead.
+    Corrupt(String),
+}
+
+impl fmt::Display for DuraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DuraError::Io(msg) => write!(f, "durability I/O error: {msg}"),
+            DuraError::Corrupt(msg) => write!(f, "durability file corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DuraError {}
+
+impl From<std::io::Error> for DuraError {
+    fn from(e: std::io::Error) -> DuraError {
+        DuraError::Io(e.to_string())
+    }
+}
+
+/// Result alias of the durability layer.
+pub type Result<T> = std::result::Result<T, DuraError>;
+
+/// Attach a path to an I/O error (the bare `io::Error` rarely says which
+/// file it was).
+pub(crate) fn io_ctx(e: std::io::Error, what: &str, path: &std::path::Path) -> DuraError {
+    DuraError::Io(format!("{what} {}: {e}", path.display()))
+}

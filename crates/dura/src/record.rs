@@ -1,0 +1,406 @@
+//! The redo-log record set and its compact binary codec.
+//!
+//! Records describe everything the engine must re-execute to rebuild the
+//! in-memory state from an empty database (or from a checkpoint):
+//! catalog changes ([`WalRecord::CreateTable`]), bulk loads
+//! ([`WalRecord::FillColumn`]), and committed write sets
+//! ([`WalRecord::Commit`]). The codec is deliberately primitive — a tag
+//! byte plus little-endian fixed-width fields and length-prefixed strings
+//! — so a record's size is predictable and decoding needs no allocation
+//! beyond the payload vectors themselves.
+//!
+//! Framing (length + CRC) is the WAL's job, not the record's: see
+//! [`crate::wal`].
+
+use crate::error::{DuraError, Result};
+
+/// Storage type of a column, as persisted. Mirrors the engine's logical
+/// types without depending on the storage crate (the dependency points the
+/// other way: the engine maps its enum onto these codes).
+pub const TY_INT: u8 = 0;
+/// IEEE-754 double (bits of the stored word).
+pub const TY_DOUBLE: u8 = 1;
+/// Days since the 1992-01-01 epoch.
+pub const TY_DATE: u8 = 2;
+/// Dictionary code; the column carries its dictionary's values.
+pub const TY_DICT: u8 = 3;
+
+/// Persisted definition of one column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnMeta {
+    /// Attribute name.
+    pub name: String,
+    /// One of the `TY_*` codes.
+    pub ty: u8,
+    /// Dictionary contents in code order (`Some` iff `ty == TY_DICT`).
+    /// Snapshot at serialisation time; dictionaries are append-only, so
+    /// every code a persisted word references is covered as long as no
+    /// new values were interned after the snapshot (see DESIGN.md,
+    /// "Durability" — the engine's workloads only pick existing codes).
+    pub dict_values: Option<Vec<String>>,
+}
+
+/// Persisted definition of one table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableMeta {
+    /// Table name.
+    pub name: String,
+    /// Row capacity.
+    pub rows: u32,
+    /// Columns in schema order.
+    pub cols: Vec<ColumnMeta>,
+}
+
+/// One write of a committed transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalWrite {
+    /// Table index in creation order.
+    pub table: u16,
+    /// Column index within the table's schema.
+    pub col: u16,
+    /// Row number.
+    pub row: u32,
+    /// The raw 8-byte word the commit installed.
+    pub word: u64,
+}
+
+/// A redo-log record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A table was created. `table` is its index in creation order —
+    /// recovery checks it matches the engine's own numbering.
+    CreateTable { table: u16, meta: TableMeta },
+    /// A bulk load wrote `words` starting at `start_row` of `(table,
+    /// col)`. Loads are chunked into bounded records so a torn tail never
+    /// costs more than one chunk.
+    FillColumn {
+        table: u16,
+        col: u16,
+        start_row: u32,
+        words: Vec<u64>,
+    },
+    /// A transaction committed at `commit_ts` with this write set, in
+    /// install order.
+    Commit {
+        commit_ts: u64,
+        writes: Vec<WalWrite>,
+    },
+}
+
+const TAG_CREATE: u8 = 1;
+const TAG_FILL: u8 = 2;
+const TAG_COMMIT: u8 = 3;
+
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked little-endian reader over a record or checkpoint
+/// payload — the one decoding discipline both file formats share.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| DuraError::Corrupt("record payload truncated".into()))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn str(&mut self) -> Result<String> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| DuraError::Corrupt("record string is not UTF-8".into()))
+    }
+
+    pub fn finished(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+impl TableMeta {
+    /// Append this table definition's bytes — the single catalog codec
+    /// shared by [`WalRecord::CreateTable`] frames and checkpoint
+    /// catalogs, so the two formats cannot drift.
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        put_str(out, &self.name);
+        out.extend_from_slice(&self.rows.to_le_bytes());
+        out.extend_from_slice(&(self.cols.len() as u16).to_le_bytes());
+        for c in &self.cols {
+            put_str(out, &c.name);
+            out.push(c.ty);
+            match &c.dict_values {
+                None => out.push(0),
+                Some(values) => {
+                    out.push(1);
+                    out.extend_from_slice(&(values.len() as u32).to_le_bytes());
+                    for v in values {
+                        put_str(out, v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Decode one table definition produced by [`TableMeta::encode_into`].
+    pub(crate) fn decode_from(r: &mut Reader<'_>) -> Result<TableMeta> {
+        let name = r.str()?;
+        let rows = r.u32()?;
+        let n_cols = r.u16()? as usize;
+        let mut cols = Vec::with_capacity(n_cols.min(4096));
+        for _ in 0..n_cols {
+            let name = r.str()?;
+            let ty = r.u8()?;
+            if ty > TY_DICT {
+                return Err(DuraError::Corrupt(format!("unknown column type {ty}")));
+            }
+            let dict_values = match r.u8()? {
+                0 => None,
+                1 => {
+                    let n = r.u32()? as usize;
+                    let mut values = Vec::with_capacity(n.min(65_536));
+                    for _ in 0..n {
+                        values.push(r.str()?);
+                    }
+                    Some(values)
+                }
+                other => return Err(DuraError::Corrupt(format!("bad dict marker {other}"))),
+            };
+            cols.push(ColumnMeta {
+                name,
+                ty,
+                dict_values,
+            });
+        }
+        Ok(TableMeta { name, rows, cols })
+    }
+}
+
+impl WalRecord {
+    /// Serialise to the payload bytes the WAL frames.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_size_hint());
+        match self {
+            WalRecord::CreateTable { table, meta } => {
+                out.push(TAG_CREATE);
+                out.extend_from_slice(&table.to_le_bytes());
+                meta.encode_into(&mut out);
+            }
+            WalRecord::FillColumn {
+                table,
+                col,
+                start_row,
+                words,
+            } => {
+                out.push(TAG_FILL);
+                out.extend_from_slice(&table.to_le_bytes());
+                out.extend_from_slice(&col.to_le_bytes());
+                out.extend_from_slice(&start_row.to_le_bytes());
+                out.extend_from_slice(&(words.len() as u32).to_le_bytes());
+                for w in words {
+                    out.extend_from_slice(&w.to_le_bytes());
+                }
+            }
+            WalRecord::Commit { commit_ts, writes } => {
+                out.push(TAG_COMMIT);
+                out.extend_from_slice(&commit_ts.to_le_bytes());
+                out.extend_from_slice(&(writes.len() as u32).to_le_bytes());
+                for w in writes {
+                    out.extend_from_slice(&w.table.to_le_bytes());
+                    out.extend_from_slice(&w.col.to_le_bytes());
+                    out.extend_from_slice(&w.row.to_le_bytes());
+                    out.extend_from_slice(&w.word.to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    fn encoded_size_hint(&self) -> usize {
+        match self {
+            WalRecord::CreateTable { .. } => 256,
+            WalRecord::FillColumn { words, .. } => 16 + words.len() * 8,
+            WalRecord::Commit { writes, .. } => 16 + writes.len() * 16,
+        }
+    }
+
+    /// Decode a payload previously produced by [`WalRecord::encode`].
+    /// Rejects trailing garbage: the frame length is authoritative.
+    pub fn decode(payload: &[u8]) -> Result<WalRecord> {
+        let mut r = Reader::new(payload);
+        let rec = match r.u8()? {
+            TAG_CREATE => {
+                let table = r.u16()?;
+                let meta = TableMeta::decode_from(&mut r)?;
+                WalRecord::CreateTable { table, meta }
+            }
+            TAG_FILL => {
+                let table = r.u16()?;
+                let col = r.u16()?;
+                let start_row = r.u32()?;
+                let n = r.u32()? as usize;
+                let mut words = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    words.push(r.u64()?);
+                }
+                WalRecord::FillColumn {
+                    table,
+                    col,
+                    start_row,
+                    words,
+                }
+            }
+            TAG_COMMIT => {
+                let commit_ts = r.u64()?;
+                let n = r.u32()? as usize;
+                let mut writes = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    writes.push(WalWrite {
+                        table: r.u16()?,
+                        col: r.u16()?,
+                        row: r.u32()?,
+                        word: r.u64()?,
+                    });
+                }
+                WalRecord::Commit { commit_ts, writes }
+            }
+            tag => return Err(DuraError::Corrupt(format!("unknown record tag {tag}"))),
+        };
+        if !r.finished() {
+            return Err(DuraError::Corrupt(
+                "record payload has trailing bytes".into(),
+            ));
+        }
+        Ok(rec)
+    }
+
+    /// The commit timestamp, for [`WalRecord::Commit`] records.
+    pub fn commit_ts(&self) -> Option<u64> {
+        match self {
+            WalRecord::Commit { commit_ts, .. } => Some(*commit_ts),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<WalRecord> {
+        vec![
+            WalRecord::CreateTable {
+                table: 2,
+                meta: TableMeta {
+                    name: "lineitem".into(),
+                    rows: 1234,
+                    cols: vec![
+                        ColumnMeta {
+                            name: "l_quantity".into(),
+                            ty: TY_DOUBLE,
+                            dict_values: None,
+                        },
+                        ColumnMeta {
+                            name: "l_returnflag".into(),
+                            ty: TY_DICT,
+                            dict_values: Some(vec!["A".into(), "N".into(), "R".into()]),
+                        },
+                    ],
+                },
+            },
+            WalRecord::FillColumn {
+                table: 2,
+                col: 1,
+                start_row: 512,
+                words: (0..100).collect(),
+            },
+            WalRecord::Commit {
+                commit_ts: 77,
+                writes: vec![
+                    WalWrite {
+                        table: 2,
+                        col: 0,
+                        row: 9,
+                        word: u64::MAX,
+                    },
+                    WalWrite {
+                        table: 0,
+                        col: 3,
+                        row: 0,
+                        word: 1,
+                    },
+                ],
+            },
+            WalRecord::Commit {
+                commit_ts: 78,
+                writes: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips() {
+        for rec in samples() {
+            let bytes = rec.encode();
+            assert_eq!(WalRecord::decode(&bytes).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = samples()[2].encode();
+        bytes.push(0);
+        assert!(matches!(
+            WalRecord::decode(&bytes),
+            Err(DuraError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let bytes = samples()[0].encode();
+        for cut in [1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                WalRecord::decode(&bytes[..cut]).is_err(),
+                "cut at {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(matches!(
+            WalRecord::decode(&[200, 0, 0]),
+            Err(DuraError::Corrupt(_))
+        ));
+    }
+}

@@ -76,6 +76,23 @@ impl TsOracle {
     pub fn last_completed(&self) -> u64 {
         self.last_completed.load(Ordering::Acquire)
     }
+
+    /// Fast-forward the oracle to `ts`: the next commit timestamp will be
+    /// `ts + 1` and `ts` counts as fully installed. Crash **recovery**
+    /// uses this after replaying the WAL so post-recovery commits are
+    /// numbered strictly after every recovered one — the redo log's
+    /// ordering invariant. Must only be called before the database serves
+    /// transactions (never moves backwards).
+    pub fn advance_to(&self, ts: u64) {
+        debug_assert!(ts < PENDING, "timestamp space exhausted");
+        let cur = self.last_completed.load(Ordering::Acquire);
+        assert!(
+            cur <= ts,
+            "oracle may only advance forwards (at {cur}, asked for {ts})"
+        );
+        self.next_commit.store(ts + 1, Ordering::Release);
+        self.last_completed.store(ts, Ordering::Release);
+    }
 }
 
 #[cfg(test)]

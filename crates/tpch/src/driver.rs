@@ -7,10 +7,11 @@
 use crate::gen::{days, TpchDb};
 use crate::oltp::{is_abort, run_oltp, run_oltp_in, OltpKind};
 use crate::queries::{run_olap, sample_params, OlapParams, OlapQuery};
-use anker_core::{ScanStats, TxnKind};
+use anker_core::{ScanStats, TxnKind, WalStatsSnapshot};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Configuration of a throughput run (Figure 8 / Figure 11).
@@ -320,6 +321,134 @@ pub fn run_htap(t: &TpchDb, cfg: &HtapConfig) -> HtapResult {
         oltp_tps: (committed + aborted) as f64 / wall.as_secs_f64(),
         stats,
         revenue,
+    }
+}
+
+/// Configuration of the durability mode: the fig-8-style pure-OLTP
+/// stream, instrumented per commit, against a database whose
+/// [`anker_core::DurabilityLevel`] decides what each commit pays before
+/// returning.
+#[derive(Debug, Clone)]
+pub struct DurabilityRunConfig {
+    /// OLTP transactions to fire.
+    pub oltp_txns: u64,
+    /// Worker threads (group commit only batches with > 1).
+    pub threads: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Busy-work per transaction in microseconds (see
+    /// [`WorkloadConfig::think_us`]).
+    pub think_us: f64,
+}
+
+impl Default for DurabilityRunConfig {
+    fn default() -> Self {
+        DurabilityRunConfig {
+            oltp_txns: 20_000,
+            threads: 2,
+            seed: 23,
+            think_us: 0.0,
+        }
+    }
+}
+
+/// Outcome of a durability run: throughput plus the commit-latency
+/// distribution (the WAL overhead made visible) and the WAL's own
+/// counters (`commit_records / syncs` = group-commit batching factor).
+#[derive(Debug, Clone)]
+pub struct DurabilityRunResult {
+    pub wall: Duration,
+    pub committed: u64,
+    pub aborted: u64,
+    pub tps: f64,
+    /// Commit-latency percentiles over every *committed* transaction
+    /// (begin → commit returned), in microseconds.
+    pub p50_us: f64,
+    pub p95_us: f64,
+    pub p99_us: f64,
+    pub max_us: f64,
+    /// WAL counters delta over the run (`None` when the database has no
+    /// durability directory).
+    pub wal: Option<WalStatsSnapshot>,
+}
+
+/// Run `cfg.oltp_txns` fig-style OLTP transactions on `threads` workers,
+/// recording each committed transaction's end-to-end latency. The
+/// database's durability level decides whether commits pay nothing
+/// (`Off`), a buffered WAL append (`Buffered`), or a group-commit fsync
+/// (`Fsync`) — this driver measures exactly that difference.
+pub fn run_durability(t: &TpchDb, cfg: &DurabilityRunConfig) -> DurabilityRunResult {
+    let before_wal = t.db.wal_stats();
+    let next = AtomicU64::new(0);
+    let committed = AtomicU64::new(0);
+    let aborted = AtomicU64::new(0);
+    let all_latencies: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for worker in 0..cfg.threads.max(1) {
+            let next = &next;
+            let committed = &committed;
+            let aborted = &aborted;
+            let all_latencies = &all_latencies;
+            s.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xD17A ^ (worker as u64) << 28);
+                let mut local = Vec::with_capacity(4096);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= cfg.oltp_txns {
+                        break;
+                    }
+                    think(cfg.think_us);
+                    let kind = OltpKind::sample(&mut rng);
+                    let began = Instant::now();
+                    match run_oltp(t, kind, &mut rng) {
+                        Ok(_) => {
+                            local.push(began.elapsed().as_nanos() as u64);
+                            committed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) if is_abort(&e) => {
+                            aborted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("oltp failed: {e}"),
+                    }
+                }
+                all_latencies.lock().unwrap().extend_from_slice(&local);
+            });
+        }
+    });
+    let wall = start.elapsed();
+    let committed = committed.load(Ordering::Relaxed);
+    let aborted = aborted.load(Ordering::Relaxed);
+    let mut lat = all_latencies.into_inner().unwrap();
+    lat.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        if lat.is_empty() {
+            return 0.0;
+        }
+        let idx = ((lat.len() as f64 - 1.0) * p).round() as usize;
+        lat[idx] as f64 / 1_000.0
+    };
+    let wal = match (before_wal, t.db.wal_stats()) {
+        (Some(before), Some(after)) => Some(WalStatsSnapshot {
+            appends: after.appends - before.appends,
+            commit_records: after.commit_records - before.commit_records,
+            bytes_appended: after.bytes_appended - before.bytes_appended,
+            syncs: after.syncs - before.syncs,
+            segments_created: after.segments_created - before.segments_created,
+            segments_retired: after.segments_retired - before.segments_retired,
+        }),
+        _ => None,
+    };
+    DurabilityRunResult {
+        wall,
+        committed,
+        aborted,
+        tps: (committed + aborted) as f64 / wall.as_secs_f64(),
+        p50_us: pct(0.50),
+        p95_us: pct(0.95),
+        p99_us: pct(0.99),
+        max_us: lat.last().map(|&n| n as f64 / 1_000.0).unwrap_or(0.0),
+        wal,
     }
 }
 

@@ -26,6 +26,7 @@
 //! ```
 
 pub use anker_core as core;
+pub use anker_dura as dura;
 pub use anker_mvcc as mvcc;
 pub use anker_snapshot as snapshot;
 pub use anker_storage as storage;
