@@ -1,0 +1,149 @@
+//! Concurrent commit-pipeline throughput: the same Zipf-skewed
+//! read-compute-write OLTP mix driven by 1, 2 and 4 committer threads
+//! under full serializability, with and without bounded conflict repair.
+//!
+//! Alongside the criterion timing entries, JSON lines (`ANKER_BENCH_JSON`)
+//! record commits/sec per thread count plus the pipeline's outcome
+//! counters — committed, write-write aborts, validation aborts, repaired
+//! commits, repair rounds — and `host_cpus`. **A single-core host cannot
+//! show commit scaling** (the committers time-slice one core; the run
+//! measures pipeline overhead, not parallelism): `BENCH_commit_pipeline.json`
+//! recorded with `host_cpus: 1` must be re-recorded on a ≥4-core host
+//! before quoting any scaling claim.
+
+use anker_bench::args::append_bench_json_line;
+use anker_core::{AnkerDb, ColumnDef, DbConfig, LogicalType, Schema, TxnKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const ROWS: u32 = 1_024;
+const TXNS_PER_THREAD: usize = 200;
+const ZIPF_THETA: f64 = 0.7;
+const REPAIR_ROUNDS: u32 = 2;
+
+fn build() -> (AnkerDb, anker_core::TableId, anker_storage::ColumnId) {
+    let db = AnkerDb::new(DbConfig::homogeneous_serializable().with_gc_interval(None));
+    let t = db.create_table(
+        "t",
+        Schema::new(vec![ColumnDef::new("v", LogicalType::Int)]),
+        ROWS,
+    );
+    let c = db.schema(t).col("v");
+    db.fill_column(t, c, 0..ROWS as u64).unwrap();
+    (db, t, c)
+}
+
+/// Zipf CDF sampler over `0..ROWS` (matches the stress harness in
+/// `crates/core/tests/common`).
+fn zipf_cdf() -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(ROWS as usize);
+    let mut acc = 0.0f64;
+    for i in 0..ROWS {
+        acc += 1.0 / ((i + 1) as f64).powf(ZIPF_THETA);
+        cdf.push(acc);
+    }
+    let total = *cdf.last().unwrap();
+    for w in &mut cdf {
+        *w /= total;
+    }
+    cdf
+}
+
+/// Run `threads × TXNS_PER_THREAD` read-compute-write transactions and
+/// return the number that committed.
+fn run(
+    db: &AnkerDb,
+    t: anker_core::TableId,
+    c: anker_storage::ColumnId,
+    cdf: &[f64],
+    threads: usize,
+    repair: bool,
+) -> usize {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|k| {
+                s.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(0xB_EEF ^ (k as u64) << 17);
+                    let mut committed = 0usize;
+                    for _ in 0..TXNS_PER_THREAD {
+                        let sample = |rng: &mut SmallRng| {
+                            let u = rng.random_range(0.0..1.0f64);
+                            cdf.partition_point(|&x| x < u) as u32
+                        };
+                        let read_row = sample(&mut rng);
+                        let write_row = loop {
+                            let r = sample(&mut rng);
+                            if r != read_row {
+                                break r;
+                            }
+                        };
+                        let mut txn = db.begin(TxnKind::Oltp);
+                        let v = txn.get(t, c, read_row).unwrap();
+                        std::thread::yield_now();
+                        txn.update(t, c, write_row, v.wrapping_add(1)).unwrap();
+                        let rounds = if repair { REPAIR_ROUNDS } else { 0 };
+                        let result = txn.commit_with_repair(rounds, |tx, conflicts| {
+                            let mut v = v;
+                            for conf in conflicts {
+                                for &(ct, cc, row) in &conf.keys {
+                                    if row == read_row {
+                                        v = tx.get(ct, cc, row)?;
+                                    }
+                                }
+                            }
+                            tx.update(t, c, write_row, v.wrapping_add(1))
+                        });
+                        if result.is_ok() {
+                            committed += 1;
+                        }
+                    }
+                    committed
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    })
+}
+
+fn bench_commit_pipeline(c: &mut Criterion) {
+    let cdf = zipf_cdf();
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    for repair in [false, true] {
+        let mode = if repair { "repair" } else { "plain" };
+        let mut group = c.benchmark_group(format!("commit_pipeline/{mode}"));
+        group.sample_size(10);
+        for threads in [1usize, 2, 4] {
+            let (db, t, col) = build();
+            group.bench_function(BenchmarkId::new("threads", threads), |b| {
+                b.iter(|| run(&db, t, col, &cdf, threads, repair))
+            });
+            // One measured pass outside criterion's loop for the JSON
+            // counters: commits/sec and the pipeline outcome mix.
+            let before = db.stats();
+            let started = std::time::Instant::now();
+            let committed = run(&db, t, col, &cdf, threads, repair);
+            let secs = started.elapsed().as_secs_f64();
+            let after = db.stats();
+            append_bench_json_line(&format!(
+                "{{\"bench\":\"commit_pipeline/{mode}/threads={threads}\",\
+                 \"commits\":{},\"commits_per_sec\":{:.0},\
+                 \"aborted_ww\":{},\"aborted_validation\":{},\
+                 \"repaired_commits\":{},\"repair_rounds\":{},\
+                 \"host_cpus\":{host_cpus}}}",
+                committed,
+                committed as f64 / secs,
+                after.aborted_ww - before.aborted_ww,
+                after.aborted_validation - before.aborted_validation,
+                after.repaired_commits - before.repaired_commits,
+                after.repair_rounds - before.repair_rounds,
+            ));
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_commit_pipeline);
+criterion_main!(benches);

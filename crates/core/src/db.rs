@@ -25,6 +25,78 @@ pub struct CommitState {
     pub(crate) commits_since_prune: u64,
 }
 
+/// A ticket-fair lock around the serialized commit section.
+///
+/// The previous implementation barged: a `try_lock` spin loop let a fast
+/// committer re-acquire the section past a parked epoch-pinning reader
+/// indefinitely (a slow WAL fsync inside the section made
+/// `snapshot_reader()` creation stall behind it unboundedly). Tickets
+/// grant the section strictly in arrival order, so every waiter is served
+/// after at most the holders queued ahead of it.
+pub(crate) struct CommitLock {
+    next: AtomicU64,
+    serving: AtomicU64,
+    state: Mutex<CommitState>,
+}
+
+impl CommitLock {
+    fn new() -> CommitLock {
+        CommitLock {
+            next: AtomicU64::new(0),
+            serving: AtomicU64::new(0),
+            state: Mutex::new(CommitState::default()),
+        }
+    }
+
+    /// Acquire in strict arrival order, spinning with periodic yields
+    /// instead of parking: the section is a microsecond-scale critical
+    /// region, far below a park/unpark round trip.
+    fn lock(&self) -> CommitGuard<'_> {
+        let ticket = self.next.fetch_add(1, Ordering::Relaxed);
+        let mut spins = 0u32;
+        while self.serving.load(Ordering::Acquire) != ticket {
+            spins += 1;
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        // Uncontended by construction: only the serving ticket locks.
+        CommitGuard {
+            lock: self,
+            guard: Some(self.state.lock()),
+        }
+    }
+}
+
+/// Guard of the serialized commit section; dereferences to
+/// [`CommitState`]. Dropping it admits the next queued ticket.
+pub(crate) struct CommitGuard<'a> {
+    lock: &'a CommitLock,
+    guard: Option<parking_lot::MutexGuard<'a, CommitState>>,
+}
+
+impl std::ops::Deref for CommitGuard<'_> {
+    type Target = CommitState;
+    fn deref(&self) -> &CommitState {
+        self.guard.as_ref().expect("commit guard already released")
+    }
+}
+
+impl std::ops::DerefMut for CommitGuard<'_> {
+    fn deref_mut(&mut self) -> &mut CommitState {
+        self.guard.as_mut().expect("commit guard already released")
+    }
+}
+
+impl Drop for CommitGuard<'_> {
+    fn drop(&mut self) {
+        self.guard.take();
+        self.lock.serving.fetch_add(1, Ordering::Release);
+    }
+}
+
 /// Monotonic database statistics.
 #[derive(Debug, Default)]
 pub(crate) struct DbStats {
@@ -32,6 +104,8 @@ pub(crate) struct DbStats {
     pub committed_read_only: AtomicU64,
     pub aborted_ww: AtomicU64,
     pub aborted_validation: AtomicU64,
+    pub repaired_commits: AtomicU64,
+    pub repair_rounds: AtomicU64,
     pub gc_passes: AtomicU64,
     pub versions_collected: AtomicU64,
 }
@@ -43,6 +117,11 @@ pub struct DbStatsSnapshot {
     pub committed_read_only: u64,
     pub aborted_ww: u64,
     pub aborted_validation: u64,
+    /// Transactions that failed validation at least once and then
+    /// committed through the bounded conflict-repair path.
+    pub repaired_commits: u64,
+    /// Total repair rounds run across all transactions.
+    pub repair_rounds: u64,
     pub gc_passes: u64,
     pub versions_collected: u64,
     pub epochs_triggered: u64,
@@ -131,7 +210,12 @@ pub(crate) struct DbInner {
     pub oracle: TsOracle,
     pub active: Arc<ActiveTxns>,
     pub recent: RecentCommits,
-    pub commit_mx: Mutex<CommitState>,
+    pub commit_mx: CommitLock,
+    /// Commit counter driving homogeneous-mode housekeeping (the
+    /// heterogeneous path keeps its counters in [`CommitState`] because it
+    /// already holds the commit section to install; the homogeneous
+    /// install path is lock-free, so its cadence lives here).
+    pub prune_tick: AtomicU64,
     pub snapman: SnapshotManager,
     pub stats: DbStats,
     /// The reusable worker pool behind morsel-parallel reader scans,
@@ -238,7 +322,8 @@ impl AnkerDb {
             oracle: TsOracle::new(),
             active,
             recent: RecentCommits::new(),
-            commit_mx: Mutex::new(CommitState::default()),
+            commit_mx: CommitLock::new(),
+            prune_tick: AtomicU64::new(0),
             snapman,
             stats: DbStats::default(),
             scan_pool: Mutex::new(None),
@@ -470,22 +555,35 @@ impl AnkerDb {
     /// to run T3 on, the first snapshot is taken").
     pub(crate) fn pin_current_epoch(&self) -> Arc<Epoch> {
         let max_age = self.inner.config.snapshot_every_commits;
-        let now = self.inner.oracle.last_completed();
-        if let Some(e) = self.inner.snapman.pin_newest_fresh(now, max_age) {
-            return e;
+        loop {
+            let now = self.inner.oracle.last_completed();
+            if let Some(e) = self.inner.snapman.pin_newest_fresh(now, max_age) {
+                return e;
+            }
+            let mut cs = self.lock_commit();
+            // Re-check under the commit lock (another OLAP may have raced
+            // us).
+            let now = self.inner.oracle.last_completed();
+            if let Some(e) = self.inner.snapman.pin_newest_fresh(now, max_age) {
+                return e;
+            }
+            // A new epoch is only sound at a commit-quiescent point: with
+            // commits installing out of timestamp order, the live columns
+            // match the stable-timestamp watermark exactly only when no
+            // commit is in flight. Holding the commit section keeps the
+            // heterogeneous install stage out; if a committer is still
+            // between its timestamp and its install, back off and retry
+            // (the fair lock guarantees we are served again promptly).
+            if self.inner.oracle.drained() {
+                // Pin before releasing the commit lock: once the lock
+                // drops, a concurrent commit could damage the fresh epoch.
+                let epoch = self.inner.snapman.trigger_epoch(&mut cs, now);
+                self.inner.snapman.pin_epoch(&epoch);
+                return epoch;
+            }
+            drop(cs);
+            std::thread::yield_now();
         }
-        let mut cs = self.lock_commit();
-        // Re-check under the commit lock (another OLAP may have raced us).
-        let now = self.inner.oracle.last_completed();
-        if let Some(e) = self.inner.snapman.pin_newest_fresh(now, max_age) {
-            return e;
-        }
-        // Pin before releasing the commit lock: once the lock drops, a
-        // concurrent commit could damage the fresh epoch.
-        let epoch = self.inner.snapman.trigger_epoch(&mut cs, now);
-        self.inner.snapman.pin_epoch(&epoch);
-        drop(cs);
-        epoch
     }
 
     /// The reusable scan-worker pool, sized for at least `threads`
@@ -526,6 +624,8 @@ impl AnkerDb {
             committed_read_only: s.committed_read_only.load(o),
             aborted_ww: s.aborted_ww.load(o),
             aborted_validation: s.aborted_validation.load(o),
+            repaired_commits: s.repaired_commits.load(o),
+            repair_rounds: s.repair_rounds.load(o),
             gc_passes: s.gc_passes.load(o),
             versions_collected: s.versions_collected.load(o),
             epochs_triggered: self.inner.snapman.stats.epochs_triggered.load(o),
@@ -558,23 +658,12 @@ impl AnkerDb {
             .sum()
     }
 
-    /// Acquire the serialized commit section, spinning briefly first: the
-    /// section is a microsecond-scale critical region, so parking the
-    /// thread (a syscall round-trip) costs more than it saves.
-    pub(crate) fn lock_commit(&self) -> parking_lot::MutexGuard<'_, CommitState> {
-        // Short spin with PAUSE (cheap on shared cores), then yield to the
-        // scheduler instead of parking: the critical section is about a
-        // microsecond, far below a park/unpark round trip.
-        for i in 0..10_000u32 {
-            if let Some(g) = self.inner.commit_mx.try_lock() {
-                return g;
-            }
-            if i % 64 == 63 {
-                std::thread::yield_now();
-            } else {
-                std::hint::spin_loop();
-            }
-        }
+    /// Acquire the serialized commit section in strict arrival order (see
+    /// [`CommitLock`]). Since the concurrent commit pipeline landed, this
+    /// section no longer covers validation, WAL appends, or fsyncs — only
+    /// heterogeneous installs, snapshot materialisation, epoch triggers,
+    /// bulk loads, and housekeeping.
+    pub(crate) fn lock_commit(&self) -> CommitGuard<'_> {
         self.inner.commit_mx.lock()
     }
 
@@ -629,11 +718,24 @@ impl AnkerDb {
         Ok(delta)
     }
 
-    /// Run one garbage-collection pass (homogeneous mode). Takes the commit
-    /// lock, exactly like the background thread — the cost the paper
-    /// attributes to classical MVCC GC.
+    /// Run one garbage-collection pass (homogeneous mode). Takes the
+    /// commit lock and — in homogeneous mode, where installs run outside
+    /// it — additionally freezes commit-timestamp allocation and drains
+    /// in-flight committers first: the chain-compaction pass rewrites
+    /// skip-block ranges and must not race concurrent installs (see
+    /// [`anker_mvcc::ChainStore::gc`]). This stop-the-world window is
+    /// exactly the cost the paper attributes to classical MVCC GC.
     pub fn run_gc_once(&self) -> u64 {
         let _cs = self.lock_commit();
+        let quiesce = self.inner.config.mode == ProcessingMode::Homogeneous;
+        if quiesce {
+            self.inner.oracle.freeze_commits();
+            while !self.inner.oracle.drained() {
+                std::thread::yield_now();
+            }
+        }
+        // In heterogeneous mode installs happen under the commit lock we
+        // already hold, so the pass is quiescent either way.
         let min = self
             .inner
             .active
@@ -642,6 +744,17 @@ impl AnkerDb {
         for table in self.inner.tables.read().iter() {
             for col in &table.cols {
                 removed += col.versioned.gc(min);
+            }
+        }
+        if quiesce {
+            self.inner.oracle.unfreeze_commits();
+        }
+        // Housekeeping that only needs shard locks runs after commits
+        // resume: a committer parked in `begin_commit` during the freeze
+        // may hold validation-shard locks, so taking them before
+        // unfreezing could deadlock.
+        for table in self.inner.tables.read().iter() {
+            for col in &table.cols {
                 col.versioned.release_frozen(min);
             }
         }

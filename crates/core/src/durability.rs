@@ -7,10 +7,13 @@
 //!
 //! * **Logging** — `create_table` appends a catalog record under the
 //!   table-registry lock, `fill_column` appends bounded load chunks under
-//!   the commit lock, and every committed write set is appended inside the
-//!   serialized commit section *before* its writes install (redo rule: a
-//!   record can exist without its effects, never the reverse). Group
-//!   commit batches the fsyncs after the commit lock is released.
+//!   the commit lock, and every committed write set is appended while the
+//!   committer still holds its validation-shard locks, *before* its
+//!   writes install (redo rule: a record can exist without its effects,
+//!   never the reverse). Different committers hold different shard sets,
+//!   so file order is **not** timestamp order: each commit record carries
+//!   a `(commit_ts, seq)` pair and recovery sorts buffered commits by it.
+//!   Group commit batches the fsyncs after all locks are released.
 //! * **Checkpointing** — [`crate::AnkerDb::checkpoint`] pins a frozen
 //!   snapshot epoch through a [`crate::SnapshotReader`] and streams every
 //!   column's frozen area to a versioned checkpoint file. Frozen areas
@@ -42,7 +45,7 @@ use crate::error::{DbError, Result};
 use crate::table::{TableId, TableState};
 use anker_dura::{
     checkpoint, replay_dir, ColumnMeta, DuraError, DurabilityLevel, TableMeta, Wal, WalRecord,
-    WalStatsSnapshot, TY_DATE, TY_DICT, TY_DOUBLE, TY_INT,
+    WalStatsSnapshot, WalWrite, TY_DATE, TY_DICT, TY_DOUBLE, TY_INT,
 };
 use anker_storage::{ColumnDef, Dictionary, LogicalType, Schema};
 use parking_lot::Mutex;
@@ -67,6 +70,11 @@ pub(crate) struct DuraState {
     pub commits_since_ckpt: AtomicU64,
     /// Serializes checkpoints (manual calls vs the background thread).
     pub ckpt_mx: Mutex<()>,
+    /// Append sequence numbers for [`WalRecord::Commit`]: the concurrent
+    /// commit pipeline appends records out of timestamp order, so each
+    /// carries `(commit_ts, seq)` and recovery sorts before applying.
+    /// Resumes past the largest sequence number found in the log.
+    pub next_seq: AtomicU64,
 }
 
 /// What recovery found when a durable database booted.
@@ -197,10 +205,16 @@ pub(crate) fn boot_durable(db: &AnkerDb) -> Result<()> {
         report.last_commit_ts = data.ts;
     }
 
-    // 2. Replay the WAL tail in append order. Records covered by the
-    // checkpoint — catalog and loads of checkpointed tables, commits at
-    // or below its timestamp — are skipped; everything newer re-applies
-    // as plain word stores (redo).
+    // 2. Replay the WAL tail. Catalog and load records apply in file
+    // order; records covered by the checkpoint — catalog and loads of
+    // checkpointed tables, commits at or below its timestamp — are
+    // skipped. Commit records may sit in the file out of timestamp order
+    // (the concurrent commit pipeline appends under per-shard locks, not
+    // a global one), so they are buffered here, sorted by
+    // `(commit_ts, seq)`, and re-applied as plain word stores after the
+    // scan — the redo order is the timestamp order, not the file order.
+    let mut commits: Vec<(u64, u64, Vec<WalWrite>)> = Vec::new();
+    let mut max_seq = 0u64;
     let summary = replay_dir(&dir, |rec| {
         let corrupt = |msg: String| -> DuraError { DuraError::Corrupt(msg) };
         match rec {
@@ -241,10 +255,19 @@ pub(crate) fn boot_durable(db: &AnkerDb) -> Result<()> {
                 }
                 Ok(())
             }
-            WalRecord::Commit { commit_ts, writes } => {
+            WalRecord::Commit {
+                commit_ts,
+                seq,
+                writes,
+            } => {
+                max_seq = max_seq.max(seq);
                 if commit_ts <= ckpt_ts {
                     return Ok(()); // covered by the checkpoint
                 }
+                // Bounds-check against the catalog as recovered so far
+                // (every table a commit touches was created earlier in
+                // file order), but defer the stores until the scan ends
+                // and the commits can apply in timestamp order.
                 for w in &writes {
                     let state = checked_table(db, w.table).map_err(to_dura)?;
                     if w.col as usize >= state.cols.len() || w.row >= state.rows {
@@ -253,16 +276,23 @@ pub(crate) fn boot_durable(db: &AnkerDb) -> Result<()> {
                             w.table, w.col, w.row
                         )));
                     }
-                    state
-                        .col(w.col as usize)
-                        .current_area()
-                        .set(w.row, w.word)
-                        .map_err(vm_to_dura)?;
                 }
+                commits.push((commit_ts, seq, writes));
                 Ok(())
             }
         }
     })?;
+    commits.sort_unstable_by_key(|&(ts, seq, _)| (ts, seq));
+    for (_, _, writes) in &commits {
+        for w in writes {
+            let state = checked_table(db, w.table)?;
+            state
+                .col(w.col as usize)
+                .current_area()
+                .set(w.row, w.word)
+                .map_err(vm_to_dura)?;
+        }
+    }
     report.commits_replayed = summary.commits;
     report.torn_tail = summary.torn_tail;
     report.last_commit_ts = report.last_commit_ts.max(summary.last_commit_ts);
@@ -281,6 +311,7 @@ pub(crate) fn boot_durable(db: &AnkerDb) -> Result<()> {
         dir,
         commits_since_ckpt: AtomicU64::new(0),
         ckpt_mx: Mutex::new(()),
+        next_seq: AtomicU64::new(max_seq + 1),
     });
     db.inner
         .dura

@@ -74,7 +74,7 @@ pub use error::{AbortReason, DbError, Result};
 pub use reader::SnapshotReader;
 pub use scan::{ReaderScanBuilder, ScanBuilder, ScanPartition};
 pub use table::TableId;
-pub use txn::{Txn, TxnKind};
+pub use txn::{RepairConflict, Txn, TxnKind};
 
 // Re-export the pieces users need to talk to the API.
 pub use anker_dura::{DurabilityLevel, WalStatsSnapshot};

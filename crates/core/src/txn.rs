@@ -8,12 +8,33 @@ use crate::snapman::{Epoch, SnapCol};
 use crate::table::{TableId, TableState};
 use anker_mvcc::{
     ColRef, CommitRecord, IsolationLevel, LocalWrite, ScanStats, Transaction, TxnId, WriteRecord,
-    PENDING,
 };
 use anker_storage::{ColumnId, Value};
-use anker_util::FxHashMap;
+use anker_util::{sched, FxHashMap};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+
+/// One conflicting commit reported to a [`Txn::commit_with_repair`]
+/// round: the offender's commit timestamp and exactly the keys whose
+/// writes intersected this transaction's read predicates — the keys the
+/// repair closure should re-read (nothing else changed underneath it).
+#[derive(Debug, Clone)]
+pub struct RepairConflict {
+    /// The conflicting commit's timestamp.
+    pub commit_ts: u64,
+    /// The intersecting keys, as `(table, column, row)`.
+    pub keys: Vec<(TableId, ColumnId, u32)>,
+}
+
+/// Why one pipeline commit attempt did not go through.
+enum AttemptError {
+    /// Unrecoverable engine error (I/O, bounds).
+    Hard(DbError),
+    /// First-updater-wins write-write conflict: never repairable.
+    WwConflict,
+    /// Read-set validation failed against these committed transactions.
+    Validation(Vec<RepairConflict>),
+}
 
 /// Transaction classification (§2.2): modifying, short-running transactions
 /// are OLTP; long-running read-only analytics are OLAP.
@@ -231,18 +252,66 @@ impl Txn {
 
     /// Commit. Read-only transactions commit without validation (they are
     /// serializable at their snapshot point); updaters go through the
-    /// serialized commit section: write-write check, read-set validation
-    /// (serializable mode), snapshot-pending materialisation, install,
-    /// epoch trigger.
-    pub fn commit(mut self) -> Result<u64> {
+    /// concurrent commit pipeline (see `DESIGN.md`, "Commit pipeline"):
+    ///
+    /// 1. latch every write row in ascending `(col, row)` order and check
+    ///    write-write conflicts (first-updater-wins);
+    /// 2. lock the validation shards covering the write and predicate
+    ///    tables (ascending — the two sorted phases make concurrent
+    ///    committers deadlock-free);
+    /// 3. draw the commit timestamp and validate the read set against the
+    ///    locked shards (serializable mode);
+    /// 4. append the WAL record (carrying a `(commit_ts, seq)` pair — file
+    ///    order is *not* timestamp order) and publish the commit record to
+    ///    the write shards;
+    /// 5. release the shards and install the latched rows — out of
+    ///    timestamp order relative to other committers; readers are gated
+    ///    by the stable-timestamp watermark, which only advances once
+    ///    every older commit has fully installed;
+    /// 6. group-commit fsync outside all locks.
+    ///
+    /// Equivalent to [`Txn::commit_with_repair`] with zero repair rounds.
+    pub fn commit(self) -> Result<u64> {
+        self.commit_with_repair(0, |_, _| Ok(()))
+    }
+
+    /// Commit with bounded conflict repair: when read-set validation fails,
+    /// instead of aborting, wait until every conflicting commit is fully
+    /// installed, advance the snapshot to the stable-timestamp watermark,
+    /// and hand the conflicting keys to `repair`, which re-reads them and
+    /// rewrites the transaction's updates; then revalidate. At most
+    /// `max_rounds` rounds; after that the transaction aborts with the
+    /// usual [`AbortReason::ValidationFailed`]. Write-write conflicts are
+    /// never repaired (first-updater-wins is the paper's §2.1 contract),
+    /// and an error from `repair` aborts immediately with that error.
+    ///
+    /// The caller's closure must recompute its writes from the re-read
+    /// values — the engine cannot know the transaction's logic. Typical
+    /// shape:
+    ///
+    /// ```ignore
+    /// txn.commit_with_repair(3, |t, conflicts| {
+    ///     for c in conflicts {
+    ///         for &(table, col, row) in &c.keys {
+    ///             let fresh = t.get(table, col, row)?; // new snapshot
+    ///             t.update(table, col, row, recompute(fresh))?;
+    ///         }
+    ///     }
+    ///     Ok(())
+    /// })
+    /// ```
+    pub fn commit_with_repair<F>(mut self, max_rounds: u32, mut repair: F) -> Result<u64>
+    where
+        F: FnMut(&mut Txn, &[RepairConflict]) -> Result<()>,
+    {
         if self.finished {
             return Err(DbError::AlreadyFinished);
         }
         self.finished = true;
         let db = self.db.clone();
-        let start_ts = self.inner.start_ts();
 
         if self.inner.writes().is_empty() {
+            let start_ts = self.inner.start_ts();
             self.release();
             db.inner
                 .stats
@@ -251,50 +320,177 @@ impl Txn {
             return Ok(start_ts);
         }
 
-        let writes: Vec<LocalWrite> = self.inner.writes().to_vec();
-        let mut cs = db.lock_commit();
+        let mut rounds = 0u32;
+        loop {
+            match self.commit_attempt() {
+                Ok(commit_ts) => {
+                    self.release();
+                    db.inner.stats.committed.fetch_add(1, Ordering::Relaxed);
+                    if rounds > 0 {
+                        db.inner
+                            .stats
+                            .repaired_commits
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok(commit_ts);
+                }
+                Err(AttemptError::WwConflict) => {
+                    self.release();
+                    db.inner.stats.aborted_ww.fetch_add(1, Ordering::Relaxed);
+                    return Err(DbError::Aborted(AbortReason::WriteWriteConflict));
+                }
+                Err(AttemptError::Validation(conflicts)) => {
+                    if rounds >= max_rounds {
+                        self.release();
+                        db.inner
+                            .stats
+                            .aborted_validation
+                            .fetch_add(1, Ordering::Relaxed);
+                        return Err(DbError::Aborted(AbortReason::ValidationFailed {
+                            conflicting_commit: conflicts[0].commit_ts,
+                        }));
+                    }
+                    rounds += 1;
+                    db.inner.stats.repair_rounds.fetch_add(1, Ordering::Relaxed);
+                    // Wait for the watermark to cover the youngest
+                    // conflicting commit (conflicts come in ascending ts
+                    // order): the repair reads must see every conflictor's
+                    // writes, and any commit that publishes *after* our
+                    // shard locks dropped has a timestamp above the new
+                    // snapshot — the next round's validation catches it.
+                    let target = conflicts.last().map(|c| c.commit_ts).unwrap_or(0);
+                    let mut spins = 0u32;
+                    while db.inner.oracle.last_completed() < target {
+                        spins += 1;
+                        if spins.is_multiple_of(64) {
+                            std::thread::yield_now();
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                    }
+                    self.inner
+                        .advance_snapshot(db.inner.oracle.last_completed());
+                    if let Err(e) = repair(&mut self, &conflicts) {
+                        self.release();
+                        return Err(e);
+                    }
+                }
+                Err(AttemptError::Hard(e)) => {
+                    self.release();
+                    return Err(e);
+                }
+            }
+        }
+    }
 
-        // Write-write conflicts: first-updater-wins (§2.1).
-        for w in &writes {
+    /// Release every install latch in `latched` without installing
+    /// (abort path).
+    fn unlatch_rows(&mut self, latched: &[(LocalWrite, u64, u64)]) {
+        for (w, old_ts, _) in latched {
             let state = self.table(TableId(w.col.table));
-            let ts = state.col(w.col.col as usize).versioned.last_write_ts(w.row) & !PENDING;
-            if ts > start_ts {
-                drop(cs);
-                self.release();
-                db.inner.stats.aborted_ww.fetch_add(1, Ordering::Relaxed);
-                return Err(DbError::Aborted(AbortReason::WriteWriteConflict));
-            }
+            state
+                .col(w.col.col as usize)
+                .versioned
+                .unlock_row(w.row, *old_ts);
         }
-        // Read-set validation via precision locking (§2.1).
-        if db.inner.config.isolation == IsolationLevel::Serializable {
-            if let Err(conflicting) = db.inner.recent.validate(start_ts, self.inner.predicates()) {
-                drop(cs);
-                self.release();
-                db.inner
-                    .stats
-                    .aborted_validation
-                    .fetch_add(1, Ordering::Relaxed);
-                return Err(DbError::Aborted(AbortReason::ValidationFailed {
-                    conflicting_commit: conflicting,
-                }));
-            }
-        }
+    }
 
-        let commit_ts = db.inner.oracle.begin_commit();
+    /// One pass through the commit pipeline (stages 1–6 of [`Txn::commit`]).
+    fn commit_attempt(&mut self) -> std::result::Result<u64, AttemptError> {
+        let db = self.db.clone();
+        let start_ts = self.inner.start_ts();
+        let serializable = db.inner.config.isolation == IsolationLevel::Serializable;
         let heterogeneous = db.inner.config.mode == ProcessingMode::Heterogeneous;
 
-        // Write-ahead logging (redo rule: the record must exist before
-        // any of its effects can). The append runs inside the serialized
-        // commit section, so WAL order equals commit-timestamp order; the
-        // fsync — if the durability level demands one — happens *after*
-        // the lock drops, where group commit batches it with concurrent
-        // committers. An append failure aborts cleanly here: nothing has
-        // installed yet.
+        // Stage 1 — install latches. All write rows latch in ascending
+        // (col, row) order *before* any shard lock; the global sort order
+        // makes concurrent committers deadlock-free, and each latch
+        // freezes the row's (ts, value) pair for the write-write check,
+        // the commit record, and the eventual install.
+        let mut writes: Vec<LocalWrite> = self.inner.writes().to_vec();
+        writes.sort_unstable_by_key(|w| (w.col, w.row));
+        let mut latched: Vec<(LocalWrite, u64, u64)> = Vec::with_capacity(writes.len());
+        for w in &writes {
+            let state = self.table(TableId(w.col.table));
+            let col = state.col(w.col.col as usize);
+            let area = col.current_area();
+            match col.versioned.lock_row(&area, w.row) {
+                Ok((old_ts, old_word)) => {
+                    if old_ts > start_ts {
+                        // First-updater-wins (§2.1).
+                        col.versioned.unlock_row(w.row, old_ts);
+                        self.unlatch_rows(&latched);
+                        return Err(AttemptError::WwConflict);
+                    }
+                    latched.push((*w, old_ts, old_word));
+                }
+                Err(e) => {
+                    self.unlatch_rows(&latched);
+                    return Err(AttemptError::Hard(e.into()));
+                }
+            }
+        }
+        sched::hit("commit:latched");
+
+        // Stage 2 — validation-shard locks (ascending), covering the
+        // tables written and the tables the read predicates touch.
+        // Snapshot isolation skips validation and publishes no commit
+        // records, so it takes no shard locks at all.
+        let mut guards = if serializable {
+            let tables: Vec<u16> = writes
+                .iter()
+                .map(|w| w.col.table)
+                .chain(self.inner.predicates().tables())
+                .collect();
+            Some(db.inner.recent.lock_tables(&tables))
+        } else {
+            None
+        };
+
+        // Stage 3 — commit timestamp, allocated while holding the full
+        // shard set: two committers sharing any shard serialize around
+        // allocation, so per-shard record order stays timestamp order.
+        let commit_ts = db.inner.oracle.begin_commit();
+        sched::hit("commit:validate");
+
+        // Stage 4 — read-set validation via precision locking (§2.1),
+        // against exactly the locked shards.
+        if let Some(g) = &guards {
+            let conflicts = g.conflicts(start_ts, self.inner.predicates());
+            if !conflicts.is_empty() {
+                db.inner.oracle.abort_commit(commit_ts);
+                drop(guards);
+                self.unlatch_rows(&latched);
+                return Err(AttemptError::Validation(
+                    conflicts
+                        .into_iter()
+                        .map(|c| RepairConflict {
+                            commit_ts: c.commit_ts,
+                            keys: c
+                                .keys
+                                .into_iter()
+                                .map(|(col, row)| {
+                                    (TableId(col.table), ColumnId(col.col as usize), row)
+                                })
+                                .collect(),
+                        })
+                        .collect(),
+                ));
+            }
+        }
+
+        // Stage 5 — write-ahead logging (redo rule: the record must exist
+        // before any of its effects can). Only the shard locks are held —
+        // concurrent committers with disjoint footprints append in
+        // whatever order they reach the log, so the record carries a
+        // `(commit_ts, seq)` pair and recovery sorts. An append failure
+        // still aborts cleanly: nothing has installed yet.
         let mut wal_pending = None;
         if let Some(d) = db.inner.dura.get() {
             if d.level != anker_dura::DurabilityLevel::Off {
                 let rec = anker_dura::WalRecord::Commit {
                     commit_ts,
+                    seq: d.next_seq.fetch_add(1, Ordering::Relaxed),
                     writes: writes
                         .iter()
                         .map(|w| anker_dura::WalWrite {
@@ -313,28 +509,58 @@ impl Txn {
                         }
                     }
                     Err(e) => {
-                        drop(cs);
-                        self.release();
-                        return Err(e.into());
+                        db.inner.oracle.abort_commit(commit_ts);
+                        drop(guards);
+                        self.unlatch_rows(&latched);
+                        return Err(AttemptError::Hard(e.into()));
                     }
                 }
             }
         }
+        sched::hit("commit:logged");
 
-        // Settle the snapshot state of every column we are about to write
-        // (§2.2.2): pinned epochs missing the column get it materialised
-        // now; unpinned ones are damage-marked (see SnapshotManager).
+        // Publish the commit record to the write-table shards, then let
+        // the shards go — validation by others proceeds while we install.
+        // The record uses the latched old values: they are exact (the
+        // latch froze them) and the record must be visible to validators
+        // before our installs are (conservative, never the reverse).
+        if let Some(g) = &mut guards {
+            g.push(CommitRecord {
+                commit_ts,
+                writes: latched
+                    .iter()
+                    .map(|(w, _, old_word)| WriteRecord {
+                        col: w.col,
+                        row: w.row,
+                        old: *old_word,
+                        new: w.new_word,
+                    })
+                    .collect(),
+            });
+        }
+        drop(guards);
+        sched::hit("commit:pre-install");
+
+        // Stage 6 — install. From here the commit is published (logged
+        // and validated against); a failure cannot roll back, so it is
+        // fail-stop. Heterogeneous mode installs inside the commit
+        // section (snapshot materialisation must see a quiescent column);
+        // homogeneous mode installs lock-free under the row latches.
         if heterogeneous {
-            let mut seen: Vec<(u16, u16)> = Vec::with_capacity(writes.len());
-            for w in &writes {
+            let mut cs = db.lock_commit();
+            // Settle the snapshot state of every column we are about to
+            // write (§2.2.2): pinned epochs missing the column get it
+            // materialised now; unpinned ones are damage-marked.
+            let mut seen: Vec<(u16, u16)> = Vec::with_capacity(latched.len());
+            for (w, _, _) in &latched {
                 let key = (w.col.table, w.col.col);
                 if seen.contains(&key) {
                     continue;
                 }
                 seen.push(key);
                 let state = self.table(TableId(key.0));
-                // Fast path: the column is already settled (materialised or
-                // damage-marked) for the newest epoch.
+                // Fast path: the column is already settled (materialised
+                // or damage-marked) for the newest epoch.
                 let newest = db.inner.snapman.newest_ts.load(Ordering::Acquire);
                 if newest == 0
                     || state
@@ -347,82 +573,120 @@ impl Txn {
                 }
                 db.inner
                     .snapman
-                    .note_write(&mut cs, &state, key.0, key.1, commit_ts)?;
+                    .note_write(&mut cs, &state, key.0, key.1, commit_ts)
+                    .expect("snapshot materialisation failed mid-commit");
             }
-        }
+            for (w, old_ts, old_word) in &latched {
+                let state = self.table(TableId(w.col.table));
+                let col = state.col(w.col.col as usize);
+                // Re-resolve the area *after* note_write: materialisation
+                // swaps the column area (contents identical, so the
+                // latched old value stays exact).
+                let area = col.current_area();
+                col.versioned
+                    .install_locked(&area, w.row, *old_ts, *old_word, w.new_word, commit_ts)
+                    .expect("install failed after the commit was logged");
+                col.last_mutation_ts.store(commit_ts, Ordering::Release);
+            }
+            sched::hit("commit:installed");
+            db.inner.oracle.complete_commit(commit_ts);
 
-        // Install.
-        let mut records = Vec::with_capacity(writes.len());
-        for w in &writes {
-            let state = self.table(TableId(w.col.table));
-            let col = state.col(w.col.col as usize);
-            let area = col.current_area();
-            let old = col.versioned.install(&area, w.row, w.new_word, commit_ts)?;
-            col.last_mutation_ts.store(commit_ts, Ordering::Release);
-            records.push(WriteRecord {
-                col: w.col,
-                row: w.row,
-                old,
-                new: w.new_word,
-            });
-        }
-        db.inner.oracle.complete_commit(commit_ts);
-        if db.inner.config.isolation == IsolationLevel::Serializable {
-            db.inner.recent.push(CommitRecord {
-                commit_ts,
-                writes: records,
-            });
-        }
+            // Snapshot trigger every n commits (§5.1(3)) — but only at a
+            // commit-quiescent point: with out-of-order installs the live
+            // columns match the watermark exactly only when nothing is in
+            // flight. A skipped trigger retries on the next commit (the
+            // counter is not reset), or an arriving OLAP forces one
+            // through `pin_current_epoch`.
+            cs.commits_since_snapshot += 1;
+            cs.commits_since_prune += 1;
+            if cs.commits_since_snapshot >= db.inner.config.snapshot_every_commits
+                && db.inner.oracle.drained()
+            {
+                cs.commits_since_snapshot = 0;
+                let now = db.inner.oracle.last_completed();
+                db.inner.snapman.trigger_epoch(&mut cs, now);
+                if db.inner.config.eager_materialization {
+                    // §2.2.2's rejected eager alternative, kept as an
+                    // ablation: snapshot every column right away.
+                    let tables: Vec<_> = db.inner.tables.read().clone();
+                    for (tid, state) in tables.iter().enumerate() {
+                        for cid in 0..state.cols.len() {
+                            db.inner
+                                .snapman
+                                .materialize_column(&mut cs, state, tid as u16, cid as u16, now)
+                                .expect("eager materialisation failed mid-commit");
+                        }
+                    }
+                }
+            }
+            // Periodic housekeeping: prune the recently-committed list
+            // and retire frozen chain stores behind the active horizon.
+            // The snapshot hand-over is the garbage collector here — but
+            // an analytics-free phase takes no snapshots, so a bounded
+            // fallback keeps chains from growing without limit (a case
+            // the paper does not discuss). The chain GC is safe without a
+            // commit freeze: every heterogeneous install runs under the
+            // commit section we hold.
+            if cs.commits_since_prune >= 128 {
+                cs.commits_since_prune = 0;
+                let min = db.inner.active.min_active_or(commit_ts);
+                db.inner.recent.prune(min);
+                db.inner.snapman.graveyard.drain(min);
+                /// Versions one column may accumulate before the fallback
+                /// GC trims its current chain store.
+                const HETERO_CHAIN_CAP: u64 = 65_536;
+                for t in db.inner.tables.read().iter() {
+                    for c in &t.cols {
+                        c.versioned.release_frozen(min);
+                        if c.versioned.current_store().version_count() > HETERO_CHAIN_CAP {
+                            c.versioned.gc(min);
+                        }
+                    }
+                }
+            }
+            drop(cs);
+        } else {
+            // Homogeneous: installs are fully concurrent — the row
+            // latches are the only synchronisation.
+            for (w, old_ts, old_word) in &latched {
+                let state = self.table(TableId(w.col.table));
+                let col = state.col(w.col.col as usize);
+                let area = col.current_area();
+                col.versioned
+                    .install_locked(&area, w.row, *old_ts, *old_word, w.new_word, commit_ts)
+                    .expect("install failed after the commit was logged");
+                col.last_mutation_ts.store(commit_ts, Ordering::Release);
+            }
+            sched::hit("commit:installed");
+            db.inner.oracle.complete_commit(commit_ts);
 
-        // Snapshot trigger every n commits (§5.1(3)).
-        cs.commits_since_snapshot += 1;
-        cs.commits_since_prune += 1;
-        if heterogeneous && cs.commits_since_snapshot >= db.inner.config.snapshot_every_commits {
-            cs.commits_since_snapshot = 0;
-            db.inner.snapman.trigger_epoch(&mut cs, commit_ts);
-            if db.inner.config.eager_materialization {
-                // §2.2.2's rejected eager alternative, kept as an ablation:
-                // snapshot every column of every table right away.
-                let tables: Vec<_> = db.inner.tables.read().clone();
-                for (tid, state) in tables.iter().enumerate() {
-                    for cid in 0..state.cols.len() {
-                        db.inner.snapman.materialize_column(
-                            &mut cs, state, tid as u16, cid as u16, commit_ts,
-                        )?;
+            // Periodic housekeeping, cadenced by an atomic tick (the
+            // install path holds no lock to keep a counter under); the
+            // threshold-crossing committer takes the commit section just
+            // for the prune.
+            let tick = db.inner.prune_tick.fetch_add(1, Ordering::Relaxed) + 1;
+            if tick.is_multiple_of(128) {
+                let _cs = db.lock_commit();
+                let min = db
+                    .inner
+                    .active
+                    .min_active_or(db.inner.oracle.last_completed());
+                db.inner.recent.prune(min);
+                db.inner.snapman.graveyard.drain(min);
+                for t in db.inner.tables.read().iter() {
+                    for c in &t.cols {
+                        c.versioned.release_frozen(min);
                     }
                 }
             }
         }
-        // Periodic housekeeping: prune the recently-committed list and
-        // retire frozen chain stores behind the active horizon. In
-        // heterogeneous mode the snapshot hand-over is the garbage
-        // collector — but an analytics-free phase takes no snapshots, so a
-        // bounded fallback keeps chains from growing without limit (a case
-        // the paper does not discuss).
-        if cs.commits_since_prune >= 128 {
-            cs.commits_since_prune = 0;
-            let min = db.inner.active.min_active_or(commit_ts);
-            db.inner.recent.prune(min);
-            db.inner.snapman.graveyard.drain(min);
-            /// Versions one column may accumulate before the fallback GC
-            /// trims its current chain store.
-            const HETERO_CHAIN_CAP: u64 = 65_536;
-            for t in db.inner.tables.read().iter() {
-                for c in &t.cols {
-                    c.versioned.release_frozen(min);
-                    if heterogeneous
-                        && c.versioned.current_store().version_count() > HETERO_CHAIN_CAP
-                    {
-                        c.versioned.gc(min);
-                    }
-                }
-            }
-        }
-        drop(cs);
-        // Group-commit fsync, off the serialized section: one leader's
-        // fdatasync covers every record appended before it started, so
-        // concurrent committers share syncs instead of queueing them.
+
+        // Stage 7 — group-commit fsync, outside every lock and latch: one
+        // leader's fdatasync covers every record appended before it
+        // started, so concurrent committers share syncs instead of
+        // queueing them.
         if let Some((dura, lsn)) = wal_pending {
+            sched::hit("commit:pre-fsync");
             // An fsync failure after install cannot be rolled back (the
             // writes are visible) and must not be reported as success
             // (the WAL page cache state is unknowable after a failed
@@ -431,8 +695,6 @@ impl Txn {
                 .sync_to(lsn)
                 .expect("WAL fsync failed; cannot guarantee durability of an applied commit");
         }
-        self.release();
-        db.inner.stats.committed.fetch_add(1, Ordering::Relaxed);
         Ok(commit_ts)
     }
 

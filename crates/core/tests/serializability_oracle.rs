@@ -7,6 +7,8 @@
 //! locking, install ordering, version chains, epoch hand-over — and fails
 //! on any anomaly full serializability forbids.
 
+mod common;
+
 use anker_core::{AnkerDb, ColumnDef, DbConfig, LogicalType, Schema, TxnKind};
 use proptest::prelude::*;
 
@@ -230,5 +232,48 @@ proptest! {
              (committed order: {:?})",
             order
         );
+    }
+}
+
+// ---------------------------------------------------------------------
+// The threaded oracle: real concurrent committers (the single-threaded
+// proptest above interleaves steps but commits one at a time, so it can
+// never catch a pipeline race). 2–8 OS threads hammer Zipf-skewed keys
+// through the read-compute-write driver of `tests/common`, including the
+// bounded conflict-repair path, and the whole history must replay
+// serially in commit-timestamp order.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn threaded_history_is_commit_order_serializable(
+        threads in 2usize..=8,
+        txns_per_thread in 8usize..=32,
+        theta_tenths in 0u32..=12,
+        repair_rounds in 0u32..=3,
+        seed in any::<u64>(),
+        hetero in any::<bool>(),
+    ) {
+        let config = if hetero {
+            DbConfig::heterogeneous_serializable().with_snapshot_every(8)
+        } else {
+            DbConfig::homogeneous_serializable()
+        };
+        let cfg = common::StressConfig {
+            threads,
+            txns_per_thread,
+            rows: 24,
+            theta: theta_tenths as f64 / 10.0,
+            max_reads: 3,
+            repair_rounds,
+            seed,
+        };
+        let (db, t, c) = common::one_col_db(config, cfg.rows);
+        // `run_commit_stress` panics (→ proptest failure + shrink) on any
+        // serializability violation.
+        let out = common::run_commit_stress(&db, t, c, &cfg);
+        prop_assert!(out.committed > 0);
     }
 }

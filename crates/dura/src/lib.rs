@@ -22,6 +22,7 @@
 //! let lsn = wal
 //!     .append(&WalRecord::Commit {
 //!         commit_ts: 1,
+//!         seq: 0,
 //!         writes: vec![WalWrite { table: 0, col: 0, row: 7, word: 42 }],
 //!     })
 //!     .unwrap();
@@ -113,6 +114,7 @@ mod tests {
     fn commit(ts: u64, row: u32, word: u64) -> WalRecord {
         WalRecord::Commit {
             commit_ts: ts,
+            seq: ts, // tests append in ts order; seq mirrors it
             writes: vec![WalWrite {
                 table: 0,
                 col: 0,

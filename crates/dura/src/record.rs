@@ -80,9 +80,16 @@ pub enum WalRecord {
         words: Vec<u64>,
     },
     /// A transaction committed at `commit_ts` with this write set, in
-    /// install order.
+    /// install order. `seq` is the engine's append sequence number: the
+    /// concurrent commit pipeline appends commit records **out of
+    /// timestamp order** (file order = append order), and recovery sorts
+    /// buffered commits by `(commit_ts, seq)` before applying them. The
+    /// encoding keeps `commit_ts` in payload bytes 1..9 — right after the
+    /// tag — so segment scans can peek a commit's timestamp without a full
+    /// decode.
     Commit {
         commit_ts: u64,
+        seq: u64,
         writes: Vec<WalWrite>,
     },
 }
@@ -230,9 +237,15 @@ impl WalRecord {
                     out.extend_from_slice(&w.to_le_bytes());
                 }
             }
-            WalRecord::Commit { commit_ts, writes } => {
+            WalRecord::Commit {
+                commit_ts,
+                seq,
+                writes,
+            } => {
                 out.push(TAG_COMMIT);
+                // commit_ts first: segment scans peek bytes 1..9.
                 out.extend_from_slice(&commit_ts.to_le_bytes());
+                out.extend_from_slice(&seq.to_le_bytes());
                 out.extend_from_slice(&(writes.len() as u32).to_le_bytes());
                 for w in writes {
                     out.extend_from_slice(&w.table.to_le_bytes());
@@ -249,7 +262,7 @@ impl WalRecord {
         match self {
             WalRecord::CreateTable { .. } => 256,
             WalRecord::FillColumn { words, .. } => 16 + words.len() * 8,
-            WalRecord::Commit { writes, .. } => 16 + writes.len() * 16,
+            WalRecord::Commit { writes, .. } => 24 + writes.len() * 16,
         }
     }
 
@@ -281,6 +294,7 @@ impl WalRecord {
             }
             TAG_COMMIT => {
                 let commit_ts = r.u64()?;
+                let seq = r.u64()?;
                 let n = r.u32()? as usize;
                 let mut writes = Vec::with_capacity(n.min(1 << 20));
                 for _ in 0..n {
@@ -291,7 +305,11 @@ impl WalRecord {
                         word: r.u64()?,
                     });
                 }
-                WalRecord::Commit { commit_ts, writes }
+                WalRecord::Commit {
+                    commit_ts,
+                    seq,
+                    writes,
+                }
             }
             tag => return Err(DuraError::Corrupt(format!("unknown record tag {tag}"))),
         };
@@ -345,6 +363,7 @@ mod tests {
             },
             WalRecord::Commit {
                 commit_ts: 77,
+                seq: 12,
                 writes: vec![
                     WalWrite {
                         table: 2,
@@ -362,6 +381,7 @@ mod tests {
             },
             WalRecord::Commit {
                 commit_ts: 78,
+                seq: 13,
                 writes: vec![],
             },
         ]

@@ -10,8 +10,9 @@
 //! * **Atomic commit visibility**: the paper logs the start and end time of
 //!   a transaction's commit phase so all its writes become visible
 //!   atomically. Here, readers draw their start timestamp from a
-//!   `last completed commit` watermark and per-row write timestamps carry a
-//!   PENDING bit during the (serialized) install window
+//!   stable-timestamp watermark (commits may install out of order; the
+//!   watermark advances as holes fill) and per-row write timestamps carry
+//!   a PENDING bit while a committer holds the row's install latch
 //!   ([`timestamp::TsOracle`], [`version::VersionedColumn`]).
 //! * **Cheap aborts**: uncommitted writes live only in the transaction's
 //!   local write set ([`txn::Transaction`]); an abort just drops them
@@ -62,7 +63,10 @@ pub mod timestamp;
 pub mod txn;
 pub mod version;
 
-pub use commit::{ActiveToken, ActiveTxns, CommitRecord, RecentCommits, WriteRecord};
+pub use commit::{
+    ActiveToken, ActiveTxns, CommitRecord, RecentCommits, ShardGuards, ValidationConflict,
+    WriteRecord, VALIDATION_SHARDS,
+};
 pub use predicate::{ColRef, Pred, PredicateSet};
 pub use timestamp::{TsOracle, PENDING};
 pub use txn::{LocalWrite, Transaction, TxnId};

@@ -46,6 +46,16 @@ pub enum Pred {
 }
 
 impl Pred {
+    /// The column this predicate covers.
+    pub fn col_ref(&self) -> ColRef {
+        match self {
+            Pred::FullColumn { col }
+            | Pred::Range { col, .. }
+            | Pred::DictEq { col, .. }
+            | Pred::Rows { col, .. } => *col,
+        }
+    }
+
     /// Does the committed write `(col, row, old, new)` intersect this
     /// predicate?
     pub fn intersects(&self, col: ColRef, row: u32, old: u64, new: u64) -> bool {
@@ -122,6 +132,12 @@ impl PredicateSet {
     /// True if nothing was recorded.
     pub fn is_empty(&self) -> bool {
         self.preds.is_empty()
+    }
+
+    /// The (unsorted, possibly repeating) table ids the predicates cover —
+    /// the validation-shard footprint of the transaction's read set.
+    pub fn tables(&self) -> impl Iterator<Item = u16> + '_ {
+        self.preds.iter().map(|p| p.col_ref().table)
     }
 
     /// Does any predicate intersect the committed write

@@ -2,30 +2,53 @@
 //!
 //! The paper (§2.2.1, step 3) logs "both the start and end time of a
 //! transaction's commit phase to ensure that both writes become visible
-//! atomically". We realise that with two counters:
+//! atomically". We realise that with two counters and an in-flight set:
 //!
-//! * `next_commit` hands out commit timestamps at the *start* of the
-//!   (serialized) install phase;
-//! * `last_completed` is advanced to the commit timestamp only after *all*
-//!   of the transaction's writes are installed.
+//! * `next_commit` hands out commit timestamps ([`TsOracle::begin_commit`]
+//!   registers the timestamp as *in flight* atomically with allocation);
+//! * `last_completed` is the **stable-timestamp watermark**: the largest
+//!   `w` such that every commit with `ts <= w` has either fully installed
+//!   its writes ([`TsOracle::complete_commit`]) or aborted
+//!   ([`TsOracle::abort_commit`]).
 //!
-//! Readers draw their start timestamp from `last_completed`, so a reader can
-//! never observe a half-installed commit: every commit with
-//! `ts <= start_ts` is fully visible, every commit with `ts > start_ts` is
-//! fully invisible (rows mid-install additionally carry [`PENDING`]).
+//! Commits may complete **out of order** (the concurrent commit pipeline
+//! installs independently per transaction); the watermark only advances
+//! over a timestamp once every *earlier* timestamp has settled, so a
+//! reader drawing its start timestamp from `last_completed` can never
+//! observe a half-installed commit: every commit with `ts <= start_ts` is
+//! fully visible, every commit with `ts > start_ts` is fully invisible
+//! (rows mid-install additionally carry [`PENDING`]).
+//!
+//! The same watermark is the engine's GC/pruning fallback horizon: nothing
+//! above it is guaranteed installed, so version-chain GC, snapshot-area
+//! recycling and epoch triggering must never use the raw `next_commit`
+//! counter as "now".
 
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Bit set in a row's write-timestamp word while its new value is being
-/// installed. Readers that encounter it briefly spin — the install window
-/// is a handful of stores.
+/// installed (the per-row install latch of the commit pipeline). Readers
+/// that encounter it briefly spin — writers hold it across validation +
+/// WAL append + install, still microseconds.
 pub const PENDING: u64 = 1 << 63;
+
+#[derive(Debug, Default)]
+struct Inflight {
+    /// Commit timestamps handed out but neither completed nor aborted.
+    set: BTreeSet<u64>,
+    /// When set, [`TsOracle::begin_commit`] parks new commits (stop-the-
+    /// world window for homogeneous version-chain GC).
+    frozen: bool,
+}
 
 /// The timestamp oracle.
 #[derive(Debug)]
 pub struct TsOracle {
     next_commit: AtomicU64,
     last_completed: AtomicU64,
+    inflight: Mutex<Inflight>,
 }
 
 impl Default for TsOracle {
@@ -35,6 +58,7 @@ impl Default for TsOracle {
             // carries ts 0 and is visible to everyone.
             next_commit: AtomicU64::new(1),
             last_completed: AtomicU64::new(0),
+            inflight: Mutex::new(Inflight::default()),
         }
     }
 }
@@ -45,36 +69,92 @@ impl TsOracle {
         TsOracle::default()
     }
 
-    /// Start timestamp for a new transaction: the newest fully-installed
-    /// commit.
+    /// Start timestamp for a new transaction: the stable watermark.
     #[inline]
     pub fn start_ts(&self) -> u64 {
         self.last_completed.load(Ordering::Acquire)
     }
 
-    /// Allocate the next commit timestamp. Must be called inside the
-    /// serialized commit section.
+    /// Allocate the next commit timestamp and register it as in flight.
+    /// Every caller must eventually hand the timestamp back through
+    /// [`TsOracle::complete_commit`] or [`TsOracle::abort_commit`], or the
+    /// watermark stalls forever.
     #[inline]
     pub fn begin_commit(&self) -> u64 {
-        self.next_commit.fetch_add(1, Ordering::Relaxed)
+        loop {
+            let mut inf = self.inflight.lock();
+            if inf.frozen {
+                drop(inf);
+                std::thread::yield_now();
+                continue;
+            }
+            let ts = self.next_commit.fetch_add(1, Ordering::Relaxed);
+            inf.set.insert(ts);
+            return ts;
+        }
     }
 
-    /// Publish `commit_ts` as fully installed. Must be called inside the
-    /// serialized commit section, after all writes are in place.
+    /// Publish `commit_ts` as fully installed. Commits may complete in any
+    /// order; the watermark advances to the largest prefix of settled
+    /// timestamps.
     #[inline]
     pub fn complete_commit(&self, commit_ts: u64) {
         debug_assert!(commit_ts < PENDING, "timestamp space exhausted");
-        debug_assert!(
-            self.last_completed.load(Ordering::Relaxed) < commit_ts,
-            "commits must complete in order"
-        );
-        self.last_completed.store(commit_ts, Ordering::Release);
+        self.finish(commit_ts);
     }
 
-    /// The newest fully-installed commit timestamp.
+    /// Retire an aborted commit timestamp: it will never install anything,
+    /// so the watermark may advance over it.
+    #[inline]
+    pub fn abort_commit(&self, commit_ts: u64) {
+        self.finish(commit_ts);
+    }
+
+    fn finish(&self, commit_ts: u64) {
+        let mut inf = self.inflight.lock();
+        let was = inf.set.remove(&commit_ts);
+        debug_assert!(was, "timestamp {commit_ts} finished twice or never begun");
+        // Watermark = everything below the oldest still-in-flight commit,
+        // or everything allocated when none is in flight. `next_commit`
+        // only moves under this lock, so the empty-set read is exact.
+        let wm = match inf.set.first() {
+            Some(&oldest) => oldest - 1,
+            None => self.next_commit.load(Ordering::Relaxed) - 1,
+        };
+        if wm > self.last_completed.load(Ordering::Relaxed) {
+            self.last_completed.store(wm, Ordering::Release);
+        }
+    }
+
+    /// The stable watermark (see module docs).
     #[inline]
     pub fn last_completed(&self) -> u64 {
         self.last_completed.load(Ordering::Acquire)
+    }
+
+    /// True when no commit timestamp is in flight — the watermark equals
+    /// the newest allocated timestamp and the version store is quiescent.
+    pub fn drained(&self) -> bool {
+        self.inflight.lock().set.is_empty()
+    }
+
+    /// Park all future [`TsOracle::begin_commit`] calls. Combine with a
+    /// [`TsOracle::drained`] wait to get a commit-quiescent window (the
+    /// homogeneous GC pass, which rewrites chain blocks no lock protects
+    /// against concurrent installers).
+    ///
+    /// # Panics
+    /// Panics when already frozen (freezers must serialize, e.g. under the
+    /// engine's commit lock).
+    pub fn freeze_commits(&self) {
+        let mut inf = self.inflight.lock();
+        assert!(!inf.frozen, "commit freeze is not reentrant");
+        inf.frozen = true;
+    }
+
+    /// Re-admit commits after [`TsOracle::freeze_commits`].
+    pub fn unfreeze_commits(&self) {
+        self.inflight.lock().frozen = false;
     }
 
     /// Fast-forward the oracle to `ts`: the next commit timestamp will be
@@ -85,6 +165,7 @@ impl TsOracle {
     /// transactions (never moves backwards).
     pub fn advance_to(&self, ts: u64) {
         debug_assert!(ts < PENDING, "timestamp space exhausted");
+        debug_assert!(self.drained(), "advance_to with commits in flight");
         let cur = self.last_completed.load(Ordering::Acquire);
         assert!(
             cur <= ts,
@@ -123,11 +204,66 @@ mod tests {
     }
 
     #[test]
+    fn out_of_order_completion_gates_the_watermark() {
+        let o = TsOracle::new();
+        let a = o.begin_commit(); // 1
+        let b = o.begin_commit(); // 2
+        let c = o.begin_commit(); // 3
+                                  // The newest completes first: nothing below it has settled, so the
+                                  // watermark must not move — a reader at ts 3 would otherwise see
+                                  // commit 3 but miss the still-installing commits 1 and 2.
+        o.complete_commit(c);
+        assert_eq!(o.last_completed(), 0);
+        o.complete_commit(a);
+        assert_eq!(o.last_completed(), 1, "hole at 2 still open");
+        o.complete_commit(b);
+        assert_eq!(o.last_completed(), 3, "hole filled: watermark jumps");
+    }
+
+    #[test]
+    fn aborts_fill_watermark_holes() {
+        let o = TsOracle::new();
+        let a = o.begin_commit();
+        let b = o.begin_commit();
+        o.complete_commit(b);
+        assert_eq!(o.last_completed(), 0);
+        o.abort_commit(a);
+        assert_eq!(o.last_completed(), b);
+        assert!(o.drained());
+    }
+
+    #[test]
+    fn freeze_blocks_new_commits_until_unfrozen() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let o = Arc::new(TsOracle::new());
+        o.freeze_commits();
+        assert!(o.drained());
+        let entered = Arc::new(AtomicBool::new(false));
+        let h = {
+            let o = Arc::clone(&o);
+            let entered = Arc::clone(&entered);
+            std::thread::spawn(move || {
+                let ts = o.begin_commit();
+                entered.store(true, Ordering::SeqCst);
+                o.complete_commit(ts);
+                ts
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!entered.load(Ordering::SeqCst), "begin_commit parked");
+        o.unfreeze_commits();
+        let ts = h.join().unwrap();
+        assert_eq!(o.last_completed(), ts);
+    }
+
+    #[test]
     fn pending_bit_is_above_any_timestamp() {
         let o = TsOracle::new();
         for _ in 0..1000 {
             let c = o.begin_commit();
             assert_eq!(c & PENDING, 0);
+            o.complete_commit(c);
         }
     }
 }

@@ -61,6 +61,18 @@ impl Transaction {
         self.read_only
     }
 
+    /// Move the snapshot forward to `new_start` (conflict repair): after a
+    /// failed validation the transaction re-reads its conflicting keys at
+    /// a fresh watermark and revalidates only against commits younger than
+    /// it. Never moves backwards.
+    pub fn advance_snapshot(&mut self, new_start: u64) {
+        debug_assert!(
+            new_start >= self.start_ts,
+            "snapshot may only advance forwards"
+        );
+        self.start_ts = new_start;
+    }
+
     /// Buffer a write; later writes to the same `(col, row)` overwrite the
     /// earlier buffered value (last-writer-wins within the transaction).
     pub fn write(&mut self, col: ColRef, row: u32, new_word: u64) {

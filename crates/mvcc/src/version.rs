@@ -103,6 +103,41 @@ impl Block {
             last: AtomicU32::new(0),
         }
     }
+
+    /// Acquire the seqlock writer side (even → odd). The commit pipeline
+    /// installs concurrently, so writers targeting the same block must
+    /// serialize here instead of assuming a single serialized committer.
+    fn write_lock(&self) {
+        let mut spins = 0u32;
+        loop {
+            let s = self.seq.load(Ordering::Relaxed);
+            if s & 1 == 0
+                && self
+                    .seq
+                    .compare_exchange_weak(
+                        s,
+                        s.wrapping_add(1),
+                        Ordering::Acquire,
+                        Ordering::Relaxed,
+                    )
+                    .is_ok()
+            {
+                fence(Ordering::Release);
+                return;
+            }
+            spins += 1;
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Release the seqlock writer side (odd → even).
+    fn write_unlock(&self) {
+        self.seq.fetch_add(1, Ordering::Release);
+    }
 }
 
 /// One epoch's version chains for one column: sharded row → chain maps plus
@@ -157,14 +192,15 @@ impl ChainStore {
 
     /// Prepend a version to `row`'s chain and widen the row's skip block.
     ///
-    /// Must be called by at most one thread at a time (the engine's
-    /// serialized commit section) — the seqlock writer side relies on it.
+    /// Safe under concurrent pushers: the seqlock writer side is acquired
+    /// exclusively (even → odd CAS), so pipeline installs landing in the
+    /// same block serialize briefly; per-row ordering is the caller's
+    /// responsibility (the commit pipeline's per-row install latch).
     pub fn push(&self, row: u32, value: u64, ts: u64) {
         // Seqlock write: mark the block dirty before touching chain or
         // range so concurrent tight scans retry.
         let block = &self.blocks[(row / BLOCK_ROWS) as usize];
-        block.seq.fetch_add(1, Ordering::Relaxed); // now odd
-        fence(Ordering::Release);
+        block.write_lock(); // now odd
         {
             let mut shard = self.shard(row).write();
             shard.entry(row).or_default().push(value, ts);
@@ -172,7 +208,7 @@ impl ChainStore {
         block.first.fetch_min(row, Ordering::Relaxed);
         block.last.fetch_max(row, Ordering::Relaxed);
         self.versions.fetch_add(1, Ordering::Relaxed);
-        block.seq.fetch_add(1, Ordering::Release); // even again
+        block.write_unlock(); // even again
     }
 
     /// The newest version of `row` visible at `start_ts`, if this store has
@@ -214,7 +250,14 @@ impl ChainStore {
     /// Homogeneous-mode garbage collection: drop every version that no
     /// transaction with `start_ts >= min_active` can see. `row_ts` is the
     /// column's in-place write-timestamp array. Returns the number of
-    /// removed versions. Must run inside the serialized commit section.
+    /// removed versions.
+    ///
+    /// Must run in a **commit-quiescent window** — the engine freezes
+    /// `begin_commit` and drains in-flight commits first
+    /// ([`crate::TsOracle::freeze_commits`]): the pass recomputes every
+    /// block's skip range from the retained chains, and a concurrent
+    /// install between the retain and the range rewrite would be erased
+    /// from the skip index (scans would then miss its version).
     pub fn gc(&self, min_active: u64, row_ts: &[AtomicU64]) -> u64 {
         let mut removed = 0u64;
         let n_blocks = self.blocks.len();
@@ -238,11 +281,10 @@ impl ChainStore {
             });
         }
         for (i, block) in self.blocks.iter().enumerate() {
-            block.seq.fetch_add(1, Ordering::Relaxed);
-            fence(Ordering::Release);
+            block.write_lock();
             block.first.store(block_first[i], Ordering::Relaxed);
             block.last.store(block_last[i], Ordering::Relaxed);
-            block.seq.fetch_add(1, Ordering::Release);
+            block.write_unlock();
         }
         self.versions.fetch_sub(removed, Ordering::Relaxed);
         removed
@@ -354,38 +396,49 @@ impl VersionedColumn {
 
     /// Read `row` as of `start_ts`: the in-place value when visible,
     /// otherwise the newest chain version visible at `start_ts`.
+    ///
+    /// **Never waits on the install latch.** A committer holds a row's
+    /// latch across validation and the WAL append — an unbounded window
+    /// (a parked sched gate, a slow disk) — so a reader that spun on
+    /// [`PENDING`] would stall for the whole pipeline and, under a
+    /// deterministic schedule, deadlock against the latch holder. Instead
+    /// the latch word is read *through*:
+    ///
+    /// * While the commit is pre-install, the word is
+    ///   `old_ts | PENDING` and the in-place value is still the old
+    ///   version — exactly the one a reader with `start_ts >= old_ts`
+    ///   must see. It is stable as long as the word does not change:
+    ///   [`VersionedColumn::install_locked`] advances the word to
+    ///   `commit_ts | PENDING` *before* touching the value.
+    /// * Once the word carries `commit_ts` (mid-install or released),
+    ///   `commit_ts > start_ts` for every reader — an incomplete commit's
+    ///   timestamp is above the stable-ts watermark that bounds all
+    ///   reader snapshots — and the replaced value is already in the
+    ///   chain (pushed before the word advanced), so the chain walk
+    ///   serves the read without touching the in-place slot.
     pub fn read(&self, area: &ColumnArea, row: u32, start_ts: u64) -> anker_vmem::Result<u64> {
         loop {
             let t1 = self.row_ts[row as usize].load(Ordering::Acquire);
-            if t1 & PENDING != 0 {
-                // A commit is installing this row; the window is a handful
-                // of stores under the commit lock.
-                std::hint::spin_loop();
-                continue;
+            if t1 & !PENDING > start_ts {
+                return Ok(self.find_version(row, start_ts));
             }
-            if t1 <= start_ts {
-                let v = area.get(row)?;
-                // Re-validate: a concurrent install may have overwritten the
-                // value after we loaded the timestamp.
-                let t2 = self.row_ts[row as usize].load(Ordering::Acquire);
-                if t2 == t1 {
-                    return Ok(v);
-                }
-                continue;
+            let v = area.get(row)?;
+            // Re-validate: a concurrent install may have overwritten the
+            // value after we loaded the timestamp (any overwrite first
+            // moves the word, latched or not).
+            let t2 = self.row_ts[row as usize].load(Ordering::Acquire);
+            if t2 == t1 {
+                return Ok(v);
             }
-            return Ok(self.find_version(row, start_ts));
         }
     }
 
-    /// Read the newest committed value of `row` (stable under concurrent
-    /// installs).
+    /// Read the newest installed value of `row` (never waits on the
+    /// install latch; a pre-install latched row reads as its old value,
+    /// see [`VersionedColumn::read`]).
     pub fn read_latest(&self, area: &ColumnArea, row: u32) -> anker_vmem::Result<u64> {
         loop {
             let t1 = self.row_ts[row as usize].load(Ordering::Acquire);
-            if t1 & PENDING != 0 {
-                std::hint::spin_loop();
-                continue;
-            }
             let v = area.get(row)?;
             let t2 = self.row_ts[row as usize].load(Ordering::Acquire);
             if t2 == t1 {
@@ -410,12 +463,97 @@ impl VersionedColumn {
         );
     }
 
+    /// Acquire `row`'s **install latch**: atomically set [`PENDING`] on
+    /// its write-timestamp word (spinning out a concurrent holder) and
+    /// read the current in-place value. Returns
+    /// `(old_ts, old_word)` — the pre-latch timestamp and value.
+    ///
+    /// This is stage 1 of the concurrent commit pipeline: a committer
+    /// latches **all** its write rows in ascending `(col, row)` order
+    /// before taking any validation-shard lock, which (with the sorted
+    /// order) makes the two-phase acquisition deadlock-free. The caller
+    /// decides write-write conflicts from `old_ts` and must end the latch
+    /// with either [`VersionedColumn::install_locked`] (commit) or
+    /// [`VersionedColumn::unlock_row`] (abort).
+    pub fn lock_row(&self, area: &ColumnArea, row: u32) -> anker_vmem::Result<(u64, u64)> {
+        let slot = &self.row_ts[row as usize];
+        let mut spins = 0u32;
+        let t_old = loop {
+            let t = slot.load(Ordering::Acquire);
+            if t & PENDING == 0
+                && slot
+                    .compare_exchange_weak(t, t | PENDING, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            {
+                break t;
+            }
+            spins += 1;
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        };
+        // The in-place value is stable while we hold the latch: only
+        // installers mutate it, and they need the latch first.
+        match area.get(row) {
+            Ok(old) => Ok((t_old, old)),
+            Err(e) => {
+                slot.store(t_old, Ordering::Release);
+                Err(e)
+            }
+        }
+    }
+
+    /// Release `row`'s install latch without installing anything (abort
+    /// path): restore the pre-latch timestamp returned by
+    /// [`VersionedColumn::lock_row`].
+    pub fn unlock_row(&self, row: u32, old_ts: u64) {
+        debug_assert_eq!(old_ts & PENDING, 0);
+        let slot = &self.row_ts[row as usize];
+        debug_assert_ne!(slot.load(Ordering::Relaxed) & PENDING, 0, "row not latched");
+        slot.store(old_ts, Ordering::Release);
+    }
+
+    /// Install one committed write on a row latched by
+    /// [`VersionedColumn::lock_row`]: move the old value into the version
+    /// chain, store the new value in place, and release the latch at
+    /// `commit_ts`. `area` is re-resolved by the caller at install time
+    /// (a heterogeneous snapshot may have swapped the column area since
+    /// the latch was taken; contents are identical, so `old_word` stays
+    /// valid).
+    ///
+    /// On error the row is left latched — the caller must treat a failed
+    /// install after the commit is published as fatal.
+    pub fn install_locked(
+        &self,
+        area: &ColumnArea,
+        row: u32,
+        old_ts: u64,
+        old_word: u64,
+        new_word: u64,
+        commit_ts: u64,
+    ) -> anker_vmem::Result<()> {
+        debug_assert!(old_ts < commit_ts, "non-monotonic install");
+        // Order matters for latch-ignoring readers (see
+        // [`VersionedColumn::read`]): (1) the replaced value enters the
+        // chain, (2) the word advances to `commit_ts | PENDING` so no
+        // reader trusts the in-place slot any more, (3) only then is the
+        // value overwritten, (4) the latch releases at `commit_ts`.
+        self.current.read().push(row, old_word, old_ts);
+        self.row_ts[row as usize].store(commit_ts | PENDING, Ordering::Release);
+        area.set(row, new_word)?;
+        self.row_ts[row as usize].store(commit_ts, Ordering::Release);
+        Ok(())
+    }
+
     /// Install one committed write: move the old value into the version
     /// chain and store the new value in place, with the PENDING protocol
     /// making the switch atomic for readers. Returns the replaced value
-    /// (commit records need it for predicate validation).
-    ///
-    /// Must be called inside the serialized commit section.
+    /// (commit records need it for predicate validation). Convenience
+    /// composition of [`VersionedColumn::lock_row`] +
+    /// [`VersionedColumn::install_locked`] for single-site callers; the
+    /// engine's pipeline uses the split form.
     pub fn install(
         &self,
         area: &ColumnArea,
@@ -423,16 +561,9 @@ impl VersionedColumn {
         new_word: u64,
         commit_ts: u64,
     ) -> anker_vmem::Result<u64> {
-        let slot = &self.row_ts[row as usize];
-        let t_old = slot.load(Ordering::Relaxed);
-        debug_assert_eq!(t_old & PENDING, 0, "concurrent install on row {row}");
-        debug_assert!(t_old < commit_ts, "non-monotonic install");
-        slot.store(commit_ts | PENDING, Ordering::Release);
-        let old = area.get(row)?;
-        self.current.read().push(row, old, t_old);
-        area.set(row, new_word)?;
-        slot.store(commit_ts, Ordering::Release);
-        Ok(old)
+        let (old_ts, old_word) = self.lock_row(area, row)?;
+        self.install_locked(area, row, old_ts, old_word, new_word, commit_ts)?;
+        Ok(old_word)
     }
 
     /// Freeze the current chain store for a snapshot at `freeze_ts` and
@@ -477,8 +608,8 @@ impl VersionedColumn {
         current + frozen
     }
 
-    /// Homogeneous-mode GC of the current store (see [`ChainStore::gc`]).
-    /// Must be called inside the serialized commit section.
+    /// Homogeneous-mode GC of the current store (see [`ChainStore::gc`]
+    /// for the commit-quiescence requirement).
     pub fn gc(&self, min_active: u64) -> u64 {
         let cur = self.current_store();
         cur.gc(min_active, &self.row_ts)

@@ -3,8 +3,9 @@
 //! Deliberately tiny: a fast non-cryptographic hasher (so we do not need an
 //! external hashing crate), small statistics helpers for the benchmark
 //! harness, a fixed-width table printer used by the `repro_*` binaries to
-//! print paper-style result tables, and the reusable [`WorkerPool`] behind
-//! morsel-parallel snapshot scans.
+//! print paper-style result tables, the reusable [`WorkerPool`] behind
+//! morsel-parallel snapshot scans, and the [`sched`] deterministic-
+//! interleaving sync points the commit-pipeline race tests drive.
 //!
 //! ## Example
 //!
@@ -26,10 +27,12 @@
 
 pub mod fxhash;
 pub mod pool;
+pub mod sched;
 pub mod stats;
 pub mod table;
 
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use pool::WorkerPool;
+pub use sched::SchedCtl;
 pub use stats::Summary;
 pub use table::TableBuilder;

@@ -1,0 +1,274 @@
+//! Deterministic-interleaving sync points ([`SchedCtl`]).
+//!
+//! The commit pipeline passes through a handful of *named points*
+//! (`sched::hit("commit:latched")`, …). In production nothing is
+//! installed and a hit is one relaxed atomic load — effectively free. A
+//! test installs a [`SchedCtl`] controller and can then *pause* any point:
+//! threads hitting a paused point park until the controller releases them,
+//! which turns "run two committers and hope the race window opens" into a
+//! replayable, always-reproducible schedule.
+//!
+//! Points are process-global (the pipeline code cannot thread a handle
+//! through every layer), so only **one controller can exist at a time**
+//! and tests that use the gate must serialize against each other (take a
+//! shared `static` test mutex, or rely on `cargo test -- --test-threads=1`
+//! for the file). Dropping the controller releases every parked thread
+//! and disarms the gate.
+//!
+//! Threads can carry a *label* ([`set_label`]) so a pause can target one
+//! specific transaction out of several running the same code path
+//! ([`SchedCtl::pause_label`]).
+//!
+//! ```
+//! use anker_util::sched;
+//!
+//! let ctl = sched::SchedCtl::install();
+//! ctl.pause("demo:point");
+//! let h = std::thread::spawn(|| {
+//!     sched::hit("demo:point"); // parks until released
+//!     7
+//! });
+//! ctl.await_parked("demo:point", 1);
+//! ctl.release("demo:point", 1);
+//! assert_eq!(h.join().unwrap(), 7);
+//! drop(ctl); // disarms; later hits are free
+//! sched::hit("demo:point");
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Fast-path switch: a hit returns immediately unless a controller is
+/// installed.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+struct GateState {
+    /// One controller at a time.
+    installed: bool,
+    /// Paused points: name → pause policy.
+    pauses: HashMap<String, Pause>,
+    /// Threads currently parked per point.
+    parked: HashMap<String, usize>,
+}
+
+struct Pause {
+    /// Only park threads whose [`set_label`] matches (None = all threads).
+    label: Option<String>,
+    /// Number of parked/arriving threads allowed through while the pause
+    /// stays armed ([`SchedCtl::release`]).
+    permits: usize,
+}
+
+fn state() -> &'static (Mutex<GateState>, Condvar) {
+    static S: OnceLock<(Mutex<GateState>, Condvar)> = OnceLock::new();
+    S.get_or_init(|| {
+        (
+            Mutex::new(GateState {
+                installed: false,
+                pauses: HashMap::new(),
+                parked: HashMap::new(),
+            }),
+            Condvar::new(),
+        )
+    })
+}
+
+thread_local! {
+    static LABEL: std::cell::RefCell<Option<String>> = const { std::cell::RefCell::new(None) };
+}
+
+/// Tag the current thread so [`SchedCtl::pause_label`] can target it.
+/// `None` clears the tag.
+pub fn set_label(label: Option<&str>) {
+    LABEL.with(|l| *l.borrow_mut() = label.map(str::to_owned));
+}
+
+fn label_matches(want: &Option<String>) -> bool {
+    match want {
+        None => true,
+        Some(w) => LABEL.with(|l| l.borrow().as_deref() == Some(w.as_str())),
+    }
+}
+
+/// Pass through the named sync point. Free (one relaxed load) unless a
+/// controller armed the gate *and* paused this point for this thread.
+pub fn hit(point: &'static str) {
+    if !ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    let (lock, cv) = state();
+    let mut g = lock.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        let Some(p) = g.pauses.get_mut(point) else {
+            return;
+        };
+        if !label_matches(&p.label) {
+            return;
+        }
+        if p.permits > 0 {
+            p.permits -= 1;
+            return;
+        }
+        *g.parked.entry(point.to_owned()).or_insert(0) += 1;
+        cv.notify_all();
+        g = cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        *g.parked.get_mut(point).expect("parked entry exists") -= 1;
+        // Re-evaluate: the pause may be gone, or a permit may be ours.
+    }
+}
+
+/// Controller handle over the process-global gate. At most one exists at
+/// a time; dropping it releases all parked threads and disarms the gate.
+#[derive(Debug)]
+pub struct SchedCtl {
+    _priv: (),
+}
+
+impl SchedCtl {
+    /// Arm the gate.
+    ///
+    /// # Panics
+    /// Panics if another controller is already installed (gate tests must
+    /// serialize).
+    pub fn install() -> SchedCtl {
+        let (lock, _cv) = state();
+        let mut g = lock.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(
+            !g.installed,
+            "a SchedCtl is already installed; gate tests must serialize"
+        );
+        g.installed = true;
+        ARMED.store(true, Ordering::Relaxed);
+        SchedCtl { _priv: () }
+    }
+
+    /// Park every thread that hits `point` until released.
+    pub fn pause(&self, point: &str) {
+        self.pause_inner(point, None);
+    }
+
+    /// Park only threads labelled `label` (see [`set_label`]) at `point`.
+    pub fn pause_label(&self, point: &str, label: &str) {
+        self.pause_inner(point, Some(label.to_owned()));
+    }
+
+    fn pause_inner(&self, point: &str, label: Option<String>) {
+        let (lock, _cv) = state();
+        let mut g = lock.lock().unwrap_or_else(|e| e.into_inner());
+        g.pauses
+            .insert(point.to_owned(), Pause { label, permits: 0 });
+    }
+
+    /// Block until at least `n` threads are parked at `point`.
+    pub fn await_parked(&self, point: &str, n: usize) {
+        let (lock, cv) = state();
+        let mut g = lock.lock().unwrap_or_else(|e| e.into_inner());
+        while g.parked.get(point).copied().unwrap_or(0) < n {
+            g = cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Number of threads currently parked at `point`.
+    pub fn parked(&self, point: &str) -> usize {
+        let (lock, _cv) = state();
+        let g = lock.lock().unwrap_or_else(|e| e.into_inner());
+        g.parked.get(point).copied().unwrap_or(0)
+    }
+
+    /// Let `n` threads (parked now or arriving later) through `point`
+    /// while keeping the pause armed for the ones after.
+    pub fn release(&self, point: &str, n: usize) {
+        let (lock, cv) = state();
+        let mut g = lock.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(p) = g.pauses.get_mut(point) {
+            p.permits += n;
+        }
+        cv.notify_all();
+    }
+
+    /// Remove the pause on `point` entirely and wake everything parked
+    /// there.
+    pub fn resume(&self, point: &str) {
+        let (lock, cv) = state();
+        let mut g = lock.lock().unwrap_or_else(|e| e.into_inner());
+        g.pauses.remove(point);
+        cv.notify_all();
+    }
+}
+
+impl Drop for SchedCtl {
+    fn drop(&mut self) {
+        let (lock, cv) = state();
+        let mut g = lock.lock().unwrap_or_else(|e| e.into_inner());
+        g.pauses.clear();
+        g.installed = false;
+        ARMED.store(false, Ordering::Relaxed);
+        cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Gate state is process-global: serialize this module's tests.
+    static TEST_MX: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn uninstalled_gate_is_free() {
+        let _t = TEST_MX.lock().unwrap_or_else(|e| e.into_inner());
+        hit("nobody:listens"); // must not block
+    }
+
+    #[test]
+    fn pause_parks_until_released() {
+        let _t = TEST_MX.lock().unwrap_or_else(|e| e.into_inner());
+        let ctl = SchedCtl::install();
+        ctl.pause("p");
+        static STAGE: AtomicUsize = AtomicUsize::new(0);
+        STAGE.store(0, Ordering::SeqCst);
+        let h = std::thread::spawn(|| {
+            STAGE.store(1, Ordering::SeqCst);
+            hit("p");
+            STAGE.store(2, Ordering::SeqCst);
+        });
+        ctl.await_parked("p", 1);
+        assert_eq!(STAGE.load(Ordering::SeqCst), 1, "thread is parked");
+        ctl.release("p", 1);
+        h.join().unwrap();
+        assert_eq!(STAGE.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn labels_select_which_thread_parks() {
+        let _t = TEST_MX.lock().unwrap_or_else(|e| e.into_inner());
+        let ctl = SchedCtl::install();
+        ctl.pause_label("q", "victim");
+        // Unlabelled thread sails through.
+        let free = std::thread::spawn(|| hit("q"));
+        free.join().unwrap();
+        // Labelled thread parks.
+        let parked = std::thread::spawn(|| {
+            set_label(Some("victim"));
+            hit("q");
+        });
+        ctl.await_parked("q", 1);
+        ctl.resume("q");
+        parked.join().unwrap();
+    }
+
+    #[test]
+    fn drop_releases_everything() {
+        let _t = TEST_MX.lock().unwrap_or_else(|e| e.into_inner());
+        let ctl = SchedCtl::install();
+        ctl.pause("r");
+        let h = std::thread::spawn(|| hit("r"));
+        ctl.await_parked("r", 1);
+        drop(ctl);
+        h.join().unwrap();
+        // Gate is disarmed again.
+        hit("r");
+    }
+}
