@@ -11,7 +11,7 @@ use crate::txn::{Txn, TxnKind};
 use anker_dura::DurabilityLevel;
 use anker_mvcc::{ActiveTxns, RecentCommits, TsOracle, VersionedColumn};
 use anker_storage::{ColumnArea, Schema};
-use anker_util::WorkerPool;
+use anker_util::{sched, WorkerPool};
 use anker_vmem::{Kernel, OsBackend, OsStatsSnapshot, Space, VmBackend};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -555,6 +555,13 @@ impl AnkerDb {
     /// to run T3 on, the first snapshot is taken").
     pub(crate) fn pin_current_epoch(&self) -> Arc<Epoch> {
         let max_age = self.inner.config.snapshot_every_commits;
+        // Under sustained commit traffic a commit-quiescent instant may
+        // never occur on its own (there is always some timestamp in
+        // flight), so after this many failed rounds the arrival *forces*
+        // quiescence instead of retrying forever — epoch creation must not
+        // starve behind writers.
+        const FORCE_AFTER: u32 = 64;
+        let mut rounds = 0u32;
         loop {
             let now = self.inner.oracle.last_completed();
             if let Some(e) = self.inner.snapman.pin_newest_fresh(now, max_age) {
@@ -582,8 +589,55 @@ impl AnkerDb {
                 return epoch;
             }
             drop(cs);
+            rounds += 1;
+            if rounds >= FORCE_AFTER {
+                if let Some(e) = self.force_quiescent_epoch(max_age) {
+                    return e;
+                }
+                // Another arrival holds the freeze; its epoch will satisfy
+                // the fast path on the next round.
+            }
             std::thread::yield_now();
         }
+    }
+
+    /// Force a commit-quiescent window and take an epoch inside it: park
+    /// commit-timestamp allocation, let the in-flight committers drain,
+    /// then trigger + pin under the commit lock. This bounds OLAP snapshot
+    /// latency under sustained commit traffic at the cost of a brief
+    /// commit stall — the same trade [`AnkerDb::run_gc_once`] makes for
+    /// homogeneous GC. Returns `None` when another thread already holds
+    /// the freeze (its epoch is imminent; retry the fast path).
+    ///
+    /// The drain wait must run **without** the commit lock: heterogeneous
+    /// installs need it, so holding it while waiting for `drained()` would
+    /// deadlock against the very committers being drained.
+    fn force_quiescent_epoch(&self, max_age: u64) -> Option<Arc<Epoch>> {
+        if !self.inner.oracle.try_freeze_commits() {
+            return None;
+        }
+        sched::hit("epoch:forced");
+        // In-flight committers hold no lock we own and allocate nothing
+        // new (allocation is frozen), so this terminates.
+        while !self.inner.oracle.drained() {
+            std::thread::yield_now();
+        }
+        let mut cs = self.lock_commit();
+        let now = self.inner.oracle.last_completed();
+        // A drained committer may have triggered a fresh epoch on its way
+        // out (the commit-path trigger); reuse it rather than stack a
+        // duplicate.
+        let epoch = match self.inner.snapman.pin_newest_fresh(now, max_age) {
+            Some(e) => e,
+            None => {
+                let e = self.inner.snapman.trigger_epoch(&mut cs, now);
+                self.inner.snapman.pin_epoch(&e);
+                e
+            }
+        };
+        drop(cs);
+        self.inner.oracle.unfreeze_commits();
+        Some(epoch)
     }
 
     /// The reusable scan-worker pool, sized for at least `threads`

@@ -277,7 +277,7 @@ impl Txn {
 
     /// Commit with bounded conflict repair: when read-set validation fails,
     /// instead of aborting, wait until every conflicting commit is fully
-    /// installed, advance the snapshot to the stable-timestamp watermark,
+    /// installed, advance the snapshot to the youngest conflicting commit,
     /// and hand the conflicting keys to `repair`, which re-reads them and
     /// rewrites the transaction's updates; then revalidate. At most
     /// `max_rounds` rounds; after that the transaction aborts with the
@@ -352,12 +352,22 @@ impl Txn {
                     }
                     rounds += 1;
                     db.inner.stats.repair_rounds.fetch_add(1, Ordering::Relaxed);
+                    sched::hit("repair:conflict");
                     // Wait for the watermark to cover the youngest
                     // conflicting commit (conflicts come in ascending ts
-                    // order): the repair reads must see every conflictor's
-                    // writes, and any commit that publishes *after* our
-                    // shard locks dropped has a timestamp above the new
-                    // snapshot — the next round's validation catches it.
+                    // order), then advance the snapshot to exactly that
+                    // timestamp — never to the current watermark, which
+                    // may already have run past a commit that published
+                    // after our shard locks dropped. Such a commit would
+                    // then sit at-or-below the new snapshot, escaping the
+                    // next round's validation even though this round's
+                    // repair never re-read its keys. `target` is safe on
+                    // both sides: every conflictor of this round has
+                    // ts <= target, so the repair reads see its writes
+                    // once the watermark covers it; and any intersecting
+                    // commit published after our shard locks dropped drew
+                    // its timestamp after our aborted one — above target —
+                    // so the next round's validation still scans it.
                     let target = conflicts.last().map(|c| c.commit_ts).unwrap_or(0);
                     let mut spins = 0u32;
                     while db.inner.oracle.last_completed() < target {
@@ -368,8 +378,7 @@ impl Txn {
                             std::hint::spin_loop();
                         }
                     }
-                    self.inner
-                        .advance_snapshot(db.inner.oracle.last_completed());
+                    self.inner.advance_snapshot(target);
                     if let Err(e) = repair(&mut self, &conflicts) {
                         self.release();
                         return Err(e);

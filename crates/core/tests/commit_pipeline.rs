@@ -14,8 +14,11 @@
 //!    the commit must survive a crash.
 //!
 //! Plus the fairness regression (a slow WAL fsync must not block
-//! snapshot-reader creation) and a deterministic conflict-repair
-//! schedule. The gate is process-global, so every test here serializes
+//! snapshot-reader creation), a deterministic conflict-repair schedule,
+//! the repair-snapshot regression (a commit completing during the
+//! conflict wait must not escape revalidation), and the epoch-liveness
+//! escalation (OLAP arrivals force a commit-quiescent window instead of
+//! starving). The gate is process-global, so every test here serializes
 //! on [`GATE_MX`].
 
 mod common;
@@ -310,6 +313,146 @@ fn slow_wal_fsync_does_not_block_snapshot_readers() {
     db.shutdown();
     drop(db);
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Regression for a conflict-repair serializability hole: after a failed
+/// validation the transaction used to advance its snapshot to the
+/// *current watermark* instead of the youngest conflictor. A commit that
+/// published after the transaction's shard locks dropped and completed
+/// before the repair read could then land at-or-below the new snapshot —
+/// the next round's validation (which only scans commits younger than
+/// the snapshot) never saw it, and the repair closure never re-read its
+/// keys: a commit with stale reads. The schedule:
+///
+///   T    reads rows 0 and 1, writes row 2 = 100·r0 + 10·r1
+///   B1   overwrites row 0 while T holds its install latches
+///        → T's round-1 conflict
+///   B2   reads row 2, overwrites row 1, and *completes* while T is
+///        parked between its validation failure and its snapshot advance
+///
+/// B2 read row 2 before T wrote it (B2 before T) and, with a stale
+/// row 1, T read row 1 before B2 wrote it (T before B2): committing
+/// `100·5 + 10·1 = 510` matches no serial order of {B1, B2, T}. Pinning
+/// the new snapshot at the youngest round-1 conflictor keeps B2 above
+/// it, so round 2 must flag row 1 and repair it too → 570.
+#[test]
+fn repair_revalidates_commits_published_during_the_conflict_wait() {
+    let _g = gate_lock();
+    let (db, t, c) = one_col_db(DbConfig::homogeneous_serializable(), 8);
+
+    let ctl = SchedCtl::install();
+    ctl.pause_label("commit:latched", "repairer");
+    ctl.pause("repair:conflict");
+    let (result, b2_read) = std::thread::scope(|s| {
+        let a = s.spawn(|| {
+            sched::set_label(Some("repairer"));
+            let mut txn = db.begin(TxnKind::Oltp);
+            let mut r0 = txn.get(t, c, 0).unwrap();
+            let mut r1 = txn.get(t, c, 1).unwrap();
+            txn.update(t, c, 2, 100 * r0 + 10 * r1).unwrap();
+            txn.commit_with_repair(3, |tx, conflicts| {
+                // Re-read exactly the flagged keys (the documented
+                // contract); every other read keeps its cached value.
+                for cf in conflicts {
+                    for &(tt, cc, row) in &cf.keys {
+                        let fresh = tx.get(tt, cc, row)?;
+                        match row {
+                            0 => r0 = fresh,
+                            1 => r1 = fresh,
+                            _ => unreachable!("only rows 0 and 1 are read"),
+                        }
+                    }
+                }
+                tx.update(t, c, 2, 100 * r0 + 10 * r1)
+            })
+        });
+        ctl.await_parked("commit:latched", 1);
+        // B1 invalidates T's read of row 0 → the round-1 conflict.
+        let mut b1 = db.begin(TxnKind::Oltp);
+        b1.update(t, c, 0, 5).unwrap();
+        b1.commit().unwrap();
+        ctl.resume("commit:latched");
+        // T has failed validation and released its shard locks and
+        // latches, but not yet advanced its snapshot. B2 publishes and
+        // completes inside exactly that window.
+        ctl.await_parked("repair:conflict", 1);
+        let mut b2 = db.begin(TxnKind::Oltp);
+        let b2_read = b2.get(t, c, 2).unwrap();
+        b2.update(t, c, 1, 7).unwrap();
+        b2.commit().unwrap();
+        ctl.release("repair:conflict", 1);
+        // Round 2 must flag B2's overwrite of row 1; T parks here again.
+        ctl.await_parked("repair:conflict", 1);
+        ctl.resume("repair:conflict");
+        (a.join().unwrap(), b2_read)
+    });
+    drop(ctl);
+
+    result.expect("two repair rounds must converge");
+    assert_eq!(b2_read, 2, "B2 observed row 2 before T's write");
+    let stats = db.stats();
+    assert_eq!(stats.repair_rounds, 2, "B2's overwrite must cost a round");
+    assert_eq!(stats.repaired_commits, 1);
+    assert_eq!(
+        dump_col(&db, t, c, 8)[2],
+        100 * 5 + 10 * 7,
+        "the committed write must fold in BOTH overwrites; 510 would mean \
+         B2 escaped revalidation and T committed a stale row 1"
+    );
+}
+
+/// Liveness: OLAP snapshot/epoch creation must not starve behind
+/// sustained commit traffic. A new epoch needs a commit-quiescent
+/// instant, and with some commit always in flight a retry loop may never
+/// observe one. Pin the worst case — a committer that *stays* in flight,
+/// parked between its WAL append and its install — and assert the
+/// arriving reader escalates: it freezes commit-timestamp allocation,
+/// waits out the straggler, cuts its epoch in the forced window, and
+/// re-admits commits afterwards. On the pre-escalation code the reader
+/// spins forever and `await_parked("epoch:forced")` hangs.
+#[test]
+fn olap_epoch_creation_escalates_to_a_forced_quiescent_window() {
+    let _g = gate_lock();
+    let (db, t, c) = one_col_db(
+        DbConfig::heterogeneous_serializable()
+            .with_snapshot_every(1)
+            .with_gc_interval(None),
+        8,
+    );
+
+    let ctl = SchedCtl::install();
+    ctl.pause_label("commit:logged", "stall");
+    ctl.pause("epoch:forced");
+    std::thread::scope(|s| {
+        let stalled = s.spawn(|| {
+            sched::set_label(Some("stall"));
+            let mut txn = db.begin(TxnKind::Oltp);
+            txn.update(t, c, 0, 42).unwrap();
+            txn.commit().unwrap()
+        });
+        // The committer is in flight: timestamp drawn, nothing installed,
+        // and it stays that way — no quiescent instant will occur.
+        ctl.await_parked("commit:logged", 1);
+        let db2 = db.clone();
+        let reader = s.spawn(move || db2.snapshot_reader().unwrap());
+        ctl.await_parked("epoch:forced", 1);
+        // The freeze is armed. Let the straggler drain, then let the
+        // reader take its epoch in the quiescent window.
+        ctl.resume("commit:logged");
+        stalled.join().unwrap();
+        ctl.resume("epoch:forced");
+        let reader = reader.join().unwrap();
+        assert_eq!(
+            reader.get(t, c, 0).unwrap(),
+            42,
+            "the forced epoch covers the drained commit"
+        );
+        // Commit admission is restored after the forced window.
+        let mut txn = db.begin(TxnKind::Oltp);
+        txn.update(t, c, 1, 9).unwrap();
+        txn.commit().unwrap();
+    });
+    drop(ctl);
 }
 
 /// Deterministic conflict repair: A reads row 0 and writes

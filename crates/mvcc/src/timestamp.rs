@@ -23,6 +23,17 @@
 //! above it is guaranteed installed, so version-chain GC, snapshot-area
 //! recycling and epoch triggering must never use the raw `next_commit`
 //! counter as "now".
+//!
+//! **Known contention point.** `begin_commit` / `complete_commit` /
+//! `abort_commit` all serialize on the single `inflight` mutex, so the
+//! oracle is the one spot where the otherwise-decentralized commit
+//! pipeline still rendezvouses — a deliberate trade: the critical section
+//! is a `BTreeSet` insert/remove (no I/O, no validation, no install), so
+//! it is orders of magnitude shorter than the old whole-commit mutex it
+//! replaced. If commit scaling across many cores becomes a goal, replace
+//! the set with a lock-free in-flight min-tracker (per-slot epochs or a
+//! concurrent heap); the watermark contract above is the only thing a
+//! replacement must preserve.
 
 use parking_lot::Mutex;
 use std::collections::BTreeSet;
@@ -150,6 +161,21 @@ impl TsOracle {
         let mut inf = self.inflight.lock();
         assert!(!inf.frozen, "commit freeze is not reentrant");
         inf.frozen = true;
+    }
+
+    /// Non-panicking [`TsOracle::freeze_commits`]: returns `false` (and
+    /// changes nothing) when another freezer already holds the freeze.
+    /// For freezers that cannot serialize on an outer lock — e.g. an OLAP
+    /// arrival forcing a commit-quiescent epoch must *not* hold the commit
+    /// lock while it drains, or the in-flight committers it waits for
+    /// could never install.
+    pub fn try_freeze_commits(&self) -> bool {
+        let mut inf = self.inflight.lock();
+        if inf.frozen {
+            return false;
+        }
+        inf.frozen = true;
+        true
     }
 
     /// Re-admit commits after [`TsOracle::freeze_commits`].
