@@ -11,9 +11,10 @@ use crate::txn::{Txn, TxnKind};
 use anker_dura::DurabilityLevel;
 use anker_mvcc::{ActiveTxns, RecentCommits, TsOracle, VersionedColumn};
 use anker_storage::{ColumnArea, Schema};
+use anker_util::lockcheck::{self, classes};
 use anker_util::{sched, WorkerPool};
 use anker_vmem::{Kernel, OsBackend, OsStatsSnapshot, Space, VmBackend};
-use parking_lot::{Condvar, Mutex, RwLock};
+use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -52,8 +53,14 @@ impl CommitLock {
     /// instead of parking: the section is a microsecond-scale critical
     /// region, far below a park/unpark round trip.
     fn lock(&self) -> CommitGuard<'_> {
+        // Witness before queuing: a hierarchy violation must panic under
+        // `lockcheck` even on schedules where the section is free.
+        let witness = lockcheck::acquire(&classes::COMMIT_LOCK, 0);
         let ticket = self.next.fetch_add(1, Ordering::Relaxed);
         let mut spins = 0u32;
+        // ORDERING: Acquire pairs with the guard drop's Release increment
+        // of `serving` — entering the section sees everything the previous
+        // holder did inside it.
         while self.serving.load(Ordering::Acquire) != ticket {
             spins += 1;
             if spins.is_multiple_of(64) {
@@ -66,6 +73,7 @@ impl CommitLock {
         CommitGuard {
             lock: self,
             guard: Some(self.state.lock()),
+            _witness: witness,
         }
     }
 }
@@ -75,6 +83,9 @@ impl CommitLock {
 pub(crate) struct CommitGuard<'a> {
     lock: &'a CommitLock,
     guard: Option<parking_lot::MutexGuard<'a, CommitState>>,
+    /// Hand-rolled ticket lock, so the lockcheck wrappers cannot cover
+    /// it; the raw witness token does instead.
+    _witness: lockcheck::Held,
 }
 
 impl std::ops::Deref for CommitGuard<'_> {
@@ -93,6 +104,8 @@ impl std::ops::DerefMut for CommitGuard<'_> {
 impl Drop for CommitGuard<'_> {
     fn drop(&mut self) {
         self.guard.take();
+        // ORDERING: Release publishes the whole critical section to the
+        // next ticket holder's Acquire spin.
         self.lock.serving.fetch_add(1, Ordering::Release);
     }
 }
@@ -206,7 +219,7 @@ pub(crate) struct DbInner {
     /// The substrate column areas live on: the simulated kernel's `space`
     /// (default) or the real-OS memfd backend, per `config.backend`.
     pub backend: Arc<dyn VmBackend>,
-    pub tables: RwLock<Vec<Arc<TableState>>>,
+    pub tables: lockcheck::RwLock<Vec<Arc<TableState>>>,
     pub oracle: TsOracle,
     pub active: Arc<ActiveTxns>,
     pub recent: RecentCommits,
@@ -318,7 +331,7 @@ impl AnkerDb {
             kernel,
             space,
             backend,
-            tables: RwLock::new(Vec::new()),
+            tables: lockcheck::RwLock::new(&classes::TABLES, 0, Vec::new()),
             oracle: TsOracle::new(),
             active,
             recent: RecentCommits::new(),
@@ -465,6 +478,9 @@ impl AnkerDb {
     ) -> Result<u32> {
         let t = self.table_state(table);
         let _cs = self.lock_commit();
+        // ORDERING: Acquire pairs with `mark_observed`'s Release — seeing
+        // the latch implies the observing transaction's resolution is
+        // visible, so rejecting the load here is never stale.
         if t.observed.load(Ordering::Acquire) {
             return Err(crate::error::DbError::LoadAfterBegin);
         }

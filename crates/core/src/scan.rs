@@ -583,6 +583,8 @@ impl<'c> FrozenCursor<'c> {
             .iter()
             .map(|sc| unsafe { sc.area().as_slice() })
             .collect();
+        // SAFETY: same contract as the filter slices above — pinned epoch,
+        // frozen areas.
         let p_slices: Vec<Option<&[u64]>> = core
             .proj_snaps
             .iter()
@@ -956,6 +958,9 @@ fn run_morsels<A: Send>(
             // One worker's error cancels the whole scan: the others stop
             // pulling instead of draining the remaining morsels for a
             // result that will be discarded.
+            // ORDERING: Acquire pairs with the failing worker's Release
+            // store below, so a cancelled worker also sees the error it
+            // defers to already recorded.
             if failed.load(Ordering::Acquire) {
                 break;
             }
@@ -974,6 +979,9 @@ fn run_morsels<A: Send>(
                 Ok(()) => *slots[m].lock() = Some((acc, stats)),
                 Err(e) => {
                     error.lock().get_or_insert(e);
+                    // ORDERING: Release — the recorded error above must be
+                    // visible to any worker whose Acquire load sees the
+                    // cancel flag.
                     failed.store(true, Ordering::Release);
                     break;
                 }

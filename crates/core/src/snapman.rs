@@ -26,6 +26,7 @@ use crate::db::CommitState;
 use crate::table::{ColumnState, TableState};
 use anker_mvcc::ActiveTxns;
 use anker_storage::ColumnArea;
+use anker_util::lockcheck::{self, classes};
 use anker_util::FxHashMap;
 use anker_vmem::VmBackend;
 use parking_lot::Mutex;
@@ -138,7 +139,7 @@ impl SpareAreas {
 pub(crate) struct Epoch {
     /// The single point in time all of this epoch's columns represent.
     pub ts: u64,
-    cols: Mutex<FxHashMap<(u16, u16), Arc<SnapCol>>>,
+    cols: lockcheck::Mutex<FxHashMap<(u16, u16), Arc<SnapCol>>>,
     pins: AtomicU64,
     /// True once any column was written *without* being materialised for
     /// this epoch (because nobody was reading it): the epoch can no longer
@@ -155,11 +156,15 @@ impl Epoch {
     /// Current pin count (OLAP transactions running on this epoch).
     #[allow(dead_code)]
     pub fn pins(&self) -> u64 {
+        // ORDERING: Acquire pairs with the AcqRel pin/unpin RMWs so an
+        // observer of the count also sees the pinner's prior work.
         self.pins.load(Ordering::Acquire)
     }
 
     /// Whether a write bypassed this epoch (see field docs).
     pub fn is_damaged(&self) -> bool {
+        // ORDERING: Acquire pairs with `note_write`'s Release store, so a
+        // reader that sees the damage also sees the write that caused it.
         self.damaged.load(Ordering::Acquire)
     }
 }
@@ -178,7 +183,7 @@ pub(crate) struct SnapshotManager {
     /// horizon (see [`SpareAreas::take`]).
     active: Arc<ActiveTxns>,
     /// Live epochs in ascending timestamp order; the last one is newest.
-    epochs: Mutex<Vec<Arc<Epoch>>>,
+    epochs: lockcheck::Mutex<Vec<Arc<Epoch>>>,
     /// Timestamp of the newest epoch (0 = none). Lock-free mirror for the
     /// commit path's materialisation fast-path check.
     pub newest_ts: AtomicU64,
@@ -196,7 +201,7 @@ impl SnapshotManager {
         SnapshotManager {
             backend,
             active,
-            epochs: Mutex::new(Vec::new()),
+            epochs: lockcheck::Mutex::new(&classes::SNAP_EPOCHS, 0, Vec::new()),
             newest_ts: AtomicU64::new(0),
             graveyard: Arc::<Graveyard>::default(),
             spare: recycle.then(Arc::<SpareAreas>::default),
@@ -215,13 +220,18 @@ impl SnapshotManager {
     pub fn trigger_epoch(&self, _cs: &mut CommitState, ts: u64) -> Arc<Epoch> {
         let epoch = Arc::new(Epoch {
             ts,
-            cols: Mutex::new(FxHashMap::default()),
+            // Ordered by epoch timestamp: the only place two epochs' column
+            // maps could nest is an ascending walk of the epoch list.
+            cols: lockcheck::Mutex::new(&classes::SNAP_EPOCH_COLS, ts, FxHashMap::default()),
             pins: AtomicU64::new(0),
             damaged: std::sync::atomic::AtomicBool::new(false),
         });
         let mut epochs = self.epochs.lock();
         debug_assert!(epochs.last().map(|e| e.ts <= ts).unwrap_or(true));
         epochs.push(Arc::clone(&epoch));
+        // ORDERING: Release pairs with the Acquire load in `note_write`'s
+        // fast-path marker — seeing the new timestamp implies the epoch is
+        // already in the list.
         self.newest_ts.store(ts, Ordering::Release);
         self.stats.epochs_triggered.fetch_add(1, Ordering::Relaxed);
         self.retire_locked(&mut epochs);
@@ -243,6 +253,10 @@ impl SnapshotManager {
         if newest.is_damaged() || now_ts.saturating_sub(newest.ts) > max_age_commits {
             return None;
         }
+        // ORDERING: AcqRel — the pin must be a full synchronization point
+        // with `unpin`/`retire_locked` so a retirer that reads 0 sees
+        // everything every past pinner did, and a pinner sees the epoch
+        // fully published.
         newest.pins.fetch_add(1, Ordering::AcqRel);
         Some(Arc::clone(newest))
     }
@@ -252,12 +266,17 @@ impl SnapshotManager {
     /// it in between).
     pub fn pin_epoch(&self, epoch: &Arc<Epoch>) {
         let _order = self.epochs.lock();
+        // ORDERING: AcqRel, same pin protocol as `pin_newest_fresh`.
         epoch.pins.fetch_add(1, Ordering::AcqRel);
     }
 
     /// Unpin an epoch (OLAP transaction end); retires it if superseded and
     /// now unpinned.
     pub fn unpin(&self, epoch: &Arc<Epoch>) {
+        // ORDERING: AcqRel — the Release half publishes this reader's last
+        // accesses before the count drops (so retirement cannot unmap under
+        // it); the Acquire half orders the retire scan below after the
+        // decrement.
         let prev = epoch.pins.fetch_sub(1, Ordering::AcqRel);
         debug_assert!(prev > 0, "unpin without pin");
         let mut epochs = self.epochs.lock();
@@ -272,6 +291,8 @@ impl SnapshotManager {
             return;
         }
         let mut retired = 0u64;
+        // ORDERING: Acquire pairs with `unpin`'s AcqRel decrement — a zero
+        // count means every reader's accesses happened-before this drop.
         for i in (0..n - 1).rev() {
             if epochs[i].pins.load(Ordering::Acquire) == 0 {
                 // Dropping the epoch drops its SnapCol arcs; the last arc
@@ -316,6 +337,9 @@ impl SnapshotManager {
                 if e.cols.lock().contains_key(&key) {
                     continue;
                 }
+                // ORDERING: the pin Acquire pairs with the AcqRel pin RMWs
+                // (a seen pin implies the reader is fully registered); the
+                // damage Release pairs with `is_damaged`'s Acquire.
                 if e.pins.load(Ordering::Acquire) > 0 {
                     need = true;
                 } else {
@@ -329,6 +353,9 @@ impl SnapshotManager {
         }
         // Fast-path marker: this column is settled for the current newest
         // epoch (either materialised or the epoch is damaged).
+        // ORDERING: the Acquire load pairs with `trigger_epoch`'s Release;
+        // the Release store pairs with the commit path's Acquire check of
+        // `snapshot_ts`, which must also see the settled epoch state.
         table
             .col(col_id as usize)
             .snapshot_ts
@@ -403,6 +430,9 @@ impl SnapshotManager {
         for e in missing {
             e.cols.lock().insert(key, Arc::clone(&snap));
         }
+        // ORDERING: Release pairs with the commit fast-path's Acquire load
+        // of `snapshot_ts` — seeing the timestamp implies the snapshot
+        // column is registered in every missing epoch above.
         col.snapshot_ts.store(newest_missing_ts, Ordering::Release);
         self.stats
             .columns_materialized

@@ -60,6 +60,9 @@ impl ColumnState {
 
     /// Newest committed write timestamp of this column.
     pub fn last_mutation(&self) -> u64 {
+        // ORDERING: Acquire pairs with the commit pipeline's Release store
+        // after each install — a materialiser that reads T also sees every
+        // install at or before T, so the snapshot it cuts is exact.
         self.last_mutation_ts.load(Ordering::Acquire)
     }
 }
@@ -86,6 +89,9 @@ impl TableState {
     /// steady state is a read-shared load).
     pub fn mark_observed(&self) {
         if !self.observed.load(Ordering::Relaxed) {
+            // ORDERING: Release pairs with the bulk-load path's Acquire
+            // check under the commit lock (`fill_column`), which must see
+            // the observation before it would overwrite live data.
             self.observed.store(true, Ordering::Release);
         }
     }

@@ -10,6 +10,7 @@ use anker_mvcc::{
     ColRef, CommitRecord, IsolationLevel, LocalWrite, ScanStats, Transaction, TxnId, WriteRecord,
 };
 use anker_storage::{ColumnId, Value};
+use anker_util::lockcheck::{self, classes};
 use anker_util::{sched, FxHashMap};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -419,10 +420,21 @@ impl Txn {
         let mut writes: Vec<LocalWrite> = self.inner.writes().to_vec();
         writes.sort_unstable_by_key(|w| (w.col, w.row));
         let mut latched: Vec<(LocalWrite, u64, u64)> = Vec::with_capacity(writes.len());
+        // Lock-order witness tokens for the row latches (the latches are
+        // hand-rolled CAS words, so the lockcheck wrappers cannot cover
+        // them). The key mirrors the sort order above, so the ordered-class
+        // strictly-ascending rule checks exactly the deadlock-freedom
+        // argument. On the abort returns below the vector unwinds with the
+        // frame, matching `unlatch_rows`.
+        let mut latch_witness: Vec<lockcheck::Held> = Vec::with_capacity(writes.len());
         for w in &writes {
             let state = self.table(TableId(w.col.table));
             let col = state.col(w.col.col as usize);
             let area = col.current_area();
+            let witness = lockcheck::acquire(
+                &classes::INSTALL_LATCH,
+                ((w.col.table as u64) << 48) | ((w.col.col as u64) << 32) | w.row as u64,
+            );
             match col.versioned.lock_row(&area, w.row) {
                 Ok((old_ts, old_word)) => {
                     if old_ts > start_ts {
@@ -432,6 +444,7 @@ impl Txn {
                         return Err(AttemptError::WwConflict);
                     }
                     latched.push((*w, old_ts, old_word));
+                    latch_witness.push(witness);
                 }
                 Err(e) => {
                     self.unlatch_rows(&latched);
@@ -570,6 +583,9 @@ impl Txn {
                 let state = self.table(TableId(key.0));
                 // Fast path: the column is already settled (materialised
                 // or damage-marked) for the newest epoch.
+                // ORDERING: both Acquire loads pair with the snapshot
+                // manager's Release stores (`trigger_epoch`, `note_write`)
+                // so a settled marker implies the epoch state it claims.
                 let newest = db.inner.snapman.newest_ts.load(Ordering::Acquire);
                 if newest == 0
                     || state
@@ -595,8 +611,13 @@ impl Txn {
                 col.versioned
                     .install_locked(&area, w.row, *old_ts, *old_word, w.new_word, commit_ts)
                     .expect("install failed after the commit was logged");
+                // ORDERING: Release pairs with the materialisation path's
+                // reads — a snapshot that sees this mutation timestamp
+                // also sees the installed value.
                 col.last_mutation_ts.store(commit_ts, Ordering::Release);
             }
+            // Every install above released its row latch.
+            latch_witness.clear();
             sched::hit("commit:installed");
             db.inner.oracle.complete_commit(commit_ts);
 
@@ -664,8 +685,11 @@ impl Txn {
                 col.versioned
                     .install_locked(&area, w.row, *old_ts, *old_word, w.new_word, commit_ts)
                     .expect("install failed after the commit was logged");
+                // ORDERING: Release, same pairing as the heterogeneous arm.
                 col.last_mutation_ts.store(commit_ts, Ordering::Release);
             }
+            // Every install above released its row latch.
+            latch_witness.clear();
             sched::hit("commit:installed");
             db.inner.oracle.complete_commit(commit_ts);
 

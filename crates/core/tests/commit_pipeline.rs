@@ -521,3 +521,67 @@ fn bounded_conflict_repair_converts_a_pinned_validation_failure() {
         }
     }
 }
+
+/// The publication/visibility gap: `commit:pre-install` parks a committer
+/// A *after* its commit record is published to the validation shards and
+/// the shard locks are dropped, but *before* anything installs. Two
+/// things must hold in that window:
+///
+/// 1. A's write is invisible — a fresh reader sees the old value (the
+///    watermark, not record publication, gates visibility);
+/// 2. A's record already validates against others — a transaction B that
+///    read A's target row before the window closes must fail plain
+///    serializable validation once A completes, even though B's read
+///    never observed an installed effect of A.
+///
+/// Under a pipeline that published records late (after install) the same
+/// schedule would let B commit — textbook lost read validation.
+#[test]
+fn published_but_uninstalled_commit_validates_but_stays_invisible() {
+    for backend in backends() {
+        let _g = gate_lock();
+        let (db, t, c) = one_col_db(
+            DbConfig::homogeneous_serializable().with_backend(backend),
+            4,
+        );
+
+        let ctl = SchedCtl::install();
+        ctl.pause("commit:pre-install");
+        let result = std::thread::scope(|s| {
+            let a = s.spawn(|| {
+                let mut txn = db.begin(TxnKind::Oltp);
+                txn.update(t, c, 0, 42).unwrap();
+                txn.commit()
+            });
+            ctl.await_parked("commit:pre-install", 1);
+
+            // (1) Published is not visible: A's record sits in the
+            // validation shards, its install latch is still held, and a
+            // latch-ignoring reader must get the pre-commit value.
+            let mut r = db.begin(TxnKind::Oltp);
+            assert_eq!(r.get(t, c, 0).unwrap(), 0, "uninstalled commit leaked");
+            r.abort();
+
+            // (2) B reads A's target inside the window...
+            let mut b = db.begin(TxnKind::Oltp);
+            assert_eq!(b.get(t, c, 0).unwrap(), 0);
+            b.update(t, c, 1, 7).unwrap();
+
+            ctl.release("commit:pre-install", 1);
+            a.join().unwrap().expect("A must commit");
+
+            // ...and must now fail validation against A's record.
+            b.commit()
+        });
+        drop(ctl);
+
+        assert!(
+            matches!(
+                result,
+                Err(DbError::Aborted(AbortReason::ValidationFailed { .. }))
+            ),
+            "B read a row A overwrote and must abort, got {result:?}"
+        );
+        assert_eq!(dump_col(&db, t, c, 4), vec![42, 1, 2, 3]);
+    }
+}

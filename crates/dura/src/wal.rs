@@ -38,7 +38,7 @@
 use crate::crc::{crc32, Crc32};
 use crate::error::{io_ctx, DuraError, Result};
 use crate::record::WalRecord;
-use parking_lot::{Condvar, Mutex};
+use anker_util::lockcheck::{self, classes};
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
@@ -153,15 +153,16 @@ struct SyncState {
 /// The write-ahead log of one database directory. See the module docs.
 pub struct Wal {
     dir: PathBuf,
-    appender: Mutex<Appender>,
+    appender: lockcheck::Mutex<Appender>,
     /// Second handle onto the current segment, used by the group-commit
     /// leader so an fsync in flight never blocks appends. Swapped at
-    /// rotation (lock order: `appender` before `sync_handle`).
-    sync_handle: Mutex<File>,
-    closed: Mutex<Vec<ClosedSegment>>,
+    /// rotation (lock order per LOCKS.toml: `appender` before
+    /// `sync_handle`).
+    sync_handle: lockcheck::Mutex<File>,
+    closed: lockcheck::Mutex<Vec<ClosedSegment>>,
     appended: AtomicU64,
-    sync_state: Mutex<SyncState>,
-    sync_cv: Condvar,
+    sync_state: lockcheck::Mutex<SyncState>,
+    sync_cv: lockcheck::Condvar,
     stats: WalStats,
     /// Held for the WAL's lifetime; its advisory lock is the
     /// single-writer guarantee (see [`lock_dir`]).
@@ -220,16 +221,20 @@ impl Wal {
         sync_dir(dir);
         let wal = Wal {
             dir: dir.to_path_buf(),
-            appender: Mutex::new(Appender {
-                file,
-                seq: next_seq,
-                seg_max_ts: 0,
-            }),
-            sync_handle: Mutex::new(sync_handle),
-            closed: Mutex::new(closed),
+            appender: lockcheck::Mutex::new(
+                &classes::WAL_APPENDER,
+                0,
+                Appender {
+                    file,
+                    seq: next_seq,
+                    seg_max_ts: 0,
+                },
+            ),
+            sync_handle: lockcheck::Mutex::new(&classes::WAL_SYNC_HANDLE, 0, sync_handle),
+            closed: lockcheck::Mutex::new(&classes::WAL_CLOSED, 0, closed),
             appended: AtomicU64::new(0),
-            sync_state: Mutex::new(SyncState::default()),
-            sync_cv: Condvar::new(),
+            sync_state: lockcheck::Mutex::new(&classes::WAL_SYNC_STATE, 0, SyncState::default()),
+            sync_cv: lockcheck::Condvar::new(),
             stats: WalStats::default(),
             _dir_lock: dir_lock,
         };
@@ -262,6 +267,9 @@ impl Wal {
             ap.seg_max_ts = ap.seg_max_ts.max(ts);
             self.stats.commit_records.fetch_add(1, Ordering::Relaxed);
         }
+        // ORDERING: Release publishes the `write_all` above before the new
+        // high-water mark; pairs with the sync leader's Acquire load, so a
+        // covered LSN implies the bytes were handed to the OS.
         let lsn = self
             .appended
             .fetch_add(frame.len() as u64, Ordering::Release)
@@ -295,6 +303,8 @@ impl Wal {
             // Leader: everything appended up to here is covered by the
             // fsync below — including `lsn`, which our caller appended
             // before calling in.
+            // ORDERING: Acquire pairs with `append`'s Release fetch_add —
+            // the mark we fsync up to only counts fully-written frames.
             let target = self.appended.load(Ordering::Acquire);
             let res = {
                 let handle = self.sync_handle.lock();
@@ -327,6 +337,8 @@ impl Wal {
             ap.file
                 .sync_data()
                 .map_err(|e| io_ctx(e, "syncing", &segment_path(&self.dir, ap.seq)))?;
+            // ORDERING: Acquire pairs with `append`'s Release fetch_add;
+            // under the append lock the mark is also exact.
             self.appended.load(Ordering::Acquire)
         };
         self.stats.syncs.fetch_add(1, Ordering::Relaxed);
@@ -362,6 +374,8 @@ impl Wal {
                 max_ts: old_max,
             });
             // Everything in closed segments is durable now.
+            // ORDERING: Acquire pairs with `append`'s Release fetch_add;
+            // under the append lock the mark is also exact.
             let mut st = self.sync_state.lock();
             st.durable = st.durable.max(self.appended.load(Ordering::Acquire));
             drop(st);

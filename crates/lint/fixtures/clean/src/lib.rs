@@ -1,0 +1,43 @@
+//! Known-good fixture: every invariant satisfied.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn nested_in_order(locks: &Locks) {
+    let a = locks.lock_a();
+    let b = locks.lock_b();
+    drop(b);
+    drop(a);
+}
+
+pub fn reacquire_after_drop(locks: &Locks) {
+    let b = locks.lock_b();
+    drop(b);
+    // `b_lock` no longer held: taking the lower class now is legal.
+    let a = locks.lock_a();
+    drop(a);
+}
+
+pub fn read_first(p: *const u64) -> u64 {
+    // SAFETY: callers pass a valid, aligned pointer to at least one u64.
+    unsafe { *p }
+}
+
+pub fn bump(x: &AtomicUsize) -> usize {
+    // ORDERING: SeqCst — this fixture counter is also the proof that a
+    // justified ordering passes the lint.
+    x.fetch_add(1, Ordering::SeqCst)
+}
+
+pub fn do_work() {
+    sched::hit("fixture:step");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn step_schedule() {
+        let ctl = sched::SchedCtl::install();
+        ctl.pause("fixture:step");
+        ctl.release("fixture:step", 1);
+    }
+}

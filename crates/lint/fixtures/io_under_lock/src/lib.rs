@@ -1,0 +1,8 @@
+//! Known-bad fixture: blocking I/O (`sync_all`) under a lock whose class
+//! does not declare `allow_io`.
+
+pub fn fsync_under_lock(this: &State, f: &std::fs::File) {
+    let g = this.mu.lock();
+    f.sync_all().unwrap();
+    drop(g);
+}

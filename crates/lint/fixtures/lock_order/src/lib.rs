@@ -1,0 +1,9 @@
+//! Known-bad fixture: acquires `b_lock` (level 1) and then nests
+//! `a_lock` (level 0) inside it — a hierarchy inversion.
+
+pub fn inverted(locks: &Locks) {
+    let b = locks.lock_b();
+    let a = locks.lock_a();
+    drop(a);
+    drop(b);
+}

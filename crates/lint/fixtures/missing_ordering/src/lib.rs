@@ -1,0 +1,7 @@
+//! Known-bad fixture: an unjustified SeqCst RMW.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(x: &AtomicUsize) -> usize {
+    x.fetch_add(1, Ordering::SeqCst)
+}

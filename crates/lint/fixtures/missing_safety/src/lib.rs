@@ -1,0 +1,5 @@
+//! Known-bad fixture: an unjustified `unsafe` block.
+
+pub fn read_first(p: *const u64) -> u64 {
+    unsafe { *p }
+}

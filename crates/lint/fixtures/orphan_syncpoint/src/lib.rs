@@ -1,0 +1,6 @@
+//! Known-bad fixture: a library sync point nobody proves a schedule
+//! through.
+
+pub fn do_work() {
+    sched::hit("fixture:orphan");
+}

@@ -1,0 +1,362 @@
+//! A minimal Rust lexer: just enough to tell code from comments and
+//! strings, attach line numbers, and expose comments for the
+//! `SAFETY:`/`ORDERING:` proximity checks. Deliberately not a parser —
+//! the checks in this crate are lexical by design (see DESIGN.md,
+//! "Concurrency invariants").
+
+/// What a token is. Punctuation keeps its text; `::` is fused into one
+/// token because every pattern in this crate matches paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    /// String literal; `text` holds the *content* (quotes stripped, raw
+    /// escapes kept — the sync-point names this crate cares about never
+    /// contain escapes).
+    Str,
+    Num,
+    Punct,
+    Lifetime,
+}
+
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// One comment line (a block comment contributes one entry per line it
+/// spans), with leading `//`/`///`/`/*` markers kept.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+}
+
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = b.len();
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                let start = i;
+                while i < n && b[i] != '\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                i += 2;
+                let mut text = String::from("/*");
+                let mut depth = 1u32;
+                while i < n && depth > 0 {
+                    if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                        depth += 1;
+                        text.push_str("/*");
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                        depth -= 1;
+                        text.push_str("*/");
+                        i += 2;
+                    } else {
+                        if b[i] == '\n' {
+                            out.comments.push(Comment {
+                                text: std::mem::take(&mut text),
+                                line,
+                            });
+                            line += 1;
+                        } else {
+                            text.push(b[i]);
+                        }
+                        i += 1;
+                    }
+                }
+                if !text.is_empty() {
+                    out.comments.push(Comment { text, line });
+                }
+            }
+            '"' => {
+                let (s, ni, nl) = lex_string(&b, i, line);
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: s,
+                    line,
+                });
+                i = ni;
+                line = nl;
+            }
+            '\'' => {
+                // Char literal or lifetime.
+                if i + 1 < n && b[i + 1] == '\\' {
+                    // Escaped char literal: skip to the closing quote.
+                    i += 2;
+                    while i < n && b[i] != '\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                } else if i + 2 < n && b[i + 2] == '\'' {
+                    i += 3; // plain char literal 'x'
+                } else {
+                    // Lifetime: 'ident (no closing quote).
+                    let start = i + 1;
+                    i += 1;
+                    while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: b[start..i].iter().collect(),
+                        line,
+                    });
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                let ident: String = b[start..i].iter().collect();
+                // Raw / byte string prefixes: r"..", r#".."#, b"..", br"..".
+                let is_str_prefix = matches!(ident.as_str(), "r" | "b" | "br");
+                if is_str_prefix && i < n && (b[i] == '"' || (b[i] == '#' && ident != "b")) {
+                    let (s, ni, nl) = lex_raw_or_plain(&b, i, line, ident != "b");
+                    out.toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: s,
+                        line,
+                    });
+                    i = ni;
+                    line = nl;
+                } else if ident == "b" && i < n && b[i] == '\'' {
+                    // Byte char literal b'x' / b'\n'.
+                    i += 1;
+                    if i < n && b[i] == '\\' {
+                        i += 1;
+                    }
+                    while i < n && b[i] != '\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                } else {
+                    out.toks.push(Tok {
+                        kind: TokKind::Ident,
+                        text: ident,
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                // Fractional part, but never eat a `..` range operator.
+                if i + 1 < n && b[i] == '.' && b[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            }
+            ':' if i + 1 < n && b[i + 1] == ':' => {
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: "::".to_string(),
+                    line,
+                });
+                i += 2;
+            }
+            _ => {
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn lex_string(b: &[char], mut i: usize, mut line: u32) -> (String, usize, u32) {
+    debug_assert_eq!(b[i], '"');
+    i += 1;
+    let mut s = String::new();
+    while i < b.len() {
+        match b[i] {
+            '\\' if i + 1 < b.len() => {
+                s.push(b[i]);
+                s.push(b[i + 1]);
+                if b[i + 1] == '\n' {
+                    line += 1;
+                }
+                i += 2;
+            }
+            '"' => return (s, i + 1, line),
+            c => {
+                if c == '\n' {
+                    line += 1;
+                }
+                s.push(c);
+                i += 1;
+            }
+        }
+    }
+    (s, i, line)
+}
+
+/// Lex a raw string `#*"..."#*` (after the `r`/`br` prefix ident), or a
+/// plain string when the prefix was `b`.
+fn lex_raw_or_plain(b: &[char], mut i: usize, mut line: u32, raw: bool) -> (String, usize, u32) {
+    if !raw {
+        return lex_string(b, i, line);
+    }
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= b.len() || b[i] != '"' {
+        return (String::new(), i, line);
+    }
+    i += 1;
+    let mut s = String::new();
+    'outer: while i < b.len() {
+        if b[i] == '"' {
+            let mut j = i + 1;
+            let mut k = 0;
+            while k < hashes && j < b.len() && b[j] == '#' {
+                k += 1;
+                j += 1;
+            }
+            if k == hashes {
+                i = j;
+                break 'outer;
+            }
+        }
+        if b[i] == '\n' {
+            line += 1;
+        }
+        s.push(b[i]);
+        i += 1;
+    }
+    (s, i, line)
+}
+
+/// Line ranges (inclusive) covered by `#[cfg(test)]`-style attributes —
+/// an attribute whose `cfg(...)` argument mentions `test` — extended to
+/// the end of the brace block of the item that follows. Checks that only
+/// apply to library code consult this.
+pub fn test_regions(lx: &Lexed) -> Vec<(u32, u32)> {
+    let t = &lx.toks;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 3 < t.len() {
+        if t[i].text == "#"
+            && t[i + 1].text == "["
+            && t[i + 2].text == "cfg"
+            && t[i + 3].text == "("
+        {
+            // Scan the balanced cfg(...) argument for a `test` ident.
+            let mut j = i + 4;
+            let mut depth = 1i32;
+            let mut mentions_test = false;
+            while j < t.len() && depth > 0 {
+                match t[j].text.as_str() {
+                    "(" => depth += 1,
+                    ")" => depth -= 1,
+                    "test" if t[j].kind == TokKind::Ident => mentions_test = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if mentions_test {
+                // Skip past the attribute's closing `]`, then to the first
+                // `{` of the annotated item, then to its matching `}`.
+                while j < t.len() && t[j].text != "]" {
+                    j += 1;
+                }
+                let start_line = t[i].line;
+                let mut k = j;
+                while k < t.len() && t[k].text != "{" && t[k].text != ";" {
+                    k += 1;
+                }
+                if k < t.len() && t[k].text == "{" {
+                    let mut bd = 1i32;
+                    k += 1;
+                    while k < t.len() && bd > 0 {
+                        match t[k].text.as_str() {
+                            "{" => bd += 1,
+                            "}" => bd -= 1,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                let end_line = t[k.min(t.len() - 1)].line;
+                out.push((start_line, end_line));
+                i = k;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+pub fn in_regions(regions: &[(u32, u32)], line: u32) -> bool {
+    regions.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+/// End lines of contiguous comment runs that contain at least one of
+/// `needles`. A "run" is a maximal sequence of comment lines on
+/// consecutive line numbers — a doc block, a `//` paragraph, or a block
+/// comment. Proximity checks measure from the run's *end*, so a long
+/// justification block still covers the code right below it.
+pub fn comment_runs(lx: &Lexed, needles: &[&str]) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut run_end: Option<u32> = None;
+    let mut run_hit = false;
+    for c in &lx.comments {
+        match run_end {
+            Some(end) if c.line <= end + 1 => {}
+            Some(end) => {
+                if run_hit {
+                    out.push(end);
+                }
+                run_hit = false;
+            }
+            None => {}
+        }
+        run_end = Some(c.line);
+        run_hit = run_hit || needles.iter().any(|n| c.text.contains(n));
+    }
+    if let (Some(end), true) = (run_end, run_hit) {
+        out.push(end);
+    }
+    out
+}

@@ -1,0 +1,73 @@
+//! CLI for `anker-lint`. Usage:
+//!
+//! ```text
+//! cargo run -p anker-lint -- check [--root PATH]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/configuration error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = None;
+    let mut root = None;
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "check" if cmd.is_none() => cmd = Some("check"),
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => root = Some(PathBuf::from(p)),
+                    None => return usage("--root needs a path"),
+                }
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    if cmd != Some("check") {
+        return usage("expected the `check` subcommand");
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().expect("cwd");
+            match anker_lint::find_root(&cwd) {
+                Some(r) => r,
+                None => return usage("no LOCKS.toml here or above; pass --root"),
+            }
+        }
+    };
+    match anker_lint::run(&root) {
+        Ok(report) if report.findings.is_empty() => {
+            println!(
+                "anker-lint: OK — {} files, {} lock classes, {} sync points, 0 findings",
+                report.files_scanned, report.classes, report.lib_points
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(report) => {
+            for f in &report.findings {
+                println!("{f}");
+            }
+            println!(
+                "anker-lint: {} finding(s) across {} files",
+                report.findings.len(),
+                report.files_scanned
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("anker-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("anker-lint: {err}\nusage: anker-lint check [--root PATH]");
+    ExitCode::from(2)
+}

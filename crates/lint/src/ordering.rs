@@ -1,0 +1,50 @@
+//! Check 4: every *non-trivial* atomic ordering in library code — any
+//! `Ordering::{Acquire, Release, AcqRel, SeqCst}` use — needs an
+//! `// ORDERING:` comment within `WINDOW` lines above stating what the
+//! ordering pairs with. `Relaxed` needs no justification (it claims
+//! nothing), and test code is exempt: tests exercise the protocol, the
+//! lib defines it. One comment covers the whole adjacent cluster that
+//! sits within the window.
+
+use crate::lexer::{comment_runs, in_regions, Lexed, TokKind};
+use crate::Finding;
+
+const WINDOW: u32 = 10;
+const NON_TRIVIAL: &[&str] = &["Acquire", "Release", "AcqRel", "SeqCst"];
+
+pub fn check(rel_path: &str, lx: &Lexed, test_regions: &[(u32, u32)]) -> Vec<Finding> {
+    let is_lib = rel_path.contains("/src/") || rel_path.starts_with("src/");
+    if !is_lib {
+        return Vec::new();
+    }
+    let runs = comment_runs(lx, &["ORDERING"]);
+    let t = &lx.toks;
+    let mut findings = Vec::new();
+    for i in 0..t.len().saturating_sub(2) {
+        if !(t[i].kind == TokKind::Ident
+            && t[i].text == "Ordering"
+            && t[i + 1].text == "::"
+            && t[i + 2].kind == TokKind::Ident
+            && NON_TRIVIAL.contains(&t[i + 2].text.as_str()))
+        {
+            continue;
+        }
+        let line = t[i].line;
+        if in_regions(test_regions, line) {
+            continue;
+        }
+        let justified = runs.iter().any(|&end| end <= line && line - end <= WINDOW);
+        if !justified {
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line,
+                check: "ordering-unjustified",
+                msg: format!(
+                    "`Ordering::{}` without an `// ORDERING:` comment within {WINDOW} lines above",
+                    t[i + 2].text
+                ),
+            });
+        }
+    }
+    findings
+}

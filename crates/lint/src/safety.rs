@@ -1,0 +1,35 @@
+//! Check 3: every `unsafe` token needs a justification comment — a
+//! `SAFETY:` comment, or a `# Safety` doc section for `unsafe fn`
+//! declarations whose contract lives in the doc. A contiguous comment
+//! run counts as one unit: the justification may sit anywhere in the
+//! run, as long as the run *ends* at most `WINDOW` lines above the
+//! `unsafe` (or on its line). Applies everywhere, tests included: an
+//! unjustified `unsafe` in a test is as much of a review hazard as one
+//! in lib code.
+
+use crate::lexer::{comment_runs, Lexed, TokKind};
+use crate::Finding;
+
+const WINDOW: u32 = 10;
+
+pub fn check(rel_path: &str, lx: &Lexed) -> Vec<Finding> {
+    let runs = comment_runs(lx, &["SAFETY", "# Safety"]);
+    let mut findings = Vec::new();
+    for tok in &lx.toks {
+        if tok.kind != TokKind::Ident || tok.text != "unsafe" {
+            continue;
+        }
+        let justified = runs
+            .iter()
+            .any(|&end| end <= tok.line && tok.line - end <= WINDOW);
+        if !justified {
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: tok.line,
+                check: "unsafe-without-safety",
+                msg: format!("`unsafe` without a `// SAFETY:` comment within {WINDOW} lines above"),
+            });
+        }
+    }
+    findings
+}

@@ -1,0 +1,105 @@
+//! Check 5: the sync-point registry. Every `sched::hit("…")` in library
+//! code must be referenced by at least one test (an unreferenced point is
+//! dead scaffolding — or worse, an interleaving nobody proves), and every
+//! point a test manipulates must exist in the library (or carry the
+//! `test:` prefix, which marks points that tests both emit and consume,
+//! e.g. the sched self-tests). Library points must themselves not use the
+//! `test:` prefix.
+
+use crate::lexer::{in_regions, Lexed, TokKind};
+use crate::Finding;
+use std::collections::BTreeMap;
+
+/// `SchedCtl` methods whose first argument names a sync point.
+const CTL_METHODS: &[&str] = &[
+    "pause",
+    "pause_label",
+    "await_parked",
+    "parked",
+    "release",
+    "resume",
+    "hit",
+];
+
+#[derive(Default)]
+pub struct Registry {
+    /// point -> first (file, line) that emits it from lib code.
+    pub lib_points: BTreeMap<String, (String, u32)>,
+    /// point -> first (file, line) that references it from test code.
+    pub test_refs: BTreeMap<String, (String, u32)>,
+}
+
+/// Collect one file's contribution to the registry.
+pub fn collect(rel_path: &str, lx: &Lexed, test_regions: &[(u32, u32)], reg: &mut Registry) {
+    let t = &lx.toks;
+    let file_is_test = rel_path.contains("/tests/");
+    for i in 0..t.len() {
+        if t[i].kind != TokKind::Ident
+            || !CTL_METHODS.contains(&t[i].text.as_str())
+            || t.get(i + 1).is_none_or(|x| x.text != "(")
+            || t.get(i + 2).is_none_or(|x| x.kind != TokKind::Str)
+        {
+            continue;
+        }
+        if i > 0 && t[i - 1].text == "fn" {
+            continue; // the sched API definitions themselves
+        }
+        let point = t[i + 2].text.clone();
+        let line = t[i].line;
+        let in_test = file_is_test || in_regions(test_regions, line);
+        if t[i].text == "hit" && !in_test {
+            reg.lib_points
+                .entry(point)
+                .or_insert_with(|| (rel_path.to_string(), line));
+        } else if in_test {
+            reg.test_refs
+                .entry(point)
+                .or_insert_with(|| (rel_path.to_string(), line));
+        }
+        // A non-test `pause`/`release`/… would be a SchedCtl used outside
+        // tests; the orphan rules below surface it as an unknown ref is
+        // not possible (we only record refs from test context), so it is
+        // simply ignored — production code has no SchedCtl.
+    }
+}
+
+pub fn verdict(reg: &Registry) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (point, (file, line)) in &reg.lib_points {
+        if point.starts_with("test:") {
+            findings.push(Finding {
+                file: file.clone(),
+                line: *line,
+                check: "sync-point-registry",
+                msg: format!(
+                    "library sync point `{point}` uses the `test:` prefix reserved for \
+                     test-emitted points"
+                ),
+            });
+        } else if !reg.test_refs.contains_key(point) {
+            findings.push(Finding {
+                file: file.clone(),
+                line: *line,
+                check: "sync-point-registry",
+                msg: format!(
+                    "sync point `{point}` is emitted by library code but referenced by no test \
+                     (no pause/await_parked/release anywhere under tests)"
+                ),
+            });
+        }
+    }
+    for (point, (file, line)) in &reg.test_refs {
+        if !point.starts_with("test:") && !reg.lib_points.contains_key(point) {
+            findings.push(Finding {
+                file: file.clone(),
+                line: *line,
+                check: "sync-point-registry",
+                msg: format!(
+                    "test references sync point `{point}`, which no library `sched::hit` emits \
+                     (rename to `test:{point}` if the test itself emits it)"
+                ),
+            });
+        }
+    }
+    findings
+}

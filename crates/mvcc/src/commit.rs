@@ -23,7 +23,7 @@
 //! `partition_point` pruning of the validation scan exact.
 
 use crate::predicate::{ColRef, PredicateSet};
-use parking_lot::Mutex;
+use anker_util::lockcheck::{self, classes};
 use std::collections::VecDeque;
 
 /// Number of table-id shards of [`RecentCommits`]. A small power of two:
@@ -63,14 +63,19 @@ pub struct ValidationConflict {
 /// The sharded, mutex-protected list of recently committed transactions.
 #[derive(Debug)]
 pub struct RecentCommits {
-    shards: Box<[Mutex<VecDeque<CommitRecord>>]>,
+    /// Shard `i` is a `validation_shard`-class lock with order key `i`:
+    /// the ascending-acquisition protocol below is exactly what the
+    /// lockcheck witness verifies at runtime.
+    shards: Box<[lockcheck::Mutex<VecDeque<CommitRecord>>]>,
 }
 
 impl Default for RecentCommits {
     fn default() -> Self {
         RecentCommits {
             shards: (0..VALIDATION_SHARDS)
-                .map(|_| Mutex::new(VecDeque::new()))
+                .map(|i| {
+                    lockcheck::Mutex::new(&classes::VALIDATION_SHARD, i as u64, VecDeque::new())
+                })
                 .collect::<Vec<_>>()
                 .into_boxed_slice(),
         }
@@ -82,7 +87,7 @@ impl Default for RecentCommits {
 /// [`RecentCommits::lock_tables`]; dropping it releases every shard.
 pub struct ShardGuards<'a> {
     /// `(shard index, guard)` in ascending shard order.
-    guards: Vec<(usize, parking_lot::MutexGuard<'a, VecDeque<CommitRecord>>)>,
+    guards: Vec<(usize, lockcheck::MutexGuard<'a, VecDeque<CommitRecord>>)>,
 }
 
 impl RecentCommits {
@@ -129,7 +134,7 @@ impl RecentCommits {
     /// Number of retained shard records (a commit spanning `k` table
     /// shards counts `k` times).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards.iter().map(|shard| shard.lock().len()).sum()
     }
 
     /// True if no records are retained.
@@ -273,6 +278,10 @@ impl ActiveTxns {
         use std::sync::atomic::Ordering;
         debug_assert_ne!(start_ts, SLOT_EMPTY);
         let start = self.next.fetch_add(1, Ordering::Relaxed);
+        // ORDERING: AcqRel — claiming a slot must be a full hand-off with
+        // the previous `deregister`'s AcqRel swap, so slot reuse cannot
+        // reorder across two transactions' lifetimes, and a horizon scan
+        // that sees our start_ts knows the registration is complete.
         for i in 0..ACTIVE_SLOTS {
             let slot = (start + i) % ACTIVE_SLOTS;
             if self.slots[slot]
@@ -288,6 +297,10 @@ impl ActiveTxns {
     /// Deregister a transaction (on commit or abort).
     pub fn deregister(&self, token: ActiveToken) {
         use std::sync::atomic::Ordering;
+        // ORDERING: AcqRel — the Release half publishes every read this
+        // transaction did before the horizon may move past it (GC and
+        // area-recycling gate on `min_active_or`); the Acquire half pairs
+        // with the next claimant's CAS.
         let prev = self.slots[token.slot].swap(SLOT_EMPTY, Ordering::AcqRel);
         debug_assert_ne!(prev, SLOT_EMPTY, "slot double-freed");
     }
@@ -297,6 +310,10 @@ impl ActiveTxns {
     pub fn min_active_or(&self, fallback: u64) -> u64 {
         use std::sync::atomic::Ordering;
         let mut min = u64::MAX;
+        // ORDERING: Acquire pairs with the AcqRel slot RMWs — a scan that
+        // misses a transaction (slot already empty) is ordered after that
+        // transaction's deregistration, so acting on the horizon (unmap,
+        // GC) cannot pull state out from under a still-active reader.
         for s in self.slots.iter() {
             min = min.min(s.load(Ordering::Acquire));
         }

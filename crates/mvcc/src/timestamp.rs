@@ -83,6 +83,9 @@ impl TsOracle {
     /// Start timestamp for a new transaction: the stable watermark.
     #[inline]
     pub fn start_ts(&self) -> u64 {
+        // ORDERING: Acquire pairs with `finish`'s Release store — a
+        // transaction that starts at watermark W sees every install of
+        // every commit with ts <= W.
         self.last_completed.load(Ordering::Acquire)
     }
 
@@ -132,6 +135,10 @@ impl TsOracle {
             Some(&oldest) => oldest - 1,
             None => self.next_commit.load(Ordering::Relaxed) - 1,
         };
+        // ORDERING: Release publishes every install that happened-before
+        // this completion; pairs with the Acquire in `start_ts` /
+        // `last_completed`. (The guard load may be Relaxed: the watermark
+        // only moves under the `inflight` lock held here.)
         if wm > self.last_completed.load(Ordering::Relaxed) {
             self.last_completed.store(wm, Ordering::Release);
         }
@@ -140,6 +147,7 @@ impl TsOracle {
     /// The stable watermark (see module docs).
     #[inline]
     pub fn last_completed(&self) -> u64 {
+        // ORDERING: Acquire, same pairing as `start_ts`.
         self.last_completed.load(Ordering::Acquire)
     }
 
@@ -192,6 +200,9 @@ impl TsOracle {
     pub fn advance_to(&self, ts: u64) {
         debug_assert!(ts < PENDING, "timestamp space exhausted");
         debug_assert!(self.drained(), "advance_to with commits in flight");
+        // ORDERING: the Acquire/Release pairs here mirror the normal
+        // watermark protocol so the first post-recovery `start_ts` reader
+        // also sees every replayed install.
         let cur = self.last_completed.load(Ordering::Acquire);
         assert!(
             cur <= ts,

@@ -109,6 +109,11 @@ impl Block {
     /// serialize here instead of assuming a single serialized committer.
     fn write_lock(&self) {
         let mut spins = 0u32;
+        // ORDERING: the CAS's Acquire pairs with `write_unlock`'s Release,
+        // so a new writer sees the previous writer's block updates; the
+        // Release fence orders the odd `seq` ahead of the metadata writes
+        // that follow, so a seqlock reader that observes those writes also
+        // observes `seq` as odd and retries.
         loop {
             let s = self.seq.load(Ordering::Relaxed);
             if s & 1 == 0
@@ -122,6 +127,7 @@ impl Block {
                     )
                     .is_ok()
             {
+                // ORDERING: see the Release-fence note above the loop.
                 fence(Ordering::Release);
                 return;
             }
@@ -136,6 +142,9 @@ impl Block {
 
     /// Release the seqlock writer side (odd → even).
     fn write_unlock(&self) {
+        // ORDERING: Release publishes this writer's metadata updates
+        // before `seq` returns to even; pairs with the Acquire reads in
+        // `block_read`/`block_verify`.
         self.seq.fetch_add(1, Ordering::Release);
     }
 }
@@ -233,6 +242,9 @@ impl ChainStore {
     #[inline]
     fn block_read(&self, block: usize) -> (u32, u32, u32) {
         let b = &self.blocks[block];
+        // ORDERING: Acquire on `seq` pairs with `write_unlock`'s Release —
+        // if we read an even seq, the metadata loads below are at least as
+        // new as the write section that published it.
         let seq = b.seq.load(Ordering::Acquire);
         let first = b.first.load(Ordering::Relaxed);
         let last = b.last.load(Ordering::Relaxed);
@@ -243,6 +255,9 @@ impl ChainStore {
     /// change since [`ChainStore::block_read`] returned `seq`.
     #[inline]
     fn block_verify(&self, block: usize, seq: u32) -> bool {
+        // ORDERING: the Acquire fence orders the caller's data reads
+        // before the re-read of `seq` (classic seqlock validation); the
+        // Acquire load pairs with the writer's Release increments.
         fence(Ordering::Acquire);
         seq.is_multiple_of(2) && self.blocks[block].seq.load(Ordering::Acquire) == seq
     }
@@ -386,6 +401,9 @@ impl VersionedColumn {
     /// The raw write-timestamp word of `row` (may carry [`PENDING`]).
     #[inline]
     pub fn last_write_ts(&self, row: u32) -> u64 {
+        // ORDERING: Acquire pairs with the Release stores in
+        // `install_locked`/`unlock_row`, so a caller that sees a commit's
+        // timestamp also sees the chain push that preceded it.
         self.row_ts[row as usize].load(Ordering::Acquire)
     }
 
@@ -417,6 +435,10 @@ impl VersionedColumn {
     ///   chain (pushed before the word advanced), so the chain walk
     ///   serves the read without touching the in-place slot.
     pub fn read(&self, area: &ColumnArea, row: u32, start_ts: u64) -> anker_vmem::Result<u64> {
+        // ORDERING: both Acquire loads pair with `install_locked`'s
+        // Release stores — t1 orders the value load after the word it
+        // observed, and t2 == t1 proves no install moved the word (and
+        // hence nobody overwrote the value) across our read.
         loop {
             let t1 = self.row_ts[row as usize].load(Ordering::Acquire);
             if t1 & !PENDING > start_ts {
@@ -437,6 +459,9 @@ impl VersionedColumn {
     /// install latch; a pre-install latched row reads as its old value,
     /// see [`VersionedColumn::read`]).
     pub fn read_latest(&self, area: &ColumnArea, row: u32) -> anker_vmem::Result<u64> {
+        // ORDERING: same timestamp-bracket protocol as `read` — Acquire
+        // pairs with the installer's Release stores; t2 == t1 validates
+        // the in-place value loaded in between.
         loop {
             let t1 = self.row_ts[row as usize].load(Ordering::Acquire);
             let v = area.get(row)?;
@@ -478,6 +503,11 @@ impl VersionedColumn {
     pub fn lock_row(&self, area: &ColumnArea, row: u32) -> anker_vmem::Result<(u64, u64)> {
         let slot = &self.row_ts[row as usize];
         let mut spins = 0u32;
+        // ORDERING: the Acquire load + AcqRel CAS pair with the Release
+        // stores that end a latch hold (`install_locked`, `unlock_row`),
+        // so the new latch holder sees the previous holder's install; the
+        // Release half publishes nothing yet but keeps the latch word a
+        // full synchronization point for the error-path restore below.
         let t_old = loop {
             let t = slot.load(Ordering::Acquire);
             if t & PENDING == 0
@@ -499,6 +529,8 @@ impl VersionedColumn {
         match area.get(row) {
             Ok(old) => Ok((t_old, old)),
             Err(e) => {
+                // ORDERING: Release so the latch hand-off synchronizes
+                // with the next `lock_row`'s Acquire.
                 slot.store(t_old, Ordering::Release);
                 Err(e)
             }
@@ -512,6 +544,9 @@ impl VersionedColumn {
         debug_assert_eq!(old_ts & PENDING, 0);
         let slot = &self.row_ts[row as usize];
         debug_assert_ne!(slot.load(Ordering::Relaxed) & PENDING, 0, "row not latched");
+        // ORDERING: Release pairs with the Acquire in `lock_row` (and the
+        // readers' timestamp brackets): everything this aborter did under
+        // the latch happens-before the next holder's critical section.
         slot.store(old_ts, Ordering::Release);
     }
 
@@ -535,11 +570,13 @@ impl VersionedColumn {
         commit_ts: u64,
     ) -> anker_vmem::Result<()> {
         debug_assert!(old_ts < commit_ts, "non-monotonic install");
-        // Order matters for latch-ignoring readers (see
+        // ORDERING: order matters for latch-ignoring readers (see
         // [`VersionedColumn::read`]): (1) the replaced value enters the
         // chain, (2) the word advances to `commit_ts | PENDING` so no
         // reader trusts the in-place slot any more, (3) only then is the
-        // value overwritten, (4) the latch releases at `commit_ts`.
+        // value overwritten, (4) the latch releases at `commit_ts`. Both
+        // stores are Release so a reader's Acquire load of the word also
+        // sees the chain push (step 1) that preceded it.
         self.current.read().push(row, old_word, old_ts);
         self.row_ts[row as usize].store(commit_ts | PENDING, Ordering::Release);
         area.set(row, new_word)?;
@@ -580,6 +617,9 @@ impl VersionedColumn {
             std::mem::replace(&mut *cur, fresh)
         };
         self.older.write().push((freeze_ts, Arc::clone(&frozen)));
+        // ORDERING: Release pairs with the Acquire in `scan_block_into` —
+        // a scanner that sees the new freeze timestamp also sees the
+        // frozen store already pushed onto `older`.
         self.last_freeze_ts.store(freeze_ts, Ordering::Release);
         frozen
     }
@@ -683,6 +723,8 @@ impl VersionedColumn {
         // older than the last freeze must check every row (cannot happen in
         // the paper's configurations — OLAP runs on snapshots — but stay
         // correct for any caller).
+        // ORDERING: Acquire pairs with `freeze_epoch`'s Release store, so
+        // seeing the freeze timestamp implies the frozen store is visible.
         let force_per_row = start_ts < self.last_freeze_ts.load(Ordering::Acquire);
         let block_idx = (block_start / BLOCK_ROWS) as usize;
         let (seq, first, last) = store.block_read(block_idx);

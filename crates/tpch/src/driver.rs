@@ -232,6 +232,9 @@ pub fn run_htap(t: &TpchDb, cfg: &HtapConfig) -> HtapResult {
             let aborted = &aborted;
             s.spawn(move || {
                 let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x717A ^ (worker as u64) << 20);
+                // ORDERING: Acquire pairs with the scan thread's Release
+                // store of `stop`, so a stopping updater sees the final
+                // scan state that ended the run.
                 while !stop.load(Ordering::Acquire) {
                     think(cfg.think_us);
                     match run_oltp(t, OltpKind::sample(&mut rng), &mut rng) {
@@ -306,6 +309,7 @@ pub fn run_htap(t: &TpchDb, cfg: &HtapConfig) -> HtapResult {
             }
             scan_nanos += began.elapsed().as_nanos() as u64;
         }
+        // ORDERING: Release pairs with the updaters' Acquire polls.
         stop.store(true, Ordering::Release);
     });
     let wall = start.elapsed();
@@ -498,6 +502,8 @@ pub fn run_olap_latency(t: &TpchDb, query: OlapQuery, cfg: &LatencyConfig) -> La
             let stop = &stop;
             s.spawn(move || {
                 let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xABCD ^ (worker as u64) << 24);
+                // ORDERING: Acquire pairs with the measuring thread's
+                // Release store of `stop` once sampling finishes.
                 while !stop.load(Ordering::Acquire) {
                     let kind = OltpKind::sample(&mut rng);
                     let _ = run_oltp(t, kind, &mut rng);
@@ -516,6 +522,7 @@ pub fn run_olap_latency(t: &TpchDb, query: OlapQuery, cfg: &LatencyConfig) -> La
             txn.commit().expect("read-only commit cannot fail");
             samples.push(begin.elapsed());
         }
+        // ORDERING: Release pairs with the pressure workers' Acquire polls.
         stop.store(true, Ordering::Release);
     });
     let mean = samples.iter().sum::<Duration>() / samples.len() as u32;

@@ -4,8 +4,10 @@
 //! external hashing crate), small statistics helpers for the benchmark
 //! harness, a fixed-width table printer used by the `repro_*` binaries to
 //! print paper-style result tables, the reusable [`WorkerPool`] behind
-//! morsel-parallel snapshot scans, and the [`sched`] deterministic-
-//! interleaving sync points the commit-pipeline race tests drive.
+//! morsel-parallel snapshot scans, the [`sched`] deterministic-
+//! interleaving sync points the commit-pipeline race tests drive, and the
+//! [`lockcheck`] lock-order witness (active behind the `lockcheck`
+//! feature) that dynamically enforces the hierarchy in `LOCKS.toml`.
 //!
 //! ## Example
 //!
@@ -26,6 +28,7 @@
 //! ```
 
 pub mod fxhash;
+pub mod lockcheck;
 pub mod pool;
 pub mod sched;
 pub mod stats;

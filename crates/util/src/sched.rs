@@ -23,16 +23,16 @@
 //! use anker_util::sched;
 //!
 //! let ctl = sched::SchedCtl::install();
-//! ctl.pause("demo:point");
+//! ctl.pause("test:demo");
 //! let h = std::thread::spawn(|| {
-//!     sched::hit("demo:point"); // parks until released
+//!     sched::hit("test:demo"); // parks until released
 //!     7
 //! });
-//! ctl.await_parked("demo:point", 1);
-//! ctl.release("demo:point", 1);
+//! ctl.await_parked("test:demo", 1);
+//! ctl.release("test:demo", 1);
 //! assert_eq!(h.join().unwrap(), 7);
 //! drop(ctl); // disarms; later hits are free
-//! sched::hit("demo:point");
+//! sched::hit("test:demo");
 //! ```
 
 use std::collections::HashMap;
@@ -219,24 +219,24 @@ mod tests {
     #[test]
     fn uninstalled_gate_is_free() {
         let _t = TEST_MX.lock().unwrap_or_else(|e| e.into_inner());
-        hit("nobody:listens"); // must not block
+        hit("test:disarmed"); // must not block
     }
 
     #[test]
     fn pause_parks_until_released() {
         let _t = TEST_MX.lock().unwrap_or_else(|e| e.into_inner());
         let ctl = SchedCtl::install();
-        ctl.pause("p");
+        ctl.pause("test:park");
         static STAGE: AtomicUsize = AtomicUsize::new(0);
         STAGE.store(0, Ordering::SeqCst);
         let h = std::thread::spawn(|| {
             STAGE.store(1, Ordering::SeqCst);
-            hit("p");
+            hit("test:park");
             STAGE.store(2, Ordering::SeqCst);
         });
-        ctl.await_parked("p", 1);
+        ctl.await_parked("test:park", 1);
         assert_eq!(STAGE.load(Ordering::SeqCst), 1, "thread is parked");
-        ctl.release("p", 1);
+        ctl.release("test:park", 1);
         h.join().unwrap();
         assert_eq!(STAGE.load(Ordering::SeqCst), 2);
     }
@@ -245,17 +245,17 @@ mod tests {
     fn labels_select_which_thread_parks() {
         let _t = TEST_MX.lock().unwrap_or_else(|e| e.into_inner());
         let ctl = SchedCtl::install();
-        ctl.pause_label("q", "victim");
+        ctl.pause_label("test:label", "victim");
         // Unlabelled thread sails through.
-        let free = std::thread::spawn(|| hit("q"));
+        let free = std::thread::spawn(|| hit("test:label"));
         free.join().unwrap();
         // Labelled thread parks.
         let parked = std::thread::spawn(|| {
             set_label(Some("victim"));
-            hit("q");
+            hit("test:label");
         });
-        ctl.await_parked("q", 1);
-        ctl.resume("q");
+        ctl.await_parked("test:label", 1);
+        ctl.resume("test:label");
         parked.join().unwrap();
     }
 
@@ -263,12 +263,12 @@ mod tests {
     fn drop_releases_everything() {
         let _t = TEST_MX.lock().unwrap_or_else(|e| e.into_inner());
         let ctl = SchedCtl::install();
-        ctl.pause("r");
-        let h = std::thread::spawn(|| hit("r"));
-        ctl.await_parked("r", 1);
+        ctl.pause("test:drop");
+        let h = std::thread::spawn(|| hit("test:drop"));
+        ctl.await_parked("test:drop", 1);
         drop(ctl);
         h.join().unwrap();
         // Gate is disarmed again.
-        hit("r");
+        hit("test:drop");
     }
 }

@@ -87,6 +87,9 @@ impl ResolvedPage {
     /// Atomically load word `i` with acquire ordering.
     #[inline]
     pub fn load_acquire(&self, i: usize) -> u64 {
+        // ORDERING: Acquire by caller contract — pairs with a
+        // `store_release` of the same word (the MVCC layer's timestamp
+        // brackets are built on this primitive).
         self.atom(i).load(Ordering::Acquire)
     }
 
@@ -106,6 +109,8 @@ impl ResolvedPage {
     #[inline]
     pub fn store_release(&self, i: usize, v: u64) {
         assert!(self.writable, "store through read-only page resolution");
+        // ORDERING: Release by caller contract — publishes the caller's
+        // prior writes to any `load_acquire` of this word.
         self.atom(i).store(v, Ordering::Release);
     }
 

@@ -188,6 +188,10 @@ impl PhysMem {
     /// Decrement the reference count; frees the frame when it reaches zero.
     pub fn decref(&self, frame: FrameId) {
         let (chunk, within) = self.chunk_of(frame);
+        // ORDERING: AcqRel — the Release half publishes this owner's last
+        // writes to the frame before the count can reach zero; the Acquire
+        // half makes the freeing thread (prev == 1) see every other
+        // owner's writes before the frame is zeroed and recycled.
         let prev = chunk.refcounts[within].fetch_sub(1, Ordering::AcqRel);
         debug_assert!(prev > 0, "decref on free frame");
         if prev == 1 {
@@ -199,6 +203,8 @@ impl PhysMem {
     /// Current reference count of `frame`.
     pub fn refcount(&self, frame: FrameId) -> u32 {
         let (chunk, within) = self.chunk_of(frame);
+        // ORDERING: Acquire pairs with the AcqRel refcount RMWs so an
+        // observed count is no older than the ownership changes it implies.
         chunk.refcounts[within].load(Ordering::Acquire)
     }
 
@@ -243,6 +249,9 @@ mod tests {
         let pm = PhysMem::new(4096, 64 << 20);
         let f = pm.alloc().unwrap();
         let ptr = pm.frame_ptr(f) as *mut u64;
+        // SAFETY: `f` (and later `g`) was just allocated and nothing else
+        // references it, so `frame_ptr` addresses a live, exclusively
+        // owned, u64-aligned frame.
         unsafe {
             assert_eq!(ptr.read(), 0);
             ptr.write(0xdead_beef);
@@ -273,6 +282,8 @@ mod tests {
         let pm = PhysMem::new(4096, 64 << 20);
         let a = pm.alloc().unwrap();
         let b = pm.alloc().unwrap();
+        // SAFETY: `a` and `b` are freshly allocated frames owned solely by
+        // this test; writes stay within one 4 KiB frame (512 u64s).
         unsafe {
             let pa = pm.frame_ptr(a) as *mut u64;
             for i in 0..512 {
@@ -306,6 +317,9 @@ mod tests {
             frames.push(pm.alloc().unwrap());
         }
         // Write a distinct value into each and read back.
+        // SAFETY: every frame in `frames` is live (never freed here) and
+        // distinct, so each one-word write/read is to exclusively owned,
+        // mapped memory.
         for (i, &f) in frames.iter().enumerate() {
             unsafe { (pm.frame_ptr(f) as *mut u64).write(i as u64) };
         }
