@@ -78,8 +78,9 @@ fn ablation_backend_block_read(c: &mut Criterion) {
                 acc
             });
         });
-        // SAFETY: the bench areas live to the end of the function and are
-        // never written after the fill; nothing unmaps them.
+        // SAFETY(provenance: area): the bench areas live to the end of the
+        // function and are never written after the fill; nothing unmaps
+        // them.
         if let Some(s) = unsafe { area.as_slice() } {
             group.bench_function(format!("slice_sum/{name}"), |b| {
                 b.iter(|| s.iter().copied().sum::<u64>());

@@ -26,6 +26,10 @@
 //! let custom = RunScale::from_args(["--sf=0.1".to_string()]).unwrap();
 //! assert_eq!(custom.sf, 0.1);
 //! ```
+// No unsafe in the library or the repro binaries; the one unsafe block of
+// this package (a zero-copy slice in `benches/ablations.rs`) lives in a
+// bench target outside this attribute's scope.
+#![forbid(unsafe_code)]
 
 pub mod args;
 pub mod experiments;

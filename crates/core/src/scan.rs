@@ -415,7 +415,7 @@ impl<'t> ScanBuilder<'t> {
         stats: &mut ScanStats,
     ) -> Result<()> {
         let rows = txn.db.rows(table);
-        let core = FrozenScanCore::build(rows, spec, &mut |c| txn.snapshot_col(table, c))?;
+        let core = FrozenScanCore::build(rows, spec, None, &mut |c| txn.snapshot_col(table, c))?;
         let mut cursor = FrozenCursor::new(&core);
         cursor.run_range(0, rows, sink, stats)
     }
@@ -496,24 +496,32 @@ impl<'t> ScanBuilder<'t> {
 /// [`SnapCol`]s, their zone maps, and the spec. Immutable and `Sync` —
 /// parallel workers share one core by reference and drive their own
 /// [`FrozenCursor`]s over disjoint row ranges. Holding the core keeps
-/// every scanned area alive (the `Arc<SnapCol>`s), and the host
-/// additionally pins the epoch, so the areas can neither be unmapped nor
-/// recycled for as long as the scan runs.
+/// every scanned area alive (the `Arc<SnapCol>`s) **and** — on the
+/// reader path — keeps the epoch pinned: the core owns the
+/// [`ReaderPin`](crate::reader::ReaderPin), so anything holding the core
+/// carries the §4.1.3 recycling-rule justification for its zero-copy
+/// slices with it. On the transaction path `pin` is `None`; there the
+/// active-transaction horizon covers the scan (the engine never recycles
+/// an area a live transaction can reach).
 pub(crate) struct FrozenScanCore {
     rows: u32,
     spec: ScanSpec,
     filter_snaps: Vec<Arc<SnapCol>>,
     proj_snaps: Vec<Arc<SnapCol>>,
     zone_maps: Vec<Arc<ZoneMap>>,
+    #[allow(dead_code)] // held for its Drop (epoch unpin), never read
+    pin: Option<Arc<crate::reader::ReaderPin>>,
 }
 
 impl FrozenScanCore {
     /// Resolve every filter and projection column through `resolve`
     /// (which materialises on first access), build the zone maps, and
-    /// advise the backend of the impending sequential read.
+    /// advise the backend of the impending sequential read. `pin` is the
+    /// epoch pin the core takes ownership of on the reader path.
     fn build(
         rows: u32,
         spec: ScanSpec,
+        pin: Option<Arc<crate::reader::ReaderPin>>,
         resolve: &mut dyn FnMut(ColumnId) -> Result<Arc<SnapCol>>,
     ) -> Result<FrozenScanCore> {
         let filter_snaps = spec
@@ -551,6 +559,7 @@ impl FrozenScanCore {
             filter_snaps,
             proj_snaps,
             zone_maps,
+            pin,
         })
     }
 
@@ -573,18 +582,19 @@ pub(crate) struct FrozenCursor<'c> {
 
 impl<'c> FrozenCursor<'c> {
     pub(crate) fn new(core: &'c FrozenScanCore) -> FrozenCursor<'c> {
-        // SAFETY: the core holds an `Arc<SnapCol>` per column and the scan
-        // host pins the epoch, so the frozen areas can neither be unmapped
-        // nor recycled (both wait for the pin/active-transaction horizon)
-        // while these borrows live; frozen areas are never written after
-        // hand-over, so the slices are genuinely immutable.
+        // SAFETY(provenance: core, sc): the core holds an `Arc<SnapCol>`
+        // per column and owns the epoch pin (or, on the transaction path,
+        // is covered by the active-transaction horizon), so the frozen
+        // areas can neither be unmapped nor recycled while these borrows
+        // live; frozen areas are never written after hand-over, so the
+        // slices are genuinely immutable.
         let f_slices: Vec<Option<&[u64]>> = core
             .filter_snaps
             .iter()
             .map(|sc| unsafe { sc.area().as_slice() })
             .collect();
-        // SAFETY: same contract as the filter slices above — pinned epoch,
-        // frozen areas.
+        // SAFETY(provenance: core, sc): same contract as the filter
+        // slices above — pinned epoch, frozen areas.
         let p_slices: Vec<Option<&[u64]>> = core
             .proj_snaps
             .iter()
@@ -772,7 +782,9 @@ impl<'r> ReaderScanBuilder<'r> {
         let table = self.table;
         let rows = reader.db().rows(table);
         let spec = std::mem::take(&mut self.spec);
-        FrozenScanCore::build(rows, spec, &mut |c| reader.snap_col(table, c))
+        FrozenScanCore::build(rows, spec, Some(reader.pin_handle()), &mut |c| {
+            reader.snap_col(table, c)
+        })
     }
 
     /// Run the scan and count the rows passing all filters. The
@@ -873,7 +885,6 @@ impl<'r> ReaderScanBuilder<'r> {
             let end = ((block + take) * BLOCK_ROWS).min(rows);
             out.push(ScanPartition {
                 core: Arc::clone(&core),
-                pin: self.reader.pin_handle(),
                 start: start.min(rows),
                 end,
             });
@@ -889,9 +900,9 @@ impl<'r> ReaderScanBuilder<'r> {
 /// [`ReaderScanBuilder::into_partitions`] for executors that manage their
 /// own threads instead of using the built-in pool.
 pub struct ScanPartition {
+    // The core owns the epoch pin, so the partition keeps the epoch
+    // pinned transitively for as long as it lives.
     core: Arc<FrozenScanCore>,
-    #[allow(dead_code)] // held for its Drop (epoch unpin), never read
-    pin: Arc<crate::reader::ReaderPin>,
     start: u32,
     end: u32,
 }

@@ -98,7 +98,8 @@ fn lock_dir(dir: &Path) -> Result<File> {
         use std::os::unix::io::AsRawFd;
         const LOCK_EX: std::os::raw::c_int = 2;
         const LOCK_NB: std::os::raw::c_int = 4;
-        // SAFETY: flock on an owned, open descriptor with valid flags.
+        // SAFETY(provenance: flock, file): the syscall takes an owned,
+        // open descriptor and valid flags; it touches no caller memory.
         if unsafe { flock(file.as_raw_fd(), LOCK_EX | LOCK_NB) } != 0 {
             return Err(DuraError::Io(format!(
                 "durability directory {} is locked by another process",

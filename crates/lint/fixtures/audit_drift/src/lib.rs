@@ -1,0 +1,8 @@
+//! Fixture body: one correctly tagged unsafe block — the finding comes
+//! from the stale committed inventory, not from the code.
+
+pub fn read_first(p: *const u64) -> u64 {
+    // SAFETY(provenance: p): callers pass a valid, aligned, live pointer
+    // to at least one u64.
+    unsafe { *p }
+}

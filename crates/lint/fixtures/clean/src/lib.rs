@@ -18,7 +18,8 @@ pub fn reacquire_after_drop(locks: &Locks) {
 }
 
 pub fn read_first(p: *const u64) -> u64 {
-    // SAFETY: callers pass a valid, aligned pointer to at least one u64.
+    // SAFETY(provenance: p): callers pass a valid, aligned pointer to
+    // at least one u64.
     unsafe { *p }
 }
 

@@ -1,0 +1,7 @@
+//! Known-bad fixture: the tail expression hands a pin-derived slice to
+//! the caller, which outlives the pin scope (§4.1.3 recycling rule).
+
+pub fn grab(area: &Area) -> &'static [u64] {
+    let s = area.as_slice();
+    s
+}

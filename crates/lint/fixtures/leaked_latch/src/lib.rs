@@ -1,0 +1,9 @@
+//! Known-bad fixture: the `?` after the acquire exits with the latch
+//! held — the spin-acquire deadlock the dataflow pass exists to catch.
+
+pub fn install(rows: &Rows, row: u32) -> Result<(), Error> {
+    let ts = rows.lock_row(row)?;
+    rows.validate(row, ts)?; // leak: the error path exits latched
+    rows.unlock_row(row, ts);
+    Ok(())
+}

@@ -1,0 +1,17 @@
+//! Clean twin of `escaped_pin`: the slice never leaves the pin scope —
+//! it is either reduced to a value in place, or transferred through the
+//! one blessed constructor that moves the pin along with it.
+
+pub fn sum(area: &Area) -> u64 {
+    let s = area.as_slice();
+    let mut total = 0;
+    for w in s {
+        total += *w;
+    }
+    total
+}
+
+pub fn transfer(area: &Area) -> Cursor<'_> {
+    let s = area.as_slice();
+    Cursor { s }
+}

@@ -1,0 +1,25 @@
+//! Clean twin of `leaked_latch`: the error path releases before
+//! propagating, and the one fail-stop panic site is tagged `PANIC-OK`.
+
+pub fn install(rows: &Rows, row: u32) -> Result<(), Error> {
+    let ts = rows.lock_row(row)?;
+    match rows.validate(row, ts) {
+        Ok(()) => {
+            rows.unlock_row(row, ts);
+            Ok(())
+        }
+        Err(e) => {
+            rows.unlock_row(row, ts);
+            Err(e)
+        }
+    }
+}
+
+pub fn fail_stop(rows: &Rows, row: u32) {
+    let ts = rows.lock_row(row);
+    // PANIC-OK: past the point of no return — the apply follows a durable
+    // commit record, so dying with the latch held is the designed
+    // fail-stop behaviour.
+    rows.apply(row, ts).expect("apply after durable commit");
+    rows.unlock_row(row, ts);
+}

@@ -1,0 +1,13 @@
+//! Clean twin of `untagged_unsafe`: structured tags, resolving symbols.
+
+pub fn read_first(p: *const u64) -> u64 {
+    // SAFETY(provenance: p): callers pass a valid, aligned, live pointer
+    // to at least one u64.
+    unsafe { *p }
+}
+
+pub fn read_pair(q: *const u64, len: usize) -> u64 {
+    // SAFETY(provenance: q, bounds: len): callers pass a pointer valid
+    // for `len` words; the offset read stays below it.
+    unsafe { *q.add(len - 1) }
+}

@@ -1,0 +1,12 @@
+//! Known-bad fixture: one legacy-style SAFETY comment (no structured
+//! tag) and one tag whose symbols vanished from the function.
+
+pub fn read_first(p: *const u64) -> u64 {
+    // SAFETY: callers pass a valid, aligned pointer.
+    unsafe { *p }
+}
+
+pub fn read_second(q: *const u64) -> u64 {
+    // SAFETY(provenance: mapping, bounds: len): the mapping outlives us.
+    unsafe { *q }
+}

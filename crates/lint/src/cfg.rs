@@ -1,0 +1,615 @@
+//! A per-function control-flow approximation built from the token tree
+//! ([`crate::parser`]): enough edges to reason about *what must happen on
+//! every path out of a function* — which is exactly the shape of the
+//! panic-safe latch invariant ([`crate::latch`]).
+//!
+//! The graph is deliberately an approximation, biased to **over**-estimate
+//! the set of paths (extra paths can only make the latch pass stricter,
+//! never blind):
+//!
+//! * statements chain sequentially; `if`/`else` and `match` arms branch
+//!   and re-join;
+//! * `loop`/`while`/`for` get a head node, a back edge, and a
+//!   [`EdgeKind::LoopExit`] edge that models the zero-iteration case;
+//! * `?` produces a [`NodeKind::Question`] node with an exit edge taken
+//!   *before* the adjacent call's effect applies — so `lock()?` fails
+//!   without holding, and `unlock()?` fails while still holding;
+//! * `return`/`break`/`continue` divert the frontier (`break` targets the
+//!   innermost loop; labeled breaks are approximated the same way);
+//! * `unwrap`/`expect` calls and `panic!`-family macros (plus `[...]`
+//!   indexing in expression position) get panic edges to the exit;
+//! * closure bodies are lowered **inline**, as if executed at the point
+//!   of definition — an over-approximation that treats a deferred
+//!   closure's operations as happening under whatever is held at its
+//!   creation site.
+//!
+//! What it deliberately does not model: inter-procedural effects (a
+//! callee's acquisitions are its own problem), value-dependent branches,
+//! drop order, and unwinding through callees that are not syntactically
+//! panic-capable. See DESIGN.md, "Dataflow lint".
+
+use crate::lexer::TokKind;
+use crate::parser::{Group, Tree};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    Entry,
+    Exit,
+    /// Structural merge point (branch join, loop head, loop after).
+    Join,
+    /// A call `name(...)` / `recv.name(...)`.
+    Call {
+        name: String,
+        recv: Option<String>,
+    },
+    /// The `?` operator.
+    Question,
+    /// A `panic!`-family macro, an `assert!`-family macro, or an indexing
+    /// expression; `what` names the source for diagnostics.
+    Panic {
+        what: String,
+    },
+    /// An explicit `return`.
+    Return,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    Seq,
+    /// Loop body end back to the loop head.
+    Back,
+    /// Loop head to the code after the loop (the zero-iteration path).
+    LoopExit,
+    /// `?` early exit.
+    Question,
+    /// Panic propagation to the exit.
+    Panic,
+    /// Explicit `return` to the exit.
+    Return,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    pub to: usize,
+    pub kind: EdgeKind,
+}
+
+#[derive(Debug)]
+pub struct Node {
+    pub kind: NodeKind,
+    pub line: u32,
+}
+
+/// One lowered loop: the head/after nodes and the half-open node-index
+/// range of its body (every node created while lowering the body).
+#[derive(Debug, Clone, Copy)]
+pub struct LoopInfo {
+    pub head: usize,
+    pub after: usize,
+    pub body: (usize, usize),
+}
+
+#[derive(Debug)]
+pub struct Cfg {
+    pub nodes: Vec<Node>,
+    pub succ: Vec<Vec<Edge>>,
+    pub entry: usize,
+    pub exit: usize,
+    pub loops: Vec<LoopInfo>,
+}
+
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+/// Macros that always diverge.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+/// Macros that may panic but fall through on success. `debug_assert*` is
+/// deliberately absent: it is compiled out of release builds, and the
+/// engine treats it as documentation, not a panic edge.
+const ASSERT_MACROS: &[&str] = &["assert", "assert_eq", "assert_ne"];
+
+/// Build the CFG for one function body.
+pub fn build(body: &Group) -> Cfg {
+    let mut b = Builder {
+        nodes: vec![
+            Node {
+                kind: NodeKind::Entry,
+                line: body.open_line,
+            },
+            Node {
+                kind: NodeKind::Exit,
+                line: body.close_line,
+            },
+        ],
+        succ: vec![Vec::new(), Vec::new()],
+        loops: Vec::new(),
+        loop_stack: Vec::new(),
+        depth: 0,
+    };
+    let end = b.seq(&body.children, Some(ENTRY));
+    if let Some(end) = end {
+        b.edge(end, EXIT, EdgeKind::Seq);
+    }
+    Cfg {
+        nodes: b.nodes,
+        succ: b.succ,
+        entry: ENTRY,
+        exit: EXIT,
+        loops: b.loops,
+    }
+}
+
+const ENTRY: usize = 0;
+const EXIT: usize = 1;
+/// Nesting-depth cap: beyond this the builder stops descending into
+/// groups (degenerate fuzzed input; real code never gets close).
+const MAX_DEPTH: u32 = 96;
+
+struct Builder {
+    nodes: Vec<Node>,
+    succ: Vec<Vec<Edge>>,
+    loops: Vec<LoopInfo>,
+    /// (head, after) of each enclosing loop, innermost last.
+    loop_stack: Vec<(usize, usize)>,
+    depth: u32,
+}
+
+impl Builder {
+    fn node(&mut self, kind: NodeKind, line: u32) -> usize {
+        self.nodes.push(Node { kind, line });
+        self.succ.push(Vec::new());
+        self.nodes.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize, kind: EdgeKind) {
+        self.succ[from].push(Edge { to, kind });
+    }
+
+    /// Chain a fresh node onto the current frontier.
+    fn chain(&mut self, cur: Option<usize>, kind: NodeKind, line: u32) -> usize {
+        let n = self.node(kind, line);
+        if let Some(c) = cur {
+            self.edge(c, n, EdgeKind::Seq);
+        }
+        n
+    }
+
+    /// Merge branch frontiers into one join node (or pass a single one
+    /// through; `None` means every branch diverged).
+    fn join(&mut self, ends: &[Option<usize>], line: u32) -> Option<usize> {
+        let live: Vec<usize> = ends.iter().copied().flatten().collect();
+        match live.as_slice() {
+            [] => None,
+            [one] => Some(*one),
+            many => {
+                let j = self.node(NodeKind::Join, line);
+                for &e in many {
+                    self.edge(e, j, EdgeKind::Seq);
+                }
+                Some(j)
+            }
+        }
+    }
+
+    /// Lower a sequence of sibling trees, returning the frontier (None if
+    /// the sequence diverges). `cur == None` still lowers the remaining
+    /// items — their nodes are simply unreachable, which the passes
+    /// ignore by construction (they traverse from reachable acquires).
+    fn seq(&mut self, items: &[Tree], mut cur: Option<usize>) -> Option<usize> {
+        if self.depth >= MAX_DEPTH {
+            return cur;
+        }
+        self.depth += 1;
+        let mut i = 0usize;
+        while i < items.len() {
+            match &items[i] {
+                // Attributes: skip `#[...]` (and `#![...]`) entirely.
+                Tree::Leaf(t) if t.kind == TokKind::Punct && t.text == "#" => {
+                    let mut j = i + 1;
+                    if items.get(j).is_some_and(|x| x.is_leaf("!")) {
+                        j += 1;
+                    }
+                    if items
+                        .get(j)
+                        .and_then(Tree::group)
+                        .is_some_and(|g| g.delim == '[')
+                    {
+                        i = j + 1;
+                        continue;
+                    }
+                    i += 1;
+                }
+                Tree::Leaf(t) if t.kind == TokKind::Ident => match t.text.as_str() {
+                    "if" => {
+                        let (ni, end) = self.if_chain(items, i, cur);
+                        cur = end;
+                        i = ni;
+                    }
+                    "match" => {
+                        let (ni, end) = self.match_stmt(items, i, cur);
+                        cur = end;
+                        i = ni;
+                    }
+                    "loop" | "while" | "for" => {
+                        let (ni, end) = self.loop_stmt(items, i, cur);
+                        cur = end;
+                        i = ni;
+                    }
+                    "return" => {
+                        let stop = stmt_end(items, i + 1);
+                        cur = self.seq(&items[i + 1..stop], cur);
+                        let r = self.chain(cur, NodeKind::Return, t.line);
+                        self.edge(r, EXIT, EdgeKind::Return);
+                        cur = None;
+                        i = stop;
+                    }
+                    "break" => {
+                        let stop = stmt_end(items, i + 1);
+                        cur = self.seq(&items[i + 1..stop], cur);
+                        let target = self
+                            .loop_stack
+                            .last()
+                            .map(|&(_, after)| after)
+                            .unwrap_or(EXIT);
+                        if let Some(c) = cur {
+                            self.edge(c, target, EdgeKind::Seq);
+                        }
+                        cur = None;
+                        i = stop;
+                    }
+                    "continue" => {
+                        if let (Some(c), Some(&(head, _))) = (cur, self.loop_stack.last()) {
+                            self.edge(c, head, EdgeKind::Back);
+                        }
+                        cur = None;
+                        i = stmt_end(items, i + 1);
+                    }
+                    // A bare `else { … }` with no `if` in front is the
+                    // `let … else` divergence block: lower it as a branch
+                    // off the current frontier.
+                    "else" => {
+                        if let Some(g) = items.get(i + 1).and_then(Tree::group) {
+                            let end = self.seq(&g.children, cur);
+                            cur = self.join(&[cur, end], g.close_line);
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    name => {
+                        // Macro invocation?
+                        if items.get(i + 1).is_some_and(|x| x.is_leaf("!")) {
+                            if let Some(g) = items.get(i + 2).and_then(Tree::group) {
+                                cur = self.seq(&g.children, cur);
+                                if PANIC_MACROS.contains(&name) {
+                                    let p = self.chain(
+                                        cur,
+                                        NodeKind::Panic {
+                                            what: format!("{name}!"),
+                                        },
+                                        t.line,
+                                    );
+                                    self.edge(p, EXIT, EdgeKind::Panic);
+                                    cur = None;
+                                } else if ASSERT_MACROS.contains(&name) {
+                                    let p = self.chain(
+                                        cur,
+                                        NodeKind::Panic {
+                                            what: format!("{name}!"),
+                                        },
+                                        t.line,
+                                    );
+                                    self.edge(p, EXIT, EdgeKind::Panic);
+                                    cur = Some(p);
+                                }
+                                i += 3;
+                                continue;
+                            }
+                        }
+                        // Plain or turbofish call?
+                        if let Some((args, after)) = call_args(items, i) {
+                            cur = self.seq(&args.children, cur);
+                            // `call(…)?` — the `?` branches before the
+                            // call's effect.
+                            let mut skip_q = false;
+                            if items.get(after).is_some_and(|x| x.is_leaf("?")) {
+                                let q = self.chain(cur, NodeKind::Question, t.line);
+                                self.edge(q, EXIT, EdgeKind::Question);
+                                cur = Some(q);
+                                skip_q = true;
+                            }
+                            let call = self.chain(
+                                cur,
+                                NodeKind::Call {
+                                    name: name.to_string(),
+                                    recv: recv_of(items, i),
+                                },
+                                t.line,
+                            );
+                            if PANIC_METHODS.contains(&name) {
+                                self.edge(call, EXIT, EdgeKind::Panic);
+                            }
+                            cur = Some(call);
+                            i = after + usize::from(skip_q);
+                            continue;
+                        }
+                        i += 1;
+                    }
+                },
+                Tree::Leaf(t) if t.kind == TokKind::Punct && t.text == "?" => {
+                    let q = self.chain(cur, NodeKind::Question, t.line);
+                    self.edge(q, EXIT, EdgeKind::Question);
+                    cur = Some(q);
+                    i += 1;
+                }
+                Tree::Group(g) if g.delim == '[' => {
+                    cur = self.seq(&g.children, cur);
+                    if is_index_position(items, i) {
+                        let p = self.chain(
+                            cur,
+                            NodeKind::Panic {
+                                what: "index".to_string(),
+                            },
+                            g.open_line,
+                        );
+                        self.edge(p, EXIT, EdgeKind::Panic);
+                        cur = Some(p);
+                    }
+                    i += 1;
+                }
+                Tree::Group(g) => {
+                    // Blocks, argument lists without a named callee,
+                    // struct literals: lower inline.
+                    cur = self.seq(&g.children, cur);
+                    i += 1;
+                }
+                Tree::Leaf(_) => i += 1,
+            }
+        }
+        self.depth -= 1;
+        cur
+    }
+
+    /// Lower `if cond { } (else if cond { })* (else { })?` starting at the
+    /// `if` leaf. Returns (next index, frontier).
+    fn if_chain(&mut self, items: &[Tree], i: usize, cur: Option<usize>) -> (usize, Option<usize>) {
+        let line = items[i].line();
+        let Some(then_idx) = brace_group_after(items, i + 1) else {
+            return (i + 1, cur);
+        };
+        let branch = self.seq(&items[i + 1..then_idx], cur);
+        let then_group = items[then_idx].group().expect("brace group");
+        let then_end = self.seq(&then_group.children, branch);
+        let mut ends = vec![then_end];
+        let mut next = then_idx + 1;
+        if items.get(next).is_some_and(|x| x.is_leaf("else")) {
+            match items.get(next + 1) {
+                Some(Tree::Leaf(t)) if t.text == "if" => {
+                    let (ni, else_end) = self.if_chain(items, next + 1, branch);
+                    ends.push(else_end);
+                    next = ni;
+                }
+                Some(Tree::Group(g)) if g.delim == '{' => {
+                    ends.push(self.seq(&g.children, branch));
+                    next += 2;
+                }
+                _ => {
+                    // `if` without a then-path taken (no else): falling
+                    // past the condition is a live path.
+                    ends.push(branch);
+                    next += 1;
+                }
+            }
+        } else {
+            // No else: the condition may be false.
+            ends.push(branch);
+        }
+        (next, self.join(&ends, line))
+    }
+
+    /// Lower `match scrutinee { pat => body, … }`.
+    fn match_stmt(
+        &mut self,
+        items: &[Tree],
+        i: usize,
+        cur: Option<usize>,
+    ) -> (usize, Option<usize>) {
+        let line = items[i].line();
+        let Some(gi) = brace_group_after(items, i + 1) else {
+            return (i + 1, cur);
+        };
+        let scrut = self.seq(&items[i + 1..gi], cur);
+        let arms_group = items[gi].group().expect("brace group");
+        let arms = split_arms(&arms_group.children);
+        if arms.is_empty() {
+            return (gi + 1, scrut);
+        }
+        let mut ends = Vec::new();
+        for arm in arms {
+            ends.push(self.seq(arm, scrut));
+        }
+        (gi + 1, self.join(&ends, line))
+    }
+
+    /// Lower `loop { }`, `while cond { }`, `for pat in iter { }`.
+    fn loop_stmt(
+        &mut self,
+        items: &[Tree],
+        i: usize,
+        cur: Option<usize>,
+    ) -> (usize, Option<usize>) {
+        let line = items[i].line();
+        let Some(gi) = brace_group_after(items, i + 1) else {
+            return (i + 1, cur);
+        };
+        // Header events (condition / iterator expression) run on entry.
+        let header_end = self.seq(&items[i + 1..gi], cur);
+        let head = self.node(NodeKind::Join, line);
+        if let Some(h) = header_end {
+            self.edge(h, head, EdgeKind::Seq);
+        }
+        let after = self.node(NodeKind::Join, line);
+        self.edge(head, after, EdgeKind::LoopExit);
+        self.loop_stack.push((head, after));
+        let body_start = self.nodes.len();
+        let body_group = items[gi].group().expect("brace group");
+        let body_end = self.seq(&body_group.children, Some(head));
+        if let Some(e) = body_end {
+            self.edge(e, head, EdgeKind::Back);
+        }
+        let body = (body_start, self.nodes.len());
+        self.loop_stack.pop();
+        self.loops.push(LoopInfo { head, after, body });
+        (gi + 1, Some(after))
+    }
+}
+
+/// Index of the statement terminator `;` at this nesting level (or the
+/// slice end), starting the search at `from`.
+fn stmt_end(items: &[Tree], from: usize) -> usize {
+    let mut j = from;
+    while j < items.len() {
+        if items[j].is_leaf(";") {
+            return j;
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Find the first `{` group at this level starting at `from` (the body of
+/// an `if`/`match`/loop header). Stops at `;` — a header never crosses a
+/// statement boundary.
+fn brace_group_after(items: &[Tree], from: usize) -> Option<usize> {
+    let mut j = from;
+    while j < items.len() {
+        match &items[j] {
+            Tree::Group(g) if g.delim == '{' => return Some(j),
+            Tree::Leaf(t) if t.text == ";" => return None,
+            _ => j += 1,
+        }
+    }
+    None
+}
+
+/// Split a match-arm group body into arms: each arm is the tree slice
+/// after `=>` up to the arm-terminating `,` (or a `{}` body). Pattern and
+/// guard tokens ride along in front of the `=>` — they are lowered with
+/// the arm, which over-approximates (guard events happen on every arm's
+/// path) but never misses an event.
+fn split_arms(items: &[Tree]) -> Vec<&[Tree]> {
+    let mut arms = Vec::new();
+    let mut start = 0usize;
+    let mut j = 0usize;
+    while j < items.len() {
+        let arm_ends = match &items[j] {
+            // A `,` ends the arm only after its `=>` appeared.
+            Tree::Leaf(t) if t.text == "," => is_fat_arrow(items, start, j),
+            Tree::Group(g)
+                if g.delim == '{'
+                    && j >= 2
+                    && items[j - 1].is_leaf(">")
+                    && items[j - 2].is_leaf("=") =>
+            {
+                // `pat => { … }` — the block ends the arm (an optional
+                // trailing `,` is consumed below).
+                true
+            }
+            _ => false,
+        };
+        if arm_ends {
+            let mut end = j + 1;
+            if items.get(end).is_some_and(|x| x.is_leaf(",")) {
+                end += 1;
+            }
+            arms.push(&items[start..end]);
+            start = end;
+            j = end;
+        } else {
+            j += 1;
+        }
+    }
+    if start < items.len() {
+        arms.push(&items[start..]);
+    }
+    arms
+}
+
+fn is_fat_arrow(items: &[Tree], start: usize, upto: usize) -> bool {
+    (start + 1..upto).any(|k| items[k - 1].is_leaf("=") && items[k].is_leaf(">"))
+}
+
+/// If `items[i]` is the callee ident of a call (`name(…)`, optionally
+/// with a turbofish `name::<T>(…)`), return the argument group and the
+/// index just past it.
+fn call_args(items: &[Tree], i: usize) -> Option<(&Group, usize)> {
+    // Direct `name(...)`.
+    if let Some(g) = items.get(i + 1).and_then(Tree::group) {
+        if g.delim == '(' {
+            // `fn name(` is a definition, not a call.
+            if items
+                .get(i.wrapping_sub(1))
+                .is_some_and(|x| x.is_leaf("fn"))
+            {
+                return None;
+            }
+            return Some((g, i + 2));
+        }
+        return None;
+    }
+    // Turbofish `name::<...>(...)`.
+    if items.get(i + 1).is_some_and(|x| x.is_leaf("::"))
+        && items.get(i + 2).is_some_and(|x| x.is_leaf("<"))
+    {
+        let mut depth = 0i32;
+        let mut j = i + 2;
+        while j < items.len() {
+            match &items[j] {
+                Tree::Leaf(t) if t.text == "<" => depth += 1,
+                Tree::Leaf(t) if t.text == ">" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        if let Some(g) = items.get(j + 1).and_then(Tree::group) {
+                            if g.delim == '(' {
+                                return Some((g, j + 2));
+                            }
+                        }
+                        return None;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    None
+}
+
+/// Receiver ident of a method call at `items[i]`: walks `recv.name` and
+/// `recv[idx].name` / `recv(…).name` shapes, mirroring the lexical
+/// matcher in [`crate::locks`].
+fn recv_of(items: &[Tree], i: usize) -> Option<String> {
+    if i < 2 || !items[i - 1].is_leaf(".") {
+        return None;
+    }
+    let mut j = i - 2;
+    // Skip one trailing index/call group to the receiver ident.
+    if items[j].group().is_some() {
+        j = j.checked_sub(1)?;
+    }
+    match &items[j] {
+        Tree::Leaf(t) if t.kind == TokKind::Ident => Some(t.text.clone()),
+        _ => None,
+    }
+}
+
+/// Is the `[` group at `items[i]` an indexing expression (panics on
+/// out-of-range) rather than an array literal, attribute, or pattern?
+fn is_index_position(items: &[Tree], i: usize) -> bool {
+    let Some(prev) = i.checked_sub(1).map(|j| &items[j]) else {
+        return false;
+    };
+    match prev {
+        Tree::Leaf(t) => t.kind == TokKind::Ident && t.text != "mut",
+        // `foo(…)[0]` / `foo[0][1]`.
+        Tree::Group(g) => g.delim != '{',
+    }
+}

@@ -31,14 +31,40 @@ pub struct LockClass {
     pub allow_io: bool,
     pub acquire: Vec<Pattern>,
     pub release: Vec<Pattern>,
+    /// Drop-guard acquisition patterns: calls that take the same lock but
+    /// return a guard object whose `Drop` releases it. The latch pass
+    /// skips these (release-on-every-path holds by construction).
+    pub guards: Vec<Pattern>,
     /// Repo-relative paths (forward slashes) the patterns are scoped to.
     pub files: Vec<String>,
+}
+
+/// `[pins]` — the epoch-pin escape analysis config: `sources` are the
+/// calls that yield pin-scoped data (frozen-area slices), `files` scopes
+/// the pass.
+#[derive(Debug, Clone, Default)]
+pub struct PinConfig {
+    pub sources: Vec<Pattern>,
+    pub files: Vec<String>,
+}
+
+/// One `[[escape]]` allowlist entry: a function that is blessed to move
+/// pin-derived data out of its own scope (it transfers the pin along, or
+/// re-establishes the justification some other audited way).
+#[derive(Debug, Clone)]
+pub struct EscapeEntry {
+    /// Bare function name or `Type::name`.
+    pub fn_name: String,
+    pub file: String,
+    pub reason: String,
 }
 
 #[derive(Debug, Default)]
 pub struct Config {
     pub version: i64,
     pub classes: Vec<LockClass>,
+    pub pins: PinConfig,
+    pub escapes: Vec<EscapeEntry>,
 }
 
 impl Config {
@@ -50,34 +76,53 @@ impl Config {
             .filter(|(_, c)| c.files.iter().any(|f| f == rel_path))
             .collect()
     }
+
+    /// Is `fn_name`/`qual_name` in `file` a blessed escape point?
+    pub fn escape_allowed(&self, file: &str, fn_name: &str, qual_name: &str) -> bool {
+        self.escapes
+            .iter()
+            .any(|e| e.file == file && (e.fn_name == fn_name || e.fn_name == qual_name))
+    }
+}
+
+enum Section {
+    Top,
+    Class(LockClass),
+    Pins,
+    Escape(EscapeEntry),
 }
 
 pub fn parse(src: &str) -> Result<Config, String> {
     let mut cfg = Config::default();
-    let mut cur: Option<LockClass> = None;
+    let mut cur = Section::Top;
     let mut lines = src.lines().enumerate().peekable();
     while let Some((ln, raw)) = lines.next() {
         let line = strip_comment(raw).trim().to_string();
         if line.is_empty() {
             continue;
         }
-        if line == "[[class]]" {
-            if let Some(c) = cur.take() {
-                cfg.classes.push(validate(c)?);
-            }
-            cur = Some(LockClass {
-                name: String::new(),
-                level: -1,
-                ordered: false,
-                allow_io: false,
-                acquire: Vec::new(),
-                release: Vec::new(),
-                files: Vec::new(),
-            });
-            continue;
-        }
         if line.starts_with('[') {
-            return Err(format!("LOCKS.toml:{}: unsupported table {line}", ln + 1));
+            flush(&mut cfg, std::mem::replace(&mut cur, Section::Top))?;
+            cur = match line.as_str() {
+                "[[class]]" => Section::Class(LockClass {
+                    name: String::new(),
+                    level: -1,
+                    ordered: false,
+                    allow_io: false,
+                    acquire: Vec::new(),
+                    release: Vec::new(),
+                    guards: Vec::new(),
+                    files: Vec::new(),
+                }),
+                "[pins]" => Section::Pins,
+                "[[escape]]" => Section::Escape(EscapeEntry {
+                    fn_name: String::new(),
+                    file: String::new(),
+                    reason: String::new(),
+                }),
+                _ => return Err(format!("LOCKS.toml:{}: unsupported table {line}", ln + 1)),
+            };
+            continue;
         }
         let (key, mut val) = line
             .split_once('=')
@@ -93,8 +138,8 @@ pub fn parse(src: &str) -> Result<Config, String> {
                 val.push_str(strip_comment(next).trim());
             }
         }
-        match cur.as_mut() {
-            None => match key.as_str() {
+        match &mut cur {
+            Section::Top => match key.as_str() {
                 "version" => cfg.version = parse_int(&val, ln)?,
                 other => {
                     return Err(format!(
@@ -103,31 +148,31 @@ pub fn parse(src: &str) -> Result<Config, String> {
                     ))
                 }
             },
-            Some(c) => match key.as_str() {
+            Section::Class(c) => match key.as_str() {
                 "name" => c.name = parse_str(&val, ln)?,
                 "level" => c.level = parse_int(&val, ln)?,
                 "ordered" => c.ordered = parse_bool(&val, ln)?,
                 "allow_io" => c.allow_io = parse_bool(&val, ln)?,
-                "acquire" => {
-                    c.acquire = parse_str_array(&val, ln)?
-                        .iter()
-                        .map(|s| Pattern::parse(s))
-                        .collect()
-                }
-                "release" => {
-                    c.release = parse_str_array(&val, ln)?
-                        .iter()
-                        .map(|s| Pattern::parse(s))
-                        .collect()
-                }
+                "acquire" => c.acquire = parse_patterns(&val, ln)?,
+                "release" => c.release = parse_patterns(&val, ln)?,
+                "guards" => c.guards = parse_patterns(&val, ln)?,
                 "files" => c.files = parse_str_array(&val, ln)?,
                 other => return Err(format!("LOCKS.toml:{}: unknown class key {other}", ln + 1)),
             },
+            Section::Pins => match key.as_str() {
+                "sources" => cfg.pins.sources = parse_patterns(&val, ln)?,
+                "files" => cfg.pins.files = parse_str_array(&val, ln)?,
+                other => return Err(format!("LOCKS.toml:{}: unknown pins key {other}", ln + 1)),
+            },
+            Section::Escape(e) => match key.as_str() {
+                "fn" => e.fn_name = parse_str(&val, ln)?,
+                "file" => e.file = parse_str(&val, ln)?,
+                "reason" => e.reason = parse_str(&val, ln)?,
+                other => return Err(format!("LOCKS.toml:{}: unknown escape key {other}", ln + 1)),
+            },
         }
     }
-    if let Some(c) = cur.take() {
-        cfg.classes.push(validate(c)?);
-    }
+    flush(&mut cfg, cur)?;
     // Global sanity: unique names, unique levels.
     for (i, a) in cfg.classes.iter().enumerate() {
         for b in &cfg.classes[i + 1..] {
@@ -143,6 +188,29 @@ pub fn parse(src: &str) -> Result<Config, String> {
         }
     }
     Ok(cfg)
+}
+
+fn flush(cfg: &mut Config, section: Section) -> Result<(), String> {
+    match section {
+        Section::Top | Section::Pins => {}
+        Section::Class(c) => cfg.classes.push(validate(c)?),
+        Section::Escape(e) => {
+            if e.fn_name.is_empty() || e.file.is_empty() || e.reason.is_empty() {
+                return Err(
+                    "LOCKS.toml: [[escape]] entries need `fn`, `file`, and `reason`".to_string(),
+                );
+            }
+            cfg.escapes.push(e);
+        }
+    }
+    Ok(())
+}
+
+fn parse_patterns(v: &str, ln: usize) -> Result<Vec<Pattern>, String> {
+    Ok(parse_str_array(v, ln)?
+        .iter()
+        .map(|s| Pattern::parse(s))
+        .collect())
 }
 
 fn validate(c: LockClass) -> Result<LockClass, String> {

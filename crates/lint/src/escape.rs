@@ -1,0 +1,414 @@
+//! Check 7 (dataflow): pin-escape analysis. Data derived from a frozen
+//! area — `[pins].sources` calls in `LOCKS.toml`, e.g. `as_slice` — is
+//! only valid while the `SnapshotReader`/epoch pin that froze the area
+//! is alive (the paper's §4.1.3 recycling rule: an area may be reused
+//! once no pinned epoch can reach it). So pin-derived values must not
+//! leave the scope that holds the pin:
+//!
+//! * no `return` (and no tail-expression return) of a tainted value,
+//! * no store into a field (`self.x = tainted` outlives the frame),
+//! * no send over a channel (`.send(tainted)`),
+//! * no capture by a `move` closure (which may outlive the pin).
+//!
+//! Taint starts at source calls, propagates through `let` bindings and
+//! plain-ident assignments within a function, and is checked per
+//! function. Functions listed in the `[[escape]]` allowlist are blessed:
+//! they transfer the pin together with the data (e.g. `into_partitions`
+//! hands each partition an `Arc` of the pin) and are audited by review,
+//! not by this pass.
+//!
+//! Deliberately not proven: flow through struct fields and across
+//! function boundaries (a constructor storing tainted data into the
+//! struct it returns is caught at the constructor; reads back out of
+//! fields are not re-tainted), aliasing, and whether a non-`move`
+//! closure outlives the frame (it cannot, by borrow rules). Test code is
+//! exempt — the lib defines the protocol.
+
+use crate::config::{Config, Pattern};
+use crate::lexer::{in_regions, test_regions, Lexed, TokKind};
+use crate::parser::{functions, Tree};
+use crate::Finding;
+use std::collections::HashSet;
+
+pub fn check(rel_path: &str, lx: &Lexed, trees: &[Tree], cfg: &Config) -> Vec<Finding> {
+    if cfg.pins.sources.is_empty()
+        || !cfg.pins.files.iter().any(|f| f == rel_path)
+        || rel_path.contains("/tests/")
+    {
+        return Vec::new();
+    }
+    let regions = test_regions(lx);
+    let mut findings = Vec::new();
+    for f in functions(trees) {
+        if in_regions(&regions, f.line) {
+            continue;
+        }
+        if cfg.escape_allowed(rel_path, &f.name, &f.qual_name) {
+            continue;
+        }
+        let mut tainted: HashSet<String> = HashSet::new();
+        // Taint to fixpoint: a binding whose initializer mentions a
+        // source call or an already-tainted ident taints its pattern.
+        for _ in 0..8 {
+            let before = tainted.len();
+            collect_taints(&f.body.children, &cfg.pins.sources, &mut tainted);
+            if tainted.len() == before {
+                break;
+            }
+        }
+        detect(
+            rel_path,
+            &f.name,
+            &f.body.children,
+            true,
+            &cfg.pins.sources,
+            &tainted,
+            &mut findings,
+        );
+    }
+    findings.sort();
+    findings.dedup();
+    findings
+}
+
+/// Is the leaf at `items[i]` a call of one of `pats`?
+fn is_source_call(items: &[Tree], i: usize, pats: &[Pattern]) -> bool {
+    let Some(t) = items[i].leaf() else {
+        return false;
+    };
+    if t.kind != TokKind::Ident
+        || items
+            .get(i + 1)
+            .and_then(Tree::group)
+            .is_none_or(|g| g.delim != '(')
+    {
+        return false;
+    }
+    if i >= 1 && items[i - 1].is_leaf("fn") {
+        return false;
+    }
+    pats.iter().any(|p| match p {
+        Pattern::Bare(n) => t.text == *n,
+        Pattern::Method { recv, method } => {
+            t.text == *method
+                && i >= 2
+                && items[i - 1].is_leaf(".")
+                && items[i - 2].leaf().is_some_and(|r| r.text == *recv)
+        }
+    })
+}
+
+fn contains_source(items: &[Tree], pats: &[Pattern]) -> bool {
+    items.iter().enumerate().any(|(i, t)| {
+        is_source_call(items, i, pats)
+            || t.group()
+                .is_some_and(|g| contains_source(&g.children, pats))
+    })
+}
+
+fn contains_tainted(items: &[Tree], tainted: &HashSet<String>) -> Option<String> {
+    for t in items {
+        match t {
+            Tree::Leaf(tok) if tok.kind == TokKind::Ident && tainted.contains(&tok.text) => {
+                return Some(tok.text.clone())
+            }
+            Tree::Group(g) => {
+                if let Some(hit) = contains_tainted(&g.children, tainted) {
+                    return Some(hit);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn hot(items: &[Tree], pats: &[Pattern], tainted: &HashSet<String>) -> Option<String> {
+    if let Some(name) = contains_tainted(items, tainted) {
+        return Some(format!("`{name}`"));
+    }
+    if contains_source(items, pats) {
+        return Some("a pin-source call result".to_string());
+    }
+    None
+}
+
+/// Index of the next `;` leaf at this level, or the slice end.
+fn stmt_end(items: &[Tree], from: usize) -> usize {
+    (from..items.len())
+        .find(|&j| items[j].is_leaf(";"))
+        .unwrap_or(items.len())
+}
+
+/// Is the leaf at `i` a *plain* assignment `=` (not `==`, `<=`, `=>`,
+/// `+=`, …)? The lexer emits single-char puncts, so compound operators
+/// appear as adjacent leaves.
+fn is_plain_assign(items: &[Tree], i: usize) -> bool {
+    if !items[i].is_leaf("=") {
+        return false;
+    }
+    if items
+        .get(i + 1)
+        .and_then(Tree::leaf)
+        .is_some_and(|t| t.text == "=" || t.text == ">")
+    {
+        return false; // `==` or `=>`
+    }
+    if let Some(p) = i.checked_sub(1).and_then(|j| items[j].leaf()) {
+        if matches!(
+            p.text.as_str(),
+            "=" | "!" | "<" | ">" | "+" | "-" | "*" | "/" | "%" | "&" | "|" | "^"
+        ) {
+            return false; // comparison or compound assignment
+        }
+    }
+    true
+}
+
+/// The binding `=` of a `let`: like [`is_plain_assign`] but a preceding
+/// `>` is fine — `let x: Vec<Option<&[u64]>> = …` ends its type with
+/// `>`, and nothing before a `let`'s `=` can be a comparison.
+fn is_binding_eq(items: &[Tree], i: usize) -> bool {
+    if is_plain_assign(items, i) {
+        return true;
+    }
+    items[i].is_leaf("=")
+        && i.checked_sub(1)
+            .and_then(|j| items[j].leaf())
+            .is_some_and(|p| p.text == ">")
+        && !items
+            .get(i + 1)
+            .and_then(Tree::leaf)
+            .is_some_and(|t| t.text == "=" || t.text == ">")
+}
+
+/// One fixpoint round of taint collection over a statement list,
+/// recursing into nested groups (closures, blocks, match arms).
+fn collect_taints(items: &[Tree], pats: &[Pattern], tainted: &mut HashSet<String>) {
+    let mut start = 0usize;
+    while start < items.len() {
+        let end = stmt_end(items, start);
+        let stmt = &items[start..end];
+        // `let pat (: ty)? = init` — taint the pattern idents when the
+        // initializer is hot. The pattern stops at `:` so type idents
+        // (`u64`, `Vec`) never become taint keys.
+        for (k, t) in stmt.iter().enumerate() {
+            if !t.is_leaf("let") {
+                continue;
+            }
+            let mut pat_end = k + 1;
+            while pat_end < stmt.len()
+                && !stmt[pat_end].is_leaf(":")
+                && !is_binding_eq(stmt, pat_end)
+            {
+                pat_end += 1;
+            }
+            let Some(eq) = (pat_end..stmt.len()).find(|&j| is_binding_eq(stmt, j)) else {
+                continue;
+            };
+            if hot(&stmt[eq + 1..], pats, tainted).is_some() {
+                taint_pattern(&stmt[k + 1..pat_end], tainted);
+            }
+        }
+        // `x = hot` (no let, no `.` on the LHS): propagate to the ident.
+        if !stmt.iter().any(|t| t.is_leaf("let")) {
+            if let Some(eq) = (0..stmt.len()).find(|&j| is_plain_assign(stmt, j)) {
+                let lhs = &stmt[..eq];
+                let idents: Vec<&str> = lhs
+                    .iter()
+                    .filter_map(Tree::leaf)
+                    .filter(|t| t.kind == TokKind::Ident)
+                    .map(|t| t.text.as_str())
+                    .collect();
+                if let [name] = idents.as_slice() {
+                    if !lhs.iter().any(|t| t.is_leaf("."))
+                        && hot(&stmt[eq + 1..], pats, tainted).is_some()
+                    {
+                        tainted.insert(name.to_string());
+                    }
+                }
+            }
+        }
+        for t in stmt {
+            if let Tree::Group(g) = t {
+                collect_taints(&g.children, pats, tainted);
+            }
+        }
+        start = end + 1;
+    }
+}
+
+/// Lowercase non-keyword idents in a binding pattern become taint keys
+/// (uppercase ones are enum constructors / types: `Some`, `Vec`).
+fn taint_pattern(pat: &[Tree], tainted: &mut HashSet<String>) {
+    for t in pat {
+        match t {
+            Tree::Leaf(tok)
+                if tok.kind == TokKind::Ident
+                    && tok.text.chars().next().is_some_and(char::is_lowercase)
+                    && !matches!(tok.text.as_str(), "mut" | "ref" | "box" | "_") =>
+            {
+                tainted.insert(tok.text.clone());
+            }
+            Tree::Group(g) => taint_pattern(&g.children, tainted),
+            _ => {}
+        }
+    }
+}
+
+/// Escape detection walk. `top` is true only for the function body's own
+/// statement level, where the tail expression is an implicit return.
+#[allow(clippy::too_many_arguments)]
+fn detect(
+    rel_path: &str,
+    fn_name: &str,
+    items: &[Tree],
+    top: bool,
+    pats: &[Pattern],
+    tainted: &HashSet<String>,
+    findings: &mut Vec<Finding>,
+) {
+    fn report(
+        findings: &mut Vec<Finding>,
+        rel_path: &str,
+        fn_name: &str,
+        line: u32,
+        what: &str,
+        via: String,
+    ) {
+        findings.push(Finding {
+            file: rel_path.to_string(),
+            line,
+            check: "pin-escape",
+            msg: format!(
+                "{what} {via} escapes the pin scope in `{fn_name}`; pin-derived data must not \
+                 outlive its SnapshotReader/epoch pin (bless intentional transfer points with \
+                 `[[escape]]` in LOCKS.toml)"
+            ),
+        });
+    }
+    let mut i = 0usize;
+    let mut last_semi: Option<usize> = None;
+    while i < items.len() {
+        match &items[i] {
+            Tree::Leaf(t) if t.text == ";" => {
+                last_semi = Some(i);
+                i += 1;
+            }
+            Tree::Leaf(t) if t.text == "return" => {
+                let end = stmt_end(items, i + 1);
+                if let Some(via) = hot(&items[i + 1..end], pats, tainted) {
+                    report(findings, rel_path, fn_name, t.line, "`return` of", via);
+                }
+                i = end;
+            }
+            Tree::Leaf(t) if (t.text == "send" || t.text == "try_send") => {
+                if i >= 1
+                    && items[i - 1].is_leaf(".")
+                    && items
+                        .get(i + 1)
+                        .and_then(Tree::group)
+                        .is_some_and(|g| g.delim == '(')
+                {
+                    let g = items[i + 1].group().expect("paren group");
+                    if let Some(via) = hot(&g.children, pats, tainted) {
+                        report(findings, rel_path, fn_name, t.line, "channel send of", via);
+                    }
+                }
+                i += 1;
+            }
+            Tree::Leaf(t) if t.text == "move" => {
+                // `move |params| body` — find the closure body.
+                let mut j = i + 1;
+                while j < items.len() && j <= i + 2 && !items[j].is_leaf("|") {
+                    j += 1;
+                }
+                if items.get(j).is_some_and(|x| x.is_leaf("|")) {
+                    let mut k = j + 1;
+                    while k < items.len() && !items[k].is_leaf("|") {
+                        k += 1;
+                    }
+                    let body_start = k + 1;
+                    let body_end = (body_start..items.len())
+                        .find(|&m| items[m].is_leaf(",") || items[m].is_leaf(";"))
+                        .unwrap_or(items.len());
+                    if body_start <= items.len() {
+                        if let Some(via) =
+                            hot(&items[body_start..body_end.max(body_start)], pats, tainted)
+                        {
+                            report(
+                                findings,
+                                rel_path,
+                                fn_name,
+                                t.line,
+                                "`move` closure capturing",
+                                via,
+                            );
+                        }
+                    }
+                }
+                i += 1;
+            }
+            Tree::Group(g) => {
+                detect(
+                    rel_path,
+                    fn_name,
+                    &g.children,
+                    false,
+                    pats,
+                    tainted,
+                    findings,
+                );
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    // Field stores: `lhs.field = hot` — scan statements for a plain `=`
+    // whose LHS contains a `.` (storing through a place that can outlive
+    // the frame).
+    let mut start = 0usize;
+    while start < items.len() {
+        let end = stmt_end(items, start);
+        let stmt = &items[start..end];
+        if !stmt.iter().any(|t| t.is_leaf("let")) {
+            if let Some(eq) = (0..stmt.len()).find(|&j| is_plain_assign(stmt, j)) {
+                if stmt[..eq].iter().any(|t| t.is_leaf(".")) {
+                    if let Some(via) = hot(&stmt[eq + 1..], pats, tainted) {
+                        report(
+                            findings,
+                            rel_path,
+                            fn_name,
+                            stmt[eq].line(),
+                            "field store of",
+                            via,
+                        );
+                    }
+                }
+            }
+        }
+        start = end + 1;
+    }
+    // The tail expression is an implicit return.
+    if top {
+        let tail_start = last_semi.map_or(0, |s| s + 1);
+        let tail = &items[tail_start..];
+        let is_value = tail
+            .first()
+            .and_then(Tree::leaf)
+            .is_none_or(|t| !matches!(t.text.as_str(), "for" | "while" | "loop"))
+            && !tail.is_empty();
+        if is_value {
+            if let Some(via) = hot(tail, pats, tainted) {
+                report(
+                    findings,
+                    rel_path,
+                    fn_name,
+                    tail[0].line(),
+                    "tail-expression return of",
+                    via,
+                );
+            }
+        }
+    }
+}

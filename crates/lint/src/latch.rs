@@ -1,0 +1,201 @@
+//! Check 6 (dataflow): panic-safe latch discipline. For every *manual*
+//! lock class in `LOCKS.toml` (one with `release` patterns — no guard
+//! object, so nothing releases it on unwind), every acquisition must
+//! reach a release on **all** CFG paths out of the function: the normal
+//! path, every early `return`, every `?`, and every panic edge
+//! (`unwrap`/`expect`, `panic!`-family macros, indexing). A path that
+//! exits while the class is held is a leaked latch — under the engine's
+//! spin-acquire protocol that is a reader/writer deadlock, exactly the
+//! bug class PR 6's interleaving harness caught dynamically.
+//!
+//! Escape hatches, both deliberate and auditable:
+//!
+//! * a `// PANIC-OK: …` comment run ending within `WINDOW` lines above a
+//!   panic site suppresses the *panic-edge* finding there — for
+//!   fail-stop sites where dying with the latch held is the designed
+//!   behaviour (e.g. an install failure after the commit record is
+//!   already durable). It never suppresses `?`/`return`/fall-off
+//!   findings: those are recoverable paths and must release.
+//! * `guards` patterns in the class declare drop-guard acquisitions the
+//!   pass ignores entirely.
+//!
+//! Test code is exempt (`#[cfg(test)]` regions and `tests/` files): a
+//! panicking test dies with its process; the lib defines the protocol.
+
+use crate::cfg::{self, Cfg, EdgeKind, NodeKind};
+use crate::config::{Config, LockClass, Pattern};
+use crate::lexer::{comment_runs, in_regions, Lexed};
+use crate::parser::{functions, Tree};
+use crate::Finding;
+
+const WINDOW: u32 = 10;
+
+pub fn check(rel_path: &str, lx: &Lexed, trees: &[Tree], cfg: &Config) -> Vec<Finding> {
+    let manual: Vec<(usize, &LockClass)> = cfg
+        .classes_for(rel_path)
+        .into_iter()
+        .filter(|(_, c)| !c.release.is_empty())
+        .collect();
+    if manual.is_empty() || rel_path.contains("/tests/") {
+        return Vec::new();
+    }
+    let test_regions = crate::lexer::test_regions(lx);
+    let panic_ok = comment_runs(lx, &["PANIC-OK"]);
+    let mut findings = Vec::new();
+    for f in functions(trees) {
+        if in_regions(&test_regions, f.line) {
+            continue;
+        }
+        let g = cfg::build(f.body);
+        analyze(rel_path, &f.name, &g, &manual, &panic_ok, &mut findings);
+    }
+    findings.sort();
+    findings.dedup();
+    findings
+}
+
+/// Does a CFG call node match a pattern, mirroring the lexical matcher:
+/// a bare name matches any call of that name; `recv.method` requires the
+/// receiver ident.
+fn call_matches(name: &str, recv: Option<&str>, pat: &Pattern) -> bool {
+    match pat {
+        Pattern::Bare(n) => name == n,
+        Pattern::Method { recv: r, method } => name == method && recv == Some(r.as_str()),
+    }
+}
+
+fn analyze(
+    rel_path: &str,
+    fn_name: &str,
+    g: &Cfg,
+    manual: &[(usize, &LockClass)],
+    panic_ok: &[u32],
+    findings: &mut Vec<Finding>,
+) {
+    // Classify nodes once.
+    let mut acquires: Vec<(usize, usize)> = Vec::new(); // (node, manual-idx)
+    let mut releases: Vec<Vec<bool>> = vec![vec![false; g.nodes.len()]; manual.len()];
+    for (n, node) in g.nodes.iter().enumerate() {
+        let NodeKind::Call { name, recv } = &node.kind else {
+            continue;
+        };
+        let recv = recv.as_deref();
+        for (mi, &(_, class)) in manual.iter().enumerate() {
+            if class.guards.iter().any(|p| call_matches(name, recv, p)) {
+                continue;
+            }
+            if class.release.iter().any(|p| call_matches(name, recv, p)) {
+                releases[mi][n] = true;
+            } else if class.acquire.iter().any(|p| call_matches(name, recv, p)) {
+                acquires.push((n, mi));
+            }
+        }
+    }
+    for &(a, mi) in &acquires {
+        let class = manual[mi].1;
+        let acq_line = g.nodes[a].line;
+        // BFS over the hold region: stop at release nodes; every edge
+        // that reaches the exit while held is a leak.
+        let mut seen = vec![false; g.nodes.len()];
+        let mut queue = vec![a];
+        seen[a] = true;
+        while let Some(n) = queue.pop() {
+            if n != a && releases[mi][n] {
+                continue; // released on this path
+            }
+            for e in &g.succ[n] {
+                if e.to == g.exit {
+                    let line = g.nodes[n].line;
+                    let covered = panic_ok
+                        .iter()
+                        .any(|&end| end <= line && line - end <= WINDOW);
+                    let msg = match (e.kind, &g.nodes[n].kind) {
+                        (EdgeKind::Question, _) => Some(format!(
+                            "`?` may exit `{fn_name}` while `{}` is held (acquired line \
+                             {acq_line}); release on the error path",
+                            class.name
+                        )),
+                        (EdgeKind::Panic, kind) if !covered => {
+                            // `acquire(...).unwrap()`: the panic fires only
+                            // when the acquire itself failed — nothing is
+                            // held on that edge.
+                            let consumes_acquire = matches!(
+                                kind,
+                                NodeKind::Call { recv: Some(r), .. }
+                                    if class.acquire.iter().any(|p| matches!(
+                                        p,
+                                        Pattern::Bare(n) if n == r
+                                    ))
+                            );
+                            if consumes_acquire && direct_succ(g, a, n) {
+                                None
+                            } else {
+                                Some(format!(
+                                    "{} may panic in `{fn_name}` while `{}` is held (acquired \
+                                     line {acq_line}); propagate an error or tag `// PANIC-OK:`",
+                                    describe(&g.nodes[n].kind),
+                                    class.name
+                                ))
+                            }
+                        }
+                        (EdgeKind::Panic, _) => None, // PANIC-OK covered
+                        (EdgeKind::Return, _) => Some(format!(
+                            "`return` exits `{fn_name}` while `{}` is held (acquired line \
+                             {acq_line}); release before returning",
+                            class.name
+                        )),
+                        (_, _) => Some(format!(
+                            "`{fn_name}` can end while `{}` is held (acquired line {acq_line}); \
+                             release on every path",
+                            class.name
+                        )),
+                    };
+                    if let Some(msg) = msg {
+                        findings.push(Finding {
+                            file: rel_path.to_string(),
+                            line,
+                            check: "latch-leak",
+                            msg,
+                        });
+                    }
+                    continue;
+                }
+                // A loop whose body releases the class still releases it
+                // when the body runs zero times? No — the LoopExit edge
+                // models exactly that case, so it only counts as released
+                // if the *head* was reached already-released (handled
+                // above). But a loop that releases on every iteration and
+                // is entered with the full set (the unlatch loop) exits
+                // released: treat LoopExit as releasing when the body
+                // contains a release of this class.
+                if e.kind == EdgeKind::LoopExit {
+                    let body_releases = g
+                        .loops
+                        .iter()
+                        .find(|l| l.head == n)
+                        .is_some_and(|l| (l.body.0..l.body.1).any(|b| releases[mi][b]));
+                    if body_releases {
+                        continue;
+                    }
+                }
+                if !seen[e.to] {
+                    seen[e.to] = true;
+                    queue.push(e.to);
+                }
+            }
+        }
+    }
+}
+
+/// Is `to` a direct successor of `from`?
+fn direct_succ(g: &Cfg, from: usize, to: usize) -> bool {
+    g.succ[from].iter().any(|e| e.to == to)
+}
+
+fn describe(kind: &NodeKind) -> String {
+    match kind {
+        NodeKind::Call { name, .. } => format!("`.{name}()`"),
+        NodeKind::Panic { what } => format!("`{what}`"),
+        _ => "a panic edge".to_string(),
+    }
+}

@@ -360,3 +360,21 @@ pub fn comment_runs(lx: &Lexed, needles: &[&str]) -> Vec<u32> {
     }
     out
 }
+
+/// Every contiguous comment run, as (end line, concatenated text). Used
+/// by passes that must *parse* the justification (the structured
+/// `SAFETY(provenance: …)` tags), not just detect its presence.
+pub fn comment_runs_text(lx: &Lexed) -> Vec<(u32, String)> {
+    let mut out: Vec<(u32, String)> = Vec::new();
+    for c in &lx.comments {
+        match out.last_mut() {
+            Some((end, text)) if c.line <= *end + 1 => {
+                *end = c.line;
+                text.push('\n');
+                text.push_str(&c.text);
+            }
+            _ => out.push((c.line, c.text.clone())),
+        }
+    }
+    out
+}

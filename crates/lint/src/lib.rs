@@ -12,14 +12,32 @@
 //! 5. **sync-point-registry** — `sched::hit` points and test references
 //!    must pair up.
 //!
+//! Plus three dataflow passes over a token-tree parse and a per-function
+//! CFG approximation (see DESIGN.md, "Dataflow lint"):
+//!
+//! 6. **latch-leak** — manual-release classes release on *every* CFG
+//!    exit path (`?`, `return`, panic edges included);
+//! 7. **pin-escape** — frozen-area slices never escape their epoch pin;
+//! 8. **unsafe-provenance** — every `unsafe` block carries a structured
+//!    `SAFETY(provenance: …, bounds: …)` tag whose symbols resolve, with
+//!    a per-crate inventory (`results/unsafe_audit.json`) diffed by CI.
+//!
 //! Run as `cargo run -p anker-lint -- check`. The runtime complement is
 //! `anker_util::lockcheck` (`--features lockcheck`); `witness_agrees`
 //! cross-checks that the two layers declare the same hierarchy.
+// No unsafe in this crate: verified by the compiler, inventoried by
+// `anker-lint -- audit` (results/unsafe_audit.json records zero sites).
+#![forbid(unsafe_code)]
 
+pub mod cfg;
 pub mod config;
+pub mod escape;
+pub mod latch;
 pub mod lexer;
 pub mod locks;
 pub mod ordering;
+pub mod parser;
+pub mod provenance;
 pub mod safety;
 pub mod syncpoints;
 
@@ -50,6 +68,8 @@ pub struct Report {
     pub files_scanned: usize,
     pub classes: usize,
     pub lib_points: usize,
+    /// Every `unsafe` block seen, for the audit inventory.
+    pub unsafe_sites: Vec<provenance::UnsafeSite>,
 }
 
 /// Run every check over the workspace rooted at `root` (the directory
@@ -75,14 +95,29 @@ pub fn run(root: &Path) -> Result<Report, String> {
             .map_err(|e| format!("cannot read {rel}: {e}"))?;
         let lx = lexer::lex(&src);
         let regions = lexer::test_regions(&lx);
+        let trees = parser::parse(&lx);
         report.findings.extend(locks::check(rel, &lx, &cfg));
         report.findings.extend(safety::check(rel, &lx));
         report.findings.extend(ordering::check(rel, &lx, &regions));
+        report.findings.extend(latch::check(rel, &lx, &trees, &cfg));
+        report
+            .findings
+            .extend(escape::check(rel, &lx, &trees, &cfg));
+        report.findings.extend(provenance::check(
+            rel,
+            &lx,
+            &trees,
+            &mut report.unsafe_sites,
+        ));
         syncpoints::collect(rel, &lx, &regions, &mut reg);
         report.files_scanned += 1;
     }
     report.lib_points = reg.lib_points.len();
     report.findings.extend(syncpoints::verdict(&reg));
+    report.findings.extend(provenance::drift(
+        &root.join("results/unsafe_audit.json"),
+        &report.unsafe_sites,
+    ));
     report.findings.sort();
     Ok(report)
 }

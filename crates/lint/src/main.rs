@@ -1,22 +1,31 @@
 //! CLI for `anker-lint`. Usage:
 //!
 //! ```text
-//! cargo run -p anker-lint -- check [--root PATH]
+//! cargo run -p anker-lint -- check [--root PATH] [--budget-ms N]
+//! cargo run -p anker-lint -- audit [--root PATH]
 //! ```
 //!
-//! Exit codes: 0 clean, 1 findings, 2 usage/configuration error.
+//! `check` runs every pass; `--budget-ms` additionally fails the run if
+//! it exceeds the wall-clock budget (CI asserts the lint stays cheap).
+//! `audit` regenerates `results/unsafe_audit.json` from the tree so the
+//! drift check can be satisfied after intentional `unsafe` changes.
+//!
+//! Exit codes: 0 clean, 1 findings/budget overrun, 2 usage/configuration
+//! error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cmd = None;
     let mut root = None;
+    let mut budget_ms: Option<u128> = None;
     let mut i = 0usize;
     while i < args.len() {
         match args[i].as_str() {
-            "check" if cmd.is_none() => cmd = Some("check"),
+            "check" | "audit" if cmd.is_none() => cmd = Some(args[i].clone()),
             "--root" => {
                 i += 1;
                 match args.get(i) {
@@ -24,13 +33,20 @@ fn main() -> ExitCode {
                     None => return usage("--root needs a path"),
                 }
             }
+            "--budget-ms" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(ms) => budget_ms = Some(ms),
+                    None => return usage("--budget-ms needs a number"),
+                }
+            }
             other => return usage(&format!("unknown argument `{other}`")),
         }
         i += 1;
     }
-    if cmd != Some("check") {
-        return usage("expected the `check` subcommand");
-    }
+    let Some(cmd) = cmd else {
+        return usage("expected the `check` or `audit` subcommand");
+    };
     let root = match root {
         Some(r) => r,
         None => {
@@ -41,33 +57,66 @@ fn main() -> ExitCode {
             }
         }
     };
-    match anker_lint::run(&root) {
-        Ok(report) if report.findings.is_empty() => {
-            println!(
-                "anker-lint: OK — {} files, {} lock classes, {} sync points, 0 findings",
-                report.files_scanned, report.classes, report.lib_points
-            );
-            ExitCode::SUCCESS
-        }
-        Ok(report) => {
-            for f in &report.findings {
-                println!("{f}");
-            }
-            println!(
-                "anker-lint: {} finding(s) across {} files",
-                report.findings.len(),
-                report.files_scanned
-            );
-            ExitCode::FAILURE
-        }
+    let started = Instant::now();
+    let report = match anker_lint::run(&root) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("anker-lint: {e}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
+        }
+    };
+    let elapsed_ms = started.elapsed().as_millis();
+    if cmd == "audit" {
+        let out = root.join("results/unsafe_audit.json");
+        if let Some(dir) = out.parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("anker-lint: cannot create {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+        let json = anker_lint::provenance::audit_json(&report.unsafe_sites);
+        if let Err(e) = std::fs::write(&out, json) {
+            eprintln!("anker-lint: cannot write {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "anker-lint: audit — {} unsafe block(s) inventoried to {}",
+            report.unsafe_sites.len(),
+            out.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let mut code = ExitCode::SUCCESS;
+    if report.findings.is_empty() {
+        println!(
+            "anker-lint: OK — {} files, {} lock classes, {} sync points, {} unsafe blocks, \
+             0 findings ({elapsed_ms} ms)",
+            report.files_scanned,
+            report.classes,
+            report.lib_points,
+            report.unsafe_sites.len()
+        );
+    } else {
+        for f in &report.findings {
+            println!("{f}");
+        }
+        println!(
+            "anker-lint: {} finding(s) across {} files",
+            report.findings.len(),
+            report.files_scanned
+        );
+        code = ExitCode::FAILURE;
+    }
+    if let Some(budget) = budget_ms {
+        if elapsed_ms > budget {
+            println!("anker-lint: budget exceeded — {elapsed_ms} ms > {budget} ms");
+            code = ExitCode::FAILURE;
         }
     }
+    code
 }
 
 fn usage(err: &str) -> ExitCode {
-    eprintln!("anker-lint: {err}\nusage: anker-lint check [--root PATH]");
+    eprintln!("anker-lint: {err}\nusage: anker-lint <check|audit> [--root PATH] [--budget-ms N]");
     ExitCode::from(2)
 }

@@ -1,0 +1,281 @@
+//! A registry-free token-tree parser on top of [`crate::lexer`]: groups
+//! the flat token stream by `{}`/`()`/`[]` delimiters and extracts
+//! function items with their `impl` context. This is the substrate the
+//! dataflow passes ([`crate::latch`], [`crate::escape`],
+//! [`crate::provenance`]) and the CFG builder ([`crate::cfg`]) walk —
+//! still not a Rust parser (no expressions, no types), just enough
+//! structure to know what belongs to which function and which brace.
+//!
+//! The parser is total: any token stream produces a tree. Unmatched
+//! closers become leaves, unmatched openers are closed at end of input —
+//! the lint must never panic or loop on weird input (see the robustness
+//! proptest in `tests/robustness.rs`).
+
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// One node of the token tree: a plain token, or a delimited group.
+#[derive(Debug, Clone)]
+pub enum Tree {
+    Leaf(Tok),
+    Group(Group),
+}
+
+/// A delimited group. `delim` is the opening character (`{`, `(`, `[`).
+#[derive(Debug, Clone)]
+pub struct Group {
+    pub delim: char,
+    pub open_line: u32,
+    pub close_line: u32,
+    pub children: Vec<Tree>,
+}
+
+impl Tree {
+    pub fn line(&self) -> u32 {
+        match self {
+            Tree::Leaf(t) => t.line,
+            Tree::Group(g) => g.open_line,
+        }
+    }
+
+    /// The leaf's text, or `None` for groups.
+    pub fn leaf(&self) -> Option<&Tok> {
+        match self {
+            Tree::Leaf(t) => Some(t),
+            Tree::Group(_) => None,
+        }
+    }
+
+    /// Leaf-text equality, excluding string literals (a literal `"?"`
+    /// must not read as the `?` operator).
+    pub fn is_leaf(&self, s: &str) -> bool {
+        matches!(self, Tree::Leaf(t) if t.kind != TokKind::Str && t.text == s)
+    }
+
+    pub fn group(&self) -> Option<&Group> {
+        match self {
+            Tree::Group(g) => Some(g),
+            Tree::Leaf(_) => None,
+        }
+    }
+}
+
+fn closer(open: char) -> char {
+    match open {
+        '{' => '}',
+        '(' => ')',
+        '[' => ']',
+        _ => unreachable!("not a delimiter"),
+    }
+}
+
+/// Build the token tree for a lexed file.
+pub fn parse(lx: &Lexed) -> Vec<Tree> {
+    let mut pos = 0usize;
+    parse_until(&lx.toks, &mut pos, None)
+}
+
+fn parse_until(toks: &[Tok], pos: &mut usize, close: Option<char>) -> Vec<Tree> {
+    let mut out = Vec::new();
+    while *pos < toks.len() {
+        let t = &toks[*pos];
+        let c = t.text.chars().next().unwrap_or(' ');
+        if t.kind == TokKind::Punct && t.text.len() == 1 {
+            if Some(c) == close {
+                return out;
+            }
+            if matches!(c, '{' | '(' | '[') {
+                let open_line = t.line;
+                *pos += 1;
+                let children = parse_until(toks, pos, Some(closer(c)));
+                let close_line = toks
+                    .get(*pos)
+                    .map(|x| x.line)
+                    .or_else(|| toks.last().map(|x| x.line))
+                    .unwrap_or(open_line);
+                // Consume the closer if present (absent at EOF).
+                if toks
+                    .get(*pos)
+                    .is_some_and(|x| x.text.len() == 1 && x.text.starts_with(closer(c)))
+                {
+                    *pos += 1;
+                }
+                out.push(Tree::Group(Group {
+                    delim: c,
+                    open_line,
+                    close_line,
+                    children,
+                }));
+                continue;
+            }
+            if matches!(c, '}' | ')' | ']') {
+                // Unmatched closer for this level: when we are inside some
+                // group it ends the *current* group (tolerant recovery for
+                // mismatched delimiters in fuzzed input); at top level it
+                // degrades to a leaf.
+                if close.is_some() {
+                    return out;
+                }
+                out.push(Tree::Leaf(t.clone()));
+                *pos += 1;
+                continue;
+            }
+        }
+        out.push(Tree::Leaf(t.clone()));
+        *pos += 1;
+    }
+    out
+}
+
+/// One `fn` item found in the tree: its (impl-qualified) name, the body
+/// group, and the header tokens (everything between the name and the
+/// body — parameters, return type, where clause) flattened for symbol
+/// lookups.
+#[derive(Debug)]
+pub struct FnItem<'t> {
+    /// Bare function name.
+    pub name: String,
+    /// `Type::name` when the fn sits in an `impl Type` (or `impl Trait
+    /// for Type`) block, else the bare name.
+    pub qual_name: String,
+    pub line: u32,
+    pub body: &'t Group,
+    /// Header tokens (params + return type), flattened.
+    pub header: Vec<Tok>,
+}
+
+impl FnItem<'_> {
+    /// Does `ident` appear anywhere in this function — parameters,
+    /// return type, or body (including nested groups)?
+    pub fn contains_ident(&self, ident: &str) -> bool {
+        self.header
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == ident)
+            || group_contains_ident(self.body, ident)
+    }
+
+    /// Line range `[start, end]` the function spans.
+    pub fn lines(&self) -> (u32, u32) {
+        (self.line, self.body.close_line)
+    }
+}
+
+fn group_contains_ident(g: &Group, ident: &str) -> bool {
+    g.children.iter().any(|c| match c {
+        Tree::Leaf(t) => t.kind == TokKind::Ident && t.text == ident,
+        Tree::Group(g) => group_contains_ident(g, ident),
+    })
+}
+
+/// Extract every `fn` item (nested ones included) with its impl context.
+pub fn functions(trees: &[Tree]) -> Vec<FnItem<'_>> {
+    let mut out = Vec::new();
+    collect_fns(trees, None, &mut out);
+    out
+}
+
+fn collect_fns<'t>(trees: &'t [Tree], impl_name: Option<&str>, out: &mut Vec<FnItem<'t>>) {
+    let mut i = 0usize;
+    while i < trees.len() {
+        match &trees[i] {
+            Tree::Leaf(t) if t.kind == TokKind::Ident && t.text == "impl" => {
+                // Scan to the impl body group, extracting the self-type
+                // name: the first ident after `for` if present, else the
+                // first ident at angle-depth 0 after `impl`.
+                let mut name: Option<String> = None;
+                let mut after_for = false;
+                let mut angle = 0i32;
+                let mut j = i + 1;
+                while j < trees.len() {
+                    match &trees[j] {
+                        Tree::Group(g) if g.delim == '{' => {
+                            collect_fns(&g.children, name.as_deref(), out);
+                            break;
+                        }
+                        Tree::Leaf(t) => match t.text.as_str() {
+                            "<" => angle += 1,
+                            ">" => angle -= 1,
+                            "for" => {
+                                after_for = true;
+                                name = None;
+                            }
+                            ";" => break, // `impl Trait for T;` — no body
+                            _ if t.kind == TokKind::Ident
+                                && angle <= 0
+                                && (name.is_none() || after_for) =>
+                            {
+                                name = Some(t.text.clone());
+                                after_for = false;
+                            }
+                            _ => {}
+                        },
+                        Tree::Group(_) => {}
+                    }
+                    j += 1;
+                }
+                i = j + 1;
+            }
+            Tree::Leaf(t) if t.kind == TokKind::Ident && t.text == "fn" => {
+                // `fn NAME <generics>? ( params ) -> ret { body }`; a `;`
+                // before the body means a trait signature, and `fn(` is a
+                // function-pointer type, not an item.
+                let Some(Tree::Leaf(nm)) = trees.get(i + 1) else {
+                    i += 1;
+                    continue;
+                };
+                if nm.kind != TokKind::Ident {
+                    i += 1;
+                    continue;
+                }
+                let mut header = Vec::new();
+                let mut j = i + 2;
+                let mut body = None;
+                while j < trees.len() {
+                    match &trees[j] {
+                        Tree::Group(g) if g.delim == '{' => {
+                            body = Some(g);
+                            break;
+                        }
+                        Tree::Leaf(t) => {
+                            if t.text == ";" {
+                                break;
+                            }
+                            header.push(t.clone());
+                        }
+                        Tree::Group(g) => flatten_into(g, &mut header),
+                    }
+                    j += 1;
+                }
+                if let Some(body) = body {
+                    out.push(FnItem {
+                        name: nm.text.clone(),
+                        qual_name: match impl_name {
+                            Some(im) => format!("{im}::{}", nm.text),
+                            None => nm.text.clone(),
+                        },
+                        line: t.line,
+                        body,
+                        header,
+                    });
+                    // Nested fns and closures inside this body.
+                    collect_fns(&body.children, impl_name, out);
+                }
+                i = j + 1;
+            }
+            Tree::Group(g) => {
+                // mod blocks, trait blocks, etc.
+                collect_fns(&g.children, impl_name, out);
+                i += 1;
+            }
+            Tree::Leaf(_) => i += 1,
+        }
+    }
+}
+
+fn flatten_into(g: &Group, out: &mut Vec<Tok>) {
+    for c in &g.children {
+        match c {
+            Tree::Leaf(t) => out.push(t.clone()),
+            Tree::Group(g) => flatten_into(g, out),
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Check 8 (dataflow): the unsafe-provenance audit. Every `unsafe`
+//! *block* must carry a structured tag in the comment run above it:
+//!
+//! ```text
+//! // SAFETY(provenance: area, bounds: len): the mapping `area` stays
+//! // alive for `&self`, and `len` was clamped to the mapped length.
+//! ```
+//!
+//! `provenance:` names the symbols the pointer's validity comes from
+//! (the mapping, the pin, the sole-owner argument); `bounds:` names the
+//! length/bounds facts an out-of-bounds argument would violate (optional
+//! — a pure ownership transfer has no bounds). The pass verifies every
+//! named symbol actually occurs in the enclosing function (parameters,
+//! return type, or body) — a tag naming symbols that no longer exist is
+//! exactly the stale-comment rot this check exists to catch.
+//!
+//! `unsafe fn` / `unsafe impl` declarations are not blocks: their
+//! contract lives in `# Safety` docs, enforced by the legacy lexical
+//! check ([`crate::safety`]), which also still requires *some* SAFETY
+//! comment on every `unsafe` token.
+//!
+//! The pass also builds the per-crate inventory behind
+//! `results/unsafe_audit.json`: CI regenerates it and fails on any
+//! unsafe-count delta without a matching audit-file update, so new
+//! `unsafe` cannot slip in untagged or untracked.
+
+use crate::lexer::{comment_runs_text, Lexed};
+use crate::parser::{functions, FnItem, Tree};
+use crate::Finding;
+
+const WINDOW: u32 = 10;
+
+/// One `unsafe` block in the tree, with its parsed tag (empty vectors
+/// when untagged — the finding is reported separately).
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    pub file: String,
+    pub line: u32,
+    pub provenance: Vec<String>,
+    pub bounds: Vec<String>,
+}
+
+pub fn check(
+    rel_path: &str,
+    lx: &Lexed,
+    trees: &[Tree],
+    sites: &mut Vec<UnsafeSite>,
+) -> Vec<Finding> {
+    let runs = comment_runs_text(lx);
+    let fns = functions(trees);
+    let mut blocks = Vec::new();
+    find_unsafe_blocks(trees, &mut blocks);
+    let mut findings = Vec::new();
+    for line in blocks {
+        // Nearest run ending within the window above the block.
+        let tag = runs
+            .iter()
+            .filter(|(end, text)| *end <= line && line - end <= WINDOW && text.contains("SAFETY("))
+            .max_by_key(|(end, _)| *end)
+            .and_then(|(_, text)| parse_tag(text));
+        let Some((provenance, bounds)) = tag else {
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line,
+                check: "unsafe-provenance",
+                msg: format!(
+                    "`unsafe` block without a structured `// SAFETY(provenance: …)` tag within \
+                     {WINDOW} lines above"
+                ),
+            });
+            sites.push(UnsafeSite {
+                file: rel_path.to_string(),
+                line,
+                provenance: Vec::new(),
+                bounds: Vec::new(),
+            });
+            continue;
+        };
+        if provenance.is_empty() {
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line,
+                check: "unsafe-provenance",
+                msg: "`SAFETY(…)` tag with an empty `provenance:` field — name the symbol the \
+                      pointer's validity comes from"
+                    .to_string(),
+            });
+        }
+        let scope = enclosing_fn(&fns, line);
+        for sym in provenance.iter().chain(bounds.iter()) {
+            let resolved = match scope {
+                Some(f) => f.contains_ident(sym),
+                // Module-level unsafe (statics, consts): resolve against
+                // the whole file.
+                None => tree_contains_ident(trees, sym),
+            };
+            if !resolved {
+                findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line,
+                    check: "unsafe-provenance",
+                    msg: format!(
+                        "SAFETY tag names `{sym}`, which does not appear in the enclosing \
+                         function{} — stale tag?",
+                        scope.map_or(String::new(), |f| format!(" `{}`", f.name))
+                    ),
+                });
+            }
+        }
+        sites.push(UnsafeSite {
+            file: rel_path.to_string(),
+            line,
+            provenance,
+            bounds,
+        });
+    }
+    findings
+}
+
+/// Lines of every `unsafe { … }` block (an `unsafe` ident directly
+/// followed by a brace group — `unsafe fn`/`unsafe impl` have an ident
+/// in between and are skipped).
+fn find_unsafe_blocks(trees: &[Tree], out: &mut Vec<u32>) {
+    for (i, t) in trees.iter().enumerate() {
+        if let Some(tok) = t.leaf() {
+            if tok.kind == crate::lexer::TokKind::Ident
+                && tok.text == "unsafe"
+                && trees
+                    .get(i + 1)
+                    .and_then(Tree::group)
+                    .is_some_and(|g| g.delim == '{')
+            {
+                out.push(tok.line);
+            }
+        }
+        if let Some(g) = t.group() {
+            find_unsafe_blocks(&g.children, out);
+        }
+    }
+}
+
+/// Parse `SAFETY(provenance: …, bounds: …)` out of a comment run's text:
+/// balanced-paren extraction, then the two labelled ident lists.
+/// Returns `None` when there is no well-formed `SAFETY(…)` group or no
+/// `provenance:` label inside it.
+fn parse_tag(text: &str) -> Option<(Vec<String>, Vec<String>)> {
+    let start = text.find("SAFETY(")? + "SAFETY".len();
+    let rest = &text[start..];
+    let mut depth = 0usize;
+    let mut end = None;
+    for (i, ch) in rest.char_indices() {
+        match ch {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = Some(i);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let inner = &rest[1..end?];
+    let provenance_at = inner.find("provenance:")?;
+    let after_prov = &inner[provenance_at + "provenance:".len()..];
+    let (prov_text, bounds_text) = match after_prov.find("bounds:") {
+        Some(b) => (&after_prov[..b], &after_prov[b + "bounds:".len()..]),
+        None => (after_prov, ""),
+    };
+    Some((idents_of(prov_text), idents_of(bounds_text)))
+}
+
+/// Split free text into identifier tokens, dropping `//` comment markers
+/// and punctuation. A lone `-` list (`bounds: -`) yields the empty set.
+fn idents_of(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() || ch == '_' {
+            cur.push(ch);
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out.retain(|s| !s.chars().all(|c| c.is_ascii_digit()));
+    out
+}
+
+/// Innermost function whose line span contains `line`.
+fn enclosing_fn<'a, 't>(fns: &'a [FnItem<'t>], line: u32) -> Option<&'a FnItem<'t>> {
+    fns.iter()
+        .filter(|f| {
+            let (a, b) = f.lines();
+            a <= line && line <= b
+        })
+        .min_by_key(|f| {
+            let (a, b) = f.lines();
+            b - a
+        })
+}
+
+fn tree_contains_ident(trees: &[Tree], ident: &str) -> bool {
+    trees.iter().any(|t| match t {
+        Tree::Leaf(tok) => tok.text == ident,
+        Tree::Group(g) => tree_contains_ident(&g.children, ident),
+    })
+}
+
+/// Serialize the inventory to the committed JSON shape: stable ordering,
+/// per-crate counts first (what the drift check compares), then the full
+/// site list for review diffs.
+pub fn audit_json(sites: &[UnsafeSite]) -> String {
+    let mut sites: Vec<&UnsafeSite> = sites.iter().collect();
+    sites.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    let mut by_crate: std::collections::BTreeMap<String, usize> = Default::default();
+    for s in &sites {
+        *by_crate.entry(crate_of(&s.file)).or_default() += 1;
+    }
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"total\": {},\n", sites.len()));
+    out.push_str("  \"crates\": {\n");
+    let n = by_crate.len();
+    for (i, (name, count)) in by_crate.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{name}\": {count}{}\n",
+            if i + 1 < n { "," } else { "" }
+        ));
+    }
+    out.push_str("  },\n  \"sites\": [\n");
+    let m = sites.len();
+    for (i, s) in sites.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"provenance\": [{}], \"bounds\": [{}]}}{}\n",
+            s.file,
+            s.line,
+            quote_list(&s.provenance),
+            quote_list(&s.bounds),
+            if i + 1 < m { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn quote_list(items: &[String]) -> String {
+    items
+        .iter()
+        .map(|s| format!("\"{s}\""))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Top-level component a file belongs to for per-crate counting:
+/// `crates/vmem/src/os.rs` → `crates/vmem`.
+pub fn crate_of(file: &str) -> String {
+    let parts: Vec<&str> = file.split('/').collect();
+    match parts.as_slice() {
+        ["crates", name, ..] => format!("crates/{name}"),
+        [first, ..] => (*first).to_string(),
+        [] => String::new(),
+    }
+}
+
+/// Compare the freshly computed inventory against the committed audit
+/// file's per-crate **counts** (line churn inside a crate does not trip
+/// the check — `cargo run -p anker-lint -- audit` refreshes the site
+/// list). Returns findings for every drifted crate. Skipped when no
+/// audit file exists (fixture workspaces).
+pub fn drift(audit_path: &std::path::Path, sites: &[UnsafeSite]) -> Vec<Finding> {
+    let Ok(committed) = std::fs::read_to_string(audit_path) else {
+        return Vec::new();
+    };
+    let mut recorded: std::collections::BTreeMap<String, usize> = Default::default();
+    if let Some(start) = committed.find("\"crates\"") {
+        let body = &committed[start..];
+        if let (Some(open), Some(close)) = (body.find('{'), body.find('}')) {
+            for pair in body[open + 1..close].split(',') {
+                let Some((k, v)) = pair.split_once(':') else {
+                    continue;
+                };
+                let key = k.trim().trim_matches('"').to_string();
+                if let Ok(n) = v.trim().parse::<usize>() {
+                    recorded.insert(key, n);
+                }
+            }
+        }
+    }
+    let mut actual: std::collections::BTreeMap<String, usize> = Default::default();
+    for s in sites {
+        *actual.entry(crate_of(&s.file)).or_default() += 1;
+    }
+    let mut findings = Vec::new();
+    let keys: std::collections::BTreeSet<&String> = recorded.keys().chain(actual.keys()).collect();
+    for key in keys {
+        let rec = recorded.get(key).copied().unwrap_or(0);
+        let act = actual.get(key).copied().unwrap_or(0);
+        if rec != act {
+            findings.push(Finding {
+                file: "results/unsafe_audit.json".to_string(),
+                line: 0,
+                check: "unsafe-audit-drift",
+                msg: format!(
+                    "`{key}` has {act} unsafe block(s) but the committed audit records {rec}; \
+                     run `cargo run -p anker-lint -- audit` and commit the refreshed inventory"
+                ),
+            });
+        }
+    }
+    findings
+}

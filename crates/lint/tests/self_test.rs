@@ -74,6 +74,94 @@ fn orphan_sync_point_is_flagged() {
 }
 
 #[test]
+fn leaked_latch_is_flagged() {
+    let report = anker_lint::run(&fixture("leaked_latch")).unwrap();
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.check == "latch-leak")
+        .expect("a `?` exit inside the hold region must be flagged");
+    assert!(f.msg.contains("row_latch"), "{}", f.msg);
+    assert!(f.msg.contains('?'), "{}", f.msg);
+}
+
+#[test]
+fn released_latch_twin_is_clean() {
+    let report = anker_lint::run(&fixture("released_latch")).unwrap();
+    assert!(
+        report.findings.is_empty(),
+        "release-on-every-path plus a PANIC-OK fail-stop site must be clean: {:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn escaped_pin_is_flagged() {
+    let report = anker_lint::run(&fixture("escaped_pin")).unwrap();
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.check == "pin-escape")
+        .expect("a tail-expression return of pin-derived data must be flagged");
+    assert!(f.msg.contains("tail-expression"), "{}", f.msg);
+}
+
+#[test]
+fn pinned_scan_twin_is_clean() {
+    let report = anker_lint::run(&fixture("pinned_scan")).unwrap();
+    assert!(
+        report.findings.is_empty(),
+        "in-scope reduction plus a blessed transfer point must be clean: {:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn untagged_unsafe_is_flagged() {
+    let report = anker_lint::run(&fixture("untagged_unsafe")).unwrap();
+    let untagged = report
+        .findings
+        .iter()
+        .find(|f| f.check == "unsafe-provenance" && f.msg.contains("without a structured"))
+        .expect("a legacy-style SAFETY comment must be flagged as untagged");
+    assert_eq!(untagged.file, "src/lib.rs");
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.check == "unsafe-provenance" && f.msg.contains("stale tag")),
+        "a tag naming vanished symbols must be flagged: {:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn tagged_unsafe_twin_is_clean() {
+    let report = anker_lint::run(&fixture("tagged_unsafe")).unwrap();
+    assert!(
+        report.findings.is_empty(),
+        "structured tags with resolving symbols must be clean: {:#?}",
+        report.findings
+    );
+    assert_eq!(
+        report.unsafe_sites.len(),
+        2,
+        "both blocks land in the inventory"
+    );
+}
+
+#[test]
+fn audit_drift_is_flagged() {
+    let report = anker_lint::run(&fixture("audit_drift")).unwrap();
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.check == "unsafe-audit-drift")
+        .expect("a committed inventory that disagrees with the tree must be flagged");
+    assert!(f.msg.contains("anker-lint -- audit"), "{}", f.msg);
+}
+
+#[test]
 fn clean_fixture_passes_every_check() {
     let report = anker_lint::run(&fixture("clean")).unwrap();
     assert!(
@@ -101,6 +189,10 @@ fn workspace_is_clean() {
         report.lib_points >= 8,
         "the commit pipeline's sync points must be registered, got {}",
         report.lib_points
+    );
+    assert!(
+        !report.unsafe_sites.is_empty(),
+        "the unsafe inventory must be populated (drift is checked against it)"
     );
 }
 

@@ -55,6 +55,9 @@
 //! assert_eq!(vc.read(&area, 5, 1).unwrap(), 999); // reader at ts 1
 //! assert_eq!(vc.read(&area, 5, 0).unwrap(), 50);  // reader before the commit
 //! ```
+// No unsafe in this crate: verified by the compiler, inventoried by
+// `anker-lint -- audit` (results/unsafe_audit.json records zero sites).
+#![forbid(unsafe_code)]
 
 pub mod chain_order;
 pub mod commit;

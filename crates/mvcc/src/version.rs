@@ -599,8 +599,21 @@ impl VersionedColumn {
         commit_ts: u64,
     ) -> anker_vmem::Result<u64> {
         let (old_ts, old_word) = self.lock_row(area, row)?;
-        self.install_locked(area, row, old_ts, old_word, new_word, commit_ts)?;
-        Ok(old_word)
+        match self.install_locked(area, row, old_ts, old_word, new_word, commit_ts) {
+            Ok(()) => Ok(old_word),
+            Err(e) => {
+                // Unlike the pipeline's split form, nothing is published
+                // yet when a single-site install fails, and the only
+                // fallible step precedes the in-place overwrite — so this
+                // is an abort, not a fatal state: restore the pre-latch
+                // timestamp instead of leaking the latch (a leaked latch
+                // spins every later writer of the row forever). The chain
+                // entry already pushed is a harmless duplicate of history:
+                // `old_word` was the value up to `old_ts` either way.
+                self.unlock_row(row, old_ts);
+                Err(e)
+            }
+        }
     }
 
     /// Freeze the current chain store for a snapshot at `freeze_ts` and

@@ -183,9 +183,10 @@ impl ColumnArea {
     #[inline]
     pub unsafe fn as_slice(&self) -> Option<&[u64]> {
         let p = self.backend.raw_parts(self.addr, self.rows as u64 * 8)?;
-        // SAFETY: the backend vouches the range is mapped and readable
-        // now; the caller vouches (per this function's contract) that it
-        // stays mapped and unwritten for the slice's lifetime.
+        // SAFETY(provenance: backend, raw_parts, bounds: rows): the
+        // backend vouches the range is mapped and readable now; the
+        // caller vouches (per this function's contract) that it stays
+        // mapped and unwritten for the slice's lifetime.
         Some(unsafe { std::slice::from_raw_parts(p, self.rows as usize) })
     }
 
@@ -443,8 +444,9 @@ mod tests {
     #[test]
     fn sim_backend_has_no_slice_fast_path() {
         let (_k, c) = column(64);
-        // SAFETY: the area lives for the whole test and is never written
-        // while a slice could exist (it returns None here anyway).
+        // SAFETY(provenance: c): the area lives for the whole test and is
+        // never written while a slice could exist (it returns None here
+        // anyway).
         assert!(unsafe { c.as_slice() }.is_none());
     }
 
@@ -458,8 +460,8 @@ mod tests {
         let snap_addr = b.vm_snapshot(None, c.addr(), c.mapped_bytes()).unwrap();
         let snap = ColumnArea::from_raw_on(Arc::clone(&b), snap_addr, 3000);
         c.set(7, 1).unwrap();
-        // SAFETY: `snap` is frozen (never written below) and not unmapped
-        // until after the last use of `s`.
+        // SAFETY(provenance: snap): `snap` is frozen (never written below)
+        // and not unmapped until after the last use of `s`.
         let s = unsafe { snap.as_slice() }.expect("OS backend exposes raw slices");
         assert_eq!(s.len(), 3000);
         assert_eq!(s[7], 35, "snapshot slice reads frozen content");

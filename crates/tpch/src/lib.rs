@@ -36,6 +36,9 @@
 //! assert!(revenue > 0.0);
 //! # let _ = OlapQuery::Q6;
 //! ```
+// No unsafe in this crate: verified by the compiler, inventoried by
+// `anker-lint -- audit` (results/unsafe_audit.json records zero sites).
+#![forbid(unsafe_code)]
 
 pub mod driver;
 pub mod gen;

@@ -169,8 +169,9 @@ impl WorkerPool {
         let _serialize = self.run_mx.lock().expect("pool mutex poisoned");
         // Erase the borrow's lifetime; the barrier below re-establishes
         // its bounds (no dereference survives past the end of this call).
-        // SAFETY: only stored behind `JobFn` and dereferenced while the
-        // job slot is occupied, which this function outlives.
+        // SAFETY(provenance: f, JobFn): only stored behind `JobFn` and
+        // dereferenced while the job slot is occupied, which this
+        // function outlives.
         let erased: &'static (dyn Fn(usize) + Sync) =
             unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(f) };
         let job = JobFn(erased as *const _);
@@ -225,9 +226,9 @@ impl WorkerPool {
                 job.next += 1;
                 job.next - 1
             };
-            // SAFETY: this job (same generation) still occupied the slot
-            // under the lock, so `run` is still inside its barrier and
-            // the pointee is alive.
+            // SAFETY(provenance: f, job, generation): this job (same
+            // generation) still occupied the slot under the lock, so `run`
+            // is still inside its barrier and the pointee is alive.
             let call = std::panic::catch_unwind(AssertUnwindSafe(|| {
                 IN_POOL_TASK.set(true);
                 unsafe { (*f.0)(i) };

@@ -84,7 +84,8 @@ mod ffi {
     }
 
     pub fn errno() -> i32 {
-        // SAFETY: __errno_location always returns a valid thread-local.
+        // SAFETY(provenance: __errno_location): the libc call always
+        // returns a valid pointer to this thread's errno slot.
         unsafe { *__errno_location() }
     }
 }
@@ -218,16 +219,17 @@ impl OsBackend {
     /// the hints issued. Whether the kernel honours them depends on the
     /// system's shmem THP policy; the hint itself is free.
     pub fn with_huge_pages(huge_pages: bool) -> Result<OsBackend> {
-        // SAFETY: plain syscalls; the name is a valid NUL-terminated
-        // C string literal.
+        // SAFETY(provenance: memfd_create): plain syscall; the name is a
+        // valid NUL-terminated C string literal.
         let fd = unsafe { ffi::memfd_create(c"ankerdb-columns".as_ptr(), ffi::MFD_CLOEXEC) };
         if fd < 0 {
             return Err(os_err("memfd_create"));
         }
-        // SAFETY: sysconf is always safe to call.
+        // SAFETY(provenance: sysconf): the syscall reads no caller memory.
         let ps = unsafe { ffi::sysconf(ffi::SC_PAGESIZE) };
         if ps <= 0 || !(ps as u64).is_power_of_two() {
-            // SAFETY: fd was just opened by us.
+            // SAFETY(provenance: fd): the descriptor was just opened by us
+            // and nothing else has seen it.
             unsafe { ffi::close(fd) };
             return Err(VmError::InvalidArgument("unusable system page size"));
         }
@@ -274,7 +276,8 @@ impl OsBackend {
         file.next += 1;
         if file.next > file.committed {
             let grown = file.next.max(file.committed * 2).max(64);
-            // SAFETY: fd is our memfd; growing never invalidates mappings.
+            // SAFETY(provenance: fd, bounds: grown): fd is our memfd and
+            // growing it never invalidates existing mappings.
             let rc =
                 unsafe { ffi::ftruncate(self.inner.fd, (grown * self.inner.page_size) as i64) };
             if rc != 0 {
@@ -304,7 +307,9 @@ impl OsBackend {
     fn map_view(&self, pages: &[u64]) -> Result<u64> {
         let ps = self.inner.page_size;
         let bytes = pages.len() as u64 * ps;
-        // SAFETY: fresh anonymous reservation, kernel-chosen address.
+        // SAFETY(provenance: mmap, bounds: bytes): fresh anonymous
+        // reservation at a kernel-chosen address — no existing memory is
+        // touched.
         let base = unsafe {
             ffi::mmap(
                 std::ptr::null_mut(),
@@ -320,7 +325,8 @@ impl OsBackend {
         }
         let base = base as u64;
         if let Err(e) = self.wire_pages(base, pages) {
-            // SAFETY: unwinding our own fresh reservation.
+            // SAFETY(provenance: base, bounds: bytes): unwinding the fresh
+            // reservation made just above, whole and unshared.
             unsafe { ffi::munmap(base as *mut _, bytes as usize) };
             return Err(e);
         }
@@ -338,9 +344,10 @@ impl OsBackend {
                 j += 1;
             }
             let run = (j - i) as u64;
-            // SAFETY: MAP_FIXED over address space this backend owns
-            // (either a fresh reservation or an existing view being
-            // rewired); the memfd offset is within the truncated size.
+            // SAFETY(provenance: base, fd, bounds: run, ps): MAP_FIXED
+            // over address space this backend owns (either a fresh
+            // reservation or an existing view being rewired); the memfd
+            // offset is within the truncated size.
             let p = unsafe {
                 ffi::mmap(
                     (base + i as u64 * ps) as *mut _,
@@ -358,8 +365,9 @@ impl OsBackend {
                 // Each MAP_FIXED replaces the previous mapping (and its
                 // advice), so freshly wired ranges are re-advised here —
                 // the single point every view page passes through.
-                // SAFETY: advising a mapping we just created; madvise on a
-                // valid range cannot corrupt anything (it is a hint).
+                // SAFETY(provenance: p, bounds: run, ps): advising the
+                // mapping just created above; madvise on a valid range
+                // cannot corrupt anything (it is a hint).
                 unsafe { ffi::madvise(p, (run * ps) as usize, ffi::MADV_HUGEPAGE) };
                 self.inner
                     .stats
@@ -405,7 +413,8 @@ impl OsBackend {
         let (new_fp, _recycled) = self.take_file_page(&mut state.file)?;
         // Copy the frozen content into the fresh file page through a
         // transient second mapping (both are views of the same memfd).
-        // SAFETY: fresh kernel-chosen mapping of a valid file range.
+        // SAFETY(provenance: fd, bounds: new_fp, ps): fresh kernel-chosen
+        // mapping of one just-allocated (hence in-bounds) file page.
         let tmp = unsafe {
             ffi::mmap(
                 std::ptr::null_mut(),
@@ -423,9 +432,10 @@ impl OsBackend {
             return Err(os_err("mmap"));
         }
         let view_page = (base + page_idx as u64 * ps) as *const u8;
-        // SAFETY: both pointers reference one whole valid page; racing
-        // readers of the view page are word-atomic and the engine
-        // serializes writers, so the source is stable during the copy.
+        // SAFETY(provenance: view_page, tmp, bounds: ps): both pointers
+        // reference one whole valid page; racing readers of the view page
+        // are word-atomic and the engine serializes writers, so the source
+        // is stable during the copy.
         unsafe {
             std::ptr::copy_nonoverlapping(view_page, tmp as *mut u8, ps as usize);
             ffi::munmap(tmp, ps as usize);
@@ -514,7 +524,8 @@ impl crate::backend::VmBackend for OsBackend {
         // Fresh (hole) pages read as zero; recycled ones must be zeroed.
         let ps = self.inner.page_size;
         for &i in &recycled {
-            // SAFETY: page i of the just-created view is mapped writable.
+            // SAFETY(provenance: base, bounds: i, ps): page i of the view
+            // created just above is mapped writable and unshared.
             unsafe {
                 std::ptr::write_bytes((base + i as u64 * ps) as *mut u8, 0, ps as usize);
             }
@@ -542,7 +553,8 @@ impl crate::backend::VmBackend for OsBackend {
             ));
         }
         let area = st.areas.remove(&addr).expect("checked above");
-        // SAFETY: unmapping a whole view this backend created.
+        // SAFETY(provenance: area, bounds: bytes): unmapping a whole view
+        // this backend created, just removed from the area table.
         let rc = unsafe { ffi::munmap(addr as *mut _, bytes as usize) };
         for fp in area.pages {
             Self::decref_file_page(&mut st.file, fp);
@@ -611,7 +623,9 @@ impl crate::backend::VmBackend for OsBackend {
                     // down whole — the caller gets an error and a dangling
                     // (NotMapped) destination, never another area's bytes.
                     let area = st.areas.remove(&d).expect("checked");
-                    // SAFETY: unmapping a whole view this backend created.
+                    // SAFETY(provenance: area, bounds: bytes): unmapping a
+                    // whole view this backend created, just removed from
+                    // the area table.
                     unsafe { ffi::munmap(d as *mut _, bytes as usize) };
                     for fp in area.pages {
                         Self::decref_file_page(&mut st.file, fp);
@@ -643,19 +657,30 @@ impl crate::backend::VmBackend for OsBackend {
     }
 
     fn read_u64(&self, addr: u64) -> Result<u64> {
-        debug_assert_eq!(addr % 8, 0);
+        // A real check, not a debug_assert: this is a safe public entry
+        // point, and an unaligned volatile u64 load is UB, so the aligned
+        // claim below must not rest on a debug-only precondition.
+        if !addr.is_multiple_of(8) {
+            return Err(VmError::Misaligned { addr });
+        }
         let st = self.inner.state.read();
         let (base, area) = Self::area_at(&st, addr)?;
         if addr + 8 > base + area.bytes {
             return Err(VmError::NotMapped { addr });
         }
-        // SAFETY: in-bounds of a live mapping; volatile word load tolerates
-        // racing word stores (aligned loads are atomic on this hardware).
+        // SAFETY(provenance: st, area, bounds: base, bytes): in-bounds of
+        // a live mapping (the read lock excludes rewires); the volatile
+        // word load tolerates racing word stores — the alignment checked
+        // above makes it single-copy atomic on this hardware.
         Ok(unsafe { (addr as *const u64).read_volatile() })
     }
 
     fn write_u64(&self, addr: u64, value: u64) -> Result<()> {
-        debug_assert_eq!(addr % 8, 0);
+        // Real check for the same reason as read_u64: an unaligned
+        // volatile u64 store from this safe entry point would be UB.
+        if !addr.is_multiple_of(8) {
+            return Err(VmError::Misaligned { addr });
+        }
         let ps = self.inner.page_size;
         {
             let st = self.inner.state.read();
@@ -664,8 +689,10 @@ impl crate::backend::VmBackend for OsBackend {
                 return Err(VmError::NotMapped { addr });
             }
             if !area.frozen[((addr - base) / ps) as usize] {
-                // SAFETY: in-bounds, mapped writable; the read lock keeps
-                // the mapping from being rewired underneath the store.
+                // SAFETY(provenance: st, area, bounds: base, bytes):
+                // in-bounds, mapped writable; the read lock keeps the
+                // mapping from being rewired underneath the store (every
+                // rewire path takes the write lock).
                 unsafe { (addr as *mut u64).write_volatile(value) };
                 return Ok(());
             }
@@ -674,19 +701,25 @@ impl crate::backend::VmBackend for OsBackend {
         let mut st = self.inner.state.write();
         let (base, _) = Self::area_at(&st, addr)?;
         self.ensure_writable(&mut st, base, ((addr - base) / ps) as usize)?;
-        // SAFETY: as above; still holding the (write) lock.
+        // SAFETY(provenance: st, ensure_writable, bounds: base): as above;
+        // the page was re-resolved and split under the still-held write
+        // lock.
         unsafe { (addr as *mut u64).write_volatile(value) };
         Ok(())
     }
 
     fn read_words(&self, addr: u64, buf: &mut [u64]) -> Result<()> {
-        debug_assert_eq!(addr % 8, 0);
+        // Real check (see read_u64): unaligned volatile loads are UB.
+        if !addr.is_multiple_of(8) {
+            return Err(VmError::Misaligned { addr });
+        }
         if buf.is_empty() {
             return Ok(());
         }
         let st = self.inner.state.read();
         Self::page_span(&st, addr, buf.len() as u64 * 8, self.inner.page_size)?;
-        // SAFETY: the whole range is in-bounds of one live mapping;
+        // SAFETY(provenance: st, page_span, bounds: buf): the whole range
+        // is in-bounds of one live mapping held stable by the read lock;
         // volatile word loads tolerate racing word stores.
         unsafe {
             let mut p = addr as *const u64;
@@ -699,7 +732,10 @@ impl crate::backend::VmBackend for OsBackend {
     }
 
     fn write_words(&self, addr: u64, words: &[u64]) -> Result<()> {
-        debug_assert_eq!(addr % 8, 0);
+        // Real check (see read_u64): unaligned volatile stores are UB.
+        if !addr.is_multiple_of(8) {
+            return Err(VmError::Misaligned { addr });
+        }
         if words.is_empty() {
             return Ok(());
         }
@@ -709,8 +745,9 @@ impl crate::backend::VmBackend for OsBackend {
         for page_idx in span {
             self.ensure_writable(&mut st, base, page_idx)?;
         }
-        // SAFETY: in-bounds and every touched page is now privately
-        // writable; still holding the write lock.
+        // SAFETY(provenance: st, ensure_writable, bounds: span, words):
+        // in-bounds and every touched page is now privately writable;
+        // still holding the write lock.
         unsafe {
             let mut p = addr as *mut u64;
             for &w in words {
@@ -729,8 +766,9 @@ impl crate::backend::VmBackend for OsBackend {
         if addr != base || bytes > area.bytes {
             return;
         }
-        // SAFETY: advising a live mapping this backend owns; MADV_SEQUENTIAL
-        // is a pure readahead hint.
+        // SAFETY(provenance: st, area, bounds: bytes): advising a live
+        // mapping this backend owns (the read lock keeps it mapped);
+        // MADV_SEQUENTIAL is a pure readahead hint.
         unsafe { ffi::madvise(addr as *mut _, bytes as usize, ffi::MADV_SEQUENTIAL) };
         self.inner
             .stats
@@ -764,10 +802,12 @@ impl Drop for OsInner {
     fn drop(&mut self) {
         let st = self.state.get_mut();
         for (&base, area) in st.areas.iter() {
-            // SAFETY: unmapping views this backend created.
+            // SAFETY(provenance: area, bounds: bytes): unmapping whole
+            // views this backend created; nothing can use them after Drop.
             unsafe { ffi::munmap(base as *mut _, area.bytes as usize) };
         }
-        // SAFETY: fd was opened by OsBackend::new and is owned by us.
+        // SAFETY(provenance: fd): the descriptor was opened by
+        // with_huge_pages and is owned solely by this inner value.
         unsafe { ffi::close(self.fd) };
     }
 }
@@ -971,7 +1011,8 @@ mod tests {
         let a = b.alloc(ps).unwrap();
         b.write_u64(a + 8, 21).unwrap();
         let p = b.raw_parts(a, ps).unwrap();
-        // SAFETY: in-bounds of the live mapping we just allocated.
+        // SAFETY(provenance: p, a, bounds: ps): in-bounds of the live
+        // mapping allocated just above.
         assert_eq!(unsafe { *p.add(1) }, 21);
         assert!(b.raw_parts(a, 2 * ps).is_none(), "out of bounds refused");
     }

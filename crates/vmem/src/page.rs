@@ -67,14 +67,17 @@ impl ResolvedPage {
     #[inline]
     pub(crate) fn as_word_ptr(&self, i: usize) -> *const AtomicU64 {
         assert!(i < self.words, "word index {i} out of page bounds");
-        // SAFETY: in-bounds, 8-aligned.
+        // SAFETY(provenance: base, bounds: i, words): in-bounds per the
+        // assert above; word offsets keep the pointer 8-aligned.
         unsafe { self.base.add(i * 8) as *const AtomicU64 }
     }
 
     #[inline]
     fn atom(&self, i: usize) -> &AtomicU64 {
         assert!(i < self.words, "word index {i} out of page bounds");
-        // SAFETY: in-bounds, 8-aligned, pointee valid for the handle's life.
+        // SAFETY(provenance: base, bounds: i, words): in-bounds per the
+        // assert above, 8-aligned, and the pointee stays valid for the
+        // handle's life because the handle keeps the arena alive.
         unsafe { &*(self.base.add(i * 8) as *const AtomicU64) }
     }
 

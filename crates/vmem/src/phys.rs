@@ -121,7 +121,9 @@ impl PhysMem {
     pub(crate) fn frame_ptr(&self, frame: FrameId) -> *mut u8 {
         let (chunk, within) = self.chunk_of(frame);
         debug_assert!((within + 1) * self.page_size <= chunk.words * 8);
-        // SAFETY: `within` is in range for the chunk by construction.
+        // SAFETY(provenance: chunk, bounds: within, page_size): the chunk
+        // allocation is stable for the arena's life and `within` is in
+        // range for it by construction.
         unsafe { chunk.base.add(within * self.page_size) }
     }
 
@@ -168,7 +170,8 @@ impl PhysMem {
         // Zero the page word-wise; new owner has exclusive access.
         let ptr = self.frame_ptr(frame) as *mut u64;
         for i in 0..(self.page_size / 8) {
-            // SAFETY: in-bounds, exclusively owned until published via a PTE.
+            // SAFETY(provenance: ptr, frame, bounds: page_size): in-bounds
+            // of the frame, exclusively owned until published via a PTE.
             unsafe { ptr.add(i).write(0) };
         }
         let (chunk, within) = self.chunk_of(frame);
@@ -215,8 +218,9 @@ impl PhysMem {
         let d = self.frame_ptr(dst) as *const AtomicU64;
         let words = self.page_size / 8;
         for i in 0..words {
-            // SAFETY: both pointers are valid, 8-aligned, and in bounds;
-            // access is atomic so racing readers observe word-level values.
+            // SAFETY(provenance: s, d, bounds: words): both frame pointers
+            // are valid, 8-aligned, and in bounds; access is atomic so
+            // racing readers observe word-level values.
             unsafe {
                 let v = (*s.add(i)).load(Ordering::Relaxed);
                 (*d.add(i)).store(v, Ordering::Relaxed);
@@ -229,7 +233,9 @@ impl Drop for PhysMem {
     fn drop(&mut self) {
         for slot in self.chunks.iter() {
             if let Some(chunk) = slot.get() {
-                // SAFETY: reconstructing the Box leaked in `ensure_chunk`.
+                // SAFETY(provenance: chunk, bounds: words): reconstructing
+                // the Box leaked at chunk creation, exactly once, from its
+                // recorded base and length.
                 unsafe {
                     let slice =
                         std::ptr::slice_from_raw_parts_mut(chunk.base as *mut u64, chunk.words);
@@ -249,9 +255,9 @@ mod tests {
         let pm = PhysMem::new(4096, 64 << 20);
         let f = pm.alloc().unwrap();
         let ptr = pm.frame_ptr(f) as *mut u64;
-        // SAFETY: `f` (and later `g`) was just allocated and nothing else
-        // references it, so `frame_ptr` addresses a live, exclusively
-        // owned, u64-aligned frame.
+        // SAFETY(provenance: f, ptr): `f` (and later `g`) was just
+        // allocated and nothing else references it, so `frame_ptr`
+        // addresses a live, exclusively owned, u64-aligned frame.
         unsafe {
             assert_eq!(ptr.read(), 0);
             ptr.write(0xdead_beef);
@@ -260,6 +266,8 @@ mod tests {
         assert_eq!(pm.frames_in_use(), 0);
         let g = pm.alloc().unwrap();
         assert_eq!(g, f, "free list should recycle");
+        // SAFETY(provenance: g, frame_ptr): as above — `g` is freshly
+        // allocated and exclusively owned.
         unsafe { assert_eq!((pm.frame_ptr(g) as *mut u64).read(), 0) };
     }
 
@@ -282,8 +290,9 @@ mod tests {
         let pm = PhysMem::new(4096, 64 << 20);
         let a = pm.alloc().unwrap();
         let b = pm.alloc().unwrap();
-        // SAFETY: `a` and `b` are freshly allocated frames owned solely by
-        // this test; writes stay within one 4 KiB frame (512 u64s).
+        // SAFETY(provenance: a, b): `a` and `b` are freshly allocated
+        // frames owned solely by this test; writes stay within one 4 KiB
+        // frame (512 u64s).
         unsafe {
             let pa = pm.frame_ptr(a) as *mut u64;
             for i in 0..512 {
@@ -291,6 +300,8 @@ mod tests {
             }
         }
         pm.copy_frame(a, b);
+        // SAFETY(provenance: a, b): same frames as above, still owned by
+        // this test and in-bounds.
         unsafe {
             let pb = pm.frame_ptr(b) as *mut u64;
             for i in 0..512 {
@@ -317,13 +328,14 @@ mod tests {
             frames.push(pm.alloc().unwrap());
         }
         // Write a distinct value into each and read back.
-        // SAFETY: every frame in `frames` is live (never freed here) and
-        // distinct, so each one-word write/read is to exclusively owned,
-        // mapped memory.
         for (i, &f) in frames.iter().enumerate() {
+            // SAFETY(provenance: f, frames): every frame in `frames` is
+            // live (never freed here) and distinct, so each one-word write
+            // is to exclusively owned, mapped memory.
             unsafe { (pm.frame_ptr(f) as *mut u64).write(i as u64) };
         }
         for (i, &f) in frames.iter().enumerate() {
+            // SAFETY(provenance: f, frames): as above, reads only.
             unsafe { assert_eq!((pm.frame_ptr(f) as *mut u64).read(), i as u64) };
         }
     }

@@ -420,7 +420,8 @@ impl Space {
             }
         };
         let base = self.inner.phys.frame_ptr(frame);
-        // SAFETY: in-bounds of the frame; 8-aligned because addr is.
+        // SAFETY(provenance: frame, base, bounds: addr, ps): in-bounds of
+        // the resolved frame; 8-aligned because addr is.
         Ok(unsafe { base.add((addr % ps) as usize) } as *const AtomicU64)
     }
 
@@ -429,7 +430,8 @@ impl Space {
     pub fn read_u64(&self, addr: u64) -> Result<u64> {
         debug_assert_eq!(addr % 8, 0);
         let p = self.resolve_word(addr, Access::Read)?;
-        // SAFETY: valid for the lifetime of the kernel; atomic access.
+        // SAFETY(provenance: resolve_word, p, bounds: addr): the resolved
+        // word pointer is valid for the kernel's lifetime; atomic access.
         Ok(unsafe { (*p).load(Ordering::Relaxed) })
     }
 
@@ -438,7 +440,8 @@ impl Space {
     pub fn write_u64(&self, addr: u64, value: u64) -> Result<()> {
         debug_assert_eq!(addr % 8, 0);
         let p = self.resolve_word(addr, Access::Write)?;
-        // SAFETY: valid for the lifetime of the kernel; atomic access.
+        // SAFETY(provenance: resolve_word, p, bounds: addr): the resolved
+        // word pointer is valid for the kernel's lifetime; atomic access.
         unsafe { (*p).store(value, Ordering::Relaxed) };
         Ok(())
     }

@@ -180,7 +180,8 @@ fn os_raw_parts_agree_with_word_reads() {
         .raw_parts(snap, ps)
         .expect("OS backend exposes raw memory");
     for i in 0..(ps / 8) as usize {
-        // SAFETY: in-bounds of the frozen snapshot mapping.
+        // SAFETY(provenance: p, snap, bounds: ps, i): in-bounds of the
+        // frozen snapshot mapping, which stays live for the whole test.
         assert_eq!(
             unsafe { *p.add(i) },
             b.read_u64(snap + i as u64 * 8).unwrap()
