@@ -1,0 +1,258 @@
+//! Selectivity-sweep bench for the **vectorized scan kernels**: the same
+//! scans on a scalar-dispatch (`DbConfig::scalar_scan`, the
+//! `ANKER_SCALAR_SCAN=1` ablation) and a vectorized database, across
+//! selection fractions from 0.1% to 99%, on both memory substrates —
+//! plus a TPC-H Q6-style improvement record on the lineitem table.
+//!
+//! Every timed pair also *verifies* the tentpole contract inline: the
+//! scalar and the vectorized path must produce bit-identical counts and
+//! `f64` aggregates (same rows, same order, same rounding) before their
+//! timings are recorded.
+//!
+//! JSON counter lines (`ANKER_BENCH_JSON`): one `sweep` record per
+//! (backend, selectivity) carrying both medians, the improvement ratio,
+//! and the kernel counters (`vector_blocks`, `dense_blocks`,
+//! `sel_reorders`, `proj_blocks`); one `q6_improvement` record per
+//! backend for the Q6-style conjunctive scan. `BENCH_vector_scan.json`
+//! at the workspace root is the committed reference run.
+//!
+//! Caveat for single-core hosts: all records here run single-threaded
+//! (the kernels are a per-core win, orthogonal to fan-out), so
+//! `host_cpus: 1` leaves the *relative* improvement meaningful — unlike
+//! the thread-scaling records of `parallel_scan`.
+
+use anker_bench::args::append_bench_json_line;
+use anker_core::{
+    AnkerDb, BackendKind, ColumnDef, DbConfig, LogicalType, Schema, SnapshotReader, TableId, Value,
+};
+use anker_tpch::gen::{self, TpchConfig, TpchDb};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
+/// Rows in the synthetic sweep table (256 blocks).
+const SWEEP_ROWS: u32 = 256 * 1024;
+/// Value domain of the sweep column; a range filter over `[0, p·DOMAIN)`
+/// selects fraction `p`.
+const DOMAIN: u64 = 1_000_000;
+
+/// Selection fractions swept: 0.1% .. 99%.
+const FRACTIONS: [f64; 6] = [0.001, 0.01, 0.10, 0.25, 0.50, 0.99];
+
+fn cfg(backend: BackendKind, scalar: bool) -> DbConfig {
+    DbConfig::heterogeneous_serializable()
+        .with_snapshot_every(500)
+        .with_gc_interval(None)
+        .with_backend(backend)
+        .with_scalar_scan(scalar)
+}
+
+/// The sweep table: one Int filter column (multiplicative-hashed so zone
+/// maps cannot prune — every block spans the whole domain and the
+/// kernels do the real work) and one Double payload column.
+fn build_sweep(backend: BackendKind, scalar: bool) -> (AnkerDb, TableId) {
+    let db = AnkerDb::new(cfg(backend, scalar));
+    let t = db.create_table(
+        "sweep",
+        Schema::new(vec![
+            ColumnDef::new("v", LogicalType::Int),
+            ColumnDef::new("x", LogicalType::Double),
+        ]),
+        SWEEP_ROWS,
+    );
+    let v = db.schema(t).col("v");
+    let x = db.schema(t).col("x");
+    let hash = |i: u32| (i as u64).wrapping_mul(2_654_435_761) % DOMAIN;
+    db.fill_column(
+        t,
+        v,
+        (0..SWEEP_ROWS).map(|i| Value::Int(hash(i) as i64).encode()),
+    )
+    .unwrap();
+    db.fill_column(
+        t,
+        x,
+        (0..SWEEP_ROWS).map(|i| Value::Double(hash(i) as f64 / DOMAIN as f64).encode()),
+    )
+    .unwrap();
+    (db, t)
+}
+
+/// Count + sum at selection fraction `p` (single-threaded, the kernels'
+/// own per-core story).
+fn sweep_query(
+    db: &AnkerDb,
+    t: TableId,
+    reader: &SnapshotReader,
+    p: f64,
+) -> (u64, f64, anker_core::ScanStats) {
+    let v = db.schema(t).col("v");
+    let x = db.schema(t).col("x");
+    let hi = (DOMAIN as f64 * p) as i64 - 1;
+    let (count, cstats) = reader.scan(t).range_i64(v, 0, hi).count().unwrap();
+    let (sum, _) = reader
+        .scan(t)
+        .range_i64(v, 0, hi)
+        .project(&[x])
+        .fold(0.0f64, |a, _, vals| a + vals[0].as_double(), |a, b| a + b)
+        .unwrap();
+    (count, sum, cstats)
+}
+
+/// Q6-style conjunctive predicate scan on TPC-H lineitem, single thread.
+fn q6(t: &TpchDb, reader: &SnapshotReader) -> (f64, anker_core::ScanStats) {
+    let li = &t.li;
+    let lo = gen::days(1994, 1, 1) as i64;
+    let hi = gen::days(1995, 1, 1) as i64;
+    reader
+        .scan(t.lineitem)
+        .range_i64(li.shipdate, lo, hi - 1)
+        .range_f64(li.discount, 0.05 - 1e-9, 0.07 + 1e-9)
+        .lt_f64(li.quantity, 24.0)
+        .project(&[li.extendedprice, li.discount])
+        .fold(
+            0.0f64,
+            |acc, _, v| acc + v[0].as_double() * v[1].as_double(),
+            |a, b| a + b,
+        )
+        .expect("q6 scan")
+}
+
+/// Median wall time of `reps` runs of `f`, in nanoseconds.
+fn median_ns(reps: usize, mut f: impl FnMut()) -> u64 {
+    let mut samples: Vec<u64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(0, |n| n.get())
+}
+
+fn bench_vector_scan(c: &mut Criterion) {
+    let mut backends = vec![BackendKind::Sim];
+    if cfg!(target_os = "linux") {
+        backends.push(BackendKind::Os);
+    }
+    let mut group = c.benchmark_group("vector_scan");
+    group.sample_size(10);
+    for backend in backends {
+        let bname = match backend {
+            BackendKind::Sim => "sim",
+            BackendKind::Os => "os",
+        };
+
+        // --- Selectivity sweep: scalar vs vectorized, same data. ---
+        let (sdb, st) = build_sweep(backend, true);
+        let (vdb, vt) = build_sweep(backend, false);
+        let sreader = sdb.snapshot_reader().expect("hetero mode");
+        let vreader = vdb.snapshot_reader().expect("hetero mode");
+        // Warm both (materialise snapshots, build zone maps).
+        sweep_query(&sdb, st, &sreader, 0.5);
+        sweep_query(&vdb, vt, &vreader, 0.5);
+        for p in FRACTIONS {
+            let sel_label = format!("{:.1}%", p * 100.0);
+            // Equivalence first: identical counts, bit-identical f64 sums.
+            let (sc, ss, s_stats) = sweep_query(&sdb, st, &sreader, p);
+            let (vc, vs, v_stats) = sweep_query(&vdb, vt, &vreader, p);
+            assert_eq!(sc, vc, "count diverged at sel={sel_label}");
+            assert_eq!(
+                ss.to_bits(),
+                vs.to_bits(),
+                "f64 aggregate diverged at sel={sel_label}"
+            );
+            assert_eq!(s_stats.vector_blocks + s_stats.dense_blocks, 0);
+            assert!(v_stats.vector_blocks > 0);
+            // Criterion entries at the sweep's endpoints only (budget).
+            if p == FRACTIONS[0] || p == FRACTIONS[FRACTIONS.len() - 1] {
+                let label = format!("backend={bname}/sel={sel_label}");
+                group.bench_with_input(BenchmarkId::new("scalar", &label), &p, |b, &p| {
+                    b.iter(|| sweep_query(&sdb, st, &sreader, p));
+                });
+                group.bench_with_input(BenchmarkId::new("vector", &label), &p, |b, &p| {
+                    b.iter(|| sweep_query(&vdb, vt, &vreader, p));
+                });
+            }
+            let scalar_ns = median_ns(5, || {
+                sweep_query(&sdb, st, &sreader, p);
+            });
+            let vector_ns = median_ns(5, || {
+                sweep_query(&vdb, vt, &vreader, p);
+            });
+            append_bench_json_line(&format!(
+                "{{\"bench\":\"vector_scan/sweep/backend={bname}/sel={sel_label}\",\
+                 \"rows\":{},\"selected\":{},\"scalar_ns\":{},\"vector_ns\":{},\
+                 \"improvement\":{:.3},\"vector_blocks\":{},\"dense_blocks\":{},\
+                 \"sel_reorders\":{},\"proj_blocks\":{},\"host_cpus\":{}}}",
+                SWEEP_ROWS,
+                vc,
+                scalar_ns,
+                vector_ns,
+                scalar_ns as f64 / vector_ns as f64,
+                v_stats.vector_blocks,
+                v_stats.dense_blocks,
+                v_stats.sel_reorders,
+                v_stats.proj_blocks,
+                host_cpus()
+            ));
+        }
+        drop((sreader, vreader, sdb, vdb));
+
+        // --- Q6-style improvement on TPC-H lineitem. ---
+        let tpch_cfg = TpchConfig {
+            scale_factor: 0.05,
+            seed: 42,
+        };
+        let st = gen::generate(cfg(backend, true), &tpch_cfg);
+        let vt = gen::generate(cfg(backend, false), &tpch_cfg);
+        let sreader = st.db.snapshot_reader().expect("hetero mode");
+        let vreader = vt.db.snapshot_reader().expect("hetero mode");
+        let (s_rev, s_stats) = q6(&st, &sreader);
+        let (v_rev, v_stats) = q6(&vt, &vreader);
+        assert_eq!(
+            s_rev.to_bits(),
+            v_rev.to_bits(),
+            "Q6 revenue diverged between scalar and vectorized paths"
+        );
+        assert_eq!(s_stats.vector_blocks + s_stats.dense_blocks, 0);
+        group.bench_with_input(
+            BenchmarkId::new("q6", format!("backend={bname}/scalar")),
+            &(),
+            |b, ()| b.iter(|| q6(&st, &sreader)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("q6", format!("backend={bname}/vector")),
+            &(),
+            |b, ()| b.iter(|| q6(&vt, &vreader)),
+        );
+        let scalar_ns = median_ns(5, || {
+            q6(&st, &sreader);
+        });
+        let vector_ns = median_ns(5, || {
+            q6(&vt, &vreader);
+        });
+        append_bench_json_line(&format!(
+            "{{\"bench\":\"vector_scan/q6_improvement/backend={bname}\",\
+             \"scalar_ns\":{},\"vector_ns\":{},\"improvement\":{:.3},\
+             \"vector_blocks\":{},\"dense_blocks\":{},\"sel_reorders\":{},\
+             \"blocks_skipped\":{},\"host_cpus\":{}}}",
+            scalar_ns,
+            vector_ns,
+            scalar_ns as f64 / vector_ns as f64,
+            v_stats.vector_blocks,
+            v_stats.dense_blocks,
+            v_stats.sel_reorders,
+            v_stats.blocks_skipped,
+            host_cpus()
+        ));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vector_scan);
+criterion_main!(benches);

@@ -88,6 +88,12 @@ pub struct DbConfig {
     /// simulated backend. `OsStats::huge_page_advices` counts the hints
     /// actually issued.
     pub os_huge_pages: bool,
+    /// Run scan predicates through the pre-vectorized row-at-a-time
+    /// dispatch instead of the selection-vector kernels — the ablation
+    /// baseline ([`crate::ScanStats::vector_blocks`] and friends stay
+    /// zero; results are property-tested bit-identical either way).
+    /// Defaults to the `ANKER_SCALAR_SCAN=1` environment variable.
+    pub scalar_scan: bool,
     /// Simulated kernel parameters (page size, cost model, memory bound).
     /// Only consulted by the [`BackendKind::Sim`] backend; the OS backend
     /// uses the hardware page size.
@@ -124,6 +130,9 @@ impl Default for DbConfig {
             recycle_snapshot_areas: false,
             eager_materialization: false,
             os_huge_pages: std::env::var("ANKER_HUGE_PAGES")
+                .map(|v| v == "1")
+                .unwrap_or(false),
+            scalar_scan: std::env::var("ANKER_SCALAR_SCAN")
                 .map(|v| v == "1")
                 .unwrap_or(false),
             kernel: KernelConfig::default(),
@@ -185,6 +194,12 @@ impl DbConfig {
     /// Builder-style override of the OS-backend huge-pages hint.
     pub fn with_os_huge_pages(mut self, on: bool) -> DbConfig {
         self.os_huge_pages = on;
+        self
+    }
+
+    /// Builder-style override of the scalar-scan ablation flag.
+    pub fn with_scalar_scan(mut self, on: bool) -> DbConfig {
+        self.scalar_scan = on;
         self
     }
 

@@ -61,6 +61,7 @@ pub mod config;
 pub mod db;
 pub mod durability;
 pub mod error;
+pub(crate) mod kernels;
 pub mod reader;
 pub mod scan;
 pub mod snapman;
@@ -78,6 +79,6 @@ pub use txn::{RepairConflict, Txn, TxnKind};
 
 // Re-export the pieces users need to talk to the API.
 pub use anker_dura::{DurabilityLevel, WalStatsSnapshot};
-pub use anker_mvcc::{IsolationLevel, ScanStats};
+pub use anker_mvcc::{FilterSel, IsolationLevel, ScanStats, TRACKED_FILTERS};
 pub use anker_storage::{ColumnDef, ColumnId, Dictionary, LogicalType, Schema, Value};
 pub use anker_vmem::OsStatsSnapshot;

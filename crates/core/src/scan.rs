@@ -5,7 +5,7 @@
 //! precision-lock registration on the serializable path.
 //!
 //! The paper's headline fast path is the tight, version-check-free snapshot
-//! scan (§2.2, §5.5). The builders keep that loop structure and add three
+//! scan (§2.2, §5.5). The builders keep that loop structure and add four
 //! things on top:
 //!
 //! * **Predicate pushdown.** Typed filters ([`ScanBuilder::range_i64`],
@@ -16,11 +16,24 @@
 //!   areas) let whole blocks skip when no filter can match
 //!   (`ScanStats::blocks_skipped`); projection columns are only read for
 //!   blocks with at least one surviving row.
+//! * **Vectorized kernels.** Filters run column-at-a-time through the
+//!   selection-vector kernels of [`crate::kernels`]: the first conjunct of
+//!   a block produces a `u32` selection vector, later conjuncts refine it
+//!   touching only surviving lanes, zone-map-proven *all-match* blocks
+//!   skip materialisation entirely (`ScanStats::dense_blocks`), and the
+//!   count terminals popcount selections without reading projection
+//!   columns (`ScanStats::proj_blocks` stays 0). Conjunct order adapts
+//!   per work range, cheapest-and-most-selective-first, re-decided only
+//!   at block boundaries from completed-block statistics — deterministic
+//!   for every thread count. `ANKER_SCALAR_SCAN=1` (or
+//!   [`crate::DbConfig::scalar_scan`]) restores the row-at-a-time
+//!   dispatch for ablations.
 //! * **Automatic precision locking.** Every filter is converted into the
 //!   equivalent [`Pred`] for serializable updaters (§2.1), and projected
 //!   columns without a filter are logged as full-column reads — the
 //!   serializability footgun of forgetting a manual `log_range` call no
-//!   longer exists.
+//!   longer exists. Registration happens before execution, in declaration
+//!   order, regardless of the adaptive evaluation order.
 //! * **Morsel parallelism.** A detached reader's scan fans out over
 //!   1024-row-aligned morsel ranges on the database's reusable worker pool
 //!   ([`ReaderScanBuilder::parallel`]) or splits into caller-driven
@@ -35,12 +48,13 @@
 //! block-aligned row ranges.
 
 use crate::error::Result;
+use crate::kernels::{AdaptiveOrder, Filter, FilterKind, SelVec};
 use crate::reader::SnapshotReader;
 use crate::snapman::SnapCol;
 use crate::table::{TableId, TableState};
 use crate::txn::Txn;
-use anker_mvcc::{Pred, ScanStats, Transaction, BLOCK_ROWS};
-use anker_storage::{rank, ColumnId, LogicalType, Value, ZoneMap};
+use anker_mvcc::{Pred, ScanStats, BLOCK_ROWS};
+use anker_storage::{ColumnId, LogicalType, Value, ZoneMap};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
@@ -55,113 +69,11 @@ pub(crate) const MORSEL_BLOCKS: u32 = 16;
 /// Blocks per morsel for a table of `blocks` 1024-row blocks: aim for at
 /// least [`MORSEL_BLOCKS`] morsels, capped at [`MORSEL_BLOCKS`] blocks
 /// each. Depends **only** on table size — never on the thread count — so
-/// morsel boundaries (and therefore fold groupings and merged results,
-/// even for non-associative `f64` accumulation) are identical for every
-/// fan-out.
+/// morsel boundaries (and therefore fold groupings, adaptive-ordering
+/// reset points, and merged results, even for non-associative `f64`
+/// accumulation) are identical for every fan-out.
 fn morsel_blocks(blocks: u32) -> u32 {
     blocks.div_ceil(MORSEL_BLOCKS).clamp(1, MORSEL_BLOCKS)
-}
-
-/// One compiled per-column filter.
-#[derive(Debug, Clone)]
-enum FilterKind {
-    /// `lo <= value <= hi` on the decoded `i64` of an Int or Date column.
-    /// Compared exactly — no `f64` rank — so values beyond the 53-bit
-    /// mantissa filter correctly.
-    RangeI { lo: i64, hi: i64 },
-    /// `lo <= rank(value)` and `rank(value) <= hi` (or `< hi` when
-    /// `hi_exclusive`) on a Double column.
-    Range {
-        lo: f64,
-        hi: f64,
-        hi_exclusive: bool,
-    },
-    /// Dictionary code equality.
-    DictEq(u32),
-    /// Dictionary code set membership.
-    InSet(Vec<u32>),
-}
-
-#[derive(Debug, Clone)]
-struct Filter {
-    col: ColumnId,
-    ty: LogicalType,
-    kind: FilterKind,
-}
-
-impl Filter {
-    #[inline]
-    fn matches(&self, word: u64) -> bool {
-        match &self.kind {
-            FilterKind::RangeI { lo, hi } => {
-                let v = word as i64;
-                v >= *lo && v <= *hi
-            }
-            FilterKind::Range {
-                lo,
-                hi,
-                hi_exclusive,
-            } => {
-                let r = rank(word, self.ty);
-                r >= *lo && if *hi_exclusive { r < *hi } else { r <= *hi }
-            }
-            FilterKind::DictEq(code) => word as u32 == *code,
-            FilterKind::InSet(codes) => codes.contains(&(word as u32)),
-        }
-    }
-
-    /// Can any value in a block with rank range `[min, max]` match?
-    ///
-    /// Zone maps store `f64` ranks, so integer bounds compare through
-    /// their rounded images here. That stays conservative: rounding is
-    /// monotone, so `max_rank < round(lo)` implies every value in the
-    /// block is exactly `< lo` (and symmetrically for the upper bound) —
-    /// a block is only pruned when no value can match exactly.
-    fn block_can_match(&self, min: f64, max: f64) -> bool {
-        match &self.kind {
-            FilterKind::RangeI { lo, hi } => max >= *lo as f64 && min <= *hi as f64,
-            FilterKind::Range {
-                lo,
-                hi,
-                hi_exclusive,
-            } => max >= *lo && if *hi_exclusive { min < *hi } else { min <= *hi },
-            FilterKind::DictEq(code) => {
-                let c = *code as f64;
-                c >= min && c <= max
-            }
-            FilterKind::InSet(codes) => codes.iter().any(|&c| {
-                let c = c as f64;
-                c >= min && c <= max
-            }),
-        }
-    }
-
-    /// Register the precision locks equivalent to this filter. Bounds are
-    /// only ever widened — exclusive bounds become inclusive, and integer
-    /// bounds beyond the 53-bit mantissa are padded by one ULP against
-    /// `f64` rounding — strictly conservative, never under-locking.
-    fn log_preds(&self, col: anker_mvcc::ColRef, txn: &mut Transaction) {
-        match &self.kind {
-            FilterKind::RangeI { lo, hi } => txn.log_predicate(Pred::Range {
-                col,
-                ty: self.ty,
-                lo: (*lo as f64).next_down(),
-                hi: (*hi as f64).next_up(),
-            }),
-            FilterKind::Range { lo, hi, .. } => txn.log_predicate(Pred::Range {
-                col,
-                ty: self.ty,
-                lo: *lo,
-                hi: *hi,
-            }),
-            FilterKind::DictEq(code) => txn.log_predicate(Pred::DictEq { col, code: *code }),
-            FilterKind::InSet(codes) => {
-                for &code in codes {
-                    txn.log_predicate(Pred::DictEq { col, code });
-                }
-            }
-        }
-    }
 }
 
 /// What to scan: the compiled filters and the projection, independent of
@@ -172,6 +84,10 @@ impl Filter {
 struct ScanSpec {
     filters: Vec<Filter>,
     projection: Vec<ColumnId>,
+    /// Run the pre-vectorized row-at-a-time baseline instead of the
+    /// selection-vector kernels (`ANKER_SCALAR_SCAN=1` /
+    /// [`crate::DbConfig::scalar_scan`]).
+    scalar: bool,
 }
 
 impl ScanSpec {
@@ -262,10 +178,14 @@ pub struct ScanBuilder<'t> {
 
 impl<'t> ScanBuilder<'t> {
     pub(crate) fn new(txn: &'t mut Txn, table: TableId) -> ScanBuilder<'t> {
+        let scalar = txn.db.config().scalar_scan;
         ScanBuilder {
             txn,
             table,
-            spec: ScanSpec::default(),
+            spec: ScanSpec {
+                scalar,
+                ..ScanSpec::default()
+            },
         }
     }
 
@@ -324,7 +244,8 @@ impl<'t> ScanBuilder<'t> {
     /// of the projection for every row that passes all filters — the
     /// escape hatch for hot aggregation loops that decode inline.
     pub fn for_each(self, mut f: impl FnMut(u32, &[u64])) -> Result<ScanStats> {
-        self.run(&mut f)
+        let (_, stats) = self.execute(Some(&mut f))?;
+        Ok(stats)
     }
 
     /// Run the scan, calling `f(row, values)` with the decoded
@@ -339,7 +260,7 @@ impl<'t> ScanBuilder<'t> {
                 .collect()
         };
         let mut vals: Vec<Value> = Vec::with_capacity(tys.len());
-        self.run(&mut |row, words| {
+        self.for_each(move |row, words| {
             vals.clear();
             vals.extend(words.iter().zip(&tys).map(|(&w, &ty)| Value::decode(w, ty)));
             f(row, &vals);
@@ -362,17 +283,19 @@ impl<'t> ScanBuilder<'t> {
     }
 
     /// Run the scan and count the rows passing all filters. The projection
-    /// is ignored (no value columns are read).
+    /// is ignored (no value columns are read): counting popcounts the
+    /// selection vectors, so neither projection blocks nor per-row
+    /// callbacks are touched ([`ScanStats::proj_blocks`] stays 0).
     pub fn count(mut self) -> Result<(u64, ScanStats)> {
         self.spec.projection.clear();
-        let mut n = 0u64;
-        let stats = self.run(&mut |_, _| n += 1)?;
-        Ok((n, stats))
+        self.execute(None)
     }
 
     /// Execute: log precision locks, then drive the snapshot or the
-    /// versioned block loop.
-    fn run(self, sink: &mut dyn FnMut(u32, &[u64])) -> Result<ScanStats> {
+    /// versioned block loop. `sink` is `Some` for row-delivering
+    /// terminals and `None` for the fused count path; the returned count
+    /// is only meaningful in the latter case.
+    fn execute(self, sink: Option<&mut dyn FnMut(u32, &[u64])>) -> Result<(u64, ScanStats)> {
         let ScanBuilder { txn, table, spec } = self;
         if txn.serializable_updater() {
             for flt in &spec.filters {
@@ -393,14 +316,14 @@ impl<'t> ScanBuilder<'t> {
             threads: 1,
             ..ScanStats::default()
         };
-        if txn.epoch.is_some() {
-            Self::run_snapshot(txn, table, spec, sink, &mut stats)?;
+        let count = if txn.epoch.is_some() {
+            Self::run_snapshot(txn, table, spec, sink, &mut stats)?
         } else {
-            Self::run_versioned(txn, table, &spec, sink, &mut stats)?;
-        }
+            Self::run_versioned(txn, table, &spec, sink, &mut stats)?
+        };
         stats.morsels += 1;
         txn.scan_stats.merge(&stats);
-        Ok(stats)
+        Ok((count, stats))
     }
 
     /// Heterogeneous OLAP: the in-transaction sequential variant of the
@@ -411,27 +334,36 @@ impl<'t> ScanBuilder<'t> {
         txn: &mut Txn,
         table: TableId,
         spec: ScanSpec,
-        sink: &mut dyn FnMut(u32, &[u64]),
+        sink: Option<&mut dyn FnMut(u32, &[u64])>,
         stats: &mut ScanStats,
-    ) -> Result<()> {
+    ) -> Result<u64> {
         let rows = txn.db.rows(table);
         let core = FrozenScanCore::build(rows, spec, None, &mut |c| txn.snapshot_col(table, c))?;
         let mut cursor = FrozenCursor::new(&core);
-        cursor.run_range(0, rows, sink, stats)
+        match sink {
+            Some(sink) => {
+                cursor.run_range(0, rows, sink, stats)?;
+                Ok(0)
+            }
+            None => cursor.count_range(0, rows, stats),
+        }
     }
 
     /// Versioned scan at the transaction's start timestamp with the
     /// 1024-row block-skip optimisation (§5.5). Live data carries no zone
     /// maps (in-place installs would invalidate them), but filters still
-    /// run inside the block loop and projection columns are only gathered
-    /// for blocks with surviving rows.
+    /// run through the selection-vector kernels over the gathered blocks,
+    /// filter columns are gathered lazily in adaptive order (a conjunct
+    /// that empties the selection saves the remaining gathers), and
+    /// projection columns are only gathered for blocks with surviving
+    /// rows.
     fn run_versioned(
         txn: &mut Txn,
         table: TableId,
         spec: &ScanSpec,
-        sink: &mut dyn FnMut(u32, &[u64]),
+        mut sink: Option<&mut dyn FnMut(u32, &[u64])>,
         stats: &mut ScanStats,
-    ) -> Result<()> {
+    ) -> Result<u64> {
         let filters = &spec.filters;
         let projection = &spec.projection;
         let rows = txn.db.rows(table);
@@ -445,46 +377,74 @@ impl<'t> ScanBuilder<'t> {
         // mutate it); every block goes through the versioned gather.
         let no_fslices: Vec<Option<&[u64]>> = vec![None; filters.len()];
         let no_pslices: Vec<Option<&[u64]>> = vec![None; projection.len()];
-        let mut fbufs: Vec<Vec<u64>> = filters
-            .iter()
-            .map(|_| vec![0u64; BLOCK_ROWS as usize])
-            .collect();
-        let mut em = BlockEmitter::new(filters, projection, &vec![false; projection.len()]);
+        // No zone maps on live data: no block is provably all-match.
+        let no_all_match = vec![false; filters.len()];
+        let counting = sink.is_none();
+        let mut em = BlockEmitter::new(
+            filters,
+            projection,
+            &vec![false; filters.len()],
+            &vec![false; projection.len()],
+            spec.scalar,
+        );
+        em.begin_range();
+        let mut count = 0u64;
         let mut start = 0u32;
         while start < rows {
             let n = BLOCK_ROWS.min(rows - start);
-            for ((cs, area), buf) in filter_states
-                .iter()
-                .zip(&filter_areas)
-                .zip(fbufs.iter_mut())
-            {
-                cs.versioned
-                    .gather_visible_block(area, start_ts, start, n, buf, stats)?;
-            }
-            em.filter_and_emit(
+            em.filter_block(
                 filters,
                 &no_fslices,
-                &fbufs,
-                &no_pslices,
+                &no_all_match,
                 start,
                 n,
                 stats,
-                &mut |pi, buf, stats| {
-                    proj_states[pi].versioned.gather_visible_block(
-                        &proj_areas[pi],
+                &mut |fi, buf, stats| {
+                    Ok(filter_states[fi].versioned.gather_visible_block(
+                        &filter_areas[fi],
                         start_ts,
                         start,
                         n,
                         buf,
                         stats,
-                    )?;
-                    Ok(())
+                    )?)
                 },
-                sink,
+                counting,
             )?;
+            match sink.as_deref_mut() {
+                Some(sink) => em.emit(
+                    &no_fslices,
+                    &no_pslices,
+                    start,
+                    n,
+                    stats,
+                    &mut |fi, buf, stats| {
+                        Ok(filter_states[fi].versioned.gather_visible_block(
+                            &filter_areas[fi],
+                            start_ts,
+                            start,
+                            n,
+                            buf,
+                            stats,
+                        )?)
+                    },
+                    &mut |pi, buf, stats| {
+                        Ok(proj_states[pi].versioned.gather_visible_block(
+                            &proj_areas[pi],
+                            start_ts,
+                            start,
+                            n,
+                            buf,
+                            stats,
+                        )?)
+                    },
+                    sink,
+                )?,
+                None => count += em.selected() as u64,
+            }
             start += n;
         }
-        Ok(())
+        Ok(count)
     }
 }
 
@@ -569,14 +529,16 @@ impl FrozenScanCore {
 }
 
 /// Per-worker scan state over a shared [`FrozenScanCore`]: the zero-copy
-/// column slices (where the backend exposes them), gather buffers, and the
-/// block emitter. Creating a cursor is cheap relative to a morsel; each
-/// parallel worker owns one and reuses it across all morsels it pulls.
+/// column slices (where the backend exposes them), the block emitter with
+/// its selection vector and gather buffers, and the per-block all-match
+/// flags. Creating a cursor is cheap relative to a morsel; each parallel
+/// worker owns one and reuses it across all morsels it pulls.
 pub(crate) struct FrozenCursor<'c> {
     core: &'c FrozenScanCore,
     f_slices: Vec<Option<&'c [u64]>>,
     p_slices: Vec<Option<&'c [u64]>>,
-    fbufs: Vec<Vec<u64>>,
+    /// Per-filter zone-map all-match flags of the current block, reused.
+    all_match: Vec<bool>,
     em: BlockEmitter,
 }
 
@@ -600,26 +562,47 @@ impl<'c> FrozenCursor<'c> {
             .iter()
             .map(|sc| unsafe { sc.area().as_slice() })
             .collect();
-        let fbufs: Vec<Vec<u64>> = core
-            .spec
-            .filters
-            .iter()
-            .map(|_| vec![0u64; BLOCK_ROWS as usize])
-            .collect();
+        let f_sliced: Vec<bool> = f_slices.iter().map(Option::is_some).collect();
         let proj_sliced: Vec<bool> = p_slices.iter().map(Option::is_some).collect();
-        let em = BlockEmitter::new(&core.spec.filters, &core.spec.projection, &proj_sliced);
+        let em = BlockEmitter::new(
+            &core.spec.filters,
+            &core.spec.projection,
+            &f_sliced,
+            &proj_sliced,
+            core.spec.scalar,
+        );
         FrozenCursor {
             core,
             f_slices,
             p_slices,
-            fbufs,
+            all_match: vec![false; core.spec.filters.len()],
             em,
         }
     }
 
+    /// Zone-map verdict for `block_idx`: `false` when the block is pruned
+    /// (some filter cannot match), otherwise `true` with
+    /// `self.all_match[fi]` set for every filter the zone map proves
+    /// all-matching (vector path only — the scalar baseline evaluates
+    /// every conjunct like the pre-vectorized code did).
+    fn classify_block(&mut self, block_idx: usize) -> bool {
+        let filters = &self.core.spec.filters;
+        let scalar = self.core.spec.scalar;
+        for (fi, (zm, flt)) in self.core.zone_maps.iter().zip(filters).enumerate() {
+            let (lo, hi) = zm.block_range(block_idx);
+            if !flt.block_can_match(lo, hi) {
+                return false;
+            }
+            self.all_match[fi] = !scalar && flt.block_all_match(lo, hi);
+        }
+        true
+    }
+
     /// Scan rows `[start, end)` — `start` must be 1024-row (block)
     /// aligned — applying zone-map pruning per block and emitting
-    /// surviving rows into `sink`. Counters accumulate into `stats`.
+    /// surviving rows into `sink`. Counters accumulate into `stats`. The
+    /// adaptive conjunct order resets here: one range = one deterministic
+    /// adaptation domain (see [`crate::kernels::AdaptiveOrder`]).
     pub(crate) fn run_range(
         &mut self,
         start: u32,
@@ -636,53 +619,117 @@ impl<'c> FrozenCursor<'c> {
             start.is_multiple_of(BLOCK_ROWS),
             "morsels are block-aligned"
         );
-        let FrozenCursor {
-            core,
-            f_slices,
-            p_slices,
-            fbufs,
-            em,
-        } = self;
-        let filters = &core.spec.filters;
-        let end = end.min(core.rows);
+        self.em.begin_range();
+        let end = end.min(self.core.rows);
         let mut start = start;
         while start < end {
             let n = BLOCK_ROWS.min(end - start);
             let block_idx = (start / BLOCK_ROWS) as usize;
-            let prunable = !core.zone_maps.iter().zip(filters).all(|(zm, flt)| {
-                let (lo, hi) = zm.block_range(block_idx);
-                flt.block_can_match(lo, hi)
-            });
-            if prunable {
+            if !self.classify_block(block_idx) {
                 stats.blocks_skipped += 1;
                 start += n;
                 continue;
             }
-            for ((sc, slice), buf) in core
-                .filter_snaps
-                .iter()
-                .zip(&*f_slices)
-                .zip(fbufs.iter_mut())
-            {
-                if slice.is_none() {
-                    sc.area().read_block_into(start, n, buf)?;
-                }
-            }
             stats.tight_rows += n as u64;
-            em.filter_and_emit(
+            let FrozenCursor {
+                core,
+                f_slices,
+                p_slices,
+                all_match,
+                em,
+            } = self;
+            let filters = &core.spec.filters;
+            em.filter_block(
                 filters,
                 f_slices,
-                fbufs,
+                all_match,
+                start,
+                n,
+                stats,
+                &mut |fi, buf, _| {
+                    Ok(core.filter_snaps[fi]
+                        .area()
+                        .read_block_into(start, n, buf)?)
+                },
+                false,
+            )?;
+            em.emit(
+                f_slices,
                 p_slices,
                 start,
                 n,
                 stats,
+                &mut |fi, buf, _| {
+                    Ok(core.filter_snaps[fi]
+                        .area()
+                        .read_block_into(start, n, buf)?)
+                },
                 &mut |pi, buf, _| Ok(core.proj_snaps[pi].area().read_block_into(start, n, buf)?),
                 sink,
             )?;
             start += n;
         }
         Ok(())
+    }
+
+    /// Count the passing rows of `[start, end)` without delivering them:
+    /// the fused count path. Selections are popcounted — never gathered
+    /// into projection buffers — all-match blocks contribute their row
+    /// count without reading any column data, and the final conjunct of a
+    /// block runs as a pure popcount kernel with no index
+    /// materialisation.
+    pub(crate) fn count_range(
+        &mut self,
+        start: u32,
+        end: u32,
+        stats: &mut ScanStats,
+    ) -> Result<u64> {
+        if start >= end {
+            return Ok(0);
+        }
+        debug_assert!(
+            start.is_multiple_of(BLOCK_ROWS),
+            "morsels are block-aligned"
+        );
+        self.em.begin_range();
+        let end = end.min(self.core.rows);
+        let mut count = 0u64;
+        let mut start = start;
+        while start < end {
+            let n = BLOCK_ROWS.min(end - start);
+            let block_idx = (start / BLOCK_ROWS) as usize;
+            if !self.classify_block(block_idx) {
+                stats.blocks_skipped += 1;
+                start += n;
+                continue;
+            }
+            stats.tight_rows += n as u64;
+            let FrozenCursor {
+                core,
+                f_slices,
+                all_match,
+                em,
+                ..
+            } = self;
+            let filters = &core.spec.filters;
+            em.filter_block(
+                filters,
+                f_slices,
+                all_match,
+                start,
+                n,
+                stats,
+                &mut |fi, buf, _| {
+                    Ok(core.filter_snaps[fi]
+                        .area()
+                        .read_block_into(start, n, buf)?)
+                },
+                true,
+            )?;
+            count += em.selected() as u64;
+            start += n;
+        }
+        Ok(count)
     }
 }
 
@@ -713,10 +760,14 @@ pub struct ReaderScanBuilder<'r> {
 
 impl<'r> ReaderScanBuilder<'r> {
     pub(crate) fn new(reader: &'r SnapshotReader, table: TableId) -> ReaderScanBuilder<'r> {
+        let scalar = reader.db().config().scalar_scan;
         ReaderScanBuilder {
             reader,
             table,
-            spec: ScanSpec::default(),
+            spec: ScanSpec {
+                scalar,
+                ..ScanSpec::default()
+            },
             threads: 1,
         }
     }
@@ -788,14 +839,19 @@ impl<'r> ReaderScanBuilder<'r> {
     }
 
     /// Run the scan and count the rows passing all filters. The
-    /// projection is ignored (no value columns are read).
+    /// projection is ignored (no value columns are read): each morsel
+    /// popcounts its selection vectors through
+    /// [`FrozenCursor::count_range`] — no per-row callback, no
+    /// projection buffers ([`ScanStats::proj_blocks`] stays 0) — and the
+    /// per-morsel counts sum in morsel order.
     pub fn count(mut self) -> Result<(u64, ScanStats)> {
         self.spec.projection.clear();
         let threads = self.threads;
         let core = self.build_core()?;
-        let (counts, stats) = run_morsels(self.reader, &core, threads, &|| 0u64, &|acc, _, _| {
-            *acc += 1
-        })?;
+        let (counts, stats) =
+            run_morsels(self.reader, &core, threads, &|cursor, start, end, st| {
+                cursor.count_range(start, end, st)
+            })?;
         Ok((counts.into_iter().sum(), stats))
     }
 
@@ -810,8 +866,8 @@ impl<'r> ReaderScanBuilder<'r> {
     pub fn for_each(mut self, f: impl Fn(u32, &[u64]) + Sync) -> Result<ScanStats> {
         let threads = self.threads;
         let core = self.build_core()?;
-        let (_, stats) = run_morsels(self.reader, &core, threads, &|| (), &|(), row, words| {
-            f(row, words)
+        let (_, stats) = run_morsels(self.reader, &core, threads, &|cursor, start, end, st| {
+            cursor.run_range(start, end, &mut |row, words| f(row, words), st)
         })?;
         Ok(stats)
     }
@@ -837,25 +893,28 @@ impl<'r> ReaderScanBuilder<'r> {
         };
         let threads = self.threads;
         let core = self.build_core()?;
-        // The decode buffer rides inside the accumulator so each morsel
-        // (and thus each worker) reuses one allocation across its rows.
-        let (accs, stats) = run_morsels(
-            self.reader,
-            &core,
-            threads,
-            &|| (Some(init.clone()), Vec::with_capacity(tys.len())),
-            &|(acc, vals): &mut (Option<A>, Vec<Value>), row, words| {
-                vals.clear();
-                vals.extend(words.iter().zip(&tys).map(|(&w, &ty)| Value::decode(w, ty)));
-                let a = acc.take().expect("accumulator present");
-                *acc = Some(f(a, row, vals));
-            },
-        )?;
+        let init = &init;
+        let (accs, stats) = run_morsels(self.reader, &core, threads, &|cursor, start, end, st| {
+            let mut acc = Some(init.clone());
+            // One decode buffer per morsel, reused across its rows.
+            let mut vals: Vec<Value> = Vec::with_capacity(tys.len());
+            cursor.run_range(
+                start,
+                end,
+                &mut |row, words| {
+                    vals.clear();
+                    vals.extend(words.iter().zip(&tys).map(|(&w, &ty)| Value::decode(w, ty)));
+                    let a = acc.take().expect("accumulator present");
+                    acc = Some(f(a, row, &vals));
+                },
+                st,
+            )?;
+            Ok(acc.expect("accumulator present"))
+        })?;
         let folded = accs
             .into_iter()
-            .map(|(a, _)| a.expect("accumulator present"))
             .reduce(merge)
-            .unwrap_or(init);
+            .unwrap_or_else(|| init.clone());
         Ok((folded, stats))
     }
 
@@ -866,10 +925,9 @@ impl<'r> ReaderScanBuilder<'r> {
     /// union of the partitions is the whole table, disjointly.
     ///
     /// The partitions share one compiled scan, so — unlike the builder's
-    /// own [`count`](ReaderScanBuilder::count) — [`ScanPartition::count`]
-    /// does read any projected columns: omit
-    /// [`project`](ReaderScanBuilder::project) when the partitions will
-    /// only count.
+    /// own [`count`](ReaderScanBuilder::count) — a partition holding a
+    /// projection keeps it; omit [`project`](ReaderScanBuilder::project)
+    /// when the partitions will only count.
     pub fn into_partitions(mut self, n: usize) -> Result<Vec<ScanPartition>> {
         let threads = n.max(1) as u32;
         let core = Arc::new(self.build_core()?);
@@ -899,6 +957,10 @@ impl<'r> ReaderScanBuilder<'r> {
 /// sequentially on whatever thread the caller gives it. Produced by
 /// [`ReaderScanBuilder::into_partitions`] for executors that manage their
 /// own threads instead of using the built-in pool.
+///
+/// Each partition is its own adaptive-ordering domain (the conjunct
+/// order resets at its start), so a partition's results and counters
+/// depend only on its row range and the table content.
 pub struct ScanPartition {
     // The core owns the epoch pin, so the partition keeps the epoch
     // pinned transitively for as long as it lives.
@@ -934,10 +996,17 @@ impl ScanPartition {
         Ok(stats)
     }
 
-    /// Count the partition's passing rows.
+    /// Count the partition's passing rows through the fused
+    /// selection-vector popcount path (no projection reads, no per-row
+    /// callback).
     pub fn count(&self) -> Result<(u64, ScanStats)> {
-        let mut n = 0u64;
-        let stats = self.for_each(|_, _| n += 1)?;
+        let mut stats = ScanStats {
+            threads: 1,
+            morsels: 1,
+            ..ScanStats::default()
+        };
+        let mut cursor = FrozenCursor::new(&self.core);
+        let n = cursor.count_range(self.start, self.end, &mut stats)?;
         Ok((n, stats))
     }
 }
@@ -945,14 +1014,15 @@ impl ScanPartition {
 /// The morsel-parallel driver: split `core`'s rows into
 /// [`MORSEL_BLOCKS`]-sized, block-aligned morsels, let `threads` workers
 /// (the caller plus pool workers) pull them dynamically, and return the
-/// per-morsel accumulators **in morsel order** together with the merged
-/// stats. `threads == 1` runs entirely inline.
+/// per-morsel results **in morsel order** together with the merged
+/// stats. Each morsel runs through `run` on the pulling worker's cursor
+/// (`run_range` for row terminals, `count_range` for the fused count);
+/// `threads == 1` runs entirely inline.
 fn run_morsels<A: Send>(
     reader: &SnapshotReader,
     core: &FrozenScanCore,
     threads: usize,
-    init: &(dyn Fn() -> A + Sync),
-    row: &(dyn Fn(&mut A, u32, &[u64]) + Sync),
+    run: &(dyn Fn(&mut FrozenCursor, u32, u32, &mut ScanStats) -> Result<A> + Sync),
 ) -> Result<(Vec<A>, ScanStats)> {
     let rows = core.rows();
     let morsel_rows = morsel_blocks(rows.div_ceil(BLOCK_ROWS)) * BLOCK_ROWS;
@@ -981,13 +1051,12 @@ fn run_morsels<A: Send>(
             }
             let start = m as u32 * morsel_rows;
             let end = (start + morsel_rows).min(rows);
-            let mut acc = init();
             let mut stats = ScanStats {
                 morsels: 1,
                 ..ScanStats::default()
             };
-            match cursor.run_range(start, end, &mut |r, w| row(&mut acc, r, w), &mut stats) {
-                Ok(()) => *slots[m].lock() = Some((acc, stats)),
+            match run(&mut cursor, start, end, &mut stats) {
+                Ok(acc) => *slots[m].lock() = Some((acc, stats)),
                 Err(e) => {
                     error.lock().get_or_insert(e);
                     // ORDERING: Release — the recorded error above must be
@@ -1020,29 +1089,93 @@ fn run_morsels<A: Send>(
     Ok((accs, stats))
 }
 
-/// Per-block machinery shared by both scan paths: evaluate the filters over
-/// the gathered filter-column blocks, account for removed rows, and — when
-/// any row survives — emit the surviving rows into the sink. Projection
-/// words come, in order of preference, from a filter's block (column read
-/// once), from a whole-column slice (`pslices`, the OS backend's zero-copy
-/// path), or from a buffer filled through `read_proj`.
+/// Reads filter/projection column `idx`'s current block into `buf`
+/// (versioned gather or frozen-area staging, depending on the scan path).
+type ReadCol<'a> = &'a mut dyn FnMut(usize, &mut [u64], &mut ScanStats) -> Result<()>;
+
+/// Per-block machinery shared by both scan paths: evaluate the filters
+/// column-at-a-time over the block (selection-vector kernels, or the
+/// scalar row-at-a-time baseline under `ANKER_SCALAR_SCAN=1`), then —
+/// when any row survives and the terminal wants rows — emit the
+/// surviving rows into the sink.
+///
+/// Filter columns are gathered **lazily in evaluation order** (a conjunct
+/// that empties the selection, or a zone-map all-match verdict, saves the
+/// gathers behind it); whole-column slices (`f_slices`/`pslices`, the OS
+/// backend's zero-copy path) need no gathering at all. Projection words
+/// come, in order of preference, from a filter's block (column read
+/// once), from a whole-column slice, or from a buffer filled through
+/// `read_proj` (counted in [`ScanStats::proj_blocks`]).
 struct BlockEmitter {
+    /// Row-at-a-time ablation baseline instead of the kernels.
+    scalar: bool,
     /// For each projection column, the index of the filter whose block
     /// already holds it (read each block once).
     proj_from_filter: Vec<Option<usize>>,
+    /// Per-filter gather buffers (empty placeholders for slice-served
+    /// filters) and the current block's filled flags.
+    fbufs: Vec<Vec<u64>>,
+    f_filled: Vec<bool>,
     pbufs: Vec<Vec<u64>>,
-    matched: Vec<u32>,
+    sel: SelVec,
+    /// Evaluation-order scratch (copied from `order` per block so the
+    /// order can update while iterating).
+    eval_order: Vec<u32>,
+    order: AdaptiveOrder,
     vals: Vec<u64>,
 }
 
+/// Resolve filter `fi`'s words for the current block: the whole-column
+/// slice when the backend exposes one, else the gather buffer — filled
+/// through `read_filter` on first use within the block. Free function
+/// over the emitter's split-off fields so the filter loop can hold other
+/// borrows concurrently.
+fn filter_words<'b>(
+    fbufs: &'b mut [Vec<u64>],
+    f_filled: &mut [bool],
+    f_slices: &[Option<&'b [u64]>],
+    fi: usize,
+    start: u32,
+    n: u32,
+    stats: &mut ScanStats,
+    read_filter: ReadCol<'_>,
+) -> Result<&'b [u64]> {
+    match f_slices[fi] {
+        Some(s) => Ok(&s[start as usize..(start + n) as usize]),
+        None => {
+            if !f_filled[fi] {
+                read_filter(fi, &mut fbufs[fi], stats)?;
+                f_filled[fi] = true;
+            }
+            Ok(&fbufs[fi][..n as usize])
+        }
+    }
+}
+
 impl BlockEmitter {
-    /// `proj_sliced[pi]` marks projection columns a whole-column slice will
-    /// serve (no gather buffer needed).
-    fn new(filters: &[Filter], projection: &[ColumnId], proj_sliced: &[bool]) -> BlockEmitter {
+    /// `f_sliced[fi]` / `proj_sliced[pi]` mark columns a whole-column
+    /// slice will serve (no gather buffer needed).
+    fn new(
+        filters: &[Filter],
+        projection: &[ColumnId],
+        f_sliced: &[bool],
+        proj_sliced: &[bool],
+        scalar: bool,
+    ) -> BlockEmitter {
         let block = BLOCK_ROWS as usize;
         let proj_from_filter: Vec<Option<usize>> = projection
             .iter()
             .map(|&c| filters.iter().position(|flt| flt.col == c))
+            .collect();
+        let fbufs = f_sliced
+            .iter()
+            .map(|sliced| {
+                if *sliced {
+                    Vec::new()
+                } else {
+                    vec![0u64; block]
+                }
+            })
             .collect();
         // Columns served from a filter block or a whole-column slice get an
         // empty placeholder so `pbufs` stays indexable by projection
@@ -1056,72 +1189,214 @@ impl BlockEmitter {
             })
             .collect();
         BlockEmitter {
+            scalar,
             proj_from_filter,
+            fbufs,
+            f_filled: vec![false; filters.len()],
             pbufs,
-            matched: Vec::with_capacity(block),
+            sel: SelVec::new(BLOCK_ROWS),
+            eval_order: Vec::with_capacity(filters.len()),
+            order: AdaptiveOrder::new(filters),
             vals: vec![0u64; projection.len()],
         }
     }
 
-    /// Filter `fi`'s words for rows `[start, start + n)` come from its
-    /// whole-column slice (`f_slices[fi]`, OS backend) or its gather
-    /// buffer (`fbufs[fi]`); both are loop-invariant in the caller, so no
-    /// per-block collection is allocated. `pslices[pi]` is projection
-    /// column `pi`'s whole-column slice when one exists; otherwise
-    /// `read_proj(pi, buf, stats)` fetches its block.
+    /// Start a new work range: reset the adaptive conjunct order (the
+    /// determinism boundary — one morsel, partition, or sequential scan
+    /// per range).
+    fn begin_range(&mut self) {
+        self.order.begin_range();
+    }
+
+    /// Rows selected by the last [`BlockEmitter::filter_block`] — the
+    /// popcount the fused count terminals sum.
+    fn selected(&self) -> u32 {
+        self.sel.len()
+    }
+
+    /// Evaluate the block's filters into the selection vector. `start` is
+    /// the block's absolute first row (whole-column slices are indexed
+    /// from it); `all_match[fi]` carries the zone maps' all-match
+    /// verdicts (always false on the versioned path); `count_fuse` lets
+    /// the final remaining conjunct run as a pure popcount with no index
+    /// materialisation (count terminals only — the selection is not
+    /// enumerable afterwards).
     #[allow(clippy::too_many_arguments)]
-    fn filter_and_emit(
+    fn filter_block(
         &mut self,
         filters: &[Filter],
         f_slices: &[Option<&[u64]>],
-        fbufs: &[Vec<u64>],
+        all_match: &[bool],
+        start: u32,
+        n: u32,
+        stats: &mut ScanStats,
+        read_filter: ReadCol<'_>,
+        count_fuse: bool,
+    ) -> Result<()> {
+        let BlockEmitter {
+            scalar,
+            fbufs,
+            f_filled,
+            sel,
+            eval_order,
+            order,
+            ..
+        } = self;
+        sel.reset_dense(n);
+        f_filled.fill(false);
+        if *scalar {
+            // The pre-vectorized baseline: gather every filter column
+            // eagerly (as the old block loop did), then evaluate in
+            // declaration order through the branchy per-row dispatch.
+            for fi in 0..filters.len() {
+                filter_words(
+                    fbufs,
+                    f_filled,
+                    f_slices,
+                    fi,
+                    start,
+                    n,
+                    stats,
+                    &mut *read_filter,
+                )?;
+            }
+            for (fi, flt) in filters.iter().enumerate() {
+                let words = filter_words(
+                    fbufs,
+                    f_filled,
+                    f_slices,
+                    fi,
+                    start,
+                    n,
+                    stats,
+                    &mut *read_filter,
+                )?;
+                let rows_in = sel.len() as u64;
+                sel.retain_scalar(words, flt);
+                order.record(fi, rows_in, sel.len() as u64, stats);
+                if sel.is_empty() {
+                    break;
+                }
+            }
+            stats.rows_filtered += n as u64 - sel.len() as u64;
+            return Ok(());
+        }
+        eval_order.clear();
+        eval_order.extend_from_slice(order.order());
+        let todo = eval_order
+            .iter()
+            .filter(|&&fi| !all_match[fi as usize])
+            .count();
+        let mut done = 0usize;
+        for &fi in eval_order.iter() {
+            let fi = fi as usize;
+            if all_match[fi] {
+                // The zone map proved every row of this block passes:
+                // nothing to evaluate, nothing to read.
+                let len = sel.len() as u64;
+                order.record(fi, len, len, stats);
+                continue;
+            }
+            let words = filter_words(
+                fbufs,
+                f_filled,
+                f_slices,
+                fi,
+                start,
+                n,
+                stats,
+                &mut *read_filter,
+            )?;
+            let rows_in = sel.len() as u64;
+            done += 1;
+            if count_fuse && sel.is_dense() && done == todo {
+                filters[fi].count_kernel(words, sel);
+            } else {
+                filters[fi].apply_kernel(words, sel);
+            }
+            order.record(fi, rows_in, sel.len() as u64, stats);
+            if sel.is_empty() {
+                break;
+            }
+        }
+        if sel.is_dense() {
+            stats.dense_blocks += 1;
+        } else {
+            stats.vector_blocks += 1;
+        }
+        stats.rows_filtered += n as u64 - sel.len() as u64;
+        order.end_block(stats);
+        Ok(())
+    }
+
+    /// Emit the selected rows of the current block into `sink`.
+    /// Projection blocks (and filter blocks that double as projection
+    /// sources but were skipped by all-match or early exit) are fetched
+    /// here, only when at least one row survived.
+    #[allow(clippy::too_many_arguments)]
+    fn emit(
+        &mut self,
+        f_slices: &[Option<&[u64]>],
         pslices: &[Option<&[u64]>],
         start: u32,
         n: u32,
         stats: &mut ScanStats,
-        read_proj: &mut dyn FnMut(usize, &mut [u64], &mut ScanStats) -> Result<()>,
+        read_filter: ReadCol<'_>,
+        read_proj: ReadCol<'_>,
         sink: &mut dyn FnMut(u32, &[u64]),
     ) -> Result<()> {
+        if self.sel.is_empty() {
+            return Ok(());
+        }
+        let BlockEmitter {
+            proj_from_filter,
+            fbufs,
+            f_filled,
+            pbufs,
+            sel,
+            vals,
+            ..
+        } = self;
+        // Fetch what emission needs and evaluation did not: projection
+        // columns served by neither a filter block nor a whole-column
+        // slice, and filter blocks that serve a projection but were never
+        // gathered (zone-map all-match skip or early exit after them).
+        for (pi, src) in proj_from_filter.iter().enumerate() {
+            match src {
+                Some(fi) => {
+                    if f_slices[*fi].is_none() && !f_filled[*fi] {
+                        read_filter(*fi, &mut fbufs[*fi], stats)?;
+                        f_filled[*fi] = true;
+                    }
+                }
+                None => {
+                    if pslices[pi].is_none() {
+                        read_proj(pi, &mut pbufs[pi], stats)?;
+                        stats.proj_blocks += 1;
+                    }
+                }
+            }
+        }
         let fw = |fi: usize| -> &[u64] {
             match f_slices[fi] {
                 Some(s) => &s[start as usize..(start + n) as usize],
                 None => &fbufs[fi][..n as usize],
             }
         };
-        self.matched.clear();
-        self.matched.extend(0..n);
-        for (fi, flt) in filters.iter().enumerate() {
-            let words = fw(fi);
-            self.matched.retain(|&i| flt.matches(words[i as usize]));
-            if self.matched.is_empty() {
-                break;
-            }
-        }
-        stats.rows_filtered += n as u64 - self.matched.len() as u64;
-        if self.matched.is_empty() {
-            return Ok(());
-        }
-        // Only projection columns served by neither a filter block nor a
-        // whole-column slice are fetched.
-        for (pi, (buf, src)) in self
-            .pbufs
-            .iter_mut()
-            .zip(&self.proj_from_filter)
-            .enumerate()
-        {
-            if src.is_none() && pslices[pi].is_none() {
-                read_proj(pi, buf, stats)?;
-            }
-        }
-        for &i in &self.matched {
-            for (ci, src) in self.proj_from_filter.iter().enumerate() {
-                self.vals[ci] = match (src, pslices[ci]) {
+        let mut do_row = |i: u32| {
+            for (ci, src) in proj_from_filter.iter().enumerate() {
+                vals[ci] = match (src, pslices[ci]) {
                     (Some(fi), _) => fw(*fi)[i as usize],
                     (None, Some(s)) => s[(start + i) as usize],
-                    (None, None) => self.pbufs[ci][i as usize],
+                    (None, None) => pbufs[ci][i as usize],
                 };
             }
-            sink(start + i, &self.vals);
+            sink(start + i, vals);
+        };
+        match sel.as_indices() {
+            // Dense block: every row passes; walk 0..n directly.
+            None => (0..sel.len()).for_each(&mut do_row),
+            Some(ix) => ix.iter().for_each(|&i| do_row(i)),
         }
         Ok(())
     }

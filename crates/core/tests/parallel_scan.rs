@@ -422,6 +422,85 @@ fn huge_page_and_sequential_hints_surface_in_os_stats() {
     assert!(sim.os_stats().is_none());
 }
 
+/// Adaptive conjunct ordering is deterministic by construction: its
+/// state resets at every morsel start and morsel boundaries depend only
+/// on table size, so not just the fold result (a non-associative `f64`
+/// sum, compared bit-for-bit) but **every** kernel counter —
+/// vector/dense blocks, reorders, per-filter selectivities, projection
+/// reads — must be identical for every thread count.
+#[test]
+fn kernel_counters_identical_across_thread_counts() {
+    for backend in backends() {
+        let rows = 40_000u32;
+        let db = AnkerDb::new(hetero(backend));
+        let t = db.create_table(
+            "t",
+            Schema::new(vec![
+                ColumnDef::new("k", LogicalType::Int),
+                ColumnDef::new("x", LogicalType::Double),
+            ]),
+            rows,
+        );
+        let k = db.schema(t).col("k");
+        let x = db.schema(t).col("x");
+        db.fill_column(t, k, (0..rows).map(|i| Value::Int(i as i64 % 7).encode()))
+            .unwrap();
+        db.fill_column(
+            t,
+            x,
+            (0..rows).map(|i| Value::Double((i as f64).cos() * 50.0).encode()),
+        )
+        .unwrap();
+        let reader = db.snapshot_reader().unwrap();
+        // Declared wide-first (x < 45 passes ~90%, k == 0 passes ~14%) so
+        // the adaptive order has something to fix in every morsel.
+        let run = |n: usize| {
+            let (sum, fstats) = reader
+                .scan(t)
+                .lt_f64(x, 45.0)
+                .range_i64(k, 0, 0)
+                .project(&[x])
+                .parallel(n)
+                .fold(0.0f64, |a, _, vals| a + vals[0].as_double(), |a, b| a + b)
+                .unwrap();
+            let (count, cstats) = reader
+                .scan(t)
+                .lt_f64(x, 45.0)
+                .range_i64(k, 0, 0)
+                .parallel(n)
+                .count()
+                .unwrap();
+            (sum, count, fstats, cstats)
+        };
+        let (ref_sum, ref_count, ref_fstats, ref_cstats) = run(1);
+        assert!(
+            ref_fstats.sel_reorders > 0,
+            "the selective conjunct must get promoted (backend {backend:?})"
+        );
+        assert!(ref_fstats.vector_blocks > 0);
+        for n in thread_counts() {
+            let (sum, count, mut fstats, mut cstats) = run(n);
+            assert_eq!(
+                sum.to_bits(),
+                ref_sum.to_bits(),
+                "f64 fold not bit-identical at {n} threads (backend {backend:?})"
+            );
+            assert_eq!(count, ref_count, "count diverged at {n} threads");
+            // Everything except the fan-out width itself must be equal.
+            fstats.threads = ref_fstats.threads;
+            cstats.threads = ref_cstats.threads;
+            assert_eq!(
+                fstats, ref_fstats,
+                "fold kernel counters diverged at {n} threads (backend {backend:?})"
+            );
+            assert_eq!(
+                cstats, ref_cstats,
+                "count kernel counters diverged at {n} threads (backend {backend:?})"
+            );
+        }
+    }
+}
+
 /// Double-typed predicates and projections through the parallel path
 /// (`rank` comparisons + zero-copy slices) also agree with the
 /// sequential reference.

@@ -73,7 +73,7 @@ pub use commit::{
 pub use predicate::{ColRef, Pred, PredicateSet};
 pub use timestamp::{TsOracle, PENDING};
 pub use txn::{LocalWrite, Transaction, TxnId};
-pub use version::{ChainStore, ScanStats, VersionedColumn, BLOCK_ROWS};
+pub use version::{ChainStore, FilterSel, ScanStats, VersionedColumn, BLOCK_ROWS, TRACKED_FILTERS};
 
 /// Isolation level of the engine, as configured in the paper's evaluation
 /// (§5.1): snapshot isolation skips commit-time read-set validation.

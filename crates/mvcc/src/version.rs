@@ -332,6 +332,40 @@ pub struct ScanStats {
     /// count; 1 = sequential). On an oversubscribed host fewer threads may
     /// end up doing all the pulling — `morsels` counts actual work.
     pub threads: u64,
+    /// Blocks whose filters ran through the selection-vector kernels
+    /// (vectorized path; excludes dense and skipped blocks).
+    pub vector_blocks: u64,
+    /// Blocks the zone maps proved *all-match* for every filter: no
+    /// selection vector was materialised and — on the fused count path —
+    /// no column data was read at all.
+    pub dense_blocks: u64,
+    /// Times the adaptive conjunct ordering changed the filter evaluation
+    /// order at a block boundary.
+    pub sel_reorders: u64,
+    /// Projection-column blocks gathered into a buffer (the sim backend's
+    /// staging path; the count terminals must keep this at zero).
+    pub proj_blocks: u64,
+    /// Observed per-filter selectivity of the first
+    /// [`TRACKED_FILTERS`] conjuncts, in the order the filters were
+    /// declared on the builder (not evaluation order). Zone-map outcomes
+    /// count: a filter skipped in an all-match block records `rows_in ==
+    /// rows_out` for that block, and pruned blocks record nothing.
+    pub filter_sel: [FilterSel; TRACKED_FILTERS],
+}
+
+/// Per-filter conjuncts tracked in [`ScanStats::filter_sel`]; filters past
+/// this index still run, they just go untracked (kept inline and bounded
+/// so `ScanStats` stays `Copy`).
+pub const TRACKED_FILTERS: usize = 8;
+
+/// Observed selectivity of one pushed-down filter: rows offered to it and
+/// rows that survived it. `rows_out / rows_in` is its pass rate.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FilterSel {
+    /// Rows the filter was offered (selection-vector length before it).
+    pub rows_in: u64,
+    /// Rows that passed (selection-vector length after it).
+    pub rows_out: u64,
 }
 
 impl ScanStats {
@@ -347,6 +381,14 @@ impl ScanStats {
         self.rows_filtered += other.rows_filtered;
         self.morsels += other.morsels;
         self.threads = self.threads.max(other.threads);
+        self.vector_blocks += other.vector_blocks;
+        self.dense_blocks += other.dense_blocks;
+        self.sel_reorders += other.sel_reorders;
+        self.proj_blocks += other.proj_blocks;
+        for (a, b) in self.filter_sel.iter_mut().zip(&other.filter_sel) {
+            a.rows_in += b.rows_in;
+            a.rows_out += b.rows_out;
+        }
     }
 }
 
