@@ -5,7 +5,10 @@
 //! Alongside the criterion timing entries, JSON lines (`ANKER_BENCH_JSON`)
 //! record commits/sec per thread count plus the pipeline's outcome
 //! counters — committed, write-write aborts, validation aborts, repaired
-//! commits, repair rounds — and `host_cpus`. **A single-core host cannot
+//! commits, repair rounds — and `host_cpus`. A final set of
+//! `commit_pipeline/stage/*` lines carries the per-stage latency
+//! histograms the `anker-obs` tracer collected across every run above
+//! (sampled 1-in-32 attempts; see DESIGN.md, "Observability"). **A single-core host cannot
 //! show commit scaling** (the committers time-slice one core; the run
 //! measures pipeline overhead, not parallelism): `BENCH_commit_pipeline.json`
 //! recorded with `host_cpus: 1` must be re-recorded on a ≥4-core host
@@ -142,6 +145,30 @@ fn bench_commit_pipeline(c: &mut Criterion) {
             ));
         }
         group.finish();
+    }
+    // The obs registry is process-global, so one snapshot at the end
+    // carries the stage latencies every run above fed. Absent histograms
+    // (an `obs-off` build) are skipped rather than written as zeros.
+    let m = obs::snapshot();
+    for stage in [
+        "commit_stage_latch_ns",
+        "commit_stage_validate_ns",
+        "commit_stage_wal_ns",
+        "commit_stage_install_ns",
+        "commit_stage_fsync_ns",
+        "commit_total_ns",
+    ] {
+        if let Some(h) = m.histogram(stage) {
+            append_bench_json_line(&format!(
+                "{{\"bench\":\"commit_pipeline/stage/{stage}\",\
+                 \"count\":{},\"p50_ns\":{:.0},\"p95_ns\":{:.0},\
+                 \"p99_ns\":{:.0},\"host_cpus\":{host_cpus}}}",
+                h.count(),
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.quantile(0.99),
+            ));
+        }
     }
 }
 

@@ -141,6 +141,11 @@ pub struct DbStatsSnapshot {
     pub epochs_retired: u64,
     pub columns_materialized: u64,
     pub live_epochs: u64,
+    /// Simulated-kernel cost counters (mmap/mprotect/vm_snapshot calls,
+    /// faults, PTE/page copies, virtual nanoseconds). Previously only
+    /// reachable through [`AnkerDb::kernel`]; all zeros on the OS backend,
+    /// whose real-kernel counters are in [`AnkerDb::os_stats`].
+    pub kernel: anker_vmem::KernelStats,
 }
 
 /// A stoppable background thread (GC, checkpointer): a stop flag +
@@ -634,7 +639,13 @@ impl AnkerDb {
         }
         sched::hit("epoch:forced");
         // In-flight committers hold no lock we own and allocate nothing
-        // new (allocation is frozen), so this terminates.
+        // new (allocation is frozen), so this terminates — PROVIDED no
+        // committer ever blocks on the freeze while holding a lock an
+        // in-flight committer needs. The commit path upholds that by
+        // releasing its validation-shard locks before waiting out a
+        // freeze (see `Txn::commit_attempt`, stage 3); the deterministic
+        // regression is `forced_epoch_vs_shard_held_committer_vs_pruner`
+        // in tests/commit_pipeline.rs.
         while !self.inner.oracle.drained() {
             std::thread::yield_now();
         }
@@ -702,7 +713,202 @@ impl AnkerDb {
             epochs_retired: self.inner.snapman.stats.epochs_retired.load(o),
             columns_materialized: self.inner.snapman.stats.columns_materialized.load(o),
             live_epochs: self.inner.snapman.live_epochs() as u64,
+            kernel: self.inner.kernel.stats(),
         }
+    }
+
+    /// The unified observability surface: every metric the `obs` registry
+    /// has seen so far — commit-stage and snapshot histograms, scan and
+    /// GC counters, span-derived `*_ns` distributions — plus the legacy
+    /// stats structs absorbed as namespaced values (`db_*`, `kernel_*`,
+    /// and `os_*`/`wal_*` when the OS backend / a durability directory is
+    /// in play). Render with [`obs::MetricsSnapshot::render_text`]
+    /// (Prometheus exposition) or
+    /// [`obs::MetricsSnapshot::render_json`].
+    pub fn metrics(&self) -> obs::MetricsSnapshot {
+        let mut m = obs::snapshot();
+        let s = self.stats();
+        m.set_counter(
+            "db_committed_total",
+            "Committed read-write transactions",
+            s.committed,
+        );
+        m.set_counter(
+            "db_committed_read_only_total",
+            "Committed read-only transactions",
+            s.committed_read_only,
+        );
+        m.set_counter(
+            "db_aborted_ww_total",
+            "Transactions aborted on a write-write conflict",
+            s.aborted_ww,
+        );
+        m.set_counter(
+            "db_aborted_validation_total",
+            "Transactions aborted in read-set validation",
+            s.aborted_validation,
+        );
+        m.set_counter(
+            "db_repaired_commits_total",
+            "Transactions that committed through conflict repair",
+            s.repaired_commits,
+        );
+        m.set_counter(
+            "db_repair_rounds_total",
+            "Conflict-repair rounds run across all transactions",
+            s.repair_rounds,
+        );
+        m.set_counter(
+            "db_gc_passes_total",
+            "Garbage-collection passes",
+            s.gc_passes,
+        );
+        m.set_counter(
+            "db_versions_collected_total",
+            "Version-chain entries reclaimed by GC",
+            s.versions_collected,
+        );
+        m.set_counter(
+            "db_epochs_triggered_total",
+            "Snapshot epochs registered",
+            s.epochs_triggered,
+        );
+        m.set_counter(
+            "db_epochs_retired_total",
+            "Snapshot epochs retired",
+            s.epochs_retired,
+        );
+        m.set_counter(
+            "db_columns_materialized_total",
+            "Columns frozen into an epoch via vm_snapshot",
+            s.columns_materialized,
+        );
+        m.set_gauge(
+            "db_live_epochs",
+            "Snapshot epochs currently live",
+            s.live_epochs as i64,
+        );
+        let k = &s.kernel;
+        const KERNEL: [(&str, &str); 14] = [
+            (
+                "kernel_virtual_ns",
+                "Virtual nanoseconds on the simulated kernel clock",
+            ),
+            ("kernel_mmap_calls_total", "Simulated mmap calls"),
+            ("kernel_munmap_calls_total", "Simulated munmap calls"),
+            ("kernel_mprotect_calls_total", "Simulated mprotect calls"),
+            (
+                "kernel_vm_snapshot_calls_total",
+                "Simulated vm_snapshot calls",
+            ),
+            ("kernel_fork_calls_total", "Simulated fork calls"),
+            ("kernel_page_faults_total", "Simulated page faults"),
+            ("kernel_cow_faults_total", "Simulated copy-on-write faults"),
+            (
+                "kernel_protection_faults_total",
+                "Simulated protection faults",
+            ),
+            ("kernel_frames_allocated_total", "Physical frames allocated"),
+            ("kernel_frames_freed_total", "Physical frames freed"),
+            ("kernel_ptes_copied_total", "Page-table entries copied"),
+            ("kernel_vmas_copied_total", "VMA descriptors copied"),
+            (
+                "kernel_pages_copied_total",
+                "Whole pages copied (CoW resolution)",
+            ),
+        ];
+        let kernel_vals = [
+            k.virtual_ns,
+            k.mmap_calls,
+            k.munmap_calls,
+            k.mprotect_calls,
+            k.vm_snapshot_calls,
+            k.fork_calls,
+            k.page_faults,
+            k.cow_faults,
+            k.protection_faults,
+            k.frames_allocated,
+            k.frames_freed,
+            k.ptes_copied,
+            k.vmas_copied,
+            k.pages_copied,
+        ];
+        for ((name, help), v) in KERNEL.iter().zip(kernel_vals) {
+            m.set_counter(name, help, v);
+        }
+        if let Some(os) = self.os_stats() {
+            m.set_counter(
+                "os_snapshots_total",
+                "vm_snapshot rewires served by the OS backend",
+                os.snapshots,
+            );
+            m.set_counter(
+                "os_recycled_total",
+                "OS-backend snapshots that reused a caller-provided destination",
+                os.recycled,
+            );
+            m.set_counter(
+                "os_cow_copies_total",
+                "Copy-on-write block splits",
+                os.cow_copies,
+            );
+            m.set_counter(
+                "os_cow_reclaims_total",
+                "Copy-on-write blocks folded back on unmap",
+                os.cow_reclaims,
+            );
+            m.set_counter(
+                "os_huge_page_advices_total",
+                "MADV_HUGEPAGE hints issued",
+                os.huge_page_advices,
+            );
+            m.set_counter(
+                "os_sequential_advices_total",
+                "MADV_SEQUENTIAL hints issued",
+                os.sequential_advices,
+            );
+        }
+        if let Some(w) = self.wal_stats() {
+            m.set_counter(
+                "wal_appends_total",
+                "WAL records appended (all kinds)",
+                w.appends,
+            );
+            m.set_counter(
+                "wal_commit_records_total",
+                "Commit records appended",
+                w.commit_records,
+            );
+            m.set_counter(
+                "wal_bytes_appended_total",
+                "WAL frame bytes appended",
+                w.bytes_appended,
+            );
+            m.set_counter(
+                "wal_syncs_total",
+                "fdatasync calls issued (commit_records/syncs = group-commit batching)",
+                w.syncs,
+            );
+            m.set_counter(
+                "wal_segments_created_total",
+                "WAL segments created",
+                w.segments_created,
+            );
+            m.set_counter(
+                "wal_segments_retired_total",
+                "WAL segments deleted by checkpoint truncation",
+                w.segments_retired,
+            );
+        }
+        m
+    }
+
+    /// Dump the per-thread span journals as Chrome-tracing JSON (load in
+    /// `chrome://tracing` or Perfetto). Ring buffers hold the most recent
+    /// [`ANKER_OBS_RING`](obs) events per thread, so this is a tail, not a
+    /// full history; each thread reports how many events it overwrote.
+    pub fn trace_dump(&self) -> String {
+        obs::trace_json()
     }
 
     /// Version-chain entries currently held for one column across its
@@ -796,6 +1002,9 @@ impl AnkerDb {
     /// [`anker_mvcc::ChainStore::gc`]). This stop-the-world window is
     /// exactly the cost the paper attributes to classical MVCC GC.
     pub fn run_gc_once(&self) -> u64 {
+        // Whole-pass latency, commit-lock wait and quiesce spin included —
+        // that wait is the cost OLTP actually pays for a GC pass.
+        let _obs_gc = obs::span!("gc_pass");
         let _cs = self.lock_commit();
         let quiesce = self.inner.config.mode == ProcessingMode::Homogeneous;
         if quiesce {

@@ -62,6 +62,7 @@ pub mod db;
 pub mod durability;
 pub mod error;
 pub(crate) mod kernels;
+pub mod obs_manifest;
 pub mod reader;
 pub mod scan;
 pub mod snapman;
@@ -72,6 +73,7 @@ pub use config::{BackendKind, DbConfig, ProcessingMode};
 pub use db::{AnkerDb, CommitState, DbStatsSnapshot};
 pub use durability::RecoveryReport;
 pub use error::{AbortReason, DbError, Result};
+pub use obs_manifest::obs_register_all;
 pub use reader::SnapshotReader;
 pub use scan::{ReaderScanBuilder, ScanBuilder, ScanPartition};
 pub use table::TableId;
@@ -81,4 +83,9 @@ pub use txn::{RepairConflict, Txn, TxnKind};
 pub use anker_dura::{DurabilityLevel, WalStatsSnapshot};
 pub use anker_mvcc::{FilterSel, IsolationLevel, ScanStats, TRACKED_FILTERS};
 pub use anker_storage::{ColumnDef, ColumnId, Dictionary, LogicalType, Schema, Value};
-pub use anker_vmem::OsStatsSnapshot;
+pub use anker_vmem::{KernelStats, OsStatsSnapshot};
+
+/// The observability crate, re-exported so `AnkerDb::metrics` callers can
+/// name [`obs::MetricsSnapshot`] and the render functions without adding
+/// a dependency of their own.
+pub use obs;

@@ -17,7 +17,7 @@
 //!   (`ScanStats::blocks_skipped`); projection columns are only read for
 //!   blocks with at least one surviving row.
 //! * **Vectorized kernels.** Filters run column-at-a-time through the
-//!   selection-vector kernels of [`crate::kernels`]: the first conjunct of
+//!   selection-vector kernels of the private `kernels` module: the first conjunct of
 //!   a block produces a `u32` selection vector, later conjuncts refine it
 //!   touching only surviving lanes, zone-map-proven *all-match* blocks
 //!   skip materialisation entirely (`ScanStats::dense_blocks`), and the
@@ -316,13 +316,18 @@ impl<'t> ScanBuilder<'t> {
             threads: 1,
             ..ScanStats::default()
         };
+        // A sequential scan is one morsel for the tracer too.
+        let obs_tok = obs::span_begin(obs::stage!("scan_morsel"));
         let count = if txn.epoch.is_some() {
-            Self::run_snapshot(txn, table, spec, sink, &mut stats)?
+            Self::run_snapshot(txn, table, spec, sink, &mut stats)
         } else {
-            Self::run_versioned(txn, table, &spec, sink, &mut stats)?
+            Self::run_versioned(txn, table, &spec, sink, &mut stats)
         };
+        obs::span_end(obs_tok);
+        let count = count?;
         stats.morsels += 1;
         txn.scan_stats.merge(&stats);
+        note_scan_stats(&stats);
         Ok((count, stats))
     }
 
@@ -841,7 +846,7 @@ impl<'r> ReaderScanBuilder<'r> {
     /// Run the scan and count the rows passing all filters. The
     /// projection is ignored (no value columns are read): each morsel
     /// popcounts its selection vectors through
-    /// [`FrozenCursor::count_range`] — no per-row callback, no
+    /// `FrozenCursor::count_range` — no per-row callback, no
     /// projection buffers ([`ScanStats::proj_blocks`] stays 0) — and the
     /// per-morsel counts sum in morsel order.
     pub fn count(mut self) -> Result<(u64, ScanStats)> {
@@ -992,7 +997,11 @@ impl ScanPartition {
             ..ScanStats::default()
         };
         let mut cursor = FrozenCursor::new(&self.core);
-        cursor.run_range(self.start, self.end, &mut f, &mut stats)?;
+        let obs_tok = obs::span_begin(obs::stage!("scan_morsel"));
+        let res = cursor.run_range(self.start, self.end, &mut f, &mut stats);
+        obs::span_end(obs_tok);
+        res?;
+        note_scan_stats(&stats);
         Ok(stats)
     }
 
@@ -1006,7 +1015,11 @@ impl ScanPartition {
             ..ScanStats::default()
         };
         let mut cursor = FrozenCursor::new(&self.core);
-        let n = cursor.count_range(self.start, self.end, &mut stats)?;
+        let obs_tok = obs::span_begin(obs::stage!("scan_morsel"));
+        let res = cursor.count_range(self.start, self.end, &mut stats);
+        obs::span_end(obs_tok);
+        let n = res?;
+        note_scan_stats(&stats);
         Ok((n, stats))
     }
 }
@@ -1055,7 +1068,10 @@ fn run_morsels<A: Send>(
                 morsels: 1,
                 ..ScanStats::default()
             };
-            match run(&mut cursor, start, end, &mut stats) {
+            let obs_tok = obs::span_begin(obs::stage!("scan_morsel"));
+            let res = run(&mut cursor, start, end, &mut stats);
+            obs::span_end(obs_tok);
+            match res {
                 Ok(acc) => *slots[m].lock() = Some((acc, stats)),
                 Err(e) => {
                     error.lock().get_or_insert(e);
@@ -1086,7 +1102,52 @@ fn run_morsels<A: Send>(
         stats.merge(&morsel_stats);
         accs.push(acc);
     }
+    note_scan_stats(&stats);
     Ok((accs, stats))
+}
+
+/// Fold a finished scan's merged [`ScanStats`] into the process-wide
+/// metric registry. Called once per completed scan (sequential `execute`,
+/// the morsel-parallel driver, and explicit [`ScanPartition`] runs), so
+/// the counters stay bit-identical across thread counts — the same
+/// invariant the per-scan stats already keep.
+fn note_scan_stats(stats: &ScanStats) {
+    obs::counter!("scan_morsels_total", "Morsels processed across all scans").add(stats.morsels);
+    obs::counter!(
+        "scan_tight_rows_total",
+        "Rows delivered through the tight (unchecked) scan path"
+    )
+    .add(stats.tight_rows);
+    obs::counter!(
+        "scan_checked_rows_total",
+        "Rows that went through per-row visibility checks"
+    )
+    .add(stats.checked_rows);
+    obs::counter!(
+        "scan_chain_walks_total",
+        "Rows whose value came from a version-chain walk"
+    )
+    .add(stats.chain_walks);
+    obs::counter!(
+        "scan_blocks_skipped_total",
+        "Blocks pruned wholesale by zone maps"
+    )
+    .add(stats.blocks_skipped);
+    obs::counter!(
+        "scan_rows_filtered_total",
+        "Rows read and then eliminated by pushed-down predicates"
+    )
+    .add(stats.rows_filtered);
+    obs::counter!(
+        "scan_vector_blocks_total",
+        "Blocks filtered through the selection-vector kernels"
+    )
+    .add(stats.vector_blocks);
+    obs::counter!(
+        "scan_dense_blocks_total",
+        "Blocks the zone maps proved all-match (no selection vector)"
+    )
+    .add(stats.dense_blocks);
 }
 
 /// Reads filter/projection column `idx`'s current block into `buf`

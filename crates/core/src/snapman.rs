@@ -83,6 +83,7 @@ impl Graveyard {
     /// hold a handle to it any more.
     pub fn drain(&self, min_active_start: u64) {
         let mut pending = self.pending.lock();
+        let before = pending.len();
         pending.retain(|(swap_ts, area)| {
             if *swap_ts < min_active_start {
                 // Unmapping can only fail on address errors, which would be
@@ -93,6 +94,14 @@ impl Graveyard {
                 true
             }
         });
+        let unmapped = (before - pending.len()) as u64;
+        if unmapped > 0 {
+            obs::counter!(
+                "snapshot_graveyard_unmapped_total",
+                "Retired snapshot areas unmapped once the active-transaction horizon passed them"
+            )
+            .add(unmapped);
+        }
     }
 
     /// Number of areas awaiting unmap (diagnostics).
@@ -113,6 +122,11 @@ pub(crate) struct SpareAreas {
 
 impl SpareAreas {
     fn park(&self, swap_ts: u64, area: ColumnArea) {
+        obs::counter!(
+            "snapshot_spare_parked_total",
+            "Retired snapshot areas parked for vm_snapshot destination recycling"
+        )
+        .inc();
         self.by_size
             .lock()
             .entry(area.mapped_bytes())
@@ -258,6 +272,7 @@ impl SnapshotManager {
         // everything every past pinner did, and a pinner sees the epoch
         // fully published.
         newest.pins.fetch_add(1, Ordering::AcqRel);
+        note_epoch_pin();
         Some(Arc::clone(newest))
     }
 
@@ -268,6 +283,7 @@ impl SnapshotManager {
         let _order = self.epochs.lock();
         // ORDERING: AcqRel, same pin protocol as `pin_newest_fresh`.
         epoch.pins.fetch_add(1, Ordering::AcqRel);
+        note_epoch_pin();
     }
 
     /// Unpin an epoch (OLAP transaction end); retires it if superseded and
@@ -279,6 +295,11 @@ impl SnapshotManager {
         // decrement.
         let prev = epoch.pins.fetch_sub(1, Ordering::AcqRel);
         debug_assert!(prev > 0, "unpin without pin");
+        obs::gauge!(
+            "snapshot_epochs_pinned",
+            "OLAP pins currently held across all live epochs"
+        )
+        .dec();
         let mut epochs = self.epochs.lock();
         self.retire_locked(&mut epochs);
     }
@@ -396,6 +417,9 @@ impl SnapshotManager {
         if missing.is_empty() {
             return Ok(epochs.iter().rev().find_map(|e| e.col(key)));
         }
+        // Only actual materialisation work is spanned — the cache-hit early
+        // returns above are the fast path and would drown the distribution.
+        let _obs_mat = obs::span!("snapshot_materialize");
         // One vm_snapshot serves all missing epochs: the column's state has
         // not changed since before the oldest of them.
         let cur = col.current_area();
@@ -410,9 +434,27 @@ impl SnapshotManager {
             .spare
             .as_ref()
             .and_then(|s| s.take(bytes, recycle_horizon));
-        let fresh_addr = self
+        let recycled = dst.is_some();
+        // The rewiring itself (the kernel remap) gets its own stage so the
+        // report can split "vm_snapshot µs" out of the materialise total.
+        let obs_rw = obs::span_begin(obs::stage!("snapshot_rewire"));
+        let rewired = self
             .backend
-            .vm_snapshot(dst.map(|a| a.addr()), cur.addr(), bytes)?;
+            .vm_snapshot(dst.map(|a| a.addr()), cur.addr(), bytes);
+        obs::span_end(obs_rw);
+        let fresh_addr = rewired?;
+        obs::counter!(
+            "snapshot_pages_rewired_total",
+            "Pages remapped by vm_snapshot when freezing a column into an epoch"
+        )
+        .add(bytes.div_ceil(self.backend.page_size()));
+        if recycled {
+            obs::counter!(
+                "snapshot_areas_recycled_total",
+                "vm_snapshot calls that reused a parked destination area (§4.1.3)"
+            )
+            .inc();
+        }
         // The duplicate becomes the new most-recent representation; the old
         // area freezes into the snapshot (Figure 1, step 4).
         let fresh = ColumnArea::from_raw_on(Arc::clone(&self.backend), fresh_addr, cur.rows());
@@ -439,6 +481,23 @@ impl SnapshotManager {
             .fetch_add(1, Ordering::Relaxed);
         Ok(Some(snap))
     }
+}
+
+/// Pin accounting shared by [`SnapshotManager::pin_newest_fresh`] and
+/// [`SnapshotManager::pin_epoch`]; the matching gauge decrement lives in
+/// [`SnapshotManager::unpin`].
+#[inline]
+fn note_epoch_pin() {
+    obs::counter!(
+        "snapshot_epoch_pins_total",
+        "OLAP epoch pins taken (newest-fresh and explicit pins combined)"
+    )
+    .inc();
+    obs::gauge!(
+        "snapshot_epochs_pinned",
+        "OLAP pins currently held across all live epochs"
+    )
+    .inc();
 }
 
 /// Resolve the snapshot column of `(table, col)` for `epoch`,

@@ -412,6 +412,23 @@ impl Txn {
         let serializable = db.inner.config.isolation == IsolationLevel::Serializable;
         let heterogeneous = db.inner.config.mode == ProcessingMode::Heterogeneous;
 
+        // Tracing: one span per pipeline stage, chained with
+        // `span_switch` so adjacent stages share a single clock read.
+        // The whole chain — stages and the end-to-end `commit_total_ns`
+        // histogram derived from it — is *sampled* (see
+        // [`COMMIT_SAMPLE_SHIFT`]); only the attempt counter is exact.
+        // A sampled attempt records every stage plus the total, so at
+        // quiescence `commit_total_ns.count == commit_stage_latch_ns.count`
+        // exactly. Every exit path below closes the open token (checked
+        // by anker-lint's span-leak pass) via `record_commit_total`.
+        obs::counter!(
+            "commit_attempts_total",
+            "Commit-pipeline entries, including ww/validation-aborted and repair-retried attempts"
+        )
+        .inc();
+        let mut obs_tok =
+            obs::span_begin_sampled(obs::stage!("commit_stage_latch"), COMMIT_SAMPLE_SHIFT);
+
         // Stage 1 — install latches. All write rows latch in ascending
         // (col, row) order *before* any shard lock; the global sort order
         // makes concurrent committers deadlock-free, and each latch
@@ -441,6 +458,7 @@ impl Txn {
                         // First-updater-wins (§2.1).
                         col.versioned.unlock_row(w.row, old_ts);
                         self.unlatch_rows(&latched);
+                        record_commit_total(obs_tok);
                         return Err(AttemptError::WwConflict);
                     }
                     latched.push((*w, old_ts, old_word));
@@ -448,31 +466,51 @@ impl Txn {
                 }
                 Err(e) => {
                     self.unlatch_rows(&latched);
+                    record_commit_total(obs_tok);
                     return Err(AttemptError::Hard(e.into()));
                 }
             }
         }
         sched::hit("commit:latched");
+        obs_tok = obs::span_switch(obs_tok, obs::stage!("commit_stage_validate"));
 
         // Stage 2 — validation-shard locks (ascending), covering the
         // tables written and the tables the read predicates touch.
         // Snapshot isolation skips validation and publishes no commit
         // records, so it takes no shard locks at all.
-        let mut guards = if serializable {
-            let tables: Vec<u16> = writes
+        let shard_tables: Vec<u16> = if serializable {
+            writes
                 .iter()
                 .map(|w| w.col.table)
                 .chain(self.inner.predicates().tables())
-                .collect();
-            Some(db.inner.recent.lock_tables(&tables))
+                .collect()
         } else {
-            None
+            Vec::new()
         };
+        let mut guards = serializable.then(|| db.inner.recent.lock_tables(&shard_tables));
+        sched::hit("commit:shards");
 
         // Stage 3 — commit timestamp, allocated while holding the full
         // shard set: two committers sharing any shard serialize around
         // allocation, so per-shard record order stays timestamp order.
-        let commit_ts = db.inner.oracle.begin_commit();
+        // When a freezer parks allocation (a forced epoch or a GC window),
+        // the shard locks MUST drop before waiting it out: an in-flight
+        // committer may need them (publish, the periodic prune) before the
+        // freezer's drain can complete, so blocking here while holding
+        // them closes a cycle — committer waits on unfreeze, freezer waits
+        // on drain, drain waits on this committer's shards. Re-locking is
+        // sound because validation (stage 4) runs against the re-acquired
+        // shard state; only the row latches ride across the wait, and no
+        // committer past allocation ever takes a new row latch.
+        let commit_ts = loop {
+            if let Some(ts) = db.inner.oracle.try_begin_commit() {
+                break ts;
+            }
+            drop(guards.take());
+            sched::hit("commit:frozen-wait");
+            db.inner.oracle.wait_unfrozen();
+            guards = serializable.then(|| db.inner.recent.lock_tables(&shard_tables));
+        };
         sched::hit("commit:validate");
 
         // Stage 4 — read-set validation via precision locking (§2.1),
@@ -483,6 +521,7 @@ impl Txn {
                 db.inner.oracle.abort_commit(commit_ts);
                 drop(guards);
                 self.unlatch_rows(&latched);
+                record_commit_total(obs_tok);
                 return Err(AttemptError::Validation(
                     conflicts
                         .into_iter()
@@ -507,6 +546,7 @@ impl Txn {
         // whatever order they reach the log, so the record carries a
         // `(commit_ts, seq)` pair and recovery sorts. An append failure
         // still aborts cleanly: nothing has installed yet.
+        obs_tok = obs::span_switch(obs_tok, obs::stage!("commit_stage_wal"));
         let mut wal_pending = None;
         if let Some(d) = db.inner.dura.get() {
             if d.level != anker_dura::DurabilityLevel::Off {
@@ -534,12 +574,14 @@ impl Txn {
                         db.inner.oracle.abort_commit(commit_ts);
                         drop(guards);
                         self.unlatch_rows(&latched);
+                        record_commit_total(obs_tok);
                         return Err(AttemptError::Hard(e.into()));
                     }
                 }
             }
         }
         sched::hit("commit:logged");
+        obs_tok = obs::span_switch(obs_tok, obs::stage!("commit_stage_install"));
 
         // Publish the commit record to the write-table shards, then let
         // the shards go — validation by others proceeds while we install.
@@ -596,6 +638,9 @@ impl Txn {
                 {
                     continue;
                 }
+                // PANIC-OK: fail-stop — the commit record is already
+                // durable, so a half-installed commit cannot be rolled
+                // back; dying with the install span open is designed.
                 db.inner
                     .snapman
                     .note_write(&mut cs, &state, key.0, key.1, commit_ts)
@@ -608,6 +653,7 @@ impl Txn {
                 // swaps the column area (contents identical, so the
                 // latched old value stays exact).
                 let area = col.current_area();
+                // PANIC-OK: fail-stop after the durable commit record.
                 col.versioned
                     .install_locked(&area, w.row, *old_ts, *old_word, w.new_word, commit_ts)
                     .expect("install failed after the commit was logged");
@@ -638,6 +684,7 @@ impl Txn {
                 if db.inner.config.eager_materialization {
                     // §2.2.2's rejected eager alternative, kept as an
                     // ablation: snapshot every column right away.
+                    // PANIC-OK: fail-stop after the durable commit record.
                     let tables: Vec<_> = db.inner.tables.read().clone();
                     for (tid, state) in tables.iter().enumerate() {
                         for cid in 0..state.cols.len() {
@@ -682,6 +729,7 @@ impl Txn {
                 let state = self.table(TableId(w.col.table));
                 let col = state.col(w.col.col as usize);
                 let area = col.current_area();
+                // PANIC-OK: fail-stop after the durable commit record.
                 col.versioned
                     .install_locked(&area, w.row, *old_ts, *old_word, w.new_word, commit_ts)
                     .expect("install failed after the commit was logged");
@@ -719,14 +767,20 @@ impl Txn {
         // started, so concurrent committers share syncs instead of
         // queueing them.
         if let Some((dura, lsn)) = wal_pending {
+            let obs_tok = obs::span_switch(obs_tok, obs::stage!("commit_stage_fsync"));
             sched::hit("commit:pre-fsync");
             // An fsync failure after install cannot be rolled back (the
             // writes are visible) and must not be reported as success
             // (the WAL page cache state is unknowable after a failed
             // sync) — fail stop is the only honest option.
+            // PANIC-OK: fail-stop by design; the process dies with the
+            // span open and the journal is diagnostic-only.
             dura.wal
                 .sync_to(lsn)
                 .expect("WAL fsync failed; cannot guarantee durability of an applied commit");
+            record_commit_total(obs_tok);
+        } else {
+            record_commit_total(obs_tok);
         }
         Ok(commit_ts)
     }
@@ -745,6 +799,36 @@ impl Txn {
             self.db.inner.snapman.unpin(&e);
         }
     }
+}
+
+/// Commit tracing samples 1-in-2^5 attempts per thread: the pipeline is
+/// sub-microsecond, so even two clock reads plus a histogram record on
+/// *every* attempt measurably tax the commit itself (the unsampled
+/// variants cost 10–30% — measured by `repro_obs --overhead`, recorded
+/// in `BENCH_obs_overhead.json`). An unsampled attempt pays one counter
+/// increment and one thread-local tick; a sampled attempt records every
+/// stage, the end-to-end total, and the journal events, keeping the
+/// distributions statistically faithful while `commit_attempts_total`
+/// stays exact.
+const COMMIT_SAMPLE_SHIFT: u32 = 5;
+
+/// Close the stage chain and record the end-to-end attempt duration.
+/// All exit paths feed this, so on a sampled attempt the total is always
+/// recorded alongside the stages — at quiescence
+/// `commit_total_ns.count == commit_stage_latch_ns.count` exactly.
+#[inline]
+fn record_commit_total(tok: obs::SpanToken) {
+    let t0 = tok.start_ns();
+    let end = obs::span_end(tok);
+    if end == 0 {
+        // Attempt not sampled (or `obs-off`): nothing was timed.
+        return;
+    }
+    obs::histogram!(
+        "commit_total_ns",
+        "End-to-end nanoseconds per sampled commit-pipeline attempt, across every exit path"
+    )
+    .record(end.saturating_sub(t0));
 }
 
 impl Drop for Txn {

@@ -16,10 +16,12 @@
 //! Plus the fairness regression (a slow WAL fsync must not block
 //! snapshot-reader creation), a deterministic conflict-repair schedule,
 //! the repair-snapshot regression (a commit completing during the
-//! conflict wait must not escape revalidation), and the epoch-liveness
+//! conflict wait must not escape revalidation), the epoch-liveness
 //! escalation (OLAP arrivals force a commit-quiescent window instead of
-//! starving). The gate is process-global, so every test here serializes
-//! on [`GATE_MX`].
+//! starving), and the forced-window deadlock regression (a committer
+//! must shed its validation-shard locks before waiting out a commit
+//! freeze, or the freezer's drain can never complete). The gate is
+//! process-global, so every test here serializes on [`GATE_MX`].
 
 mod common;
 
@@ -450,6 +452,105 @@ fn olap_epoch_creation_escalates_to_a_forced_quiescent_window() {
         // Commit admission is restored after the forced window.
         let mut txn = db.begin(TxnKind::Oltp);
         txn.update(t, c, 1, 9).unwrap();
+        txn.commit().unwrap();
+    });
+    drop(ctl);
+}
+
+/// Deadlock regression for the forced quiescent window: freezer vs a
+/// shard-holding committer parked on the freeze vs an in-flight pruner.
+///
+/// The cycle (caught live on a single-core host, ~1-in-10 full HTAP
+/// runs): an OLAP arrival escalates to `force_quiescent_epoch` and
+/// freezes commit-timestamp allocation; committer B has taken its
+/// validation-shard locks and now blocks in allocation waiting for the
+/// unfreeze; in-flight committer C (timestamp drawn before the freeze)
+/// reaches the periodic prune — which locks *every* validation shard —
+/// and parks on B's shard. The freezer waits on C (drain, then the
+/// commit section C holds), C waits on B's shard, B waits on the
+/// freezer's unfreeze. Fixed by B shedding its shard locks before
+/// waiting out the freeze (`commit:frozen-wait` marks the handoff);
+/// on the pre-fix code this schedule deadlocks at the pruner's join.
+#[test]
+fn forced_epoch_vs_shard_held_committer_vs_pruner() {
+    let _g = gate_lock();
+    let (db, t, c) = one_col_db(
+        DbConfig::heterogeneous_serializable()
+            .with_snapshot_every(1_000_000)
+            .with_gc_interval(None),
+        8,
+    );
+    // Run the prune counter up to 127: the next heterogeneous commit is
+    // the 128th and prunes, locking every validation shard in turn.
+    for i in 0..127u32 {
+        let mut txn = db.begin(TxnKind::Oltp);
+        txn.update(t, c, i % 8, i as u64).unwrap();
+        txn.commit().unwrap();
+    }
+
+    let ctl = SchedCtl::install();
+    ctl.pause_label("commit:pre-install", "pruner");
+    ctl.pause_label("commit:shards", "blocked");
+    ctl.pause("epoch:forced");
+    ctl.pause_label("commit:frozen-wait", "blocked");
+    std::thread::scope(|s| {
+        let pruner = s.spawn(|| {
+            sched::set_label(Some("pruner"));
+            let mut txn = db.begin(TxnKind::Oltp);
+            txn.update(t, c, 0, 1_000).unwrap();
+            txn.commit().unwrap()
+        });
+        // C is in flight: timestamp drawn, parked before the commit
+        // section — no quiescent instant will occur on its own.
+        ctl.await_parked("commit:pre-install", 1);
+
+        let blocked = s.spawn(|| {
+            sched::set_label(Some("blocked"));
+            let mut txn = db.begin(TxnKind::Oltp);
+            txn.update(t, c, 1, 2_000).unwrap();
+            txn.commit().unwrap()
+        });
+        // B holds its validation shards, pre-allocation.
+        ctl.await_parked("commit:shards", 1);
+
+        let db2 = db.clone();
+        let reader = s.spawn(move || db2.snapshot_reader().unwrap());
+        // The arriving reader escalates to the forced window: the freeze
+        // is armed before the `epoch:forced` hit parks it.
+        ctl.await_parked("epoch:forced", 1);
+
+        // Release B into the armed freeze. It must shed its shard locks
+        // before waiting the freeze out — the parked `commit:frozen-wait`
+        // hit sits after the shed, so reaching it proves the handoff.
+        ctl.resume("commit:shards");
+        ctl.await_parked("commit:frozen-wait", 1);
+
+        // C resumes: takes the commit section, installs, completes, and —
+        // 128th commit — prunes across every (now free) validation shard.
+        ctl.resume("commit:pre-install");
+        pruner.join().unwrap();
+
+        // Drained; the reader cuts its epoch in the forced window and
+        // re-admits commits, then B re-locks its shards and commits.
+        ctl.resume("epoch:forced");
+        ctl.resume("commit:frozen-wait");
+        let reader = reader.join().unwrap();
+        blocked.join().unwrap();
+        assert_eq!(
+            reader.get(t, c, 0).unwrap(),
+            1_000,
+            "the forced epoch covers the drained pruner commit"
+        );
+        // The epoch was pinned inside the freeze, before B re-entered:
+        // B's commit is invisible to the reader (snapshot isolation)…
+        assert_eq!(
+            reader.get(t, c, 1).unwrap(),
+            121,
+            "the forced epoch must predate the re-admitted commit"
+        );
+        // …but fully visible to a post-unfreeze transaction.
+        let mut txn = db.begin(TxnKind::Oltp);
+        assert_eq!(txn.get(t, c, 1).unwrap(), 2_000);
         txn.commit().unwrap();
     });
     drop(ctl);

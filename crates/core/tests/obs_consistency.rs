@@ -1,0 +1,324 @@
+//! Integration tests of the `anker-obs` metrics surface under real
+//! concurrency: registry snapshots taken *while* writers and scanners
+//! run must be internally consistent (every counter and histogram count
+//! monotone across successive snapshots), and at quiescence the
+//! engine's exactness invariants must hold — the sampled commit-stage
+//! chain's counts agree with each other, the scan counters equal the
+//! summed per-scan `ScanStats`, and the morsel histogram counts exactly
+//! one span per morsel.
+//!
+//! This file is its own test binary — and therefore its own
+//! process-global obs registry — so the arithmetic below cannot be
+//! polluted by other test files' scans and commits.
+
+// Under `obs-off` every counter update compiles to a no-op, so the
+// registry arithmetic this file asserts is intentionally all-zero.
+#![cfg(not(feature = "obs-off"))]
+
+mod common;
+
+use anker_core::obs;
+use anker_core::{BackendKind, DbConfig, ScanStats, TxnKind, Value};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Metrics whose values must never decrease while the engine runs.
+const MONOTONE_COUNTERS: [&str; 7] = [
+    "commit_attempts_total",
+    "scan_morsels_total",
+    "scan_tight_rows_total",
+    "snapshot_pages_rewired_total",
+    "snapshot_epoch_pins_total",
+    "db_committed_total",
+    "db_epochs_triggered_total",
+];
+
+const MONOTONE_HISTOGRAMS: [&str; 4] = [
+    "commit_total_ns",
+    "commit_stage_latch_ns",
+    "scan_morsel_ns",
+    "snapshot_rewire_ns",
+];
+
+fn counter(m: &obs::MetricsSnapshot, name: &str) -> u64 {
+    m.counter(name).unwrap_or(0)
+}
+
+fn hist_count(m: &obs::MetricsSnapshot, name: &str) -> u64 {
+    m.histogram(name).map_or(0, |h| h.count())
+}
+
+/// Writers, scanners, and a metrics poller in parallel: every snapshot
+/// the poller takes must be monotone w.r.t. the previous one, and the
+/// quiescent end state must satisfy the engine's exact invariants.
+#[test]
+fn snapshots_stay_consistent_under_concurrent_load() {
+    let rows = 4_096u32;
+    let config = DbConfig::heterogeneous_serializable()
+        .with_snapshot_every(64)
+        .with_backend(BackendKind::Sim);
+    let (db, t, c) = common::one_col_db(config, rows);
+    let baseline = db.metrics();
+
+    const WRITERS: usize = 3;
+    const COMMITS_PER_WRITER: usize = 400;
+    const SCANNERS: usize = 2;
+    const SCANS_PER_SCANNER: usize = 12;
+
+    let stop = AtomicBool::new(false);
+    let mut scan_sums: Vec<ScanStats> = Vec::new();
+    std::thread::scope(|s| {
+        for w in 0..WRITERS {
+            let db = &db;
+            s.spawn(move || {
+                for i in 0..COMMITS_PER_WRITER {
+                    let row = ((w * COMMITS_PER_WRITER + i * 7) % rows as usize) as u32;
+                    let mut txn = db.begin(TxnKind::Oltp);
+                    txn.update_value(t, c, row, Value::Int((w * 1000 + i) as i64))
+                        .unwrap();
+                    // First-updater-wins aborts are part of the workload;
+                    // the registry must count the attempt either way.
+                    let _ = txn.commit();
+                }
+            });
+        }
+        let scan_handles: Vec<_> = (0..SCANNERS)
+            .map(|n| {
+                let db = &db;
+                s.spawn(move || {
+                    let mut merged = ScanStats::default();
+                    for _ in 0..SCANS_PER_SCANNER {
+                        let reader = db.snapshot_reader().unwrap();
+                        let (_, stats) = reader
+                            .scan(t)
+                            .range_i64(c, 0, i64::MAX)
+                            .project(&[c])
+                            .parallel(n + 1)
+                            .fold(
+                                0i64,
+                                |a, _, v| a.wrapping_add(v[0].as_int()),
+                                |a, b| a.wrapping_add(b),
+                            )
+                            .unwrap();
+                        merged.merge(&stats);
+                    }
+                    merged
+                })
+            })
+            .collect();
+        // The poller: successive snapshots while the engine is hot.
+        let poller = s.spawn(|| {
+            let mut prev = db.metrics();
+            let mut polls = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let cur = db.metrics();
+                for name in MONOTONE_COUNTERS {
+                    assert!(
+                        counter(&cur, name) >= counter(&prev, name),
+                        "counter `{name}` went backwards under load"
+                    );
+                }
+                for name in MONOTONE_HISTOGRAMS {
+                    assert!(
+                        hist_count(&cur, name) >= hist_count(&prev, name),
+                        "histogram `{name}` count went backwards under load"
+                    );
+                }
+                prev = cur;
+                polls += 1;
+                std::thread::yield_now();
+            }
+            polls
+        });
+        for h in scan_handles {
+            scan_sums.push(h.join().unwrap());
+        }
+        stop.store(true, Ordering::Relaxed);
+        assert!(poller.join().unwrap() > 0, "the poller never sampled");
+    });
+
+    let m = db.metrics();
+
+    // Exactness: the attempt counter is unsampled, so it covers every
+    // writer commit (plus ww-abort retries and the fill_column load).
+    let attempts = counter(&m, "commit_attempts_total");
+    assert!(attempts >= (WRITERS * COMMITS_PER_WRITER) as u64);
+
+    // The sampled chain: a sampled attempt records latch + total
+    // together, later stages only on the paths that reach them, and no
+    // stage can out-count the attempts that entered the pipeline.
+    let latch = hist_count(&m, "commit_stage_latch_ns");
+    assert_eq!(
+        hist_count(&m, "commit_total_ns"),
+        latch,
+        "commit_total_ns and commit_stage_latch_ns must count the same sampled attempts"
+    );
+    let mut upper = latch;
+    for stage in [
+        "commit_stage_validate_ns",
+        "commit_stage_wal_ns",
+        "commit_stage_install_ns",
+        "commit_stage_fsync_ns",
+    ] {
+        let n = hist_count(&m, stage);
+        assert!(
+            n <= upper,
+            "`{stage}` counts {n} spans but its predecessor only {upper}"
+        );
+        upper = n;
+    }
+    assert!(latch <= attempts, "sampling can never exceed the attempts");
+
+    // Scan counters are fed once per completed scan from the same merged
+    // `ScanStats` the API returns, so at quiescence the deltas equal the
+    // sums the scanner threads observed.
+    let mut expect = ScanStats::default();
+    for s in &scan_sums {
+        expect.merge(s);
+    }
+    for (name, val) in [
+        ("scan_morsels_total", expect.morsels),
+        ("scan_tight_rows_total", expect.tight_rows),
+        ("scan_blocks_skipped_total", expect.blocks_skipped),
+        ("scan_rows_filtered_total", expect.rows_filtered),
+    ] {
+        assert_eq!(
+            counter(&m, name) - counter(&baseline, name),
+            val,
+            "`{name}` delta diverged from the summed ScanStats"
+        );
+    }
+    // One tracer span per morsel, exactly.
+    assert_eq!(
+        hist_count(&m, "scan_morsel_ns") - hist_count(&baseline, "scan_morsel_ns"),
+        expect.morsels,
+        "scan_morsel_ns must record exactly one span per morsel"
+    );
+
+    // Pins balance at quiescence: every reader dropped its epoch.
+    assert_eq!(
+        m.gauge("snapshot_epochs_pinned").unwrap_or(0),
+        0,
+        "all epoch pins must be released at quiescence"
+    );
+    assert!(counter(&m, "snapshot_epoch_pins_total") >= (SCANNERS * SCANS_PER_SCANNER) as u64);
+}
+
+/// The same consistency contract under the oracle-verified commit-stress
+/// driver (`common::run_commit_stress`): a poller races the stress run
+/// asserting monotonicity, and at quiescence the registry must agree
+/// with the driver's own outcome counts — every committed, ww-aborted,
+/// and validation-aborted transaction entered the pipeline as an
+/// attempt, and `db_committed_total` moved by exactly the commits the
+/// oracle replayed.
+#[test]
+fn stress_driver_metrics_stay_consistent() {
+    let config = DbConfig::heterogeneous_serializable()
+        .with_snapshot_every(32)
+        .with_backend(BackendKind::Sim);
+    let (db, t, c) = common::one_col_db(config, 256);
+    let baseline = db.metrics();
+
+    let stop = AtomicBool::new(false);
+    let mut outcome = None;
+    std::thread::scope(|s| {
+        let poller = s.spawn(|| {
+            let mut prev = db.metrics();
+            while !stop.load(Ordering::Relaxed) {
+                let cur = db.metrics();
+                for name in MONOTONE_COUNTERS {
+                    assert!(
+                        counter(&cur, name) >= counter(&prev, name),
+                        "counter `{name}` went backwards under stress"
+                    );
+                }
+                for name in MONOTONE_HISTOGRAMS {
+                    assert!(
+                        hist_count(&cur, name) >= hist_count(&prev, name),
+                        "histogram `{name}` count went backwards under stress"
+                    );
+                }
+                prev = cur;
+                std::thread::yield_now();
+            }
+        });
+        outcome = Some(common::run_commit_stress(
+            &db,
+            t,
+            c,
+            &common::StressConfig {
+                threads: 4,
+                txns_per_thread: 150,
+                rows: 256,
+                theta: 0.7,
+                max_reads: 3,
+                repair_rounds: 1,
+                seed: 0xC0FFEE,
+            },
+        ));
+        stop.store(true, Ordering::Relaxed);
+        poller.join().unwrap();
+    });
+    let outcome = outcome.unwrap();
+
+    let m = db.metrics();
+    let attempts =
+        counter(&m, "commit_attempts_total") - counter(&baseline, "commit_attempts_total");
+    // Repair retries re-enter the pipeline, so attempts can exceed the
+    // per-transaction outcome sum but never undercut it.
+    let outcomes = (outcome.committed + outcome.ww_aborts + outcome.validation_aborts) as u64;
+    assert!(
+        attempts >= outcomes,
+        "attempts {attempts} < driver outcomes {outcomes}"
+    );
+    assert_eq!(
+        counter(&m, "db_committed_total") - counter(&baseline, "db_committed_total"),
+        outcome.committed as u64,
+        "registry and stress driver disagree on commits"
+    );
+    assert_eq!(
+        hist_count(&m, "commit_total_ns"),
+        hist_count(&m, "commit_stage_latch_ns"),
+        "sampled chain out of balance after stress"
+    );
+}
+
+/// `AnkerDb::metrics` folds the legacy stats structs into the registry
+/// snapshot; the two surfaces must agree on the shared quantities.
+#[test]
+fn absorbed_stats_agree_with_their_structs() {
+    let config = DbConfig::heterogeneous_serializable()
+        .with_snapshot_every(8)
+        .with_backend(BackendKind::Sim);
+    let (db, t, c) = common::one_col_db(config, 512);
+    for i in 0..64u32 {
+        let mut txn = db.begin(TxnKind::Oltp);
+        txn.update_value(t, c, i % 512, Value::Int(i as i64))
+            .unwrap();
+        txn.commit().unwrap();
+    }
+    let mut olap = db.begin(TxnKind::Olap);
+    let _ = olap.scan_on(t).count().unwrap();
+    olap.commit().unwrap();
+
+    let stats = db.stats();
+    let m = db.metrics();
+    assert_eq!(counter(&m, "db_committed_total"), stats.committed);
+    assert_eq!(
+        counter(&m, "db_epochs_triggered_total"),
+        stats.epochs_triggered
+    );
+    assert_eq!(
+        m.gauge("db_live_epochs").unwrap_or(-1),
+        stats.live_epochs as i64
+    );
+    // The kernel counters ride along on the simulated backend.
+    assert_eq!(
+        counter(&m, "kernel_vm_snapshot_calls_total"),
+        stats.kernel.vm_snapshot_calls
+    );
+    // Prometheus rendering carries every absorbed metric too.
+    let text = m.render_text();
+    for name in ["db_committed_total", "kernel_vm_snapshot_calls_total"] {
+        assert!(text.contains(name), "rendered text must list `{name}`");
+    }
+}

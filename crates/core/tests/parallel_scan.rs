@@ -13,6 +13,18 @@ use anker_core::{
 };
 use proptest::prelude::*;
 
+/// The obs registry is process-global, and
+/// [`obs_counter_deltas_identical_across_thread_counts`] measures
+/// registry *deltas* — so every test in this binary that scans or
+/// commits takes this lock, keeping the measured windows free of
+/// concurrent increments. (Other test files are other processes and
+/// other registries.)
+static OBS_SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn obs_serial() -> std::sync::MutexGuard<'static, ()> {
+    OBS_SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// `{1, 2, 7}` ∪ `ANKER_SCAN_THREADS` (the CI matrix knob).
 fn thread_counts() -> Vec<usize> {
     let mut counts = vec![1, 2, 7];
@@ -65,6 +77,7 @@ fn homogeneous_mode_refuses_detached_readers() {
 /// threads.
 #[test]
 fn reader_pins_a_consistent_epoch_across_commits() {
+    let _serial = obs_serial();
     for backend in backends() {
         let db = AnkerDb::new(hetero(backend));
         let t = db.create_table(
@@ -110,6 +123,7 @@ fn reader_pins_a_consistent_epoch_across_commits() {
 /// them.
 #[test]
 fn reader_survives_snapshot_refresh_and_recycling_cycles() {
+    let _serial = obs_serial();
     for backend in backends() {
         let rows = 2048u32;
         let mut cfg = hetero(backend);
@@ -192,6 +206,7 @@ fn reader_survives_snapshot_refresh_and_recycling_cycles() {
 /// threads, and agree with the sequential scan.
 #[test]
 fn partitions_cover_all_rows_disjointly() {
+    let _serial = obs_serial();
     for backend in backends() {
         let rows = 10_000u32;
         let db = AnkerDb::new(hetero(backend));
@@ -242,6 +257,7 @@ fn check_parallel_matches_sequential(
     lo: i64,
     hi: i64,
 ) {
+    let _serial = obs_serial();
     let db = AnkerDb::new(hetero(backend));
     let t = db.create_table(
         "t",
@@ -359,6 +375,7 @@ proptest! {
 /// block-alignment invariant.
 #[test]
 fn surplus_partitions_are_empty_not_panics() {
+    let _serial = obs_serial();
     let rows = 1_500u32; // 2 blocks, not block-aligned
     let db = AnkerDb::new(hetero(BackendKind::Sim));
     let t = db.create_table(
@@ -386,6 +403,7 @@ fn surplus_partitions_are_empty_not_panics() {
 #[cfg(target_os = "linux")]
 #[test]
 fn huge_page_and_sequential_hints_surface_in_os_stats() {
+    let _serial = obs_serial();
     let db = AnkerDb::new(hetero(BackendKind::Os).with_os_huge_pages(true));
     let t = db.create_table(
         "t",
@@ -430,6 +448,7 @@ fn huge_page_and_sequential_hints_surface_in_os_stats() {
 /// reads — must be identical for every thread count.
 #[test]
 fn kernel_counters_identical_across_thread_counts() {
+    let _serial = obs_serial();
     for backend in backends() {
         let rows = 40_000u32;
         let db = AnkerDb::new(hetero(backend));
@@ -501,11 +520,102 @@ fn kernel_counters_identical_across_thread_counts() {
     }
 }
 
+/// The obs scan counters are fed from the same deterministic
+/// [`ScanStats`](anker_core::ScanStats) that
+/// [`kernel_counters_identical_across_thread_counts`] proves
+/// thread-count-independent (morsel boundaries are fixed, not
+/// work-stealing) — so the registry *delta* an identical scan leaves
+/// behind must be bit-identical at every thread count too.
+/// (Under `obs-off` the counters compile to no-ops, so the deltas are
+/// intentionally all-zero and the test is compiled out.)
+#[test]
+#[cfg(not(feature = "obs-off"))]
+fn obs_counter_deltas_identical_across_thread_counts() {
+    let _serial = obs_serial();
+    use anker_core::obs;
+    const SCAN_COUNTERS: [&str; 8] = [
+        "scan_morsels_total",
+        "scan_tight_rows_total",
+        "scan_checked_rows_total",
+        "scan_chain_walks_total",
+        "scan_blocks_skipped_total",
+        "scan_rows_filtered_total",
+        "scan_vector_blocks_total",
+        "scan_dense_blocks_total",
+    ];
+    for backend in backends() {
+        let rows = 30_000u32;
+        let db = AnkerDb::new(hetero(backend));
+        let t = db.create_table(
+            "t",
+            Schema::new(vec![
+                ColumnDef::new("k", LogicalType::Int),
+                ColumnDef::new("x", LogicalType::Double),
+            ]),
+            rows,
+        );
+        let k = db.schema(t).col("k");
+        let x = db.schema(t).col("x");
+        db.fill_column(t, k, (0..rows).map(|i| Value::Int(i as i64 % 5).encode()))
+            .unwrap();
+        db.fill_column(
+            t,
+            x,
+            (0..rows).map(|i| Value::Double((i as f64).sin() * 60.0).encode()),
+        )
+        .unwrap();
+        let reader = db.snapshot_reader().unwrap();
+        let run = |n: usize| -> (f64, Vec<u64>, u64) {
+            let before = db.metrics();
+            let (sum, _) = reader
+                .scan(t)
+                .lt_f64(x, 30.0)
+                .range_i64(k, 0, 1)
+                .project(&[x])
+                .parallel(n)
+                .fold(0.0f64, |a, _, vals| a + vals[0].as_double(), |a, b| a + b)
+                .unwrap();
+            let after = db.metrics();
+            let deltas = SCAN_COUNTERS
+                .iter()
+                .map(|name| after.counter(name).unwrap_or(0) - before.counter(name).unwrap_or(0))
+                .collect();
+            let morsel_spans = span_count(&after) - span_count(&before);
+            (sum, deltas, morsel_spans)
+        };
+        let (ref_sum, ref_deltas, ref_spans) = run(1);
+        assert!(
+            ref_deltas.iter().sum::<u64>() > 0,
+            "the reference scan must move the counters (backend {backend:?})"
+        );
+        // The tracer journals one span per morsel, so the histogram
+        // count tracks scan_morsels_total exactly.
+        assert_eq!(ref_spans, ref_deltas[0], "one scan_morsel span per morsel");
+        for n in thread_counts() {
+            let (sum, deltas, spans) = run(n);
+            assert_eq!(sum.to_bits(), ref_sum.to_bits());
+            assert_eq!(
+                deltas, ref_deltas,
+                "obs scan-counter deltas diverged at {n} threads (backend {backend:?})"
+            );
+            assert_eq!(
+                spans, ref_spans,
+                "scan_morsel_ns span count diverged at {n} threads (backend {backend:?})"
+            );
+        }
+    }
+
+    fn span_count(m: &obs::MetricsSnapshot) -> u64 {
+        m.histogram("scan_morsel_ns").map_or(0, |h| h.count())
+    }
+}
+
 /// Double-typed predicates and projections through the parallel path
 /// (`rank` comparisons + zero-copy slices) also agree with the
 /// sequential reference.
 #[test]
 fn parallel_double_predicates_match() {
+    let _serial = obs_serial();
     for backend in backends() {
         let rows = 5_000u32;
         let db = AnkerDb::new(hetero(backend));

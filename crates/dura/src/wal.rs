@@ -307,10 +307,14 @@ impl Wal {
             // ORDERING: Acquire pairs with `append`'s Release fetch_add —
             // the mark we fsync up to only counts fully-written frames.
             let target = self.appended.load(Ordering::Acquire);
+            // Leader-side fsync latency (handle-lock wait included — it is
+            // part of what followers end up waiting for).
+            let obs_tok = obs::span_begin(obs::stage!("wal_fsync"));
             let res = {
                 let handle = self.sync_handle.lock();
                 handle.sync_data()
             };
+            obs::span_end(obs_tok);
             self.stats.syncs.fetch_add(1, Ordering::Relaxed);
             let mut st = self.sync_state.lock();
             st.leader_active = false;

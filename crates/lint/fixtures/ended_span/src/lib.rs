@@ -1,0 +1,27 @@
+//! Clean twin of `leaked_span`: the result is captured so the span ends
+//! before `?`, the chained switch reaches an end, and the fail-stop
+//! panic site is tagged `PANIC-OK`.
+
+pub fn end_before_question(db: &Db) -> Result<u64, Error> {
+    let tok = obs::span_begin(obs::stage!("fixture_stage"));
+    let res = db.work();
+    obs::span_end(tok);
+    let n = res?;
+    Ok(n)
+}
+
+pub fn chained_switch(db: &Db) -> u64 {
+    let tok = obs::span_begin_sampled(obs::stage!("fixture_a"), 4);
+    let tok = obs::span_switch(tok, obs::stage!("fixture_b"));
+    let n = db.work_infallible();
+    obs::span_end(tok);
+    n
+}
+
+pub fn fail_stop(db: &Db) {
+    let tok = obs::span_begin(obs::stage!("fixture_stage"));
+    // PANIC-OK: past the point of no return — dying with the span open
+    // is the designed fail-stop behaviour; the journal is diagnostic.
+    db.apply().expect("apply after durable commit");
+    obs::span_end(tok);
+}

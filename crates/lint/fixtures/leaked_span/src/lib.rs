@@ -1,0 +1,28 @@
+//! Known-bad fixture: three ways to leak a tracer span token — a `?`
+//! exit, an early `return`, and a switched token that never reaches an
+//! end.
+
+pub fn question_leak(db: &Db) -> Result<u64, Error> {
+    let tok = obs::span_begin(obs::stage!("fixture_stage"));
+    let n = db.work()?; // leak: the error path drops the token
+    obs::span_end(tok);
+    Ok(n)
+}
+
+pub fn return_leak(db: &Db) -> u64 {
+    let tok = obs::span_begin_sampled(obs::stage!("fixture_stage"), 4);
+    if db.empty() {
+        return 0; // leak: early return with the span open
+    }
+    let n = db.work_infallible();
+    obs::span_end(tok);
+    n
+}
+
+pub fn switch_leak(db: &Db) {
+    let tok = obs::span_begin(obs::stage!("fixture_a"));
+    let tok = obs::span_switch(tok, obs::stage!("fixture_b"));
+    db.work_infallible();
+    // leak: the switched-to span falls off the end unconsumed
+    let _ = tok;
+}

@@ -1,0 +1,163 @@
+//! Check 9 (dataflow): span-token linearity. The tracer's manual span
+//! API (`obs::span_begin` → `obs::span_switch`* → `obs::span_end`) hands
+//! out linear tokens: a token that reaches a function exit unconsumed is
+//! a *leaked span* — the stage it was timing never records, its journal
+//! event never appears, and (for sampled chains) the per-stage histogram
+//! counts silently drift apart. Dropping a `SpanToken` is deliberately
+//! silent at runtime (a tracer must never panic the engine), so the
+//! discipline lives here instead.
+//!
+//! The `[spans]` table in `LOCKS.toml` names the `begin` patterns
+//! (`span_begin`, `span_begin_sampled`, and `span_switch`, which closes
+//! one stage *and* opens the next), the `end` patterns (`span_end`,
+//! `span_switch`, plus any wrapper that consumes a token, e.g. the
+//! commit pipeline's `record_commit_total`), and the instrumented files.
+//! Every begin must reach an end on **all** CFG paths out of the
+//! function: the normal path, every early `return`, every `?`, and every
+//! panic edge. The machinery mirrors the latch pass ([`crate::latch`]):
+//! a node matching both lists terminates the search from an earlier
+//! begin and starts its own, which is exactly a chained `span_switch`.
+//!
+//! Escape hatches, identical in spirit to the latch pass: a
+//! `// PANIC-OK:` comment run within `WINDOW` lines above a panic site
+//! suppresses the panic-edge finding there (fail-stop sites die with the
+//! span open; the journal is diagnostic-only), and test code is exempt
+//! (`#[cfg(test)]` regions and `tests/` files). The RAII `obs::span!`
+//! guard is invisible to this pass — it closes on drop by construction.
+
+use crate::cfg::{self, Cfg, EdgeKind, NodeKind};
+use crate::config::{Config, Pattern, SpanConfig};
+use crate::lexer::{comment_runs, in_regions, Lexed};
+use crate::parser::{functions, Tree};
+use crate::Finding;
+
+const WINDOW: u32 = 10;
+
+pub fn check(rel_path: &str, lx: &Lexed, trees: &[Tree], cfg: &Config) -> Vec<Finding> {
+    let spans = &cfg.spans;
+    if !spans.files.iter().any(|f| f == rel_path) || rel_path.contains("/tests/") {
+        return Vec::new();
+    }
+    let test_regions = crate::lexer::test_regions(lx);
+    let panic_ok = comment_runs(lx, &["PANIC-OK"]);
+    let mut findings = Vec::new();
+    for f in functions(trees) {
+        if in_regions(&test_regions, f.line) {
+            continue;
+        }
+        let g = cfg::build(f.body);
+        analyze(rel_path, &f.name, &g, spans, &panic_ok, &mut findings);
+    }
+    findings.sort();
+    findings.dedup();
+    findings
+}
+
+fn call_matches(name: &str, recv: Option<&str>, pat: &Pattern) -> bool {
+    match pat {
+        Pattern::Bare(n) => name == n,
+        Pattern::Method { recv: r, method } => name == method && recv == Some(r.as_str()),
+    }
+}
+
+fn analyze(
+    rel_path: &str,
+    fn_name: &str,
+    g: &Cfg,
+    spans: &SpanConfig,
+    panic_ok: &[u32],
+    findings: &mut Vec<Finding>,
+) {
+    // Classify nodes once. A `span_switch` node is *both*: it ends the
+    // token flowing into it and begins a new one, so it terminates the
+    // walk from an upstream begin and seeds its own walk.
+    let mut begins: Vec<usize> = Vec::new();
+    let mut ends: Vec<bool> = vec![false; g.nodes.len()];
+    for (n, node) in g.nodes.iter().enumerate() {
+        let NodeKind::Call { name, recv } = &node.kind else {
+            continue;
+        };
+        let recv = recv.as_deref();
+        if spans.end.iter().any(|p| call_matches(name, recv, p)) {
+            ends[n] = true;
+        }
+        if spans.begin.iter().any(|p| call_matches(name, recv, p)) {
+            begins.push(n);
+        }
+    }
+    for &b in &begins {
+        let begin_line = g.nodes[b].line;
+        // BFS over the open-span region: stop at consuming nodes; every
+        // edge that reaches the exit with the token live is a leak.
+        let mut seen = vec![false; g.nodes.len()];
+        let mut queue = vec![b];
+        seen[b] = true;
+        while let Some(n) = queue.pop() {
+            if n != b && ends[n] {
+                continue; // token consumed on this path
+            }
+            for e in &g.succ[n] {
+                if e.to == g.exit {
+                    let line = g.nodes[n].line;
+                    let covered = panic_ok
+                        .iter()
+                        .any(|&end| end <= line && line - end <= WINDOW);
+                    let msg = match e.kind {
+                        EdgeKind::Question => Some(format!(
+                            "`?` may exit `{fn_name}` with the span begun at line {begin_line} \
+                             still open; end it before propagating the error"
+                        )),
+                        EdgeKind::Panic if covered => None,
+                        EdgeKind::Panic => Some(format!(
+                            "{} may panic in `{fn_name}` with the span begun at line \
+                             {begin_line} still open; end it first or tag `// PANIC-OK:`",
+                            describe(&g.nodes[n].kind)
+                        )),
+                        EdgeKind::Return => Some(format!(
+                            "`return` exits `{fn_name}` with the span begun at line \
+                             {begin_line} still open; pass the token to span_end/span_switch"
+                        )),
+                        _ => Some(format!(
+                            "`{fn_name}` can end with the span begun at line {begin_line} \
+                             still open; every exit path must consume the token"
+                        )),
+                    };
+                    if let Some(msg) = msg {
+                        findings.push(Finding {
+                            file: rel_path.to_string(),
+                            line,
+                            check: "span-leak",
+                            msg,
+                        });
+                    }
+                    continue;
+                }
+                // A loop whose body consumes the token on every iteration
+                // (begin before the loop, end inside it) exits consumed;
+                // mirror the latch pass's LoopExit treatment.
+                if e.kind == EdgeKind::LoopExit {
+                    let body_ends = g
+                        .loops
+                        .iter()
+                        .find(|l| l.head == n)
+                        .is_some_and(|l| (l.body.0..l.body.1).any(|x| ends[x]));
+                    if body_ends {
+                        continue;
+                    }
+                }
+                if !seen[e.to] {
+                    seen[e.to] = true;
+                    queue.push(e.to);
+                }
+            }
+        }
+    }
+}
+
+fn describe(kind: &NodeKind) -> String {
+    match kind {
+        NodeKind::Call { name, .. } => format!("`.{name}()`"),
+        NodeKind::Panic { what } => format!("`{what}`"),
+        _ => "a panic edge".to_string(),
+    }
+}

@@ -93,18 +93,44 @@ impl TsOracle {
     /// Every caller must eventually hand the timestamp back through
     /// [`TsOracle::complete_commit`] or [`TsOracle::abort_commit`], or the
     /// watermark stalls forever.
+    ///
+    /// **Blocks while the oracle is frozen.** A caller that holds any lock
+    /// an *in-flight* committer might need (validation shards, the commit
+    /// section) must use [`TsOracle::try_begin_commit`] and release those
+    /// locks before waiting, or the freezer's drain deadlocks: the freeze
+    /// holder waits for in-flight commits, an in-flight commit waits for
+    /// the caller's lock, and the caller waits for the unfreeze.
     #[inline]
     pub fn begin_commit(&self) -> u64 {
         loop {
-            let mut inf = self.inflight.lock();
-            if inf.frozen {
-                drop(inf);
-                std::thread::yield_now();
-                continue;
+            if let Some(ts) = self.try_begin_commit() {
+                return ts;
             }
-            let ts = self.next_commit.fetch_add(1, Ordering::Relaxed);
-            inf.set.insert(ts);
-            return ts;
+            self.wait_unfrozen();
+        }
+    }
+
+    /// Non-blocking [`TsOracle::begin_commit`]: `None` when a freezer
+    /// currently parks allocation (see [`TsOracle::freeze_commits`]).
+    #[inline]
+    pub fn try_begin_commit(&self) -> Option<u64> {
+        let mut inf = self.inflight.lock();
+        if inf.frozen {
+            return None;
+        }
+        let ts = self.next_commit.fetch_add(1, Ordering::Relaxed);
+        inf.set.insert(ts);
+        Some(ts)
+    }
+
+    /// Spin (yielding) until no freezer holds the oracle. Purely advisory:
+    /// a new freeze may land between this returning and the caller's next
+    /// [`TsOracle::try_begin_commit`], so callers loop.
+    pub fn wait_unfrozen(&self) {
+        // The condition's lock guard is a temporary — dropped before the
+        // yield, so the freezer is never blocked out by this poll.
+        while self.inflight.lock().frozen {
+            std::thread::yield_now();
         }
     }
 

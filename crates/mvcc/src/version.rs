@@ -302,6 +302,13 @@ impl ChainStore {
             block.write_unlock();
         }
         self.versions.fetch_sub(removed, Ordering::Relaxed);
+        if removed > 0 {
+            obs::counter!(
+                "mvcc_versions_pruned_total",
+                "Chain versions reclaimed by GC passes across all columns"
+            )
+            .add(removed);
+        }
         removed
     }
 }

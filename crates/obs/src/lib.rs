@@ -1,0 +1,131 @@
+//! # anker-obs — the observability substrate for AnKerDB
+//!
+//! The paper this workspace reproduces is, at heart, a cost breakdown —
+//! snapshot creation by page rewiring vs. `fork`, COW tax on the write
+//! path, commit latency under concurrent OLAP — and cost breakdowns need
+//! distributions, not means. This crate is the measurement layer every
+//! hot path reports into:
+//!
+//! * a **process-wide metric registry** of lock-free sharded
+//!   [`Counter`]s, [`Gauge`]s and log₂-bucket [`Histogram`]s, registered
+//!   lazily through `static` handles the [`counter!`] / [`gauge!`] /
+//!   [`histogram!`] macros place at each call site;
+//! * a **span/stage tracer** ([`trace`]): per-thread bounded ring
+//!   journals of named stages with nanosecond timestamps, cheap enough
+//!   to stay on in release builds (one TSC read per boundary, relaxed
+//!   stores only), merged on demand into a chrome://tracing JSON
+//!   timeline by [`trace_json`];
+//! * **exporters**: [`render_text`] (Prometheus text exposition) and
+//!   [`render_json`], both also available on an engine-extended
+//!   [`MetricsSnapshot`].
+//!
+//! Like `anker-lint`, the crate is hand-rolled with zero dependencies,
+//! and it sits below every other workspace crate so `core`, `dura`,
+//! `mvcc` and friends can all emit into one registry. The `obs-off`
+//! feature compiles every hot-path operation to an empty inline body
+//! while keeping the API intact — the overhead harness
+//! (`repro_obs --overhead`) builds the engine both ways and records the
+//! delta in `BENCH_obs_overhead.json`.
+//!
+//! ## Example
+//!
+//! ```
+//! use anker_obs as obs;
+//!
+//! obs::counter!("doc_requests_total", "Requests served").inc();
+//! obs::histogram!("doc_latency_ns", "Request latency").record(1_250);
+//!
+//! let tok = obs::span_begin(obs::stage!("doc_parse"));
+//! // … work …
+//! let tok = obs::span_switch(tok, obs::stage!("doc_execute"));
+//! // … work …
+//! let _end_ns = obs::span_end(tok);
+//!
+//! let snap = obs::snapshot();
+//! assert!(snap.counter("doc_requests_total").is_some());
+//! let text = obs::render_text();
+//! assert!(text.contains("# TYPE doc_requests_total counter"));
+//! ```
+
+pub mod clock;
+pub mod metric;
+pub mod registry;
+pub mod render;
+pub mod trace;
+
+pub use clock::{now_ns, timestamp};
+pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS, SHARDS};
+pub use registry::{
+    register_histogram, snapshot, CounterHandle, GaugeHandle, HistogramHandle, Metric, MetricValue,
+    MetricsSnapshot,
+};
+pub use trace::{
+    span_begin, span_begin_sampled, span_end, span_switch, trace_json, SpanGuard, SpanToken,
+    StageMeta, STAGE_HELP,
+};
+
+/// Render the global registry in Prometheus text exposition format.
+pub fn render_text() -> String {
+    snapshot().render_text()
+}
+
+/// Render the global registry as one JSON object.
+pub fn render_json() -> String {
+    snapshot().render_json()
+}
+
+/// A `&'static Counter` registered once per name, cached per call site.
+///
+/// ```
+/// anker_obs::counter!("lib_doc_example_total", "Example counter").add(2);
+/// ```
+#[macro_export]
+macro_rules! counter {
+    ($name:literal, $help:literal) => {{
+        static __OBS_HANDLE: $crate::registry::CounterHandle =
+            $crate::registry::CounterHandle::new($name, $help);
+        __OBS_HANDLE.get()
+    }};
+}
+
+/// A `&'static Gauge` registered once per name, cached per call site.
+#[macro_export]
+macro_rules! gauge {
+    ($name:literal, $help:literal) => {{
+        static __OBS_HANDLE: $crate::registry::GaugeHandle =
+            $crate::registry::GaugeHandle::new($name, $help);
+        __OBS_HANDLE.get()
+    }};
+}
+
+/// A `&'static Histogram` registered once per name, cached per call site.
+#[macro_export]
+macro_rules! histogram {
+    ($name:literal, $help:literal) => {{
+        static __OBS_HANDLE: $crate::registry::HistogramHandle =
+            $crate::registry::HistogramHandle::new($name, $help);
+        __OBS_HANDLE.get()
+    }};
+}
+
+/// A `&'static StageMeta` for the tracer's span API. Every stage owns an
+/// auto-registered `<name>_ns` histogram fed on each completed span.
+#[macro_export]
+macro_rules! stage {
+    ($name:literal) => {{
+        static __OBS_STAGE: $crate::trace::StageMeta =
+            $crate::trace::StageMeta::new($name, concat!($name, "_ns"));
+        &__OBS_STAGE
+    }};
+}
+
+/// An RAII span over the rest of the enclosing scope (ends on drop,
+/// including unwind). For multi-stage hot paths prefer the token API —
+/// [`span_begin`] / [`span_switch`] / [`span_end`] — which shares clock
+/// reads across stage boundaries and is checked by anker-lint.
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {
+        $crate::trace::SpanGuard::new($crate::stage!($name))
+    };
+}

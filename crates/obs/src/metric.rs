@@ -1,0 +1,347 @@
+//! The three metric primitives: sharded [`Counter`], [`Gauge`], and
+//! power-of-two-bucket [`Histogram`].
+//!
+//! All three are plain atomics — no locks anywhere on the update path —
+//! and all are `const`-constructible so registration handles can live in
+//! `static`s. Under the `obs-off` feature every update method compiles
+//! to an empty inline body (the structs keep their layout so the
+//! registry and renderers need no cfg).
+//!
+//! Counters are the only primitive hot enough to shard: a counter is
+//! [`SHARDS`] cache-line-padded `AtomicU64`s, and each thread picks a
+//! home shard from a round-robin thread ordinal, so concurrent `inc`s
+//! from different threads usually touch different cache lines. Gauges
+//! are a single `AtomicI64` (nothing in the engine bumps a gauge more
+//! than a few thousand times a second). Histograms keep one `AtomicU64`
+//! per log₂ bucket plus a running sum; the *count* is deliberately not
+//! stored — it is the sum of the buckets, which makes
+//! `histogram.count == matching counter` an exactly checkable invariant
+//! at quiescence (no three-way record/count/sum race to paper over).
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Counter shard fan-out. Eight padded lines (512 B per counter) is the
+/// sweet spot for the thread counts the engine runs (≤ 16).
+pub const SHARDS: usize = 8;
+
+/// Number of log₂ histogram buckets. Bucket 0 holds exact zeros; bucket
+/// `i ≥ 1` holds values with bit width `i`, i.e. `[2^(i-1), 2^i)`;
+/// values of 2^62 ns (~146 years) and beyond clamp into the last bucket.
+pub const BUCKETS: usize = 64;
+
+#[repr(align(64))]
+struct PadCell(AtomicU64);
+
+/// A monotonically increasing event count.
+pub struct Counter {
+    shards: [PadCell; SHARDS],
+}
+
+impl Counter {
+    pub const fn new() -> Self {
+        Counter {
+            shards: [const { PadCell(AtomicU64::new(0)) }; SHARDS],
+        }
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(not(feature = "obs-off"))]
+        self.shards[home_shard()].0.fetch_add(n, Ordering::Relaxed);
+        #[cfg(feature = "obs-off")]
+        let _ = n;
+    }
+
+    /// Sum of all shards. Relaxed loads: exact once writers quiesce,
+    /// a live lower bound while they run.
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Counter").field(&self.get()).finish()
+    }
+}
+
+/// The calling thread's home shard: a round-robin ordinal assigned on
+/// first use, reduced mod [`SHARDS`].
+#[cfg(not(feature = "obs-off"))]
+#[inline]
+fn home_shard() -> usize {
+    use std::sync::atomic::AtomicUsize;
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static HOME: usize = NEXT.fetch_add(1, Ordering::Relaxed) & (SHARDS - 1);
+    }
+    HOME.with(|h| *h)
+}
+
+/// A signed instantaneous value (pin counts, queue depths).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    pub const fn new() -> Self {
+        Gauge {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: i64) {
+        #[cfg(not(feature = "obs-off"))]
+        self.value.fetch_add(n, Ordering::Relaxed);
+        #[cfg(feature = "obs-off")]
+        let _ = n;
+    }
+
+    #[inline]
+    pub fn set(&self, n: i64) {
+        #[cfg(not(feature = "obs-off"))]
+        self.value.store(n, Ordering::Relaxed);
+        #[cfg(feature = "obs-off")]
+        let _ = n;
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A log₂-bucketed value distribution (HdrHistogram-style, radix 2).
+///
+/// `record` is two relaxed `fetch_add`s — one bucket, one sum — with the
+/// bucket index a `leading_zeros` away. Quantiles come out of the
+/// snapshot by geometric interpolation inside the hit bucket, so a p99
+/// read from 64 buckets is exact to within a factor-of-two bucket width
+/// (plenty for "did the fsync stage eat the latency budget" questions).
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Bucket index for a value: its bit width, clamped to the table.
+    #[inline]
+    pub fn bucket_of(v: u64) -> usize {
+        ((u64::BITS - v.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        #[cfg(not(feature = "obs-off"))]
+        {
+            self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(v, Ordering::Relaxed);
+        }
+        #[cfg(feature = "obs-off")]
+        let _ = v;
+    }
+
+    /// Point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.snapshot().fmt(f)
+    }
+}
+
+/// An owned copy of a [`Histogram`]'s state, with derived statistics.
+#[derive(Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`BUCKETS`] for the bounds).
+    pub buckets: [u64; BUCKETS],
+    /// Sum of all recorded values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total observations — by construction the sum of the buckets.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Inclusive upper bound of bucket `i` (`u64::MAX` for the last,
+    /// rendered as `+Inf`).
+    pub fn upper_bound(i: usize) -> u64 {
+        if i >= BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Quantile estimate (`q` in `[0, 1]`) by geometric interpolation
+    /// within the hit bucket. Returns 0 for an empty distribution.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * count as f64).max(1.0);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum as f64 + c as f64 >= target {
+                let lo = if i == 0 {
+                    0.0
+                } else {
+                    (1u64 << (i - 1)) as f64
+                };
+                let hi = if i == 0 { 1.0 } else { lo * 2.0 };
+                let frac = (target - cum as f64) / c as f64;
+                return lo + (hi - lo) * frac;
+            }
+            cum += c;
+        }
+        // All mass below target (concurrent mutation): report the top.
+        (1u64 << (BUCKETS - 1)) as f64
+    }
+
+    /// Mean of the recorded values (exact: true sum over derived count).
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / count as f64
+        }
+    }
+}
+
+impl std::fmt::Debug for HistogramSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HistogramSnapshot")
+            .field("count", &self.count())
+            .field("sum", &self.sum)
+            .field("p50", &self.quantile(0.5))
+            .field("p99", &self.quantile(0.99))
+            .finish()
+    }
+}
+
+#[cfg(all(test, not(feature = "obs-off")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        static C: Counter = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        C.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(C.get(), 40_000);
+    }
+
+    #[test]
+    fn gauge_tracks_adds_and_sets() {
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(1023), 10);
+        assert_eq!(Histogram::bucket_of(1024), 11);
+        assert_eq!(Histogram::bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_count_is_bucket_sum_and_quantiles_bracket() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.sum, 500_500);
+        let p50 = s.quantile(0.5);
+        // True median 500 lives in bucket [256, 512); interpolation must
+        // land inside the bucket.
+        assert!((256.0..512.0).contains(&p50), "p50 = {p50}");
+        let p100 = s.quantile(1.0);
+        assert!((512.0..=1024.0).contains(&p100), "p100 = {p100}");
+        assert!((s.mean() - 500.5).abs() < 0.001);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.99), 0.0);
+        assert_eq!(s.mean(), 0.0);
+    }
+}

@@ -1,0 +1,355 @@
+//! The process-wide metric registry and its point-in-time snapshot.
+//!
+//! Metrics register **lazily at first use** through `static` handles the
+//! [`crate::counter!`]/[`crate::gauge!`]/[`crate::histogram!`] macros
+//! drop at each call site: the first `get()` takes the registry mutex
+//! once, leaks one allocation (metrics live for the process — that is
+//! what makes the fast path a plain `&'static` atomic bump), caches the
+//! reference in the handle's `OnceLock`, and every later `get()` is a
+//! single atomic load. Two call sites naming the same metric share one
+//! instance — names are the identity, first registration's help text
+//! wins.
+//!
+//! [`snapshot`] copies the registry into a [`MetricsSnapshot`]: an
+//! ordered, owned list of name/help/value triples that the engine can
+//! extend with values absorbed from its legacy stats structs
+//! (`AnkerDb::metrics` folds `DbStats`/`OsStats`/`WalStats`/
+//! `KernelStats` in as namespaced counters) before rendering.
+
+use crate::metric::{Counter, Gauge, Histogram, HistogramSnapshot};
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+enum Slot {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+struct Registered {
+    name: &'static str,
+    help: &'static str,
+    slot: Slot,
+}
+
+struct Inner {
+    by_name: HashMap<&'static str, usize>,
+    metrics: Vec<Registered>,
+}
+
+fn registry() -> &'static Mutex<Inner> {
+    static REG: OnceLock<Mutex<Inner>> = OnceLock::new();
+    REG.get_or_init(|| {
+        Mutex::new(Inner {
+            by_name: HashMap::new(),
+            metrics: Vec::new(),
+        })
+    })
+}
+
+/// Register-or-lookup under the registry lock. `make` leaks the new
+/// metric; `pick` projects the slot back out (panics on a kind clash,
+/// which is a programming error worth failing loudly on).
+fn intern<T>(
+    name: &'static str,
+    help: &'static str,
+    make: impl FnOnce() -> Slot,
+    pick: impl FnOnce(&Slot) -> Option<T>,
+) -> T {
+    let mut inner = registry().lock().expect("metric registry poisoned");
+    let idx = match inner.by_name.get(name) {
+        Some(&i) => i,
+        None => {
+            let i = inner.metrics.len();
+            inner.metrics.push(Registered {
+                name,
+                help,
+                slot: make(),
+            });
+            inner.by_name.insert(name, i);
+            i
+        }
+    };
+    pick(&inner.metrics[idx].slot)
+        .unwrap_or_else(|| panic!("metric `{name}` registered twice with different kinds"))
+}
+
+/// Call-site handle for a [`Counter`]; see [`crate::counter!`].
+pub struct CounterHandle {
+    name: &'static str,
+    help: &'static str,
+    cell: OnceLock<&'static Counter>,
+}
+
+impl CounterHandle {
+    pub const fn new(name: &'static str, help: &'static str) -> Self {
+        CounterHandle {
+            name,
+            help,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The registered counter (registering on first call).
+    #[inline]
+    pub fn get(&self) -> &'static Counter {
+        self.cell.get_or_init(|| {
+            intern(
+                self.name,
+                self.help,
+                || Slot::Counter(Box::leak(Box::new(Counter::new()))),
+                |s| match s {
+                    Slot::Counter(c) => Some(*c),
+                    _ => None,
+                },
+            )
+        })
+    }
+}
+
+impl std::fmt::Debug for CounterHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("CounterHandle").field(&self.name).finish()
+    }
+}
+
+/// Call-site handle for a [`Gauge`]; see [`crate::gauge!`].
+pub struct GaugeHandle {
+    name: &'static str,
+    help: &'static str,
+    cell: OnceLock<&'static Gauge>,
+}
+
+impl GaugeHandle {
+    pub const fn new(name: &'static str, help: &'static str) -> Self {
+        GaugeHandle {
+            name,
+            help,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The registered gauge (registering on first call).
+    #[inline]
+    pub fn get(&self) -> &'static Gauge {
+        self.cell.get_or_init(|| {
+            intern(
+                self.name,
+                self.help,
+                || Slot::Gauge(Box::leak(Box::new(Gauge::new()))),
+                |s| match s {
+                    Slot::Gauge(g) => Some(*g),
+                    _ => None,
+                },
+            )
+        })
+    }
+}
+
+impl std::fmt::Debug for GaugeHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("GaugeHandle").field(&self.name).finish()
+    }
+}
+
+/// Call-site handle for a [`Histogram`]; see [`crate::histogram!`].
+pub struct HistogramHandle {
+    name: &'static str,
+    help: &'static str,
+    cell: OnceLock<&'static Histogram>,
+}
+
+impl HistogramHandle {
+    pub const fn new(name: &'static str, help: &'static str) -> Self {
+        HistogramHandle {
+            name,
+            help,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The registered histogram (registering on first call).
+    #[inline]
+    pub fn get(&self) -> &'static Histogram {
+        self.cell
+            .get_or_init(|| register_histogram(self.name, self.help))
+    }
+}
+
+impl std::fmt::Debug for HistogramHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("HistogramHandle").field(&self.name).finish()
+    }
+}
+
+/// Non-macro registration entry point — the span tracer auto-registers
+/// one `<stage>_ns` histogram per stage through this.
+pub fn register_histogram(name: &'static str, help: &'static str) -> &'static Histogram {
+    intern(
+        name,
+        help,
+        || Slot::Histogram(Box::leak(Box::new(Histogram::new()))),
+        |s| match s {
+            Slot::Histogram(h) => Some(*h),
+            _ => None,
+        },
+    )
+}
+
+/// One metric's value inside a [`MetricsSnapshot`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(i64),
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// One metric inside a [`MetricsSnapshot`].
+#[derive(Clone, Debug)]
+pub struct Metric {
+    pub name: String,
+    pub help: String,
+    pub value: MetricValue,
+}
+
+/// An owned, name-ordered copy of every registered metric, plus any
+/// values the caller folded in. Render with
+/// [`render_text`](Self::render_text) / [`render_json`](Self::render_json).
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    metrics: Vec<Metric>,
+}
+
+impl MetricsSnapshot {
+    /// The metrics, sorted by name.
+    pub fn iter(&self) -> impl Iterator<Item = &Metric> {
+        self.metrics.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    fn upsert(&mut self, name: &str, help: &str, value: MetricValue) {
+        match self.metrics.binary_search_by(|m| m.name.as_str().cmp(name)) {
+            Ok(i) => self.metrics[i].value = value,
+            Err(i) => self.metrics.insert(
+                i,
+                Metric {
+                    name: name.to_string(),
+                    help: help.to_string(),
+                    value,
+                },
+            ),
+        }
+    }
+
+    /// Insert-or-replace a counter value (used to absorb legacy stats
+    /// structs into the unified surface).
+    pub fn set_counter(&mut self, name: &str, help: &str, v: u64) {
+        self.upsert(name, help, MetricValue::Counter(v));
+    }
+
+    /// Insert-or-replace a gauge value.
+    pub fn set_gauge(&mut self, name: &str, help: &str, v: i64) {
+        self.upsert(name, help, MetricValue::Gauge(v));
+    }
+
+    /// Counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.find(name)? {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.find(name)? {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram snapshot by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.find(name)? {
+            MetricValue::Histogram(h) => Some(h.as_ref()),
+            _ => None,
+        }
+    }
+
+    fn find(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics
+            .binary_search_by(|m| m.name.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.metrics[i].value)
+    }
+}
+
+/// Snapshot the global registry: every metric registered so far, sorted
+/// by name, with point-in-time values.
+pub fn snapshot() -> MetricsSnapshot {
+    let inner = registry().lock().expect("metric registry poisoned");
+    let mut metrics: Vec<Metric> = inner
+        .metrics
+        .iter()
+        .map(|r| Metric {
+            name: r.name.to_string(),
+            help: r.help.to_string(),
+            value: match &r.slot {
+                Slot::Counter(c) => MetricValue::Counter(c.get()),
+                Slot::Gauge(g) => MetricValue::Gauge(g.get()),
+                Slot::Histogram(h) => MetricValue::Histogram(Box::new(h.snapshot())),
+            },
+        })
+        .collect();
+    drop(inner);
+    metrics.sort_by(|a, b| a.name.cmp(&b.name));
+    MetricsSnapshot { metrics }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_instance_across_call_sites() {
+        let a = crate::counter!("obs_test_dedup_total", "test counter");
+        let b = crate::counter!("obs_test_dedup_total", "test counter");
+        assert!(std::ptr::eq(a, b));
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn snapshot_sees_registered_values() {
+        crate::counter!("obs_test_snap_total", "test counter").add(3);
+        crate::gauge!("obs_test_snap_gauge", "test gauge").set(-2);
+        crate::histogram!("obs_test_snap_ns", "test histogram").record(100);
+        let s = snapshot();
+        assert!(s.counter("obs_test_snap_total").unwrap() >= 3);
+        assert_eq!(s.gauge("obs_test_snap_gauge"), Some(-2));
+        assert!(s.histogram("obs_test_snap_ns").unwrap().count() >= 1);
+        // Sorted by name.
+        let names: Vec<&str> = s.iter().map(|m| m.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn upsert_replaces_and_inserts_in_order() {
+        let mut s = MetricsSnapshot::default();
+        s.set_counter("b_total", "b", 1);
+        s.set_counter("a_total", "a", 2);
+        s.set_counter("b_total", "b", 9);
+        assert_eq!(s.counter("a_total"), Some(2));
+        assert_eq!(s.counter("b_total"), Some(9));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().next().unwrap().name, "a_total");
+    }
+}

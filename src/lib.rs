@@ -33,3 +33,4 @@ pub use anker_storage as storage;
 pub use anker_tpch as tpch;
 pub use anker_util as util;
 pub use anker_vmem as vmem;
+pub use obs;
